@@ -1,0 +1,244 @@
+// E5 — in-situ visualization (§V.C.1).
+//
+// (a) Real threads: the Nek proxy with the identical VisLite pipeline run
+//     synchronously by the simulation cores vs. handed to the dedicated
+//     core.  The observable is the solver-visible stall per iteration
+//     (this container has one physical CPU, so total wall time cannot show
+//     overlap — but the stall is exactly what a real multi-core node
+//     removes from the critical path).  Paper anchor: Damaris in-situ has
+//     no performance impact on the simulation.
+// (b) Model extrapolation of (a) to 800 cores — the scale at which the
+//     paper ran Nek5000 with Damaris while synchronous VisIt coupling
+//     stopped scaling (compositing collectives grow with rank count).
+// (c) Backpressure: when the analysis is slower than the timestep, the
+//     skip-iteration policy drops output to preserve the solver's pace;
+//     the block policy stalls instead.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+
+#include "common/clock.hpp"
+#include "common/table.hpp"
+#include "core/builtin_plugins.hpp"
+#include "core/runtime.hpp"
+#include "fsim/filesystem.hpp"
+#include "minimpi/minimpi.hpp"
+#include "sim/nek_proxy.hpp"
+#include "sim/workload.hpp"
+#include "viz/vislite.hpp"
+
+using namespace dedicore;
+
+namespace {
+
+fsim::StorageConfig storage_config() {
+  fsim::StorageConfig cfg;
+  cfg.ost_count = 8;
+  return cfg;
+}
+
+fsim::TimeScale fast_scale() {
+  fsim::TimeScale ts;
+  ts.real_per_sim = 1e-3;
+  return ts;
+}
+
+constexpr std::uint64_t kGrid = 16;
+constexpr int kIterations = 4;
+constexpr int kRender = 64;
+
+struct StallResult {
+  Summary stall;     ///< solver-visible time not spent computing
+  double pipeline_seconds = 0.0;  ///< measured cost of one viz pipeline
+};
+
+/// Synchronous in-situ: every client runs the pipeline inline.
+StallResult run_synchronous(int ranks) {
+  fsim::FileSystem fs(storage_config(), fast_scale());
+  std::mutex mutex;
+  SampleSet stalls;
+  SampleSet pipeline_costs;
+  minimpi::run_world(ranks, [&](minimpi::Comm& world) {
+    sim::NekConfig cfg;
+    cfg.nx = cfg.ny = cfg.nz = kGrid;
+    cfg.rank = world.rank();
+    cfg.world_size = world.size();
+    sim::NekProxy proxy(cfg);
+    for (int it = 0; it < kIterations; ++it) {
+      proxy.step();
+      Stopwatch stall;
+      // The VisIt-style coupling: pipeline inline plus the global isovalue
+      // collective and a lockstep barrier.
+      const auto field = proxy.velocity_magnitude();
+      const double local_mean = viz::compute_statistics(field).mean;
+      const double isovalue =
+          world.allreduce_value(local_mean, std::plus<double>()) / world.size();
+      viz::GridView grid{field, kGrid, kGrid, kGrid};
+      viz::RenderOptions options;
+      options.width = options.height = kRender;
+      const viz::PipelineResult result =
+          viz::run_insitu_pipeline(grid, isovalue, options);
+      world.barrier();
+      std::lock_guard<std::mutex> lock(mutex);
+      stalls.add(stall.elapsed_seconds());
+      pipeline_costs.add(result.seconds);
+    }
+  });
+  StallResult out;
+  out.stall = stalls.summary();
+  out.pipeline_seconds = pipeline_costs.summary().median;
+  return out;
+}
+
+/// Damaris in-situ: clients only hand the field to the dedicated core.
+StallResult run_dedicated(int ranks, int cores_per_node) {
+  sim::NekWorkloadOptions options;
+  options.nx = options.ny = options.nz = kGrid;
+  options.cores_per_node = cores_per_node;
+  options.render_size = kRender;
+  const core::Configuration cfg = sim::make_nek_configuration(options);
+  fsim::FileSystem fs(storage_config(), fast_scale());
+
+  std::mutex mutex;
+  SampleSet stalls;
+  minimpi::run_world(ranks, [&](minimpi::Comm& world) {
+    core::Runtime rt = core::Runtime::initialize(cfg, world, fs);
+    if (rt.is_server()) {
+      rt.run_server();
+      return;
+    }
+    sim::NekConfig nek;
+    nek.nx = nek.ny = nek.nz = kGrid;
+    nek.rank = rt.client_comm().rank();
+    nek.world_size = rt.client_comm().size();
+    sim::NekProxy proxy(nek);
+    for (int it = 0; it < kIterations; ++it) {
+      proxy.step();
+      Stopwatch stall;
+      rt.client().write("vel_mag", proxy.field_bytes());
+      rt.client().end_iteration();
+      std::lock_guard<std::mutex> lock(mutex);
+      stalls.add(stall.elapsed_seconds());
+    }
+    rt.finalize();
+  });
+  StallResult out;
+  out.stall = stalls.summary();
+  return out;
+}
+
+/// Simple scaling model for part (b): the synchronous coupling pays the
+/// local pipeline plus an image-compositing reduction that deepens with
+/// log2(ranks) (VisIt's parallel rendering); Damaris pays one shm copy.
+void report_extrapolation(double pipeline_cost, double damaris_stall) {
+  const double compositing_step = pipeline_cost * 0.35;  // per tree level
+  Table table({"cores", "synchronous stall (ms/it)", "damaris stall (ms/it)",
+               "stall removed"});
+  for (int cores : {48, 96, 192, 384, 800}) {
+    const double levels = std::log2(static_cast<double>(cores));
+    const double sync = pipeline_cost + compositing_step * levels;
+    table.add_row({std::to_string(cores), fmt_double(sync * 1e3, 2),
+                   fmt_double(damaris_stall * 1e3, 3),
+                   fmt_speedup(sync / std::max(damaris_stall, 1e-9))});
+  }
+  table.print(std::cout,
+              "E5b: extrapolated solver stall (measured pipeline cost + "
+              "log-depth compositing)");
+  std::printf("paper: Nek5000 + Damaris ran at the full 800-core cluster; "
+              "synchronous VisIt coupling did not scale that far.\n");
+}
+
+void report_skip_policy() {
+  // Make the analysis genuinely slower than the timestep: few spectral
+  // modes (cheap solver step) and a large render target (expensive
+  // pipeline).  The dedicated core falls behind; the skip policy drops
+  // iterations, the block policy stalls the solver instead.
+  Table table({"policy", "steps", "rendered", "skipped iterations",
+               "solver stall total (ms)"});
+  for (const auto policy : {core::BackpressurePolicy::kSkipIteration,
+                            core::BackpressurePolicy::kBlock}) {
+    sim::NekWorkloadOptions options;
+    options.nx = options.ny = options.nz = 24;
+    options.cores_per_node = 3;
+    options.render_size = 384;  // deliberately expensive pipeline
+    options.policy = policy;
+    // The buffer fits a single iteration of the two clients' fields.
+    options.buffer_size = 2 * 24 * 24 * 24 * sizeof(double) + 8192;
+    const core::Configuration cfg = sim::make_nek_configuration(options);
+    fsim::FileSystem fs(storage_config(), fast_scale());
+
+    constexpr int kSteps = 6;
+    std::mutex mutex;
+    double stall_total = 0.0;
+    std::uint64_t rendered = 0, skipped = 0;
+    minimpi::run_world(3, [&](minimpi::Comm& world) {
+      core::Runtime rt = core::Runtime::initialize(cfg, world, fs);
+      if (rt.is_server()) {
+        rt.run_server();
+        std::lock_guard<std::mutex> lock(mutex);
+        skipped += rt.server_stats().client_skips;
+        if (auto* plugin = dynamic_cast<core::VisLitePlugin*>(
+                rt.server().find_plugin("end_iteration", "vislite")))
+          rendered += plugin->totals().blocks_rendered;
+        return;
+      }
+      sim::NekConfig nek;
+      nek.nx = nek.ny = nek.nz = 24;
+      nek.modes = 2;  // cheap solver step
+      nek.rank = rt.client_comm().rank();
+      nek.world_size = rt.client_comm().size();
+      sim::NekProxy proxy(nek);
+      for (int it = 0; it < kSteps; ++it) {
+        proxy.step();
+        Stopwatch stall;
+        rt.client().write("vel_mag", proxy.field_bytes());
+        rt.client().end_iteration();
+        std::lock_guard<std::mutex> lock(mutex);
+        stall_total += stall.elapsed_seconds();
+      }
+      rt.finalize();
+    });
+    table.add_row({policy == core::BackpressurePolicy::kBlock ? "block" : "skip",
+                   std::to_string(kSteps), std::to_string(rendered),
+                   std::to_string(skipped), fmt_double(stall_total * 1e3, 1)});
+  }
+  table.print(std::cout,
+              "E5c: analysis slower than the timestep (skip vs block)");
+  std::printf("paper: \"we implemented in Damaris a way to automatically "
+              "skip some iterations of data in order to keep up\" — the "
+              "skip row drops output instead of stalling.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E5: in-situ visualization — synchronous vs dedicated cores\n\n");
+
+  Table table({"compute ranks", "synchronous stall (ms/it p50)",
+               "damaris stall (ms/it p50)", "stall removed"});
+  double pipeline_cost = 0.0;
+  double damaris_stall = 1e-9;
+  for (int nodes : {1, 2, 4}) {
+    const int cores_per_node = 4;
+    const int sync_ranks = nodes * (cores_per_node - 1);  // same compute cores
+    const StallResult sync = run_synchronous(sync_ranks);
+    const StallResult dedicated =
+        run_dedicated(nodes * cores_per_node, cores_per_node);
+    table.add_row({std::to_string(sync_ranks),
+                   fmt_double(sync.stall.median * 1e3, 2),
+                   fmt_double(dedicated.stall.median * 1e3, 3),
+                   fmt_speedup(sync.stall.median /
+                               std::max(dedicated.stall.median, 1e-9))});
+    pipeline_cost = sync.pipeline_seconds;
+    damaris_stall = std::max(dedicated.stall.median, 1e-6);
+  }
+  table.print(std::cout, "E5a: solver-visible stall per iteration (real threads)");
+  std::printf("the dedicated-core stall is a flat shared-memory hand-off; "
+              "the synchronous stall is the full pipeline + collectives.\n\n");
+
+  report_extrapolation(pipeline_cost, damaris_stall);
+  std::printf("\n");
+  report_skip_policy();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// M2 — codec microbenchmarks: throughput and ratio per codec on the two
+// data classes that matter (smooth simulation fields, incompressible
+// noise).  The spare-time budget of a dedicated core bounds how much
+// compression it can absorb; these numbers feed that estimate.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.hpp"
+#include "compress/codec.hpp"
+
+using namespace dedicore;
+using compress::CodecId;
+
+namespace {
+
+std::vector<std::byte> smooth_field_bytes(std::size_t doubles) {
+  std::vector<double> v(doubles);
+  for (std::size_t i = 0; i < doubles; ++i)
+    v[i] = 300.0 + 3.0 * std::sin(0.01 * static_cast<double>(i));
+  std::vector<std::byte> out(v.size() * sizeof(double));
+  std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+std::vector<std::byte> noise_bytes(std::size_t n) {
+  Rng rng(99);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next_below(256));
+  return out;
+}
+
+void run_compress(benchmark::State& state, CodecId id,
+                  const std::vector<std::byte>& input) {
+  const compress::Codec* codec = compress::find_codec(id);
+  std::size_t packed_size = 0;
+  for (auto _ : state) {
+    auto packed = codec->compress(input);
+    packed_size = packed.size();
+    benchmark::DoNotOptimize(packed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+  state.counters["ratio"] = static_cast<double>(input.size()) /
+                            static_cast<double>(packed_size);
+}
+
+void BM_CompressSmooth(benchmark::State& state) {
+  static const auto input = smooth_field_bytes(256 * 1024);
+  run_compress(state, static_cast<CodecId>(state.range(0)), input);
+}
+BENCHMARK(BM_CompressSmooth)
+    ->Arg(static_cast<int>(CodecId::kRle))
+    ->Arg(static_cast<int>(CodecId::kXorDelta))
+    ->Arg(static_cast<int>(CodecId::kLzs))
+    ->Arg(static_cast<int>(CodecId::kXorLzs));
+
+void BM_CompressNoise(benchmark::State& state) {
+  static const auto input = noise_bytes(1 << 20);
+  run_compress(state, static_cast<CodecId>(state.range(0)), input);
+}
+BENCHMARK(BM_CompressNoise)
+    ->Arg(static_cast<int>(CodecId::kRle))
+    ->Arg(static_cast<int>(CodecId::kXorLzs));
+
+void BM_Decompress(benchmark::State& state) {
+  static const auto input = smooth_field_bytes(256 * 1024);
+  const compress::Codec* codec =
+      compress::find_codec(static_cast<CodecId>(state.range(0)));
+  const auto packed = codec->compress(input);
+  for (auto _ : state) {
+    auto raw = codec->decompress(packed, input.size());
+    benchmark::DoNotOptimize(raw);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(input.size()));
+}
+BENCHMARK(BM_Decompress)
+    ->Arg(static_cast<int>(CodecId::kXorDelta))
+    ->Arg(static_cast<int>(CodecId::kXorLzs));
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// M3 — h5lite microbenchmarks: building and parsing file images of
+// CM1-like multi-block aggregates (the storage plugin's inner loop).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "h5lite/h5lite.hpp"
+
+using namespace dedicore;
+using namespace dedicore::h5lite;
+
+namespace {
+
+std::vector<float> block_values(std::size_t n) {
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = 300.0f + std::sin(0.02f * static_cast<float>(i));
+  return v;
+}
+
+/// Builds the image the store plugin writes: `blocks` datasets per each of
+/// 5 variables.
+std::vector<std::byte> build_aggregate(int blocks, std::uint64_t edge,
+                                       compress::CodecId codec) {
+  const auto values = block_values(edge * edge * edge);
+  const std::uint64_t dims[3] = {edge, edge, edge};
+  FileBuilder builder;
+  for (const char* var : {"theta", "qv", "u", "v", "w"}) {
+    const auto group = builder.create_group(FileBuilder::kRoot, var);
+    for (int b = 0; b < blocks; ++b) {
+      const std::string name = "r" + std::to_string(b) + "_b0";
+      if (codec == compress::CodecId::kNone) {
+        builder.add_dataset(group, name, DType::kFloat32, dims,
+                            std::as_bytes(std::span<const float>(values)));
+      } else {
+        builder.add_dataset_chunked(group, name, DType::kFloat32, dims, dims,
+                                    std::as_bytes(std::span<const float>(values)),
+                                    codec);
+      }
+    }
+  }
+  return std::move(builder).finalize();
+}
+
+void BM_BuildAggregate(benchmark::State& state) {
+  const int blocks = static_cast<int>(state.range(0));
+  std::size_t image_size = 0;
+  for (auto _ : state) {
+    auto image = build_aggregate(blocks, 24, compress::CodecId::kNone);
+    image_size = image.size();
+    benchmark::DoNotOptimize(image);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(image_size));
+}
+BENCHMARK(BM_BuildAggregate)->Arg(1)->Arg(11)->Arg(23);
+
+void BM_BuildAggregateCompressed(benchmark::State& state) {
+  std::size_t image_size = 0;
+  for (auto _ : state) {
+    auto image = build_aggregate(11, 24, compress::CodecId::kXorLzs);
+    image_size = image.size();
+    benchmark::DoNotOptimize(image);
+  }
+  state.counters["image_bytes"] = static_cast<double>(image_size);
+}
+BENCHMARK(BM_BuildAggregateCompressed);
+
+void BM_ParseAggregate(benchmark::State& state) {
+  const auto image = build_aggregate(11, 24, compress::CodecId::kNone);
+  for (auto _ : state) {
+    File file = File::parse(image);
+    benchmark::DoNotOptimize(file.dataset_paths());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(image.size()));
+}
+BENCHMARK(BM_ParseAggregate);
+
+void BM_ReadDataset(benchmark::State& state) {
+  const auto image = build_aggregate(4, 24, compress::CodecId::kXorLzs);
+  const File file = File::parse(image);
+  const Dataset* ds = file.find_dataset("theta/r0_b0");
+  for (auto _ : state) {
+    auto values = ds->read();
+    benchmark::DoNotOptimize(values);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ds->byte_size()));
+}
+BENCHMARK(BM_ReadDataset);
+
+}  // namespace
+
+BENCHMARK_MAIN();

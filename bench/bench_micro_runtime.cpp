@@ -1,0 +1,92 @@
+// M4 — runtime microbenchmarks: minimpi collectives and the DES engine
+// (the two engines under everything else in this repository).
+#include <benchmark/benchmark.h>
+
+#include <functional>
+
+#include "des/engine.hpp"
+#include "fsim/storage_model.hpp"
+#include "minimpi/minimpi.hpp"
+
+using namespace dedicore;
+
+namespace {
+
+void BM_MiniMpiBarrier(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int rounds = 200;
+  for (auto _ : state) {
+    minimpi::run_world(ranks, [&](minimpi::Comm& world) {
+      for (int i = 0; i < rounds; ++i) world.barrier();
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * rounds);
+}
+BENCHMARK(BM_MiniMpiBarrier)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_MiniMpiAllreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const int rounds = 200;
+  for (auto _ : state) {
+    minimpi::run_world(ranks, [&](minimpi::Comm& world) {
+      for (int i = 0; i < rounds; ++i)
+        benchmark::DoNotOptimize(world.allreduce_value(world.rank(), std::plus<int>()));
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * rounds);
+}
+BENCHMARK(BM_MiniMpiAllreduce)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_MiniMpiP2PLatency(benchmark::State& state) {
+  const int rounds = 2000;
+  for (auto _ : state) {
+    minimpi::run_world(2, [&](minimpi::Comm& world) {
+      for (int i = 0; i < rounds; ++i) {
+        if (world.rank() == 0) {
+          world.send_value(i, 1, 1);
+          benchmark::DoNotOptimize(world.recv_value<int>(1, 2));
+        } else {
+          benchmark::DoNotOptimize(world.recv_value<int>(0, 1));
+          world.send_value(i, 0, 2);
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * rounds);
+}
+BENCHMARK(BM_MiniMpiP2PLatency)->Unit(benchmark::kMillisecond);
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    des::Engine engine;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 100000) engine.schedule_in(1.0, tick);
+    };
+    engine.schedule_in(1.0, tick);
+    engine.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_EngineEventThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_SharedLinkChurn(benchmark::State& state) {
+  // The OST inner loop: submissions and completions with many flows.
+  const int flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    fsim::SharedLink link(100e6);
+    for (int i = 0; i < flows; ++i)
+      link.submit(0.0, 1e6 * (1 + i % 7));
+    while (link.active_flows() > 0) {
+      const double t = link.next_completion_time();
+      benchmark::DoNotOptimize(link.complete_at(t));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * flows);
+}
+BENCHMARK(BM_SharedLinkChurn)->Arg(16)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// E1 — "Making simulations scale" (§IV.A).
+//
+// Weak-scaling sweep of the CM1 workload on the Kraken-calibrated model:
+// 576 -> 9216 cores, four I/O strategies.  Paper anchors:
+//   * collective I/O phase reaches ~800 s, ~70 % of the run time at 9216;
+//   * file-per-process is faster but produces unmanageable file counts;
+//   * Damaris scales nearly perfectly and is ~3.5x faster than collective
+//     at 9216 cores.
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "model/replay.hpp"
+
+using namespace dedicore;
+using namespace dedicore::model;
+
+int main() {
+  const fsim::StorageConfig storage = kraken_storage_config();
+  const double alpha = kraken_congestion_alpha();
+
+  WorkloadSpec workload;
+  workload.iterations = 4;
+  workload.compute_seconds = 350.0;
+  workload.bytes_per_core = 43ull << 20;
+
+  std::printf("E1: weak scaling of CM1 on the Kraken-calibrated model "
+              "(%d iterations, %.0f MB/core/iteration, %.0f s compute)\n\n",
+              workload.iterations,
+              static_cast<double>(workload.bytes_per_core) / 1e6,
+              workload.compute_seconds);
+
+  Table table({"cores", "strategy", "run time (s)", "vs compute-only",
+               "I/O share", "files", "visible stall p50 (s)"});
+
+  const Strategy strategies[] = {Strategy::kFilePerProcess,
+                                 Strategy::kCollective, Strategy::kDamaris};
+  double damaris_9216 = 0, collective_9216 = 0, fpp_9216 = 0;
+  std::uint64_t fpp_files_9216 = 0;
+
+  for (int cores : {576, 1152, 2304, 4608, 9216}) {
+    ClusterSpec cluster;
+    cluster.total_cores = cores;
+    cluster.cores_per_node = 12;
+    for (Strategy strategy : strategies) {
+      const ReplayResult r =
+          replay(strategy, cluster, workload, storage, alpha, 42);
+      table.add_row({fmt_count(static_cast<std::uint64_t>(cores)),
+                     std::string(strategy_name(strategy)),
+                     fmt_double(r.app_seconds, 1),
+                     fmt_speedup(r.app_seconds / r.compute_only_seconds),
+                     fmt_percent(r.io_fraction),
+                     fmt_count(r.files_created),
+                     fmt_double(r.visible_io_seconds.summary().median, 3)});
+      if (cores == 9216) {
+        if (strategy == Strategy::kDamaris) damaris_9216 = r.app_seconds;
+        if (strategy == Strategy::kCollective) collective_9216 = r.app_seconds;
+        if (strategy == Strategy::kFilePerProcess) {
+          fpp_9216 = r.app_seconds;
+          fpp_files_9216 = r.files_created;
+        }
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::printf("\nheadline comparison at 9,216 cores:\n");
+  std::printf("  Damaris speedup vs collective I/O: %.2fx   (paper: 3.5x)\n",
+              collective_9216 / damaris_9216);
+  std::printf("  Damaris speedup vs file-per-process: %.2fx\n",
+              fpp_9216 / damaris_9216);
+  std::printf("  file-per-process created %s files for just %d output steps "
+              "(paper: \"simply impossible to post-process\")\n",
+              fmt_count(fpp_files_9216).c_str(), workload.iterations);
+  return 0;
+}

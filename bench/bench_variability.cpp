@@ -1,0 +1,112 @@
+// E2 — "Hiding the I/O variability" (§IV.B).
+//
+// Distribution of the per-process, per-iteration I/O stall for the three
+// approaches, at paper scale (model replay) and at small scale with the
+// real middleware threads (cross-validation).  Paper anchors:
+//   * baselines spread over orders of magnitude between the slowest and
+//     fastest process and between iterations (hundreds of seconds);
+//   * the Damaris-visible write is a shared-memory copy of ~0.1 s that
+//     does not depend on scale.
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+
+#include "common/clock.hpp"
+#include "common/table.hpp"
+#include "core/runtime.hpp"
+#include "fsim/filesystem.hpp"
+#include "minimpi/minimpi.hpp"
+#include "model/replay.hpp"
+#include "sim/cm1_proxy.hpp"
+#include "sim/workload.hpp"
+
+using namespace dedicore;
+using namespace dedicore::model;
+
+namespace {
+
+void add_row(Table& table, const std::string& scale_label,
+             const std::string& strategy, const Summary& s) {
+  table.add_row({scale_label, strategy, fmt_double(s.min, 3),
+                 fmt_double(s.median, 3), fmt_double(s.p99, 3),
+                 fmt_double(s.max, 3),
+                 s.spread() > 0 ? fmt_double(s.spread(), 1) + "x" : "-"});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E2: per-process, per-iteration I/O stall distributions\n\n");
+
+  // --- paper scale via the model ------------------------------------------
+  Table table({"scale", "strategy", "min (s)", "p50 (s)", "p99 (s)", "max (s)",
+               "max/min"});
+  const fsim::StorageConfig storage = kraken_storage_config();
+  WorkloadSpec workload;
+  workload.iterations = 4;
+  workload.bytes_per_core = 43ull << 20;
+
+  for (int cores : {2304, 9216}) {
+    ClusterSpec cluster;
+    cluster.total_cores = cores;
+    cluster.cores_per_node = 12;
+    for (Strategy strategy : {Strategy::kFilePerProcess, Strategy::kCollective,
+                              Strategy::kDamaris}) {
+      const ReplayResult r = replay(strategy, cluster, workload, storage,
+                                    kraken_congestion_alpha(), 7);
+      add_row(table, fmt_count(static_cast<std::uint64_t>(cores)),
+              std::string(strategy_name(strategy)),
+              r.visible_io_seconds.summary());
+    }
+  }
+  table.print(std::cout, "model replay (Kraken-calibrated)");
+
+  std::printf("\npaper anchor: Damaris write '\"'cut down to the time "
+              "required to write in shared memory, in the order of 0.1 "
+              "seconds', independent of scale; baseline spread spans orders "
+              "of magnitude.\n\n");
+
+  // --- small-scale cross-check with real threads ---------------------------
+  sim::Cm1WorkloadOptions options;
+  options.nx = options.ny = options.nz = 16;
+  options.cores_per_node = 4;
+  const core::Configuration cfg = sim::make_cm1_configuration(options);
+
+  fsim::StorageConfig jittery;
+  jittery.ost_count = 4;
+  jittery.ost_bandwidth = 150e6;
+  jittery.jitter_sigma = 0.4;
+  jittery.spike_probability = 0.05;
+  fsim::TimeScale ts;
+  ts.real_per_sim = 1e-3;
+  fsim::FileSystem fs(jittery, ts);
+
+  std::mutex mutex;
+  SampleSet stalls;
+  minimpi::run_world(8, [&](minimpi::Comm& world) {
+    core::Runtime rt = core::Runtime::initialize(cfg, world, fs);
+    if (rt.is_server()) {
+      rt.run_server();
+      return;
+    }
+    sim::Cm1Proxy proxy(sim::make_cm1_proxy_config(
+        options, rt.client_comm().rank(), rt.client_comm().size()));
+    for (int it = 0; it < 5; ++it) {
+      proxy.step();
+      Stopwatch stall;
+      for (const auto& [name, bytes] : proxy.field_bytes())
+        rt.client().write(name, bytes);
+      rt.client().end_iteration();
+      std::lock_guard<std::mutex> lock(mutex);
+      stalls.add(stall.elapsed_seconds());
+    }
+    rt.finalize();
+  });
+
+  const Summary s = stalls.summary();
+  std::printf("real-thread middleware (8 ranks, 2 nodes): visible stall "
+              "median %.1f us, p99 %.1f us — a flat memcpy while the "
+              "jittery storage runs behind the dedicated cores.\n",
+              s.median * 1e6, s.p99 * 1e6);
+  return 0;
+}

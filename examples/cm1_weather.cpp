@@ -1,0 +1,119 @@
+// CM1-like atmospheric simulation writing through dedicated cores.
+//
+// Mirrors the paper's main evaluation workload: a weak-scaled
+// thermal-bubble simulation (theta, qv, u, v, w) whose every-iteration
+// output is handled asynchronously by one dedicated core per node, with
+// per-variable statistics computed in situ on the spare core time.
+//
+// Usage: ./examples/cm1_weather [nodes] [cores_per_node] [iterations] [grid]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+#include "common/clock.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/builtin_plugins.hpp"
+#include "core/runtime.hpp"
+#include "fsim/filesystem.hpp"
+#include "minimpi/minimpi.hpp"
+#include "sim/cm1_proxy.hpp"
+#include "sim/workload.hpp"
+
+using namespace dedicore;
+
+int main(int argc, char** argv) {
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 2;
+  const int cores_per_node = argc > 2 ? std::atoi(argv[2]) : 4;
+  const int iterations = argc > 3 ? std::atoi(argv[3]) : 4;
+  const std::uint64_t grid = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 16;
+
+  sim::Cm1WorkloadOptions options;
+  options.nx = options.ny = options.nz = grid;
+  options.cores_per_node = cores_per_node;
+  options.dedicated_cores = 1;
+  options.buffer_size = 128ull << 20;
+  core::Configuration config = sim::make_cm1_configuration(options);
+
+  // Wire the in-situ statistics plugin next to the storage plugin.
+  core::ActionSpec stats_action;
+  stats_action.event = "end_iteration";
+  stats_action.plugin = "stats";
+  config.add_action(stats_action);
+  config.validate();
+
+  fsim::StorageConfig storage;
+  storage.ost_count = 8;
+  storage.ost_bandwidth = 300e6;
+  fsim::TimeScale scale;
+  scale.real_per_sim = 1e-3;
+  fsim::FileSystem fs(storage, scale);
+
+  const int world_size = nodes * cores_per_node;
+  const int clients = nodes * (cores_per_node - 1);
+  std::printf("CM1 proxy: %d nodes x %d cores (%d compute + %d dedicated), "
+              "%llu^3 per core, %d iterations\n",
+              nodes, cores_per_node, clients, nodes,
+              static_cast<unsigned long long>(grid), iterations);
+
+  std::mutex mutex;
+  SampleSet write_stalls;
+  double idle_sum = 0.0;
+  int servers = 0;
+  core::StatsPlugin::Entry last_stats;
+
+  Stopwatch wall;
+  minimpi::run_world(world_size, [&](minimpi::Comm& world) {
+    core::Runtime rt = core::Runtime::initialize(config, world, fs);
+    if (rt.is_server()) {
+      rt.run_server();
+      std::lock_guard<std::mutex> lock(mutex);
+      idle_sum += rt.server_stats().idle_fraction();
+      ++servers;
+      if (auto* plugin = dynamic_cast<core::StatsPlugin*>(
+              rt.server().find_plugin("end_iteration", "stats"))) {
+        if (!plugin->latest().per_variable.empty()) last_stats = plugin->latest();
+      }
+      return;
+    }
+
+    minimpi::Comm& sim_comm = rt.client_comm();
+    sim::Cm1Proxy proxy(
+        sim::make_cm1_proxy_config(options, sim_comm.rank(), sim_comm.size()));
+    for (int it = 0; it < iterations; ++it) {
+      proxy.step();  // real advection-diffusion physics
+
+      Stopwatch stall;
+      const auto offset = proxy.global_offset();
+      for (const auto& [name, bytes] : proxy.field_bytes())
+        rt.client().write(name, bytes, offset);
+      rt.client().end_iteration();
+      const double visible = stall.elapsed_seconds();
+
+      std::lock_guard<std::mutex> lock(mutex);
+      write_stalls.add(visible);
+    }
+    rt.finalize();
+  });
+  const double elapsed = wall.elapsed_seconds();
+
+  const Summary stalls = write_stalls.summary();
+  std::printf("\nrun time %.2fs; client-visible write stall per iteration: "
+              "median %.1fus, p99 %.1fus (storage writes ran hidden)\n",
+              elapsed, stalls.median * 1e6, stalls.p99 * 1e6);
+  std::printf("dedicated cores idle on average: %.1f%%\n",
+              servers > 0 ? idle_sum / servers * 100.0 : 0.0);
+
+  Table table({"variable", "min", "mean", "max"});
+  for (const auto& [name, s] : last_stats.per_variable)
+    table.add_row({name, fmt_double(s.min, 3), fmt_double(s.mean, 3),
+                   fmt_double(s.max, 3)});
+  table.print(std::cout, "in-situ statistics (iteration " +
+                             std::to_string(last_stats.iteration) + ")");
+
+  std::printf("\n%zu aggregated files on the parallel filesystem (vs %d the "
+              "file-per-process approach would create)\n",
+              fs.file_count(), clients * iterations);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Nek5000-like solver with SYNCHRONOUS in-situ visualization — the
+// VisIt-style integration the paper compares against (§V.C).
+//
+// Everything the dedicated core does for free in nek5000_insitu.cpp is
+// done here inside the simulation loop, by the simulation cores, stalling
+// the solver: build the grid view, pick the isovalue, extract the
+// isosurface, configure the renderer, rasterize, encode, open the file,
+// write it, close it — and coordinate all of that across ranks.  The
+// `// vislite-api` markers tag each line of visualization plumbing that
+// the simulation's author has to write and maintain; bench_usability
+// counts them against the `// damaris-api` markers of the Damaris version.
+//
+// Usage: ./examples/nek5000_vislite_direct [ranks] [iterations]
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+#include "common/clock.hpp"
+#include "common/stats.hpp"
+#include "fsim/filesystem.hpp"
+#include "minimpi/minimpi.hpp"
+#include "sim/nek_proxy.hpp"
+#include "viz/vislite.hpp"
+
+using namespace dedicore;
+
+int main(int argc, char** argv) {
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 6;
+  const int iterations = argc > 2 ? std::atoi(argv[2]) : 4;
+
+  fsim::StorageConfig storage;
+  storage.ost_count = 8;
+  fsim::TimeScale scale;
+  scale.real_per_sim = 1e-3;
+  fsim::FileSystem fs(storage, scale);
+
+  std::printf("Nek5000 proxy + SYNCHRONOUS VisLite: %d ranks, %d iterations\n",
+              ranks, iterations);
+
+  std::mutex mutex;
+  SampleSet iteration_times;
+  std::uint64_t total_triangles = 0;
+
+  minimpi::run_world(ranks, [&](minimpi::Comm& world) {
+    sim::NekConfig nek;
+    nek.nx = nek.ny = nek.nz = 16;
+    nek.rank = world.rank();
+    nek.world_size = world.size();
+    sim::NekProxy proxy(nek);
+
+    for (int it = 0; it < iterations; ++it) {
+      Stopwatch step_time;
+      proxy.step();
+
+      // ---- synchronous visualization: the solver stalls through all of
+      // this, every rank, every iteration ----------------------------------
+      const auto field = proxy.velocity_magnitude();                   // vislite-api
+      viz::GridView grid{field, 16, 16, 16};                           // vislite-api
+      grid.validate();                                                 // vislite-api
+      const viz::FieldStatistics stats =                               // vislite-api
+          viz::compute_statistics(field);                              // vislite-api
+      // Agree on one global isovalue, which costs a collective.       // vislite-api
+      const double local_sum = stats.mean * static_cast<double>(stats.count);  // vislite-api
+      const double global_sum =                                        // vislite-api
+          world.allreduce_value(local_sum, std::plus<double>());       // vislite-api
+      const auto global_count = world.allreduce_value(                 // vislite-api
+          static_cast<std::uint64_t>(stats.count), std::plus<std::uint64_t>());  // vislite-api
+      const double isovalue = global_sum / static_cast<double>(global_count);   // vislite-api
+      const auto triangles = viz::extract_isosurface(grid, isovalue);  // vislite-api
+      viz::RenderOptions options;                                      // vislite-api
+      options.width = 96;                                              // vislite-api
+      options.height = 96;                                             // vislite-api
+      options.view_axis = viz::Axis::kZ;                               // vislite-api
+      const viz::Vec3 extent{15, 15, 15};                              // vislite-api
+      const viz::Image image =                                         // vislite-api
+          viz::render_triangles(triangles, extent, options);           // vislite-api
+      const auto ppm = image.encode_ppm();                             // vislite-api
+      const std::string path = "viz_direct/r" +                        // vislite-api
+                               std::to_string(world.rank()) + "_it" +  // vislite-api
+                               std::to_string(it) + ".ppm";            // vislite-api
+      const fsim::FileHandle file = fs.create(path);                   // vislite-api
+      fs.write(file, ppm);                                             // vislite-api
+      fs.close(file);                                                  // vislite-api
+      world.barrier();  // keep ranks in lockstep like VisIt's update   // vislite-api
+      // ---------------------------------------------------------------------
+
+      std::lock_guard<std::mutex> lock(mutex);
+      iteration_times.add(step_time.elapsed_seconds());
+      total_triangles += triangles.size();
+    }
+  });
+
+  const Summary times = iteration_times.summary();
+  std::printf("\nsimulation iteration time: median %.2fms (p99 %.2fms) — "
+              "includes the visualization stall\n",
+              times.median * 1e3, times.p99 * 1e3);
+  std::printf("rendered %llu triangles; %zu images under viz_direct/\n",
+              static_cast<unsigned long long>(total_triangles),
+              fs.file_count());
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Variability lab: watch I/O jitter hit the baselines and miss Damaris.
+//
+// Small real-thread experiment (§IV.B): the same CM1-shaped output is
+// written with file-per-process, collective two-phase, and dedicated-core
+// I/O against a filesystem with heavy-tailed jitter and background
+// interference.  The table reports the per-rank, per-iteration stall
+// distribution; baselines spread over orders of magnitude while the
+// Damaris stall is a flat shared-memory copy.
+//
+// Usage: ./examples/variability_lab [ranks] [iterations]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+#include "common/clock.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/baseline_io.hpp"
+#include "core/runtime.hpp"
+#include "fsim/filesystem.hpp"
+#include "minimpi/minimpi.hpp"
+#include "sim/cm1_proxy.hpp"
+#include "sim/workload.hpp"
+
+using namespace dedicore;
+
+namespace {
+
+fsim::StorageConfig jittery_storage() {
+  fsim::StorageConfig cfg;
+  cfg.ost_count = 4;
+  cfg.ost_bandwidth = 150e6;
+  cfg.mds_op_cost = 4e-3;
+  cfg.jitter_sigma = 0.4;       // heavy-tailed per-op slowdowns
+  cfg.spike_probability = 0.05;
+  cfg.spike_max = 40.0;
+  cfg.interference_on_rate = 0.3;   // other jobs hammer the OSTs
+  cfg.interference_off_rate = 0.6;
+  cfg.interference_share = 0.5;
+  return cfg;
+}
+
+fsim::TimeScale fast_scale() {
+  fsim::TimeScale ts;
+  ts.real_per_sim = 1e-3;
+  ts.quantum_sim = 0.01;
+  return ts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int ranks = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int iterations = argc > 2 ? std::atoi(argv[2]) : 5;
+
+  sim::Cm1WorkloadOptions options;
+  options.nx = options.ny = options.nz = 16;
+  options.cores_per_node = 4;
+  core::Configuration damaris_cfg = sim::make_cm1_configuration(options);
+  core::Configuration baseline_cfg = damaris_cfg;
+  baseline_cfg.set_architecture(4, 0);  // baselines compute on all cores
+  baseline_cfg.validate();
+
+  std::printf("%d ranks, %d iterations, CM1-shaped output, jittery storage\n",
+              ranks, iterations);
+
+  std::mutex mutex;
+  SampleSet fpp_stalls, collective_stalls, damaris_stalls;
+
+  auto data_of = [](const sim::Cm1Proxy& proxy) {
+    core::IterationData data;
+    for (const auto& [name, bytes] : proxy.field_bytes()) data.emplace(name, bytes);
+    return data;
+  };
+
+  {  // file-per-process
+    fsim::FileSystem fs(jittery_storage(), fast_scale());
+    core::FilePerProcessWriter writer(fs, baseline_cfg);
+    minimpi::run_world(ranks, [&](minimpi::Comm& world) {
+      sim::Cm1Proxy proxy(sim::make_cm1_proxy_config(options, world.rank(), ranks));
+      for (int it = 0; it < iterations; ++it) {
+        proxy.step();
+        const double stall =
+            writer.write_iteration(world.rank(), it, data_of(proxy));
+        std::lock_guard<std::mutex> lock(mutex);
+        fpp_stalls.add(stall);
+      }
+    });
+  }
+
+  {  // collective two-phase
+    fsim::FileSystem fs(jittery_storage(), fast_scale());
+    core::CollectiveWriter writer(fs, baseline_cfg, /*aggregator_group=*/4);
+    minimpi::run_world(ranks, [&](minimpi::Comm& world) {
+      sim::Cm1Proxy proxy(sim::make_cm1_proxy_config(options, world.rank(), ranks));
+      for (int it = 0; it < iterations; ++it) {
+        proxy.step();
+        const double stall = writer.write_iteration(world, it, data_of(proxy));
+        std::lock_guard<std::mutex> lock(mutex);
+        collective_stalls.add(stall);
+      }
+    });
+  }
+
+  {  // dedicated cores
+    fsim::FileSystem fs(jittery_storage(), fast_scale());
+    minimpi::run_world(ranks, [&](minimpi::Comm& world) {
+      core::Runtime rt = core::Runtime::initialize(damaris_cfg, world, fs);
+      if (rt.is_server()) {
+        rt.run_server();
+        return;
+      }
+      sim::Cm1Proxy proxy(sim::make_cm1_proxy_config(
+          options, rt.client_comm().rank(), rt.client_comm().size()));
+      for (int it = 0; it < iterations; ++it) {
+        proxy.step();
+        Stopwatch stall;
+        for (const auto& [name, bytes] : proxy.field_bytes())
+          rt.client().write(name, bytes);
+        rt.client().end_iteration();
+        const double visible = stall.elapsed_seconds();
+        std::lock_guard<std::mutex> lock(mutex);
+        damaris_stalls.add(visible);
+      }
+      rt.finalize();
+    });
+  }
+
+  Table table({"approach", "min (ms)", "median (ms)", "p99 (ms)", "max (ms)",
+               "max/min"});
+  auto add = [&](const std::string& name, const SampleSet& samples) {
+    const Summary s = samples.summary();
+    table.add_row({name, fmt_double(s.min * 1e3, 2), fmt_double(s.median * 1e3, 2),
+                   fmt_double(s.p99 * 1e3, 2), fmt_double(s.max * 1e3, 2),
+                   fmt_double(s.spread(), 1) + "x"});
+  };
+  add("file-per-process", fpp_stalls);
+  add("collective", collective_stalls);
+  add("damaris (dedicated)", damaris_stalls);
+  table.print(std::cout, "per-rank per-iteration I/O stall");
+
+  std::printf("\nBaselines inherit the storage system's jitter; the "
+              "dedicated-core stall is a constant-time memcpy (§IV.B).\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "common/bytes.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace dedicore {
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                  static_cast<double>(bytes) / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB",
+                  static_cast<double>(bytes) / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB",
+                  static_cast<double>(bytes) / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_throughput_gbps(double bytes_per_second) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f GB/s", bytes_per_second / 1e9);
+  return buf;
+}
+
+std::uint64_t parse_bytes(std::string_view text) {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  };
+  skip_ws();
+  std::size_t start = i;
+  bool seen_dot = false;
+  while (i < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[i])) ||
+          (text[i] == '.' && !seen_dot))) {
+    if (text[i] == '.') seen_dot = true;
+    ++i;
+  }
+  if (i == start) throw ConfigError("parse_bytes: no number in '" + std::string(text) + "'");
+  const double value = std::stod(std::string(text.substr(start, i - start)));
+  skip_ws();
+  std::string unit;
+  while (i < text.size() && std::isalpha(static_cast<unsigned char>(text[i]))) {
+    unit += static_cast<char>(std::tolower(static_cast<unsigned char>(text[i])));
+    ++i;
+  }
+  skip_ws();
+  if (i != text.size())
+    throw ConfigError("parse_bytes: trailing characters in '" + std::string(text) + "'");
+
+  double multiplier = 1.0;
+  if (unit.empty() || unit == "b") {
+    multiplier = 1.0;
+  } else if (unit == "k" || unit == "kb") {
+    multiplier = 1e3;
+  } else if (unit == "m" || unit == "mb") {
+    multiplier = 1e6;
+  } else if (unit == "g" || unit == "gb") {
+    multiplier = 1e9;
+  } else if (unit == "kib") {
+    multiplier = static_cast<double>(kKiB);
+  } else if (unit == "mib") {
+    multiplier = static_cast<double>(kMiB);
+  } else if (unit == "gib") {
+    multiplier = static_cast<double>(kGiB);
+  } else {
+    throw ConfigError("parse_bytes: unknown unit '" + unit + "'");
+  }
+  const double bytes = value * multiplier;
+  if (bytes < 0.0 || bytes > 9.2e18)
+    throw ConfigError("parse_bytes: value out of range");
+  return static_cast<std::uint64_t>(std::llround(bytes));
+}
+
+}  // namespace dedicore

@@ -1,0 +1,26 @@
+// Byte-size formatting/parsing helpers ("12.5 MiB", "10 GB/s") used in
+// configuration files and bench output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dedicore {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+/// "1.50 MiB" style rendering (binary units).
+std::string format_bytes(std::uint64_t bytes);
+
+/// Throughput rendering in decimal GB/s to match the paper's units.
+std::string format_throughput_gbps(double bytes_per_second);
+
+/// Parses "64MB", "1.5 GiB", "4096", "2k".  Accepts decimal (kB/MB/GB) and
+/// binary (KiB/MiB/GiB) suffixes, case-insensitive, optional whitespace.
+/// Throws ConfigError on malformed input.
+std::uint64_t parse_bytes(std::string_view text);
+
+}  // namespace dedicore

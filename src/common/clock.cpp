@@ -1,0 +1,18 @@
+#include "common/clock.hpp"
+
+namespace dedicore {
+
+void spin_seconds(double seconds) {
+  if (seconds <= 0.0) return;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::duration<double>(seconds));
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Relax the pipeline; on x86 this lowers power and SMT contention.
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+}  // namespace dedicore

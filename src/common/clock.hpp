@@ -1,0 +1,45 @@
+// Wall-clock helpers for the real-thread runtime.  The DES engine has its
+// own virtual clock (src/des); this header is only about measuring and
+// pacing real executions.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace dedicore {
+
+/// Monotonic stopwatch returning seconds as double.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Sleep for a duration expressed in seconds (sub-millisecond supported).
+inline void sleep_seconds(double seconds) {
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+/// Busy-spin for very short waits where sleep granularity is too coarse;
+/// used by the calibrated-cost compute kernel at sub-100us scales.
+void spin_seconds(double seconds);
+
+}  // namespace dedicore

@@ -1,0 +1,53 @@
+// Minimal thread-safe leveled logger.
+//
+// Benchmarks and the Damaris server use it for progress/diagnostic lines;
+// default level is kWarn so test and bench output stays clean.  The logger
+// is process-global: simulated MPI "ranks" are threads of one process and
+// share it, which mirrors one log file per node on a real machine.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace dedicore {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError };
+
+namespace log_detail {
+void emit(LogLevel level, std::string_view message);
+}  // namespace log_detail
+
+/// Global threshold; messages below it are discarded before formatting.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// True when a message at `level` would be emitted.
+bool log_enabled(LogLevel level) noexcept;
+
+/// Stream-style logging: DEDICORE_LOG(kInfo) << "wrote " << n << " bytes";
+#define DEDICORE_LOG(level_name)                                     \
+  for (bool dedicore_log_once =                                      \
+           ::dedicore::log_enabled(::dedicore::LogLevel::level_name); \
+       dedicore_log_once; dedicore_log_once = false)                 \
+  ::dedicore::LogLine(::dedicore::LogLevel::level_name)
+
+/// One formatted log line; flushed on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_detail::emit(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace dedicore

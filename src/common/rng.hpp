@@ -1,0 +1,60 @@
+// Deterministic random number generation and the distributions used by the
+// storage / variability models.
+//
+// All stochastic behaviour in the repo (filesystem jitter, interference
+// arrivals, workload perturbation) flows through `Rng` seeded explicitly,
+// so every experiment is reproducible bit-for-bit from its seed.  The
+// generator is xoshiro256++, which is fast, has a 2^256-1 period, and is
+// trivially splittable for per-rank streams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dedicore {
+
+/// xoshiro256++ PRNG (Blackman & Vigna).  Not a cryptographic generator.
+class Rng {
+ public:
+  /// Seeds via splitmix64 so that nearby seeds give unrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1).
+  double next_double() noexcept;
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t next_below(std::uint64_t n) noexcept;
+
+  /// Standard normal via Box–Muller (one value per call, no caching so the
+  /// stream position is predictable).
+  double normal() noexcept;
+  double normal(double mean, double stddev) noexcept;
+
+  /// Log-normal: exp(N(mu, sigma)).  Used for I/O-time jitter — heavy right
+  /// tail matching the "orders of magnitude" spread reported in the paper.
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Exponential with the given rate (events per unit time); interference
+  /// arrival process.
+  double exponential(double rate) noexcept;
+
+  /// Bounded Pareto on [lo, hi] with tail index alpha; burst sizes.
+  double bounded_pareto(double lo, double hi, double alpha) noexcept;
+
+  /// Bernoulli trial.
+  bool chance(double probability) noexcept;
+
+  /// Derive an unrelated child stream (per-rank / per-OST streams).
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace dedicore

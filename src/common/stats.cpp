@@ -1,0 +1,152 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/status.hpp"
+
+namespace dedicore {
+
+void OnlineStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel combination of moments.
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(count_);
+  const auto n2 = static_cast<double>(other.count_);
+  const double n = n1 + n2;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  mean_ += delta * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Summary::spread() const noexcept {
+  if (min <= 0.0) return 0.0;
+  return max / min;
+}
+
+std::string Summary::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu min=%.6g p50=%.6g p99=%.6g max=%.6g mean=%.6g sd=%.6g",
+                count, min, median, p99, max, mean, stddev);
+  return buf;
+}
+
+void SampleSet::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+}
+
+void SampleSet::merge(const SampleSet& other) { add_all(other.samples_); }
+
+namespace {
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  DEDICORE_CHECK(!sorted.empty(), "percentile of empty sample set");
+  DEDICORE_CHECK(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+}  // namespace
+
+double SampleSet::percentile(double q) const {
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, q);
+}
+
+Summary SampleSet::summary() const {
+  Summary s;
+  if (samples_.empty()) return s;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  OnlineStats moments;
+  for (double x : sorted) moments.add(x);
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.p25 = percentile_sorted(sorted, 0.25);
+  s.median = percentile_sorted(sorted, 0.50);
+  s.p75 = percentile_sorted(sorted, 0.75);
+  s.p90 = percentile_sorted(sorted, 0.90);
+  s.p99 = percentile_sorted(sorted, 0.99);
+  s.max = sorted.back();
+  s.mean = moments.mean();
+  s.stddev = moments.stddev();
+  return s;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  DEDICORE_CHECK(hi > lo && bins > 0, "Histogram requires hi > lo, bins > 0");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / bin_width_);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge
+    ++counts_[idx];
+  }
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  DEDICORE_CHECK(i < counts_.size(), "Histogram bin index out of range");
+  return lo_ + bin_width_ * static_cast<double>(i);
+}
+
+std::string Histogram::to_string(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar_len = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    std::snprintf(line, sizeof(line), "[%10.4g,%10.4g) %8llu ",
+                  bin_low(i), bin_low(i) + bin_width_,
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar_len, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dedicore

@@ -1,0 +1,105 @@
+// Statistics collectors used by the benchmark harnesses: streaming
+// mean/variance (Welford), min/max, and percentile summaries of retained
+// samples.  The variability experiment (E2) reports min / median / p99 /
+// max write times per strategy, which is what `SampleSet::summary()`
+// produces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dedicore {
+
+/// Streaming moments without retaining samples.  O(1) space.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when fewer than two samples).
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merge another collector (parallel reduction of per-rank stats).
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Five-number-plus summary of a sample set.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+
+  /// max/min ratio — the paper's "orders of magnitude between the slowest
+  /// and the fastest process" metric.  Returns 0 when min == 0.
+  [[nodiscard]] double spread() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Retains samples and computes exact percentiles on demand.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  void add_all(const std::vector<double>& xs);
+  void merge(const SampleSet& other);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+
+  /// Linear-interpolated percentile, q in [0,1].  Sorts a copy; call
+  /// summary() instead when several quantiles are needed.
+  [[nodiscard]] double percentile(double q) const;
+
+  [[nodiscard]] Summary summary() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Fixed-bin linear histogram for jitter distribution plots.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bin_low(std::size_t i) const;
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// ASCII rendering (one line per bin), for bench output.
+  [[nodiscard]] std::string to_string(std::size_t width = 40) const;
+
+ private:
+  double lo_, hi_, bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace dedicore

@@ -1,0 +1,42 @@
+#include "common/status.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dedicore {
+
+std::string_view status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kOutOfMemory: return "OUT_OF_MEMORY";
+    case StatusCode::kWouldBlock: return "WOULD_BLOCK";
+    case StatusCode::kClosed: return "CLOSED";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kAborted: return "ABORTED";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out(status_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+void fatal(std::string_view message) {
+  std::fprintf(stderr, "[dedicore FATAL] %.*s\n",
+               static_cast<int>(message.size()), message.data());
+  std::abort();
+}
+
+}  // namespace dedicore

@@ -1,0 +1,90 @@
+// Lightweight status / error-code type used across the library.
+//
+// Runtime data paths (shared-memory allocation, queue operations, storage
+// calls) report failures through `Status` rather than exceptions so that
+// callers on hot paths can branch cheaply; configuration parsing and other
+// setup-time code throws `ConfigError` (see xml/ and core/configuration).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace dedicore {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed
+  kNotFound,          ///< named entity (variable, file, plugin) missing
+  kAlreadyExists,     ///< unique entity created twice
+  kOutOfMemory,       ///< bounded segment / queue capacity exhausted
+  kWouldBlock,        ///< nonblocking op could not proceed
+  kClosed,            ///< endpoint shut down
+  kIoError,           ///< storage backend failure
+  kFailedPrecondition,///< object not in the required state
+  kAborted,           ///< operation cancelled (e.g. skip-iteration policy)
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name of a code ("OK", "OUT_OF_MEMORY", ...).
+std::string_view status_code_name(StatusCode code) noexcept;
+
+/// Result of an operation: a code plus an optional context message.
+///
+/// `Status::ok()` is cheap to construct and copy (empty message). The class
+/// is deliberately tiny — no payload; functions that produce a value use
+/// output parameters or return std::optional alongside a Status.
+class Status {
+ public:
+  Status() noexcept : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return Status(); }
+  static Status invalid_argument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status not_found(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status already_exists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status out_of_memory(std::string m) { return {StatusCode::kOutOfMemory, std::move(m)}; }
+  static Status would_block(std::string m) { return {StatusCode::kWouldBlock, std::move(m)}; }
+  static Status closed(std::string m) { return {StatusCode::kClosed, std::move(m)}; }
+  static Status io_error(std::string m) { return {StatusCode::kIoError, std::move(m)}; }
+  static Status failed_precondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  static Status aborted(std::string m) { return {StatusCode::kAborted, std::move(m)}; }
+  static Status unimplemented(std::string m) { return {StatusCode::kUnimplemented, std::move(m)}; }
+  static Status internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "OUT_OF_MEMORY: segment full (need 4096 bytes)" or "OK".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Thrown for unrecoverable misuse detected at setup time (bad XML
+/// configuration, mismatched layouts, double initialization).
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Abort-with-message used for internal invariant violations.  Unlike
+/// assert() it is active in all build types: a broken invariant in a
+/// concurrency substrate must never be silently ignored.
+[[noreturn]] void fatal(std::string_view message);
+
+#define DEDICORE_CHECK(cond, msg)                 \
+  do {                                            \
+    if (!(cond)) ::dedicore::fatal(msg);          \
+  } while (0)
+
+}  // namespace dedicore

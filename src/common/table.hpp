@@ -1,0 +1,50 @@
+// Console table / CSV emitter used by every bench binary.
+//
+// Each experiment harness prints the same rows the paper reports; keeping
+// formatting here means every bench emits both a human-readable aligned
+// table and (optionally) machine-readable CSV with one call.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dedicore {
+
+/// Column-aligned text table.  Cells are strings; helpers format numbers.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Render with padded columns and a separator under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Print to stream with an optional title banner.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double ("12.35"); trims to %g when precision < 0.
+std::string fmt_double(double v, int precision = 2);
+/// Integer with thousands separators ("9,216").
+std::string fmt_count(std::uint64_t v);
+/// "1.50x" style speedup cell.
+std::string fmt_speedup(double v);
+/// Percentage cell: fmt_percent(0.9234) == "92.3%".
+std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace dedicore

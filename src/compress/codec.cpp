@@ -1,0 +1,361 @@
+#include "compress/codec.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/status.hpp"
+
+namespace dedicore::compress {
+
+namespace {
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t get_u32(std::span<const std::byte> in, std::size_t at) {
+  if (at + 4 > in.size()) throw ConfigError("codec: truncated u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(in[at + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  return v;
+}
+
+void put_varint(std::vector<std::byte>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+std::uint64_t get_varint(std::span<const std::byte> in, std::size_t& at) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (at >= in.size()) throw ConfigError("codec: truncated varint");
+    const auto b = std::to_integer<std::uint8_t>(in[at++]);
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63) throw ConfigError("codec: varint overflow");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RLE: [count varint][byte] pairs for runs >= 4 or literal runs
+// Format: sequence of tokens. Token = control varint C.
+//   C even  -> literal run of C/2 bytes follows.
+//   C odd   -> run of (C-1)/2 copies of the next single byte.
+// ---------------------------------------------------------------------------
+
+class RleCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "rle"; }
+
+  [[nodiscard]] std::vector<std::byte> compress(
+      std::span<const std::byte> in) const override {
+    std::vector<std::byte> out;
+    out.reserve(in.size() / 2 + 16);
+    std::size_t i = 0;
+    std::size_t literal_start = 0;
+    auto flush_literals = [&](std::size_t end) {
+      while (literal_start < end) {
+        const std::size_t n = end - literal_start;
+        put_varint(out, static_cast<std::uint64_t>(n) * 2);
+        out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(literal_start),
+                   in.begin() + static_cast<std::ptrdiff_t>(literal_start + n));
+        literal_start += n;
+      }
+    };
+    while (i < in.size()) {
+      std::size_t run = 1;
+      while (i + run < in.size() && in[i + run] == in[i]) ++run;
+      if (run >= 4) {
+        flush_literals(i);
+        put_varint(out, static_cast<std::uint64_t>(run) * 2 + 1);
+        out.push_back(in[i]);
+        i += run;
+        literal_start = i;
+      } else {
+        i += run;
+      }
+    }
+    flush_literals(in.size());
+    return out;
+  }
+
+  [[nodiscard]] std::vector<std::byte> decompress(
+      std::span<const std::byte> in, std::size_t raw_size) const override {
+    std::vector<std::byte> out;
+    out.reserve(raw_size);
+    std::size_t at = 0;
+    while (at < in.size()) {
+      const std::uint64_t control = get_varint(in, at);
+      if (control % 2 == 0) {
+        const auto n = static_cast<std::size_t>(control / 2);
+        if (at + n > in.size()) throw ConfigError("rle: truncated literal run");
+        out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(at),
+                   in.begin() + static_cast<std::ptrdiff_t>(at + n));
+        at += n;
+      } else {
+        const auto n = static_cast<std::size_t>((control - 1) / 2);
+        if (at >= in.size()) throw ConfigError("rle: truncated run byte");
+        out.insert(out.end(), n, in[at]);
+        ++at;
+      }
+      if (out.size() > raw_size) throw ConfigError("rle: output exceeds raw size");
+    }
+    if (out.size() != raw_size) throw ConfigError("rle: output size mismatch");
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// XOR-delta: XOR each 8-byte word with its predecessor, then RLE the result
+// (smooth float fields produce long zero runs in the XORed stream).
+// ---------------------------------------------------------------------------
+
+class XorDeltaCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "xor"; }
+
+  static std::vector<std::byte> transform(std::span<const std::byte> in) {
+    std::vector<std::byte> out(in.size());
+    std::uint64_t prev = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= in.size(); i += 8) {
+      std::uint64_t word = 0;
+      std::memcpy(&word, in.data() + i, 8);
+      const std::uint64_t x = word ^ prev;
+      std::memcpy(out.data() + i, &x, 8);
+      prev = word;
+    }
+    for (; i < in.size(); ++i) out[i] = in[i];  // trailing bytes unchanged
+    return out;
+  }
+
+  static std::vector<std::byte> untransform(std::span<const std::byte> in) {
+    std::vector<std::byte> out(in.size());
+    std::uint64_t prev = 0;
+    std::size_t i = 0;
+    for (; i + 8 <= in.size(); i += 8) {
+      std::uint64_t x = 0;
+      std::memcpy(&x, in.data() + i, 8);
+      const std::uint64_t word = x ^ prev;
+      std::memcpy(out.data() + i, &word, 8);
+      prev = word;
+    }
+    for (; i < in.size(); ++i) out[i] = in[i];
+    return out;
+  }
+
+  [[nodiscard]] std::vector<std::byte> compress(
+      std::span<const std::byte> in) const override {
+    return rle_.compress(transform(in));
+  }
+
+  [[nodiscard]] std::vector<std::byte> decompress(
+      std::span<const std::byte> payload, std::size_t raw_size) const override {
+    return untransform(rle_.decompress(payload, raw_size));
+  }
+
+ private:
+  RleCodec rle_;
+};
+
+// ---------------------------------------------------------------------------
+// LZS: greedy LZ77 with a hash table of 3-byte prefixes, 64 KiB window.
+// Token stream: control varint C.
+//   C even -> literal run of C/2 bytes.
+//   C odd  -> match: length = (C-1)/2 (>= 4), followed by varint distance.
+// ---------------------------------------------------------------------------
+
+class LzsCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "lzs"; }
+
+  static constexpr std::size_t kWindow = 64 * 1024;
+  static constexpr std::size_t kMinMatch = 4;
+  static constexpr std::size_t kMaxMatch = 1 << 16;
+  static constexpr std::size_t kHashBits = 15;
+
+  [[nodiscard]] std::vector<std::byte> compress(
+      std::span<const std::byte> in) const override {
+    std::vector<std::byte> out;
+    out.reserve(in.size() / 2 + 16);
+    std::vector<std::uint32_t> head(1u << kHashBits, 0xFFFFFFFFu);
+
+    auto hash3 = [&](std::size_t pos) -> std::uint32_t {
+      std::uint32_t h = std::to_integer<std::uint8_t>(in[pos]);
+      h = h * 131 + std::to_integer<std::uint8_t>(in[pos + 1]);
+      h = h * 131 + std::to_integer<std::uint8_t>(in[pos + 2]);
+      return (h * 2654435761u) >> (32 - kHashBits);
+    };
+
+    std::size_t i = 0;
+    std::size_t literal_start = 0;
+    auto flush_literals = [&](std::size_t end) {
+      if (literal_start >= end) return;
+      const std::size_t n = end - literal_start;
+      put_varint(out, static_cast<std::uint64_t>(n) * 2);
+      out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(literal_start),
+                 in.begin() + static_cast<std::ptrdiff_t>(end));
+      literal_start = end;
+    };
+
+    while (i + kMinMatch <= in.size()) {
+      const std::uint32_t h = hash3(i);
+      const std::uint32_t candidate = head[h];
+      head[h] = static_cast<std::uint32_t>(i);
+
+      std::size_t match_len = 0;
+      if (candidate != 0xFFFFFFFFu && i - candidate <= kWindow) {
+        const std::size_t limit = std::min(in.size() - i, kMaxMatch);
+        while (match_len < limit && in[candidate + match_len] == in[i + match_len])
+          ++match_len;
+      }
+      if (match_len >= kMinMatch) {
+        flush_literals(i);
+        put_varint(out, static_cast<std::uint64_t>(match_len) * 2 + 1);
+        put_varint(out, static_cast<std::uint64_t>(i - candidate));
+        // Insert hashes inside the match so later data can reference it.
+        const std::size_t insert_end = std::min(i + match_len, in.size() - kMinMatch);
+        for (std::size_t j = i + 1; j < insert_end; ++j)
+          head[hash3(j)] = static_cast<std::uint32_t>(j);
+        i += match_len;
+        literal_start = i;
+      } else {
+        ++i;
+      }
+    }
+    flush_literals(in.size());
+    return out;
+  }
+
+  [[nodiscard]] std::vector<std::byte> decompress(
+      std::span<const std::byte> in, std::size_t raw_size) const override {
+    std::vector<std::byte> out;
+    out.reserve(raw_size);
+    std::size_t at = 0;
+    while (at < in.size()) {
+      const std::uint64_t control = get_varint(in, at);
+      if (control % 2 == 0) {
+        const auto n = static_cast<std::size_t>(control / 2);
+        if (at + n > in.size()) throw ConfigError("lzs: truncated literals");
+        out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(at),
+                   in.begin() + static_cast<std::ptrdiff_t>(at + n));
+        at += n;
+      } else {
+        const auto len = static_cast<std::size_t>((control - 1) / 2);
+        const auto dist = static_cast<std::size_t>(get_varint(in, at));
+        if (dist == 0 || dist > out.size()) throw ConfigError("lzs: bad distance");
+        const std::size_t start = out.size() - dist;
+        for (std::size_t j = 0; j < len; ++j) out.push_back(out[start + j]);
+      }
+      if (out.size() > raw_size) throw ConfigError("lzs: output exceeds raw size");
+    }
+    if (out.size() != raw_size) throw ConfigError("lzs: output size mismatch");
+    return out;
+  }
+};
+
+/// XOR-delta transform followed by LZ — the Damaris plugin default.
+class XorLzsCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "xor+lzs"; }
+
+  [[nodiscard]] std::vector<std::byte> compress(
+      std::span<const std::byte> in) const override {
+    return lzs_.compress(XorDeltaCodec::transform(in));
+  }
+
+  [[nodiscard]] std::vector<std::byte> decompress(
+      std::span<const std::byte> payload, std::size_t raw_size) const override {
+    return XorDeltaCodec::untransform(lzs_.decompress(payload, raw_size));
+  }
+
+ private:
+  LzsCodec lzs_;
+};
+
+const RleCodec g_rle;
+const XorDeltaCodec g_xor;
+const LzsCodec g_lzs;
+const XorLzsCodec g_xor_lzs;
+
+}  // namespace
+
+const Codec* find_codec(CodecId id) noexcept {
+  switch (id) {
+    case CodecId::kNone: return nullptr;
+    case CodecId::kRle: return &g_rle;
+    case CodecId::kXorDelta: return &g_xor;
+    case CodecId::kLzs: return &g_lzs;
+    case CodecId::kXorLzs: return &g_xor_lzs;
+  }
+  return nullptr;
+}
+
+const Codec* find_codec(std::string_view name) noexcept {
+  if (name == "rle") return &g_rle;
+  if (name == "xor") return &g_xor;
+  if (name == "lzs") return &g_lzs;
+  if (name == "xor+lzs") return &g_xor_lzs;
+  return nullptr;
+}
+
+CodecId codec_id(std::string_view name) {
+  if (name.empty() || name == "none") return CodecId::kNone;
+  if (name == "rle") return CodecId::kRle;
+  if (name == "xor") return CodecId::kXorDelta;
+  if (name == "lzs") return CodecId::kLzs;
+  if (name == "xor+lzs") return CodecId::kXorLzs;
+  throw ConfigError("unknown codec '" + std::string(name) + "'");
+}
+
+std::string_view codec_name(CodecId id) noexcept {
+  const Codec* c = find_codec(id);
+  return c ? c->name() : "none";
+}
+
+std::vector<std::byte> compress_frame(CodecId id, std::span<const std::byte> input) {
+  std::vector<std::byte> frame;
+  frame.push_back(static_cast<std::byte>(id));
+  put_u32(frame, static_cast<std::uint32_t>(input.size()));
+  if (const Codec* codec = find_codec(id)) {
+    std::vector<std::byte> body = codec->compress(input);
+    // Fall back to stored when compression does not pay (incompressible
+    // data must never grow more than the 5-byte header).
+    if (body.size() < input.size()) {
+      frame.insert(frame.end(), body.begin(), body.end());
+      return frame;
+    }
+  }
+  frame[0] = static_cast<std::byte>(CodecId::kNone);
+  frame.insert(frame.end(), input.begin(), input.end());
+  return frame;
+}
+
+std::vector<std::byte> decompress_frame(std::span<const std::byte> frame) {
+  if (frame.size() < 5) throw ConfigError("decompress_frame: truncated header");
+  const auto id = static_cast<CodecId>(std::to_integer<std::uint8_t>(frame[0]));
+  const std::size_t raw_size = get_u32(frame, 1);
+  const auto body = frame.subspan(5);
+  if (id == CodecId::kNone) {
+    if (body.size() != raw_size) throw ConfigError("decompress_frame: stored size mismatch");
+    return {body.begin(), body.end()};
+  }
+  const Codec* codec = find_codec(id);
+  if (codec == nullptr) throw ConfigError("decompress_frame: unknown codec id");
+  return codec->decompress(body, raw_size);
+}
+
+double compression_ratio(std::size_t raw, std::size_t compressed) noexcept {
+  if (compressed == 0) return 0.0;
+  return static_cast<double>(raw) / static_cast<double>(compressed);
+}
+
+}  // namespace dedicore::compress

@@ -1,0 +1,194 @@
+#include "core/baseline_io.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/clock.hpp"
+#include "h5lite/h5lite.hpp"
+
+namespace dedicore::core {
+
+namespace {
+
+/// Stored variables in configuration order (the deterministic order both
+/// writers and the shared layout rely on).
+std::vector<const VariableSpec*> stored_variables(const Configuration& config) {
+  std::vector<const VariableSpec*> out;
+  for (const auto& v : config.variables())
+    if (v.store) out.push_back(&v);
+  return out;
+}
+
+}  // namespace
+
+void validate_iteration_data(const Configuration& config,
+                             const IterationData& data) {
+  const auto vars = stored_variables(config);
+  if (data.size() != vars.size())
+    throw ConfigError("iteration data must contain exactly the stored variables (" +
+                      std::to_string(vars.size()) + "), got " +
+                      std::to_string(data.size()));
+  for (const VariableSpec* v : vars) {
+    auto it = data.find(v->name);
+    if (it == data.end())
+      throw ConfigError("iteration data is missing variable '" + v->name + "'");
+    const LayoutSpec& layout = config.layout_of(*v);
+    if (it->second.size() != layout.byte_size())
+      throw ConfigError("variable '" + v->name + "': got " +
+                        std::to_string(it->second.size()) + " bytes, layout '" +
+                        layout.name + "' expects " +
+                        std::to_string(layout.byte_size()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FilePerProcessWriter
+// ---------------------------------------------------------------------------
+
+FilePerProcessWriter::FilePerProcessWriter(fsim::FileSystem& fs,
+                                           Configuration config,
+                                           std::string basename)
+    : fs_(fs), config_(std::move(config)), basename_(std::move(basename)) {
+  config_.validate();
+}
+
+double FilePerProcessWriter::write_iteration(int rank, Iteration iteration,
+                                             const IterationData& data) {
+  validate_iteration_data(config_, data);
+  Stopwatch timer;
+
+  h5lite::FileBuilder builder;
+  builder.set_attribute(h5lite::FileBuilder::kRoot, "rank",
+                        static_cast<std::int64_t>(rank));
+  builder.set_attribute(h5lite::FileBuilder::kRoot, "iteration",
+                        static_cast<std::int64_t>(iteration));
+  for (const VariableSpec* var : stored_variables(config_)) {
+    const LayoutSpec& layout = config_.layout_of(*var);
+    builder.add_dataset(h5lite::FileBuilder::kRoot, var->name, layout.dtype,
+                        layout.extents, data.at(var->name));
+  }
+  const std::vector<std::byte> image = std::move(builder).finalize();
+
+  const std::string path = basename_ + "/rank" + std::to_string(rank) + "_it" +
+                           std::to_string(iteration) + ".h5l";
+  fsim::FileHandle file = fs_.create(path, config_.storage().stripe_count);
+  fs_.write(file, image);
+  fs_.close(file);
+  return timer.elapsed_seconds();
+}
+
+// ---------------------------------------------------------------------------
+// CollectiveWriter
+// ---------------------------------------------------------------------------
+
+CollectiveWriter::CollectiveWriter(fsim::FileSystem& fs, Configuration config,
+                                   int aggregator_group, std::string basename)
+    : fs_(fs), config_(std::move(config)),
+      aggregator_group_(aggregator_group), basename_(std::move(basename)) {
+  config_.validate();
+  if (aggregator_group_ <= 0)
+    throw ConfigError("CollectiveWriter: aggregator_group must be positive");
+}
+
+double CollectiveWriter::write_iteration(minimpi::Comm& comm,
+                                         Iteration iteration,
+                                         const IterationData& data) {
+  validate_iteration_data(config_, data);
+  Stopwatch timer;
+
+  const int size = comm.size();
+  const int rank = comm.rank();
+  const auto vars = stored_variables(config_);
+
+  // All ranks deterministically build the same shared layout: one dataset
+  // per (variable, rank), variable-major so a group of consecutive ranks
+  // owns a contiguous file region per variable.
+  std::vector<h5lite::SharedLayout::Decl> decls;
+  decls.reserve(vars.size() * static_cast<std::size_t>(size));
+  for (const VariableSpec* var : vars) {
+    const LayoutSpec& layout = config_.layout_of(*var);
+    for (int r = 0; r < size; ++r) {
+      h5lite::SharedLayout::Decl d;
+      d.path = var->name + "/r" + std::to_string(r);
+      d.dtype = layout.dtype;
+      d.dims = layout.extents;
+      decls.push_back(std::move(d));
+    }
+  }
+  const h5lite::SharedLayout layout(std::move(decls));
+  auto decl_index = [&](std::size_t var_idx, int r) {
+    return var_idx * static_cast<std::size_t>(size) + static_cast<std::size_t>(r);
+  };
+
+  const std::string path =
+      basename_ + "/shared_it" + std::to_string(iteration) + ".h5l";
+
+  // Phase 0: rank 0 creates the file; everyone else learns it is ready.
+  const int base_tag = 2000 + static_cast<int>(iteration % 1000) * 8;
+  if (rank == 0) {
+    fsim::FileHandle file = fs_.create(path, config_.storage().stripe_count);
+    fs_.close(file);
+  }
+  comm.barrier();
+
+  // Phase 1 (exchange): ship each variable's payload to the aggregator.
+  const int aggregator = rank - (rank % aggregator_group_);
+  const bool is_aggregator = rank == aggregator;
+  const int group_size = std::min(aggregator_group_, size - aggregator);
+
+  if (!is_aggregator) {
+    for (std::size_t v = 0; v < vars.size(); ++v) {
+      const auto payload = data.at(vars[v]->name);
+      std::vector<std::byte> bytes(payload.begin(), payload.end());
+      comm.send_bytes(std::move(bytes), aggregator,
+                      base_tag + static_cast<int>(v % 8));
+    }
+  } else {
+    auto file = fs_.open(path);
+    DEDICORE_CHECK(file.has_value(), "collective: shared file vanished");
+
+    // Gather the group's payloads per variable, then write the contiguous
+    // region covering the group's datasets in one positional write.
+    for (std::size_t v = 0; v < vars.size(); ++v) {
+      std::vector<std::vector<std::byte>> parts(
+          static_cast<std::size_t>(group_size));
+      const auto own = data.at(vars[v]->name);
+      parts[0].assign(own.begin(), own.end());
+      for (int m = 1; m < group_size; ++m) {
+        minimpi::Message msg =
+            comm.recv(aggregator + m, base_tag + static_cast<int>(v % 8));
+        parts[static_cast<std::size_t>(msg.source - aggregator)] =
+            std::move(msg.payload);
+      }
+
+      const std::uint64_t region_begin = layout.payload_offset(decl_index(v, aggregator));
+      const std::size_t last = decl_index(v, aggregator + group_size - 1);
+      const std::uint64_t region_end =
+          layout.payload_offset(last) + layout.payload_size(last);
+      std::vector<std::byte> region(region_end - region_begin);
+      for (int m = 0; m < group_size; ++m) {
+        const std::uint64_t at =
+            layout.payload_offset(decl_index(v, aggregator + m)) - region_begin;
+        std::memcpy(region.data() + at,
+                    parts[static_cast<std::size_t>(m)].data(),
+                    parts[static_cast<std::size_t>(m)].size());
+      }
+      fs_.pwrite(*file, region_begin, region);
+    }
+    fs_.close(*file);
+  }
+
+  // Phase 2: rank 0 writes the header + metadata tree, making the file
+  // parseable; then the collective completes with a barrier.
+  if (rank == 0) {
+    auto file = fs_.open(path);
+    DEDICORE_CHECK(file.has_value(), "collective: shared file vanished");
+    fs_.pwrite(*file, 0, layout.header_image());
+    fs_.pwrite(*file, layout.metadata_offset(), layout.metadata_image());
+    fs_.close(*file);
+  }
+  comm.barrier();
+  return timer.elapsed_seconds();
+}
+
+}  // namespace dedicore::core

@@ -1,0 +1,72 @@
+// The two state-of-the-art I/O approaches the paper compares against
+// (§II): file-per-process and collective ("two-phase") I/O into a single
+// shared file.  Both run *synchronously on the simulation cores* — the
+// simulation stalls for their full duration, which is exactly what Damaris
+// removes.
+//
+// Both writers produce real h5lite files through the filesystem simulator,
+// so their outputs can be read back, counted (the "huge amount of files
+// that are simply impossible to post-process") and verified.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+
+#include "core/configuration.hpp"
+#include "fsim/filesystem.hpp"
+#include "minimpi/minimpi.hpp"
+
+namespace dedicore::core {
+
+/// Per-variable payloads of one rank for one iteration.  Must contain
+/// exactly the configuration's stored variables, each matching its layout
+/// size.
+using IterationData = std::map<std::string, std::span<const std::byte>>;
+
+/// Validates `data` against the configuration; throws ConfigError.
+void validate_iteration_data(const Configuration& config,
+                             const IterationData& data);
+
+/// File-per-process: each rank writes its own independent file.  No
+/// synchronization — but one serialized metadata-server create per rank
+/// per iteration, and as many files as ranks.
+class FilePerProcessWriter {
+ public:
+  FilePerProcessWriter(fsim::FileSystem& fs, Configuration config,
+                       std::string basename = "fpp");
+
+  /// Writes one iteration's data; returns the wall-clock seconds the
+  /// calling rank was stalled (create + write + close).
+  double write_iteration(int rank, Iteration iteration,
+                         const IterationData& data);
+
+ private:
+  fsim::FileSystem& fs_;
+  Configuration config_;
+  std::string basename_;
+};
+
+/// Collective two-phase I/O into one shared file per iteration: ranks ship
+/// their data to aggregators (one per `aggregator_group` consecutive
+/// ranks); aggregators write contiguous regions of the shared file at
+/// offsets precomputed by h5lite::SharedLayout.  The call is collective
+/// over `comm` and ends with a barrier, like MPI-IO collective writes.
+class CollectiveWriter {
+ public:
+  CollectiveWriter(fsim::FileSystem& fs, Configuration config,
+                   int aggregator_group = 8,
+                   std::string basename = "collective");
+
+  /// Collective; returns the wall-clock seconds this rank was stalled.
+  double write_iteration(minimpi::Comm& comm, Iteration iteration,
+                         const IterationData& data);
+
+ private:
+  fsim::FileSystem& fs_;
+  Configuration config_;
+  int aggregator_group_;
+  std::string basename_;
+};
+
+}  // namespace dedicore::core

@@ -1,0 +1,71 @@
+#include "core/block_index.hpp"
+
+#include <algorithm>
+
+namespace dedicore::core {
+
+void BlockIndex::insert(BlockInfo info) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  blocks_.push_back(info);
+}
+
+std::vector<BlockInfo> BlockIndex::blocks_of_iteration(Iteration it) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<BlockInfo> out;
+  for (const auto& b : blocks_)
+    if (b.iteration == it) out.push_back(b);
+  return out;
+}
+
+std::vector<BlockInfo> BlockIndex::blocks_of(VariableId variable,
+                                             Iteration it) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<BlockInfo> out;
+  for (const auto& b : blocks_)
+    if (b.variable == variable && b.iteration == it) out.push_back(b);
+  std::sort(out.begin(), out.end(), [](const BlockInfo& a, const BlockInfo& b) {
+    if (a.source != b.source) return a.source < b.source;
+    return a.block_id < b.block_id;
+  });
+  return out;
+}
+
+std::optional<BlockInfo> BlockIndex::find(VariableId variable, Iteration it,
+                                          int source,
+                                          std::uint32_t block_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& b : blocks_)
+    if (b.variable == variable && b.iteration == it && b.source == source &&
+        b.block_id == block_id)
+      return b;
+  return std::nullopt;
+}
+
+std::vector<BlockInfo> BlockIndex::extract_iteration(Iteration it) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<BlockInfo> out;
+  auto keep = blocks_.begin();
+  for (auto& b : blocks_) {
+    if (b.iteration == it) {
+      out.push_back(b);
+    } else {
+      *keep++ = b;
+    }
+  }
+  blocks_.erase(keep, blocks_.end());
+  return out;
+}
+
+std::size_t BlockIndex::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return blocks_.size();
+}
+
+std::uint64_t BlockIndex::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& b : blocks_) total += b.block.size;
+  return total;
+}
+
+}  // namespace dedicore::core

@@ -1,0 +1,46 @@
+// Server-side metadata index over the data blocks in the shared segment.
+//
+// "All data blocks are indexed in a metadata structure that helps
+// searching for particular blocks from data management services."  Plugins
+// query by variable / iteration / source; the server inserts on
+// kBlockWritten events and clears an iteration after its pipeline ran.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dedicore::core {
+
+class BlockIndex {
+ public:
+  void insert(BlockInfo info);
+
+  /// All blocks of one iteration (any variable, any source), in insertion
+  /// order (stable per source).
+  [[nodiscard]] std::vector<BlockInfo> blocks_of_iteration(Iteration it) const;
+
+  /// All blocks of (variable, iteration), ordered by (source, block_id).
+  [[nodiscard]] std::vector<BlockInfo> blocks_of(VariableId variable,
+                                                 Iteration it) const;
+
+  /// A specific block, if present.
+  [[nodiscard]] std::optional<BlockInfo> find(VariableId variable, Iteration it,
+                                              int source,
+                                              std::uint32_t block_id) const;
+
+  /// Removes (and returns) everything belonging to an iteration; the
+  /// caller deallocates the segment blocks.
+  std::vector<BlockInfo> extract_iteration(Iteration it);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<BlockInfo> blocks_;
+};
+
+}  // namespace dedicore::core

@@ -1,0 +1,445 @@
+#include "core/builtin_plugins.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/clock.hpp"
+#include "core/server.hpp"
+#include "h5lite/h5lite.hpp"
+
+namespace dedicore::core {
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, PluginFactory> factories;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+void register_plugin(const std::string& name, PluginFactory factory) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  if (r.factories.contains(name))
+    throw ConfigError("plugin '" + name + "' already registered");
+  r.factories.emplace(name, std::move(factory));
+}
+
+std::unique_ptr<Plugin> make_plugin(
+    const std::string& name, const std::map<std::string, std::string>& params) {
+  register_builtin_plugins();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.factories.find(name);
+  if (it == r.factories.end())
+    throw ConfigError("unknown plugin '" + name + "'");
+  return it->second(params);
+}
+
+bool plugin_registered(const std::string& name) {
+  register_builtin_plugins();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.factories.contains(name);
+}
+
+void register_builtin_plugins() {
+  static const bool once = [] {
+    register_plugin("store", [](const auto& params) {
+      return std::make_unique<StorePlugin>(params);
+    });
+    register_plugin("stats", [](const auto& params) {
+      return std::make_unique<StatsPlugin>(params);
+    });
+    register_plugin("script", [](const auto& params) {
+      return std::make_unique<ScriptPlugin>(params);
+    });
+    register_plugin("vislite", [](const auto& params) {
+      return std::make_unique<VisLitePlugin>(params);
+    });
+    return true;
+  }();
+  (void)once;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+std::vector<double> block_as_doubles(const NodeRuntime& node,
+                                     const BlockInfo& block) {
+  const VariableSpec& var = node.config.variable(block.variable);
+  const LayoutSpec& layout = node.config.layout_of(var);
+  const auto view = node.segment.view(block.block);
+  std::vector<double> out;
+  if (layout.dtype == h5lite::DType::kFloat64) {
+    out.resize(view.size() / sizeof(double));
+    std::memcpy(out.data(), view.data(), out.size() * sizeof(double));
+  } else if (layout.dtype == h5lite::DType::kFloat32) {
+    std::vector<float> tmp(view.size() / sizeof(float));
+    std::memcpy(tmp.data(), view.data(), tmp.size() * sizeof(float));
+    out.assign(tmp.begin(), tmp.end());
+  } else {
+    throw ConfigError("plugin: variable '" + var.name +
+                      "' is not a floating-point field");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// StorePlugin
+// ---------------------------------------------------------------------------
+
+StorePlugin::StorePlugin(const std::map<std::string, std::string>& params) {
+  if (auto it = params.find("codec"); it != params.end()) codec_override_ = it->second;
+  if (auto it = params.find("basename"); it != params.end())
+    basename_override_ = it->second;
+}
+
+void StorePlugin::run(PluginContext& context) {
+  NodeRuntime& node = context.node;
+  DEDICORE_CHECK(node.fs != nullptr, "store plugin requires a filesystem");
+  auto& index = *node.indexes[static_cast<std::size_t>(context.server_index)];
+
+  const std::string codec_name =
+      codec_override_.empty() ? node.config.storage().codec : codec_override_;
+  const compress::CodecId codec = compress::codec_id(codec_name);
+  const std::string basename =
+      basename_override_.empty() ? node.config.storage().basename
+                                 : basename_override_;
+
+  // Aggregate every stored variable's blocks into one file image.
+  h5lite::FileBuilder builder;
+  builder.set_attribute(h5lite::FileBuilder::kRoot, "simulation",
+                        node.config.simulation_name());
+  builder.set_attribute(h5lite::FileBuilder::kRoot, "iteration",
+                        static_cast<std::int64_t>(context.iteration));
+  builder.set_attribute(h5lite::FileBuilder::kRoot, "node",
+                        static_cast<std::int64_t>(node.node_id));
+
+  std::uint64_t raw_bytes = 0;
+  bool any = false;
+  for (const VariableSpec& var : node.config.variables()) {
+    if (!var.store) continue;
+    const auto blocks = index.blocks_of(var.id, context.iteration);
+    if (blocks.empty()) continue;
+    any = true;
+    const LayoutSpec& layout = node.config.layout_of(var);
+    const auto group = builder.create_group(h5lite::FileBuilder::kRoot, var.name);
+    builder.set_attribute(group, "layout", layout.name);
+    builder.set_attribute(group, "dtype", std::string(h5lite::dtype_name(layout.dtype)));
+    for (const BlockInfo& block : blocks) {
+      const auto view = node.segment.view(block.block);
+      raw_bytes += view.size();
+      const std::string dataset_name =
+          "r" + std::to_string(block.source) + "_b" + std::to_string(block.block_id);
+      if (codec == compress::CodecId::kNone) {
+        builder.add_dataset(group, dataset_name, layout.dtype, layout.extents,
+                            view);
+      } else {
+        builder.add_dataset_chunked(group, dataset_name, layout.dtype,
+                                    layout.extents, layout.extents, view, codec);
+      }
+    }
+  }
+  if (!any) return;  // every client skipped this iteration
+
+  std::vector<std::byte> image = std::move(builder).finalize();
+  const std::string path = basename + "/node" + std::to_string(node.node_id) +
+                           "_s" + std::to_string(context.server_index) +
+                           "_it" + std::to_string(context.iteration) + ".h5l";
+
+  Stopwatch wait;
+  ScheduleGuard guard(*node.scheduler, node.node_id);
+  const double waited = wait.elapsed_seconds();
+
+  Stopwatch io;
+  fsim::FileHandle file =
+      node.fs->create(path, node.config.storage().stripe_count);
+  node.fs->write(file, image);
+  node.fs->close(file);
+  const double io_seconds = io.elapsed_seconds();
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++totals_.files;
+    totals_.raw_bytes += raw_bytes;
+    totals_.stored_bytes += image.size();
+    totals_.write_seconds += io_seconds;
+    totals_.schedule_wait_seconds += waited;
+  }
+  if (context.stats != nullptr) {
+    context.stats->bytes_written += image.size();
+    ++context.stats->files_written;
+  }
+}
+
+StorePlugin::Totals StorePlugin::totals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return totals_;
+}
+
+// ---------------------------------------------------------------------------
+// StatsPlugin
+// ---------------------------------------------------------------------------
+
+void StatsPlugin::run(PluginContext& context) {
+  NodeRuntime& node = context.node;
+  auto& index = *node.indexes[static_cast<std::size_t>(context.server_index)];
+  Entry entry;
+  entry.iteration = context.iteration;
+  for (const VariableSpec& var : node.config.variables()) {
+    const auto blocks = index.blocks_of(var.id, context.iteration);
+    if (blocks.empty()) continue;
+    const LayoutSpec& layout = node.config.layout_of(var);
+    if (layout.dtype != h5lite::DType::kFloat32 &&
+        layout.dtype != h5lite::DType::kFloat64)
+      continue;  // stats only for floating-point fields
+    std::vector<double> all;
+    for (const BlockInfo& block : blocks) {
+      auto values = block_as_doubles(node, block);
+      all.insert(all.end(), values.begin(), values.end());
+    }
+    entry.per_variable[var.name] = viz::compute_statistics(all);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  history_.push_back(std::move(entry));
+  if (history_.size() > 16) history_.erase(history_.begin());
+}
+
+StatsPlugin::Entry StatsPlugin::latest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return history_.empty() ? Entry{} : history_.back();
+}
+
+std::vector<StatsPlugin::Entry> StatsPlugin::history() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return history_;
+}
+
+// ---------------------------------------------------------------------------
+// ScriptPlugin
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Recursive-descent evaluator for the plugin's expression language.
+class ScriptEvaluator {
+ public:
+  ScriptEvaluator(std::string_view text, PluginContext& context)
+      : text_(text), context_(context) {}
+
+  double evaluate() {
+    const double value = expr();
+    skip_ws();
+    if (pos_ != text_.size())
+      throw ConfigError("script: trailing characters in expression");
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool consume(char ch) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  double expr() {
+    double value = term();
+    for (;;) {
+      if (consume('+')) value += term();
+      else if (consume('-')) value -= term();
+      else return value;
+    }
+  }
+
+  double term() {
+    double value = factor();
+    for (;;) {
+      if (consume('*')) value *= factor();
+      else if (consume('/')) value /= factor();
+      else return value;
+    }
+  }
+
+  double factor() {
+    skip_ws();
+    if (consume('-')) return -factor();
+    if (consume('(')) {
+      const double value = expr();
+      if (!consume(')')) throw ConfigError("script: missing ')'");
+      return value;
+    }
+    if (pos_ < text_.size() &&
+        (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.')) {
+      std::size_t used = 0;
+      const double value = std::stod(std::string(text_.substr(pos_)), &used);
+      pos_ += used;
+      return value;
+    }
+    // function '(' variable ')'
+    std::string func;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_'))
+      func += text_[pos_++];
+    if (func.empty()) throw ConfigError("script: expected a value");
+    if (!consume('(')) throw ConfigError("script: expected '(' after '" + func + "'");
+    skip_ws();
+    std::string variable;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_'))
+      variable += text_[pos_++];
+    if (!consume(')')) throw ConfigError("script: missing ')' after variable");
+    return apply(func, variable);
+  }
+
+  double apply(const std::string& func, const std::string& variable) {
+    NodeRuntime& node = context_.node;
+    const VariableSpec& var = node.config.variable(variable);
+    auto& index = *node.indexes[static_cast<std::size_t>(context_.server_index)];
+    const auto blocks = index.blocks_of(var.id, context_.iteration);
+    if (blocks.empty()) return std::numeric_limits<double>::quiet_NaN();
+    double acc_min = std::numeric_limits<double>::infinity();
+    double acc_max = -std::numeric_limits<double>::infinity();
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    for (const BlockInfo& block : blocks) {
+      for (double v : block_as_doubles(node, block)) {
+        acc_min = std::min(acc_min, v);
+        acc_max = std::max(acc_max, v);
+        sum += v;
+        ++count;
+      }
+    }
+    if (func == "min") return acc_min;
+    if (func == "max") return acc_max;
+    if (func == "sum") return sum;
+    if (func == "mean") return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    throw ConfigError("script: unknown function '" + func + "'");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  PluginContext& context_;
+};
+
+}  // namespace
+
+ScriptPlugin::ScriptPlugin(const std::map<std::string, std::string>& params)
+    : last_value_(std::numeric_limits<double>::quiet_NaN()) {
+  auto it = params.find("expr");
+  if (it == params.end() || it->second.empty())
+    throw ConfigError("script plugin requires an 'expr' parameter");
+  expression_ = it->second;
+}
+
+void ScriptPlugin::run(PluginContext& context) {
+  const double value = ScriptEvaluator(expression_, context).evaluate();
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_value_ = value;
+  last_iteration_ = context.iteration;
+}
+
+double ScriptPlugin::last_value() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_value_;
+}
+
+Iteration ScriptPlugin::last_iteration() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_iteration_;
+}
+
+// ---------------------------------------------------------------------------
+// VisLitePlugin
+// ---------------------------------------------------------------------------
+
+VisLitePlugin::VisLitePlugin(const std::map<std::string, std::string>& params) {
+  auto it = params.find("variable");
+  if (it == params.end())
+    throw ConfigError("vislite plugin requires a 'variable' parameter");
+  variable_ = it->second;
+  isovalue_spec_ = params.contains("isovalue") ? params.at("isovalue") : "mean";
+  width_ = params.contains("width") ? std::stoi(params.at("width")) : 128;
+  height_ = params.contains("height") ? std::stoi(params.at("height")) : 128;
+  write_image_ = params.contains("write_image") && params.at("write_image") == "true";
+}
+
+void VisLitePlugin::run(PluginContext& context) {
+  Stopwatch timer;
+  NodeRuntime& node = context.node;
+  const VariableSpec& var = node.config.variable(variable_);
+  const LayoutSpec& layout = node.config.layout_of(var);
+  if (layout.extents.size() != 3)
+    throw ConfigError("vislite: variable '" + variable_ + "' must be 3-D");
+  auto& index = *node.indexes[static_cast<std::size_t>(context.server_index)];
+  const auto blocks = index.blocks_of(var.id, context.iteration);
+
+  std::uint64_t triangles = 0;
+  std::uint64_t rendered = 0;
+  std::uint64_t images = 0;
+  for (const BlockInfo& block : blocks) {
+    const std::vector<double> values = block_as_doubles(node, block);
+    viz::GridView grid{values, layout.extents[0], layout.extents[1],
+                       layout.extents[2]};
+    double isovalue = 0.0;
+    if (isovalue_spec_ == "mean") {
+      isovalue = viz::compute_statistics(values).mean;
+    } else {
+      isovalue = std::stod(isovalue_spec_);
+    }
+    viz::RenderOptions options;
+    options.width = width_;
+    options.height = height_;
+    const viz::PipelineResult result =
+        viz::run_insitu_pipeline(grid, isovalue, options);
+    triangles += result.triangles;
+    ++rendered;
+
+    if (write_image_ && node.fs != nullptr) {
+      const std::string path =
+          "viz/node" + std::to_string(node.node_id) + "_it" +
+          std::to_string(context.iteration) + "_r" +
+          std::to_string(block.source) + "_b" + std::to_string(block.block_id) +
+          ".ppm";
+      fsim::FileHandle file = node.fs->create(path);
+      node.fs->write(file, result.image.encode_ppm());
+      node.fs->close(file);
+      ++images;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++totals_.invocations;
+  totals_.blocks_rendered += rendered;
+  totals_.triangles += triangles;
+  totals_.images_written += images;
+  totals_.pipeline_seconds += timer.elapsed_seconds();
+}
+
+VisLitePlugin::Totals VisLitePlugin::totals() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return totals_;
+}
+
+}  // namespace dedicore::core

@@ -1,0 +1,129 @@
+// Built-in plugins of the dedicated-core service.  Exposed as concrete
+// classes (not just registry names) so tests and examples can inspect
+// their results after a run through Server::find_plugin.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/plugin.hpp"
+#include "viz/vislite.hpp"
+
+namespace dedicore::core {
+
+/// "store": aggregates the iteration's blocks into one h5lite file per
+/// dedicated core — "Damaris is able to group the output of multiple
+/// processes into bigger files without the communication overhead of a
+/// collective I/O approach".
+///
+/// Params: `codec` (overrides <storage codec>), `basename` (overrides
+/// <storage basename>).
+class StorePlugin final : public Plugin {
+ public:
+  explicit StorePlugin(const std::map<std::string, std::string>& params);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "store"; }
+  void run(PluginContext& context) override;
+
+  struct Totals {
+    std::uint64_t files = 0;
+    std::uint64_t raw_bytes = 0;     ///< block payloads aggregated
+    std::uint64_t stored_bytes = 0;  ///< bytes actually written (post-codec)
+    double write_seconds = 0.0;      ///< wall time inside fs write calls
+    double schedule_wait_seconds = 0.0;
+  };
+  [[nodiscard]] Totals totals() const;
+
+ private:
+  std::string codec_override_;
+  std::string basename_override_;
+  mutable std::mutex mutex_;
+  Totals totals_;
+};
+
+/// "stats": per-variable min/max/mean/stddev per iteration, kept for the
+/// most recent iterations (ring of 16).
+class StatsPlugin final : public Plugin {
+ public:
+  explicit StatsPlugin(const std::map<std::string, std::string>&) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "stats"; }
+  void run(PluginContext& context) override;
+
+  struct Entry {
+    Iteration iteration = -1;
+    std::map<std::string, viz::FieldStatistics> per_variable;
+  };
+  /// Latest computed entry (empty variable map before the first run).
+  [[nodiscard]] Entry latest() const;
+  [[nodiscard]] std::vector<Entry> history() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Entry> history_;
+};
+
+/// "script": evaluates a tiny arithmetic expression over the iteration's
+/// data — the stand-in for Damaris's Python plugin support.  Grammar:
+///
+///   expr   := term (('+'|'-') term)*
+///   term   := factor (('*'|'/') factor)*
+///   factor := NUMBER | FUNC '(' IDENT ')' | '(' expr ')' | '-' factor
+///   FUNC   := min | max | mean | sum
+///
+/// Params: `expr` (required), e.g. "mean(theta) - 0.5*max(qv)".
+class ScriptPlugin final : public Plugin {
+ public:
+  explicit ScriptPlugin(const std::map<std::string, std::string>& params);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "script"; }
+  void run(PluginContext& context) override;
+
+  /// Result of the most recent evaluation (NaN before the first run).
+  [[nodiscard]] double last_value() const;
+  [[nodiscard]] Iteration last_iteration() const;
+
+ private:
+  std::string expression_;
+  mutable std::mutex mutex_;
+  double last_value_;
+  Iteration last_iteration_ = -1;
+};
+
+/// "vislite": the in-situ pipeline (isosurface + statistics + rendering)
+/// on the dedicated core.  Params: `variable` (required, must be 3-D),
+/// `isovalue` ("mean" or a number, default mean), `width`, `height`,
+/// `write_image` ("true" stores PPMs through the filesystem).
+class VisLitePlugin final : public Plugin {
+ public:
+  explicit VisLitePlugin(const std::map<std::string, std::string>& params);
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "vislite"; }
+  void run(PluginContext& context) override;
+
+  struct Totals {
+    std::uint64_t invocations = 0;
+    std::uint64_t blocks_rendered = 0;
+    std::uint64_t triangles = 0;
+    std::uint64_t images_written = 0;
+    double pipeline_seconds = 0.0;
+  };
+  [[nodiscard]] Totals totals() const;
+
+ private:
+  std::string variable_;
+  std::string isovalue_spec_;
+  int width_, height_;
+  bool write_image_;
+  mutable std::mutex mutex_;
+  Totals totals_;
+};
+
+/// Decodes a block's payload to doubles according to the variable layout
+/// (float32/float64 only); shared by stats/script/vislite.
+std::vector<double> block_as_doubles(const NodeRuntime& node,
+                                     const BlockInfo& block);
+
+}  // namespace dedicore::core

@@ -1,0 +1,285 @@
+#include "core/configuration.hpp"
+
+#include <algorithm>
+
+#include "common/bytes.hpp"
+
+namespace dedicore::core {
+
+std::string to_string(EventType type) {
+  switch (type) {
+    case EventType::kBlockWritten: return "block_written";
+    case EventType::kEndIteration: return "end_iteration";
+    case EventType::kUserSignal: return "user_signal";
+    case EventType::kIterationSkipped: return "iteration_skipped";
+    case EventType::kClientStop: return "client_stop";
+  }
+  return "?";
+}
+
+std::string to_string(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock: return "block";
+    case BackpressurePolicy::kSkipIteration: return "skip";
+    case BackpressurePolicy::kAdaptive: return "adaptive";
+  }
+  return "?";
+}
+
+std::uint64_t LayoutSpec::element_count() const noexcept {
+  std::uint64_t n = 1;
+  for (auto e : extents) n *= e;
+  return n;
+}
+
+std::uint64_t LayoutSpec::byte_size() const noexcept {
+  return element_count() * h5lite::dtype_size(dtype);
+}
+
+namespace {
+
+h5lite::DType parse_dtype(const std::string& text) {
+  if (text == "int8") return h5lite::DType::kInt8;
+  if (text == "int16") return h5lite::DType::kInt16;
+  if (text == "int32" || text == "int") return h5lite::DType::kInt32;
+  if (text == "int64" || text == "long") return h5lite::DType::kInt64;
+  if (text == "uint8") return h5lite::DType::kUInt8;
+  if (text == "uint16") return h5lite::DType::kUInt16;
+  if (text == "uint32") return h5lite::DType::kUInt32;
+  if (text == "uint64") return h5lite::DType::kUInt64;
+  if (text == "float32" || text == "float") return h5lite::DType::kFloat32;
+  if (text == "float64" || text == "double") return h5lite::DType::kFloat64;
+  throw ConfigError("unknown data type '" + text + "'");
+}
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char ch : text) {
+    if (ch == ',') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(ch))) {
+      current += ch;
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+std::vector<std::uint64_t> parse_dimensions(const std::string& text) {
+  std::vector<std::uint64_t> out;
+  for (const auto& item : split_list(text)) {
+    try {
+      const long long v = std::stoll(item);
+      if (v <= 0) throw std::invalid_argument("non-positive");
+      out.push_back(static_cast<std::uint64_t>(v));
+    } catch (const std::exception&) {
+      throw ConfigError("bad dimension '" + item + "' in '" + text + "'");
+    }
+  }
+  if (out.empty()) throw ConfigError("empty dimension list '" + text + "'");
+  if (out.size() > 4) throw ConfigError("at most 4 dimensions supported");
+  return out;
+}
+
+}  // namespace
+
+Configuration Configuration::from_xml(const xml::Node& root) {
+  if (root.name() != "simulation")
+    throw ConfigError("configuration root must be <simulation>, found <" +
+                      root.name() + ">");
+  Configuration cfg;
+  cfg.name_ = root.attribute_or("name", "simulation");
+  cfg.cores_per_node_ = static_cast<int>(root.attribute_int("cores_per_node", 12));
+  cfg.dedicated_cores_ = static_cast<int>(root.attribute_int("dedicated_cores", 1));
+
+  if (const xml::Node* buffer = root.child("buffer")) {
+    cfg.buffer_size_ = parse_bytes(buffer->attribute_or("size", "64MiB"));
+    cfg.queue_capacity_ =
+        static_cast<std::size_t>(buffer->attribute_int("queue", 1024));
+    const std::string policy = buffer->attribute_or("policy", "block");
+    if (policy == "block") {
+      cfg.policy_ = BackpressurePolicy::kBlock;
+    } else if (policy == "skip") {
+      cfg.policy_ = BackpressurePolicy::kSkipIteration;
+    } else if (policy == "adaptive") {
+      cfg.policy_ = BackpressurePolicy::kAdaptive;
+    } else {
+      throw ConfigError(
+          "buffer policy must be 'block', 'skip' or 'adaptive', got '" +
+          policy + "'");
+    }
+  }
+
+  if (const xml::Node* data = root.child("data")) {
+    for (const xml::Node* n : data->children_named("layout")) {
+      LayoutSpec l;
+      l.name = n->require_attribute("name");
+      l.dtype = parse_dtype(n->attribute_or("type", "float64"));
+      l.extents = parse_dimensions(n->require_attribute("dimensions"));
+      cfg.add_layout(std::move(l));
+    }
+    for (const xml::Node* n : data->children_named("mesh")) {
+      MeshSpec m;
+      m.name = n->require_attribute("name");
+      m.type = n->attribute_or("type", "rectilinear");
+      m.coordinates = split_list(n->attribute_or("coordinates", ""));
+      cfg.add_mesh(std::move(m));
+    }
+    for (const xml::Node* n : data->children_named("variable")) {
+      VariableSpec v;
+      v.name = n->require_attribute("name");
+      v.layout = n->require_attribute("layout");
+      v.mesh = n->attribute_or("mesh", "");
+      v.group = n->attribute_or("group", "");
+      v.store = n->attribute_bool("store", true);
+      v.priority = static_cast<int>(n->attribute_int("priority", 0));
+      cfg.add_variable(std::move(v));
+    }
+  }
+
+  if (const xml::Node* storage = root.child("storage")) {
+    StorageSpec s;
+    s.basename = storage->attribute_or("basename", "output");
+    s.codec = storage->attribute_or("codec", "none");
+    s.stripe_count = static_cast<int>(storage->attribute_int("stripe_count", 0));
+    s.scheduler = storage->attribute_or("scheduler", "greedy");
+    s.max_concurrent_nodes =
+        static_cast<int>(storage->attribute_int("max_concurrent", 0));
+    cfg.set_storage(std::move(s));
+  }
+
+  if (const xml::Node* actions = root.child("actions")) {
+    for (const xml::Node* n : actions->children_named("event")) {
+      ActionSpec a;
+      a.event = n->require_attribute("name");
+      a.plugin = n->require_attribute("plugin");
+      for (const xml::Node* p : n->children_named("param"))
+        a.params[p->require_attribute("key")] = p->attribute_or("value", "");
+      cfg.add_action(std::move(a));
+    }
+  }
+
+  cfg.validate();
+  return cfg;
+}
+
+Configuration Configuration::from_string(const std::string& document) {
+  return from_xml(xml::parse(document));
+}
+
+Configuration Configuration::from_file(const std::string& path) {
+  return from_xml(xml::parse_file(path));
+}
+
+void Configuration::set_architecture(int cores_per_node, int dedicated_cores) {
+  cores_per_node_ = cores_per_node;
+  dedicated_cores_ = dedicated_cores;
+}
+
+void Configuration::set_buffer(std::uint64_t size, std::size_t queue_capacity,
+                               BackpressurePolicy policy) {
+  buffer_size_ = size;
+  queue_capacity_ = queue_capacity;
+  policy_ = policy;
+}
+
+void Configuration::add_layout(LayoutSpec layout) {
+  layouts_.push_back(std::move(layout));
+}
+
+void Configuration::add_mesh(MeshSpec mesh) { meshes_.push_back(std::move(mesh)); }
+
+void Configuration::add_variable(VariableSpec variable) {
+  variable.id = static_cast<VariableId>(variables_.size());
+  variables_.push_back(std::move(variable));
+}
+
+void Configuration::add_action(ActionSpec action) {
+  actions_.push_back(std::move(action));
+}
+
+void Configuration::set_storage(StorageSpec storage) {
+  storage_ = std::move(storage);
+}
+
+const LayoutSpec& Configuration::layout(const std::string& name) const {
+  auto it = std::find_if(layouts_.begin(), layouts_.end(),
+                         [&](const LayoutSpec& l) { return l.name == name; });
+  if (it == layouts_.end()) throw ConfigError("unknown layout '" + name + "'");
+  return *it;
+}
+
+const VariableSpec& Configuration::variable(const std::string& name) const {
+  auto it = std::find_if(variables_.begin(), variables_.end(),
+                         [&](const VariableSpec& v) { return v.name == name; });
+  if (it == variables_.end()) throw ConfigError("unknown variable '" + name + "'");
+  return *it;
+}
+
+const VariableSpec& Configuration::variable(VariableId id) const {
+  if (id >= variables_.size())
+    throw ConfigError("variable id " + std::to_string(id) + " out of range");
+  return variables_[id];
+}
+
+const MeshSpec* Configuration::mesh(const std::string& name) const noexcept {
+  auto it = std::find_if(meshes_.begin(), meshes_.end(),
+                         [&](const MeshSpec& m) { return m.name == name; });
+  return it == meshes_.end() ? nullptr : &*it;
+}
+
+std::uint64_t Configuration::bytes_per_core_per_iteration() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& v : variables_) {
+    if (!v.store) continue;
+    for (const auto& l : layouts_)
+      if (l.name == v.layout) total += l.byte_size();
+  }
+  return total;
+}
+
+void Configuration::validate() const {
+  if (cores_per_node_ <= 0)
+    throw ConfigError("cores_per_node must be positive");
+  if (dedicated_cores_ < 0 || dedicated_cores_ >= cores_per_node_)
+    throw ConfigError("dedicated_cores must be in [0, cores_per_node)");
+  if (buffer_size_ == 0) throw ConfigError("buffer size must be non-zero");
+  if (queue_capacity_ == 0) throw ConfigError("queue capacity must be non-zero");
+
+  std::vector<std::string> seen;
+  for (const auto& l : layouts_) {
+    if (std::find(seen.begin(), seen.end(), l.name) != seen.end())
+      throw ConfigError("duplicate layout '" + l.name + "'");
+    seen.push_back(l.name);
+    if (l.extents.empty() || l.extents.size() > 4)
+      throw ConfigError("layout '" + l.name + "' must have 1..4 dimensions");
+    for (auto e : l.extents)
+      if (e == 0) throw ConfigError("layout '" + l.name + "' has a zero extent");
+  }
+  seen.clear();
+  for (const auto& v : variables_) {
+    if (std::find(seen.begin(), seen.end(), v.name) != seen.end())
+      throw ConfigError("duplicate variable '" + v.name + "'");
+    seen.push_back(v.name);
+    (void)layout(v.layout);  // throws if missing
+    if (!v.mesh.empty() && mesh(v.mesh) == nullptr)
+      throw ConfigError("variable '" + v.name + "' references unknown mesh '" +
+                        v.mesh + "'");
+  }
+  for (const auto& m : meshes_)
+    for (const auto& coord : m.coordinates)
+      (void)variable(coord);  // coordinates must be declared variables
+  for (const auto& a : actions_) {
+    if (a.event.empty() || a.plugin.empty())
+      throw ConfigError("actions need both an event name and a plugin name");
+  }
+  if (storage_.scheduler != "greedy" && storage_.scheduler != "throttled")
+    throw ConfigError("storage scheduler must be 'greedy' or 'throttled'");
+  if (storage_.scheduler == "throttled" && storage_.max_concurrent_nodes <= 0)
+    throw ConfigError("throttled scheduler requires max_concurrent > 0");
+  (void)compress::codec_id(storage_.codec);  // throws on unknown codec
+}
+
+}  // namespace dedicore::core

@@ -1,0 +1,150 @@
+// XML-driven configuration of the middleware.
+//
+// "Data management in Damaris is based on a high-level description of the
+// data, coming from an external XML file in a way similar to ADIOS.  This
+// file contains the description of variables, along with their
+// relationships such as dimension scales, meshes and data layouts.  It
+// also contains the configuration of the different plugins."
+//
+// Accepted document shape (see examples/config/*.xml):
+//
+//   <simulation name="cm1" cores_per_node="12" dedicated_cores="1">
+//     <buffer size="64MiB" queue="1024" policy="block"/>
+//     <data>
+//       <layout name="grid3d" type="float32" dimensions="64,64,64"/>
+//       <mesh name="atm" type="rectilinear" coordinates="x,y,z"/>
+//       <variable name="theta" layout="grid3d" mesh="atm" group="fields"/>
+//     </data>
+//     <storage basename="cm1" codec="none" stripe_count="2"
+//              scheduler="greedy" max_concurrent="0"/>
+//     <actions>
+//       <event name="end_iteration" plugin="store"/>
+//       <event name="snapshot" plugin="vislite">
+//         <param key="variable" value="theta"/>
+//       </event>
+//     </actions>
+//   </simulation>
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "h5lite/h5lite.hpp"
+#include "xml/xml.hpp"
+
+namespace dedicore::core {
+
+/// Shape of the blocks one simulation core writes for a variable.
+struct LayoutSpec {
+  std::string name;
+  h5lite::DType dtype = h5lite::DType::kFloat64;
+  std::vector<std::uint64_t> extents;  ///< per-core block extents
+
+  [[nodiscard]] std::uint64_t element_count() const noexcept;
+  [[nodiscard]] std::uint64_t byte_size() const noexcept;
+};
+
+/// Mesh metadata linking coordinate variables (consumed by the viz plugin).
+struct MeshSpec {
+  std::string name;
+  std::string type = "rectilinear";
+  std::vector<std::string> coordinates;
+};
+
+struct VariableSpec {
+  std::string name;
+  std::string layout;
+  std::string mesh;     ///< optional
+  std::string group;    ///< optional dataset group in the output files
+  bool store = true;    ///< whether the storage plugin persists it
+  /// Scientific importance under the adaptive backpressure policy:
+  /// priority > 0 is never dropped; priority 0 may be shed under pressure.
+  int priority = 0;
+  VariableId id = 0;    ///< assigned at parse time (index order)
+};
+
+/// One <event> binding: when `event` fires, run `plugin` with `params`.
+struct ActionSpec {
+  std::string event;
+  std::string plugin;
+  std::map<std::string, std::string> params;
+};
+
+struct StorageSpec {
+  std::string basename = "output";
+  std::string codec = "none";     ///< chunk codec for stored datasets
+  int stripe_count = 0;           ///< 0 = filesystem default
+  std::string scheduler = "greedy";  ///< "greedy" | "throttled"
+  int max_concurrent_nodes = 0;   ///< "throttled" only; 0 = unlimited
+};
+
+class Configuration {
+ public:
+  /// Parses and validates; throws ConfigError with a precise message on
+  /// any inconsistency (unknown layout/mesh, bad sizes, ...).
+  static Configuration from_xml(const xml::Node& root);
+  static Configuration from_string(const std::string& document);
+  static Configuration from_file(const std::string& path);
+
+  [[nodiscard]] const std::string& simulation_name() const noexcept { return name_; }
+  [[nodiscard]] int cores_per_node() const noexcept { return cores_per_node_; }
+  [[nodiscard]] int dedicated_cores() const noexcept { return dedicated_cores_; }
+  [[nodiscard]] int clients_per_node() const noexcept {
+    return cores_per_node_ - dedicated_cores_;
+  }
+
+  [[nodiscard]] std::uint64_t buffer_size() const noexcept { return buffer_size_; }
+  [[nodiscard]] std::size_t queue_capacity() const noexcept { return queue_capacity_; }
+  [[nodiscard]] BackpressurePolicy policy() const noexcept { return policy_; }
+
+  [[nodiscard]] const std::vector<LayoutSpec>& layouts() const noexcept { return layouts_; }
+  [[nodiscard]] const std::vector<MeshSpec>& meshes() const noexcept { return meshes_; }
+  [[nodiscard]] const std::vector<VariableSpec>& variables() const noexcept { return variables_; }
+  [[nodiscard]] const std::vector<ActionSpec>& actions() const noexcept { return actions_; }
+  [[nodiscard]] const StorageSpec& storage() const noexcept { return storage_; }
+
+  [[nodiscard]] const LayoutSpec& layout(const std::string& name) const;
+  [[nodiscard]] const VariableSpec& variable(const std::string& name) const;
+  [[nodiscard]] const VariableSpec& variable(VariableId id) const;
+  [[nodiscard]] const LayoutSpec& layout_of(const VariableSpec& v) const {
+    return layout(v.layout);
+  }
+  [[nodiscard]] const MeshSpec* mesh(const std::string& name) const noexcept;
+
+  /// Sum of one iteration's output across one core (all stored variables).
+  [[nodiscard]] std::uint64_t bytes_per_core_per_iteration() const noexcept;
+
+  // Programmatic construction (used by tests and the model layer).
+  Configuration() = default;
+  void set_architecture(int cores_per_node, int dedicated_cores);
+  void set_buffer(std::uint64_t size, std::size_t queue_capacity,
+                  BackpressurePolicy policy);
+  void add_layout(LayoutSpec layout);
+  void add_mesh(MeshSpec mesh);
+  void add_variable(VariableSpec variable);
+  void add_action(ActionSpec action);
+  void set_storage(StorageSpec storage);
+  void set_simulation_name(std::string name) { name_ = std::move(name); }
+  /// Cross-checks references; called by from_xml, call it after manual
+  /// construction too.
+  void validate() const;
+
+ private:
+  std::string name_ = "simulation";
+  int cores_per_node_ = 12;
+  int dedicated_cores_ = 1;
+  std::uint64_t buffer_size_ = 64ull << 20;
+  std::size_t queue_capacity_ = 1024;
+  BackpressurePolicy policy_ = BackpressurePolicy::kBlock;
+  std::vector<LayoutSpec> layouts_;
+  std::vector<MeshSpec> meshes_;
+  std::vector<VariableSpec> variables_;
+  std::vector<ActionSpec> actions_;
+  StorageSpec storage_;
+};
+
+}  // namespace dedicore::core

@@ -1,0 +1,83 @@
+// Per-node shared state: the shared-memory segment, the event queues, and
+// the block indexes that connect simulation cores to dedicated cores.
+//
+// One NodeRuntime exists per SMP node (created by the node's rank 0 during
+// Runtime::initialize and handed to the other ranks of the node).  With
+// D dedicated cores per node, clients are partitioned round-robin across
+// D (queue, index) pairs; the segment is shared by the whole node.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/block_index.hpp"
+#include "core/configuration.hpp"
+#include "core/scheduler.hpp"
+#include "core/types.hpp"
+#include "fsim/filesystem.hpp"
+#include "shm/bounded_queue.hpp"
+#include "shm/segment.hpp"
+
+namespace dedicore::core {
+
+struct NodeRuntime {
+  NodeRuntime(Configuration config_in, int node_id_in,
+              fsim::FileSystem* fs_in, std::shared_ptr<IoScheduler> sched)
+      : config(std::move(config_in)),
+        node_id(node_id_in),
+        fs(fs_in),
+        scheduler(std::move(sched)),
+        segment(config.buffer_size()) {
+    const int servers = std::max(1, config.dedicated_cores());
+    queues.reserve(static_cast<std::size_t>(servers));
+    indexes.reserve(static_cast<std::size_t>(servers));
+    for (int s = 0; s < servers; ++s) {
+      queues.push_back(std::make_unique<shm::BoundedQueue<Event>>(
+          config.queue_capacity()));
+      indexes.push_back(std::make_unique<BlockIndex>());
+    }
+    // Distinct event names bound in the configuration, for signal ids.
+    for (const auto& action : config.actions()) {
+      if (std::find(signal_names.begin(), signal_names.end(), action.event) ==
+          signal_names.end())
+        signal_names.push_back(action.event);
+    }
+  }
+
+  /// Which dedicated core serves a given client index.
+  [[nodiscard]] int server_of_client(int client_index) const noexcept {
+    return client_index % static_cast<int>(queues.size());
+  }
+
+  /// How many clients a given dedicated core serves.
+  [[nodiscard]] int clients_of_server(int server_index) const noexcept {
+    const int clients = config.clients_per_node();
+    const int servers = static_cast<int>(queues.size());
+    return clients / servers + (client_index_remainder(clients, servers) > server_index ? 1 : 0);
+  }
+
+  /// Signal id for an event name; -1 when the name is not bound.
+  [[nodiscard]] int signal_id(const std::string& event) const noexcept {
+    for (std::size_t i = 0; i < signal_names.size(); ++i)
+      if (signal_names[i] == event) return static_cast<int>(i);
+    return -1;
+  }
+
+  Configuration config;
+  int node_id = 0;
+  fsim::FileSystem* fs = nullptr;
+  std::shared_ptr<IoScheduler> scheduler;
+  shm::Segment segment;
+  std::vector<std::unique_ptr<shm::BoundedQueue<Event>>> queues;
+  std::vector<std::unique_ptr<BlockIndex>> indexes;
+  std::vector<std::string> signal_names;
+
+ private:
+  static int client_index_remainder(int clients, int servers) noexcept {
+    return clients % servers;
+  }
+};
+
+}  // namespace dedicore::core

@@ -1,0 +1,126 @@
+#include "core/runtime.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace dedicore::core {
+
+namespace {
+
+/// Same-address-space handoff: a creator publishes a shared_ptr under an
+/// id, peers fetch it by id received through the communicator.
+class HandoffRegistry {
+ public:
+  std::uint64_t publish(std::shared_ptr<void> object) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t id = next_id_++;
+    objects_.emplace(id, std::move(object));
+    return id;
+  }
+
+  std::shared_ptr<void> fetch(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = objects_.find(id);
+    DEDICORE_CHECK(it != objects_.end(), "handoff: unknown id");
+    return it->second;
+  }
+
+  void retire(std::uint64_t id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    objects_.erase(id);
+  }
+
+  static HandoffRegistry& instance() {
+    static HandoffRegistry r;
+    return r;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<void>> objects_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// Creator (rank 0 of `comm`) publishes, everyone ends up with the object.
+template <typename T>
+std::shared_ptr<T> share_over(minimpi::Comm& comm, std::shared_ptr<T> object) {
+  std::uint64_t id = 0;
+  if (comm.rank() == 0) id = HandoffRegistry::instance().publish(object);
+  id = comm.bcast_value(id, 0);
+  std::shared_ptr<T> out =
+      std::static_pointer_cast<T>(HandoffRegistry::instance().fetch(id));
+  comm.barrier();  // everyone holds a reference now
+  if (comm.rank() == 0) HandoffRegistry::instance().retire(id);
+  return out;
+}
+
+}  // namespace
+
+Runtime Runtime::initialize(const Configuration& config, minimpi::Comm& world,
+                            fsim::FileSystem& fs,
+                            std::shared_ptr<IoScheduler> scheduler) {
+  config.validate();
+  const int cpn = config.cores_per_node();
+  if (world.size() % cpn != 0)
+    throw ConfigError("world size " + std::to_string(world.size()) +
+                      " is not a multiple of cores_per_node " +
+                      std::to_string(cpn));
+
+  // Global scheduler: built by world rank 0 unless provided.
+  if (world.rank() == 0 && scheduler == nullptr)
+    scheduler = make_scheduler(config.storage().scheduler,
+                               config.storage().max_concurrent_nodes);
+  scheduler = share_over(world, std::move(scheduler));
+
+  const int node_id = world.rank() / cpn;
+  const int node_rank = world.rank() % cpn;
+  minimpi::Comm node_comm = world.split_by_node(cpn);
+
+  // The node's first rank builds the shared state.
+  std::shared_ptr<NodeRuntime> node;
+  if (node_comm.rank() == 0)
+    node = std::make_shared<NodeRuntime>(config, node_id, &fs, scheduler);
+  node = share_over(node_comm, std::move(node));
+
+  Runtime rt;
+  rt.node_ = node;
+
+  const bool is_client = node_rank < config.clients_per_node();
+  // Clients get color 0 so the simulation can run world-like collectives
+  // among computation cores only; servers get their own color.
+  rt.client_comm_ = world.split(is_client ? 0 : 1, world.rank());
+
+  if (is_client) {
+    rt.client_ = std::make_unique<Client>(node, node_rank);
+  } else {
+    const int server_index = node_rank - config.clients_per_node();
+    rt.server_ = std::make_unique<Server>(node, server_index);
+  }
+  return rt;
+}
+
+Client& Runtime::client() {
+  DEDICORE_CHECK(client_ != nullptr, "Runtime::client on a server rank");
+  return *client_;
+}
+
+void Runtime::run_server() {
+  DEDICORE_CHECK(server_ != nullptr, "Runtime::run_server on a client rank");
+  server_->run();
+}
+
+const ServerStats& Runtime::server_stats() const {
+  DEDICORE_CHECK(server_ != nullptr, "Runtime::server_stats on a client rank");
+  return server_->stats();
+}
+
+Server& Runtime::server() {
+  DEDICORE_CHECK(server_ != nullptr, "Runtime::server on a client rank");
+  return *server_;
+}
+
+void Runtime::finalize() {
+  if (client_ != nullptr) client_->stop();
+}
+
+}  // namespace dedicore::core

@@ -1,0 +1,48 @@
+#include "core/scheduler.hpp"
+
+#include "common/clock.hpp"
+#include "common/status.hpp"
+
+namespace dedicore::core {
+
+ThrottledScheduler::ThrottledScheduler(int max_concurrent)
+    : max_concurrent_(max_concurrent) {
+  DEDICORE_CHECK(max_concurrent > 0, "ThrottledScheduler requires max_concurrent > 0");
+}
+
+void ThrottledScheduler::acquire(int) {
+  Stopwatch wait;
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t ticket = next_ticket_++;
+  admitted_.wait(lock, [&] {
+    return ticket == serving_ && active_ < max_concurrent_;
+  });
+  ++serving_;
+  ++active_;
+  total_wait_ += wait.elapsed_seconds();
+  // Wake the next ticket holder: it may also be admissible if slots remain.
+  admitted_.notify_all();
+}
+
+void ThrottledScheduler::release(int) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --active_;
+  }
+  admitted_.notify_all();
+}
+
+double ThrottledScheduler::total_wait_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_wait_;
+}
+
+std::shared_ptr<IoScheduler> make_scheduler(const std::string& name,
+                                            int max_concurrent) {
+  if (name == "greedy") return std::make_shared<GreedyScheduler>();
+  if (name == "throttled")
+    return std::make_shared<ThrottledScheduler>(max_concurrent);
+  throw ConfigError("unknown scheduler '" + name + "'");
+}
+
+}  // namespace dedicore::core

@@ -1,0 +1,89 @@
+// Cross-node I/O scheduling strategies for the dedicated cores (§IV.D).
+//
+// With one dedicated core per node all flushing at the same moment, the
+// storage system sees the same burst a synchronous approach produces —
+// just asynchronously.  The paper reports that a "better I/O scheduling
+// schema" raised aggregate throughput from 10 GB/s to 12.7 GB/s; the
+// mechanism is admission control: bound how many nodes write concurrently
+// so each admitted stream runs near full stripe bandwidth.
+//
+//  * GreedyScheduler    — no admission control (baseline Damaris);
+//  * ThrottledScheduler — counting semaphore with FIFO wakeup, at most
+//    `max_concurrent` nodes in their write phase at once.
+//
+// One scheduler instance is shared by all server cores of a run.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace dedicore::core {
+
+class IoScheduler {
+ public:
+  virtual ~IoScheduler() = default;
+
+  /// Blocks until this node may start writing.  Returns a ticket to pass
+  /// to release().
+  virtual void acquire(int node_id) = 0;
+  virtual void release(int node_id) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Cumulative time spent waiting for admission, across all nodes (s).
+  [[nodiscard]] virtual double total_wait_seconds() const = 0;
+};
+
+/// RAII admission guard.
+class ScheduleGuard {
+ public:
+  ScheduleGuard(IoScheduler& scheduler, int node_id)
+      : scheduler_(&scheduler), node_id_(node_id) {
+    scheduler_->acquire(node_id_);
+  }
+  ~ScheduleGuard() {
+    if (scheduler_ != nullptr) scheduler_->release(node_id_);
+  }
+  ScheduleGuard(const ScheduleGuard&) = delete;
+  ScheduleGuard& operator=(const ScheduleGuard&) = delete;
+
+ private:
+  IoScheduler* scheduler_;
+  int node_id_;
+};
+
+class GreedyScheduler final : public IoScheduler {
+ public:
+  void acquire(int) override {}
+  void release(int) override {}
+  [[nodiscard]] std::string name() const override { return "greedy"; }
+  [[nodiscard]] double total_wait_seconds() const override { return 0.0; }
+};
+
+class ThrottledScheduler final : public IoScheduler {
+ public:
+  explicit ThrottledScheduler(int max_concurrent);
+
+  void acquire(int node_id) override;
+  void release(int node_id) override;
+  [[nodiscard]] std::string name() const override { return "throttled"; }
+  [[nodiscard]] double total_wait_seconds() const override;
+
+ private:
+  const int max_concurrent_;
+  mutable std::mutex mutex_;
+  std::condition_variable admitted_;
+  int active_ = 0;
+  std::uint64_t next_ticket_ = 0;   // FIFO fairness
+  std::uint64_t serving_ = 0;
+  double total_wait_ = 0.0;
+};
+
+/// Factory from the <storage scheduler=.../> configuration.
+std::shared_ptr<IoScheduler> make_scheduler(const std::string& name,
+                                            int max_concurrent);
+
+}  // namespace dedicore::core

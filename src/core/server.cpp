@@ -1,0 +1,108 @@
+#include "core/server.hpp"
+
+#include "common/clock.hpp"
+#include "common/log.hpp"
+
+namespace dedicore::core {
+
+Server::Server(std::shared_ptr<NodeRuntime> node, int server_index)
+    : node_(std::move(node)),
+      server_index_(server_index),
+      client_count_(node_->clients_of_server(server_index)) {
+  DEDICORE_CHECK(server_index >= 0 &&
+                     server_index < static_cast<int>(node_->queues.size()),
+                 "Server: server_index out of range");
+  register_builtin_plugins();
+  for (const auto& action : node_->config.actions())
+    actions_.push_back(BoundAction{action, make_plugin(action.plugin, action.params)});
+}
+
+Server::~Server() = default;
+
+Plugin* Server::find_plugin(const std::string& event,
+                            const std::string& plugin_name) {
+  for (auto& bound : actions_)
+    if (bound.spec.event == event && bound.spec.plugin == plugin_name)
+      return bound.plugin.get();
+  return nullptr;
+}
+
+void Server::run() {
+  auto& queue = *node_->queues[static_cast<std::size_t>(server_index_)];
+  while (stopped_clients_ < client_count_) {
+    Stopwatch idle;
+    auto event = queue.pop();
+    stats_.idle_seconds += idle.elapsed_seconds();
+    if (!event) break;  // queue closed
+    Stopwatch busy;
+    handle(*event);
+    stats_.busy_seconds += busy.elapsed_seconds();
+    ++stats_.events_processed;
+  }
+  stats_.pipeline_time = pipeline_times_.summary();
+}
+
+void Server::handle(const Event& event) {
+  switch (event.type) {
+    case EventType::kBlockWritten: {
+      BlockInfo info;
+      info.variable = event.variable;
+      info.source = event.source;
+      info.iteration = event.iteration;
+      info.block_id = event.block_id;
+      info.block = event.block;
+      for (int i = 0; i < 4; ++i) info.global_offset[i] = event.global_offset[i];
+      node_->indexes[static_cast<std::size_t>(server_index_)]->insert(info);
+      ++stats_.blocks_received;
+      stats_.bytes_received += event.block.size;
+      break;
+    }
+    case EventType::kEndIteration:
+    case EventType::kIterationSkipped: {
+      if (event.type == EventType::kIterationSkipped) ++stats_.client_skips;
+      const int closes = ++iteration_closes_[event.iteration];
+      if (closes == client_count_) {
+        iteration_closes_.erase(event.iteration);
+        complete_iteration(event.iteration);
+      }
+      break;
+    }
+    case EventType::kUserSignal: {
+      const auto id = static_cast<std::size_t>(event.signal_id);
+      DEDICORE_CHECK(id < node_->signal_names.size(),
+                     "Server: signal id out of range");
+      fire(node_->signal_names[id], event.iteration, &event);
+      break;
+    }
+    case EventType::kClientStop:
+      ++stopped_clients_;
+      break;
+  }
+}
+
+void Server::fire(const std::string& event_name, Iteration iteration,
+                  const Event* trigger) {
+  for (auto& bound : actions_) {
+    if (bound.spec.event != event_name) continue;
+    PluginContext context{*node_, server_index_, iteration, trigger,
+                          &bound.spec.params, &stats_};
+    bound.plugin->run(context);
+  }
+}
+
+void Server::complete_iteration(Iteration iteration) {
+  Stopwatch pipeline;
+  fire("end_iteration", iteration, nullptr);
+
+  // Release the iteration's blocks: the plugins are done with them.
+  auto& index = *node_->indexes[static_cast<std::size_t>(server_index_)];
+  for (const auto& block : index.extract_iteration(iteration))
+    node_->segment.deallocate(block.block);
+
+  ++stats_.iterations_completed;
+  pipeline_times_.add(pipeline.elapsed_seconds());
+  DEDICORE_LOG(kDebug) << "node " << node_->node_id << " server "
+                       << server_index_ << " completed iteration " << iteration;
+}
+
+}  // namespace dedicore::core

@@ -1,0 +1,76 @@
+// Core identifiers and the event vocabulary of the Damaris-style runtime.
+//
+// Simulation cores talk to the dedicated cores of their node through a
+// bounded shared message queue (shm::BoundedQueue<Event>); data travels
+// separately through the shared-memory segment and is referenced from
+// events by BlockRef handles — the zero/one-copy design the paper credits
+// for Damaris's low write latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "shm/segment.hpp"
+
+namespace dedicore::core {
+
+using VariableId = std::uint32_t;
+using Iteration = std::int64_t;
+
+/// What a queue message means to the dedicated core.
+enum class EventType : std::uint8_t {
+  kBlockWritten,   ///< a data block is ready in the segment
+  kEndIteration,   ///< the source rank finished iteration `iteration`
+  kUserSignal,     ///< user-defined event; `signal_id` selects the action
+  kIterationSkipped,  ///< source rank dropped this iteration (backpressure)
+  kClientStop,     ///< the source rank is shutting down
+};
+
+/// Fixed-size message traveling through the shared queue.
+struct Event {
+  EventType type = EventType::kBlockWritten;
+  int source = -1;            ///< writer's rank in the node communicator
+  Iteration iteration = 0;
+  VariableId variable = 0;    ///< kBlockWritten only
+  std::uint32_t block_id = 0; ///< distinguishes multiple blocks per (var, it, src)
+  std::uint32_t signal_id = 0;  ///< kUserSignal only
+  shm::BlockRef block;        ///< kBlockWritten only
+  /// Global element offsets of the block within the variable's grid.
+  std::uint64_t global_offset[4] = {0, 0, 0, 0};
+};
+
+/// Metadata describing one data block in the segment, as kept by the
+/// server-side index ("all data blocks are indexed in a metadata structure
+/// that helps searching for particular blocks").
+struct BlockInfo {
+  VariableId variable = 0;
+  int source = -1;
+  Iteration iteration = 0;
+  std::uint32_t block_id = 0;
+  shm::BlockRef block;
+  /// Global position of this block within the variable's global grid
+  /// (element offsets per dimension, rank-major); used by storage and viz
+  /// plugins to stitch per-process sub-domains together.
+  std::uint64_t global_offset[4] = {0, 0, 0, 0};
+};
+
+/// What to do when the shared segment or queue is full (§V.C.1): block the
+/// simulation until the dedicated core catches up, or drop (skip) the
+/// iteration's output to preserve the simulation's pace.
+///
+/// kAdaptive implements the paper's stated future work — "more elaborate
+/// techniques that will select portions of data carrying important
+/// scientific value are now being considered": under pressure, writes of
+/// variables with priority 0 are dropped individually while variables
+/// with priority > 0 keep the blocking guarantee, so the important data
+/// always reaches storage and the simulation never stalls on the rest.
+enum class BackpressurePolicy : std::uint8_t {
+  kBlock,
+  kSkipIteration,
+  kAdaptive,
+};
+
+std::string to_string(EventType type);
+std::string to_string(BackpressurePolicy policy);
+
+}  // namespace dedicore::core

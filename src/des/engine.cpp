@@ -1,0 +1,74 @@
+#include "des/engine.hpp"
+
+namespace dedicore::des {
+
+EventId Engine::schedule_at(double time, Callback fn) {
+  DEDICORE_CHECK(time >= now_ - 1e-9, "Engine: scheduling into the past");
+  const EventId id = next_id_++;
+  queue_.push(Entry{time, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void Engine::cancel(EventId id) { callbacks_.erase(id); }
+
+void Engine::run() { run_until(std::numeric_limits<double>::infinity()); }
+
+void Engine::run_until(double horizon) {
+  while (!queue_.empty()) {
+    const Entry top = queue_.top();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) {  // cancelled
+      queue_.pop();
+      continue;
+    }
+    if (top.time > horizon) break;
+    queue_.pop();
+    now_ = std::max(now_, top.time);
+    Callback fn = std::move(it->second);
+    callbacks_.erase(it);
+    ++executed_;
+    fn();
+  }
+  // Virtual time passes up to the horizon even when later events remain.
+  if (horizon != std::numeric_limits<double>::infinity())
+    now_ = std::max(now_, horizon);
+}
+
+SimSemaphore::SimSemaphore(Engine& engine, int permits)
+    : engine_(engine), permits_(permits) {
+  DEDICORE_CHECK(permits > 0, "SimSemaphore: permits must be positive");
+}
+
+void SimSemaphore::acquire(std::function<void()> acquired) {
+  if (permits_ > 0) {
+    --permits_;
+    // Defer to the engine so acquisition order is deterministic and the
+    // caller's stack unwinds first.
+    engine_.schedule_in(0.0, std::move(acquired));
+  } else {
+    waiters_.push(std::move(acquired));
+  }
+}
+
+void SimSemaphore::release() {
+  if (!waiters_.empty()) {
+    auto next = std::move(waiters_.front());
+    waiters_.pop();
+    engine_.schedule_in(0.0, std::move(next));
+  } else {
+    ++permits_;
+  }
+}
+
+double SimFifoServer::request(double service, std::function<void()> done) {
+  DEDICORE_CHECK(service >= 0.0, "SimFifoServer: negative service time");
+  const double start = std::max(engine_.now(), busy_until_);
+  busy_until_ = start + service;
+  busy_time_ += service;
+  ++operations_;
+  engine_.schedule_at(busy_until_, std::move(done));
+  return busy_until_;
+}
+
+}  // namespace dedicore::des

@@ -1,0 +1,110 @@
+// Discrete-event simulation engine (virtual time).
+//
+// The paper's headline experiments ran on up to 9216 cores of a Cray XT5 —
+// far beyond what one container can execute with real threads.  The model
+// layer (src/model) replays the exact same I/O-strategy logic at full
+// scale in virtual time on this engine; the real-thread runtime validates
+// the middleware at small scale, the DES extrapolates it (EXPERIMENTS.md
+// records the cross-validation).
+//
+// Deterministic: ties in time break by schedule order.  Events can be
+// cancelled; the engine is single-threaded by design.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+
+#include "common/status.hpp"
+
+namespace dedicore::des {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute virtual time `time` (must be >= now()).
+  EventId schedule_at(double time, Callback fn);
+
+  /// Schedules `fn` after a delay (>= 0) relative to now().
+  EventId schedule_in(double delay, Callback fn) {
+    DEDICORE_CHECK(delay >= 0.0, "Engine: negative delay");
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event; harmless if it already ran or was cancelled.
+  void cancel(EventId id);
+
+  /// Runs until the queue drains (or until `run_until`'s horizon).
+  void run();
+  void run_until(double horizon);
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+  [[nodiscard]] bool empty() const noexcept { return callbacks_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return callbacks_.size(); }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;  ///< FIFO among same-time events
+    EventId id;
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+};
+
+/// Counting semaphore with FIFO waiters — admission control (the
+/// "throttled" I/O scheduler) and bounded buffers in the DES models.
+class SimSemaphore {
+ public:
+  SimSemaphore(Engine& engine, int permits);
+
+  /// Calls `acquired` (immediately or later) once a permit is granted.
+  void acquire(std::function<void()> acquired);
+  void release();
+
+  [[nodiscard]] int available() const noexcept { return permits_; }
+  [[nodiscard]] std::size_t waiting() const noexcept { return waiters_.size(); }
+
+ private:
+  Engine& engine_;
+  int permits_;
+  std::queue<std::function<void()>> waiters_;
+};
+
+/// FIFO single server in virtual time (the metadata server).  Requests
+/// queue in arrival order; `done` fires at the completion time.
+class SimFifoServer {
+ public:
+  explicit SimFifoServer(Engine& engine) : engine_(engine) {}
+
+  /// Returns the completion time (also delivered via `done`).
+  double request(double service, std::function<void()> done);
+
+  [[nodiscard]] double busy_until() const noexcept { return busy_until_; }
+  [[nodiscard]] std::uint64_t operations() const noexcept { return operations_; }
+  [[nodiscard]] double busy_time() const noexcept { return busy_time_; }
+
+ private:
+  Engine& engine_;
+  double busy_until_ = 0.0;
+  double busy_time_ = 0.0;
+  std::uint64_t operations_ = 0;
+};
+
+}  // namespace dedicore::des

@@ -1,0 +1,278 @@
+#include "fsim/filesystem.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "common/clock.hpp"
+
+namespace dedicore::fsim {
+
+namespace {
+double steady_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+/// One object storage target: fair-shared bandwidth with lazy interference.
+struct FileSystem::OstState {
+  OstState(const StorageConfig& config, Rng rng)
+      : interference(config, rng) {}
+
+  std::mutex mutex;
+  int active = 0;  ///< concurrent transfers registered on this OST
+  InterferenceProcess interference;  // guarded by mutex
+  double busy_sim = 0.0;             // quanta with >= 1 active transfer
+};
+
+struct FileSystem::FileState {
+  std::string path;
+  int stripe_count = 1;
+  int stripe_origin = 0;  ///< first OST index for round-robin striping
+  std::vector<std::byte> content;  // guarded by content_mutex
+  std::mutex content_mutex;
+};
+
+FileSystem::FileSystem(StorageConfig config, TimeScale scale)
+    : config_(config), scale_(scale), epoch_real_(steady_now()),
+      jitter_(config, Rng(config.seed ^ 0x6a09e667f3bcc909ull)) {
+  config_.validate();
+  DEDICORE_CHECK(scale_.real_per_sim > 0 && scale_.quantum_sim > 0,
+                 "TimeScale values must be positive");
+  Rng root(config_.seed);
+  osts_.reserve(static_cast<std::size_t>(config_.ost_count));
+  for (int i = 0; i < config_.ost_count; ++i)
+    osts_.push_back(std::make_unique<OstState>(config_, root.split()));
+}
+
+FileSystem::~FileSystem() = default;
+
+double FileSystem::sim_now() const {
+  return scale_.to_sim(steady_now() - epoch_real_);
+}
+
+FileHandle FileSystem::create(const std::string& path, int stripe_count,
+                              double* mds_time_sim) {
+  if (stripe_count == 0) stripe_count = config_.default_stripe_count;
+  DEDICORE_CHECK(stripe_count > 0 && stripe_count <= config_.ost_count,
+                 "create: stripe_count out of range");
+
+  // The metadata server serializes creates: holding the mutex while
+  // sleeping the scaled service time makes concurrent creators queue for
+  // real, which is exactly the file-per-process metadata storm.
+  const double arrival = sim_now();
+  {
+    std::lock_guard<std::mutex> lock(mds_mutex_);
+    sleep_seconds(scale_.to_real(config_.mds_op_cost));
+  }
+  const double mds_time = sim_now() - arrival;
+
+  std::lock_guard<std::mutex> lock(meta_mutex_);
+  mds_accounting_.submit(arrival, config_.mds_op_cost);
+  ++mds_operations_;
+  mds_busy_time_sim_ += config_.mds_op_cost;
+  if (mds_time_sim != nullptr) *mds_time_sim = mds_time;
+
+  auto state = std::make_unique<FileState>();
+  state->path = path;
+  state->stripe_count = stripe_count;
+  state->stripe_origin = next_stripe_origin_;
+  next_stripe_origin_ = (next_stripe_origin_ + stripe_count) % config_.ost_count;
+
+  // Truncate-on-create: drop any previous incarnation.
+  if (auto it = by_path_.find(path); it != by_path_.end()) files_.erase(it->second);
+
+  const std::uint64_t id = next_handle_++;
+  by_path_[path] = id;
+  files_.emplace(id, std::move(state));
+  ++files_created_;
+  return FileHandle{id};
+}
+
+std::optional<FileHandle> FileSystem::open(const std::string& path,
+                                           double* mds_time_sim) {
+  const double arrival = sim_now();
+  {
+    std::lock_guard<std::mutex> lock(mds_mutex_);
+    sleep_seconds(scale_.to_real(config_.mds_op_cost));
+  }
+  const double mds_time = sim_now() - arrival;
+
+  std::lock_guard<std::mutex> lock(meta_mutex_);
+  mds_accounting_.submit(arrival, config_.mds_op_cost);
+  ++mds_operations_;
+  mds_busy_time_sim_ += config_.mds_op_cost;
+  if (mds_time_sim != nullptr) *mds_time_sim = mds_time;
+
+  auto it = by_path_.find(path);
+  if (it == by_path_.end()) return std::nullopt;
+  return FileHandle{it->second};
+}
+
+FileSystem::FileState* FileSystem::find_file(FileHandle handle) const {
+  std::lock_guard<std::mutex> lock(meta_mutex_);
+  auto it = files_.find(handle.id);
+  DEDICORE_CHECK(it != files_.end(), "FileSystem: stale file handle");
+  return it->second.get();
+}
+
+double FileSystem::run_transfer(std::vector<std::pair<int, double>> ost_bytes) {
+  // Register on every involved OST, then drain bandwidth in quanta.  The
+  // per-quantum share is bandwidth * interference / active, so concurrent
+  // writers genuinely slow each other down.
+  const double start_sim = sim_now();
+  sleep_seconds(scale_.to_real(config_.request_latency));
+
+  for (auto& [ost, bytes] : ost_bytes) {
+    OstState& o = *osts_[static_cast<std::size_t>(ost)];
+    std::lock_guard<std::mutex> lock(o.mutex);
+    ++o.active;
+  }
+
+  std::size_t remaining_osts = ost_bytes.size();
+  while (remaining_osts > 0) {
+    sleep_seconds(scale_.to_real(scale_.quantum_sim));
+    const double t = sim_now();
+    for (auto& [ost, bytes] : ost_bytes) {
+      if (bytes <= 0.0) continue;
+      OstState& o = *osts_[static_cast<std::size_t>(ost)];
+      std::lock_guard<std::mutex> lock(o.mutex);
+      const double share = config_.ost_bandwidth *
+                           o.interference.available_fraction(t) /
+                           static_cast<double>(std::max(1, o.active));
+      bytes -= share * scale_.quantum_sim;
+      o.busy_sim += scale_.quantum_sim;
+      if (bytes <= 0.0) {
+        --o.active;
+        --remaining_osts;
+      }
+    }
+  }
+  return sim_now() - start_sim;
+}
+
+double FileSystem::pwrite(FileHandle file, std::uint64_t offset,
+                          std::span<const std::byte> bytes) {
+  FileState* state = find_file(file);
+
+  double duration = 0.0;
+  if (!bytes.empty()) {
+    // Per-write heavy-tailed slowdown: model stragglers by inflating the
+    // effective transfer volume.
+    double factor = 1.0;
+    {
+      std::lock_guard<std::mutex> lock(jitter_mutex_);
+      factor = jitter_.factor();
+    }
+
+    // Split the byte range into stripe_size chunks round-robin over the
+    // file's OSTs, then transfer all per-OST totals concurrently.
+    std::vector<double> per_ost(static_cast<std::size_t>(config_.ost_count), 0.0);
+    std::uint64_t cursor = offset;
+    std::uint64_t left = bytes.size();
+    while (left > 0) {
+      const std::uint64_t stripe_index = cursor / config_.stripe_size;
+      const std::uint64_t within = cursor % config_.stripe_size;
+      const std::uint64_t chunk = std::min<std::uint64_t>(left, config_.stripe_size - within);
+      const int ost = (state->stripe_origin +
+                       static_cast<int>(stripe_index %
+                                        static_cast<std::uint64_t>(state->stripe_count))) %
+                      config_.ost_count;
+      per_ost[static_cast<std::size_t>(ost)] += static_cast<double>(chunk);
+      cursor += chunk;
+      left -= chunk;
+    }
+    std::vector<std::pair<int, double>> ost_bytes;
+    for (int i = 0; i < config_.ost_count; ++i)
+      if (per_ost[static_cast<std::size_t>(i)] > 0.0)
+        ost_bytes.emplace_back(i, per_ost[static_cast<std::size_t>(i)] * factor);
+
+    duration = run_transfer(std::move(ost_bytes));
+  }
+
+  // Persist content so files can be read back and verified.
+  {
+    std::lock_guard<std::mutex> lock(state->content_mutex);
+    if (state->content.size() < offset + bytes.size())
+      state->content.resize(offset + bytes.size());
+    if (!bytes.empty())
+      std::memcpy(state->content.data() + offset, bytes.data(), bytes.size());
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(meta_mutex_);
+    ++writes_;
+    bytes_written_ += bytes.size();
+    total_write_time_sim_ += duration;
+    write_times_sim_.add(duration);
+  }
+  return duration;
+}
+
+double FileSystem::write(FileHandle file, std::span<const std::byte> bytes) {
+  FileState* state = find_file(file);
+  std::uint64_t offset = 0;
+  {
+    std::lock_guard<std::mutex> lock(state->content_mutex);
+    offset = state->content.size();
+  }
+  return pwrite(file, offset, bytes);
+}
+
+void FileSystem::close(FileHandle file) {
+  (void)find_file(file);  // validates the handle
+}
+
+bool FileSystem::exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(meta_mutex_);
+  return by_path_.contains(path);
+}
+
+std::optional<std::vector<std::byte>> FileSystem::read_file(
+    const std::string& path) const {
+  FileState* state = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(meta_mutex_);
+    auto it = by_path_.find(path);
+    if (it == by_path_.end()) return std::nullopt;
+    state = files_.at(it->second).get();
+  }
+  std::lock_guard<std::mutex> lock(state->content_mutex);
+  return state->content;
+}
+
+std::uint64_t FileSystem::file_size(const std::string& path) const {
+  auto content = read_file(path);
+  return content ? content->size() : 0;
+}
+
+std::vector<std::string> FileSystem::list_files() const {
+  std::lock_guard<std::mutex> lock(meta_mutex_);
+  std::vector<std::string> out;
+  out.reserve(by_path_.size());
+  for (const auto& [path, id] : by_path_) out.push_back(path);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t FileSystem::file_count() const {
+  std::lock_guard<std::mutex> lock(meta_mutex_);
+  return by_path_.size();
+}
+
+FileSystemStats FileSystem::stats() const {
+  std::lock_guard<std::mutex> lock(meta_mutex_);
+  FileSystemStats s;
+  s.files_created = files_created_;
+  s.mds_operations = mds_operations_;
+  s.writes = writes_;
+  s.bytes_written = bytes_written_;
+  s.total_write_time_sim = total_write_time_sim_;
+  s.mds_busy_time_sim = mds_busy_time_sim_;
+  s.write_time_summary = write_times_sim_.summary();
+  return s;
+}
+
+}  // namespace dedicore::fsim

@@ -1,0 +1,142 @@
+#include "fsim/storage_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dedicore::fsim {
+
+void StorageConfig::validate() const {
+  if (ost_count <= 0) throw ConfigError("StorageConfig: ost_count must be > 0");
+  if (ost_bandwidth <= 0) throw ConfigError("StorageConfig: ost_bandwidth must be > 0");
+  if (mds_op_cost < 0) throw ConfigError("StorageConfig: mds_op_cost must be >= 0");
+  if (stripe_size == 0) throw ConfigError("StorageConfig: stripe_size must be > 0");
+  if (default_stripe_count <= 0 || default_stripe_count > ost_count)
+    throw ConfigError("StorageConfig: default_stripe_count out of range");
+  if (jitter_sigma < 0) throw ConfigError("StorageConfig: jitter_sigma must be >= 0");
+  if (spike_probability < 0 || spike_probability > 1)
+    throw ConfigError("StorageConfig: spike_probability must be in [0,1]");
+  if (interference_share < 0 || interference_share >= 1)
+    throw ConfigError("StorageConfig: interference_share must be in [0,1)");
+}
+
+// ---------------------------------------------------------------------------
+// InterferenceProcess
+// ---------------------------------------------------------------------------
+
+InterferenceProcess::InterferenceProcess(const StorageConfig& config, Rng rng)
+    : on_rate_(config.interference_on_rate),
+      off_rate_(config.interference_off_rate),
+      share_(config.interference_share),
+      rng_(rng) {
+  if (on_rate_ > 0.0) state_until_ = rng_.exponential(on_rate_);
+}
+
+void InterferenceProcess::advance_to(double t) {
+  if (on_rate_ <= 0.0 || share_ <= 0.0) return;  // interference disabled
+  while (state_until_ < t) {
+    on_ = !on_;
+    const double rate = on_ ? off_rate_ : on_rate_;
+    state_until_ += rng_.exponential(rate);
+  }
+}
+
+double InterferenceProcess::available_fraction(double t) {
+  advance_to(t);
+  return on_ ? 1.0 - share_ : 1.0;
+}
+
+double InterferenceProcess::average_available(double t0, double t1) {
+  DEDICORE_CHECK(t1 >= t0, "average_available: t1 < t0");
+  if (t1 == t0) return available_fraction(t0);
+  advance_to(t0);
+  double integral = 0.0;
+  double cursor = t0;
+  while (state_until_ < t1) {
+    integral += (state_until_ - cursor) * (on_ ? 1.0 - share_ : 1.0);
+    cursor = state_until_;
+    advance_to(std::nextafter(state_until_, t1 + 1.0));
+  }
+  integral += (t1 - cursor) * (on_ ? 1.0 - share_ : 1.0);
+  return integral / (t1 - t0);
+}
+
+// ---------------------------------------------------------------------------
+// QueueServer
+// ---------------------------------------------------------------------------
+
+double QueueServer::submit(double now, double service) {
+  DEDICORE_CHECK(service >= 0.0, "QueueServer: negative service time");
+  const double start = std::max(now, busy_until_);
+  total_wait_ += start - now;
+  busy_until_ = start + service;
+  ++operations_;
+  return busy_until_;
+}
+
+// ---------------------------------------------------------------------------
+// SharedLink
+// ---------------------------------------------------------------------------
+
+SharedLink::SharedLink(double bandwidth) : bandwidth_(bandwidth) {
+  DEDICORE_CHECK(bandwidth > 0.0, "SharedLink bandwidth must be > 0");
+}
+
+double SharedLink::rate_per_flow() const noexcept {
+  if (flows_.empty()) return 0.0;
+  return bandwidth_ * factor_ / static_cast<double>(flows_.size());
+}
+
+void SharedLink::advance_to(double now) {
+  DEDICORE_CHECK(now >= now_ - 1e-12, "SharedLink: time went backwards");
+  if (now <= now_) return;
+  const double dt = now - now_;
+  if (!flows_.empty()) {
+    const double drained = rate_per_flow() * dt;
+    for (auto& [id, remaining] : flows_) {
+      const double served = std::min(remaining, drained);
+      remaining -= served;
+      bytes_served_ += served;
+    }
+    busy_time_ += dt;
+  }
+  now_ = now;
+}
+
+SharedLink::FlowId SharedLink::submit(double now, double bytes) {
+  DEDICORE_CHECK(bytes > 0.0, "SharedLink: flow must carry bytes");
+  advance_to(now);
+  const FlowId id = next_id_++;
+  flows_.emplace(id, bytes);
+  return id;
+}
+
+double SharedLink::next_completion_time() const {
+  if (flows_.empty()) return kNever;
+  double least = std::numeric_limits<double>::infinity();
+  for (const auto& [id, remaining] : flows_) least = std::min(least, remaining);
+  return now_ + least / rate_per_flow();
+}
+
+std::vector<SharedLink::FlowId> SharedLink::complete_at(double t) {
+  advance_to(t);
+  std::vector<FlowId> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    // Byte-scale epsilon: generous enough that a remainder too small to
+    // advance virtual time still counts as finished.
+    if (it->second <= 1e-3) {
+      done.push_back(it->first);
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return done;
+}
+
+void SharedLink::set_bandwidth_factor(double factor) {
+  DEDICORE_CHECK(factor > 0.0 && factor <= 1.0,
+                 "SharedLink: bandwidth factor must be in (0,1]");
+  factor_ = factor;
+}
+
+}  // namespace dedicore::fsim

@@ -1,0 +1,252 @@
+// h5lite — a self-describing scientific container format.
+//
+// Stands in for HDF5/pHDF5 in the reproduction: CM1 "periodically writes
+// either one file per process, or a single shared file in a collective
+// manner using Parallel HDF5"; Damaris's default storage plugin writes
+// per-node aggregated files in the same format.  h5lite provides the
+// pieces those paths need:
+//
+//  * a tree of named groups with typed attributes;
+//  * typed n-dimensional datasets (contiguous, or chunked with optional
+//    per-chunk compression via src/compress);
+//  * a builder producing one contiguous byte image (written through the
+//    filesystem simulator), and a reader that parses images back;
+//  * `SharedLayout`, which precomputes disjoint dataset extents so many
+//    writers can fill one shared file with positional writes — the
+//    collective-I/O shared-file mode.
+//
+// Binary layout (version 1, little-endian):
+//   superblock: magic "H5LITE\x00\x01" | u64 root_offset | u64 file_size
+//   data blocks appended first, metadata tree last, superblock patched.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/status.hpp"
+#include "compress/codec.hpp"
+
+namespace dedicore::h5lite {
+
+inline constexpr std::size_t kSuperblockSize = 8 + 8 + 8;
+inline constexpr char kMagic[8] = {'H', '5', 'L', 'I', 'T', 'E', '\0', '\1'};
+
+enum class DType : std::uint8_t {
+  kInt8 = 0, kInt16, kInt32, kInt64,
+  kUInt8, kUInt16, kUInt32, kUInt64,
+  kFloat32, kFloat64,
+};
+
+std::size_t dtype_size(DType t) noexcept;
+std::string_view dtype_name(DType t) noexcept;
+
+/// Map a C++ arithmetic type to its DType tag.
+template <typename T> constexpr DType dtype_of();
+template <> constexpr DType dtype_of<std::int8_t>() { return DType::kInt8; }
+template <> constexpr DType dtype_of<std::int16_t>() { return DType::kInt16; }
+template <> constexpr DType dtype_of<std::int32_t>() { return DType::kInt32; }
+template <> constexpr DType dtype_of<std::int64_t>() { return DType::kInt64; }
+template <> constexpr DType dtype_of<std::uint8_t>() { return DType::kUInt8; }
+template <> constexpr DType dtype_of<std::uint16_t>() { return DType::kUInt16; }
+template <> constexpr DType dtype_of<std::uint32_t>() { return DType::kUInt32; }
+template <> constexpr DType dtype_of<std::uint64_t>() { return DType::kUInt64; }
+template <> constexpr DType dtype_of<float>() { return DType::kFloat32; }
+template <> constexpr DType dtype_of<double>() { return DType::kFloat64; }
+
+using AttrValue = std::variant<std::int64_t, double, std::string>;
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Incrementally assembles a file image.  Dataset payloads are appended to
+/// the image as they are added (so memory is the image, nothing is held
+/// twice); finalize() appends the metadata tree and patches the superblock.
+class FileBuilder {
+ public:
+  /// Opaque group id; 0 is the root.
+  using GroupId = std::uint32_t;
+  static constexpr GroupId kRoot = 0;
+
+  FileBuilder();
+  ~FileBuilder();  // out-of-line: GroupRecord is incomplete here
+  FileBuilder(FileBuilder&&) noexcept;
+  FileBuilder& operator=(FileBuilder&&) noexcept;
+
+  /// Creates a child group; name must be unique within the parent.
+  GroupId create_group(GroupId parent, std::string_view name);
+
+  void set_attribute(GroupId group, std::string_view name, AttrValue value);
+
+  /// Contiguous dataset; data size must equal product(dims)*dtype_size.
+  void add_dataset(GroupId group, std::string_view name, DType dtype,
+                   std::span<const std::uint64_t> dims,
+                   std::span<const std::byte> data);
+
+  /// Chunked dataset with optional per-chunk compression.  `chunk_dims`
+  /// must have the same rank as `dims`; edge chunks are trimmed.
+  void add_dataset_chunked(GroupId group, std::string_view name, DType dtype,
+                           std::span<const std::uint64_t> dims,
+                           std::span<const std::uint64_t> chunk_dims,
+                           std::span<const std::byte> data,
+                           compress::CodecId codec);
+
+  template <typename T>
+  void add_dataset(GroupId group, std::string_view name,
+                   std::span<const std::uint64_t> dims,
+                   std::span<const T> values) {
+    add_dataset(group, name, dtype_of<T>(), dims,
+                std::as_bytes(values));
+  }
+
+  /// Appends the metadata tree, patches the superblock and returns the
+  /// image.  The builder is consumed.
+  std::vector<std::byte> finalize() &&;
+
+  /// Bytes accumulated so far (data blocks only, pre-metadata).
+  [[nodiscard]] std::size_t data_bytes() const noexcept { return image_.size(); }
+
+  // Implementation records; opaque to callers (defined in h5lite.cpp).
+  struct DatasetRecord;
+  struct GroupRecord;
+
+ private:
+  GroupRecord& group(GroupId id);
+  void check_unique(const GroupRecord& g, std::string_view name) const;
+
+  std::vector<std::byte> image_;  // superblock placeholder + data blocks
+  std::vector<std::unique_ptr<GroupRecord>> groups_;
+  bool finalized_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+class Dataset {
+ public:
+  std::string name;
+  DType dtype = DType::kUInt8;
+  std::vector<std::uint64_t> dims;
+  std::map<std::string, AttrValue, std::less<>> attributes;
+
+  [[nodiscard]] std::uint64_t element_count() const noexcept;
+  [[nodiscard]] std::uint64_t byte_size() const noexcept;
+
+  /// Materializes the payload (decompressing chunks as needed).
+  [[nodiscard]] std::vector<std::byte> read() const;
+
+  template <typename T>
+  [[nodiscard]] std::vector<T> read_as() const {
+    DEDICORE_CHECK(dtype_of<T>() == dtype, "Dataset::read_as: dtype mismatch");
+    std::vector<std::byte> raw = read();
+    std::vector<T> out(raw.size() / sizeof(T));
+    std::memcpy(out.data(), raw.data(), raw.size());
+    return out;
+  }
+
+  /// On-disk footprint of the payload (post-compression); used to measure
+  /// compression ratios of real files.
+  [[nodiscard]] std::uint64_t stored_size() const noexcept;
+
+ private:
+  friend class File;
+  friend struct DatasetAccess;
+  struct Chunk {
+    std::uint64_t offset, stored, raw;
+  };
+  const std::vector<std::byte>* image_ = nullptr;
+  std::uint64_t data_offset_ = 0;  // contiguous layout
+  std::uint64_t data_size_ = 0;
+  bool chunked_ = false;
+  compress::CodecId codec_ = compress::CodecId::kNone;
+  std::vector<std::uint64_t> chunk_dims_cache_;  // chunk shape (chunked only)
+  std::vector<Chunk> chunks_;
+};
+
+class Group {
+ public:
+  std::string name;
+  std::map<std::string, AttrValue, std::less<>> attributes;
+  std::vector<Group> groups;
+  std::vector<Dataset> datasets;
+
+  [[nodiscard]] const Group* find_group(std::string_view child) const noexcept;
+  [[nodiscard]] const Dataset* find_dataset(std::string_view child) const noexcept;
+};
+
+/// Parsed file.  Owns the raw image; Datasets reference into it.
+class File {
+ public:
+  /// Parses an image; throws ConfigError on malformed input.
+  static File parse(std::vector<std::byte> image);
+
+  [[nodiscard]] const Group& root() const noexcept { return root_; }
+
+  /// Slash-separated lookup: "mesh3d/temperature".
+  [[nodiscard]] const Dataset* find_dataset(std::string_view path) const;
+  [[nodiscard]] const Group* find_group(std::string_view path) const;
+
+  /// All dataset paths in the file (depth-first).
+  [[nodiscard]] std::vector<std::string> dataset_paths() const;
+
+ private:
+  File() = default;
+  std::unique_ptr<std::vector<std::byte>> image_;  // stable address
+  Group root_;
+};
+
+// ---------------------------------------------------------------------------
+// SharedLayout — collective shared-file support
+// ---------------------------------------------------------------------------
+
+/// Precomputed layout of a shared file whose datasets are filled by many
+/// writers with positional writes.  All participants construct the same
+/// layout deterministically from the same dataset declarations; each then
+/// writes its extent at `payload_offset(i)` and rank 0 writes the header
+/// image via `header_image()`.
+class SharedLayout {
+ public:
+  struct Decl {
+    std::string path;   ///< "group/name"; single-level grouping supported
+    DType dtype = DType::kFloat64;
+    std::vector<std::uint64_t> dims;
+  };
+
+  explicit SharedLayout(std::vector<Decl> datasets);
+
+  [[nodiscard]] std::size_t dataset_count() const noexcept { return decls_.size(); }
+  /// Byte offset of dataset i's payload inside the shared file.
+  [[nodiscard]] std::uint64_t payload_offset(std::size_t i) const;
+  [[nodiscard]] std::uint64_t payload_size(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total_size() const noexcept { return total_size_; }
+
+  /// Superblock + metadata tree image; writing it at offset 0 (and the
+  /// metadata block at `metadata_offset()`) makes the file parseable by
+  /// File::parse once all payloads are in place.
+  [[nodiscard]] const std::vector<std::byte>& header_image() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] std::uint64_t metadata_offset() const noexcept { return metadata_offset_; }
+  [[nodiscard]] const std::vector<std::byte>& metadata_image() const noexcept {
+    return metadata_;
+  }
+
+ private:
+  std::vector<Decl> decls_;
+  std::vector<std::uint64_t> offsets_;
+  std::uint64_t metadata_offset_ = 0;
+  std::uint64_t total_size_ = 0;
+  std::vector<std::byte> header_;    // superblock (kSuperblockSize bytes)
+  std::vector<std::byte> metadata_;  // tree at metadata_offset
+};
+
+}  // namespace dedicore::h5lite

@@ -1,0 +1,360 @@
+#include "minimpi/minimpi.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+namespace dedicore::minimpi {
+
+namespace detail {
+
+/// Per-rank mailbox: FIFO of pending messages with wakeups on arrival.
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable arrived;
+  std::deque<Message> pending;
+};
+
+/// State shared by all ranks of one communicator.
+struct CommState {
+  explicit CommState(int size) : mailboxes(static_cast<std::size_t>(size)) {}
+
+  std::vector<Mailbox> mailboxes;
+
+  // Registry used by split(): rank 0 publishes child states here under a
+  // sequence id; other ranks pick theirs up by id (same address space).
+  std::mutex registry_mutex;
+  std::unordered_map<std::uint64_t, std::shared_ptr<CommState>> child_registry;
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(mailboxes.size());
+  }
+
+  void deliver(int dest, Message message) {
+    DEDICORE_CHECK(dest >= 0 && dest < size(), "minimpi: destination rank out of range");
+    Mailbox& box = mailboxes[static_cast<std::size_t>(dest)];
+    {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      box.pending.push_back(std::move(message));
+    }
+    box.arrived.notify_all();
+  }
+
+  static bool matches(const Message& m, int source, int tag) noexcept {
+    return (source == kAnySource || m.source == source) &&
+           (tag == kAnyTag || m.tag == tag);
+  }
+
+  /// Removes and returns the first matching message, waiting if needed.
+  Message consume(int self, int source, int tag) {
+    Mailbox& box = mailboxes[static_cast<std::size_t>(self)];
+    std::unique_lock<std::mutex> lock(box.mutex);
+    for (;;) {
+      auto it = std::find_if(box.pending.begin(), box.pending.end(),
+                             [&](const Message& m) { return matches(m, source, tag); });
+      if (it != box.pending.end()) {
+        Message out = std::move(*it);
+        box.pending.erase(it);
+        return out;
+      }
+      box.arrived.wait(lock);
+    }
+  }
+
+  std::optional<Message> try_consume(int self, int source, int tag) {
+    Mailbox& box = mailboxes[static_cast<std::size_t>(self)];
+    std::lock_guard<std::mutex> lock(box.mutex);
+    auto it = std::find_if(box.pending.begin(), box.pending.end(),
+                           [&](const Message& m) { return matches(m, source, tag); });
+    if (it == box.pending.end()) return std::nullopt;
+    Message out = std::move(*it);
+    box.pending.erase(it);
+    return out;
+  }
+
+  ProbeResult probe(int self, int source, int tag) {
+    Mailbox& box = mailboxes[static_cast<std::size_t>(self)];
+    std::unique_lock<std::mutex> lock(box.mutex);
+    for (;;) {
+      auto it = std::find_if(box.pending.begin(), box.pending.end(),
+                             [&](const Message& m) { return matches(m, source, tag); });
+      if (it != box.pending.end())
+        return ProbeResult{it->source, it->tag, it->payload.size()};
+      box.arrived.wait(lock);
+    }
+  }
+
+  std::optional<ProbeResult> iprobe(int self, int source, int tag) {
+    Mailbox& box = mailboxes[static_cast<std::size_t>(self)];
+    std::lock_guard<std::mutex> lock(box.mutex);
+    auto it = std::find_if(box.pending.begin(), box.pending.end(),
+                           [&](const Message& m) { return matches(m, source, tag); });
+    if (it == box.pending.end()) return std::nullopt;
+    return ProbeResult{it->source, it->tag, it->payload.size()};
+  }
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Request
+// ---------------------------------------------------------------------------
+
+Message Request::wait() {
+  DEDICORE_CHECK(valid(), "Request::wait on an empty request");
+  if (done_) {
+    Message out = std::move(result_);
+    comm_ = nullptr;
+    done_ = false;  // waiting twice is a usage error; invalidate
+    return out;
+  }
+  DEDICORE_CHECK(is_recv_, "internal: pending request must be a receive");
+  Message out = comm_->consume(self_, source_, tag_);
+  comm_ = nullptr;
+  return out;
+}
+
+bool Request::test() {
+  if (done_) return true;
+  if (comm_ == nullptr) return false;
+  if (!is_recv_) {  // buffered send: already complete
+    done_ = true;
+    return true;
+  }
+  auto m = comm_->try_consume(self_, source_, tag_);
+  if (!m) return false;
+  result_ = std::move(*m);
+  done_ = true;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Comm — point to point
+// ---------------------------------------------------------------------------
+
+int Comm::size() const noexcept { return state_ ? state_->size() : 0; }
+
+void Comm::send_bytes(std::vector<std::byte> payload, int dest, int tag) {
+  DEDICORE_CHECK(valid(), "send on an invalid communicator");
+  DEDICORE_CHECK(tag >= 0, "negative tags are reserved");
+  state_->deliver(dest, Message{rank_, tag, std::move(payload)});
+}
+
+Message Comm::recv(int source, int tag) {
+  DEDICORE_CHECK(valid(), "recv on an invalid communicator");
+  return state_->consume(rank_, source, tag);
+}
+
+std::optional<Message> Comm::try_recv(int source, int tag) {
+  DEDICORE_CHECK(valid(), "try_recv on an invalid communicator");
+  return state_->try_consume(rank_, source, tag);
+}
+
+ProbeResult Comm::probe(int source, int tag) {
+  DEDICORE_CHECK(valid(), "probe on an invalid communicator");
+  return state_->probe(rank_, source, tag);
+}
+
+std::optional<ProbeResult> Comm::iprobe(int source, int tag) {
+  DEDICORE_CHECK(valid(), "iprobe on an invalid communicator");
+  return state_->iprobe(rank_, source, tag);
+}
+
+Request Comm::isend_bytes(std::vector<std::byte> payload, int dest, int tag) {
+  send_bytes(std::move(payload), dest, tag);  // buffered: completes now
+  Request r;
+  r.comm_ = state_.get();
+  r.self_ = rank_;
+  r.is_recv_ = false;
+  r.done_ = true;
+  return r;
+}
+
+Request Comm::irecv(int source, int tag) {
+  DEDICORE_CHECK(valid(), "irecv on an invalid communicator");
+  Request r;
+  r.comm_ = state_.get();
+  r.self_ = rank_;
+  r.source_ = source;
+  r.tag_ = tag;
+  r.is_recv_ = true;
+  return r;
+}
+
+int Comm::next_collective_tag() {
+  // Each collective call consumes one tag out of a large rotating window;
+  // the window is big enough that a tag cannot be reused while messages
+  // from the call that owned it are still in flight.
+  const auto offset = static_cast<int>(collective_seq_++ % (1u << 20));
+  return kReservedTagBase + offset;
+}
+
+// ---------------------------------------------------------------------------
+// Comm — collectives
+// ---------------------------------------------------------------------------
+
+void Comm::barrier() {
+  // Dissemination barrier: log2(n) rounds; in round k, rank r signals
+  // (r + 2^k) mod n and waits for a signal from (r - 2^k) mod n.
+  const int tag = next_collective_tag();
+  const int n = size();
+  const int me = rank();
+  for (int step = 1; step < n; step <<= 1) {
+    const int to = (me + step) % n;
+    const int from = (me - step % n + n) % n;
+    send_bytes({}, to, tag + 0);
+    (void)recv(from, tag + 0);
+  }
+}
+
+void Comm::bcast_bytes(std::vector<std::byte>& bytes, int root) {
+  const int tag = next_collective_tag();
+  const int n = size();
+  const int vrank = (rank() - root + n) % n;
+  // Binomial broadcast on virtual ranks rooted at 0.
+  if (vrank != 0) {
+    Message m = recv(kAnySource, tag);
+    bytes = std::move(m.payload);
+  }
+  // Highest power of two <= own position determines where forwarding starts.
+  int step = 1;
+  while (step <= vrank) step <<= 1;
+  for (; step < n; step <<= 1) {
+    const int vdst = vrank + step;
+    if (vdst < n) {
+      const int dst = (vdst + root) % n;
+      send_bytes(bytes, dst, tag);
+    }
+  }
+}
+
+std::vector<std::vector<std::byte>> Comm::alltoall_bytes(
+    std::vector<std::vector<std::byte>> send_blocks) {
+  const int n = size();
+  DEDICORE_CHECK(static_cast<int>(send_blocks.size()) == n,
+                 "alltoall: need exactly one block per rank");
+  const int tag = next_collective_tag();
+  const int me = rank();
+  for (int r = 0; r < n; ++r) {
+    if (r == me) continue;
+    send_bytes(std::move(send_blocks[static_cast<std::size_t>(r)]), r, tag);
+  }
+  std::vector<std::vector<std::byte>> received(static_cast<std::size_t>(n));
+  received[static_cast<std::size_t>(me)] =
+      std::move(send_blocks[static_cast<std::size_t>(me)]);
+  for (int i = 0; i < n - 1; ++i) {
+    Message m = recv(kAnySource, tag);
+    received[static_cast<std::size_t>(m.source)] = std::move(m.payload);
+  }
+  return received;
+}
+
+// ---------------------------------------------------------------------------
+// Comm — split
+// ---------------------------------------------------------------------------
+
+Comm Comm::split(int color, int key) {
+  const int tag = next_collective_tag();
+  const int me = rank();
+
+  // Gather (color, key) triples at rank 0 of the parent.
+  struct Entry {
+    int color, key, old_rank;
+  };
+  const Entry mine{color, key, me};
+  std::vector<Entry> all = gather(std::vector<Entry>{mine}, 0);
+
+  // Rank 0 forms the groups and publishes one child state per color.
+  // Assignment message: (sequence id of child state, new rank), id 0 => no
+  // group (negative color).
+  if (me == 0) {
+    std::sort(all.begin(), all.end(), [](const Entry& a, const Entry& b) {
+      if (a.color != b.color) return a.color < b.color;
+      if (a.key != b.key) return a.key < b.key;
+      return a.old_rank < b.old_rank;
+    });
+    static std::atomic<std::uint64_t> next_id{1};
+    std::size_t i = 0;
+    while (i < all.size()) {
+      std::size_t j = i;
+      while (j < all.size() && all[j].color == all[i].color) ++j;
+      if (all[i].color < 0) {
+        for (std::size_t k = i; k < j; ++k) {
+          const std::uint64_t none[2] = {0, 0};
+          send(none, 2, all[k].old_rank, tag);
+        }
+      } else {
+        const std::uint64_t id = next_id.fetch_add(1);
+        auto child = std::make_shared<detail::CommState>(static_cast<int>(j - i));
+        {
+          std::lock_guard<std::mutex> lock(state_->registry_mutex);
+          state_->child_registry.emplace(id, child);
+        }
+        for (std::size_t k = i; k < j; ++k) {
+          const std::uint64_t assignment[2] = {id, k - i};
+          send(assignment, 2, all[k].old_rank, tag);
+        }
+      }
+      i = j;
+    }
+  }
+
+  const auto assignment = recv_vector<std::uint64_t>(0, tag);
+  DEDICORE_CHECK(assignment.size() == 2, "split: malformed assignment");
+  const std::uint64_t id = assignment[0];
+  if (id == 0) return Comm{};  // negative color: no membership
+
+  std::shared_ptr<detail::CommState> child;
+  {
+    std::lock_guard<std::mutex> lock(state_->registry_mutex);
+    auto it = state_->child_registry.find(id);
+    DEDICORE_CHECK(it != state_->child_registry.end(), "split: unknown child id");
+    child = it->second;
+  }
+  Comm out(child, static_cast<int>(assignment[1]));
+
+  // Once every member has fetched the state, rank 0 of the parent can
+  // retire the registry entry.  A barrier on the child communicator makes
+  // that safe and doubles as the synchronization MPI_Comm_split implies.
+  out.barrier();
+  if (out.rank() == 0) {
+    std::lock_guard<std::mutex> lock(state_->registry_mutex);
+    state_->child_registry.erase(id);
+  }
+  return out;
+}
+
+double Comm::wtime() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// run_world
+// ---------------------------------------------------------------------------
+
+void run_world(int nranks, const std::function<void(Comm&)>& body) {
+  DEDICORE_CHECK(nranks > 0, "run_world requires at least one rank");
+  auto state = std::make_shared<detail::CommState>(nranks);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(state, r);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace dedicore::minimpi

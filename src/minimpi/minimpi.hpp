@@ -1,0 +1,343 @@
+// minimpi — a thread-based MPI-like runtime.
+//
+// The paper's middleware (Damaris) runs inside MPI applications: it needs
+// ranks, tagged point-to-point messages, collectives, and communicator
+// splitting (to carve per-node communicators and separate dedicated cores
+// from computation cores).  No MPI implementation is available in this
+// environment, so minimpi provides the same semantics with OS threads as
+// ranks inside one process:
+//
+//   minimpi::run_world(16, [](minimpi::Comm& world) {
+//     if (world.rank() == 0) world.send_value(42, /*dest=*/1, /*tag=*/7);
+//     ...
+//   });
+//
+// Semantics notes (documented divergences from MPI):
+//  * send() is buffered (like MPI_Bsend with unlimited buffer): it never
+//    blocks, so naive exchange patterns cannot deadlock.
+//  * Collectives must be invoked by all ranks of the communicator in the
+//    same order (as in MPI); they are implemented over point-to-point
+//    messages with binomial trees / dissemination patterns.
+//  * Message payloads are byte vectors; typed helpers require trivially
+//    copyable element types.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace dedicore::minimpi {
+
+/// Wildcards for recv/probe.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Tags >= kReservedTagBase are reserved for internal collectives.
+inline constexpr int kReservedTagBase = 1 << 24;
+
+/// A received (or in-flight) message.
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Result of a probe: matching envelope without removing the message.
+struct ProbeResult {
+  int source = -1;
+  int tag = 0;
+  std::size_t size = 0;
+};
+
+namespace detail {
+struct CommState;  // shared among the ranks of one communicator
+}  // namespace detail
+
+class Comm;
+
+/// Handle to a pending nonblocking operation.  isend completes immediately
+/// (buffered); irecv completes when a matching message is consumed by
+/// wait()/test().
+class Request {
+ public:
+  Request() = default;
+
+  /// Blocks until the operation completes; returns the message for
+  /// receives, an empty message for sends.  Calling wait() twice is an
+  /// error (FAILED_PRECONDITION fatal).
+  Message wait();
+
+  /// Nonblocking completion check; on success the result is stored and
+  /// wait() will return it without blocking.
+  bool test();
+
+  [[nodiscard]] bool valid() const noexcept { return comm_ != nullptr || done_; }
+
+ private:
+  friend class Comm;
+  detail::CommState* comm_ = nullptr;
+  int self_ = -1;
+  int source_ = kAnySource;
+  int tag_ = kAnyTag;
+  bool is_recv_ = false;
+  bool done_ = false;
+  Message result_;
+};
+
+/// Communicator: a rank's view of a group of ranks.  Each rank owns its own
+/// Comm instance; instances of one group share state internally.
+class Comm {
+ public:
+  Comm() = default;
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept;
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+
+  // -- point to point ---------------------------------------------------
+  /// Buffered send; never blocks.
+  void send_bytes(std::vector<std::byte> payload, int dest, int tag);
+
+  /// Blocking receive; source/tag may be wildcards.
+  Message recv(int source = kAnySource, int tag = kAnyTag);
+
+  /// Nonblocking receive attempt; nullopt when nothing matches now.
+  std::optional<Message> try_recv(int source = kAnySource, int tag = kAnyTag);
+
+  /// Blocking probe: envelope of the first matching message, not removed.
+  ProbeResult probe(int source = kAnySource, int tag = kAnyTag);
+  std::optional<ProbeResult> iprobe(int source = kAnySource, int tag = kAnyTag);
+
+  Request isend_bytes(std::vector<std::byte> payload, int dest, int tag);
+  Request irecv(int source = kAnySource, int tag = kAnyTag);
+
+  // Typed convenience wrappers (trivially copyable element types).
+  template <typename T>
+  void send(const T* data, std::size_t count, int dest, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes(count * sizeof(T));
+    if (count > 0) std::memcpy(bytes.data(), data, bytes.size());
+    send_bytes(std::move(bytes), dest, tag);
+  }
+
+  template <typename T>
+  void send_value(const T& value, int dest, int tag) {
+    send(&value, 1, dest, tag);
+  }
+
+  template <typename T>
+  std::vector<T> recv_vector(int source = kAnySource, int tag = kAnyTag,
+                             Message* envelope = nullptr) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Message m = recv(source, tag);
+    DEDICORE_CHECK(m.payload.size() % sizeof(T) == 0,
+                   "recv_vector: payload size not a multiple of element size");
+    std::vector<T> out(m.payload.size() / sizeof(T));
+    if (!out.empty()) std::memcpy(out.data(), m.payload.data(), m.payload.size());
+    if (envelope != nullptr) *envelope = Message{m.source, m.tag, {}};
+    return out;
+  }
+
+  template <typename T>
+  T recv_value(int source = kAnySource, int tag = kAnyTag) {
+    auto v = recv_vector<T>(source, tag);
+    DEDICORE_CHECK(v.size() == 1, "recv_value: expected exactly one element");
+    return v.front();
+  }
+
+  // -- collectives (call from all ranks, same order) ---------------------
+  void barrier();
+
+  /// Broadcast `bytes` from root to all; on non-roots the vector is
+  /// replaced with the root's content.
+  void bcast_bytes(std::vector<std::byte>& bytes, int root);
+
+  template <typename T>
+  void bcast(std::vector<T>& values, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    std::vector<std::byte> bytes(values.size() * sizeof(T));
+    if (!values.empty()) std::memcpy(bytes.data(), values.data(), bytes.size());
+    bcast_bytes(bytes, root);
+    values.resize(bytes.size() / sizeof(T));
+    if (!values.empty()) std::memcpy(values.data(), bytes.data(), bytes.size());
+  }
+
+  template <typename T>
+  T bcast_value(T value, int root) {
+    std::vector<T> v{value};
+    bcast(v, root);
+    return v.front();
+  }
+
+  /// Element-wise reduction to root with a binary op on T.
+  template <typename T, typename Op>
+  std::vector<T> reduce(const std::vector<T>& contribution, int root, Op op);
+
+  template <typename T, typename Op>
+  T reduce_value(T value, int root, Op op) {
+    std::vector<T> v = reduce(std::vector<T>{value}, root, op);
+    return v.empty() ? value : v.front();
+  }
+
+  template <typename T, typename Op>
+  std::vector<T> allreduce(const std::vector<T>& contribution, Op op) {
+    std::vector<T> result = reduce(contribution, 0, op);
+    bcast(result, 0);
+    return result;
+  }
+
+  template <typename T, typename Op>
+  T allreduce_value(T value, Op op) {
+    std::vector<T> v = allreduce(std::vector<T>{value}, op);
+    return v.front();
+  }
+
+  /// Gathers equally sized contributions to root (rank-major order).
+  template <typename T>
+  std::vector<T> gather(const std::vector<T>& contribution, int root);
+
+  /// Gathers variably sized contributions to root; `counts_out`, when
+  /// non-null, receives per-rank element counts (root only).
+  template <typename T>
+  std::vector<T> gatherv(const std::vector<T>& contribution, int root,
+                         std::vector<std::size_t>* counts_out = nullptr);
+
+  /// Inclusive prefix reduction (linear chain).
+  template <typename T, typename Op>
+  T scan_value(T value, Op op);
+
+  /// All-to-all personalized exchange: send_blocks[i] goes to rank i;
+  /// returns blocks received from each rank (index = source).
+  std::vector<std::vector<std::byte>> alltoall_bytes(
+      std::vector<std::vector<std::byte>> send_blocks);
+
+  // -- communicator management ------------------------------------------
+  /// MPI_Comm_split: ranks with the same color form a new communicator;
+  /// ranks ordered by (key, old rank).  color < 0 -> returns invalid Comm.
+  Comm split(int color, int key);
+
+  /// Convenience for node-local communicators: groups ranks into
+  /// consecutive blocks of `cores_per_node`.
+  Comm split_by_node(int cores_per_node) {
+    DEDICORE_CHECK(cores_per_node > 0, "cores_per_node must be > 0");
+    return split(rank() / cores_per_node, rank() % cores_per_node);
+  }
+
+  /// Wall-clock in seconds (monotonic), like MPI_Wtime.
+  static double wtime();
+
+ private:
+  friend void run_world(int, const std::function<void(Comm&)>&);
+  friend struct detail::CommState;
+  Comm(std::shared_ptr<detail::CommState> state, int rank)
+      : state_(std::move(state)), rank_(rank) {}
+
+  /// Allocates a tag block for the next collective on this rank.
+  int next_collective_tag();
+
+  std::shared_ptr<detail::CommState> state_;
+  int rank_ = -1;
+  std::uint64_t collective_seq_ = 0;
+};
+
+/// Launches `nranks` threads, each running `body` with its own world Comm,
+/// and joins them.  Exceptions thrown by rank bodies are captured; the
+/// first one (by rank order) is rethrown after all threads have joined.
+void run_world(int nranks, const std::function<void(Comm&)>& body);
+
+// ---------------------------------------------------------------------------
+// Template implementations
+// ---------------------------------------------------------------------------
+
+template <typename T, typename Op>
+std::vector<T> Comm::reduce(const std::vector<T>& contribution, int root, Op op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int tag = next_collective_tag();
+  const int n = size();
+  const int me = rank();
+  // Rotate ranks so the algorithm always reduces toward virtual rank 0.
+  const int vrank = (me - root + n) % n;
+  std::vector<T> acc = contribution;
+  // Binomial tree: at step k, vranks with bit k set send to (vrank - 2^k).
+  for (int step = 1; step < n; step <<= 1) {
+    if ((vrank & step) != 0) {
+      const int dst = ((vrank - step) + root) % n;
+      send(acc.data(), acc.size(), dst, tag);
+      return {};  // non-roots return empty
+    }
+    if (vrank + step < n) {
+      const int src = ((vrank + step) + root) % n;
+      std::vector<T> incoming = recv_vector<T>(src, tag);
+      DEDICORE_CHECK(incoming.size() == acc.size(),
+                     "reduce: mismatched contribution sizes");
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = op(acc[i], incoming[i]);
+    }
+  }
+  return acc;
+}
+
+template <typename T>
+std::vector<T> Comm::gather(const std::vector<T>& contribution, int root) {
+  std::vector<std::size_t> counts;
+  std::vector<T> out = gatherv(contribution, root, &counts);
+  if (rank() == root) {
+    for (std::size_t c : counts)
+      DEDICORE_CHECK(c == contribution.size(),
+                     "gather: ranks contributed different sizes");
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> Comm::gatherv(const std::vector<T>& contribution, int root,
+                             std::vector<std::size_t>* counts_out) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int tag = next_collective_tag();
+  const int n = size();
+  if (rank() != root) {
+    send(contribution.data(), contribution.size(), root, tag);
+    return {};
+  }
+  std::vector<std::vector<T>> parts(static_cast<std::size_t>(n));
+  parts[static_cast<std::size_t>(root)] = contribution;
+  for (int r = 0; r < n; ++r) {
+    if (r == root) continue;
+    parts[static_cast<std::size_t>(r)] = recv_vector<T>(r, tag);
+  }
+  std::vector<T> out;
+  std::vector<std::size_t> counts;
+  for (auto& p : parts) {
+    counts.push_back(p.size());
+    out.insert(out.end(), p.begin(), p.end());
+  }
+  if (counts_out != nullptr) *counts_out = std::move(counts);
+  return out;
+}
+
+template <typename T, typename Op>
+T Comm::scan_value(T value, Op op) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int tag = next_collective_tag();
+  T acc = value;
+  if (rank() > 0) {
+    T prefix = recv_value<T>(rank() - 1, tag);
+    acc = op(prefix, acc);
+  }
+  if (rank() + 1 < size()) send_value(acc, rank() + 1, tag);
+  return acc;
+}
+
+}  // namespace dedicore::minimpi

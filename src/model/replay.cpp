@@ -1,0 +1,445 @@
+#include "model/replay.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "des/engine.hpp"
+#include "model/sim_storage.hpp"
+
+namespace dedicore::model {
+
+std::string_view strategy_name(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::kFilePerProcess: return "file-per-process";
+    case Strategy::kCollective: return "collective";
+    case Strategy::kDamaris: return "damaris";
+    case Strategy::kDamarisThrottled: return "damaris+sched";
+    case Strategy::kDamarisMsgPassing: return "damaris-msg";
+  }
+  return "?";
+}
+
+fsim::StorageConfig kraken_storage_config() {
+  // Kraken: Lustre with 336 OSTs behind one MDS.  Values calibrated so the
+  // three baselines land near the paper's reported throughputs (see
+  // EXPERIMENTS.md, "Storage calibration").
+  fsim::StorageConfig cfg;
+  cfg.ost_count = 336;
+  cfg.ost_bandwidth = 90e6;       // Kraken aggregate ~30 GB/s over 336 OSTs
+  cfg.mds_op_cost = 24e-3;        // serialized create/open under load
+  cfg.stripe_size = 1u << 20;
+  cfg.default_stripe_count = 1;
+  cfg.request_latency = 1e-3;
+  cfg.jitter_sigma = 0.30;
+  cfg.spike_probability = 0.015;
+  cfg.spike_max = 24.0;
+  cfg.spike_alpha = 1.2;
+  cfg.interference_on_rate = 0.02;
+  cfg.interference_off_rate = 0.10;
+  cfg.interference_share = 0.4;
+  cfg.seed = 20130520;  // IPDPS'13
+  return cfg;
+}
+
+double kraken_congestion_alpha() { return 0.08; }
+
+Platform kraken_platform() {
+  Platform p;
+  p.name = "Kraken (Cray XT5, Lustre)";
+  p.cores_per_node = 12;
+  p.storage = kraken_storage_config();
+  p.congestion_alpha = kraken_congestion_alpha();
+  p.max_cores = 9216;
+  return p;
+}
+
+Platform grid5000_platform() {
+  // Grid'5000 parapluie-class nodes: 24 cores/node, a much smaller
+  // PVFS-like storage system (few servers, lower aggregate bandwidth, but
+  // also fewer clients hitting it).
+  Platform p;
+  p.name = "Grid'5000 (24c/node, PVFS)";
+  p.cores_per_node = 24;
+  fsim::StorageConfig s;
+  s.ost_count = 24;
+  s.ost_bandwidth = 120e6;
+  s.mds_op_cost = 8e-3;
+  s.stripe_size = 1u << 20;
+  s.default_stripe_count = 1;
+  s.request_latency = 5e-4;
+  s.jitter_sigma = 0.25;
+  s.spike_probability = 0.02;
+  s.spike_max = 16.0;
+  s.spike_alpha = 1.3;
+  s.interference_on_rate = 0.01;  // reserved nodes: little interference
+  s.interference_off_rate = 0.20;
+  s.interference_share = 0.3;
+  s.seed = 5000;
+  p.storage = s;
+  p.congestion_alpha = 0.05;
+  p.max_cores = 672;  // the paper's Grid'5000 runs used up to ~28 nodes
+  return p;
+}
+
+Platform power5_platform() {
+  // Power5 cluster: 16 cores/node, GPFS-like storage (fewer, fatter
+  // servers; higher per-op latency).
+  Platform p;
+  p.name = "Power5 (16c/node, GPFS)";
+  p.cores_per_node = 16;
+  fsim::StorageConfig s;
+  s.ost_count = 16;
+  s.ost_bandwidth = 250e6;
+  s.mds_op_cost = 12e-3;
+  s.stripe_size = 4u << 20;
+  s.default_stripe_count = 1;
+  s.request_latency = 1e-3;
+  s.jitter_sigma = 0.3;
+  s.spike_probability = 0.02;
+  s.spike_max = 20.0;
+  s.spike_alpha = 1.2;
+  s.interference_on_rate = 0.03;
+  s.interference_off_rate = 0.12;
+  s.interference_share = 0.4;
+  s.seed = 555;
+  p.storage = s;
+  p.congestion_alpha = 0.06;
+  p.max_cores = 512;
+  return p;
+}
+
+namespace {
+
+/// Shared pieces of every replay.
+struct ReplayContext {
+  des::Engine engine;
+  std::unique_ptr<SimStorage> storage;
+  const ClusterSpec& cluster;
+  const WorkloadSpec& workload;
+  int ost_count;
+  Rng rng;
+  ReplayResult result;
+  double app_finish = 0.0;  ///< max completion over compute actors
+
+  ReplayContext(const ClusterSpec& c, const WorkloadSpec& w,
+                const fsim::StorageConfig& s, double alpha, std::uint64_t seed)
+      : cluster(c), workload(w), ost_count(s.ost_count), rng(seed) {
+    storage = std::make_unique<SimStorage>(engine, s, alpha);
+  }
+
+  [[nodiscard]] double compute_time(Rng& r) const {
+    return workload.compute_seconds *
+           std::max(0.1, 1.0 + workload.compute_noise * r.normal());
+  }
+};
+
+// ---------------------------------------------------------------------------
+// File-per-process: every core computes, creates its own file (serialized
+// MDS) and writes it, every iteration.
+// ---------------------------------------------------------------------------
+
+void replay_file_per_process(ReplayContext& ctx) {
+  const int cores = ctx.cluster.total_cores;
+  const int iterations = ctx.workload.iterations;
+  const double bytes = static_cast<double>(ctx.workload.bytes_per_core);
+
+  struct CoreActor {
+    int iterations_done = 0;
+    double io_start = 0.0;
+    Rng rng;
+  };
+  auto actors = std::make_shared<std::vector<CoreActor>>(
+      static_cast<std::size_t>(cores));
+  for (auto& a : *actors) a.rng = ctx.rng.split();
+
+  auto start_iteration = std::make_shared<std::function<void(int)>>();
+  *start_iteration = [&ctx, actors, start_iteration, bytes, iterations](int core) {
+    CoreActor& a = (*actors)[static_cast<std::size_t>(core)];
+    ctx.engine.schedule_in(ctx.compute_time(a.rng), [&ctx, actors,
+                                                     start_iteration, bytes,
+                                                     iterations, core] {
+      CoreActor& self = (*actors)[static_cast<std::size_t>(core)];
+      self.io_start = ctx.engine.now();
+      ctx.storage->mds_op([&ctx, actors, start_iteration, bytes, iterations, core] {
+        CoreActor& me = (*actors)[static_cast<std::size_t>(core)];
+        const std::uint64_t file_index =
+            static_cast<std::uint64_t>(core) * static_cast<std::uint64_t>(iterations) +
+            static_cast<std::uint64_t>(me.iterations_done);
+        ctx.storage->write(
+            ctx.storage->stripe_chunks(file_index, bytes, ctx.workload.fpp_stripe),
+            [&ctx, actors, start_iteration, iterations, core](double) {
+              CoreActor& done = (*actors)[static_cast<std::size_t>(core)];
+              ctx.result.visible_io_seconds.add(ctx.engine.now() - done.io_start);
+              ++ctx.result.files_created;
+              if (++done.iterations_done < iterations) {
+                (*start_iteration)(core);
+              } else {
+                ctx.app_finish = std::max(ctx.app_finish, ctx.engine.now());
+              }
+            });
+      });
+    });
+  };
+  for (int core = 0; core < cores; ++core) (*start_iteration)(core);
+  ctx.engine.run();
+}
+
+// ---------------------------------------------------------------------------
+// Collective two-phase into one shared file per iteration: lockstep
+// compute, rank 0 creates, aggregators open (serialized MDS), exchange
+// their group's data over the interconnect, then write regions striped
+// across every OST.  Every core stalls for the whole phase.
+// ---------------------------------------------------------------------------
+
+void replay_collective(ReplayContext& ctx) {
+  const int cores = ctx.cluster.total_cores;
+  const int iterations = ctx.workload.iterations;
+  const int n_aggr = ctx.cluster.nodes() * ctx.workload.aggregators_per_node;
+  const double total_bytes = static_cast<double>(ctx.workload.bytes_per_core) * cores;
+  const double bytes_per_aggr = total_bytes / n_aggr;
+  const int ost_count = ctx.ost_count;
+
+  struct State {
+    int iteration = 0;
+    double phase_start = 0.0;
+    int aggr_remaining = 0;
+  };
+  auto state = std::make_shared<State>();
+
+  auto run_iteration = std::make_shared<std::function<void()>>();
+  *run_iteration = [&ctx, state, run_iteration, cores, iterations, n_aggr,
+                    bytes_per_aggr, ost_count] {
+    double slowest = 0.0;
+    for (int c = 0; c < cores; ++c)
+      slowest = std::max(slowest, ctx.compute_time(ctx.rng));
+
+    ctx.engine.schedule_in(slowest, [&ctx, state, run_iteration, iterations,
+                                     n_aggr, bytes_per_aggr, ost_count] {
+      state->phase_start = ctx.engine.now();
+      state->aggr_remaining = n_aggr;
+      ctx.storage->mds_op([&ctx, state, run_iteration, iterations, n_aggr,
+                           bytes_per_aggr, ost_count] {
+        ++ctx.result.files_created;
+        const double exchange = bytes_per_aggr / ctx.workload.interconnect_bandwidth;
+        for (int a = 0; a < n_aggr; ++a) {
+          ctx.storage->mds_op([&ctx, state, run_iteration, iterations,
+                               bytes_per_aggr, ost_count, exchange] {
+            ctx.engine.schedule_in(exchange, [&ctx, state, run_iteration,
+                                              iterations, bytes_per_aggr,
+                                              ost_count] {
+              std::vector<std::pair<int, double>> chunks;
+              chunks.reserve(static_cast<std::size_t>(ost_count));
+              for (int o = 0; o < ost_count; ++o)
+                chunks.emplace_back(o, bytes_per_aggr / ost_count);
+              ctx.storage->write(std::move(chunks), [&ctx, state,
+                                                     run_iteration,
+                                                     iterations](double) {
+                if (--state->aggr_remaining == 0) {
+                  const double phase = ctx.engine.now() - state->phase_start;
+                  ctx.result.visible_io_seconds.add(phase);
+                  ctx.app_finish = ctx.engine.now();
+                  if (++state->iteration < iterations) (*run_iteration)();
+                }
+              });
+            });
+          });
+        }
+      });
+    });
+  };
+  (*run_iteration)();
+  ctx.engine.run();
+}
+
+// ---------------------------------------------------------------------------
+// Damaris: clients hand off through shared memory (or the interconnect in
+// the message-passing ablation) into a bounded per-node buffer; the
+// dedicated core(s) aggregate and write one file per node per iteration,
+// overlapped with the next compute phase.  Optional admission throttling.
+// ---------------------------------------------------------------------------
+
+void replay_damaris(ReplayContext& ctx, Strategy strategy) {
+  const int nodes = ctx.cluster.nodes();
+  const int clients = ctx.cluster.clients_per_node();
+  const int server_width = std::max(1, ctx.cluster.dedicated_cores);
+  const int iterations = ctx.workload.iterations;
+  const double node_bytes = static_cast<double>(ctx.workload.bytes_per_core) * clients;
+  const auto slots = static_cast<int>(std::max<std::uint64_t>(
+      1, ctx.workload.node_buffer_bytes /
+             std::max<std::uint64_t>(1, static_cast<std::uint64_t>(node_bytes))));
+  const bool throttled = strategy == Strategy::kDamarisThrottled;
+  const bool msg_passing = strategy == Strategy::kDamarisMsgPassing;
+
+  // Hand-off cost visible to the simulation: one shared-memory copy for
+  // Damaris, two interconnect traversals for the message-passing ablation.
+  const double handoff_seconds =
+      msg_passing ? 2.0 * node_bytes / ctx.workload.interconnect_bandwidth
+                  : node_bytes / ctx.workload.shm_bandwidth;
+
+  auto semaphore = std::make_shared<des::SimSemaphore>(
+      ctx.engine, throttled ? std::max(1, ctx.workload.throttle_max_nodes) : nodes);
+
+  struct NodeActor {
+    int app_iteration = 0;      ///< compute phases completed
+    int slots_used = 0;
+    int servers_active = 0;
+    bool app_blocked = false;
+    double block_start = 0.0;
+    double pending_wait = 0.0;  ///< block time to charge to the next hand-off
+    std::deque<int> ready;      ///< buffered iterations awaiting a server
+    double server_busy_seconds = 0.0;
+    Rng rng;
+  };
+  auto actors = std::make_shared<std::vector<NodeActor>>(
+      static_cast<std::size_t>(nodes));
+  for (auto& a : *actors) a.rng = ctx.rng.split();
+
+  auto app_step = std::make_shared<std::function<void(int)>>();
+  auto server_kick = std::make_shared<std::function<void(int)>>();
+
+  *server_kick = [&ctx, actors, server_kick, app_step, semaphore, node_bytes,
+                  iterations, server_width](int node) {
+    NodeActor& a = (*actors)[static_cast<std::size_t>(node)];
+    if (a.servers_active >= server_width || a.ready.empty()) return;
+    ++a.servers_active;
+    const int iteration = a.ready.front();
+    a.ready.pop_front();
+    const double busy_from = ctx.engine.now();
+
+    semaphore->acquire([&ctx, actors, server_kick, app_step, semaphore,
+                        node_bytes, iterations, node, iteration, busy_from] {
+      ctx.storage->mds_op([&ctx, actors, server_kick, app_step, semaphore,
+                           node_bytes, iterations, node, iteration, busy_from] {
+        const std::uint64_t file_index =
+            static_cast<std::uint64_t>(node) * static_cast<std::uint64_t>(iterations) +
+            static_cast<std::uint64_t>(iteration);
+        ctx.storage->write(
+            ctx.storage->stripe_chunks(file_index, node_bytes,
+                                       ctx.workload.damaris_stripe),
+            [&ctx, actors, server_kick, app_step, semaphore, node, busy_from](double) {
+              NodeActor& a = (*actors)[static_cast<std::size_t>(node)];
+              semaphore->release();
+              ++ctx.result.files_created;
+              const double busy = ctx.engine.now() - busy_from;
+              a.server_busy_seconds += busy;
+              ctx.result.hidden_io_seconds.add(busy);
+              --a.slots_used;
+              --a.servers_active;
+              if (a.app_blocked) {
+                a.app_blocked = false;
+                a.pending_wait = ctx.engine.now() - a.block_start;
+                ctx.engine.schedule_in(0.0, [app_step, node] { (*app_step)(node); });
+              }
+              (*server_kick)(node);
+            });
+      });
+    });
+  };
+
+  // One app_step call hands off the iteration produced by the just-finished
+  // compute phase (or blocks/skips), then schedules the next compute phase.
+  *app_step = [&ctx, actors, app_step, server_kick, clients, iterations,
+               handoff_seconds, slots](int node) {
+    NodeActor& a = (*actors)[static_cast<std::size_t>(node)];
+
+    if (a.slots_used >= slots) {
+      if (ctx.workload.policy == core::BackpressurePolicy::kBlock) {
+        if (!a.app_blocked) {
+          a.app_blocked = true;
+          a.block_start = ctx.engine.now();
+        }
+        return;  // resumed by a server completion
+      }
+      // Skip policy: this iteration's output is dropped entirely.
+      ++ctx.result.iterations_skipped;
+      for (int c = 0; c < clients; ++c) ctx.result.visible_io_seconds.add(0.0);
+    } else {
+      ++a.slots_used;
+      const double visible = handoff_seconds + a.pending_wait;
+      a.pending_wait = 0.0;
+      for (int c = 0; c < clients; ++c) ctx.result.visible_io_seconds.add(visible);
+      const int iteration = a.app_iteration;
+      ctx.engine.schedule_in(handoff_seconds, [&ctx, actors, server_kick, node,
+                                               iteration] {
+        (*actors)[static_cast<std::size_t>(node)].ready.push_back(iteration);
+        (*server_kick)(node);
+      });
+    }
+
+    if (++a.app_iteration < iterations) {
+      ctx.engine.schedule_in(ctx.compute_time(a.rng),
+                             [app_step, node] { (*app_step)(node); });
+    } else {
+      ctx.app_finish = std::max(ctx.app_finish, ctx.engine.now() + handoff_seconds);
+    }
+  };
+
+  for (int node = 0; node < nodes; ++node) {
+    NodeActor& a = (*actors)[static_cast<std::size_t>(node)];
+    ctx.engine.schedule_in(ctx.compute_time(a.rng),
+                           [app_step, node] { (*app_step)(node); });
+  }
+  ctx.engine.run();
+
+  double busy_total = 0.0;
+  for (const auto& a : *actors) busy_total += a.server_busy_seconds;
+  const double span = std::max(ctx.engine.now(), 1e-9);
+  ctx.result.dedicated_idle_fraction =
+      1.0 - busy_total / (static_cast<double>(nodes * server_width) * span);
+}
+
+}  // namespace
+
+ReplayResult replay(Strategy strategy, const ClusterSpec& cluster,
+                    const WorkloadSpec& workload,
+                    const fsim::StorageConfig& storage_config,
+                    double congestion_alpha, std::uint64_t seed) {
+  DEDICORE_CHECK(cluster.total_cores % cluster.cores_per_node == 0,
+                 "replay: cores must fill whole nodes");
+  ReplayContext ctx(cluster, workload, storage_config, congestion_alpha, seed);
+  ctx.result.strategy = strategy;
+
+  switch (strategy) {
+    case Strategy::kFilePerProcess:
+      replay_file_per_process(ctx);
+      break;
+    case Strategy::kCollective:
+      replay_collective(ctx);
+      break;
+    case Strategy::kDamaris:
+    case Strategy::kDamarisThrottled:
+    case Strategy::kDamarisMsgPassing:
+      replay_damaris(ctx, strategy);
+      break;
+  }
+
+  ReplayResult& r = ctx.result;
+  r.app_seconds = ctx.app_finish;
+  r.storage_drain_seconds = ctx.engine.now();
+  r.aggregate_throughput = ctx.storage->aggregate_throughput();
+  // "Up to" throughput: best burst that carried at least a tenth of one
+  // output step's volume (filters trivial lone-writer bursts).
+  const double step_bytes = static_cast<double>(workload.bytes_per_core) *
+                            cluster.total_cores;
+  r.peak_throughput = ctx.storage->peak_burst_throughput(step_bytes * 0.1);
+  r.mds_operations = ctx.storage->mds_operations();
+  r.total_bytes = static_cast<std::uint64_t>(ctx.storage->bytes_written());
+  r.compute_only_seconds = workload.compute_seconds * workload.iterations;
+  const int compute_cores = (strategy == Strategy::kFilePerProcess ||
+                             strategy == Strategy::kCollective)
+                                ? cluster.total_cores
+                                : cluster.nodes() * cluster.clients_per_node();
+  double stall_total = 0.0;
+  for (double v : r.visible_io_seconds.samples()) stall_total += v;
+  if (strategy == Strategy::kCollective) {
+    // Collective samples are per-iteration (every core stalls together);
+    // scale to per-core terms.
+    stall_total *= compute_cores;
+  }
+  if (r.app_seconds > 0.0 && compute_cores > 0)
+    r.io_fraction = stall_total / compute_cores / r.app_seconds;
+  return r;
+}
+
+}  // namespace dedicore::model

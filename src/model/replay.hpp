@@ -1,0 +1,107 @@
+// Full-scale replay of the four I/O strategies on the DES engine.
+//
+// Each replay runs the same decision logic as the real-thread middleware
+// (buffering, backpressure, per-node aggregation, admission control) but
+// in virtual time, so the paper's 9216-core Kraken runs fit in
+// milliseconds of wall time.  Constants are calibrated in EXPERIMENTS.md;
+// the real-thread runtime cross-validates the model at small scale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/stats.hpp"
+#include "core/types.hpp"
+#include "fsim/storage_model.hpp"
+
+namespace dedicore::model {
+
+enum class Strategy {
+  kFilePerProcess,
+  kCollective,
+  kDamaris,
+  kDamarisThrottled,
+  /// Ablation: dedicated cores fed by message passing instead of shared
+  /// memory (the design of [9] in the paper) — two extra copies through
+  /// the interconnect on the critical path.
+  kDamarisMsgPassing,
+};
+
+std::string_view strategy_name(Strategy s) noexcept;
+
+struct ClusterSpec {
+  int total_cores = 9216;
+  int cores_per_node = 12;  ///< Kraken XT5 nodes
+  int dedicated_cores = 1;  ///< used by the Damaris strategies
+
+  [[nodiscard]] int nodes() const noexcept { return total_cores / cores_per_node; }
+  [[nodiscard]] int clients_per_node() const noexcept {
+    return cores_per_node - dedicated_cores;
+  }
+};
+
+struct WorkloadSpec {
+  int iterations = 10;
+  double compute_seconds = 350.0;  ///< per iteration, per core (weak scaling)
+  double compute_noise = 0.005;    ///< relative stddev of compute time
+  std::uint64_t bytes_per_core = 43ull << 20;  ///< output per core per iteration
+
+  double shm_bandwidth = 4.0e9;          ///< node memory-bus copy rate (B/s)
+  double interconnect_bandwidth = 1.2e9; ///< per-endpoint network rate (B/s)
+
+  int aggregators_per_node = 1;  ///< collective two-phase writers
+  int fpp_stripe = 1;            ///< stripes per file-per-process file
+  int damaris_stripe = 4;        ///< stripes per per-node Damaris file
+  std::uint64_t node_buffer_bytes = 4ull << 30;  ///< Damaris segment size
+  core::BackpressurePolicy policy = core::BackpressurePolicy::kBlock;
+  int throttle_max_nodes = 0;    ///< kDamarisThrottled admission width
+};
+
+struct ReplayResult {
+  Strategy strategy{};
+  double app_seconds = 0.0;       ///< makespan of the computation cores
+  double storage_drain_seconds = 0.0;  ///< when the last byte hit storage
+  SampleSet visible_io_seconds;   ///< per core-iteration stall seen by app
+  SampleSet hidden_io_seconds;    ///< Damaris: per node-iteration write time
+  double aggregate_throughput = 0.0;   ///< B/s sustained while writing
+  double peak_throughput = 0.0;        ///< best-burst B/s ("up to X GB/s")
+  double dedicated_idle_fraction = 0.0;
+  std::uint64_t files_created = 0;
+  std::uint64_t mds_operations = 0;
+  std::uint64_t iterations_skipped = 0;  ///< node-iterations dropped
+  std::uint64_t total_bytes = 0;
+  double io_fraction = 0.0;       ///< stalled share of app time (mean core)
+
+  /// Ideal weak-scaling run time (compute only) for reference.
+  double compute_only_seconds = 0.0;
+};
+
+/// Runs one strategy at full scale.  Deterministic per seed.
+ReplayResult replay(Strategy strategy, const ClusterSpec& cluster,
+                    const WorkloadSpec& workload,
+                    const fsim::StorageConfig& storage_config,
+                    double congestion_alpha, std::uint64_t seed);
+
+/// Kraken-like storage parameters used by the paper-scale benches
+/// (336 OSTs, Lustre; see EXPERIMENTS.md for the calibration).
+fsim::StorageConfig kraken_storage_config();
+/// Matching congestion coefficient.
+double kraken_congestion_alpha();
+
+/// One of the paper's three experimental platforms (§IV): Kraken
+/// (Cray XT5, 12 cores/node, Lustre), Grid'5000 (24 cores/node, smaller
+/// PVFS-like storage) and a Power5 cluster (16 cores/node, GPFS-like).
+struct Platform {
+  std::string name;
+  int cores_per_node = 12;
+  fsim::StorageConfig storage;
+  double congestion_alpha = 0.08;
+  int max_cores = 9216;  ///< largest configuration the paper used there
+};
+
+Platform kraken_platform();
+Platform grid5000_platform();
+Platform power5_platform();
+
+}  // namespace dedicore::model

@@ -1,0 +1,126 @@
+// Bounded multi-producer multi-consumer queue.
+//
+// Damaris uses a shared message queue through which simulation cores post
+// events (block-written notifications, user signals, end-of-iteration,
+// shutdown) to the dedicated cores.  The queue is bounded like its
+// shared-memory counterpart: a full queue participates in backpressure.
+//
+// The implementation is a mutex/condvar ring buffer — the queue carries
+// small control messages at iteration granularity, so contention is not a
+// concern; correctness and blocking semantics are.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace dedicore::shm {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity), buffer_(capacity) {
+    DEDICORE_CHECK(capacity > 0, "BoundedQueue capacity must be non-zero");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocking push; returns false if the queue was closed.
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return size_ < capacity_ || closed_; });
+    if (closed_) return false;
+    enqueue_locked(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Nonblocking push; WOULD_BLOCK when full, CLOSED after close().
+  Status try_push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return Status::closed("queue closed");
+      if (size_ == capacity_) return Status::would_block("queue full");
+      enqueue_locked(std::move(value));
+    }
+    not_empty_.notify_one();
+    return Status::ok();
+  }
+
+  /// Blocking pop; nullopt when the queue is closed *and* drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return std::nullopt;  // closed and empty
+    T out = dequeue_locked();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Nonblocking pop.
+  std::optional<T> try_pop() {
+    std::optional<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (size_ == 0) return std::nullopt;
+      out = dequeue_locked();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// After close(), pushes fail and pops drain the remaining items then
+  /// return nullopt.  Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return size_;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  void enqueue_locked(T value) {
+    buffer_[tail_] = std::move(value);
+    tail_ = (tail_ + 1) % capacity_;
+    ++size_;
+  }
+
+  T dequeue_locked() {
+    T out = std::move(buffer_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    return out;
+  }
+
+  const std::size_t capacity_;
+  std::vector<T> buffer_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace dedicore::shm

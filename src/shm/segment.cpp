@@ -1,0 +1,210 @@
+#include "shm/segment.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dedicore::shm {
+
+namespace {
+std::uint64_t align_up(std::uint64_t value, std::uint64_t alignment) {
+  return (value + alignment - 1) / alignment * alignment;
+}
+bool is_power_of_two(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+Segment::Segment(std::uint64_t capacity)
+    : capacity_(capacity), memory_(new std::byte[capacity]) {
+  DEDICORE_CHECK(capacity > 0, "Segment capacity must be non-zero");
+  free_list_.push_back(FreeBlock{0, capacity});
+}
+
+std::optional<BlockRef> Segment::allocate_locked(std::uint64_t size,
+                                                 std::uint64_t alignment) {
+  DEDICORE_CHECK(size > 0, "cannot allocate an empty block");
+  DEDICORE_CHECK(is_power_of_two(alignment), "alignment must be a power of two");
+  for (std::size_t i = 0; i < free_list_.size(); ++i) {
+    FreeBlock& fb = free_list_[i];
+    const std::uint64_t aligned = align_up(fb.offset, alignment);
+    const std::uint64_t padding = aligned - fb.offset;
+    if (fb.size < padding + size) continue;
+
+    // First fit found.  Carve [aligned, aligned+size) out of fb.  Padding
+    // in front stays free; the tail (if any) stays free.
+    const std::uint64_t tail_offset = aligned + size;
+    const std::uint64_t tail_size = fb.offset + fb.size - tail_offset;
+
+    if (padding == 0 && tail_size == 0) {
+      free_list_.erase(free_list_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (padding == 0) {
+      fb.offset = tail_offset;
+      fb.size = tail_size;
+    } else if (tail_size == 0) {
+      fb.size = padding;
+    } else {
+      fb.size = padding;
+      free_list_.insert(free_list_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                        FreeBlock{tail_offset, tail_size});
+    }
+
+    const BlockRef ref{aligned, size};
+    auto pos = std::lower_bound(allocated_.begin(), allocated_.end(), aligned,
+                                [](const FreeBlock& b, std::uint64_t off) {
+                                  return b.offset < off;
+                                });
+    allocated_.insert(pos, FreeBlock{aligned, size});
+    used_ += size;
+    peak_used_ = std::max(peak_used_, used_);
+    ++allocations_;
+    return ref;
+  }
+  ++failed_allocations_;
+  return std::nullopt;
+}
+
+std::optional<BlockRef> Segment::try_allocate(std::uint64_t size,
+                                              std::uint64_t alignment) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return std::nullopt;
+  return allocate_locked(size, alignment);
+}
+
+std::optional<BlockRef> Segment::allocate_blocking(std::uint64_t size,
+                                                   std::uint64_t alignment) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (size > capacity_) return std::nullopt;  // can never succeed
+  for (;;) {
+    if (closed_) return std::nullopt;
+    if (auto ref = allocate_locked(size, alignment)) return ref;
+    space_freed_.wait(lock);
+  }
+}
+
+void Segment::deallocate(BlockRef block) {
+  if (block.is_null()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto pos = std::lower_bound(allocated_.begin(), allocated_.end(),
+                                block.offset,
+                                [](const FreeBlock& b, std::uint64_t off) {
+                                  return b.offset < off;
+                                });
+    DEDICORE_CHECK(pos != allocated_.end() && pos->offset == block.offset &&
+                       pos->size == block.size,
+                   "Segment::deallocate: unknown or double-freed block");
+    allocated_.erase(pos);
+    used_ -= block.size;
+    ++frees_;
+
+    // Insert into the sorted free list and coalesce with neighbours.
+    auto it = std::lower_bound(free_list_.begin(), free_list_.end(),
+                               block.offset,
+                               [](const FreeBlock& b, std::uint64_t off) {
+                                 return b.offset < off;
+                               });
+    it = free_list_.insert(it, FreeBlock{block.offset, block.size});
+    // Coalesce with successor first (keeps `it` valid).
+    if (auto next = it + 1;
+        next != free_list_.end() && it->offset + it->size == next->offset) {
+      it->size += next->size;
+      free_list_.erase(next);
+    }
+    if (it != free_list_.begin()) {
+      auto prev = it - 1;
+      if (prev->offset + prev->size == it->offset) {
+        prev->size += it->size;
+        free_list_.erase(it);
+      }
+    }
+  }
+  space_freed_.notify_all();
+}
+
+std::span<std::byte> Segment::view(BlockRef block) {
+  DEDICORE_CHECK(block.offset + block.size <= capacity_,
+                 "Segment::view: block out of range");
+  return {memory_.get() + block.offset, block.size};
+}
+
+std::span<const std::byte> Segment::view(BlockRef block) const {
+  DEDICORE_CHECK(block.offset + block.size <= capacity_,
+                 "Segment::view: block out of range");
+  return {memory_.get() + block.offset, block.size};
+}
+
+std::optional<BlockRef> Segment::try_write(std::span<const std::byte> bytes,
+                                           std::uint64_t alignment) {
+  auto ref = try_allocate(bytes.size(), alignment);
+  if (!ref) return std::nullopt;
+  std::memcpy(memory_.get() + ref->offset, bytes.data(), bytes.size());
+  return ref;
+}
+
+void Segment::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  space_freed_.notify_all();
+}
+
+std::uint64_t Segment::used() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return used_;
+}
+
+std::uint64_t Segment::free_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_ - used_;
+}
+
+SegmentStats Segment::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SegmentStats s;
+  s.capacity = capacity_;
+  s.used = used_;
+  s.peak_used = peak_used_;
+  s.allocations = allocations_;
+  s.frees = frees_;
+  s.failed_allocations = failed_allocations_;
+  for (const auto& fb : free_list_)
+    s.largest_free_block = std::max(s.largest_free_block, fb.size);
+  return s;
+}
+
+void Segment::check_invariants() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t free_total = 0;
+  for (std::size_t i = 0; i < free_list_.size(); ++i) {
+    const auto& fb = free_list_[i];
+    DEDICORE_CHECK(fb.size > 0, "invariant: empty free block");
+    DEDICORE_CHECK(fb.offset + fb.size <= capacity_,
+                   "invariant: free block out of range");
+    if (i > 0) {
+      const auto& prev = free_list_[i - 1];
+      DEDICORE_CHECK(prev.offset + prev.size < fb.offset,
+                     "invariant: free list not sorted/coalesced");
+    }
+    free_total += fb.size;
+  }
+  std::uint64_t alloc_total = 0;
+  for (std::size_t i = 0; i < allocated_.size(); ++i) {
+    const auto& ab = allocated_[i];
+    DEDICORE_CHECK(ab.offset + ab.size <= capacity_,
+                   "invariant: allocated block out of range");
+    if (i > 0) {
+      const auto& prev = allocated_[i - 1];
+      DEDICORE_CHECK(prev.offset + prev.size <= ab.offset,
+                     "invariant: allocated blocks overlap");
+    }
+    alloc_total += ab.size;
+  }
+  DEDICORE_CHECK(alloc_total == used_, "invariant: used-bytes accounting broken");
+  // Padding bytes burnt by alignment live in neither list; they are
+  // returned when the allocation that created them is freed only if they
+  // were left in the free list, which this allocator guarantees — so free
+  // + used must cover the whole capacity.
+  DEDICORE_CHECK(free_total + alloc_total == capacity_,
+                 "invariant: capacity accounting broken");
+}
+
+}  // namespace dedicore::shm

@@ -1,0 +1,123 @@
+// Bounded shared-memory segment with a first-fit, coalescing free-list
+// allocator.
+//
+// This is the Damaris data path: simulation cores allocate blocks here
+// (zero-copy `alloc/commit` or one-copy `write`), and dedicated cores read
+// them and free them after the I/O or analysis completes.  Because ranks
+// are threads in this build, "shared memory" is ordinary memory — but the
+// *behavioural* contract of a POSIX shm segment is preserved exactly:
+//
+//  * fixed capacity chosen in the configuration (<buffer size="..."/>);
+//  * allocation fails (or blocks, or triggers the skip-iteration policy)
+//    when the segment is full — the central backpressure mechanism of
+//    section V.C.1 of the paper;
+//  * blocks are addressed by handles (offsets), not raw pointers, as they
+//    would be across processes with distinct mappings.
+//
+// Thread-safety: all operations are safe to call concurrently.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace dedicore::shm {
+
+/// Handle to a block inside a Segment.  Trivially copyable so it can travel
+/// through message queues; meaningless without the owning Segment.
+struct BlockRef {
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+
+  [[nodiscard]] bool is_null() const noexcept { return size == 0; }
+  friend bool operator==(const BlockRef&, const BlockRef&) = default;
+};
+
+/// Allocation statistics for the spare-time experiment (E4) and tests.
+struct SegmentStats {
+  std::uint64_t capacity = 0;
+  std::uint64_t used = 0;            ///< bytes currently allocated
+  std::uint64_t peak_used = 0;       ///< high-water mark
+  std::uint64_t allocations = 0;     ///< successful allocate() calls
+  std::uint64_t frees = 0;
+  std::uint64_t failed_allocations = 0;  ///< try_allocate refusals
+  std::uint64_t largest_free_block = 0;
+};
+
+class Segment {
+ public:
+  /// Creates a segment of `capacity` bytes.  Memory is owned by the
+  /// Segment; capacity must be non-zero.
+  explicit Segment(std::uint64_t capacity);
+
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  /// Nonblocking allocation; nullopt when no free block fits (the failure
+  /// is counted — the skip-iteration policy keys off it).
+  std::optional<BlockRef> try_allocate(std::uint64_t size,
+                                       std::uint64_t alignment = 8);
+
+  /// Blocking allocation: waits until space frees up.  Returns nullopt if
+  /// the segment is closed while waiting, or if `size` can never fit.
+  std::optional<BlockRef> allocate_blocking(std::uint64_t size,
+                                            std::uint64_t alignment = 8);
+
+  /// Releases a block.  Freeing a block that was not allocated (or double
+  /// freeing) aborts: in a middleware this is always a logic error.
+  void deallocate(BlockRef block);
+
+  /// Raw view of a block's bytes.
+  [[nodiscard]] std::span<std::byte> view(BlockRef block);
+  [[nodiscard]] std::span<const std::byte> view(BlockRef block) const;
+
+  /// Copies `bytes` into a fresh block (the one-copy `write` path).
+  std::optional<BlockRef> try_write(std::span<const std::byte> bytes,
+                                    std::uint64_t alignment = 8);
+
+  /// Unblocks all waiters; subsequent blocking allocations fail fast.
+  void close();
+
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t used() const;
+  [[nodiscard]] std::uint64_t free_bytes() const;
+  [[nodiscard]] SegmentStats stats() const;
+
+  /// Verifies the free-list invariants (sorted, non-overlapping, coalesced,
+  /// accounting consistent).  Used by property tests; aborts on violation.
+  void check_invariants() const;
+
+ private:
+  struct FreeBlock {
+    std::uint64_t offset;
+    std::uint64_t size;
+  };
+
+  std::optional<BlockRef> allocate_locked(std::uint64_t size,
+                                          std::uint64_t alignment);
+
+  const std::uint64_t capacity_;
+  std::unique_ptr<std::byte[]> memory_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable space_freed_;
+  std::vector<FreeBlock> free_list_;  // sorted by offset, fully coalesced
+  // Allocated blocks (offset -> size) for double-free detection.
+  std::vector<FreeBlock> allocated_;  // sorted by offset
+  bool closed_ = false;
+
+  std::uint64_t used_ = 0;
+  std::uint64_t peak_used_ = 0;
+  std::uint64_t allocations_ = 0;
+  std::uint64_t frees_ = 0;
+  std::uint64_t failed_allocations_ = 0;
+};
+
+}  // namespace dedicore::shm

@@ -1,0 +1,131 @@
+#include "sim/cm1_proxy.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+
+namespace dedicore::sim {
+
+Cm1Proxy::Cm1Proxy(const Cm1Config& config) : config_(config) {
+  DEDICORE_CHECK(config.nx >= 4 && config.ny >= 4 && config.nz >= 4,
+                 "Cm1Proxy: grid must be at least 4^3");
+  DEDICORE_CHECK(config.rank >= 0 && config.rank < config.world_size,
+                 "Cm1Proxy: rank out of range");
+  const std::size_t n =
+      static_cast<std::size_t>(config.nx * config.ny * config.nz);
+  theta_.assign(n, 300.0f);  // isentropic base state (K)
+  qv_.assign(n, 0.0f);
+  u_.assign(n, static_cast<float>(config.wind_u));
+  v_.assign(n, static_cast<float>(config.wind_v));
+  w_.assign(n, 0.0f);
+  scratch_.assign(n, 0.0f);
+
+  // Warm thermal bubble, offset per rank so every domain differs; a small
+  // random perturbation seeds turbulence-like variation.
+  Rng rng(config.seed + static_cast<std::uint64_t>(config.rank) * 0x9e37ull);
+  const double cx = static_cast<double>(config.nx) * (0.3 + 0.4 * rng.next_double());
+  const double cy = static_cast<double>(config.ny) * 0.5;
+  const double cz = static_cast<double>(config.nz) * 0.25;
+  const double radius = static_cast<double>(config.nz) * 0.2;
+  for (std::uint64_t x = 0; x < config.nx; ++x) {
+    for (std::uint64_t y = 0; y < config.ny; ++y) {
+      for (std::uint64_t z = 0; z < config.nz; ++z) {
+        const double dxr = (static_cast<double>(x) - cx) / radius;
+        const double dyr = (static_cast<double>(y) - cy) / radius;
+        const double dzr = (static_cast<double>(z) - cz) / radius;
+        const double r2 = dxr * dxr + dyr * dyr + dzr * dzr;
+        if (r2 < 1.0) {
+          const double bump = 3.0 * std::cos(0.5 * std::numbers::pi * std::sqrt(r2));
+          theta_[at(x, y, z)] += static_cast<float>(bump);
+          qv_[at(x, y, z)] += static_cast<float>(0.01 * bump);
+        }
+        // Seed perturbation only inside the bubble: real CM1 fields are
+        // smooth outside active regions, which is what makes the paper's
+        // 600% compression possible.
+        if (r2 < 1.0)
+          theta_[at(x, y, z)] += static_cast<float>(0.01 * rng.normal());
+      }
+    }
+  }
+}
+
+void Cm1Proxy::apply_stencil(std::vector<float>& field, double diffusivity) const {
+  // Explicit 7-point diffusion + first-order upwind advection by the
+  // background wind.  Neumann (copy) boundaries.
+  const double k = diffusivity * config_.dt / (config_.dx * config_.dx);
+  const double cu = config_.wind_u * config_.dt / config_.dx;
+  const double cv = config_.wind_v * config_.dt / config_.dx;
+  auto& out = const_cast<std::vector<float>&>(scratch_);
+
+  const std::uint64_t nx = config_.nx, ny = config_.ny, nz = config_.nz;
+  for (std::uint64_t x = 0; x < nx; ++x) {
+    const std::uint64_t xm = x > 0 ? x - 1 : 0;
+    const std::uint64_t xp = x + 1 < nx ? x + 1 : nx - 1;
+    for (std::uint64_t y = 0; y < ny; ++y) {
+      const std::uint64_t ym = y > 0 ? y - 1 : 0;
+      const std::uint64_t yp = y + 1 < ny ? y + 1 : ny - 1;
+      for (std::uint64_t z = 0; z < nz; ++z) {
+        const std::uint64_t zm = z > 0 ? z - 1 : 0;
+        const std::uint64_t zp = z + 1 < nz ? z + 1 : nz - 1;
+        const double center = field[at(x, y, z)];
+        const double lap = field[at(xm, y, z)] + field[at(xp, y, z)] +
+                           field[at(x, ym, z)] + field[at(x, yp, z)] +
+                           field[at(x, y, zm)] + field[at(x, y, zp)] -
+                           6.0 * center;
+        // Upwind: wind_u, wind_v assumed positive (defaults are).
+        const double adv = cu * (center - field[at(xm, y, z)]) +
+                           cv * (center - field[at(x, ym, z)]);
+        out[at(x, y, z)] = static_cast<float>(center + k * lap - adv);
+      }
+    }
+  }
+  field.swap(out);
+}
+
+void Cm1Proxy::step() {
+  apply_stencil(theta_, config_.diffusivity);
+  apply_stencil(qv_, config_.diffusivity * 0.7);
+
+  // Buoyancy couples theta into vertical velocity, which stirs the winds —
+  // enough physics to keep the fields evolving and spatially smooth.
+  const std::uint64_t nx = config_.nx, ny = config_.ny, nz = config_.nz;
+  for (std::uint64_t x = 0; x < nx; ++x)
+    for (std::uint64_t y = 0; y < ny; ++y)
+      for (std::uint64_t z = 0; z < nz; ++z) {
+        const float buoy = (theta_[at(x, y, z)] - 300.0f) * 0.01f;
+        w_[at(x, y, z)] = 0.98f * w_[at(x, y, z)] + buoy;
+      }
+  apply_stencil(w_, config_.diffusivity * 0.5);
+  ++step_;
+}
+
+void Cm1Proxy::step_calibrated(double seconds) { spin_seconds(seconds); }
+
+std::map<std::string, std::span<const float>> Cm1Proxy::fields() const {
+  return {{"theta", theta()}, {"qv", qv()}, {"u", u()}, {"v", v()}, {"w", w()}};
+}
+
+std::map<std::string, std::span<const std::byte>> Cm1Proxy::field_bytes() const {
+  std::map<std::string, std::span<const std::byte>> out;
+  for (const auto& [name, values] : fields())
+    out.emplace(name, std::as_bytes(values));
+  return out;
+}
+
+std::vector<std::uint64_t> Cm1Proxy::global_offset() const {
+  return {static_cast<std::uint64_t>(config_.rank) * config_.nx, 0, 0};
+}
+
+std::vector<std::uint64_t> Cm1Proxy::extents() const {
+  return {config_.nx, config_.ny, config_.nz};
+}
+
+double Cm1Proxy::theta_total() const {
+  double total = 0.0;
+  for (float v : theta_) total += v;
+  return total;
+}
+
+}  // namespace dedicore::sim

@@ -1,0 +1,68 @@
+// Nek5000-like CFD proxy for the in-situ visualization experiments (§V.C).
+//
+// Nek5000 is a spectral-element Navier–Stokes solver; what the experiments
+// need from it is a smoothly evolving vortical velocity field whose
+// magnitude produces interesting isosurfaces.  The proxy synthesizes a
+// Taylor–Green-style vortex lattice with time-evolving mode amplitudes
+// (a genuinely spectral representation, evaluated on the grid each step).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace dedicore::sim {
+
+struct NekConfig {
+  std::uint64_t nx = 24, ny = 24, nz = 24;
+  int modes = 4;            ///< spectral modes per axis
+  double viscosity = 0.02;  ///< decay rate of high modes
+  double dt = 0.05;
+  int rank = 0;
+  int world_size = 1;
+  std::uint64_t seed = 11;
+};
+
+class NekProxy {
+ public:
+  explicit NekProxy(const NekConfig& config);
+
+  /// Advances the spectral coefficients and re-evaluates the field.
+  void step();
+
+  [[nodiscard]] std::int64_t current_step() const noexcept { return step_; }
+
+  /// Velocity magnitude on the grid (float64, row-major z-fastest).
+  [[nodiscard]] std::span<const double> velocity_magnitude() const noexcept {
+    return field_;
+  }
+  [[nodiscard]] std::span<const std::byte> field_bytes() const noexcept {
+    return std::as_bytes(std::span<const double>(field_));
+  }
+
+  [[nodiscard]] std::vector<std::uint64_t> extents() const {
+    return {config_.nx, config_.ny, config_.nz};
+  }
+
+  /// Spectral energy (sum of squared mode amplitudes) — decays
+  /// monotonically under viscosity; used as a physics sanity check.
+  [[nodiscard]] double spectral_energy() const;
+
+ private:
+  void evaluate();
+
+  NekConfig config_;
+  std::int64_t step_ = 0;
+  struct Mode {
+    double kx, ky, kz;   ///< wavenumbers
+    double amplitude;
+    double phase;
+    double frequency;    ///< phase advance per unit time
+  };
+  std::vector<Mode> modes_;
+  std::vector<double> field_;
+};
+
+}  // namespace dedicore::sim

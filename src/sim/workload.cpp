@@ -1,0 +1,101 @@
+#include "sim/workload.hpp"
+
+namespace dedicore::sim {
+
+core::Configuration make_cm1_configuration(const Cm1WorkloadOptions& options) {
+  core::Configuration cfg;
+  cfg.set_simulation_name("cm1");
+  cfg.set_architecture(options.cores_per_node, options.dedicated_cores);
+  cfg.set_buffer(options.buffer_size, options.queue_capacity, options.policy);
+
+  core::LayoutSpec grid;
+  grid.name = "grid3d";
+  grid.dtype = h5lite::DType::kFloat32;
+  grid.extents = {options.nx, options.ny, options.nz};
+  cfg.add_layout(grid);
+
+  core::MeshSpec mesh;
+  mesh.name = "atmosphere";
+  mesh.type = "rectilinear";
+  cfg.add_mesh(mesh);
+
+  for (const char* name : {"theta", "qv", "u", "v", "w"}) {
+    core::VariableSpec v;
+    v.name = name;
+    v.layout = "grid3d";
+    v.mesh = "atmosphere";
+    v.group = "fields";
+    cfg.add_variable(v);
+  }
+
+  core::StorageSpec storage;
+  storage.basename = options.basename;
+  storage.codec = options.codec;
+  storage.stripe_count = options.stripe_count;
+  storage.scheduler = options.scheduler;
+  storage.max_concurrent_nodes = options.max_concurrent_nodes;
+  cfg.set_storage(storage);
+
+  core::ActionSpec store;
+  store.event = "end_iteration";
+  store.plugin = "store";
+  cfg.add_action(store);
+
+  cfg.validate();
+  return cfg;
+}
+
+Cm1Config make_cm1_proxy_config(const Cm1WorkloadOptions& options, int rank,
+                                int world_size) {
+  Cm1Config cfg;
+  cfg.nx = options.nx;
+  cfg.ny = options.ny;
+  cfg.nz = options.nz;
+  cfg.rank = rank;
+  cfg.world_size = world_size;
+  return cfg;
+}
+
+core::Configuration make_nek_configuration(const NekWorkloadOptions& options) {
+  core::Configuration cfg;
+  cfg.set_simulation_name("nek5000");
+  cfg.set_architecture(options.cores_per_node, options.dedicated_cores);
+  cfg.set_buffer(options.buffer_size, 4096, options.policy);
+
+  core::LayoutSpec grid;
+  grid.name = "spectral3d";
+  grid.dtype = h5lite::DType::kFloat64;
+  grid.extents = {options.nx, options.ny, options.nz};
+  cfg.add_layout(grid);
+
+  core::VariableSpec v;
+  v.name = "vel_mag";
+  v.layout = "spectral3d";
+  cfg.add_variable(v);
+
+  core::StorageSpec storage;
+  storage.basename = "nek";
+  cfg.set_storage(storage);
+
+  core::ActionSpec viz;
+  viz.event = "end_iteration";
+  viz.plugin = "vislite";
+  viz.params["variable"] = "vel_mag";
+  viz.params["isovalue"] = options.isovalue;
+  viz.params["width"] = std::to_string(options.render_size);
+  viz.params["height"] = std::to_string(options.render_size);
+  viz.params["write_image"] = options.write_images ? "true" : "false";
+  cfg.add_action(viz);
+
+  cfg.validate();
+  return cfg;
+}
+
+std::uint64_t cm1_bytes_per_core(std::uint64_t nx, std::uint64_t ny,
+                                 std::uint64_t nz, int fields_3d,
+                                 int bytes_per_value) {
+  return nx * ny * nz * static_cast<std::uint64_t>(fields_3d) *
+         static_cast<std::uint64_t>(bytes_per_value);
+}
+
+}  // namespace dedicore::sim

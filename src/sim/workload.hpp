@@ -1,0 +1,60 @@
+// Workload / configuration generators shared by tests, benches and
+// examples: they build the Configuration objects matching the paper's
+// experimental setups so that every harness uses identical constants.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/configuration.hpp"
+#include "sim/cm1_proxy.hpp"
+
+namespace dedicore::sim {
+
+/// Options for the CM1-style experiment configuration.
+struct Cm1WorkloadOptions {
+  std::uint64_t nx = 24, ny = 24, nz = 24;  ///< per-core block
+  int cores_per_node = 12;                   ///< Kraken XT5 topology
+  int dedicated_cores = 1;
+  std::uint64_t buffer_size = 256ull << 20;
+  std::size_t queue_capacity = 4096;
+  core::BackpressurePolicy policy = core::BackpressurePolicy::kBlock;
+  std::string codec = "none";
+  std::string scheduler = "greedy";
+  int max_concurrent_nodes = 0;
+  int stripe_count = 0;
+  std::string basename = "cm1";
+};
+
+/// CM1's output set (theta, qv, u, v, w as float32 blocks of nx*ny*nz),
+/// one rectilinear mesh, storage + actions bound to "store".
+core::Configuration make_cm1_configuration(const Cm1WorkloadOptions& options);
+
+/// Matching proxy config for one rank.
+Cm1Config make_cm1_proxy_config(const Cm1WorkloadOptions& options, int rank,
+                                int world_size);
+
+/// Nek5000-style single-variable (velocity magnitude, float64) config with
+/// a "vislite" action bound to end_iteration.
+struct NekWorkloadOptions {
+  std::uint64_t nx = 24, ny = 24, nz = 24;
+  int cores_per_node = 8;
+  int dedicated_cores = 1;
+  std::uint64_t buffer_size = 256ull << 20;
+  core::BackpressurePolicy policy = core::BackpressurePolicy::kSkipIteration;
+  bool write_images = false;
+  int render_size = 96;
+  std::string isovalue = "mean";
+};
+
+core::Configuration make_nek_configuration(const NekWorkloadOptions& options);
+
+/// Paper-scale constants used by the model layer (src/model) and recorded
+/// in EXPERIMENTS.md: CM1 on Kraken wrote ~37 3-D fields + 2-D slices per
+/// output step; this helper returns the bytes one core contributes per
+/// output iteration for a given per-core grid.
+std::uint64_t cm1_bytes_per_core(std::uint64_t nx, std::uint64_t ny,
+                                 std::uint64_t nz, int fields_3d = 37,
+                                 int bytes_per_value = 4);
+
+}  // namespace dedicore::sim

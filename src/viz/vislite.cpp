@@ -1,0 +1,320 @@
+#include "viz/vislite.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/clock.hpp"
+
+namespace dedicore::viz {
+
+void GridView::validate() const {
+  DEDICORE_CHECK(nx >= 2 && ny >= 2 && nz >= 2,
+                 "GridView: isosurface needs at least 2 points per axis");
+  DEDICORE_CHECK(values.size() == size(), "GridView: values size != nx*ny*nz");
+}
+
+Vec3 cross(Vec3 a, Vec3 b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+
+double dot(Vec3 a, Vec3 b) { return a.x * b.x + a.y * b.y + a.z * b.z; }
+
+Vec3 normalized(Vec3 v) {
+  const double len = std::sqrt(dot(v, v));
+  if (len <= 0.0) return {0, 0, 1};
+  return v * (1.0 / len);
+}
+
+Vec3 Triangle::normal() const {
+  return normalized(cross(v[1] - v[0], v[2] - v[0]));
+}
+
+namespace {
+
+/// The six tetrahedra of a unit cell, as corner indices 0..7 where corner
+/// bits are (x<<2)|(y<<1)|z.
+constexpr int kTets[6][4] = {
+    {0, 5, 1, 6}, {0, 1, 3, 6}, {0, 3, 2, 6},
+    {0, 2, 7, 6}, {0, 7, 4, 6}, {0, 4, 5, 6},
+};
+// Corner 7 is (x=1,y=1,z=1)?  Corner numbering: bit2 = x, bit1 = y, bit0 = z.
+// The table above uses the classic body-diagonal (0 -> 6) decomposition
+// with 6 = (1,1,0); all six tets share the 0-6 diagonal.
+
+Vec3 corner_position(std::uint64_t x, std::uint64_t y, std::uint64_t z, int corner) {
+  return {static_cast<double>(x + ((corner >> 2) & 1)),
+          static_cast<double>(y + ((corner >> 1) & 1)),
+          static_cast<double>(z + (corner & 1))};
+}
+
+double corner_value(const GridView& g, std::uint64_t x, std::uint64_t y,
+                    std::uint64_t z, int corner) {
+  return g.at(x + ((corner >> 2) & 1), y + ((corner >> 1) & 1),
+              z + (corner & 1));
+}
+
+Vec3 interpolate_edge(Vec3 p0, double v0, Vec3 p1, double v1, double iso) {
+  const double denom = v1 - v0;
+  const double t = std::abs(denom) < 1e-300 ? 0.5 : (iso - v0) / denom;
+  const double tc = std::clamp(t, 0.0, 1.0);
+  return p0 + (p1 - p0) * tc;
+}
+
+/// Emits the triangles of one tetrahedron into `out` (or only counts when
+/// out == nullptr).  Returns the triangle count (0, 1 or 2).
+int march_tetrahedron(const std::array<Vec3, 4>& p, const std::array<double, 4>& v,
+                      double iso, std::vector<Triangle>* out) {
+  int mask = 0;
+  for (int i = 0; i < 4; ++i)
+    if (v[i] >= iso) mask |= 1 << i;
+  if (mask == 0 || mask == 0xF) return 0;
+
+  auto edge = [&](int a, int b) { return interpolate_edge(p[a], v[a], p[b], v[b], iso); };
+  auto emit = [&](Vec3 a, Vec3 b, Vec3 c) {
+    if (out != nullptr) out->push_back(Triangle{{a, b, c}});
+  };
+
+  // Normalize to the cases with one or two corners above the isovalue.
+  const bool invert = __builtin_popcount(static_cast<unsigned>(mask)) > 2;
+  const int m = invert ? mask ^ 0xF : mask;
+
+  switch (m) {
+    // One corner above: a single triangle cuts it off.
+    case 0x1: emit(edge(0, 1), edge(0, 2), edge(0, 3)); return 1;
+    case 0x2: emit(edge(1, 0), edge(1, 3), edge(1, 2)); return 1;
+    case 0x4: emit(edge(2, 0), edge(2, 1), edge(2, 3)); return 1;
+    case 0x8: emit(edge(3, 0), edge(3, 2), edge(3, 1)); return 1;
+    // Two corners above: a quad, split into two triangles.
+    case 0x3: {  // corners 0,1
+      const Vec3 a = edge(0, 2), b = edge(0, 3), c = edge(1, 3), d = edge(1, 2);
+      emit(a, b, c);
+      emit(a, c, d);
+      return 2;
+    }
+    case 0x5: {  // corners 0,2
+      const Vec3 a = edge(0, 1), b = edge(0, 3), c = edge(2, 3), d = edge(2, 1);
+      emit(a, b, c);
+      emit(a, c, d);
+      return 2;
+    }
+    case 0x9: {  // corners 0,3
+      const Vec3 a = edge(0, 1), b = edge(0, 2), c = edge(3, 2), d = edge(3, 1);
+      emit(a, b, c);
+      emit(a, c, d);
+      return 2;
+    }
+    case 0x6: {  // corners 1,2
+      const Vec3 a = edge(1, 0), b = edge(1, 3), c = edge(2, 3), d = edge(2, 0);
+      emit(a, b, c);
+      emit(a, c, d);
+      return 2;
+    }
+    case 0xA: {  // corners 1,3
+      const Vec3 a = edge(1, 0), b = edge(1, 2), c = edge(3, 2), d = edge(3, 0);
+      emit(a, b, c);
+      emit(a, c, d);
+      return 2;
+    }
+    case 0xC: {  // corners 2,3
+      const Vec3 a = edge(2, 0), b = edge(2, 1), c = edge(3, 1), d = edge(3, 0);
+      emit(a, b, c);
+      emit(a, c, d);
+      return 2;
+    }
+    default:
+      DEDICORE_CHECK(false, "march_tetrahedron: unreachable mask");
+      return 0;
+  }
+}
+
+template <typename PerTet>
+void walk_cells(const GridView& grid, PerTet&& per_tet) {
+  for (std::uint64_t x = 0; x + 1 < grid.nx; ++x) {
+    for (std::uint64_t y = 0; y + 1 < grid.ny; ++y) {
+      for (std::uint64_t z = 0; z + 1 < grid.nz; ++z) {
+        // Cheap cull: a cell whose corner range misses the isovalue emits
+        // nothing; handled inside per_tet via corner values.
+        for (const auto& tet : kTets) {
+          std::array<Vec3, 4> p;
+          std::array<double, 4> v;
+          for (int i = 0; i < 4; ++i) {
+            p[static_cast<std::size_t>(i)] = corner_position(x, y, z, tet[i]);
+            v[static_cast<std::size_t>(i)] = corner_value(grid, x, y, z, tet[i]);
+          }
+          per_tet(p, v);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Triangle> extract_isosurface(const GridView& grid, double isovalue) {
+  grid.validate();
+  std::vector<Triangle> out;
+  walk_cells(grid, [&](const std::array<Vec3, 4>& p, const std::array<double, 4>& v) {
+    march_tetrahedron(p, v, isovalue, &out);
+  });
+  return out;
+}
+
+std::uint64_t count_isosurface_triangles(const GridView& grid, double isovalue) {
+  grid.validate();
+  std::uint64_t count = 0;
+  walk_cells(grid, [&](const std::array<Vec3, 4>& p, const std::array<double, 4>& v) {
+    count += static_cast<std::uint64_t>(march_tetrahedron(p, v, isovalue, nullptr));
+  });
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+std::array<std::uint8_t, 3> Image::pixel(int x, int y) const {
+  DEDICORE_CHECK(x >= 0 && x < width && y >= 0 && y < height,
+                 "Image::pixel out of range");
+  const std::size_t at = (static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                          static_cast<std::size_t>(x)) * 3;
+  return {rgb[at], rgb[at + 1], rgb[at + 2]};
+}
+
+std::vector<std::byte> Image::encode_ppm() const {
+  std::string header = "P6\n" + std::to_string(width) + " " +
+                       std::to_string(height) + "\n255\n";
+  std::vector<std::byte> out(header.size() + rgb.size());
+  std::memcpy(out.data(), header.data(), header.size());
+  std::memcpy(out.data() + header.size(), rgb.data(), rgb.size());
+  return out;
+}
+
+namespace {
+
+/// Maps a world point to (u, v, depth) for the given view axis.
+void project(Vec3 p, Axis axis, double& u, double& v, double& depth) {
+  switch (axis) {
+    case Axis::kX: u = p.y; v = p.z; depth = p.x; break;
+    case Axis::kY: u = p.x; v = p.z; depth = p.y; break;
+    case Axis::kZ: u = p.x; v = p.y; depth = p.z; break;
+  }
+}
+
+}  // namespace
+
+Image render_triangles(std::span<const Triangle> triangles, Vec3 extent,
+                       const RenderOptions& options) {
+  DEDICORE_CHECK(options.width > 0 && options.height > 0,
+                 "render: image dimensions must be positive");
+  Image img;
+  img.width = options.width;
+  img.height = options.height;
+  img.rgb.assign(static_cast<std::size_t>(options.width) *
+                     static_cast<std::size_t>(options.height) * 3,
+                 0);
+  for (int y = 0; y < options.height; ++y)
+    for (int x = 0; x < options.width; ++x)
+      for (int c = 0; c < 3; ++c)
+        img.rgb[(static_cast<std::size_t>(y) * static_cast<std::size_t>(options.width) +
+                 static_cast<std::size_t>(x)) * 3 + static_cast<std::size_t>(c)] =
+            options.background[static_cast<std::size_t>(c)];
+
+  // World-to-viewport: fit the extent with a 5% margin, preserving aspect.
+  double eu = 1, ev = 1, edepth = 1;
+  project(extent, options.view_axis, eu, ev, edepth);
+  eu = std::max(eu, 1e-9);
+  ev = std::max(ev, 1e-9);
+  const double scale = 0.9 * std::min(options.width / eu, options.height / ev);
+  const double off_u = (options.width - scale * eu) / 2.0;
+  const double off_v = (options.height - scale * ev) / 2.0;
+
+  std::vector<double> zbuf(static_cast<std::size_t>(options.width) *
+                               static_cast<std::size_t>(options.height),
+                           -std::numeric_limits<double>::infinity());
+  const Vec3 light = normalized(options.light);
+
+  for (const Triangle& tri : triangles) {
+    double u[3], v[3], d[3];
+    for (int i = 0; i < 3; ++i) {
+      project(tri.v[static_cast<std::size_t>(i)], options.view_axis, u[i], v[i], d[i]);
+      u[i] = u[i] * scale + off_u;
+      v[i] = v[i] * scale + off_v;
+    }
+    const double shade =
+        0.25 + 0.75 * std::abs(dot(tri.normal(), light));  // two-sided
+
+    const int min_x = std::max(0, static_cast<int>(std::floor(std::min({u[0], u[1], u[2]}))));
+    const int max_x = std::min(options.width - 1,
+                               static_cast<int>(std::ceil(std::max({u[0], u[1], u[2]}))));
+    const int min_y = std::max(0, static_cast<int>(std::floor(std::min({v[0], v[1], v[2]}))));
+    const int max_y = std::min(options.height - 1,
+                               static_cast<int>(std::ceil(std::max({v[0], v[1], v[2]}))));
+
+    const double denom = (v[1] - v[2]) * (u[0] - u[2]) + (u[2] - u[1]) * (v[0] - v[2]);
+    if (std::abs(denom) < 1e-12) continue;  // degenerate in projection
+
+    for (int py = min_y; py <= max_y; ++py) {
+      for (int px = min_x; px <= max_x; ++px) {
+        const double cu = px + 0.5, cv = py + 0.5;
+        const double w0 = ((v[1] - v[2]) * (cu - u[2]) + (u[2] - u[1]) * (cv - v[2])) / denom;
+        const double w1 = ((v[2] - v[0]) * (cu - u[2]) + (u[0] - u[2]) * (cv - v[2])) / denom;
+        const double w2 = 1.0 - w0 - w1;
+        if (w0 < 0 || w1 < 0 || w2 < 0) continue;
+        const double depth = w0 * d[0] + w1 * d[1] + w2 * d[2];
+        const std::size_t at = static_cast<std::size_t>(py) *
+                                   static_cast<std::size_t>(options.width) +
+                               static_cast<std::size_t>(px);
+        if (depth <= zbuf[at]) continue;
+        zbuf[at] = depth;
+        for (int c = 0; c < 3; ++c)
+          img.rgb[at * 3 + static_cast<std::size_t>(c)] = static_cast<std::uint8_t>(
+              std::clamp(shade * options.surface_color[static_cast<std::size_t>(c)],
+                         0.0, 255.0));
+      }
+    }
+  }
+  return img;
+}
+
+// ---------------------------------------------------------------------------
+// Statistics & pipeline
+// ---------------------------------------------------------------------------
+
+FieldStatistics compute_statistics(std::span<const double> values) {
+  FieldStatistics s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.min = s.max = values[0];
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : values) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const auto n = static_cast<double>(values.size());
+  s.mean = sum / n;
+  const double var = std::max(0.0, sum_sq / n - s.mean * s.mean);
+  s.stddev = std::sqrt(var);
+  s.l2_norm = std::sqrt(sum_sq);
+  return s;
+}
+
+PipelineResult run_insitu_pipeline(const GridView& grid, double isovalue,
+                                   const RenderOptions& options) {
+  Stopwatch timer;
+  PipelineResult result;
+  result.statistics = compute_statistics(grid.values);
+  std::vector<Triangle> triangles = extract_isosurface(grid, isovalue);
+  result.triangles = triangles.size();
+  const Vec3 extent{static_cast<double>(grid.nx - 1),
+                    static_cast<double>(grid.ny - 1),
+                    static_cast<double>(grid.nz - 1)};
+  result.image = render_triangles(triangles, extent, options);
+  result.seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace dedicore::viz

@@ -1,0 +1,119 @@
+// VisLite — in-situ analysis and visualization substrate.
+//
+// Stands in for the VisIt/libsim coupling of §V: an isosurface extractor
+// (marching tetrahedra over structured grids) and a small orthographic
+// software renderer producing PPM images.  Two integration modes are
+// exercised by the experiments:
+//
+//  * synchronous in-situ (the VisIt baseline): the simulation calls the
+//    pipeline itself and stalls while the image is computed;
+//  * Damaris in-situ: the "vislite" plugin runs the same pipeline on the
+//    dedicated core, overlapped with computation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace dedicore::viz {
+
+/// Non-owning view of a 3-D scalar field on a regular grid, row-major
+/// (z-fastest: index = (x*ny + y)*nz + z).
+struct GridView {
+  std::span<const double> values;
+  std::uint64_t nx = 0, ny = 0, nz = 0;
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return nx * ny * nz; }
+  [[nodiscard]] double at(std::uint64_t x, std::uint64_t y,
+                          std::uint64_t z) const noexcept {
+    return values[(x * ny + y) * nz + z];
+  }
+  void validate() const;
+};
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+  friend Vec3 operator+(Vec3 a, Vec3 b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+  friend Vec3 operator-(Vec3 a, Vec3 b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+  friend Vec3 operator*(Vec3 a, double s) { return {a.x * s, a.y * s, a.z * s}; }
+};
+
+Vec3 cross(Vec3 a, Vec3 b);
+double dot(Vec3 a, Vec3 b);
+Vec3 normalized(Vec3 v);
+
+struct Triangle {
+  std::array<Vec3, 3> v;
+  [[nodiscard]] Vec3 normal() const;
+};
+
+/// Marching-tetrahedra isosurface extraction: each grid cell is split into
+/// six tetrahedra; every tetrahedron crossing the isovalue emits one or
+/// two triangles with vertices linearly interpolated along edges.
+/// Positions are in grid coordinates ([0,nx-1] etc.).
+std::vector<Triangle> extract_isosurface(const GridView& grid, double isovalue);
+
+/// Count-only variant (no geometry materialized); used when only the
+/// complexity metric is needed.
+std::uint64_t count_isosurface_triangles(const GridView& grid, double isovalue);
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+struct Image {
+  int width = 0, height = 0;
+  std::vector<std::uint8_t> rgb;  ///< width*height*3, row-major from top
+
+  [[nodiscard]] std::array<std::uint8_t, 3> pixel(int x, int y) const;
+  /// Binary PPM (P6) encoding of the image.
+  [[nodiscard]] std::vector<std::byte> encode_ppm() const;
+};
+
+enum class Axis { kX, kY, kZ };
+
+struct RenderOptions {
+  int width = 256;
+  int height = 256;
+  Axis view_axis = Axis::kZ;        ///< orthographic projection direction
+  Vec3 light = {0.3, 0.4, 0.85};    ///< normalized at use
+  std::array<std::uint8_t, 3> surface_color = {220, 90, 40};
+  std::array<std::uint8_t, 3> background = {16, 16, 32};
+};
+
+/// Z-buffered flat-shaded orthographic projection of the triangle soup.
+/// `extent` is the grid bounding box (nx-1, ny-1, nz-1) used to fit the
+/// geometry to the viewport.
+Image render_triangles(std::span<const Triangle> triangles, Vec3 extent,
+                       const RenderOptions& options);
+
+// ---------------------------------------------------------------------------
+// Field statistics (the "statistical analysis plugin" role)
+// ---------------------------------------------------------------------------
+
+struct FieldStatistics {
+  std::uint64_t count = 0;
+  double min = 0, max = 0, mean = 0, stddev = 0;
+  double l2_norm = 0;
+};
+
+FieldStatistics compute_statistics(std::span<const double> values);
+
+/// Full in-situ pipeline result.
+struct PipelineResult {
+  std::uint64_t triangles = 0;
+  FieldStatistics statistics;
+  Image image;
+  double seconds = 0.0;  ///< wall time spent in the pipeline
+};
+
+/// isosurface + statistics + rendering in one call — what both the
+/// synchronous baseline and the Damaris plugin execute.
+PipelineResult run_insitu_pipeline(const GridView& grid, double isovalue,
+                                   const RenderOptions& options = {});
+
+}  // namespace dedicore::viz

@@ -1,0 +1,396 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace dedicore::xml {
+
+// ---------------------------------------------------------------------------
+// Node
+// ---------------------------------------------------------------------------
+
+bool Node::has_attribute(std::string_view key) const noexcept {
+  for (const auto& [k, v] : attributes_)
+    if (k == key) return true;
+  return false;
+}
+
+std::optional<std::string> Node::attribute(std::string_view key) const {
+  for (const auto& [k, v] : attributes_)
+    if (k == key) return v;
+  return std::nullopt;
+}
+
+std::string Node::attribute_or(std::string_view key,
+                               std::string_view fallback) const {
+  if (auto v = attribute(key)) return *v;
+  return std::string(fallback);
+}
+
+const std::string& Node::require_attribute(std::string_view key) const {
+  for (const auto& [k, v] : attributes_)
+    if (k == key) return v;
+  throw ConfigError("element <" + name_ + "> is missing required attribute '" +
+                    std::string(key) + "'");
+}
+
+std::int64_t Node::attribute_int(std::string_view key,
+                                 std::int64_t fallback) const {
+  auto v = attribute(key);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t out = std::stoll(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing");
+    return out;
+  } catch (const std::exception&) {
+    throw ConfigError("attribute '" + std::string(key) + "' of <" + name_ +
+                      "> is not an integer: '" + *v + "'");
+  }
+}
+
+double Node::attribute_double(std::string_view key, double fallback) const {
+  auto v = attribute(key);
+  if (!v) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(*v, &pos);
+    if (pos != v->size()) throw std::invalid_argument("trailing");
+    return out;
+  } catch (const std::exception&) {
+    throw ConfigError("attribute '" + std::string(key) + "' of <" + name_ +
+                      "> is not a number: '" + *v + "'");
+  }
+}
+
+bool Node::attribute_bool(std::string_view key, bool fallback) const {
+  auto v = attribute(key);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  throw ConfigError("attribute '" + std::string(key) + "' of <" + name_ +
+                    "> is not a boolean: '" + *v + "'");
+}
+
+std::vector<const Node*> Node::children_named(std::string_view name) const {
+  std::vector<const Node*> out;
+  for (const auto& c : children_)
+    if (c.name() == name) out.push_back(&c);
+  return out;
+}
+
+const Node* Node::child(std::string_view name) const noexcept {
+  for (const auto& c : children_)
+    if (c.name() == name) return &c;
+  return nullptr;
+}
+
+const Node& Node::require_child(std::string_view name) const {
+  if (const Node* c = child(name)) return *c;
+  throw ConfigError("element <" + name_ + "> is missing required child <" +
+                    std::string(name) + ">");
+}
+
+void Node::add_attribute(std::string key, std::string value) {
+  attributes_.emplace_back(std::move(key), std::move(value));
+}
+
+Node& Node::add_child(Node child) {
+  children_.push_back(std::move(child));
+  return children_.back();
+}
+
+namespace {
+
+void escape_into(std::string& out, std::string_view text, bool in_attribute) {
+  for (char ch : text) {
+    switch (ch) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': if (in_attribute) { out += "&quot;"; break; } [[fallthrough]];
+      default: out += ch;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Node::to_xml(int indent) const {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  std::string out = pad + "<" + name_;
+  for (const auto& [k, v] : attributes_) {
+    out += " " + k + "=\"";
+    escape_into(out, v, /*in_attribute=*/true);
+    out += "\"";
+  }
+  if (children_.empty() && text_.empty()) {
+    out += " />\n";
+    return out;
+  }
+  out += ">";
+  if (!text_.empty()) escape_into(out, text_, /*in_attribute=*/false);
+  if (!children_.empty()) {
+    out += "\n";
+    for (const auto& c : children_) out += c.to_xml(indent + 1);
+    out += pad;
+  }
+  out += "</" + name_ + ">\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Node parse_document() {
+    skip_prolog();
+    Node root = parse_element();
+    skip_misc();
+    if (!at_end())
+      fail("unexpected content after the root element");
+    return root;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+
+  [[nodiscard]] char peek() const noexcept {
+    return at_end() ? '\0' : text_[pos_];
+  }
+
+  [[nodiscard]] bool starts_with(std::string_view prefix) const noexcept {
+    return text_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  char advance() {
+    const char ch = text_[pos_++];
+    if (ch == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return ch;
+  }
+
+  void advance_by(std::size_t n) {
+    for (std::size_t i = 0; i < n && !at_end(); ++i) advance();
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    std::ostringstream os;
+    os << "XML parse error at line " << line_ << ", column " << column_ << ": "
+       << what;
+    throw ConfigError(os.str());
+  }
+
+  void skip_whitespace() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek())))
+      advance();
+  }
+
+  void skip_comment() {
+    // precondition: at "<!--"
+    advance_by(4);
+    while (!at_end() && !starts_with("-->")) advance();
+    if (at_end()) fail("unterminated comment");
+    advance_by(3);
+  }
+
+  void skip_misc() {
+    for (;;) {
+      skip_whitespace();
+      if (starts_with("<!--")) {
+        skip_comment();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_prolog() {
+    skip_whitespace();
+    if (starts_with("<?xml")) {
+      while (!at_end() && !starts_with("?>")) advance();
+      if (at_end()) fail("unterminated XML declaration");
+      advance_by(2);
+    }
+    skip_misc();
+    if (starts_with("<!DOCTYPE")) {
+      // Skip to the matching '>' (no internal subset support).
+      while (!at_end() && peek() != '>') advance();
+      if (at_end()) fail("unterminated DOCTYPE");
+      advance();
+    }
+    skip_misc();
+  }
+
+  [[nodiscard]] static bool is_name_start(char ch) noexcept {
+    return std::isalpha(static_cast<unsigned char>(ch)) || ch == '_' || ch == ':';
+  }
+  [[nodiscard]] static bool is_name_char(char ch) noexcept {
+    return is_name_start(ch) || std::isdigit(static_cast<unsigned char>(ch)) ||
+           ch == '-' || ch == '.';
+  }
+
+  std::string parse_name() {
+    if (!is_name_start(peek())) fail("expected a name");
+    std::string name;
+    while (!at_end() && is_name_char(peek())) name += advance();
+    return name;
+  }
+
+  std::string decode_entity() {
+    // precondition: at '&'
+    advance();
+    std::string entity;
+    while (!at_end() && peek() != ';' && entity.size() < 8) entity += advance();
+    if (peek() != ';') fail("unterminated entity reference");
+    advance();
+    if (entity == "lt") return "<";
+    if (entity == "gt") return ">";
+    if (entity == "amp") return "&";
+    if (entity == "quot") return "\"";
+    if (entity == "apos") return "'";
+    if (!entity.empty() && entity[0] == '#') {
+      const bool hex = entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X');
+      const long code = std::strtol(entity.c_str() + (hex ? 2 : 1), nullptr,
+                                    hex ? 16 : 10);
+      if (code <= 0 || code > 0x10FFFF) fail("invalid character reference");
+      // Encode as UTF-8.
+      std::string out;
+      const auto c = static_cast<unsigned long>(code);
+      if (c < 0x80) {
+        out += static_cast<char>(c);
+      } else if (c < 0x800) {
+        out += static_cast<char>(0xC0 | (c >> 6));
+        out += static_cast<char>(0x80 | (c & 0x3F));
+      } else if (c < 0x10000) {
+        out += static_cast<char>(0xE0 | (c >> 12));
+        out += static_cast<char>(0x80 | ((c >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (c & 0x3F));
+      } else {
+        out += static_cast<char>(0xF0 | (c >> 18));
+        out += static_cast<char>(0x80 | ((c >> 12) & 0x3F));
+        out += static_cast<char>(0x80 | ((c >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (c & 0x3F));
+      }
+      return out;
+    }
+    fail("unknown entity '&" + entity + ";'");
+  }
+
+  std::string parse_attribute_value() {
+    const char quote = peek();
+    if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+    advance();
+    std::string value;
+    while (!at_end() && peek() != quote) {
+      if (peek() == '&') {
+        value += decode_entity();
+      } else if (peek() == '<') {
+        fail("'<' not allowed inside attribute value");
+      } else {
+        value += advance();
+      }
+    }
+    if (at_end()) fail("unterminated attribute value");
+    advance();  // closing quote
+    return value;
+  }
+
+  Node parse_element() {
+    if (peek() != '<') fail("expected '<'");
+    advance();
+    Node node(parse_name());
+    // Attributes.
+    for (;;) {
+      skip_whitespace();
+      if (starts_with("/>")) {
+        advance_by(2);
+        return node;
+      }
+      if (peek() == '>') {
+        advance();
+        break;
+      }
+      std::string key = parse_name();
+      skip_whitespace();
+      if (peek() != '=') fail("expected '=' after attribute name '" + key + "'");
+      advance();
+      skip_whitespace();
+      if (node.has_attribute(key))
+        fail("duplicate attribute '" + key + "' on <" + node.name() + ">");
+      node.add_attribute(std::move(key), parse_attribute_value());
+    }
+    // Content.
+    std::string text;
+    for (;;) {
+      if (at_end()) fail("unterminated element <" + node.name() + ">");
+      if (starts_with("<!--")) {
+        skip_comment();
+      } else if (starts_with("<![CDATA[")) {
+        advance_by(9);
+        while (!at_end() && !starts_with("]]>")) text += advance();
+        if (at_end()) fail("unterminated CDATA section");
+        advance_by(3);
+      } else if (starts_with("</")) {
+        advance_by(2);
+        const std::string closing = parse_name();
+        if (closing != node.name())
+          fail("mismatched closing tag </" + closing + "> for <" +
+               node.name() + ">");
+        skip_whitespace();
+        if (peek() != '>') fail("malformed closing tag");
+        advance();
+        break;
+      } else if (peek() == '<') {
+        node.add_child(parse_element());
+      } else if (peek() == '&') {
+        text += decode_entity();
+      } else {
+        text += advance();
+      }
+    }
+    // Trim surrounding whitespace from text content.
+    const auto first = text.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos) {
+      text.clear();
+    } else {
+      const auto last = text.find_last_not_of(" \t\r\n");
+      text = text.substr(first, last - first + 1);
+    }
+    node.set_text(std::move(text));
+    return node;
+  }
+};
+
+}  // namespace
+
+Node parse(std::string_view document) {
+  return Parser(document).parse_document();
+}
+
+Node parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ConfigError("cannot open XML file '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+}  // namespace dedicore::xml

@@ -1,0 +1,84 @@
+// Minimal XML parser and DOM for Damaris-style configuration files.
+//
+// Damaris (and ADIOS, which the paper cites as the inspiration) describe
+// the simulation's variables, layouts, meshes and plugin pipeline in an
+// external XML document.  This parser supports the subset such files use:
+// elements, attributes, text content, comments, XML declarations, CDATA,
+// and the five predefined entities.  It reports errors with line/column
+// positions via ConfigError.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace dedicore::xml {
+
+/// One element in the parsed document tree.
+class Node {
+ public:
+  Node() = default;
+  explicit Node(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Concatenated text content directly under this element (whitespace
+  /// trimmed at both ends).
+  [[nodiscard]] const std::string& text() const noexcept { return text_; }
+
+  // -- attributes -----------------------------------------------------------
+  [[nodiscard]] bool has_attribute(std::string_view key) const noexcept;
+  /// Value or std::nullopt.
+  [[nodiscard]] std::optional<std::string> attribute(std::string_view key) const;
+  /// Value or `fallback`.
+  [[nodiscard]] std::string attribute_or(std::string_view key,
+                                         std::string_view fallback) const;
+  /// Value or throws ConfigError naming the element and attribute.
+  [[nodiscard]] const std::string& require_attribute(std::string_view key) const;
+  /// Typed accessors; throw ConfigError on parse failure.
+  [[nodiscard]] std::int64_t attribute_int(std::string_view key,
+                                           std::int64_t fallback) const;
+  [[nodiscard]] double attribute_double(std::string_view key,
+                                        double fallback) const;
+  [[nodiscard]] bool attribute_bool(std::string_view key, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  attributes() const noexcept { return attributes_; }
+
+  // -- children -------------------------------------------------------------
+  [[nodiscard]] const std::vector<Node>& children() const noexcept { return children_; }
+  /// All direct children with the given element name.
+  [[nodiscard]] std::vector<const Node*> children_named(std::string_view name) const;
+  /// First direct child with the name, or nullptr.
+  [[nodiscard]] const Node* child(std::string_view name) const noexcept;
+  /// First direct child with the name, or throws ConfigError.
+  [[nodiscard]] const Node& require_child(std::string_view name) const;
+
+  // -- construction (used by the parser and by tests building docs) ---------
+  void set_name(std::string name) { name_ = std::move(name); }
+  void set_text(std::string text) { text_ = std::move(text); }
+  void add_attribute(std::string key, std::string value);
+  Node& add_child(Node child);
+
+  /// Serialize back to XML (2-space indentation); round-trip tested.
+  [[nodiscard]] std::string to_xml(int indent = 0) const;
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<Node> children_;
+};
+
+/// Parses a complete document and returns its root element.
+/// Throws ConfigError with "line L, column C" context on malformed input.
+Node parse(std::string_view document);
+
+/// Reads the file and parses it; throws ConfigError if unreadable.
+Node parse_file(const std::string& path);
+
+}  // namespace dedicore::xml

@@ -1,0 +1,200 @@
+// Tests for the XML-driven Configuration: parsing, defaults, validation
+// errors with precise messages.
+#include <gtest/gtest.h>
+
+#include "core/configuration.hpp"
+
+namespace dedicore::core {
+namespace {
+
+const char* kFullDocument = R"(
+<simulation name="cm1" cores_per_node="12" dedicated_cores="1">
+  <buffer size="128MiB" queue="512" policy="skip"/>
+  <data>
+    <layout name="grid3d" type="float32" dimensions="64, 64, 64"/>
+    <layout name="profile" type="float64" dimensions="64"/>
+    <mesh name="atm" type="rectilinear" coordinates="xcoord"/>
+    <variable name="xcoord" layout="profile" store="false"/>
+    <variable name="theta" layout="grid3d" mesh="atm" group="fields"/>
+    <variable name="qv" layout="grid3d" mesh="atm" group="fields"/>
+  </data>
+  <storage basename="out/cm1" codec="xor+lzs" stripe_count="2"
+           scheduler="throttled" max_concurrent="4"/>
+  <actions>
+    <event name="end_iteration" plugin="store"/>
+    <event name="snapshot" plugin="vislite">
+      <param key="variable" value="theta"/>
+      <param key="isovalue" value="301.5"/>
+    </event>
+  </actions>
+</simulation>
+)";
+
+TEST(ConfigurationTest, ParsesFullDocument) {
+  const Configuration cfg = Configuration::from_string(kFullDocument);
+  EXPECT_EQ(cfg.simulation_name(), "cm1");
+  EXPECT_EQ(cfg.cores_per_node(), 12);
+  EXPECT_EQ(cfg.dedicated_cores(), 1);
+  EXPECT_EQ(cfg.clients_per_node(), 11);
+  EXPECT_EQ(cfg.buffer_size(), 128ull << 20);
+  EXPECT_EQ(cfg.queue_capacity(), 512u);
+  EXPECT_EQ(cfg.policy(), BackpressurePolicy::kSkipIteration);
+  EXPECT_EQ(cfg.layouts().size(), 2u);
+  EXPECT_EQ(cfg.meshes().size(), 1u);
+  EXPECT_EQ(cfg.variables().size(), 3u);
+  EXPECT_EQ(cfg.actions().size(), 2u);
+  EXPECT_EQ(cfg.storage().basename, "out/cm1");
+  EXPECT_EQ(cfg.storage().codec, "xor+lzs");
+  EXPECT_EQ(cfg.storage().scheduler, "throttled");
+  EXPECT_EQ(cfg.storage().max_concurrent_nodes, 4);
+}
+
+TEST(ConfigurationTest, LayoutLookupAndSizes) {
+  const Configuration cfg = Configuration::from_string(kFullDocument);
+  const LayoutSpec& grid = cfg.layout("grid3d");
+  EXPECT_EQ(grid.dtype, h5lite::DType::kFloat32);
+  EXPECT_EQ(grid.element_count(), 64u * 64 * 64);
+  EXPECT_EQ(grid.byte_size(), 64u * 64 * 64 * 4);
+  EXPECT_THROW((void)cfg.layout("missing"), ConfigError);
+}
+
+TEST(ConfigurationTest, VariableLookupByNameAndId) {
+  const Configuration cfg = Configuration::from_string(kFullDocument);
+  const VariableSpec& theta = cfg.variable("theta");
+  EXPECT_EQ(theta.group, "fields");
+  EXPECT_EQ(cfg.variable(theta.id).name, "theta");
+  EXPECT_FALSE(cfg.variable("xcoord").store);
+  EXPECT_THROW((void)cfg.variable("nope"), ConfigError);
+  EXPECT_THROW((void)cfg.variable(VariableId{99}), ConfigError);
+}
+
+TEST(ConfigurationTest, BytesPerCoreCountsOnlyStoredVariables) {
+  const Configuration cfg = Configuration::from_string(kFullDocument);
+  // theta + qv stored (grid3d float32), xcoord not stored.
+  EXPECT_EQ(cfg.bytes_per_core_per_iteration(), 2u * 64 * 64 * 64 * 4);
+}
+
+TEST(ConfigurationTest, ActionParamsParsed) {
+  const Configuration cfg = Configuration::from_string(kFullDocument);
+  const ActionSpec& viz = cfg.actions()[1];
+  EXPECT_EQ(viz.event, "snapshot");
+  EXPECT_EQ(viz.params.at("variable"), "theta");
+  EXPECT_EQ(viz.params.at("isovalue"), "301.5");
+}
+
+TEST(ConfigurationTest, DefaultsApplyWhenSectionsOmitted) {
+  const Configuration cfg = Configuration::from_string(
+      "<simulation><data><layout name=\"l\" dimensions=\"4\"/>"
+      "<variable name=\"v\" layout=\"l\"/></data></simulation>");
+  EXPECT_EQ(cfg.cores_per_node(), 12);
+  EXPECT_EQ(cfg.dedicated_cores(), 1);
+  EXPECT_EQ(cfg.policy(), BackpressurePolicy::kBlock);
+  EXPECT_EQ(cfg.storage().scheduler, "greedy");
+  EXPECT_EQ(cfg.layout("l").dtype, h5lite::DType::kFloat64);  // default type
+}
+
+struct BadDocumentCase {
+  const char* name;
+  const char* document;
+  const char* expected_fragment;
+};
+
+class ConfigurationErrorTest : public ::testing::TestWithParam<BadDocumentCase> {};
+
+TEST_P(ConfigurationErrorTest, RejectsWithPreciseMessage) {
+  const auto& param = GetParam();
+  try {
+    Configuration::from_string(param.document);
+    FAIL() << "expected ConfigError for " << param.name;
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(param.expected_fragment),
+              std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadDocuments, ConfigurationErrorTest,
+    ::testing::Values(
+        BadDocumentCase{"wrong_root", "<sim/>", "simulation"},
+        BadDocumentCase{"unknown_layout_ref",
+                        "<simulation><data><variable name=\"v\" layout=\"x\"/>"
+                        "</data></simulation>",
+                        "unknown layout"},
+        BadDocumentCase{"unknown_mesh_ref",
+                        "<simulation><data><layout name=\"l\" dimensions=\"4\"/>"
+                        "<variable name=\"v\" layout=\"l\" mesh=\"m\"/>"
+                        "</data></simulation>",
+                        "unknown mesh"},
+        BadDocumentCase{"duplicate_variable",
+                        "<simulation><data><layout name=\"l\" dimensions=\"4\"/>"
+                        "<variable name=\"v\" layout=\"l\"/>"
+                        "<variable name=\"v\" layout=\"l\"/>"
+                        "</data></simulation>",
+                        "duplicate variable"},
+        BadDocumentCase{"duplicate_layout",
+                        "<simulation><data><layout name=\"l\" dimensions=\"4\"/>"
+                        "<layout name=\"l\" dimensions=\"8\"/>"
+                        "</data></simulation>",
+                        "duplicate layout"},
+        BadDocumentCase{"bad_policy",
+                        "<simulation><buffer policy=\"maybe\"/></simulation>",
+                        "policy"},
+        BadDocumentCase{"bad_dimension",
+                        "<simulation><data>"
+                        "<layout name=\"l\" dimensions=\"4,-2\"/>"
+                        "</data></simulation>",
+                        "dimension"},
+        BadDocumentCase{"too_many_dims",
+                        "<simulation><data>"
+                        "<layout name=\"l\" dimensions=\"2,2,2,2,2\"/>"
+                        "</data></simulation>",
+                        "4 dimensions"},
+        BadDocumentCase{"bad_dtype",
+                        "<simulation><data>"
+                        "<layout name=\"l\" type=\"quad\" dimensions=\"4\"/>"
+                        "</data></simulation>",
+                        "unknown data type"},
+        BadDocumentCase{"dedicated_exceeds_cores",
+                        "<simulation cores_per_node=\"4\" dedicated_cores=\"4\"/>",
+                        "dedicated_cores"},
+        BadDocumentCase{"throttled_needs_width",
+                        "<simulation><storage scheduler=\"throttled\"/></simulation>",
+                        "max_concurrent"},
+        BadDocumentCase{"unknown_codec",
+                        "<simulation><storage codec=\"zstd\"/></simulation>",
+                        "codec"},
+        BadDocumentCase{"mesh_coordinate_not_variable",
+                        "<simulation><data>"
+                        "<mesh name=\"m\" coordinates=\"nope\"/>"
+                        "</data></simulation>",
+                        "unknown variable"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(ConfigurationTest, ProgrammaticConstructionValidates) {
+  Configuration cfg;
+  cfg.set_architecture(8, 2);
+  cfg.set_buffer(1 << 20, 64, BackpressurePolicy::kBlock);
+  LayoutSpec layout;
+  layout.name = "l";
+  layout.extents = {16, 16};
+  cfg.add_layout(layout);
+  VariableSpec v;
+  v.name = "x";
+  v.layout = "l";
+  cfg.add_variable(v);
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.clients_per_node(), 6);
+  // Ids assigned in insertion order.
+  EXPECT_EQ(cfg.variable("x").id, 0u);
+}
+
+TEST(ConfigurationTest, EventTypeNames) {
+  EXPECT_EQ(to_string(EventType::kBlockWritten), "block_written");
+  EXPECT_EQ(to_string(EventType::kClientStop), "client_stop");
+  EXPECT_EQ(to_string(BackpressurePolicy::kBlock), "block");
+  EXPECT_EQ(to_string(BackpressurePolicy::kSkipIteration), "skip");
+}
+
+}  // namespace
+}  // namespace dedicore::core

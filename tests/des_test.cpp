@@ -1,0 +1,159 @@
+// Tests for the discrete-event engine and its resources.
+#include <gtest/gtest.h>
+
+#include "des/engine.hpp"
+
+namespace dedicore::des {
+namespace {
+
+TEST(EngineTest, EventsFireInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+  EXPECT_EQ(engine.events_executed(), 3u);
+}
+
+TEST(EngineTest, SameTimeEventsFireInScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    engine.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EngineTest, ScheduleInIsRelative) {
+  Engine engine;
+  double fired_at = -1;
+  engine.schedule_at(2.0, [&] {
+    engine.schedule_in(0.5, [&] { fired_at = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(EngineTest, CancelPreventsExecution) {
+  Engine engine;
+  bool ran = false;
+  const EventId id = engine.schedule_at(1.0, [&] { ran = true; });
+  engine.cancel(id);
+  engine.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(engine.events_executed(), 0u);
+}
+
+TEST(EngineTest, CancelIsIdempotentAndSafeAfterRun) {
+  Engine engine;
+  const EventId id = engine.schedule_at(1.0, [] {});
+  engine.run();
+  engine.cancel(id);  // already ran: harmless
+  engine.cancel(999);  // never existed: harmless
+}
+
+TEST(EngineTest, RunUntilStopsAtHorizon) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  engine.schedule_at(5.0, [&] { ++fired; });
+  engine.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineTest, EventsCanScheduleChains) {
+  Engine engine;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) engine.schedule_in(1.0, tick);
+  };
+  engine.schedule_in(1.0, tick);
+  engine.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(EngineDeathTest, SchedulingIntoThePastAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Engine engine;
+  engine.schedule_at(5.0, [] {});
+  engine.run();
+  EXPECT_DEATH(engine.schedule_at(1.0, [] {}), "past");
+}
+
+// ---------------------------------------------------------------------------
+// SimSemaphore
+// ---------------------------------------------------------------------------
+
+TEST(SimSemaphoreTest, LimitsConcurrencyFifo) {
+  Engine engine;
+  SimSemaphore sem(engine, 2);
+  std::vector<int> admitted;
+  for (int i = 0; i < 5; ++i)
+    sem.acquire([&admitted, i] { admitted.push_back(i); });
+  engine.run();
+  // Only the first two got in (no one released).
+  EXPECT_EQ(admitted, (std::vector<int>{0, 1}));
+  EXPECT_EQ(sem.waiting(), 3u);
+
+  sem.release();
+  engine.run();
+  EXPECT_EQ(admitted, (std::vector<int>{0, 1, 2}));  // FIFO order
+}
+
+TEST(SimSemaphoreTest, ReleaseWithoutWaitersRestoresPermit) {
+  Engine engine;
+  SimSemaphore sem(engine, 1);
+  int admitted = 0;
+  sem.acquire([&] { ++admitted; });
+  engine.run();
+  sem.release();
+  EXPECT_EQ(sem.available(), 1);
+  sem.acquire([&] { ++admitted; });
+  engine.run();
+  EXPECT_EQ(admitted, 2);
+}
+
+// ---------------------------------------------------------------------------
+// SimFifoServer
+// ---------------------------------------------------------------------------
+
+TEST(SimFifoServerTest, SerializesRequests) {
+  Engine engine;
+  SimFifoServer server(engine);
+  std::vector<double> completions;
+  engine.schedule_at(0.0, [&] {
+    server.request(0.1, [&] { completions.push_back(engine.now()); });
+    server.request(0.1, [&] { completions.push_back(engine.now()); });
+    server.request(0.1, [&] { completions.push_back(engine.now()); });
+  });
+  engine.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_NEAR(completions[0], 0.1, 1e-12);
+  EXPECT_NEAR(completions[1], 0.2, 1e-12);
+  EXPECT_NEAR(completions[2], 0.3, 1e-12);
+  EXPECT_EQ(server.operations(), 3u);
+  EXPECT_NEAR(server.busy_time(), 0.3, 1e-12);
+}
+
+TEST(SimFifoServerTest, IdleServerServesImmediately) {
+  Engine engine;
+  SimFifoServer server(engine);
+  double done_at = -1;
+  engine.schedule_at(0.0, [&] { server.request(0.05, [] {}); });
+  engine.schedule_at(10.0, [&] {
+    server.request(0.05, [&] { done_at = engine.now(); });
+  });
+  engine.run();
+  EXPECT_NEAR(done_at, 10.05, 1e-12);
+}
+
+}  // namespace
+}  // namespace dedicore::des

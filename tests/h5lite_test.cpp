@@ -1,0 +1,304 @@
+// Tests for the h5lite container format: build/parse round trips,
+// attributes, chunked + compressed layouts, shared-layout collective
+// files, and corruption rejection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "h5lite/h5lite.hpp"
+
+namespace dedicore::h5lite {
+namespace {
+
+std::vector<double> iota_doubles(std::size_t n) {
+  std::vector<double> v(n);
+  std::iota(v.begin(), v.end(), 0.0);
+  return v;
+}
+
+TEST(H5LiteTest, DtypeSizes) {
+  EXPECT_EQ(dtype_size(DType::kInt8), 1u);
+  EXPECT_EQ(dtype_size(DType::kUInt16), 2u);
+  EXPECT_EQ(dtype_size(DType::kFloat32), 4u);
+  EXPECT_EQ(dtype_size(DType::kFloat64), 8u);
+  EXPECT_EQ(dtype_name(DType::kFloat32), "float32");
+}
+
+TEST(H5LiteTest, EmptyFileRoundTrips) {
+  FileBuilder builder;
+  const auto image = std::move(builder).finalize();
+  const File file = File::parse(image);
+  EXPECT_TRUE(file.root().datasets.empty());
+  EXPECT_TRUE(file.root().groups.empty());
+}
+
+TEST(H5LiteTest, SingleDatasetRoundTrip) {
+  FileBuilder builder;
+  const auto values = iota_doubles(24);
+  const std::uint64_t dims[2] = {4, 6};
+  builder.add_dataset(FileBuilder::kRoot, "field", dims,
+                      std::span<const double>(values));
+  const File file = File::parse(std::move(builder).finalize());
+  const Dataset* ds = file.find_dataset("field");
+  ASSERT_NE(ds, nullptr);
+  EXPECT_EQ(ds->dtype, DType::kFloat64);
+  ASSERT_EQ(ds->dims.size(), 2u);
+  EXPECT_EQ(ds->dims[0], 4u);
+  EXPECT_EQ(ds->element_count(), 24u);
+  EXPECT_EQ(ds->read_as<double>(), values);
+}
+
+TEST(H5LiteTest, GroupsNestAndResolveByPath) {
+  FileBuilder builder;
+  const auto g1 = builder.create_group(FileBuilder::kRoot, "fields");
+  const auto g2 = builder.create_group(g1, "winds");
+  const auto values = iota_doubles(8);
+  const std::uint64_t dims[1] = {8};
+  builder.add_dataset(g2, "u", dims, std::span<const double>(values));
+  const File file = File::parse(std::move(builder).finalize());
+  EXPECT_NE(file.find_group("fields"), nullptr);
+  EXPECT_NE(file.find_group("fields/winds"), nullptr);
+  EXPECT_EQ(file.find_group("fields/missing"), nullptr);
+  const Dataset* ds = file.find_dataset("fields/winds/u");
+  ASSERT_NE(ds, nullptr);
+  EXPECT_EQ(ds->read_as<double>(), values);
+  EXPECT_EQ(file.find_dataset("fields/winds/v"), nullptr);
+}
+
+TEST(H5LiteTest, AttributesOfAllTypes) {
+  FileBuilder builder;
+  builder.set_attribute(FileBuilder::kRoot, "iteration", std::int64_t{42});
+  builder.set_attribute(FileBuilder::kRoot, "dt", 0.25);
+  builder.set_attribute(FileBuilder::kRoot, "name", std::string("cm1"));
+  const File file = File::parse(std::move(builder).finalize());
+  const auto& attrs = file.root().attributes;
+  EXPECT_EQ(std::get<std::int64_t>(attrs.at("iteration")), 42);
+  EXPECT_DOUBLE_EQ(std::get<double>(attrs.at("dt")), 0.25);
+  EXPECT_EQ(std::get<std::string>(attrs.at("name")), "cm1");
+}
+
+TEST(H5LiteTest, MultipleDatasetsAndTypes) {
+  FileBuilder builder;
+  const std::vector<float> f{1.5f, 2.5f};
+  const std::vector<std::int32_t> i{7, 8, 9};
+  const std::uint64_t d2[1] = {2};
+  const std::uint64_t d3[1] = {3};
+  builder.add_dataset(FileBuilder::kRoot, "floats", d2, std::span<const float>(f));
+  builder.add_dataset(FileBuilder::kRoot, "ints", d3, std::span<const std::int32_t>(i));
+  const File file = File::parse(std::move(builder).finalize());
+  EXPECT_EQ(file.find_dataset("floats")->read_as<float>(), f);
+  EXPECT_EQ(file.find_dataset("ints")->read_as<std::int32_t>(), i);
+  EXPECT_EQ(file.dataset_paths().size(), 2u);
+}
+
+TEST(H5LiteTest, DuplicateNamesRejected) {
+  FileBuilder builder;
+  builder.create_group(FileBuilder::kRoot, "g");
+  EXPECT_THROW(builder.create_group(FileBuilder::kRoot, "g"), ConfigError);
+  const auto values = iota_doubles(4);
+  const std::uint64_t dims[1] = {4};
+  builder.add_dataset(FileBuilder::kRoot, "d", dims, std::span<const double>(values));
+  EXPECT_THROW(builder.add_dataset(FileBuilder::kRoot, "d", dims,
+                                   std::span<const double>(values)),
+               ConfigError);
+}
+
+TEST(H5LiteTest, SizeMismatchRejected) {
+  FileBuilder builder;
+  const auto values = iota_doubles(5);
+  const std::uint64_t dims[1] = {4};  // 4 != 5
+  EXPECT_THROW(builder.add_dataset(FileBuilder::kRoot, "d", dims,
+                                   std::span<const double>(values)),
+               ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Chunked layouts
+// ---------------------------------------------------------------------------
+
+class ChunkedTest : public ::testing::TestWithParam<
+                        std::tuple<std::vector<std::uint64_t>,
+                                   std::vector<std::uint64_t>, compress::CodecId>> {};
+
+TEST_P(ChunkedTest, RoundTripsExactly) {
+  const auto& [dims, chunk_dims, codec] = GetParam();
+  std::uint64_t n = 1;
+  for (auto d : dims) n *= d;
+  std::vector<double> values(n);
+  for (std::uint64_t i = 0; i < n; ++i)
+    values[i] = std::sin(0.05 * static_cast<double>(i)) * 100.0;
+
+  FileBuilder builder;
+  builder.add_dataset_chunked(FileBuilder::kRoot, "field", DType::kFloat64,
+                              dims, chunk_dims,
+                              std::as_bytes(std::span<const double>(values)),
+                              codec);
+  const File file = File::parse(std::move(builder).finalize());
+  const Dataset* ds = file.find_dataset("field");
+  ASSERT_NE(ds, nullptr);
+  EXPECT_EQ(ds->read_as<double>(), values);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndCodecs, ChunkedTest,
+    ::testing::Values(
+        // 1-D, exact chunks
+        std::make_tuple(std::vector<std::uint64_t>{64},
+                        std::vector<std::uint64_t>{16}, compress::CodecId::kNone),
+        // 1-D, ragged edge chunk
+        std::make_tuple(std::vector<std::uint64_t>{100},
+                        std::vector<std::uint64_t>{32}, compress::CodecId::kRle),
+        // 2-D, ragged both ways
+        std::make_tuple(std::vector<std::uint64_t>{33, 17},
+                        std::vector<std::uint64_t>{8, 8},
+                        compress::CodecId::kXorDelta),
+        // 3-D CM1-like block, compressed
+        std::make_tuple(std::vector<std::uint64_t>{24, 24, 24},
+                        std::vector<std::uint64_t>{24, 24, 24},
+                        compress::CodecId::kXorLzs),
+        // 3-D with sub-chunks
+        std::make_tuple(std::vector<std::uint64_t>{16, 16, 16},
+                        std::vector<std::uint64_t>{8, 16, 5},
+                        compress::CodecId::kLzs),
+        // chunk larger than the dataset
+        std::make_tuple(std::vector<std::uint64_t>{6, 6},
+                        std::vector<std::uint64_t>{8, 8},
+                        compress::CodecId::kXorLzs)));
+
+TEST(H5LiteTest, CompressedChunksShrinkStoredSize) {
+  const std::uint64_t dims[3] = {24, 24, 24};
+  // Mostly-constant field with an active region (the compressible shape
+  // of real simulation output).
+  std::vector<double> smooth(24 * 24 * 24, 300.0);
+  for (std::size_t i = 0; i < smooth.size() / 4; ++i)
+    smooth[i] = 300.0 + std::sin(0.01 * static_cast<double>(i));
+  FileBuilder builder;
+  builder.add_dataset_chunked(FileBuilder::kRoot, "smooth", DType::kFloat64,
+                              dims, dims,
+                              std::as_bytes(std::span<const double>(smooth)),
+                              compress::CodecId::kXorLzs);
+  const File file = File::parse(std::move(builder).finalize());
+  const Dataset* ds = file.find_dataset("smooth");
+  ASSERT_NE(ds, nullptr);
+  EXPECT_LT(ds->stored_size(), ds->byte_size() / 2);
+  EXPECT_EQ(ds->read_as<double>(), smooth);
+}
+
+TEST(H5LiteTest, ChunkRankMismatchRejected) {
+  FileBuilder builder;
+  const auto values = iota_doubles(16);
+  const std::uint64_t dims[2] = {4, 4};
+  const std::uint64_t chunk1[1] = {4};
+  EXPECT_THROW(builder.add_dataset_chunked(
+                   FileBuilder::kRoot, "bad", DType::kFloat64, dims, chunk1,
+                   std::as_bytes(std::span<const double>(values)),
+                   compress::CodecId::kNone),
+               ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption rejection
+// ---------------------------------------------------------------------------
+
+TEST(H5LiteTest, ParseRejectsBadMagic) {
+  std::vector<std::byte> junk(64, std::byte{0});
+  EXPECT_THROW(File::parse(junk), ConfigError);
+}
+
+TEST(H5LiteTest, ParseRejectsTruncatedImage) {
+  FileBuilder builder;
+  const auto values = iota_doubles(128);
+  const std::uint64_t dims[1] = {128};
+  builder.add_dataset(FileBuilder::kRoot, "d", dims, std::span<const double>(values));
+  auto image = std::move(builder).finalize();
+  image.resize(image.size() / 2);
+  EXPECT_THROW(File::parse(image), ConfigError);
+}
+
+TEST(H5LiteTest, ParseRejectsTinyImages) {
+  EXPECT_THROW(File::parse({}), ConfigError);
+  EXPECT_THROW(File::parse(std::vector<std::byte>(8, std::byte{0})), ConfigError);
+}
+
+TEST(H5LiteTest, DatasetReadDetectsOutOfRangePayload) {
+  FileBuilder builder;
+  const auto values = iota_doubles(8);
+  const std::uint64_t dims[1] = {8};
+  builder.add_dataset(FileBuilder::kRoot, "d", dims, std::span<const double>(values));
+  auto image = std::move(builder).finalize();
+  // Corrupt the superblock's root offset to point into the payload — the
+  // parser should fail loudly rather than misread.
+  image[8] = std::byte{1};
+  EXPECT_THROW(File::parse(image), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// SharedLayout (collective shared files)
+// ---------------------------------------------------------------------------
+
+TEST(SharedLayoutTest, OffsetsAreDisjointAndAligned) {
+  std::vector<SharedLayout::Decl> decls;
+  for (int r = 0; r < 4; ++r)
+    decls.push_back({"theta/r" + std::to_string(r), DType::kFloat32, {5, 3}});
+  const SharedLayout layout(decls);
+  ASSERT_EQ(layout.dataset_count(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(layout.payload_offset(i) % 8, 0u);
+    EXPECT_EQ(layout.payload_size(i), 5u * 3u * 4u);
+    if (i > 0)
+      EXPECT_GE(layout.payload_offset(i),
+                layout.payload_offset(i - 1) + layout.payload_size(i - 1));
+  }
+  EXPECT_GT(layout.total_size(), layout.metadata_offset());
+}
+
+TEST(SharedLayoutTest, AssembledFileParses) {
+  // Simulate the collective write: payloads at their offsets, header and
+  // metadata from the layout; the result must parse as a normal file.
+  std::vector<SharedLayout::Decl> decls;
+  decls.push_back({"alpha", DType::kFloat64, {4}});
+  decls.push_back({"grp/beta", DType::kInt32, {3}});
+  const SharedLayout layout(decls);
+
+  std::vector<std::byte> image(layout.total_size());
+  std::memcpy(image.data(), layout.header_image().data(), kSuperblockSize);
+  const std::vector<double> alpha{1, 2, 3, 4};
+  const std::vector<std::int32_t> beta{7, 8, 9};
+  std::memcpy(image.data() + layout.payload_offset(0), alpha.data(), 32);
+  std::memcpy(image.data() + layout.payload_offset(1), beta.data(), 12);
+  std::memcpy(image.data() + layout.metadata_offset(),
+              layout.metadata_image().data(), layout.metadata_image().size());
+
+  const File file = File::parse(image);
+  ASSERT_NE(file.find_dataset("alpha"), nullptr);
+  EXPECT_EQ(file.find_dataset("alpha")->read_as<double>(), alpha);
+  ASSERT_NE(file.find_dataset("grp/beta"), nullptr);
+  EXPECT_EQ(file.find_dataset("grp/beta")->read_as<std::int32_t>(), beta);
+}
+
+TEST(SharedLayoutTest, EmptyDeclsRejected) {
+  EXPECT_THROW(SharedLayout({}), ConfigError);
+}
+
+TEST(SharedLayoutTest, DeepPathsRejected) {
+  std::vector<SharedLayout::Decl> decls;
+  decls.push_back({"a/b/c", DType::kFloat64, {4}});
+  EXPECT_THROW(SharedLayout(std::move(decls)), ConfigError);
+}
+
+TEST(SharedLayoutTest, IdenticalDeclsGiveIdenticalImages) {
+  auto make = [] {
+    std::vector<SharedLayout::Decl> decls;
+    for (int r = 0; r < 3; ++r)
+      decls.push_back({"v/r" + std::to_string(r), DType::kFloat32, {7}});
+    return SharedLayout(decls);
+  };
+  const SharedLayout a = make(), b = make();
+  EXPECT_EQ(a.header_image(), b.header_image());
+  EXPECT_EQ(a.metadata_image(), b.metadata_image());
+  EXPECT_EQ(a.total_size(), b.total_size());
+}
+
+}  // namespace
+}  // namespace dedicore::h5lite

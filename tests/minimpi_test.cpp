@@ -1,0 +1,321 @@
+// Tests for the thread-based MPI runtime: point-to-point semantics,
+// collectives (parameterized over rank counts), communicator splitting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "minimpi/minimpi.hpp"
+
+namespace dedicore::minimpi {
+namespace {
+
+TEST(MiniMpiTest, WorldHasRanksAndSize) {
+  std::atomic<int> rank_sum{0};
+  run_world(4, [&](Comm& world) {
+    EXPECT_EQ(world.size(), 4);
+    rank_sum += world.rank();
+  });
+  EXPECT_EQ(rank_sum.load(), 0 + 1 + 2 + 3);
+}
+
+TEST(MiniMpiTest, SingleRankWorldWorks) {
+  run_world(1, [](Comm& world) {
+    EXPECT_EQ(world.rank(), 0);
+    world.barrier();
+    EXPECT_EQ(world.bcast_value(41, 0), 41);
+    EXPECT_EQ(world.allreduce_value(2, std::plus<int>()), 2);
+  });
+}
+
+TEST(MiniMpiTest, SendRecvDeliversPayload) {
+  run_world(2, [](Comm& world) {
+    if (world.rank() == 0) {
+      const double data[3] = {1.0, 2.0, 3.0};
+      world.send(data, 3, 1, 7);
+    } else {
+      Message env;
+      const auto received = world.recv_vector<double>(0, 7, &env);
+      ASSERT_EQ(received.size(), 3u);
+      EXPECT_DOUBLE_EQ(received[2], 3.0);
+      EXPECT_EQ(env.source, 0);
+      EXPECT_EQ(env.tag, 7);
+    }
+  });
+}
+
+TEST(MiniMpiTest, TagMatchingIsSelective) {
+  run_world(2, [](Comm& world) {
+    if (world.rank() == 0) {
+      world.send_value(111, 1, /*tag=*/1);
+      world.send_value(222, 1, /*tag=*/2);
+    } else {
+      // Receive out of send order by tag.
+      EXPECT_EQ(world.recv_value<int>(0, 2), 222);
+      EXPECT_EQ(world.recv_value<int>(0, 1), 111);
+    }
+  });
+}
+
+TEST(MiniMpiTest, FifoOrderPerSenderAndTag) {
+  run_world(2, [](Comm& world) {
+    if (world.rank() == 0) {
+      for (int i = 0; i < 100; ++i) world.send_value(i, 1, 5);
+    } else {
+      for (int i = 0; i < 100; ++i) EXPECT_EQ(world.recv_value<int>(0, 5), i);
+    }
+  });
+}
+
+TEST(MiniMpiTest, WildcardSourceReceivesFromAnyone) {
+  run_world(4, [](Comm& world) {
+    if (world.rank() != 0) {
+      world.send_value(world.rank(), 0, 3);
+    } else {
+      int sum = 0;
+      for (int i = 0; i < 3; ++i) {
+        Message m = world.recv(kAnySource, 3);
+        int value = 0;
+        std::memcpy(&value, m.payload.data(), sizeof(int));
+        sum += value;
+      }
+      EXPECT_EQ(sum, 1 + 2 + 3);
+    }
+  });
+}
+
+TEST(MiniMpiTest, TryRecvAndProbe) {
+  run_world(2, [](Comm& world) {
+    if (world.rank() == 0) {
+      EXPECT_FALSE(world.try_recv(1, 9).has_value());
+      EXPECT_FALSE(world.iprobe(1, 9).has_value());
+      world.send_value(1, 1, 8);  // handshake
+      const ProbeResult probe = world.probe(1, 9);
+      EXPECT_EQ(probe.source, 1);
+      EXPECT_EQ(probe.size, sizeof(int));
+      // Probe does not consume:
+      EXPECT_EQ(world.recv_value<int>(1, 9), 77);
+    } else {
+      (void)world.recv_value<int>(0, 8);
+      world.send_value(77, 0, 9);
+    }
+  });
+}
+
+TEST(MiniMpiTest, NonblockingRequests) {
+  run_world(2, [](Comm& world) {
+    if (world.rank() == 0) {
+      Request send = world.isend_bytes({}, 1, 4);
+      EXPECT_TRUE(send.test());
+      send.wait();
+      Request recv = world.irecv(1, 6);
+      Message m = recv.wait();
+      EXPECT_EQ(m.source, 1);
+    } else {
+      (void)world.recv(0, 4);
+      world.send_bytes({}, 0, 6);
+    }
+  });
+}
+
+class CollectiveTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveTest, BarrierSynchronizes) {
+  const int n = GetParam();
+  std::atomic<int> before{0}, after{0};
+  run_world(n, [&](Comm& world) {
+    ++before;
+    world.barrier();
+    // Everyone incremented `before` prior to anyone passing the barrier.
+    EXPECT_EQ(before.load(), n);
+    ++after;
+  });
+  EXPECT_EQ(after.load(), n);
+}
+
+TEST_P(CollectiveTest, BcastFromEveryRoot) {
+  const int n = GetParam();
+  run_world(n, [&](Comm& world) {
+    for (int root = 0; root < n; ++root) {
+      std::vector<int> data;
+      if (world.rank() == root) data = {root * 10, root * 10 + 1};
+      world.bcast(data, root);
+      ASSERT_EQ(data.size(), 2u);
+      EXPECT_EQ(data[0], root * 10);
+      EXPECT_EQ(data[1], root * 10 + 1);
+    }
+  });
+}
+
+TEST_P(CollectiveTest, ReduceSumToEveryRoot) {
+  const int n = GetParam();
+  run_world(n, [&](Comm& world) {
+    for (int root = 0; root < n; ++root) {
+      const std::vector<std::int64_t> mine{world.rank(), 1};
+      auto result = world.reduce(mine, root, std::plus<std::int64_t>());
+      if (world.rank() == root) {
+        ASSERT_EQ(result.size(), 2u);
+        EXPECT_EQ(result[0], static_cast<std::int64_t>(n) * (n - 1) / 2);
+        EXPECT_EQ(result[1], n);
+      } else {
+        EXPECT_TRUE(result.empty());
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveTest, AllreduceMinMax) {
+  const int n = GetParam();
+  run_world(n, [&](Comm& world) {
+    const int lo = world.allreduce_value(world.rank(),
+                                         [](int a, int b) { return std::min(a, b); });
+    const int hi = world.allreduce_value(world.rank(),
+                                         [](int a, int b) { return std::max(a, b); });
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, n - 1);
+  });
+}
+
+TEST_P(CollectiveTest, GatherPreservesRankOrder) {
+  const int n = GetParam();
+  run_world(n, [&](Comm& world) {
+    const std::vector<int> mine{world.rank()};
+    const auto all = world.gather(mine, 0);
+    if (world.rank() == 0) {
+      ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) EXPECT_EQ(all[static_cast<std::size_t>(i)], i);
+    }
+  });
+}
+
+TEST_P(CollectiveTest, GathervVariableSizes) {
+  const int n = GetParam();
+  run_world(n, [&](Comm& world) {
+    std::vector<int> mine(static_cast<std::size_t>(world.rank()) + 1, world.rank());
+    std::vector<std::size_t> counts;
+    const auto all = world.gatherv(mine, 0, &counts);
+    if (world.rank() == 0) {
+      ASSERT_EQ(counts.size(), static_cast<std::size_t>(n));
+      std::size_t expected_total = 0;
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(counts[static_cast<std::size_t>(i)],
+                  static_cast<std::size_t>(i) + 1);
+        expected_total += static_cast<std::size_t>(i) + 1;
+      }
+      EXPECT_EQ(all.size(), expected_total);
+    }
+  });
+}
+
+TEST_P(CollectiveTest, ScanComputesPrefixSums) {
+  const int n = GetParam();
+  run_world(n, [&](Comm& world) {
+    const int prefix = world.scan_value(world.rank() + 1, std::plus<int>());
+    EXPECT_EQ(prefix, (world.rank() + 1) * (world.rank() + 2) / 2);
+  });
+}
+
+TEST_P(CollectiveTest, AlltoallExchangesPersonalizedData) {
+  const int n = GetParam();
+  run_world(n, [&](Comm& world) {
+    std::vector<std::vector<std::byte>> blocks(static_cast<std::size_t>(n));
+    for (int dst = 0; dst < n; ++dst)
+      blocks[static_cast<std::size_t>(dst)] = {
+          static_cast<std::byte>(world.rank()), static_cast<std::byte>(dst)};
+    const auto received = world.alltoall_bytes(std::move(blocks));
+    ASSERT_EQ(received.size(), static_cast<std::size_t>(n));
+    for (int src = 0; src < n; ++src) {
+      ASSERT_EQ(received[static_cast<std::size_t>(src)].size(), 2u);
+      EXPECT_EQ(std::to_integer<int>(received[static_cast<std::size_t>(src)][0]), src);
+      EXPECT_EQ(std::to_integer<int>(received[static_cast<std::size_t>(src)][1]),
+                world.rank());
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13, 16));
+
+TEST(MiniMpiTest, SplitGroupsByColor) {
+  run_world(6, [](Comm& world) {
+    // Even/odd split, keyed by descending world rank.
+    Comm sub = world.split(world.rank() % 2, -world.rank());
+    EXPECT_EQ(sub.size(), 3);
+    // Key ordering: highest world rank becomes rank 0.
+    const auto members = sub.gather(std::vector<int>{world.rank()}, 0);
+    if (sub.rank() == 0) {
+      ASSERT_EQ(members.size(), 3u);
+      EXPECT_GT(members[0], members[1]);
+      EXPECT_GT(members[1], members[2]);
+    }
+    // The sub-communicator is fully functional.
+    const int total = sub.allreduce_value(world.rank(), std::plus<int>());
+    const int expected = world.rank() % 2 == 0 ? 0 + 2 + 4 : 1 + 3 + 5;
+    EXPECT_EQ(total, expected);
+  });
+}
+
+TEST(MiniMpiTest, SplitWithNegativeColorExcludes) {
+  run_world(4, [](Comm& world) {
+    Comm sub = world.split(world.rank() == 0 ? -1 : 0, world.rank());
+    if (world.rank() == 0) {
+      EXPECT_FALSE(sub.valid());
+    } else {
+      ASSERT_TRUE(sub.valid());
+      EXPECT_EQ(sub.size(), 3);
+    }
+  });
+}
+
+TEST(MiniMpiTest, SplitByNodeMakesUniformNodes) {
+  run_world(8, [](Comm& world) {
+    Comm node = world.split_by_node(4);
+    EXPECT_EQ(node.size(), 4);
+    EXPECT_EQ(node.rank(), world.rank() % 4);
+    // Sub-collectives stay node-local.
+    const int node_sum = node.allreduce_value(1, std::plus<int>());
+    EXPECT_EQ(node_sum, 4);
+  });
+}
+
+TEST(MiniMpiTest, NestedSplitsWork) {
+  run_world(8, [](Comm& world) {
+    Comm half = world.split(world.rank() / 4, world.rank());
+    Comm quarter = half.split(half.rank() / 2, half.rank());
+    EXPECT_EQ(quarter.size(), 2);
+    EXPECT_EQ(quarter.allreduce_value(1, std::plus<int>()), 2);
+  });
+}
+
+TEST(MiniMpiTest, RankBodyExceptionsPropagate) {
+  EXPECT_THROW(run_world(3,
+                         [](Comm& world) {
+                           if (world.rank() == 2)
+                             throw std::runtime_error("rank failure");
+                         }),
+               std::runtime_error);
+}
+
+TEST(MiniMpiTest, LargePayloadsSurvive) {
+  run_world(2, [](Comm& world) {
+    const std::size_t n = 1 << 20;  // 8 MiB of doubles
+    if (world.rank() == 0) {
+      std::vector<double> data(n);
+      std::iota(data.begin(), data.end(), 0.0);
+      world.send(data.data(), data.size(), 1, 2);
+    } else {
+      const auto data = world.recv_vector<double>(0, 2);
+      ASSERT_EQ(data.size(), n);
+      EXPECT_DOUBLE_EQ(data[n - 1], static_cast<double>(n - 1));
+    }
+  });
+}
+
+TEST(MiniMpiTest, WtimeIsMonotonic) {
+  const double a = Comm::wtime();
+  const double b = Comm::wtime();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace dedicore::minimpi

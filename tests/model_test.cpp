@@ -1,0 +1,312 @@
+// Tests for the DES storage model and the full-scale strategy replays.
+// The replay assertions encode the paper's qualitative results at a
+// moderate scale (fast to simulate); bench_* binaries run the full sweeps.
+#include <gtest/gtest.h>
+
+#include "model/replay.hpp"
+#include "model/sim_storage.hpp"
+
+namespace dedicore::model {
+namespace {
+
+fsim::StorageConfig quiet_storage(int osts = 8) {
+  fsim::StorageConfig cfg;
+  cfg.ost_count = osts;
+  cfg.ost_bandwidth = 100e6;
+  cfg.mds_op_cost = 1e-3;
+  cfg.jitter_sigma = 0.0;
+  cfg.spike_probability = 0.0;
+  cfg.interference_on_rate = 0.0;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// SimStorage
+// ---------------------------------------------------------------------------
+
+TEST(SimStorageTest, SingleWriteDurationMatchesBandwidth) {
+  des::Engine engine;
+  SimStorage storage(engine, quiet_storage(), 0.0);
+  double duration = -1;
+  storage.write({{0, 100e6}}, [&](double d) { duration = d; });
+  engine.run();
+  EXPECT_NEAR(duration, 1.0, 1e-9);  // 100 MB at 100 MB/s
+  EXPECT_NEAR(storage.bytes_written(), 100e6, 1.0);
+  EXPECT_EQ(storage.writes(), 1u);
+}
+
+TEST(SimStorageTest, StripedWriteUsesParallelOsts) {
+  des::Engine engine;
+  SimStorage storage(engine, quiet_storage(), 0.0);
+  double striped = -1;
+  storage.write(storage.stripe_chunks(0, 100e6, 4), [&](double d) { striped = d; });
+  engine.run();
+  EXPECT_NEAR(striped, 0.25, 1e-9);  // 4 OSTs in parallel
+}
+
+TEST(SimStorageTest, ConcurrentFlowsShareAnOst) {
+  des::Engine engine;
+  SimStorage storage(engine, quiet_storage(), 0.0);
+  std::vector<double> durations;
+  for (int i = 0; i < 2; ++i)
+    storage.write({{0, 100e6}}, [&](double d) { durations.push_back(d); });
+  engine.run();
+  ASSERT_EQ(durations.size(), 2u);
+  EXPECT_NEAR(durations[0], 2.0, 1e-6);
+  EXPECT_NEAR(durations[1], 2.0, 1e-6);
+}
+
+TEST(SimStorageTest, CongestionDegradesSharedBandwidth) {
+  // With alpha > 0, n flows drain slower than B/n each.
+  des::Engine engine;
+  SimStorage storage(engine, quiet_storage(), /*alpha=*/0.1);
+  std::vector<double> durations;
+  for (int i = 0; i < 4; ++i)
+    storage.write({{0, 100e6}}, [&](double d) { durations.push_back(d); });
+  engine.run();
+  ASSERT_EQ(durations.size(), 4u);
+  // Fair share would be 4 s; congestion factor (1+0.1*3) makes it 5.2 s.
+  EXPECT_GT(durations[3], 5.0);
+}
+
+TEST(SimStorageTest, MdsSerializesOps) {
+  des::Engine engine;
+  SimStorage storage(engine, quiet_storage(), 0.0);
+  std::vector<double> completions;
+  for (int i = 0; i < 3; ++i)
+    storage.mds_op([&] { completions.push_back(engine.now()); });
+  engine.run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_NEAR(completions[2], 3e-3, 1e-9);
+  EXPECT_EQ(storage.mds_operations(), 3u);
+}
+
+TEST(SimStorageTest, ThroughputWindowCoversActivity) {
+  des::Engine engine;
+  SimStorage storage(engine, quiet_storage(), 0.0);
+  engine.schedule_at(5.0, [&] { storage.write({{0, 100e6}}, {}); });
+  engine.run();
+  EXPECT_NEAR(storage.first_activity(), 5.0, 1e-9);
+  EXPECT_NEAR(storage.last_activity(), 6.0, 1e-9);
+  EXPECT_NEAR(storage.aggregate_throughput(), 100e6, 1e3);
+}
+
+TEST(SimStorageTest, ManySmallResidualFlowsTerminate) {
+  // Regression: sub-epsilon residuals must not spin the engine (the bug
+  // that froze the first full-scale replays).
+  des::Engine engine;
+  SimStorage storage(engine, quiet_storage(), 0.05);
+  int completed = 0;
+  for (int i = 0; i < 50; ++i)
+    storage.write({{i % 8, 43e6}}, [&](double) { ++completed; });
+  engine.run();
+  EXPECT_EQ(completed, 50);
+  EXPECT_LT(engine.events_executed(), 10000u);
+}
+
+// ---------------------------------------------------------------------------
+// Replays — paper shape at moderate scale
+// ---------------------------------------------------------------------------
+
+struct ReplaySet {
+  ReplayResult fpp, collective, damaris, throttled, msg;
+};
+
+ReplaySet run_all(int cores) {
+  ClusterSpec cluster;
+  cluster.total_cores = cores;
+  cluster.cores_per_node = 12;
+  WorkloadSpec workload;
+  workload.iterations = 4;
+  workload.compute_seconds = 350.0;
+  workload.bytes_per_core = 43ull << 20;
+  const fsim::StorageConfig storage = kraken_storage_config();
+  const double alpha = kraken_congestion_alpha();
+
+  ReplaySet out;
+  out.fpp = replay(Strategy::kFilePerProcess, cluster, workload, storage, alpha, 1);
+  out.collective = replay(Strategy::kCollective, cluster, workload, storage, alpha, 1);
+  out.damaris = replay(Strategy::kDamaris, cluster, workload, storage, alpha, 1);
+  WorkloadSpec throttled = workload;
+  throttled.throttle_max_nodes = std::max(1, cluster.nodes() / 4);
+  out.throttled = replay(Strategy::kDamarisThrottled, cluster, throttled, storage, alpha, 1);
+  out.msg = replay(Strategy::kDamarisMsgPassing, cluster, workload, storage, alpha, 1);
+  return out;
+}
+
+class ReplayShapeTest : public ::testing::TestWithParam<int> {
+ protected:
+  static const ReplaySet& results(int cores) {
+    static std::map<int, ReplaySet> cache;
+    auto it = cache.find(cores);
+    if (it == cache.end()) it = cache.emplace(cores, run_all(cores)).first;
+    return it->second;
+  }
+};
+
+TEST_P(ReplayShapeTest, DamarisWinsOnApplicationTime) {
+  const ReplaySet& r = results(GetParam());
+  EXPECT_LT(r.damaris.app_seconds, r.fpp.app_seconds);
+  EXPECT_LT(r.damaris.app_seconds, r.collective.app_seconds);
+}
+
+TEST_P(ReplayShapeTest, DamarisIsNearComputeOnly) {
+  const ReplaySet& r = results(GetParam());
+  // "nearly perfect scalability ... does not depend anymore on the I/O".
+  EXPECT_LT(r.damaris.app_seconds, r.damaris.compute_only_seconds * 1.10);
+  EXPECT_LT(r.damaris.io_fraction, 0.05);
+}
+
+TEST_P(ReplayShapeTest, DamarisSustainedThroughputBeatsFpp) {
+  const ReplaySet& r = results(GetParam());
+  EXPECT_GT(r.damaris.aggregate_throughput, r.fpp.aggregate_throughput);
+  // The full paper ordering (damaris > fpp > collective) only emerges at
+  // large scale where collective collapses; see the large-scale test.
+}
+
+TEST(ReplayLargeScaleTest, ThroughputOrderingMatchesPaperAtScale) {
+  ClusterSpec cluster;
+  cluster.total_cores = 4608;
+  cluster.cores_per_node = 12;
+  WorkloadSpec workload;
+  workload.iterations = 3;
+  workload.compute_seconds = 350.0;
+  workload.bytes_per_core = 43ull << 20;
+  const fsim::StorageConfig storage = kraken_storage_config();
+  const double alpha = kraken_congestion_alpha();
+  const auto fpp = replay(Strategy::kFilePerProcess, cluster, workload, storage, alpha, 2);
+  const auto col = replay(Strategy::kCollective, cluster, workload, storage, alpha, 2);
+  const auto dam = replay(Strategy::kDamaris, cluster, workload, storage, alpha, 2);
+  // Paper at 9216: Damaris 10 GB/s > fpp 1.7 GB/s > collective 0.5 GB/s.
+  EXPECT_GT(dam.peak_throughput, fpp.peak_throughput);
+  EXPECT_GT(fpp.peak_throughput, col.peak_throughput);
+  EXPECT_GT(dam.peak_throughput / col.peak_throughput, 4.0);
+}
+
+TEST_P(ReplayShapeTest, CollectiveStallsGrowFasterThanFpp) {
+  const ReplaySet& r = results(GetParam());
+  // The collective phase is the slowest path at every scale; its absolute
+  // dominance (70 % of the run, §IV.A) emerges at 4608+ cores — covered by
+  // CollectiveIoDominatesAtLargeScale below.
+  EXPECT_GT(r.collective.visible_io_seconds.summary().median,
+            r.fpp.visible_io_seconds.summary().median);
+  EXPECT_GT(r.collective.io_fraction, 0.0);
+}
+
+TEST(ReplayLargeScaleTest, CollectiveIoDominatesAtLargeScale) {
+  ClusterSpec cluster;
+  cluster.total_cores = 4608;
+  cluster.cores_per_node = 12;
+  WorkloadSpec workload;
+  workload.iterations = 4;
+  workload.compute_seconds = 350.0;
+  workload.bytes_per_core = 43ull << 20;
+  const auto r = replay(Strategy::kCollective, cluster, workload,
+                        kraken_storage_config(), kraken_congestion_alpha(), 1);
+  // Paper: the I/O phase reaches ~70 % of the run time near full scale.
+  EXPECT_GT(r.io_fraction, 0.30);
+  EXPECT_GT(r.app_seconds, r.compute_only_seconds * 1.4);
+}
+
+TEST_P(ReplayShapeTest, DedicatedCoresMostlyIdle) {
+  const ReplaySet& r = results(GetParam());
+  EXPECT_GT(r.damaris.dedicated_idle_fraction, 0.80);
+  EXPECT_LE(r.damaris.dedicated_idle_fraction, 1.0);
+}
+
+TEST_P(ReplayShapeTest, FileCountsMatchStrategies) {
+  const int cores = GetParam();
+  const ReplaySet& r = results(cores);
+  EXPECT_EQ(r.fpp.files_created, static_cast<std::uint64_t>(cores) * 4u);
+  EXPECT_EQ(r.collective.files_created, 4u);
+  EXPECT_EQ(r.damaris.files_created,
+            static_cast<std::uint64_t>(cores / 12) * 4u);
+}
+
+TEST_P(ReplayShapeTest, VisibleWriteIsSubSecondForDamaris) {
+  const ReplaySet& r = results(GetParam());
+  // Paper: "cut down to the time required to write in shared memory, in
+  // the order of 0.1 seconds".  The baselines' stall is storage-bound and
+  // at least an order of magnitude larger at any scale.
+  const double damaris_median = r.damaris.visible_io_seconds.summary().median;
+  EXPECT_LT(damaris_median, 0.5);
+  EXPECT_GT(r.fpp.visible_io_seconds.summary().median, 3.0 * damaris_median);
+}
+
+TEST_P(ReplayShapeTest, MessagePassingAblationIsVisiblyWorse) {
+  const ReplaySet& r = results(GetParam());
+  EXPECT_GT(r.msg.visible_io_seconds.summary().median,
+            r.damaris.visible_io_seconds.summary().median * 2.0);
+}
+
+TEST_P(ReplayShapeTest, ThrottledSchedulerDoesNotHurtAppTime) {
+  const ReplaySet& r = results(GetParam());
+  EXPECT_LT(r.throttled.app_seconds, r.damaris.app_seconds * 1.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ReplayShapeTest, ::testing::Values(576, 1152));
+
+TEST(ReplayTest, VariabilitySpreadIsOrdersOfMagnitudeForBaselines) {
+  const ClusterSpec cluster{1152, 12, 1};
+  WorkloadSpec workload;
+  workload.iterations = 4;
+  workload.bytes_per_core = 43ull << 20;
+  const auto r = replay(Strategy::kFilePerProcess, cluster, workload,
+                        kraken_storage_config(), kraken_congestion_alpha(), 3);
+  const Summary s = r.visible_io_seconds.summary();
+  EXPECT_GT(s.spread(), 5.0);  // slowest vs fastest process
+}
+
+TEST(ReplayTest, SkipPolicyDropsIterationsWhenStorageLags) {
+  ClusterSpec cluster{144, 12, 1};
+  WorkloadSpec workload;
+  workload.iterations = 6;
+  workload.compute_seconds = 5.0;  // storage cannot keep up
+  workload.bytes_per_core = 200ull << 20;
+  workload.node_buffer_bytes = 3ull << 30;
+  workload.policy = core::BackpressurePolicy::kSkipIteration;
+  fsim::StorageConfig storage = quiet_storage(4);
+  storage.ost_bandwidth = 20e6;
+  const auto r = replay(Strategy::kDamaris, cluster, workload, storage, 0.02, 5);
+  EXPECT_GT(r.iterations_skipped, 0u);
+  // The app never waits: run time stays near compute-only.
+  EXPECT_LT(r.app_seconds, r.compute_only_seconds * 1.5);
+}
+
+TEST(ReplayTest, BlockPolicyStallsInsteadOfSkipping) {
+  ClusterSpec cluster{144, 12, 1};
+  WorkloadSpec workload;
+  workload.iterations = 6;
+  workload.compute_seconds = 5.0;
+  workload.bytes_per_core = 200ull << 20;
+  workload.node_buffer_bytes = 3ull << 30;
+  workload.policy = core::BackpressurePolicy::kBlock;
+  fsim::StorageConfig storage = quiet_storage(4);
+  storage.ost_bandwidth = 20e6;
+  const auto r = replay(Strategy::kDamaris, cluster, workload, storage, 0.02, 5);
+  EXPECT_EQ(r.iterations_skipped, 0u);
+  EXPECT_GT(r.app_seconds, r.compute_only_seconds * 1.5);
+}
+
+TEST(ReplayTest, DeterministicPerSeed) {
+  const ClusterSpec cluster{144, 12, 1};
+  WorkloadSpec workload;
+  workload.iterations = 3;
+  const auto a = replay(Strategy::kDamaris, cluster, workload,
+                        kraken_storage_config(), 0.05, 9);
+  const auto b = replay(Strategy::kDamaris, cluster, workload,
+                        kraken_storage_config(), 0.05, 9);
+  EXPECT_DOUBLE_EQ(a.app_seconds, b.app_seconds);
+  EXPECT_DOUBLE_EQ(a.aggregate_throughput, b.aggregate_throughput);
+  const auto c = replay(Strategy::kDamaris, cluster, workload,
+                        kraken_storage_config(), 0.05, 10);
+  EXPECT_NE(a.app_seconds, c.app_seconds);
+}
+
+TEST(ReplayTest, StrategyNames) {
+  EXPECT_EQ(strategy_name(Strategy::kFilePerProcess), "file-per-process");
+  EXPECT_EQ(strategy_name(Strategy::kDamarisThrottled), "damaris+sched");
+}
+
+}  // namespace
+}  // namespace dedicore::model

@@ -1,0 +1,295 @@
+// Tests for the shared-memory segment allocator and the bounded queue —
+// including property tests over the allocator invariants and blocking
+// semantics under concurrency.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "shm/bounded_queue.hpp"
+#include "shm/segment.hpp"
+
+namespace dedicore::shm {
+namespace {
+
+TEST(SegmentTest, AllocateAndFree) {
+  Segment seg(1024);
+  auto a = seg.try_allocate(100);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->size, 100u);
+  EXPECT_EQ(seg.used(), 100u);
+  seg.deallocate(*a);
+  EXPECT_EQ(seg.used(), 0u);
+  EXPECT_EQ(seg.free_bytes(), 1024u);
+}
+
+TEST(SegmentTest, ExhaustionReturnsNullopt) {
+  Segment seg(256);
+  auto a = seg.try_allocate(200);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_FALSE(seg.try_allocate(100).has_value());
+  EXPECT_EQ(seg.stats().failed_allocations, 1u);
+  seg.deallocate(*a);
+  EXPECT_TRUE(seg.try_allocate(100).has_value());
+}
+
+TEST(SegmentTest, AlignmentIsRespected) {
+  Segment seg(4096);
+  auto a = seg.try_allocate(3, 1);
+  ASSERT_TRUE(a.has_value());
+  auto b = seg.try_allocate(64, 64);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->offset % 64, 0u);
+  seg.check_invariants();
+}
+
+TEST(SegmentTest, CoalescingReassemblesWholeSegment) {
+  Segment seg(1000);
+  std::vector<BlockRef> blocks;
+  for (int i = 0; i < 8; ++i) {
+    auto b = seg.try_allocate(100);
+    ASSERT_TRUE(b.has_value());
+    blocks.push_back(*b);
+  }
+  // Free in an interleaved order to exercise both-neighbour coalescing.
+  for (int i : {1, 3, 5, 7, 0, 2, 4, 6}) seg.deallocate(blocks[static_cast<std::size_t>(i)]);
+  seg.check_invariants();
+  // A full-capacity allocation only succeeds when coalescing was perfect.
+  auto whole = seg.try_allocate(1000, 1);
+  EXPECT_TRUE(whole.has_value());
+}
+
+TEST(SegmentTest, ViewReadsBackWrites) {
+  Segment seg(512);
+  auto block = seg.try_allocate(16);
+  ASSERT_TRUE(block.has_value());
+  auto view = seg.view(*block);
+  std::memset(view.data(), 0xAB, view.size());
+  auto again = seg.view(*block);
+  EXPECT_EQ(std::to_integer<int>(again[15]), 0xAB);
+}
+
+TEST(SegmentTest, TryWriteCopiesPayload) {
+  Segment seg(512);
+  const std::vector<std::byte> payload{std::byte{1}, std::byte{2}, std::byte{3}};
+  auto block = seg.try_write(payload);
+  ASSERT_TRUE(block.has_value());
+  auto view = seg.view(*block);
+  EXPECT_EQ(std::to_integer<int>(view[1]), 2);
+}
+
+TEST(SegmentTest, PeakUsageTracksHighWater) {
+  Segment seg(1024);
+  auto a = seg.try_allocate(600);
+  auto b = seg.try_allocate(300);
+  ASSERT_TRUE(a && b);
+  seg.deallocate(*a);
+  seg.deallocate(*b);
+  EXPECT_EQ(seg.stats().peak_used, 900u);
+  EXPECT_EQ(seg.stats().allocations, 2u);
+  EXPECT_EQ(seg.stats().frees, 2u);
+}
+
+TEST(SegmentTest, BlockingAllocateWaitsForSpace) {
+  Segment seg(256);
+  auto hog = seg.try_allocate(200);
+  ASSERT_TRUE(hog.has_value());
+
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    seg.deallocate(*hog);
+  });
+  // Blocks until the releaser frees the hog block.
+  auto waited = seg.allocate_blocking(150);
+  releaser.join();
+  ASSERT_TRUE(waited.has_value());
+  EXPECT_EQ(waited->size, 150u);
+}
+
+TEST(SegmentTest, BlockingAllocateImpossibleSizeFailsFast) {
+  Segment seg(128);
+  EXPECT_FALSE(seg.allocate_blocking(1024).has_value());
+}
+
+TEST(SegmentTest, CloseUnblocksWaiters) {
+  Segment seg(128);
+  auto hog = seg.try_allocate(120);
+  ASSERT_TRUE(hog.has_value());
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    seg.close();
+  });
+  EXPECT_FALSE(seg.allocate_blocking(100).has_value());
+  closer.join();
+}
+
+TEST(SegmentDeathTest, DoubleFreeAborts) {
+  GTEST_FLAG_SET(death_test_style, "threadsafe");
+  Segment seg(256);
+  auto a = seg.try_allocate(64);
+  ASSERT_TRUE(a.has_value());
+  seg.deallocate(*a);
+  EXPECT_DEATH(seg.deallocate(*a), "double-freed");
+}
+
+/// Property test: random allocate/free sequences keep every invariant and
+/// never corrupt accounting.  Parameterized over segment sizes.
+class SegmentPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SegmentPropertyTest, RandomWorkloadKeepsInvariants) {
+  const std::uint64_t capacity = GetParam();
+  Segment seg(capacity);
+  Rng rng(capacity ^ 0xDEADBEEFull);
+  std::vector<BlockRef> live;
+  std::uint64_t live_bytes = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    const bool allocate = live.empty() || rng.chance(0.55);
+    if (allocate) {
+      const std::uint64_t size = 1 + rng.next_below(capacity / 4);
+      const std::uint64_t alignment = 1ull << rng.next_below(7);
+      auto block = seg.try_allocate(size, alignment);
+      if (block) {
+        EXPECT_EQ(block->offset % alignment, 0u);
+        live.push_back(*block);
+        live_bytes += size;
+      }
+    } else {
+      const std::size_t pick = rng.next_below(live.size());
+      live_bytes -= live[pick].size;
+      seg.deallocate(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    EXPECT_EQ(seg.used(), live_bytes);
+    if (step % 100 == 0) seg.check_invariants();
+  }
+  for (const auto& block : live) seg.deallocate(block);
+  seg.check_invariants();
+  EXPECT_EQ(seg.used(), 0u);
+  // After everything is freed the full capacity must be allocatable again.
+  EXPECT_TRUE(seg.try_allocate(capacity, 1).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SegmentPropertyTest,
+                         ::testing::Values(1 << 10, 1 << 14, 1 << 18, 123457));
+
+TEST(SegmentTest, ConcurrentAllocFreeIsSafe) {
+  Segment seg(1 << 20);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < 500; ++i) {
+        auto block = seg.try_allocate(1 + rng.next_below(2048));
+        if (!block) {
+          ++failures;
+          continue;
+        }
+        auto view = seg.view(*block);
+        std::memset(view.data(), t, view.size());
+        seg.deallocate(*block);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(seg.used(), 0u);
+  seg.check_invariants();
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue
+// ---------------------------------------------------------------------------
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(i).is_ok());
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.try_pop().value(), i);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BoundedQueueTest, TryPushFullReturnsWouldBlock) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1).is_ok());
+  EXPECT_TRUE(q.try_push(2).is_ok());
+  EXPECT_EQ(q.try_push(3).code(), StatusCode::kWouldBlock);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenEnds) {
+  BoundedQueue<int> q(4);
+  q.try_push(1);
+  q.try_push(2);
+  q.close();
+  EXPECT_EQ(q.try_push(3).code(), StatusCode::kClosed);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueueTest, BlockingPushWaitsForConsumer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(q.pop().value(), 1);
+  });
+  EXPECT_TRUE(q.push(2));  // blocks until the consumer pops
+  consumer.join();
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BoundedQueueTest, BlockingPopWaitsForProducer) {
+  BoundedQueue<int> q(4);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.push(42);
+  });
+  EXPECT_EQ(q.pop().value(), 42);
+  producer.join();
+}
+
+TEST(BoundedQueueTest, CloseUnblocksPoppers) {
+  BoundedQueue<int> q(4);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+  });
+  EXPECT_FALSE(q.pop().has_value());
+  closer.join();
+}
+
+TEST(BoundedQueueTest, ManyProducersOneConsumer) {
+  BoundedQueue<int> q(16);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(p * kPerProducer + i);
+    });
+  }
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_FALSE(seen[static_cast<std::size_t>(*v)]);
+    seen[static_cast<std::size_t>(*v)] = true;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, WrapAroundKeepsOrder) {
+  BoundedQueue<int> q(3);
+  int next_push = 0, next_pop = 0;
+  for (int round = 0; round < 20; ++round) {
+    while (q.try_push(next_push).is_ok()) ++next_push;
+    EXPECT_EQ(q.try_pop().value(), next_pop++);
+    EXPECT_EQ(q.try_pop().value(), next_pop++);
+  }
+}
+
+}  // namespace
+}  // namespace dedicore::shm

@@ -1,0 +1,202 @@
+// Tests for the simulation proxies: physics sanity (smoothness, stability,
+// energy decay), weak-scaling properties, and the workload generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/cm1_proxy.hpp"
+#include "sim/nek_proxy.hpp"
+#include "sim/workload.hpp"
+
+namespace dedicore::sim {
+namespace {
+
+TEST(Cm1ProxyTest, InitialStateHasBubble) {
+  Cm1Config cfg;
+  cfg.nx = cfg.ny = cfg.nz = 16;
+  Cm1Proxy proxy(cfg);
+  const auto theta = proxy.theta();
+  double max_theta = 0, min_theta = 1e9;
+  for (float v : theta) {
+    max_theta = std::max<double>(max_theta, v);
+    min_theta = std::min<double>(min_theta, v);
+  }
+  EXPECT_GT(max_theta, 301.0);  // warm bubble
+  EXPECT_GT(min_theta, 295.0);  // near base state elsewhere
+}
+
+TEST(Cm1ProxyTest, StepAdvancesAndKeepsFieldsFinite) {
+  Cm1Config cfg;
+  cfg.nx = cfg.ny = cfg.nz = 12;
+  Cm1Proxy proxy(cfg);
+  for (int i = 0; i < 10; ++i) proxy.step();
+  EXPECT_EQ(proxy.current_step(), 10);
+  for (const auto& [name, field] : proxy.fields()) {
+    for (float v : field) ASSERT_TRUE(std::isfinite(v)) << name;
+  }
+}
+
+TEST(Cm1ProxyTest, DiffusionSmoothsTheField) {
+  Cm1Config cfg;
+  cfg.nx = cfg.ny = cfg.nz = 16;
+  cfg.wind_u = cfg.wind_v = 0.0;  // pure diffusion
+  Cm1Proxy proxy(cfg);
+  auto variance = [&] {
+    double mean = 0;
+    const auto t = proxy.theta();
+    for (float v : t) mean += v;
+    mean /= static_cast<double>(t.size());
+    double var = 0;
+    for (float v : t) var += (v - mean) * (v - mean);
+    return var / static_cast<double>(t.size());
+  };
+  const double before = variance();
+  for (int i = 0; i < 20; ++i) proxy.step();
+  EXPECT_LT(variance(), before);  // diffusion reduces variance
+}
+
+TEST(Cm1ProxyTest, ThetaMassApproximatelyConservedUnderPureDiffusion) {
+  Cm1Config cfg;
+  cfg.nx = cfg.ny = cfg.nz = 16;
+  cfg.wind_u = cfg.wind_v = 0.0;
+  Cm1Proxy proxy(cfg);
+  const double before = proxy.theta_total();
+  for (int i = 0; i < 10; ++i) proxy.step();
+  // Neumann boundaries keep the Laplacian conservative to first order.
+  EXPECT_NEAR(proxy.theta_total() / before, 1.0, 1e-3);
+}
+
+TEST(Cm1ProxyTest, RanksGetDistinctDomains) {
+  Cm1WorkloadOptions options;
+  options.nx = options.ny = options.nz = 12;
+  Cm1Proxy a(make_cm1_proxy_config(options, 0, 4));
+  Cm1Proxy b(make_cm1_proxy_config(options, 1, 4));
+  EXPECT_NE(std::vector<float>(a.theta().begin(), a.theta().end()),
+            std::vector<float>(b.theta().begin(), b.theta().end()));
+  EXPECT_EQ(a.global_offset()[0], 0u);
+  EXPECT_EQ(b.global_offset()[0], 12u);
+}
+
+TEST(Cm1ProxyTest, FieldsExposeExactlyTheCm1Set) {
+  Cm1Config cfg;
+  Cm1Proxy proxy(cfg);
+  const auto fields = proxy.fields();
+  EXPECT_EQ(fields.size(), 5u);
+  for (const char* name : {"theta", "qv", "u", "v", "w"})
+    EXPECT_TRUE(fields.contains(name)) << name;
+  const auto bytes = proxy.field_bytes();
+  EXPECT_EQ(bytes.at("theta").size(),
+            cfg.nx * cfg.ny * cfg.nz * sizeof(float));
+}
+
+TEST(Cm1ProxyTest, CalibratedStepTakesRequestedTime) {
+  const auto start = std::chrono::steady_clock::now();
+  Cm1Proxy::step_calibrated(0.02);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed, 0.019);
+  EXPECT_LT(elapsed, 0.2);  // generous upper bound for a loaded machine
+}
+
+TEST(NekProxyTest, SpectralEnergyDecaysMonotonically) {
+  NekConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 8;
+  NekProxy proxy(cfg);
+  double prev = proxy.spectral_energy();
+  EXPECT_GT(prev, 0.0);
+  for (int i = 0; i < 8; ++i) {
+    proxy.step();
+    const double e = proxy.spectral_energy();
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(NekProxyTest, FieldEvolvesBetweenSteps) {
+  NekConfig cfg;
+  cfg.nx = cfg.ny = cfg.nz = 8;
+  NekProxy proxy(cfg);
+  const std::vector<double> before(proxy.velocity_magnitude().begin(),
+                                   proxy.velocity_magnitude().end());
+  proxy.step();
+  const std::vector<double> after(proxy.velocity_magnitude().begin(),
+                                  proxy.velocity_magnitude().end());
+  EXPECT_NE(before, after);
+  for (double v : after) {
+    ASSERT_TRUE(std::isfinite(v));
+    ASSERT_GE(v, 0.0);  // it is a magnitude
+  }
+}
+
+TEST(NekProxyTest, RanksSampleDifferentWindows) {
+  NekConfig a_cfg;
+  a_cfg.rank = 0;
+  a_cfg.world_size = 2;
+  NekConfig b_cfg = a_cfg;
+  b_cfg.rank = 1;
+  NekProxy a(a_cfg), b(b_cfg);
+  EXPECT_NE(std::vector<double>(a.velocity_magnitude().begin(),
+                                a.velocity_magnitude().end()),
+            std::vector<double>(b.velocity_magnitude().begin(),
+                                b.velocity_magnitude().end()));
+}
+
+// ---------------------------------------------------------------------------
+// Workload generators
+// ---------------------------------------------------------------------------
+
+TEST(WorkloadTest, Cm1ConfigurationMatchesProxy) {
+  Cm1WorkloadOptions options;
+  options.nx = options.ny = options.nz = 16;
+  const core::Configuration cfg = make_cm1_configuration(options);
+  EXPECT_EQ(cfg.variables().size(), 5u);
+  EXPECT_EQ(cfg.cores_per_node(), 12);
+  EXPECT_EQ(cfg.clients_per_node(), 11);
+  const auto& layout = cfg.layout("grid3d");
+  EXPECT_EQ(layout.byte_size(), 16u * 16 * 16 * 4);
+  // One iteration per core = 5 fields of the grid.
+  EXPECT_EQ(cfg.bytes_per_core_per_iteration(), 5u * 16 * 16 * 16 * 4);
+  // The proxy produces exactly the payload the configuration expects.
+  Cm1Proxy proxy(make_cm1_proxy_config(options, 0, 1));
+  for (const auto& [name, bytes] : proxy.field_bytes())
+    EXPECT_EQ(bytes.size(), cfg.layout_of(cfg.variable(name)).byte_size());
+}
+
+TEST(WorkloadTest, Cm1ConfigurationAppliesOptions) {
+  Cm1WorkloadOptions options;
+  options.dedicated_cores = 2;
+  options.policy = core::BackpressurePolicy::kSkipIteration;
+  options.codec = "xor+lzs";
+  options.scheduler = "throttled";
+  options.max_concurrent_nodes = 3;
+  const core::Configuration cfg = make_cm1_configuration(options);
+  EXPECT_EQ(cfg.dedicated_cores(), 2);
+  EXPECT_EQ(cfg.policy(), core::BackpressurePolicy::kSkipIteration);
+  EXPECT_EQ(cfg.storage().codec, "xor+lzs");
+  EXPECT_EQ(cfg.storage().scheduler, "throttled");
+}
+
+TEST(WorkloadTest, NekConfigurationBindsVislite) {
+  NekWorkloadOptions options;
+  const core::Configuration cfg = make_nek_configuration(options);
+  ASSERT_EQ(cfg.actions().size(), 1u);
+  EXPECT_EQ(cfg.actions()[0].plugin, "vislite");
+  EXPECT_EQ(cfg.actions()[0].params.at("variable"), "vel_mag");
+  EXPECT_EQ(cfg.layout("spectral3d").dtype, h5lite::DType::kFloat64);
+}
+
+TEST(WorkloadTest, PaperScaleBytesPerCore) {
+  // Formula correctness.
+  EXPECT_EQ(cm1_bytes_per_core(24, 24, 24),
+            24ull * 24 * 24 * 37 * 4);
+  EXPECT_EQ(cm1_bytes_per_core(10, 10, 10, 5, 8), 1000ull * 5 * 8);
+  // The EXPERIMENTS.md calibration (43 MB/core) corresponds to CM1's
+  // Kraken per-core grids: ~37 3-D float32 fields of roughly 66^3 points.
+  const std::uint64_t kraken_like = cm1_bytes_per_core(66, 66, 66);
+  EXPECT_GT(kraken_like, 35ull << 20);
+  EXPECT_LT(kraken_like, 55ull << 20);
+}
+
+}  // namespace
+}  // namespace dedicore::sim

@@ -1,0 +1,235 @@
+// Tests for VisLite: isosurface extraction correctness (analytic shapes),
+// rendering, statistics and the in-situ pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "viz/vislite.hpp"
+
+namespace dedicore::viz {
+namespace {
+
+/// Builds a grid sampling f(x, y, z).
+template <typename F>
+std::vector<double> sample(std::uint64_t n, F&& f) {
+  std::vector<double> out(n * n * n);
+  std::size_t i = 0;
+  for (std::uint64_t x = 0; x < n; ++x)
+    for (std::uint64_t y = 0; y < n; ++y)
+      for (std::uint64_t z = 0; z < n; ++z, ++i)
+        out[i] = f(static_cast<double>(x), static_cast<double>(y),
+                   static_cast<double>(z));
+  return out;
+}
+
+TEST(VecTest, CrossAndDotAndNormalize) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0};
+  const Vec3 z = cross(x, y);
+  EXPECT_DOUBLE_EQ(z.z, 1.0);
+  EXPECT_DOUBLE_EQ(dot(x, y), 0.0);
+  const Vec3 n = normalized({3, 0, 4});
+  EXPECT_NEAR(n.x, 0.6, 1e-12);
+  EXPECT_NEAR(n.z, 0.8, 1e-12);
+}
+
+TEST(GridViewTest, ValidationCatchesMismatch) {
+  std::vector<double> values(8);
+  GridView ok{values, 2, 2, 2};
+  EXPECT_NO_THROW(ok.validate());
+  GridView bad{values, 2, 2, 3};
+  EXPECT_DEATH(bad.validate(), "nx\\*ny\\*nz");
+}
+
+TEST(IsosurfaceTest, UniformFieldHasNoSurface) {
+  const auto values = sample(8, [](double, double, double) { return 1.0; });
+  GridView grid{values, 8, 8, 8};
+  EXPECT_TRUE(extract_isosurface(grid, 0.5).empty());
+  EXPECT_TRUE(extract_isosurface(grid, 1.5).empty());
+  EXPECT_EQ(count_isosurface_triangles(grid, 0.5), 0u);
+}
+
+TEST(IsosurfaceTest, PlaneProducesFlatSurfaceAtRightHeight) {
+  // f = x: isosurface f=3.5 is the plane x=3.5.
+  const auto values = sample(8, [](double x, double, double) { return x; });
+  GridView grid{values, 8, 8, 8};
+  const auto triangles = extract_isosurface(grid, 3.5);
+  ASSERT_FALSE(triangles.empty());
+  for (const Triangle& tri : triangles)
+    for (const Vec3& v : tri.v)
+      EXPECT_NEAR(v.x, 3.5, 1e-9);
+  // Every triangle's normal is +-x.
+  for (const Triangle& tri : triangles) {
+    const Vec3 n = tri.normal();
+    EXPECT_NEAR(std::abs(n.x), 1.0, 1e-9);
+  }
+}
+
+TEST(IsosurfaceTest, CountMatchesExtractionSize) {
+  const auto values = sample(10, [](double x, double y, double z) {
+    return std::sin(x * 0.7) + std::cos(y * 0.5) + std::sin(z * 0.9);
+  });
+  GridView grid{values, 10, 10, 10};
+  for (double iso : {-0.5, 0.0, 0.5, 1.0}) {
+    EXPECT_EQ(count_isosurface_triangles(grid, iso),
+              extract_isosurface(grid, iso).size());
+  }
+}
+
+TEST(IsosurfaceTest, SphereAreaApproximatesAnalytic) {
+  // f = distance from center; isosurface f=r is a sphere of radius r.
+  const std::uint64_t n = 20;
+  const double c = (n - 1) / 2.0;
+  const auto values = sample(n, [c](double x, double y, double z) {
+    return std::sqrt((x - c) * (x - c) + (y - c) * (y - c) + (z - c) * (z - c));
+  });
+  GridView grid{values, n, n, n};
+  const double radius = 6.0;
+  const auto triangles = extract_isosurface(grid, radius);
+  ASSERT_GT(triangles.size(), 100u);
+  double area = 0.0;
+  for (const Triangle& t : triangles) {
+    const Vec3 c1 = cross(t.v[1] - t.v[0], t.v[2] - t.v[0]);
+    area += 0.5 * std::sqrt(dot(c1, c1));
+  }
+  const double analytic = 4.0 * std::numbers::pi * radius * radius;
+  EXPECT_NEAR(area, analytic, analytic * 0.1);
+  // All vertices lie close to the sphere (linear interpolation error).
+  for (const Triangle& t : triangles)
+    for (const Vec3& v : t.v) {
+      const double r = std::sqrt((v.x - c) * (v.x - c) + (v.y - c) * (v.y - c) +
+                                 (v.z - c) * (v.z - c));
+      EXPECT_NEAR(r, radius, 0.2);
+    }
+}
+
+TEST(IsosurfaceTest, SurfaceIsClosedOnInteriorShapes) {
+  // A closed surface has every interpolated vertex strictly inside the
+  // volume, and moving the isovalue changes the area monotonically for a
+  // sphere (bigger radius -> bigger area).
+  const std::uint64_t n = 16;
+  const double c = (n - 1) / 2.0;
+  const auto values = sample(n, [c](double x, double y, double z) {
+    return std::sqrt((x - c) * (x - c) + (y - c) * (y - c) + (z - c) * (z - c));
+  });
+  GridView grid{values, n, n, n};
+  const auto small_surface = extract_isosurface(grid, 3.0);
+  const auto big = extract_isosurface(grid, 5.0);
+  EXPECT_GT(big.size(), small_surface.size());
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+TEST(RenderTest, EmptySceneIsBackground) {
+  RenderOptions options;
+  options.width = 16;
+  options.height = 16;
+  const Image img = render_triangles({}, {1, 1, 1}, options);
+  EXPECT_EQ(img.width, 16);
+  const auto px = img.pixel(8, 8);
+  EXPECT_EQ(px[0], options.background[0]);
+  EXPECT_EQ(px[2], options.background[2]);
+}
+
+TEST(RenderTest, TriangleCoversCenterPixels) {
+  RenderOptions options;
+  options.width = 32;
+  options.height = 32;
+  // A big triangle spanning the whole extent, facing the camera (z view).
+  std::vector<Triangle> tris{Triangle{{Vec3{0, 0, 5}, Vec3{10, 0, 5}, Vec3{5, 10, 5}}}};
+  const Image img = render_triangles(tris, {10, 10, 10}, options);
+  const auto center = img.pixel(16, 12);
+  EXPECT_NE(center[0], options.background[0]);  // lit surface color
+  const auto corner = img.pixel(0, 0);
+  EXPECT_EQ(corner[0], options.background[0]);  // outside the triangle
+}
+
+TEST(RenderTest, ZBufferKeepsNearestSurface) {
+  RenderOptions options;
+  options.width = 24;
+  options.height = 24;
+  options.surface_color = {200, 0, 0};
+  // Two full-extent quads (as triangle pairs) at different depths with
+  // different tilts: the nearer one (higher z under kZ view) must win.
+  std::vector<Triangle> tris;
+  auto add_quad = [&](double depth) {
+    tris.push_back(Triangle{{Vec3{0, 0, depth}, Vec3{10, 0, depth}, Vec3{10, 10, depth}}});
+    tris.push_back(Triangle{{Vec3{0, 0, depth}, Vec3{10, 10, depth}, Vec3{0, 10, depth}}});
+  };
+  add_quad(2.0);
+  add_quad(8.0);
+  const Image front_last = render_triangles(tris, {10, 10, 10}, options);
+  std::reverse(tris.begin(), tris.end());
+  const Image front_first = render_triangles(tris, {10, 10, 10}, options);
+  // Same image regardless of submission order (z-buffer, not painter).
+  EXPECT_EQ(front_last.rgb, front_first.rgb);
+}
+
+TEST(RenderTest, ViewAxesProduceDifferentProjections) {
+  std::vector<Triangle> tris{Triangle{{Vec3{0, 0, 0}, Vec3{9, 0, 0}, Vec3{0, 9, 0}}}};
+  RenderOptions oz;
+  oz.width = oz.height = 16;
+  RenderOptions ox = oz;
+  ox.view_axis = Axis::kX;
+  const Image iz = render_triangles(tris, {9, 9, 9}, oz);
+  const Image ix = render_triangles(tris, {9, 9, 9}, ox);
+  EXPECT_NE(iz.rgb, ix.rgb);  // the triangle is edge-on along x
+}
+
+TEST(RenderTest, PpmEncodingIsWellFormed) {
+  Image img;
+  img.width = 2;
+  img.height = 2;
+  img.rgb = {255, 0, 0, 0, 255, 0, 0, 0, 255, 9, 9, 9};
+  const auto ppm = img.encode_ppm();
+  const std::string header(reinterpret_cast<const char*>(ppm.data()), 11);
+  EXPECT_EQ(header, "P6\n2 2\n255\n");
+  EXPECT_EQ(ppm.size(), 11u + 12u);
+  EXPECT_EQ(std::to_integer<int>(ppm[11]), 255);
+}
+
+// ---------------------------------------------------------------------------
+// Statistics & pipeline
+// ---------------------------------------------------------------------------
+
+TEST(StatisticsTest, MatchesHandComputedValues) {
+  const std::vector<double> v{1, 2, 3, 4};
+  const FieldStatistics s = compute_statistics(v);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+  EXPECT_NEAR(s.l2_norm, std::sqrt(30.0), 1e-12);
+}
+
+TEST(StatisticsTest, EmptyInputIsZero) {
+  const FieldStatistics s = compute_statistics({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(PipelineTest, ProducesTrianglesStatsAndImage) {
+  const auto values = sample(12, [](double x, double y, double z) {
+    return std::sin(0.5 * x) * std::cos(0.5 * y) + 0.2 * z;
+  });
+  GridView grid{values, 12, 12, 12};
+  RenderOptions options;
+  options.width = options.height = 32;
+  const PipelineResult result =
+      run_insitu_pipeline(grid, compute_statistics(values).mean, options);
+  EXPECT_GT(result.triangles, 0u);
+  EXPECT_EQ(result.image.width, 32);
+  EXPECT_EQ(result.statistics.count, values.size());
+  EXPECT_GT(result.seconds, 0.0);
+  // The rendered surface must have touched some pixels.
+  int non_background = 0;
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x)
+      if (result.image.pixel(x, y)[0] != options.background[0]) ++non_background;
+  EXPECT_GT(non_background, 10);
+}
+
+}  // namespace
+}  // namespace dedicore::viz

@@ -1,0 +1,152 @@
+// Tests for the XML parser/DOM used by the Damaris configuration.
+#include <gtest/gtest.h>
+
+#include "xml/xml.hpp"
+
+namespace dedicore::xml {
+namespace {
+
+TEST(XmlTest, ParsesSimpleElement) {
+  const Node root = parse("<simulation name=\"cm1\"/>");
+  EXPECT_EQ(root.name(), "simulation");
+  EXPECT_EQ(root.attribute_or("name", ""), "cm1");
+  EXPECT_TRUE(root.children().empty());
+}
+
+TEST(XmlTest, ParsesNestedStructure) {
+  const Node root = parse(R"(
+    <simulation>
+      <data>
+        <layout name="g" dimensions="4,4"/>
+        <variable name="theta" layout="g"/>
+        <variable name="qv" layout="g"/>
+      </data>
+    </simulation>)");
+  const Node& data = root.require_child("data");
+  EXPECT_EQ(data.children_named("variable").size(), 2u);
+  EXPECT_EQ(data.children_named("layout").size(), 1u);
+  EXPECT_EQ(data.children_named("mesh").size(), 0u);
+}
+
+TEST(XmlTest, TextContentIsTrimmed) {
+  const Node root = parse("<a>  hello world\n </a>");
+  EXPECT_EQ(root.text(), "hello world");
+}
+
+TEST(XmlTest, DecodesEntities) {
+  const Node root = parse("<a v=\"&lt;&amp;&gt;\">x &quot;y&quot; &apos;z&apos; &#65;</a>");
+  EXPECT_EQ(root.attribute_or("v", ""), "<&>");
+  EXPECT_EQ(root.text(), "x \"y\" 'z' A");
+}
+
+TEST(XmlTest, HandlesCommentsAndDeclaration) {
+  const Node root = parse(R"(<?xml version="1.0"?>
+    <!-- preamble -->
+    <root><!-- inner --><child/></root>
+    <!-- trailing -->)");
+  EXPECT_EQ(root.name(), "root");
+  ASSERT_EQ(root.children().size(), 1u);
+  EXPECT_EQ(root.children()[0].name(), "child");
+}
+
+TEST(XmlTest, HandlesCdata) {
+  const Node root = parse("<a><![CDATA[<not & parsed>]]></a>");
+  EXPECT_EQ(root.text(), "<not & parsed>");
+}
+
+TEST(XmlTest, SingleQuotedAttributes) {
+  const Node root = parse("<a k='v1' j=\"v2\"/>");
+  EXPECT_EQ(root.attribute_or("k", ""), "v1");
+  EXPECT_EQ(root.attribute_or("j", ""), "v2");
+}
+
+TEST(XmlTest, TypedAttributeAccessors) {
+  const Node root = parse("<a i=\"42\" d=\"2.5\" b=\"true\" s=\"x\"/>");
+  EXPECT_EQ(root.attribute_int("i", 0), 42);
+  EXPECT_DOUBLE_EQ(root.attribute_double("d", 0.0), 2.5);
+  EXPECT_TRUE(root.attribute_bool("b", false));
+  EXPECT_EQ(root.attribute_int("missing", 7), 7);
+  EXPECT_FALSE(root.attribute_bool("missing", false));
+}
+
+TEST(XmlTest, TypedAccessorRejectsBadValues) {
+  const Node root = parse("<a i=\"4x\" b=\"maybe\"/>");
+  EXPECT_THROW(root.attribute_int("i", 0), ConfigError);
+  EXPECT_THROW(root.attribute_bool("b", false), ConfigError);
+}
+
+TEST(XmlTest, RequireAttributeThrowsWithContext) {
+  const Node root = parse("<simulation/>");
+  try {
+    root.require_attribute("name");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("simulation"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("name"), std::string::npos);
+  }
+}
+
+TEST(XmlTest, ErrorsIncludeLineAndColumn) {
+  try {
+    parse("<a>\n  <b>\n</a>");
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(XmlTest, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse(""), ConfigError);
+  EXPECT_THROW(parse("<a>"), ConfigError);
+  EXPECT_THROW(parse("<a></b>"), ConfigError);
+  EXPECT_THROW(parse("<a b=></a>"), ConfigError);
+  EXPECT_THROW(parse("<a b=\"1\" b=\"2\"/>"), ConfigError);
+  EXPECT_THROW(parse("<a/><b/>"), ConfigError);
+  EXPECT_THROW(parse("<a>&unknown;</a>"), ConfigError);
+  EXPECT_THROW(parse("<a><!-- unterminated </a>"), ConfigError);
+}
+
+TEST(XmlTest, RoundTripThroughToXml) {
+  const std::string doc = R"(<simulation name="cm1" cores="12">
+  <buffer size="64MiB"/>
+  <data note="a &lt;b&gt; &amp; c">
+    <variable name="theta"/>
+  </data>
+</simulation>)";
+  const Node first = parse(doc);
+  const Node second = parse(first.to_xml());
+  EXPECT_EQ(second.name(), first.name());
+  EXPECT_EQ(second.attribute_or("cores", ""), "12");
+  EXPECT_EQ(second.require_child("data").attribute_or("note", ""), "a <b> & c");
+  EXPECT_EQ(second.require_child("data").children().size(), 1u);
+}
+
+TEST(XmlTest, NumericCharacterReferencesUtf8) {
+  const Node root = parse("<a>&#x41;&#955;</a>");  // 'A' + lambda
+  EXPECT_EQ(root.text(), "A\xCE\xBB");
+}
+
+TEST(XmlTest, ParseFileMissingThrows) {
+  EXPECT_THROW(parse_file("/nonexistent/path.xml"), ConfigError);
+}
+
+TEST(XmlTest, DeepNestingParses) {
+  std::string doc;
+  for (int i = 0; i < 30; ++i) doc += "<n" + std::to_string(i) + ">";
+  for (int i = 29; i >= 0; --i) doc += "</n" + std::to_string(i) + ">";
+  const Node root = parse(doc);
+  EXPECT_EQ(root.name(), "n0");
+}
+
+TEST(XmlTest, ProgrammaticConstruction) {
+  Node root("simulation");
+  root.add_attribute("name", "test");
+  Node child("data");
+  child.set_text("payload");
+  root.add_child(std::move(child));
+  const Node parsed = parse(root.to_xml());
+  EXPECT_EQ(parsed.require_child("data").text(), "payload");
+}
+
+}  // namespace
+}  // namespace dedicore::xml
