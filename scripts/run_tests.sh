@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Configure, build, and run the test suites in one shot.
+#
+# Usage:
+#   scripts/run_tests.sh                 # everything
+#   scripts/run_tests.sh --filter shm    # suites matching a regex (ctest -R)
+#   scripts/run_tests.sh --asan          # AddressSanitizer build (separate build dir)
+#   scripts/run_tests.sh --build-dir out # custom build directory
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir=""
+filter=""
+sanitize=""
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --filter)
+      [[ $# -ge 2 ]] || { echo "error: --filter needs a regex" >&2; exit 2; }
+      filter="$2"; shift 2 ;;
+    --asan)
+      sanitize="address"; shift ;;
+    --build-dir)
+      [[ $# -ge 2 ]] || { echo "error: --build-dir needs a path" >&2; exit 2; }
+      build_dir="$2"; shift 2 ;;
+    -j|--jobs)
+      [[ $# -ge 2 ]] || { echo "error: $1 needs a number" >&2; exit 2; }
+      jobs="$2"; shift 2 ;;
+    -h|--help)
+      sed -n '2,8p' "$0"; exit 0 ;;
+    *)
+      echo "error: unknown argument '$1' (see --help)" >&2; exit 2 ;;
+  esac
+done
+
+# Sanitized builds get their own directory so plain and ASan binaries never mix.
+if [[ -z "$build_dir" ]]; then
+  build_dir="$repo_root/build"
+  [[ -n "$sanitize" ]] && build_dir="$repo_root/build-asan"
+fi
+
+cmake_args=(-B "$build_dir" -S "$repo_root")
+[[ -n "$sanitize" ]] && cmake_args+=("-DDEDICORE_SANITIZE=$sanitize")
+
+cmake "${cmake_args[@]}"
+cmake --build "$build_dir" -j "$jobs"
+
+ctest_args=(--test-dir "$build_dir" --output-on-failure -j "$jobs")
+[[ -n "$filter" ]] && ctest_args+=(-R "$filter")
+ctest "${ctest_args[@]}"

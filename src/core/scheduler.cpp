@@ -37,6 +37,11 @@ double ThrottledScheduler::total_wait_seconds() const {
   return total_wait_;
 }
 
+std::uint64_t ThrottledScheduler::tickets_issued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_ticket_;
+}
+
 std::shared_ptr<IoScheduler> make_scheduler(const std::string& name,
                                             int max_concurrent) {
   if (name == "greedy") return std::make_shared<GreedyScheduler>();

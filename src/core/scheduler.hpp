@@ -26,8 +26,8 @@ class IoScheduler {
  public:
   virtual ~IoScheduler() = default;
 
-  /// Blocks until this node may start writing.  Returns a ticket to pass
-  /// to release().
+  /// Blocks until this node may start writing; pair with release(node_id)
+  /// when the write phase ends (or use ScheduleGuard).
   virtual void acquire(int node_id) = 0;
   virtual void release(int node_id) = 0;
 
@@ -71,6 +71,10 @@ class ThrottledScheduler final : public IoScheduler {
   void release(int node_id) override;
   [[nodiscard]] std::string name() const override { return "throttled"; }
   [[nodiscard]] double total_wait_seconds() const override;
+
+  /// Number of acquire() calls that have taken a ticket so far (admitted or
+  /// still waiting).  Lets callers and tests observe queue build-up.
+  [[nodiscard]] std::uint64_t tickets_issued() const;
 
  private:
   const int max_concurrent_;

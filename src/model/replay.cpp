@@ -153,27 +153,30 @@ void replay_file_per_process(ReplayContext& ctx) {
       static_cast<std::size_t>(cores));
   for (auto& a : *actors) a.rng = ctx.rng.split();
 
-  auto start_iteration = std::make_shared<std::function<void(int)>>();
-  *start_iteration = [&ctx, actors, start_iteration, bytes, iterations](int core) {
+  // The engine drains inside ctx.engine.run() before this scope exits, so
+  // the closures may capture the function object by reference; a by-value
+  // shared_ptr capture would form a self-cycle and leak every actor.
+  std::function<void(int)> start_iteration;
+  start_iteration = [&ctx, actors, &start_iteration, bytes, iterations](int core) {
     CoreActor& a = (*actors)[static_cast<std::size_t>(core)];
     ctx.engine.schedule_in(ctx.compute_time(a.rng), [&ctx, actors,
-                                                     start_iteration, bytes,
+                                                     &start_iteration, bytes,
                                                      iterations, core] {
       CoreActor& self = (*actors)[static_cast<std::size_t>(core)];
       self.io_start = ctx.engine.now();
-      ctx.storage->mds_op([&ctx, actors, start_iteration, bytes, iterations, core] {
+      ctx.storage->mds_op([&ctx, actors, &start_iteration, bytes, iterations, core] {
         CoreActor& me = (*actors)[static_cast<std::size_t>(core)];
         const std::uint64_t file_index =
             static_cast<std::uint64_t>(core) * static_cast<std::uint64_t>(iterations) +
             static_cast<std::uint64_t>(me.iterations_done);
         ctx.storage->write(
             ctx.storage->stripe_chunks(file_index, bytes, ctx.workload.fpp_stripe),
-            [&ctx, actors, start_iteration, iterations, core](double) {
+            [&ctx, actors, &start_iteration, iterations, core](double) {
               CoreActor& done = (*actors)[static_cast<std::size_t>(core)];
               ctx.result.visible_io_seconds.add(ctx.engine.now() - done.io_start);
               ++ctx.result.files_created;
               if (++done.iterations_done < iterations) {
-                (*start_iteration)(core);
+                start_iteration(core);
               } else {
                 ctx.app_finish = std::max(ctx.app_finish, ctx.engine.now());
               }
@@ -181,7 +184,7 @@ void replay_file_per_process(ReplayContext& ctx) {
       });
     });
   };
-  for (int core = 0; core < cores; ++core) (*start_iteration)(core);
+  for (int core = 0; core < cores; ++core) start_iteration(core);
   ctx.engine.run();
 }
 
@@ -207,25 +210,25 @@ void replay_collective(ReplayContext& ctx) {
   };
   auto state = std::make_shared<State>();
 
-  auto run_iteration = std::make_shared<std::function<void()>>();
-  *run_iteration = [&ctx, state, run_iteration, cores, iterations, n_aggr,
+  std::function<void()> run_iteration;  // by-ref captures: see replay_file_per_process
+  run_iteration = [&ctx, state, &run_iteration, cores, iterations, n_aggr,
                     bytes_per_aggr, ost_count] {
     double slowest = 0.0;
     for (int c = 0; c < cores; ++c)
       slowest = std::max(slowest, ctx.compute_time(ctx.rng));
 
-    ctx.engine.schedule_in(slowest, [&ctx, state, run_iteration, iterations,
+    ctx.engine.schedule_in(slowest, [&ctx, state, &run_iteration, iterations,
                                      n_aggr, bytes_per_aggr, ost_count] {
       state->phase_start = ctx.engine.now();
       state->aggr_remaining = n_aggr;
-      ctx.storage->mds_op([&ctx, state, run_iteration, iterations, n_aggr,
+      ctx.storage->mds_op([&ctx, state, &run_iteration, iterations, n_aggr,
                            bytes_per_aggr, ost_count] {
         ++ctx.result.files_created;
         const double exchange = bytes_per_aggr / ctx.workload.interconnect_bandwidth;
         for (int a = 0; a < n_aggr; ++a) {
-          ctx.storage->mds_op([&ctx, state, run_iteration, iterations,
+          ctx.storage->mds_op([&ctx, state, &run_iteration, iterations,
                                bytes_per_aggr, ost_count, exchange] {
-            ctx.engine.schedule_in(exchange, [&ctx, state, run_iteration,
+            ctx.engine.schedule_in(exchange, [&ctx, state, &run_iteration,
                                               iterations, bytes_per_aggr,
                                               ost_count] {
               std::vector<std::pair<int, double>> chunks;
@@ -233,13 +236,13 @@ void replay_collective(ReplayContext& ctx) {
               for (int o = 0; o < ost_count; ++o)
                 chunks.emplace_back(o, bytes_per_aggr / ost_count);
               ctx.storage->write(std::move(chunks), [&ctx, state,
-                                                     run_iteration,
+                                                     &run_iteration,
                                                      iterations](double) {
                 if (--state->aggr_remaining == 0) {
                   const double phase = ctx.engine.now() - state->phase_start;
                   ctx.result.visible_io_seconds.add(phase);
                   ctx.app_finish = ctx.engine.now();
-                  if (++state->iteration < iterations) (*run_iteration)();
+                  if (++state->iteration < iterations) run_iteration();
                 }
               });
             });
@@ -248,7 +251,7 @@ void replay_collective(ReplayContext& ctx) {
       });
     });
   };
-  (*run_iteration)();
+  run_iteration();
   ctx.engine.run();
 }
 
@@ -295,10 +298,11 @@ void replay_damaris(ReplayContext& ctx, Strategy strategy) {
       static_cast<std::size_t>(nodes));
   for (auto& a : *actors) a.rng = ctx.rng.split();
 
-  auto app_step = std::make_shared<std::function<void(int)>>();
-  auto server_kick = std::make_shared<std::function<void(int)>>();
+  // Mutually recursive; by-ref captures (see replay_file_per_process).
+  std::function<void(int)> app_step;
+  std::function<void(int)> server_kick;
 
-  *server_kick = [&ctx, actors, server_kick, app_step, semaphore, node_bytes,
+  server_kick = [&ctx, actors, &server_kick, &app_step, semaphore, node_bytes,
                   iterations, server_width](int node) {
     NodeActor& a = (*actors)[static_cast<std::size_t>(node)];
     if (a.servers_active >= server_width || a.ready.empty()) return;
@@ -307,9 +311,9 @@ void replay_damaris(ReplayContext& ctx, Strategy strategy) {
     a.ready.pop_front();
     const double busy_from = ctx.engine.now();
 
-    semaphore->acquire([&ctx, actors, server_kick, app_step, semaphore,
+    semaphore->acquire([&ctx, actors, &server_kick, &app_step, semaphore,
                         node_bytes, iterations, node, iteration, busy_from] {
-      ctx.storage->mds_op([&ctx, actors, server_kick, app_step, semaphore,
+      ctx.storage->mds_op([&ctx, actors, &server_kick, &app_step, semaphore,
                            node_bytes, iterations, node, iteration, busy_from] {
         const std::uint64_t file_index =
             static_cast<std::uint64_t>(node) * static_cast<std::uint64_t>(iterations) +
@@ -317,7 +321,7 @@ void replay_damaris(ReplayContext& ctx, Strategy strategy) {
         ctx.storage->write(
             ctx.storage->stripe_chunks(file_index, node_bytes,
                                        ctx.workload.damaris_stripe),
-            [&ctx, actors, server_kick, app_step, semaphore, node, busy_from](double) {
+            [&ctx, actors, &server_kick, &app_step, semaphore, node, busy_from](double) {
               NodeActor& a = (*actors)[static_cast<std::size_t>(node)];
               semaphore->release();
               ++ctx.result.files_created;
@@ -329,9 +333,9 @@ void replay_damaris(ReplayContext& ctx, Strategy strategy) {
               if (a.app_blocked) {
                 a.app_blocked = false;
                 a.pending_wait = ctx.engine.now() - a.block_start;
-                ctx.engine.schedule_in(0.0, [app_step, node] { (*app_step)(node); });
+                ctx.engine.schedule_in(0.0, [&app_step, node] { app_step(node); });
               }
-              (*server_kick)(node);
+              server_kick(node);
             });
       });
     });
@@ -339,7 +343,7 @@ void replay_damaris(ReplayContext& ctx, Strategy strategy) {
 
   // One app_step call hands off the iteration produced by the just-finished
   // compute phase (or blocks/skips), then schedules the next compute phase.
-  *app_step = [&ctx, actors, app_step, server_kick, clients, iterations,
+  app_step = [&ctx, actors, &app_step, &server_kick, clients, iterations,
                handoff_seconds, slots](int node) {
     NodeActor& a = (*actors)[static_cast<std::size_t>(node)];
 
@@ -360,16 +364,16 @@ void replay_damaris(ReplayContext& ctx, Strategy strategy) {
       a.pending_wait = 0.0;
       for (int c = 0; c < clients; ++c) ctx.result.visible_io_seconds.add(visible);
       const int iteration = a.app_iteration;
-      ctx.engine.schedule_in(handoff_seconds, [&ctx, actors, server_kick, node,
+      ctx.engine.schedule_in(handoff_seconds, [&ctx, actors, &server_kick, node,
                                                iteration] {
         (*actors)[static_cast<std::size_t>(node)].ready.push_back(iteration);
-        (*server_kick)(node);
+        server_kick(node);
       });
     }
 
     if (++a.app_iteration < iterations) {
       ctx.engine.schedule_in(ctx.compute_time(a.rng),
-                             [app_step, node] { (*app_step)(node); });
+                             [&app_step, node] { app_step(node); });
     } else {
       ctx.app_finish = std::max(ctx.app_finish, ctx.engine.now() + handoff_seconds);
     }
@@ -378,7 +382,7 @@ void replay_damaris(ReplayContext& ctx, Strategy strategy) {
   for (int node = 0; node < nodes; ++node) {
     NodeActor& a = (*actors)[static_cast<std::size_t>(node)];
     ctx.engine.schedule_in(ctx.compute_time(a.rng),
-                           [app_step, node] { (*app_step)(node); });
+                           [&app_step, node] { app_step(node); });
   }
   ctx.engine.run();
 

@@ -69,7 +69,9 @@ TEST_P(CodecRoundTripTest, ConstantDataRoundTripsAndShrinks) {
   const std::vector<std::byte> input(size, std::byte{0x3C});
   const auto packed = codec->compress(input);
   EXPECT_EQ(codec->decompress(packed, size), input);
-  if (size >= 64) EXPECT_LT(packed.size(), input.size());
+  if (size >= 64) {
+    EXPECT_LT(packed.size(), input.size());
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -11,6 +11,7 @@
 #include "core/builtin_plugins.hpp"
 #include "core/runtime.hpp"
 #include "core/scheduler.hpp"
+#include "framework/test_infra.hpp"
 #include "sim/workload.hpp"
 
 namespace dedicore::core {
@@ -245,7 +246,7 @@ RunOutcome run_middleware(const Configuration& cfg, int nodes, int iterations,
       if (post_compute_sleep > 0.0) sleep_seconds(post_compute_sleep);
       if (lockstep) rt.client_comm().barrier();
       (void)client.write("field", std::span<const double>(field));
-      ASSERT_TRUE(client.end_iteration().is_ok());
+      ASSERT_OK(client.end_iteration());
     }
     rt.finalize();
     std::lock_guard<std::mutex> lock(mutex);
@@ -351,7 +352,6 @@ TEST(RuntimeTest, AdaptivePolicyShedsOnlyLowPriorityBlocks) {
   fsim::StorageConfig storage = test_storage();
   storage.ost_bandwidth = 1e6;
   storage.mds_op_cost = 50e-3;
-  fsim::FileSystem fs(storage, test_scale());
 
   Configuration cfg;
   cfg.set_simulation_name("adaptive");
@@ -381,40 +381,52 @@ TEST(RuntimeTest, AdaptivePolicyShedsOnlyLowPriorityBlocks) {
   cfg.validate();
 
   constexpr int kIterations = 10;
+  // Whether any bulk block gets shed depends on how fast the server drains
+  // relative to the client — a scheduling race, so a single run can
+  // legitimately see zero drops (notably under sanitizer slowdown).  The
+  // priority invariants must hold on every run; pressure (dropped > 0)
+  // must materialize within a few attempts.
+  constexpr int kAttempts = 5;
   std::uint64_t dropped = 0;
-  std::uint64_t precious_failures = 0;
-  minimpi::run_world(2, [&](minimpi::Comm& comm) {
-    Runtime rt = Runtime::initialize(cfg, comm, fs);
-    if (rt.is_server()) {
-      rt.run_server();
-      return;
-    }
-    Client& client = rt.client();
-    const auto field = make_field(1.0);
-    for (int it = 0; it < kIterations; ++it) {
-      if (!client.write("precious", std::span<const double>(field)).is_ok())
-        ++precious_failures;
-      (void)client.write("bulk", std::span<const double>(field));
-      ASSERT_TRUE(client.end_iteration().is_ok());
-    }
-    rt.finalize();
-    dropped = client.stats().dropped_blocks;
-  });
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    fsim::FileSystem attempt_fs(storage, test_scale());
+    std::uint64_t precious_failures = 0;
+    dropped = 0;
+    minimpi::run_world(2, [&](minimpi::Comm& comm) {
+      Runtime rt = Runtime::initialize(cfg, comm, attempt_fs);
+      if (rt.is_server()) {
+        rt.run_server();
+        return;
+      }
+      Client& client = rt.client();
+      const auto field = make_field(1.0);
+      for (int it = 0; it < kIterations; ++it) {
+        if (!client.write("precious", std::span<const double>(field)).is_ok())
+          ++precious_failures;
+        (void)client.write("bulk", std::span<const double>(field));
+        ASSERT_OK(client.end_iteration());
+      }
+      rt.finalize();
+      dropped = client.stats().dropped_blocks;
+    });
 
-  EXPECT_EQ(precious_failures, 0u);  // priority > 0 never dropped
-  EXPECT_GT(dropped, 0u);            // bulk was shed under pressure
+    EXPECT_EQ(precious_failures, 0u);  // priority > 0 never dropped
 
-  // Every stored file contains the precious variable; bulk appears only
-  // when there was room.
-  std::uint64_t precious_blocks = 0, bulk_blocks = 0;
-  for (const auto& path : fs.list_files()) {
-    const h5lite::File file = h5lite::File::parse(*fs.read_file(path));
-    if (const auto* g = file.find_group("precious"))
-      precious_blocks += g->datasets.size();
-    if (const auto* g = file.find_group("bulk")) bulk_blocks += g->datasets.size();
+    // Every stored file contains the precious variable; bulk appears only
+    // when there was room.
+    std::uint64_t precious_blocks = 0, bulk_blocks = 0;
+    for (const auto& path : attempt_fs.list_files()) {
+      const h5lite::File file = h5lite::File::parse(*attempt_fs.read_file(path));
+      if (const auto* g = file.find_group("precious"))
+        precious_blocks += g->datasets.size();
+      if (const auto* g = file.find_group("bulk")) bulk_blocks += g->datasets.size();
+    }
+    EXPECT_EQ(precious_blocks, static_cast<std::uint64_t>(kIterations));
+    EXPECT_EQ(bulk_blocks, static_cast<std::uint64_t>(kIterations) - dropped);
+    if (dropped > 0) break;
   }
-  EXPECT_EQ(precious_blocks, static_cast<std::uint64_t>(kIterations));
-  EXPECT_EQ(bulk_blocks, static_cast<std::uint64_t>(kIterations) - dropped);
+  EXPECT_GT(dropped, 0u)  // bulk was shed under pressure
+      << "no bulk block shed in " << kAttempts << " attempts";
 }
 
 TEST(ConfigTest, AdaptivePolicyParsesFromXml) {
@@ -490,8 +502,8 @@ TEST(RuntimeTest, ZeroCopyAllocCommitRoundTrips) {
     auto* out = reinterpret_cast<double*>(block.view.data());
     for (std::size_t i = 0; i < 8 * 8 * 8; ++i)
       out[i] = static_cast<double>(i);
-    EXPECT_TRUE(client.commit(block).is_ok());
-    EXPECT_TRUE(client.end_iteration().is_ok());
+    EXPECT_OK(client.commit(block));
+    EXPECT_OK(client.end_iteration());
     rt.finalize();
   });
   const auto content = fs.read_file("out/node0_s0_it0.h5l");
@@ -530,9 +542,9 @@ TEST(RuntimeTest, SignalFiresBoundPlugin) {
     const auto field = make_field(1.0);
     (void)client.write("field", std::span<const double>(field));
     // Fire the user event; the blocks of the current iteration are live.
-    EXPECT_TRUE(client.signal("checkpoint").is_ok());
+    EXPECT_OK(client.signal("checkpoint"));
     EXPECT_EQ(client.signal("unbound").code(), StatusCode::kNotFound);
-    EXPECT_TRUE(client.end_iteration().is_ok());
+    EXPECT_OK(client.end_iteration());
     rt.finalize();
   });
   // mean of make_field(1.0) over both clients' blocks: sin-mean ~ 1.0x.

@@ -1,0 +1,152 @@
+#include "framework/test_infra.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <system_error>
+
+namespace dedicore {
+namespace testing {
+
+// ---------------------------------------------------------------------------
+// Status assertions
+// ---------------------------------------------------------------------------
+
+::testing::AssertionResult is_ok_pred(const char* expr, const Status& status) {
+  if (status.is_ok()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << expr << " returned " << status.to_string();
+}
+
+::testing::AssertionResult has_code_pred(const char* status_expr,
+                                         const char* code_expr,
+                                         const Status& status,
+                                         StatusCode want) {
+  if (status.code() == want) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << status_expr << " returned " << status.to_string() << ", expected "
+         << code_expr << " (" << status_code_name(want) << ")";
+}
+
+// ---------------------------------------------------------------------------
+// Temporary directories
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_tempdir_counter{0};
+}  // namespace
+
+TempDir::TempDir(const std::string& tag) {
+  const std::uint64_t nonce =
+      g_tempdir_counter.fetch_add(1, std::memory_order_relaxed);
+  std::ostringstream name;
+  name << tag << "_" << ::getpid() << "_" << nonce;
+  path_ = std::filesystem::temp_directory_path() / name.str();
+  std::filesystem::create_directories(path_);
+}
+
+TempDir::~TempDir() {
+  std::error_code ec;  // best-effort cleanup; never throw from a destructor
+  std::filesystem::remove_all(path_, ec);
+}
+
+std::filesystem::path TempDir::file(const std::string& name) const {
+  return path_ / name;
+}
+
+TempDirTest::TempDirTest() : dir_("dedicore_fixture") {}
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG seeding
+// ---------------------------------------------------------------------------
+
+namespace {
+// FNV-1a: stable across platforms and runs, unlike std::hash.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+}  // namespace
+
+std::uint64_t test_seed() {
+  if (const char* env = std::getenv("DEDICORE_TEST_SEED")) {
+    return std::strtoull(env, nullptr, 0);
+  }
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  if (info == nullptr) return 0x9e3779b97f4a7c15ull;  // outside a test body
+  return fnv1a(std::string(info->test_suite_name()) + "." + info->name());
+}
+
+Rng make_rng(std::uint64_t stream) {
+  return Rng(test_seed() ^ (stream * 0x9e3779b97f4a7c15ull));
+}
+
+// ---------------------------------------------------------------------------
+// Golden-table comparison
+// ---------------------------------------------------------------------------
+
+::testing::AssertionResult table_rows_equal(
+    const Table& table, const std::vector<std::vector<std::string>>& expected) {
+  if (table.rows() != expected.size()) {
+    return ::testing::AssertionFailure()
+           << "table has " << table.rows() << " rows, expected "
+           << expected.size() << "\nactual table:\n"
+           << table.to_string();
+  }
+  for (std::size_t r = 0; r < expected.size(); ++r) {
+    const auto& actual = table.row(r);
+    if (actual.size() != expected[r].size()) {
+      return ::testing::AssertionFailure()
+             << "row " << r << " has " << actual.size()
+             << " cells, expected " << expected[r].size()
+             << "\nactual table:\n" << table.to_string();
+    }
+    for (std::size_t c = 0; c < expected[r].size(); ++c) {
+      if (actual[c] != expected[r][c]) {
+        return ::testing::AssertionFailure()
+               << "first mismatch at row " << r << ", column " << c << ": got \""
+               << actual[c] << "\", expected \"" << expected[r][c]
+               << "\"\nactual table:\n" << table.to_string();
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+namespace {
+std::string rstrip(const std::string& s) {
+  std::size_t end = s.find_last_not_of(" \t\r");
+  return end == std::string::npos ? std::string() : s.substr(0, end + 1);
+}
+}  // namespace
+
+::testing::AssertionResult table_matches_golden(const Table& table,
+                                                const std::string& golden) {
+  std::istringstream got(table.to_string());
+  std::istringstream want(golden);
+  std::string got_line, want_line;
+  std::size_t lineno = 0;
+  while (true) {
+    const bool more_got = static_cast<bool>(std::getline(got, got_line));
+    const bool more_want = static_cast<bool>(std::getline(want, want_line));
+    if (!more_got && !more_want) return ::testing::AssertionSuccess();
+    ++lineno;
+    if (more_got != more_want || rstrip(got_line) != rstrip(want_line)) {
+      return ::testing::AssertionFailure()
+             << "golden mismatch at line " << lineno << "\n  actual:   \""
+             << (more_got ? rstrip(got_line) : "<end of table>")
+             << "\"\n  expected: \""
+             << (more_want ? rstrip(want_line) : "<end of golden>")
+             << "\"\nfull actual table:\n" << table.to_string();
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace dedicore

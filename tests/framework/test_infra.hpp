@@ -1,0 +1,120 @@
+// Shared test infrastructure linked by every suite.
+//
+// Provides the pieces each suite used to re-implement by hand:
+//   - Status assertion macros (ASSERT_OK / EXPECT_OK / EXPECT_STATUS) that
+//     print the full Status::to_string() on failure,
+//   - a TempDir RAII helper plus a TempDirTest fixture with automatic
+//     recursive cleanup,
+//   - deterministic per-test RNG seeding (stable across runs, distinct per
+//     test, overridable with DEDICORE_TEST_SEED for bisecting),
+//   - golden-table comparison producing a readable diff of Table contents.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/table.hpp"
+
+namespace dedicore {
+namespace testing {
+
+// ---------------------------------------------------------------------------
+// Status assertions
+// ---------------------------------------------------------------------------
+
+/// Predicate-formatter behind ASSERT_OK / EXPECT_OK.
+::testing::AssertionResult is_ok_pred(const char* expr, const Status& status);
+
+/// Predicate-formatter behind EXPECT_STATUS: status must carry `want`.
+::testing::AssertionResult has_code_pred(const char* status_expr,
+                                         const char* code_expr,
+                                         const Status& status,
+                                         StatusCode want);
+
+// ---------------------------------------------------------------------------
+// Temporary directories
+// ---------------------------------------------------------------------------
+
+/// RAII temporary directory: created unique on construction, recursively
+/// removed on destruction.  Safe to use outside a fixture.
+class TempDir {
+ public:
+  /// `tag` becomes part of the directory name to ease post-mortem triage.
+  explicit TempDir(const std::string& tag = "dedicore_test");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+  /// Absolute path of `name` inside the directory (not created).
+  [[nodiscard]] std::filesystem::path file(const std::string& name) const;
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// Fixture giving each test its own scratch directory, cleaned up afterwards.
+class TempDirTest : public ::testing::Test {
+ protected:
+  TempDirTest();
+  [[nodiscard]] const std::filesystem::path& temp_path() const noexcept {
+    return dir_.path();
+  }
+  [[nodiscard]] std::filesystem::path temp_file(const std::string& name) const {
+    return dir_.file(name);
+  }
+
+ private:
+  TempDir dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG seeding
+// ---------------------------------------------------------------------------
+
+/// Seed for the currently running test: a stable hash of
+/// "SuiteName.TestName" so every test gets a distinct, reproducible stream.
+/// Set DEDICORE_TEST_SEED=<n> to force one seed while bisecting a failure.
+std::uint64_t test_seed();
+
+/// Rng already seeded with test_seed().  Mix in `stream` to draw several
+/// unrelated streams inside one test.
+Rng make_rng(std::uint64_t stream = 0);
+
+// ---------------------------------------------------------------------------
+// Golden-table comparison
+// ---------------------------------------------------------------------------
+
+/// Compares a Table's cells against expected rows (header excluded); on
+/// mismatch reports the first differing row/column and both renderings.
+::testing::AssertionResult table_rows_equal(
+    const Table& table, const std::vector<std::vector<std::string>>& expected);
+
+/// Compares Table::to_string() to a golden rendering, ignoring trailing
+/// whitespace per line; on mismatch shows a line-by-line diff marker.
+::testing::AssertionResult table_matches_golden(const Table& table,
+                                                const std::string& golden);
+
+}  // namespace testing
+}  // namespace dedicore
+
+// Assert that a dedicore::Status-returning expression is OK.
+#define ASSERT_OK(expr) \
+  ASSERT_PRED_FORMAT1(::dedicore::testing::is_ok_pred, (expr))
+#define EXPECT_OK(expr) \
+  EXPECT_PRED_FORMAT1(::dedicore::testing::is_ok_pred, (expr))
+
+// Expect that a Status-returning expression carries a specific code.
+#define EXPECT_STATUS(expr, code) \
+  EXPECT_PRED_FORMAT2(::dedicore::testing::has_code_pred, (expr), (code))
+#define ASSERT_STATUS(expr, code) \
+  ASSERT_PRED_FORMAT2(::dedicore::testing::has_code_pred, (expr), (code))

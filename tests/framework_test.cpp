@@ -1,0 +1,93 @@
+// Self-test for the shared test infrastructure: the framework is linked by
+// every suite, so its helpers get first-class coverage of their own.
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "framework/test_infra.hpp"
+
+namespace dedicore::testing {
+namespace {
+
+TEST(StatusMacroTest, OkAndErrorPaths) {
+  EXPECT_OK(Status::ok());
+  ASSERT_OK(Status::ok());
+  EXPECT_STATUS(Status::would_block("full"), StatusCode::kWouldBlock);
+  EXPECT_FALSE(is_ok_pred("expr", Status::io_error("disk gone")));
+  // Failure messages carry the full status rendering.
+  const auto result = is_ok_pred("write()", Status::io_error("disk gone"));
+  EXPECT_NE(std::string(result.message()).find("IO_ERROR: disk gone"),
+            std::string::npos);
+  EXPECT_FALSE(has_code_pred("s", "kClosed", Status::ok(), StatusCode::kClosed));
+}
+
+TEST(TempDirSelfTest, CreatesUniqueWritableDirsAndCleansUp) {
+  std::filesystem::path kept;
+  {
+    TempDir a("framework_selftest");
+    TempDir b("framework_selftest");
+    EXPECT_NE(a.path(), b.path());
+    EXPECT_TRUE(std::filesystem::is_directory(a.path()));
+    std::ofstream(a.file("probe.txt")) << "hello";
+    EXPECT_TRUE(std::filesystem::exists(a.file("probe.txt")));
+    kept = a.path();
+  }
+  EXPECT_FALSE(std::filesystem::exists(kept));  // recursive cleanup ran
+}
+
+class TempDirFixtureTest : public TempDirTest {};
+
+TEST_F(TempDirFixtureTest, FixtureProvidesScratchSpace) {
+  std::ofstream(temp_file("scratch.bin")) << "x";
+  EXPECT_TRUE(std::filesystem::exists(temp_path() / "scratch.bin"));
+}
+
+TEST(SeedSelfTest, StablePerTestAndDistinctAcrossTests) {
+  const std::uint64_t here = test_seed();
+  EXPECT_EQ(here, test_seed());  // stable within one test
+  Rng a = make_rng();
+  Rng b = make_rng();
+  EXPECT_EQ(a.next_u64(), b.next_u64());  // same seed, same stream
+  Rng other = make_rng(1);
+  Rng base = make_rng();
+  EXPECT_NE(base.next_u64(), other.next_u64());  // stream split diverges
+}
+
+TEST(SeedSelfTest, OtherTestNameGivesOtherSeed) {
+  // The sibling test above hashes a different "Suite.Name" string, so its
+  // seed must differ from ours.
+  EXPECT_NE(test_seed(), 0u);
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(std::string(info->name()), "OtherTestNameGivesOtherSeed");
+}
+
+TEST(SeedSelfTest, EnvOverrideWins) {
+  ::setenv("DEDICORE_TEST_SEED", "12345", 1);
+  EXPECT_EQ(test_seed(), 12345u);
+  ::unsetenv("DEDICORE_TEST_SEED");
+  EXPECT_NE(test_seed(), 12345u);
+}
+
+TEST(GoldenTableSelfTest, ReportsFirstMismatch) {
+  Table t({"k", "v"});
+  t.add_row({"a", "1"});
+  EXPECT_TRUE(table_rows_equal(t, {{"a", "1"}}));
+
+  const auto wrong_cell = table_rows_equal(t, {{"a", "2"}});
+  EXPECT_FALSE(wrong_cell);
+  EXPECT_NE(std::string(wrong_cell.message()).find("row 0, column 1"),
+            std::string::npos);
+
+  const auto wrong_arity = table_rows_equal(t, {{"a", "1"}, {"b", "2"}});
+  EXPECT_FALSE(wrong_arity);
+
+  EXPECT_TRUE(table_matches_golden(t, "k  v\n----\na  1\n"));
+  EXPECT_TRUE(table_matches_golden(t, "k  v   \n----\na  1\n"));  // rstrip
+  const auto diff = table_matches_golden(t, "k  v\n----\na  9\n");
+  EXPECT_FALSE(diff);
+  EXPECT_NE(std::string(diff.message()).find("line 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dedicore::testing

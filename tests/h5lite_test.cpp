@@ -246,9 +246,10 @@ TEST(SharedLayoutTest, OffsetsAreDisjointAndAligned) {
   for (std::size_t i = 0; i < 4; ++i) {
     EXPECT_EQ(layout.payload_offset(i) % 8, 0u);
     EXPECT_EQ(layout.payload_size(i), 5u * 3u * 4u);
-    if (i > 0)
+    if (i > 0) {
       EXPECT_GE(layout.payload_offset(i),
                 layout.payload_offset(i - 1) + layout.payload_size(i - 1));
+    }
   }
   EXPECT_GT(layout.total_size(), layout.metadata_offset());
 }

@@ -9,6 +9,7 @@
 #include "common/rng.hpp"
 #include "shm/bounded_queue.hpp"
 #include "shm/segment.hpp"
+#include "framework/test_infra.hpp"
 
 namespace dedicore::shm {
 namespace {
@@ -204,15 +205,15 @@ TEST(SegmentTest, ConcurrentAllocFreeIsSafe) {
 
 TEST(BoundedQueueTest, FifoOrder) {
   BoundedQueue<int> q(8);
-  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.try_push(i).is_ok());
+  for (int i = 0; i < 5; ++i) EXPECT_OK(q.try_push(i));
   for (int i = 0; i < 5; ++i) EXPECT_EQ(q.try_pop().value(), i);
   EXPECT_FALSE(q.try_pop().has_value());
 }
 
 TEST(BoundedQueueTest, TryPushFullReturnsWouldBlock) {
   BoundedQueue<int> q(2);
-  EXPECT_TRUE(q.try_push(1).is_ok());
-  EXPECT_TRUE(q.try_push(2).is_ok());
+  EXPECT_OK(q.try_push(1));
+  EXPECT_OK(q.try_push(2));
   EXPECT_EQ(q.try_push(3).code(), StatusCode::kWouldBlock);
   EXPECT_EQ(q.size(), 2u);
 }

@@ -71,14 +71,14 @@ TEST(XmlTest, TypedAttributeAccessors) {
 
 TEST(XmlTest, TypedAccessorRejectsBadValues) {
   const Node root = parse("<a i=\"4x\" b=\"maybe\"/>");
-  EXPECT_THROW(root.attribute_int("i", 0), ConfigError);
-  EXPECT_THROW(root.attribute_bool("b", false), ConfigError);
+  EXPECT_THROW((void)root.attribute_int("i", 0), ConfigError);
+  EXPECT_THROW((void)root.attribute_bool("b", false), ConfigError);
 }
 
 TEST(XmlTest, RequireAttributeThrowsWithContext) {
   const Node root = parse("<simulation/>");
   try {
-    root.require_attribute("name");
+    (void)root.require_attribute("name");
     FAIL() << "expected ConfigError";
   } catch (const ConfigError& e) {
     EXPECT_NE(std::string(e.what()).find("simulation"), std::string::npos);
