@@ -34,18 +34,19 @@ int main() {
     cluster.cores_per_node = platform.cores_per_node;
     cluster.total_cores = platform.max_cores;
     for (Strategy strategy : {Strategy::kFilePerProcess, Strategy::kCollective,
-                              Strategy::kDamaris}) {
+                              Strategy::kDamaris, Strategy::kDedicatedNodes}) {
       const ReplayResult r = replay(strategy, cluster, workload,
                                     platform.storage,
                                     platform.congestion_alpha, 29);
+      const bool dedicated = strategy == Strategy::kDamaris ||
+                             strategy == Strategy::kDedicatedNodes;
       table.add_row(
           {platform.name, fmt_count(static_cast<std::uint64_t>(cluster.total_cores)),
            std::string(strategy_name(strategy)), fmt_double(r.app_seconds, 1),
            fmt_speedup(r.app_seconds / r.compute_only_seconds),
            format_throughput_gbps(r.peak_throughput),
-           strategy == Strategy::kDamaris
-               ? fmt_percent(r.dedicated_idle_fraction)
-               : std::string("-")});
+           dedicated ? fmt_percent(r.dedicated_idle_fraction)
+                     : std::string("-")});
     }
   }
   table.print(std::cout);

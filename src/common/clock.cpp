@@ -1,9 +1,52 @@
 #include "common/clock.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 namespace dedicore {
+
+namespace {
+
+std::atomic<bool> g_virtual_time{false};
+thread_local double t_virtual_now = 0.0;
+
+double steady_seconds() noexcept {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+bool virtual_time_enabled() noexcept {
+  return g_virtual_time.load(std::memory_order_relaxed);
+}
+
+void set_virtual_time_enabled(bool enabled) noexcept {
+  if (enabled) t_virtual_now = 0.0;  // fresh epoch for the enabling thread
+  g_virtual_time.store(enabled, std::memory_order_relaxed);
+}
+
+double now_seconds() noexcept {
+  return virtual_time_enabled() ? t_virtual_now : steady_seconds();
+}
+
+void sleep_seconds(double seconds) {
+  if (seconds <= 0.0) return;
+  if (virtual_time_enabled()) {
+    t_virtual_now += seconds;
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
 
 void spin_seconds(double seconds) {
   if (seconds <= 0.0) return;
+  if (virtual_time_enabled()) {
+    t_virtual_now += seconds;
+    return;
+  }
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration_cast<std::chrono::nanoseconds>(
                             std::chrono::duration<double>(seconds));

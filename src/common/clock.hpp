@@ -1,45 +1,60 @@
 // Wall-clock helpers for the real-thread runtime.  The DES engine has its
 // own virtual clock (src/des); this header is only about measuring and
 // pacing real executions.
+//
+// Deterministic testing hook: virtual time.  When enabled (a global test
+// switch), every thread carries its own virtual clock starting at 0;
+// sleep_seconds()/spin_seconds() advance the calling thread's clock
+// instantly instead of blocking, and Stopwatch/now_seconds() read it.
+// Under virtual time a thread's measured elapsed equals exactly what it
+// slept — so a code path that never sleeps (e.g. the client-visible
+// shared-memory write) measures exactly zero, and wall-clock comparisons
+// like "the Damaris stall is a fraction of the baseline's" become exact
+// instead of racy.  Blocking synchronization (mutexes, condition
+// variables, queue pops) still happens in real time and contributes
+// nothing to virtual measurements.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
-#include <thread>
 
 namespace dedicore {
+
+/// Monotonic seconds: steady_clock normally, the calling thread's virtual
+/// clock when virtual time is enabled.
+double now_seconds() noexcept;
+
+/// Global switch for virtual time (test hook; flip only while no
+/// measurement straddles the change).  Threads started afterwards begin
+/// at virtual second 0.
+void set_virtual_time_enabled(bool enabled) noexcept;
+bool virtual_time_enabled() noexcept;
 
 /// Monotonic stopwatch returning seconds as double.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(now_seconds()) {}
 
-  void reset() { start_ = Clock::now(); }
+  void reset() { start_ = now_seconds(); }
 
   [[nodiscard]] double elapsed_seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return now_seconds() - start_;
   }
 
   [[nodiscard]] std::uint64_t elapsed_ns() const {
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                             start_)
-            .count());
+    return static_cast<std::uint64_t>(elapsed_seconds() * 1e9);
   }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  double start_;
 };
 
 /// Sleep for a duration expressed in seconds (sub-millisecond supported).
-inline void sleep_seconds(double seconds) {
-  if (seconds <= 0.0) return;
-  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-}
+/// Under virtual time: advances the thread's virtual clock and returns.
+void sleep_seconds(double seconds);
 
 /// Busy-spin for very short waits where sleep granularity is too coarse;
-/// used by the calibrated-cost compute kernel at sub-100us scales.
+/// used by the calibrated-cost compute kernel at sub-100us scales.  Under
+/// virtual time it advances the clock like sleep_seconds.
 void spin_seconds(double seconds);
 
 }  // namespace dedicore

@@ -78,11 +78,11 @@ void register_builtin_plugins() {
 // Helpers
 // ---------------------------------------------------------------------------
 
-std::vector<double> block_as_doubles(const NodeRuntime& node,
+std::vector<double> block_as_doubles(const PluginContext& context,
                                      const BlockInfo& block) {
-  const VariableSpec& var = node.config.variable(block.variable);
-  const LayoutSpec& layout = node.config.layout_of(var);
-  const auto view = node.segment.view(block.block);
+  const VariableSpec& var = context.node.config.variable(block.variable);
+  const LayoutSpec& layout = context.node.config.layout_of(var);
+  const auto view = context.block_view(block.block);
   std::vector<double> out;
   if (layout.dtype == h5lite::DType::kFloat64) {
     out.resize(view.size() / sizeof(double));
@@ -141,7 +141,7 @@ void StorePlugin::run(PluginContext& context) {
     builder.set_attribute(group, "layout", layout.name);
     builder.set_attribute(group, "dtype", std::string(h5lite::dtype_name(layout.dtype)));
     for (const BlockInfo& block : blocks) {
-      const auto view = node.segment.view(block.block);
+      const auto view = context.block_view(block.block);
       raw_bytes += view.size();
       const std::string dataset_name =
           "r" + std::to_string(block.source) + "_b" + std::to_string(block.block_id);
@@ -209,7 +209,7 @@ void StatsPlugin::run(PluginContext& context) {
       continue;  // stats only for floating-point fields
     std::vector<double> all;
     for (const BlockInfo& block : blocks) {
-      auto values = block_as_doubles(node, block);
+      auto values = block_as_doubles(context, block);
       all.insert(all.end(), values.begin(), values.end());
     }
     entry.per_variable[var.name] = viz::compute_statistics(all);
@@ -324,7 +324,7 @@ class ScriptEvaluator {
     double sum = 0.0;
     std::uint64_t count = 0;
     for (const BlockInfo& block : blocks) {
-      for (double v : block_as_doubles(node, block)) {
+      for (double v : block_as_doubles(context_, block)) {
         acc_min = std::min(acc_min, v);
         acc_max = std::max(acc_max, v);
         sum += v;
@@ -399,7 +399,7 @@ void VisLitePlugin::run(PluginContext& context) {
   std::uint64_t rendered = 0;
   std::uint64_t images = 0;
   for (const BlockInfo& block : blocks) {
-    const std::vector<double> values = block_as_doubles(node, block);
+    const std::vector<double> values = block_as_doubles(context, block);
     viz::GridView grid{values, layout.extents[0], layout.extents[1],
                        layout.extents[2]};
     double isovalue = 0.0;

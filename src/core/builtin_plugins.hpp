@@ -122,8 +122,10 @@ class VisLitePlugin final : public Plugin {
 };
 
 /// Decodes a block's payload to doubles according to the variable layout
-/// (float32/float64 only); shared by stats/script/vislite.
-std::vector<double> block_as_doubles(const NodeRuntime& node,
+/// (float32/float64 only); shared by stats/script/vislite.  The payload is
+/// resolved through the context's server transport, so it works for both
+/// locally-resident and MPI-received blocks.
+std::vector<double> block_as_doubles(const PluginContext& context,
                                      const BlockInfo& block);
 
 }  // namespace dedicore::core

@@ -6,13 +6,13 @@
 
 namespace dedicore::core {
 
-Client::Client(std::shared_ptr<NodeRuntime> node, int client_index)
+Client::Client(std::shared_ptr<NodeRuntime> node, int client_index,
+               std::unique_ptr<transport::ClientTransport> transport)
     : node_(std::move(node)),
       client_index_(client_index),
-      server_(node_->server_of_client(client_index)) {
-  DEDICORE_CHECK(client_index >= 0 &&
-                     client_index < node_->config.clients_per_node(),
-                 "Client: client_index out of range");
+      transport_(std::move(transport)) {
+  DEDICORE_CHECK(client_index >= 0, "Client: negative client_index");
+  DEDICORE_CHECK(transport_ != nullptr, "Client: null transport");
 }
 
 Client::~Client() { stop(); }
@@ -21,9 +21,9 @@ std::optional<shm::BlockRef> Client::acquire_block(std::uint64_t size,
                                                    int priority) {
   switch (node_->config.policy()) {
     case BackpressurePolicy::kBlock:
-      return node_->segment.allocate_blocking(size);
+      return transport_->acquire_blocking(size);
     case BackpressurePolicy::kSkipIteration: {
-      auto ref = node_->segment.try_allocate(size);
+      auto ref = transport_->try_acquire(size);
       if (!ref) skipping_ = true;  // drop the rest of this iteration's output
       return ref;
     }
@@ -31,8 +31,8 @@ std::optional<shm::BlockRef> Client::acquire_block(std::uint64_t size,
       // Important variables keep the blocking guarantee; the rest is shed
       // block-by-block under pressure ("select portions of data carrying
       // important scientific value").
-      if (priority > 0) return node_->segment.allocate_blocking(size);
-      auto ref = node_->segment.try_allocate(size);
+      if (priority > 0) return transport_->acquire_blocking(size);
+      auto ref = transport_->try_acquire(size);
       if (!ref) ++dropped_blocks_;
       return ref;
     }
@@ -67,9 +67,9 @@ Status Client::write(const std::string& variable,
       case BackpressurePolicy::kBlock:
         break;
     }
-    return Status::closed("segment closed");
+    return Status::closed("transport closed");
   }
-  std::memcpy(node_->segment.view(*ref).data(), data.data(), data.size());
+  std::memcpy(transport_->view(*ref).data(), data.data(), data.size());
 
   Event event;
   event.type = EventType::kBlockWritten;
@@ -84,20 +84,20 @@ Status Client::write(const std::string& variable,
   if (node_->config.policy() == BackpressurePolicy::kBlock ||
       (node_->config.policy() == BackpressurePolicy::kAdaptive &&
        spec.priority > 0)) {
-    if (!queue().push(event)) {
-      node_->segment.deallocate(*ref);
-      return Status::closed("event queue closed");
+    if (!transport_->publish(event)) {
+      transport_->abandon(*ref);
+      return Status::closed("event channel closed");
     }
   } else {
-    const Status pushed = queue().try_push(event);
-    if (!pushed) {
-      node_->segment.deallocate(*ref);
+    const Status published = transport_->try_publish(event);
+    if (!published) {
+      transport_->abandon(*ref);
       if (node_->config.policy() == BackpressurePolicy::kAdaptive) {
         ++dropped_blocks_;
-        return Status::aborted("event queue full; block shed");
+        return Status::aborted("event channel full; block shed");
       }
       skipping_ = true;
-      return Status::aborted("event queue full; iteration dropped");
+      return Status::aborted("event channel full; iteration dropped");
     }
   }
 
@@ -119,7 +119,7 @@ AllocatedBlock Client::alloc(const std::string& variable,
   auto ref = acquire_block(layout.byte_size(), spec.priority);
   if (!ref) return out;
   out.block = *ref;
-  out.view = node_->segment.view(*ref);
+  out.view = transport_->view(*ref);
   out.variable = spec.id;
   for (std::size_t i = 0; i < global_offset.size(); ++i)
     out.global_offset[i] = global_offset[i];
@@ -142,16 +142,16 @@ Status Client::commit(const AllocatedBlock& block) {
     event.global_offset[i] = block.global_offset[i];
 
   if (node_->config.policy() == BackpressurePolicy::kBlock) {
-    if (!queue().push(event)) {
-      node_->segment.deallocate(block.block);
-      return Status::closed("event queue closed");
+    if (!transport_->publish(event)) {
+      transport_->abandon(block.block);
+      return Status::closed("event channel closed");
     }
   } else {
-    const Status pushed = queue().try_push(event);
-    if (!pushed) {
-      node_->segment.deallocate(block.block);
+    const Status published = transport_->try_publish(event);
+    if (!published) {
+      transport_->abandon(block.block);
       skipping_ = true;
-      return Status::aborted("event queue full; iteration dropped");
+      return Status::aborted("event channel full; iteration dropped");
     }
   }
   ++writes_;
@@ -169,7 +169,7 @@ Status Client::signal(const std::string& event_name) {
   event.source = client_index_;
   event.iteration = iteration_;
   event.signal_id = static_cast<std::uint32_t>(id);
-  if (!queue().push(event)) return Status::closed("event queue closed");
+  if (!transport_->post(event)) return Status::closed("event channel closed");
   return Status::ok();
 }
 
@@ -181,7 +181,7 @@ Status Client::end_iteration() {
   event.type = skipping_ ? EventType::kIterationSkipped
                          : EventType::kEndIteration;
   if (skipping_) ++skipped_iterations_;
-  if (!queue().push(event)) return Status::closed("event queue closed");
+  if (!transport_->post(event)) return Status::closed("event channel closed");
 
   skipping_ = false;
   block_counters_.clear();
@@ -197,7 +197,7 @@ void Client::stop() {
   event.type = EventType::kClientStop;
   event.source = client_index_;
   event.iteration = iteration_;
-  queue().push(event);
+  transport_->post(event);
 }
 
 ClientStats Client::stats() const {

@@ -18,6 +18,7 @@
 
 #include "common/stats.hpp"
 #include "core/node_runtime.hpp"
+#include "transport/transport.hpp"
 
 namespace dedicore::core {
 
@@ -43,8 +44,11 @@ struct ClientStats {
 
 class Client {
  public:
-  /// `client_index` is this rank's position among the node's clients.
-  Client(std::shared_ptr<NodeRuntime> node, int client_index);
+  /// `client_index` is this rank's index among its server's clients
+  /// (node-local in dedicated-cores mode, world-wide in dedicated-nodes
+  /// mode); `transport` is the endpoint toward that server.
+  Client(std::shared_ptr<NodeRuntime> node, int client_index,
+         std::unique_ptr<transport::ClientTransport> transport);
   ~Client();
 
   Client(const Client&) = delete;
@@ -88,18 +92,19 @@ class Client {
   [[nodiscard]] bool iteration_skipped() const noexcept { return skipping_; }
   [[nodiscard]] ClientStats stats() const;
 
- private:
-  shm::BoundedQueue<Event>& queue() noexcept {
-    return *node_->queues[static_cast<std::size_t>(server_)];
+  /// Data-path counters of the underlying transport (shipped bytes etc.).
+  [[nodiscard]] transport::TransportStats transport_stats() const {
+    return transport_->stats();
   }
 
-  /// Allocates per the backpressure policy; engages skip mode (or sheds a
+ private:
+  /// Acquires per the backpressure policy; engages skip mode (or sheds a
   /// low-priority block under the adaptive policy) on failure.
   std::optional<shm::BlockRef> acquire_block(std::uint64_t size, int priority);
 
   std::shared_ptr<NodeRuntime> node_;
   int client_index_;
-  int server_;  ///< dedicated core responsible for this client
+  std::unique_ptr<transport::ClientTransport> transport_;
   Iteration iteration_ = 0;
   bool skipping_ = false;
   bool stopped_ = false;

@@ -26,6 +26,14 @@ std::string to_string(BackpressurePolicy policy) {
   return "?";
 }
 
+std::string to_string(DedicatedMode mode) {
+  switch (mode) {
+    case DedicatedMode::kCores: return "cores";
+    case DedicatedMode::kNodes: return "nodes";
+  }
+  return "?";
+}
+
 std::uint64_t LayoutSpec::element_count() const noexcept {
   std::uint64_t n = 1;
   for (auto e : extents) n *= e;
@@ -93,6 +101,17 @@ Configuration Configuration::from_xml(const xml::Node& root) {
   cfg.name_ = root.attribute_or("name", "simulation");
   cfg.cores_per_node_ = static_cast<int>(root.attribute_int("cores_per_node", 12));
   cfg.dedicated_cores_ = static_cast<int>(root.attribute_int("dedicated_cores", 1));
+  const std::string mode = root.attribute_or("dedicated_mode", "cores");
+  if (mode == "cores") {
+    cfg.dedicated_mode_ = DedicatedMode::kCores;
+  } else if (mode == "nodes") {
+    cfg.dedicated_mode_ = DedicatedMode::kNodes;
+  } else {
+    throw ConfigError("dedicated_mode must be 'cores' or 'nodes', got '" +
+                      mode + "'");
+  }
+  cfg.dedicated_nodes_ =
+      static_cast<int>(root.attribute_int("dedicated_nodes", 1));
 
   if (const xml::Node* buffer = root.child("buffer")) {
     cfg.buffer_size_ = parse_bytes(buffer->attribute_or("size", "64MiB"));
@@ -178,6 +197,11 @@ void Configuration::set_architecture(int cores_per_node, int dedicated_cores) {
   dedicated_cores_ = dedicated_cores;
 }
 
+void Configuration::set_dedicated_mode(DedicatedMode mode, int dedicated_nodes) {
+  dedicated_mode_ = mode;
+  dedicated_nodes_ = dedicated_nodes;
+}
+
 void Configuration::set_buffer(std::uint64_t size, std::size_t queue_capacity,
                                BackpressurePolicy policy) {
   buffer_size_ = size;
@@ -245,6 +269,8 @@ void Configuration::validate() const {
     throw ConfigError("cores_per_node must be positive");
   if (dedicated_cores_ < 0 || dedicated_cores_ >= cores_per_node_)
     throw ConfigError("dedicated_cores must be in [0, cores_per_node)");
+  if (dedicated_nodes_ <= 0)
+    throw ConfigError("dedicated_nodes must be positive");
   if (buffer_size_ == 0) throw ConfigError("buffer size must be non-zero");
   if (queue_capacity_ == 0) throw ConfigError("queue capacity must be non-zero");
 

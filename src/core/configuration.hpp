@@ -97,6 +97,16 @@ class Configuration {
     return cores_per_node_ - dedicated_cores_;
   }
 
+  /// Deployment topology: dedicated cores on every node (shared-memory
+  /// transport, the paper's design) or dedicated I/O nodes at the end of
+  /// the world (MPI transport).  XML: <simulation dedicated_mode="nodes"
+  /// dedicated_nodes="2">.
+  [[nodiscard]] DedicatedMode dedicated_mode() const noexcept {
+    return dedicated_mode_;
+  }
+  /// Number of world ranks acting as I/O nodes (kNodes mode only).
+  [[nodiscard]] int dedicated_nodes() const noexcept { return dedicated_nodes_; }
+
   [[nodiscard]] std::uint64_t buffer_size() const noexcept { return buffer_size_; }
   [[nodiscard]] std::size_t queue_capacity() const noexcept { return queue_capacity_; }
   [[nodiscard]] BackpressurePolicy policy() const noexcept { return policy_; }
@@ -121,6 +131,7 @@ class Configuration {
   // Programmatic construction (used by tests and the model layer).
   Configuration() = default;
   void set_architecture(int cores_per_node, int dedicated_cores);
+  void set_dedicated_mode(DedicatedMode mode, int dedicated_nodes = 1);
   void set_buffer(std::uint64_t size, std::size_t queue_capacity,
                   BackpressurePolicy policy);
   void add_layout(LayoutSpec layout);
@@ -137,6 +148,8 @@ class Configuration {
   std::string name_ = "simulation";
   int cores_per_node_ = 12;
   int dedicated_cores_ = 1;
+  DedicatedMode dedicated_mode_ = DedicatedMode::kCores;
+  int dedicated_nodes_ = 1;
   std::uint64_t buffer_size_ = 64ull << 20;
   std::size_t queue_capacity_ = 1024;
   BackpressurePolicy policy_ = BackpressurePolicy::kBlock;

@@ -1,14 +1,17 @@
-// Per-node shared state: the shared-memory segment, the event queues, and
-// the block indexes that connect simulation cores to dedicated cores.
+// Per-node shared state: the transport fabric (shared-memory segment plus
+// event queues), the block indexes, and the bindings that connect
+// simulation cores to dedicated cores.
 //
-// One NodeRuntime exists per SMP node (created by the node's rank 0 during
-// Runtime::initialize and handed to the other ranks of the node).  With
-// D dedicated cores per node, clients are partitioned round-robin across
-// D (queue, index) pairs; the segment is shared by the whole node.
+// In dedicated-cores mode one NodeRuntime exists per SMP node (created by
+// the node's rank 0 during Runtime::initialize and handed to the other
+// ranks of the node); with D dedicated cores per node, clients are
+// partitioned round-robin across D (queue, index) pairs and the segment is
+// shared by the whole node.  In dedicated-nodes mode every rank owns its
+// private NodeRuntime: I/O ranks carry a fabric (residency for blocks
+// received over MPI) and one index; client ranks carry neither.
 #pragma once
 
 #include <algorithm>
-#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -17,27 +20,50 @@
 #include "core/scheduler.hpp"
 #include "core/types.hpp"
 #include "fsim/filesystem.hpp"
-#include "shm/bounded_queue.hpp"
-#include "shm/segment.hpp"
+#include "transport/shm_transport.hpp"
 
 namespace dedicore::core {
 
 struct NodeRuntime {
+  /// What this NodeRuntime backs: a whole SMP node (dedicated-cores mode),
+  /// a dedicated I/O rank, or a client rank in dedicated-nodes mode.
+  enum class Role { kSmpNode, kIoNode, kClientOnly };
+
+  /// Dedicated-cores mode: shared fabric with one queue+index per
+  /// dedicated core of the node.
   NodeRuntime(Configuration config_in, int node_id_in,
               fsim::FileSystem* fs_in, std::shared_ptr<IoScheduler> sched)
+      : NodeRuntime(std::move(config_in), node_id_in, fs_in, std::move(sched),
+                    Role::kSmpNode) {}
+
+  NodeRuntime(Configuration config_in, int node_id_in,
+              fsim::FileSystem* fs_in, std::shared_ptr<IoScheduler> sched,
+              Role role_in)
       : config(std::move(config_in)),
         node_id(node_id_in),
+        role(role_in),
         fs(fs_in),
-        scheduler(std::move(sched)),
-        segment(config.buffer_size()) {
-    const int servers = std::max(1, config.dedicated_cores());
-    queues.reserve(static_cast<std::size_t>(servers));
-    indexes.reserve(static_cast<std::size_t>(servers));
-    for (int s = 0; s < servers; ++s) {
-      queues.push_back(std::make_unique<shm::BoundedQueue<Event>>(
-          config.queue_capacity()));
-      indexes.push_back(std::make_unique<BlockIndex>());
+        scheduler(std::move(sched)) {
+    switch (role) {
+      case Role::kSmpNode:
+        servers_ = std::max(1, config.dedicated_cores());
+        fabric = std::make_shared<transport::ShmFabric>(
+            config.buffer_size(), servers_, config.queue_capacity());
+        break;
+      case Role::kIoNode:
+        // Residency only: blocks received over MPI are re-homed here, so
+        // no local event queues are needed.
+        servers_ = 1;
+        fabric = std::make_shared<transport::ShmFabric>(
+            config.buffer_size(), /*queue_count=*/0, config.queue_capacity());
+        break;
+      case Role::kClientOnly:
+        servers_ = 0;
+        break;
     }
+    indexes.reserve(static_cast<std::size_t>(servers_));
+    for (int s = 0; s < servers_; ++s)
+      indexes.push_back(std::make_unique<BlockIndex>());
     // Distinct event names bound in the configuration, for signal ids.
     for (const auto& action : config.actions()) {
       if (std::find(signal_names.begin(), signal_names.end(), action.event) ==
@@ -46,16 +72,16 @@ struct NodeRuntime {
     }
   }
 
-  /// Which dedicated core serves a given client index.
+  /// Which dedicated core serves a given client index (cores mode).
   [[nodiscard]] int server_of_client(int client_index) const noexcept {
-    return client_index % static_cast<int>(queues.size());
+    return client_index % std::max(1, servers_);
   }
 
-  /// How many clients a given dedicated core serves.
+  /// How many clients a given dedicated core serves (cores mode).
   [[nodiscard]] int clients_of_server(int server_index) const noexcept {
     const int clients = config.clients_per_node();
-    const int servers = static_cast<int>(queues.size());
-    return clients / servers + (client_index_remainder(clients, servers) > server_index ? 1 : 0);
+    const int servers = std::max(1, servers_);  // 0 on kClientOnly ranks
+    return clients / servers + (clients % servers > server_index ? 1 : 0);
   }
 
   /// Signal id for an event name; -1 when the name is not bound.
@@ -65,19 +91,26 @@ struct NodeRuntime {
     return -1;
   }
 
+  /// The local block store (segment stats, pressure fixtures).  Aborts on
+  /// dedicated-nodes client ranks, which have no local block residency.
+  [[nodiscard]] shm::Segment& segment() noexcept {
+    DEDICORE_CHECK(fabric != nullptr, "NodeRuntime: no fabric on this rank");
+    return fabric->segment;
+  }
+
   Configuration config;
   int node_id = 0;
+  Role role = Role::kSmpNode;
   fsim::FileSystem* fs = nullptr;
   std::shared_ptr<IoScheduler> scheduler;
-  shm::Segment segment;
-  std::vector<std::unique_ptr<shm::BoundedQueue<Event>>> queues;
+  /// Segment + queues; shared across the node's ranks in cores mode,
+  /// private to an I/O rank in nodes mode, null on nodes-mode clients.
+  std::shared_ptr<transport::ShmFabric> fabric;
   std::vector<std::unique_ptr<BlockIndex>> indexes;
   std::vector<std::string> signal_names;
 
  private:
-  static int client_index_remainder(int clients, int servers) noexcept {
-    return clients % servers;
-  }
+  int servers_ = 1;
 };
 
 }  // namespace dedicore::core

@@ -20,9 +20,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "core/types.hpp"
+#include "transport/transport.hpp"
 
 namespace dedicore::core {
 
@@ -31,7 +33,10 @@ struct ServerStats;
 
 /// Everything a plugin may touch when it fires.
 struct PluginContext {
-  NodeRuntime& node;          ///< segment, index, filesystem, config
+  NodeRuntime& node;          ///< index, filesystem, config
+  /// The server's transport endpoint: the only way to reach block
+  /// payloads, which may be locally resident or received over MPI.
+  transport::ServerTransport* transport = nullptr;
   int server_index = 0;       ///< which dedicated core of the node runs this
   Iteration iteration = 0;    ///< iteration the trigger belongs to
   const Event* trigger = nullptr;  ///< the raw event (signals); may be null
@@ -43,6 +48,13 @@ struct PluginContext {
     if (params == nullptr) return fallback;
     auto it = params->find(key);
     return it == params->end() ? fallback : it->second;
+  }
+
+  /// Read-only payload of a block delivered to this server.
+  [[nodiscard]] std::span<const std::byte> block_view(
+      const shm::BlockRef& block) const {
+    DEDICORE_CHECK(transport != nullptr, "PluginContext: no transport");
+    return transport->view(block);
   }
 };
 

@@ -3,6 +3,9 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "transport/mpi_transport.hpp"
+#include "transport/shm_transport.hpp"
+
 namespace dedicore::core {
 
 namespace {
@@ -56,21 +59,17 @@ std::shared_ptr<T> share_over(minimpi::Comm& comm, std::shared_ptr<T> object) {
 
 }  // namespace
 
-Runtime Runtime::initialize(const Configuration& config, minimpi::Comm& world,
-                            fsim::FileSystem& fs,
-                            std::shared_ptr<IoScheduler> scheduler) {
-  config.validate();
+/// Dedicated-cores mode (the paper's design): the last `dedicated_cores`
+/// ranks of every node serve their node mates over shared memory.
+Runtime Runtime::initialize_cores_mode(const Configuration& config,
+                                       minimpi::Comm& world,
+                                       fsim::FileSystem& fs,
+                                       std::shared_ptr<IoScheduler> scheduler) {
   const int cpn = config.cores_per_node();
   if (world.size() % cpn != 0)
     throw ConfigError("world size " + std::to_string(world.size()) +
                       " is not a multiple of cores_per_node " +
                       std::to_string(cpn));
-
-  // Global scheduler: built by world rank 0 unless provided.
-  if (world.rank() == 0 && scheduler == nullptr)
-    scheduler = make_scheduler(config.storage().scheduler,
-                               config.storage().max_concurrent_nodes);
-  scheduler = share_over(world, std::move(scheduler));
 
   const int node_id = world.rank() / cpn;
   const int node_rank = world.rank() % cpn;
@@ -91,12 +90,101 @@ Runtime Runtime::initialize(const Configuration& config, minimpi::Comm& world,
   rt.client_comm_ = world.split(is_client ? 0 : 1, world.rank());
 
   if (is_client) {
-    rt.client_ = std::make_unique<Client>(node, node_rank);
+    rt.client_ = std::make_unique<Client>(
+        node, node_rank,
+        std::make_unique<transport::ShmClientTransport>(
+            node->fabric, node->server_of_client(node_rank)));
   } else {
     const int server_index = node_rank - config.clients_per_node();
-    rt.server_ = std::make_unique<Server>(node, server_index);
+    rt.server_ = std::make_unique<Server>(
+        node, server_index,
+        std::make_unique<transport::ShmServerTransport>(node->fabric,
+                                                        server_index),
+        node->clients_of_server(server_index));
   }
   return rt;
+}
+
+/// Dedicated-nodes mode: the last `dedicated_nodes` ranks of the *world*
+/// act as I/O nodes; every other rank computes and ships its blocks over
+/// MPI to the I/O rank serving it (round-robin).
+Runtime Runtime::initialize_nodes_mode(const Configuration& config,
+                                       minimpi::Comm& world,
+                                       fsim::FileSystem& fs,
+                                       std::shared_ptr<IoScheduler> scheduler) {
+  const int io_ranks = config.dedicated_nodes();
+  if (world.size() <= io_ranks)
+    throw ConfigError("world size " + std::to_string(world.size()) +
+                      " leaves no clients for " + std::to_string(io_ranks) +
+                      " dedicated I/O node(s)");
+  const int clients = world.size() - io_ranks;
+  // Count of client ranks c in [0, clients) with c % io_ranks == server;
+  // 0 when there are fewer clients than I/O ranks (such a server's run()
+  // returns immediately).
+  const auto clients_of = [&](int server) {
+    return (clients - server + io_ranks - 1) / io_ranks;
+  };
+
+  Runtime rt;
+  const bool is_server = world.rank() >= clients;
+  rt.client_comm_ = world.split(is_server ? 1 : 0, world.rank());
+
+  if (is_server) {
+    const int server = world.rank() - clients;
+    // node_id = server index: output paths stay distinct per I/O node.
+    auto node = std::make_shared<NodeRuntime>(config, server, &fs, scheduler,
+                                              NodeRuntime::Role::kIoNode);
+    rt.node_ = node;
+    rt.server_ = std::make_unique<Server>(
+        node, /*server_index=*/0,
+        std::make_unique<transport::MpiServerTransport>(world, node->fabric),
+        clients_of(server));
+  } else {
+    auto node = std::make_shared<NodeRuntime>(config, world.rank(), &fs,
+                                              scheduler,
+                                              NodeRuntime::Role::kClientOnly);
+    rt.node_ = node;
+    const int server = world.rank() % io_ranks;
+    // Each client gets an equal share of its server's segment as flow
+    // credit — the distributed analogue of the shared bounded segment.
+    const std::uint64_t share =
+        config.buffer_size() / static_cast<std::uint64_t>(clients_of(server));
+    // A block can never exceed the client's credit budget (in cores mode
+    // the whole shared segment is the bound); surface that as the
+    // configuration error it is instead of a permanent write failure.
+    for (const LayoutSpec& layout : config.layouts()) {
+      const std::uint64_t aligned = (layout.byte_size() + 7) & ~std::uint64_t{7};
+      if (aligned > share)
+        throw ConfigError(
+            "dedicated_mode=nodes: layout '" + layout.name + "' (" +
+            std::to_string(layout.byte_size()) +
+            " bytes) exceeds the per-client credit share (" +
+            std::to_string(share) +
+            " bytes = buffer / clients-per-io-node); grow <buffer size> or "
+            "add I/O nodes");
+    }
+    rt.client_ = std::make_unique<Client>(
+        node, world.rank(),
+        std::make_unique<transport::MpiClientTransport>(
+            world, clients + server, share));
+  }
+  return rt;
+}
+
+Runtime Runtime::initialize(const Configuration& config, minimpi::Comm& world,
+                            fsim::FileSystem& fs,
+                            std::shared_ptr<IoScheduler> scheduler) {
+  config.validate();
+
+  // Global scheduler: built by world rank 0 unless provided.
+  if (world.rank() == 0 && scheduler == nullptr)
+    scheduler = make_scheduler(config.storage().scheduler,
+                               config.storage().max_concurrent_nodes);
+  scheduler = share_over(world, std::move(scheduler));
+
+  return config.dedicated_mode() == DedicatedMode::kNodes
+             ? initialize_nodes_mode(config, world, fs, std::move(scheduler))
+             : initialize_cores_mode(config, world, fs, std::move(scheduler));
 }
 
 Client& Runtime::client() {

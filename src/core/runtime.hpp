@@ -78,6 +78,15 @@ class Runtime {
  private:
   Runtime() = default;
 
+  static Runtime initialize_cores_mode(const Configuration& config,
+                                       minimpi::Comm& world,
+                                       fsim::FileSystem& fs,
+                                       std::shared_ptr<IoScheduler> scheduler);
+  static Runtime initialize_nodes_mode(const Configuration& config,
+                                       minimpi::Comm& world,
+                                       fsim::FileSystem& fs,
+                                       std::shared_ptr<IoScheduler> scheduler);
+
   std::shared_ptr<NodeRuntime> node_;
   std::unique_ptr<Client> client_;
   std::unique_ptr<Server> server_;

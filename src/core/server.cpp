@@ -5,13 +5,20 @@
 
 namespace dedicore::core {
 
-Server::Server(std::shared_ptr<NodeRuntime> node, int server_index)
+Server::Server(std::shared_ptr<NodeRuntime> node, int server_index,
+               std::unique_ptr<transport::ServerTransport> transport,
+               int client_count)
     : node_(std::move(node)),
       server_index_(server_index),
-      client_count_(node_->clients_of_server(server_index)) {
+      transport_(std::move(transport)),
+      client_count_(client_count) {
   DEDICORE_CHECK(server_index >= 0 &&
-                     server_index < static_cast<int>(node_->queues.size()),
+                     server_index < static_cast<int>(node_->indexes.size()),
                  "Server: server_index out of range");
+  DEDICORE_CHECK(transport_ != nullptr, "Server: null transport");
+  // client_count may be 0 (more servers than clients): run() returns
+  // immediately on such a server.
+  DEDICORE_CHECK(client_count >= 0, "Server: negative client count");
   register_builtin_plugins();
   for (const auto& action : node_->config.actions())
     actions_.push_back(BoundAction{action, make_plugin(action.plugin, action.params)});
@@ -28,17 +35,19 @@ Plugin* Server::find_plugin(const std::string& event,
 }
 
 void Server::run() {
-  auto& queue = *node_->queues[static_cast<std::size_t>(server_index_)];
   while (stopped_clients_ < client_count_) {
     Stopwatch idle;
-    auto event = queue.pop();
+    auto event = transport_->next_event();
     stats_.idle_seconds += idle.elapsed_seconds();
-    if (!event) break;  // queue closed
+    if (!event) break;  // transport closed and drained
     Stopwatch busy;
     handle(*event);
     stats_.busy_seconds += busy.elapsed_seconds();
     ++stats_.events_processed;
   }
+  const transport::TransportStats t = transport_->stats();
+  stats_.blocks_received_remote = t.blocks_received_remote;
+  stats_.bytes_received_remote = t.bytes_received_remote;
   stats_.pipeline_time = pipeline_times_.summary();
 }
 
@@ -84,8 +93,8 @@ void Server::fire(const std::string& event_name, Iteration iteration,
                   const Event* trigger) {
   for (auto& bound : actions_) {
     if (bound.spec.event != event_name) continue;
-    PluginContext context{*node_, server_index_, iteration, trigger,
-                          &bound.spec.params, &stats_};
+    PluginContext context{*node_, transport_.get(), server_index_, iteration,
+                          trigger, &bound.spec.params, &stats_};
     bound.plugin->run(context);
   }
 }
@@ -94,10 +103,11 @@ void Server::complete_iteration(Iteration iteration) {
   Stopwatch pipeline;
   fire("end_iteration", iteration, nullptr);
 
-  // Release the iteration's blocks: the plugins are done with them.
+  // Release the iteration's blocks: the plugins are done with them.  The
+  // transport frees segment space (shm) or returns flow credit (mpi).
   auto& index = *node_->indexes[static_cast<std::size_t>(server_index_)];
   for (const auto& block : index.extract_iteration(iteration))
-    node_->segment.deallocate(block.block);
+    transport_->release(block.block);
 
   ++stats_.iterations_completed;
   pipeline_times_.add(pipeline.elapsed_seconds());

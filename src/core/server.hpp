@@ -19,6 +19,7 @@
 #include "common/stats.hpp"
 #include "core/node_runtime.hpp"
 #include "core/plugin.hpp"
+#include "transport/transport.hpp"
 
 namespace dedicore::core {
 
@@ -28,6 +29,10 @@ struct ServerStats {
   std::uint64_t events_processed = 0;
   std::uint64_t blocks_received = 0;
   std::uint64_t bytes_received = 0;
+  /// Blocks/bytes whose payload traveled over MPI (dedicated-nodes mode;
+  /// zero on the shared-memory transport, where only handles move).
+  std::uint64_t blocks_received_remote = 0;
+  std::uint64_t bytes_received_remote = 0;
   std::uint64_t iterations_completed = 0;
   std::uint64_t client_skips = 0;      ///< kIterationSkipped events seen
   std::uint64_t bytes_written = 0;     ///< accounted by storage plugins
@@ -42,9 +47,13 @@ struct ServerStats {
 
 class Server {
  public:
-  /// `server_index` selects this dedicated core's queue/index pair within
-  /// the node.  Plugins are instantiated from the configuration's actions.
-  Server(std::shared_ptr<NodeRuntime> node, int server_index);
+  /// `server_index` selects this server's index within the node (always 0
+  /// on a dedicated I/O rank); `transport` is the event intake + block
+  /// residency, `client_count` the number of clients whose stop events end
+  /// the run.  Plugins are instantiated from the configuration's actions.
+  Server(std::shared_ptr<NodeRuntime> node, int server_index,
+         std::unique_ptr<transport::ServerTransport> transport,
+         int client_count);
   ~Server();
 
   Server(const Server&) = delete;
@@ -74,6 +83,7 @@ class Server {
 
   std::shared_ptr<NodeRuntime> node_;
   int server_index_;
+  std::unique_ptr<transport::ServerTransport> transport_;
   int client_count_;
   std::vector<BoundAction> actions_;
   ServerStats stats_;

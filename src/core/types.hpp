@@ -1,47 +1,31 @@
 // Core identifiers and the event vocabulary of the Damaris-style runtime.
 //
-// Simulation cores talk to the dedicated cores of their node through a
-// bounded shared message queue (shm::BoundedQueue<Event>); data travels
-// separately through the shared-memory segment and is referenced from
-// events by BlockRef handles — the zero/one-copy design the paper credits
-// for Damaris's low write latency.
+// The vocabulary itself (Event, EventType, BackpressurePolicy,
+// DedicatedMode) lives in transport/message.hpp — it is the contract the
+// pluggable transports carry; core re-exports it and adds the server-side
+// metadata type.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "shm/segment.hpp"
+#include "transport/message.hpp"
 
 namespace dedicore::core {
 
-using VariableId = std::uint32_t;
-using Iteration = std::int64_t;
+using VariableId = transport::VariableId;
+using Iteration = transport::Iteration;
+using EventType = transport::EventType;
+using Event = transport::Event;
+using BackpressurePolicy = transport::BackpressurePolicy;
+using DedicatedMode = transport::DedicatedMode;
 
-/// What a queue message means to the dedicated core.
-enum class EventType : std::uint8_t {
-  kBlockWritten,   ///< a data block is ready in the segment
-  kEndIteration,   ///< the source rank finished iteration `iteration`
-  kUserSignal,     ///< user-defined event; `signal_id` selects the action
-  kIterationSkipped,  ///< source rank dropped this iteration (backpressure)
-  kClientStop,     ///< the source rank is shutting down
-};
-
-/// Fixed-size message traveling through the shared queue.
-struct Event {
-  EventType type = EventType::kBlockWritten;
-  int source = -1;            ///< writer's rank in the node communicator
-  Iteration iteration = 0;
-  VariableId variable = 0;    ///< kBlockWritten only
-  std::uint32_t block_id = 0; ///< distinguishes multiple blocks per (var, it, src)
-  std::uint32_t signal_id = 0;  ///< kUserSignal only
-  shm::BlockRef block;        ///< kBlockWritten only
-  /// Global element offsets of the block within the variable's grid.
-  std::uint64_t global_offset[4] = {0, 0, 0, 0};
-};
-
-/// Metadata describing one data block in the segment, as kept by the
+/// Metadata describing one data block held by a server, as kept by the
 /// server-side index ("all data blocks are indexed in a metadata structure
-/// that helps searching for particular blocks").
+/// that helps searching for particular blocks").  The block may be
+/// locally resident (shared segment) or received over MPI — either way the
+/// BlockRef resolves through the server's transport.
 struct BlockInfo {
   VariableId variable = 0;
   int source = -1;
@@ -54,23 +38,8 @@ struct BlockInfo {
   std::uint64_t global_offset[4] = {0, 0, 0, 0};
 };
 
-/// What to do when the shared segment or queue is full (§V.C.1): block the
-/// simulation until the dedicated core catches up, or drop (skip) the
-/// iteration's output to preserve the simulation's pace.
-///
-/// kAdaptive implements the paper's stated future work — "more elaborate
-/// techniques that will select portions of data carrying important
-/// scientific value are now being considered": under pressure, writes of
-/// variables with priority 0 are dropped individually while variables
-/// with priority > 0 keep the blocking guarantee, so the important data
-/// always reaches storage and the simulation never stalls on the rest.
-enum class BackpressurePolicy : std::uint8_t {
-  kBlock,
-  kSkipIteration,
-  kAdaptive,
-};
-
 std::string to_string(EventType type);
 std::string to_string(BackpressurePolicy policy);
+std::string to_string(DedicatedMode mode);
 
 }  // namespace dedicore::core

@@ -8,12 +8,11 @@
 
 namespace dedicore::fsim {
 
+// Time flows through common/clock so the virtual-time test hook applies:
+// under virtual time a modelled write advances the calling thread's clock
+// by exactly the modelled duration instead of blocking it.
 namespace {
-double steady_now() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+double steady_now() { return now_seconds(); }
 }  // namespace
 
 /// One object storage target: fair-shared bandwidth with lazy interference.

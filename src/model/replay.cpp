@@ -16,6 +16,7 @@ std::string_view strategy_name(Strategy s) noexcept {
     case Strategy::kDamaris: return "damaris";
     case Strategy::kDamarisThrottled: return "damaris+sched";
     case Strategy::kDamarisMsgPassing: return "damaris-msg";
+    case Strategy::kDedicatedNodes: return "dedicated-nodes";
   }
   return "?";
 }
@@ -393,6 +394,155 @@ void replay_damaris(ReplayContext& ctx, Strategy strategy) {
       1.0 - busy_total / (static_cast<double>(nodes * server_width) * span);
 }
 
+// ---------------------------------------------------------------------------
+// Dedicated I/O nodes: compute nodes keep every core for the simulation
+// and ship one aggregated buffer per iteration over the interconnect to
+// the I/O node serving their group.  Each I/O node runs cores_per_node
+// server workers and a bounded staging buffer shared by its whole group.
+// ---------------------------------------------------------------------------
+
+void replay_dedicated_nodes(ReplayContext& ctx) {
+  const int nodes = ctx.cluster.nodes();
+  const int clients = ctx.cluster.cores_per_node;  // full node computes
+  const int group = std::max(1, ctx.workload.compute_nodes_per_io_node);
+  const int io_nodes = (nodes + group - 1) / group;
+  const int server_width = ctx.cluster.cores_per_node;  // whole node serves
+  const int iterations = ctx.workload.iterations;
+  const double node_bytes =
+      static_cast<double>(ctx.workload.bytes_per_core) * clients;
+  // One interconnect traversal on the critical path (the I/O node receives
+  // directly; no intra-node forwarding hop as in the msg-passing ablation).
+  const double handoff_seconds =
+      node_bytes / ctx.workload.interconnect_bandwidth;
+  // The staging buffer is per I/O node and absorbs a whole group's output.
+  const auto slots = static_cast<int>(std::max<std::uint64_t>(
+      1, ctx.workload.node_buffer_bytes /
+             std::max<std::uint64_t>(1, static_cast<std::uint64_t>(node_bytes))));
+
+  struct ComputeActor {
+    int app_iteration = 0;
+    bool app_blocked = false;
+    double block_start = 0.0;
+    double pending_wait = 0.0;
+    Rng rng;
+  };
+  struct IoActor {
+    int slots_used = 0;
+    int servers_active = 0;
+    std::deque<std::pair<int, int>> ready;  ///< (compute node, iteration)
+    double server_busy_seconds = 0.0;
+  };
+  auto computes = std::make_shared<std::vector<ComputeActor>>(
+      static_cast<std::size_t>(nodes));
+  auto ios = std::make_shared<std::vector<IoActor>>(
+      static_cast<std::size_t>(io_nodes));
+  for (auto& a : *computes) a.rng = ctx.rng.split();
+
+  // Mutually recursive; by-ref captures (see replay_file_per_process).
+  std::function<void(int)> app_step;
+  std::function<void(int)> server_kick;
+
+  server_kick = [&ctx, computes, ios, &server_kick, &app_step, node_bytes,
+                 iterations, server_width, group](int io) {
+    IoActor& s = (*ios)[static_cast<std::size_t>(io)];
+    if (s.servers_active >= server_width || s.ready.empty()) return;
+    ++s.servers_active;
+    const int node = s.ready.front().first;
+    const int iteration = s.ready.front().second;
+    s.ready.pop_front();
+    const double busy_from = ctx.engine.now();
+
+    ctx.storage->mds_op([&ctx, computes, ios, &server_kick, &app_step,
+                         node_bytes, iterations, io, node, iteration,
+                         busy_from, group] {
+      const std::uint64_t file_index =
+          static_cast<std::uint64_t>(node) * static_cast<std::uint64_t>(iterations) +
+          static_cast<std::uint64_t>(iteration);
+      ctx.storage->write(
+          ctx.storage->stripe_chunks(file_index, node_bytes,
+                                     ctx.workload.damaris_stripe),
+          [&ctx, computes, ios, &server_kick, &app_step, io, node, busy_from,
+           group](double) {
+            IoActor& s = (*ios)[static_cast<std::size_t>(io)];
+            ++ctx.result.files_created;
+            const double busy = ctx.engine.now() - busy_from;
+            s.server_busy_seconds += busy;
+            ctx.result.hidden_io_seconds.add(busy);
+            --s.slots_used;
+            --s.servers_active;
+            // A freed slot may unblock any compute node of this group.
+            for (int n = io * group;
+                 n < std::min(static_cast<int>(computes->size()),
+                              (io + 1) * group);
+                 ++n) {
+              ComputeActor& a = (*computes)[static_cast<std::size_t>(n)];
+              if (a.app_blocked) {
+                a.app_blocked = false;
+                // Accumulate: a resumed node can lose the freed slot to a
+                // group peer and re-block, so one hand-off may pay several
+                // wait segments.
+                a.pending_wait += ctx.engine.now() - a.block_start;
+                ctx.engine.schedule_in(0.0, [&app_step, n] { app_step(n); });
+                break;
+              }
+            }
+            server_kick(io);
+          });
+    });
+  };
+
+  app_step = [&ctx, computes, ios, &app_step, &server_kick, clients,
+              iterations, handoff_seconds, slots, group](int node) {
+    ComputeActor& a = (*computes)[static_cast<std::size_t>(node)];
+    IoActor& s = (*ios)[static_cast<std::size_t>(node / group)];
+
+    if (s.slots_used >= slots) {
+      if (ctx.workload.policy == core::BackpressurePolicy::kBlock) {
+        if (!a.app_blocked) {
+          a.app_blocked = true;
+          a.block_start = ctx.engine.now();
+        }
+        return;  // resumed by a server completion in this group
+      }
+      // Skip policy: this iteration's output is dropped entirely.
+      ++ctx.result.iterations_skipped;
+      for (int c = 0; c < clients; ++c) ctx.result.visible_io_seconds.add(0.0);
+    } else {
+      ++s.slots_used;
+      const double visible = handoff_seconds + a.pending_wait;
+      a.pending_wait = 0.0;
+      for (int c = 0; c < clients; ++c) ctx.result.visible_io_seconds.add(visible);
+      const int iteration = a.app_iteration;
+      const int io = node / group;
+      ctx.engine.schedule_in(handoff_seconds, [&ctx, ios, &server_kick, io,
+                                               node, iteration] {
+        (*ios)[static_cast<std::size_t>(io)].ready.emplace_back(node, iteration);
+        server_kick(io);
+      });
+    }
+
+    if (++a.app_iteration < iterations) {
+      ctx.engine.schedule_in(ctx.compute_time(a.rng),
+                             [&app_step, node] { app_step(node); });
+    } else {
+      ctx.app_finish = std::max(ctx.app_finish, ctx.engine.now() + handoff_seconds);
+    }
+  };
+
+  for (int node = 0; node < nodes; ++node) {
+    ComputeActor& a = (*computes)[static_cast<std::size_t>(node)];
+    ctx.engine.schedule_in(ctx.compute_time(a.rng),
+                           [&app_step, node] { app_step(node); });
+  }
+  ctx.engine.run();
+
+  double busy_total = 0.0;
+  for (const auto& s : *ios) busy_total += s.server_busy_seconds;
+  const double span = std::max(ctx.engine.now(), 1e-9);
+  ctx.result.dedicated_idle_fraction =
+      1.0 - busy_total / (static_cast<double>(io_nodes * server_width) * span);
+}
+
 }  // namespace
 
 ReplayResult replay(Strategy strategy, const ClusterSpec& cluster,
@@ -416,6 +566,9 @@ ReplayResult replay(Strategy strategy, const ClusterSpec& cluster,
     case Strategy::kDamarisMsgPassing:
       replay_damaris(ctx, strategy);
       break;
+    case Strategy::kDedicatedNodes:
+      replay_dedicated_nodes(ctx);
+      break;
   }
 
   ReplayResult& r = ctx.result;
@@ -430,10 +583,13 @@ ReplayResult replay(Strategy strategy, const ClusterSpec& cluster,
   r.mds_operations = ctx.storage->mds_operations();
   r.total_bytes = static_cast<std::uint64_t>(ctx.storage->bytes_written());
   r.compute_only_seconds = workload.compute_seconds * workload.iterations;
-  const int compute_cores = (strategy == Strategy::kFilePerProcess ||
-                             strategy == Strategy::kCollective)
-                                ? cluster.total_cores
-                                : cluster.nodes() * cluster.clients_per_node();
+  // Dedicated-nodes keeps every core of the compute nodes computing; the
+  // dedicated-cores strategies give up dedicated_cores per node.
+  const int compute_cores = (strategy == Strategy::kDamaris ||
+                             strategy == Strategy::kDamarisThrottled ||
+                             strategy == Strategy::kDamarisMsgPassing)
+                                ? cluster.nodes() * cluster.clients_per_node()
+                                : cluster.total_cores;
   double stall_total = 0.0;
   for (double v : r.visible_io_seconds.samples()) stall_total += v;
   if (strategy == Strategy::kCollective) {

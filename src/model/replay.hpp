@@ -26,6 +26,13 @@ enum class Strategy {
   /// memory (the design of [9] in the paper) — two extra copies through
   /// the interconnect on the critical path.
   kDamarisMsgPassing,
+  /// Dedicated I/O *nodes* (DataSpaces/IOFSL-style placement, the
+  /// runtime's dedicated_mode=nodes): every core of a compute node runs
+  /// the simulation, each compute node ships its output once over the
+  /// interconnect to an I/O node serving `compute_nodes_per_io_node`
+  /// compute nodes.  No core is sacrificed, but hand-off pays interconnect
+  /// bandwidth and the (fewer) I/O nodes absorb a whole group's traffic.
+  kDedicatedNodes,
 };
 
 std::string_view strategy_name(Strategy s) noexcept;
@@ -56,6 +63,10 @@ struct WorkloadSpec {
   std::uint64_t node_buffer_bytes = 4ull << 30;  ///< Damaris segment size
   core::BackpressurePolicy policy = core::BackpressurePolicy::kBlock;
   int throttle_max_nodes = 0;    ///< kDamarisThrottled admission width
+  /// kDedicatedNodes: compute nodes per dedicated I/O node (the paper's
+  /// comparison systems provision roughly one I/O node per 16-64 compute
+  /// nodes).
+  int compute_nodes_per_io_node = 16;
 };
 
 struct ReplayResult {

@@ -6,6 +6,7 @@ core::Configuration make_cm1_configuration(const Cm1WorkloadOptions& options) {
   core::Configuration cfg;
   cfg.set_simulation_name("cm1");
   cfg.set_architecture(options.cores_per_node, options.dedicated_cores);
+  cfg.set_dedicated_mode(options.dedicated_mode, options.dedicated_nodes);
   cfg.set_buffer(options.buffer_size, options.queue_capacity, options.policy);
 
   core::LayoutSpec grid;
@@ -60,6 +61,7 @@ core::Configuration make_nek_configuration(const NekWorkloadOptions& options) {
   core::Configuration cfg;
   cfg.set_simulation_name("nek5000");
   cfg.set_architecture(options.cores_per_node, options.dedicated_cores);
+  cfg.set_dedicated_mode(options.dedicated_mode, options.dedicated_nodes);
   cfg.set_buffer(options.buffer_size, 4096, options.policy);
 
   core::LayoutSpec grid;

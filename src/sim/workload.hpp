@@ -16,6 +16,10 @@ struct Cm1WorkloadOptions {
   std::uint64_t nx = 24, ny = 24, nz = 24;  ///< per-core block
   int cores_per_node = 12;                   ///< Kraken XT5 topology
   int dedicated_cores = 1;
+  /// Deployment topology: dedicated cores per node (shm transport) or
+  /// dedicated I/O nodes at the end of the world (mpi transport).
+  core::DedicatedMode dedicated_mode = core::DedicatedMode::kCores;
+  int dedicated_nodes = 1;                   ///< kNodes mode only
   std::uint64_t buffer_size = 256ull << 20;
   std::size_t queue_capacity = 4096;
   core::BackpressurePolicy policy = core::BackpressurePolicy::kBlock;
@@ -40,6 +44,8 @@ struct NekWorkloadOptions {
   std::uint64_t nx = 24, ny = 24, nz = 24;
   int cores_per_node = 8;
   int dedicated_cores = 1;
+  core::DedicatedMode dedicated_mode = core::DedicatedMode::kCores;
+  int dedicated_nodes = 1;                   ///< kNodes mode only
   std::uint64_t buffer_size = 256ull << 20;
   core::BackpressurePolicy policy = core::BackpressurePolicy::kSkipIteration;
   bool write_images = false;

@@ -1,0 +1,76 @@
+// The event vocabulary of the data path — the contract every transport
+// backend carries.
+//
+// Simulation cores talk to dedicated I/O cores (or dedicated I/O nodes)
+// through two coupled channels: a *control* channel of fixed-size events
+// and a *data* channel of blocks referenced from those events by BlockRef
+// handles.  The shared-memory backend keeps blocks in a node-local segment
+// and ships only the handles; the MPI backend ships the payload with the
+// event and re-homes it in the receiving server's segment.  Either way the
+// server sees the same Event stream, which is why this vocabulary lives in
+// the transport layer rather than in core.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "shm/segment.hpp"
+
+namespace dedicore::transport {
+
+using VariableId = std::uint32_t;
+using Iteration = std::int64_t;
+
+/// What a delivered message means to the dedicated core.
+enum class EventType : std::uint8_t {
+  kBlockWritten,   ///< a data block is ready (resident or shipped)
+  kEndIteration,   ///< the source rank finished iteration `iteration`
+  kUserSignal,     ///< user-defined event; `signal_id` selects the action
+  kIterationSkipped,  ///< source rank dropped this iteration (backpressure)
+  kClientStop,     ///< the source rank is shutting down
+};
+
+/// Fixed-size message traveling through a transport.  Trivially copyable
+/// so the MPI backend can serialize it as raw bytes.
+struct Event {
+  EventType type = EventType::kBlockWritten;
+  int source = -1;            ///< writer's client index (unique per server)
+  Iteration iteration = 0;
+  VariableId variable = 0;    ///< kBlockWritten only
+  std::uint32_t block_id = 0; ///< distinguishes multiple blocks per (var, it, src)
+  std::uint32_t signal_id = 0;  ///< kUserSignal only
+  shm::BlockRef block;        ///< kBlockWritten only
+  /// Global element offsets of the block within the variable's grid.
+  std::uint64_t global_offset[4] = {0, 0, 0, 0};
+};
+
+static_assert(std::is_trivially_copyable_v<Event>,
+              "Event is wire-serialized by the MPI transport");
+
+/// What to do when the block store or event channel is full (§V.C.1 of the
+/// paper): block the simulation until the dedicated core catches up, or
+/// drop (skip) the iteration's output to preserve the simulation's pace.
+///
+/// kAdaptive implements the paper's stated future work — "more elaborate
+/// techniques that will select portions of data carrying important
+/// scientific value are now being considered": under pressure, writes of
+/// variables with priority 0 are dropped individually while variables
+/// with priority > 0 keep the blocking guarantee, so the important data
+/// always reaches storage and the simulation never stalls on the rest.
+enum class BackpressurePolicy : std::uint8_t {
+  kBlock,
+  kSkipIteration,
+  kAdaptive,
+};
+
+/// Where the dedicated resources live (§II discusses both placements):
+/// kCores — the paper's design: the last `dedicated_cores` ranks of every
+///   SMP node serve their node mates through shared memory;
+/// kNodes — DataSpaces/IOFSL-style placement: the last `dedicated_nodes`
+///   ranks of the *world* act as I/O nodes fed over the interconnect.
+enum class DedicatedMode : std::uint8_t {
+  kCores,
+  kNodes,
+};
+
+}  // namespace dedicore::transport

@@ -1,0 +1,197 @@
+#include "transport/mpi_transport.hpp"
+
+#include <cstring>
+
+namespace dedicore::transport {
+
+namespace {
+
+/// Credits are debited/returned in aligned units so both sides agree even
+/// though the server's allocator rounds internally.
+std::uint64_t aligned(std::uint64_t size) { return (size + 7) & ~std::uint64_t{7}; }
+
+/// Staged blocks reserve wire-header space in front of the payload so
+/// publish() can serialize without copying the payload.
+constexpr std::uint64_t kHeaderBytes = sizeof(Event);
+
+std::uint64_t credit_from(const minimpi::Message& message) {
+  std::uint64_t returned = 0;
+  DEDICORE_CHECK(message.payload.size() == sizeof(returned),
+                 "MpiClientTransport: malformed credit message");
+  std::memcpy(&returned, message.payload.data(), sizeof(returned));
+  return returned;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MpiClientTransport
+// ---------------------------------------------------------------------------
+
+MpiClientTransport::MpiClientTransport(minimpi::Comm comm, int server_rank,
+                                       std::uint64_t credit_bytes)
+    : comm_(std::move(comm)),
+      server_rank_(server_rank),
+      credit_limit_(credit_bytes),
+      credits_(credit_bytes) {
+  DEDICORE_CHECK(comm_.valid(), "MpiClientTransport: invalid communicator");
+  DEDICORE_CHECK(server_rank >= 0 && server_rank < comm_.size(),
+                 "MpiClientTransport: server rank out of range");
+  DEDICORE_CHECK(credit_bytes > 0, "MpiClientTransport: zero credit budget");
+}
+
+void MpiClientTransport::drain_credits() {
+  while (auto m = comm_.try_recv(server_rank_, kTagCredit))
+    credits_ += credit_from(*m);
+}
+
+std::optional<shm::BlockRef> MpiClientTransport::try_acquire(
+    std::uint64_t size) {
+  const std::uint64_t need = aligned(size);
+  drain_credits();
+  if (need > credits_) {
+    ++stats_.acquire_failures;
+    return std::nullopt;
+  }
+  credits_ -= need;
+  const shm::BlockRef ref{next_offset_, size};
+  next_offset_ += need;
+  staging_.emplace(ref.offset, std::vector<std::byte>(kHeaderBytes + size));
+  return ref;
+}
+
+std::optional<shm::BlockRef> MpiClientTransport::acquire_blocking(
+    std::uint64_t size) {
+  const std::uint64_t need = aligned(size);
+  if (need > credit_limit_) return std::nullopt;  // can never fit
+  drain_credits();
+  while (need > credits_) {
+    // The analogue of blocking on a full segment: wait for the server to
+    // release blocks and return their credit.
+    ++stats_.credit_waits;
+    credits_ += credit_from(comm_.recv(server_rank_, kTagCredit));
+  }
+  credits_ -= need;
+  const shm::BlockRef ref{next_offset_, size};
+  next_offset_ += need;
+  staging_.emplace(ref.offset, std::vector<std::byte>(kHeaderBytes + size));
+  return ref;
+}
+
+std::span<std::byte> MpiClientTransport::view(const shm::BlockRef& block) {
+  auto it = staging_.find(block.offset);
+  DEDICORE_CHECK(it != staging_.end(),
+                 "MpiClientTransport: view of an unknown block");
+  return std::span<std::byte>(it->second).subspan(kHeaderBytes);
+}
+
+void MpiClientTransport::abandon(const shm::BlockRef& block) {
+  auto it = staging_.find(block.offset);
+  DEDICORE_CHECK(it != staging_.end(),
+                 "MpiClientTransport: abandon of an unknown block");
+  credits_ += aligned(it->second.size() - kHeaderBytes);
+  staging_.erase(it);
+}
+
+bool MpiClientTransport::publish(const Event& event) {
+  auto it = staging_.find(event.block.offset);
+  DEDICORE_CHECK(it != staging_.end(),
+                 "MpiClientTransport: publish of an unknown block");
+  // The staging buffer already reserves header space: stamp the event into
+  // the prefix and move the whole buffer to the wire — no payload copy.
+  std::vector<std::byte> wire = std::move(it->second);
+  staging_.erase(it);
+  std::memcpy(wire.data(), &event, kHeaderBytes);
+  stats_.bytes_shipped += wire.size() - kHeaderBytes;
+  ++stats_.blocks_shipped;
+  ++stats_.events_sent;
+  comm_.send_bytes(std::move(wire), server_rank_, kTagEvent);
+  return true;  // credit returns when the server releases the block
+}
+
+Status MpiClientTransport::try_publish(const Event& event) {
+  // Sends are buffered and the event channel is unbounded; flow control
+  // already happened at acquire time, so this never reports WOULD_BLOCK.
+  publish(event);
+  return Status::ok();
+}
+
+bool MpiClientTransport::post(const Event& event) {
+  std::vector<std::byte> wire(kHeaderBytes);
+  std::memcpy(wire.data(), &event, kHeaderBytes);
+  comm_.send_bytes(std::move(wire), server_rank_, kTagEvent);
+  ++stats_.events_sent;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// MpiServerTransport
+// ---------------------------------------------------------------------------
+
+MpiServerTransport::MpiServerTransport(minimpi::Comm comm,
+                                       std::shared_ptr<ShmFabric> fabric)
+    : comm_(std::move(comm)),
+      fabric_(std::move(fabric)),
+      next_spill_offset_(fabric_->segment.capacity()) {
+  DEDICORE_CHECK(comm_.valid(), "MpiServerTransport: invalid communicator");
+}
+
+std::optional<Event> MpiServerTransport::next_event() {
+  minimpi::Message m = comm_.recv(minimpi::kAnySource, kTagEvent);
+  DEDICORE_CHECK(m.payload.size() >= kHeaderBytes,
+                 "MpiServerTransport: short event message");
+  Event event;
+  std::memcpy(&event, m.payload.data(), kHeaderBytes);
+  ++stats_.events_received;
+  if (event.type != EventType::kBlockWritten) return event;
+
+  const std::uint64_t bytes = m.payload.size() - kHeaderBytes;
+  DEDICORE_CHECK(bytes == event.block.size,
+                 "MpiServerTransport: payload size does not match block ref");
+  const std::span<const std::byte> payload(m.payload.data() + kHeaderBytes,
+                                           bytes);
+  Resident info;
+  info.source_rank = m.source;
+  info.credit = aligned(bytes);
+
+  // Re-home the payload in the local segment; the credit protocol bounds
+  // total residency by the segment capacity, but first-fit fragmentation
+  // can still refuse a fitting block — spill to the heap rather than
+  // deadlocking a single-threaded server on its own free.
+  shm::BlockRef ref;
+  if (auto placed = fabric_->segment.try_allocate(bytes)) {
+    ref = *placed;
+    std::memcpy(fabric_->segment.view(ref).data(), payload.data(), bytes);
+  } else {
+    ref = shm::BlockRef{next_spill_offset_, bytes};
+    next_spill_offset_ += info.credit;
+    info.spill.assign(payload.begin(), payload.end());
+  }
+  resident_.emplace(ref.offset, std::move(info));
+  event.block = ref;
+  ++stats_.blocks_received_remote;
+  stats_.bytes_received_remote += bytes;
+  return event;
+}
+
+std::span<const std::byte> MpiServerTransport::view(
+    const shm::BlockRef& block) {
+  auto it = resident_.find(block.offset);
+  DEDICORE_CHECK(it != resident_.end(),
+                 "MpiServerTransport: view of an unknown block");
+  if (!it->second.spill.empty())
+    return std::span<const std::byte>(it->second.spill);
+  return std::as_const(fabric_->segment).view(block);
+}
+
+void MpiServerTransport::release(const shm::BlockRef& block) {
+  auto it = resident_.find(block.offset);
+  DEDICORE_CHECK(it != resident_.end(),
+                 "MpiServerTransport: release of an unknown block");
+  const Resident info = std::move(it->second);
+  resident_.erase(it);
+  if (info.spill.empty()) fabric_->segment.deallocate(block);
+  comm_.send_value(info.credit, info.source_rank, kTagCredit);
+}
+
+}  // namespace dedicore::transport

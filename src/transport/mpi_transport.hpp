@@ -1,0 +1,101 @@
+// MpiTransport — dedicated-*nodes* data path over minimpi point-to-point.
+//
+// Instead of sharing a segment with its server, a client stages each block
+// in private memory and ships event + payload in one tagged message; the
+// server re-homes arriving payloads in its own node-local segment so the
+// downstream pipeline (index, plugins, release) is identical to the
+// shared-memory path.
+//
+// Backpressure cannot ride on a shared allocator here, so it is
+// credit-based: each client starts with a byte budget (its share of the
+// server's segment), debits it on acquire, and gets credit back in a
+// kTagCredit message when the server releases the block after the plugin
+// pipeline.  acquire_blocking waits on the credit channel — the exact
+// analogue of blocking on a full segment — and try_acquire fails when the
+// budget is spent, which is what the skip/adaptive policies key off.
+//
+// Per-pair FIFO of minimpi messages gives the same ordering guarantee as
+// the bounded queue: a server sees every block of a client's iteration
+// before that iteration's close event.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "minimpi/minimpi.hpp"
+#include "transport/shm_transport.hpp"
+#include "transport/transport.hpp"
+
+namespace dedicore::transport {
+
+/// Tags used by the MPI backend (below minimpi's reserved collective
+/// range, above anything the examples use on the world communicator).
+inline constexpr int kTagEvent = (1 << 20) + 1;
+inline constexpr int kTagCredit = (1 << 20) + 2;
+
+class MpiClientTransport final : public ClientTransport {
+ public:
+  /// `comm` is the communicator both endpoints live in (the world in a
+  /// dedicated-nodes deployment); `server_rank` the dedicated I/O rank
+  /// serving this client; `credit_bytes` this client's share of the
+  /// server's segment.
+  MpiClientTransport(minimpi::Comm comm, int server_rank,
+                     std::uint64_t credit_bytes);
+
+  std::optional<shm::BlockRef> try_acquire(std::uint64_t size) override;
+  std::optional<shm::BlockRef> acquire_blocking(std::uint64_t size) override;
+  std::span<std::byte> view(const shm::BlockRef& block) override;
+  void abandon(const shm::BlockRef& block) override;
+  bool publish(const Event& event) override;
+  Status try_publish(const Event& event) override;
+  bool post(const Event& event) override;
+  [[nodiscard]] TransportStats stats() const override { return stats_; }
+
+  [[nodiscard]] std::uint64_t credits() const noexcept { return credits_; }
+
+ private:
+  /// Consumes any credit-return messages waiting in the mailbox.
+  void drain_credits();
+
+  minimpi::Comm comm_;
+  int server_rank_;
+  const std::uint64_t credit_limit_;
+  std::uint64_t credits_;
+  std::uint64_t next_offset_ = 0;  ///< synthetic BlockRef offsets
+  /// Acquired-but-unpublished blocks; each buffer reserves sizeof(Event)
+  /// of header space in front of the payload so publish() serializes
+  /// without copying (view() returns the subspan past the header).
+  std::unordered_map<std::uint64_t, std::vector<std::byte>> staging_;
+  TransportStats stats_;
+};
+
+class MpiServerTransport final : public ServerTransport {
+ public:
+  /// `fabric` provides the local segment arriving payloads are re-homed
+  /// in (its queues are unused; pass queue_count = 0).
+  MpiServerTransport(minimpi::Comm comm, std::shared_ptr<ShmFabric> fabric);
+
+  std::optional<Event> next_event() override;
+  std::span<const std::byte> view(const shm::BlockRef& block) override;
+  void release(const shm::BlockRef& block) override;
+  [[nodiscard]] TransportStats stats() const override { return stats_; }
+
+ private:
+  /// A block that arrived over the wire: who to credit on release, and —
+  /// when the segment was too fragmented to place it — its spill storage.
+  struct Resident {
+    int source_rank = -1;
+    std::uint64_t credit = 0;
+    std::vector<std::byte> spill;  ///< empty when segment-resident
+  };
+
+  minimpi::Comm comm_;
+  std::shared_ptr<ShmFabric> fabric_;
+  std::unordered_map<std::uint64_t, Resident> resident_;
+  std::uint64_t next_spill_offset_;  ///< offsets >= capacity mark spills
+  TransportStats stats_;
+};
+
+}  // namespace dedicore::transport

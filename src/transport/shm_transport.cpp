@@ -1,0 +1,79 @@
+#include "transport/shm_transport.hpp"
+
+namespace dedicore::transport {
+
+namespace {
+
+shm::BoundedQueue<Event>& queue_of(ShmFabric& fabric, int server_index) {
+  DEDICORE_CHECK(server_index >= 0 &&
+                     server_index < static_cast<int>(fabric.queues.size()),
+                 "ShmTransport: server_index out of range");
+  return *fabric.queues[static_cast<std::size_t>(server_index)];
+}
+
+}  // namespace
+
+ShmClientTransport::ShmClientTransport(std::shared_ptr<ShmFabric> fabric,
+                                       int server_index)
+    : fabric_(std::move(fabric)), queue_(queue_of(*fabric_, server_index)) {}
+
+std::optional<shm::BlockRef> ShmClientTransport::try_acquire(
+    std::uint64_t size) {
+  auto ref = fabric_->segment.try_allocate(size);
+  if (!ref) ++stats_.acquire_failures;
+  return ref;
+}
+
+std::optional<shm::BlockRef> ShmClientTransport::acquire_blocking(
+    std::uint64_t size) {
+  return fabric_->segment.allocate_blocking(size);
+}
+
+std::span<std::byte> ShmClientTransport::view(const shm::BlockRef& block) {
+  return fabric_->segment.view(block);
+}
+
+void ShmClientTransport::abandon(const shm::BlockRef& block) {
+  fabric_->segment.deallocate(block);
+}
+
+bool ShmClientTransport::publish(const Event& event) {
+  if (!queue_.push(event)) return false;
+  ++stats_.events_sent;
+  return true;
+}
+
+Status ShmClientTransport::try_publish(const Event& event) {
+  const Status pushed = queue_.try_push(event);
+  if (pushed) ++stats_.events_sent;
+  return pushed;
+}
+
+bool ShmClientTransport::post(const Event& event) {
+  if (!queue_.push(event)) return false;
+  ++stats_.events_sent;
+  return true;
+}
+
+ShmServerTransport::ShmServerTransport(std::shared_ptr<ShmFabric> fabric,
+                                       int server_index)
+    : fabric_(std::move(fabric)), queue_(queue_of(*fabric_, server_index)) {}
+
+std::optional<Event> ShmServerTransport::next_event() {
+  auto event = queue_.pop();
+  if (event) ++stats_.events_received;
+  return event;
+}
+
+std::span<const std::byte> ShmServerTransport::view(
+    const shm::BlockRef& block) {
+  return std::as_const(fabric_->segment).view(block);
+}
+
+void ShmServerTransport::release(const shm::BlockRef& block) {
+  fabric_->segment.deallocate(block);
+}
+
+void ShmServerTransport::close_intake() { queue_.close(); }
+
+}  // namespace dedicore::transport

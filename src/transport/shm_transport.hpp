@@ -1,0 +1,85 @@
+// ShmTransport — the paper's zero-copy data path: one shared-memory
+// segment per node plus one bounded event queue per dedicated core.
+//
+// Clients allocate blocks straight out of the shared segment (so write()
+// costs one memcpy and alloc/commit costs zero) and push only the
+// fixed-size Event through the queue; servers read the same segment and
+// free blocks after the plugin pipeline ran.  Backpressure is the
+// segment's bounded capacity and the queue's bounded length, exactly as in
+// §V.C.1.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "shm/bounded_queue.hpp"
+#include "transport/transport.hpp"
+
+namespace dedicore::transport {
+
+/// The node-local shared state both shm endpoints attach to: the segment
+/// and one event queue per local server.  Cores mode shares one instance
+/// across all ranks of a node; an MPI I/O node builds a queue-less one
+/// (queue_count = 0) purely as residency for received blocks.
+struct ShmFabric {
+  ShmFabric(std::uint64_t segment_capacity, int queue_count,
+            std::size_t queue_capacity)
+      : segment(segment_capacity) {
+    queues.reserve(static_cast<std::size_t>(queue_count));
+    for (int q = 0; q < queue_count; ++q)
+      queues.push_back(
+          std::make_unique<shm::BoundedQueue<Event>>(queue_capacity));
+  }
+
+  shm::Segment segment;
+  std::vector<std::unique_ptr<shm::BoundedQueue<Event>>> queues;
+
+  /// Closes every queue and unblocks segment waiters (shutdown path and
+  /// the conformance suite's close/drain scenario).
+  void close() {
+    for (auto& queue : queues) queue->close();
+    segment.close();
+  }
+};
+
+class ShmClientTransport final : public ClientTransport {
+ public:
+  /// Attaches to `fabric` as a producer for the server owning
+  /// `fabric->queues[server_index]`.
+  ShmClientTransport(std::shared_ptr<ShmFabric> fabric, int server_index);
+
+  std::optional<shm::BlockRef> try_acquire(std::uint64_t size) override;
+  std::optional<shm::BlockRef> acquire_blocking(std::uint64_t size) override;
+  std::span<std::byte> view(const shm::BlockRef& block) override;
+  void abandon(const shm::BlockRef& block) override;
+  bool publish(const Event& event) override;
+  Status try_publish(const Event& event) override;
+  bool post(const Event& event) override;
+  [[nodiscard]] TransportStats stats() const override { return stats_; }
+
+ private:
+  std::shared_ptr<ShmFabric> fabric_;
+  shm::BoundedQueue<Event>& queue_;
+  TransportStats stats_;
+};
+
+class ShmServerTransport final : public ServerTransport {
+ public:
+  ShmServerTransport(std::shared_ptr<ShmFabric> fabric, int server_index);
+
+  std::optional<Event> next_event() override;
+  std::span<const std::byte> view(const shm::BlockRef& block) override;
+  void release(const shm::BlockRef& block) override;
+  [[nodiscard]] TransportStats stats() const override { return stats_; }
+
+  /// Closes this server's intake queue; next_event() drains what is left
+  /// and then returns nullopt.
+  void close_intake();
+
+ private:
+  std::shared_ptr<ShmFabric> fabric_;
+  shm::BoundedQueue<Event>& queue_;
+  TransportStats stats_;
+};
+
+}  // namespace dedicore::transport

@@ -1,0 +1,115 @@
+// The pluggable transport abstraction: block placement + event delivery
+// between simulation cores (clients) and dedicated cores (servers).
+//
+// The contract factored out of the original hard-wired shared-memory path:
+//
+//  * a client *acquires* a writable block (blocking or not — the caller
+//    implements the backpressure policy on top of these two primitives),
+//    fills it through view(), then *publishes* a kBlockWritten event that
+//    references it — after a successful publish the block belongs to the
+//    receiving server;
+//  * control events (end-iteration, user signals, stop) travel through
+//    post() on the same ordered channel, so a server sees every block of
+//    an iteration before that iteration's close;
+//  * the server consumes the merged event stream with next_event(), reads
+//    block payloads through its own view(), and *releases* blocks once the
+//    plugin pipeline is done with them — which is also the moment
+//    backpressure relaxes (segment space frees / credit returns).
+//
+// Guarantees every backend must provide (checked by tests/transport_test):
+//  * per-client FIFO: events from one client arrive in publish/post order;
+//  * no loss, no duplication of published blocks;
+//  * try_acquire fails (rather than blocks) when the bounded resource is
+//    exhausted, and acquire_blocking succeeds once blocks are released;
+//  * payload bytes survive the trip unmodified;
+//  * orderly shutdown: after every client posts kClientStop, all prior
+//    events have been (or will be) delivered — nothing is dropped.  The
+//    shm backend additionally supports an explicit close that drains
+//    pending events and then refuses further publishes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/status.hpp"
+#include "shm/segment.hpp"
+#include "transport/message.hpp"
+
+namespace dedicore::transport {
+
+/// Data-path observability, uniform across backends.  "remote" counters
+/// stay zero on the shared-memory backend; they are how a dedicated-nodes
+/// deployment proves blocks actually traveled over MPI.
+struct TransportStats {
+  std::uint64_t events_sent = 0;
+  std::uint64_t events_received = 0;
+  std::uint64_t blocks_shipped = 0;        ///< payloads serialized to the wire
+  std::uint64_t bytes_shipped = 0;
+  std::uint64_t blocks_received_remote = 0;  ///< payloads re-homed on arrival
+  std::uint64_t bytes_received_remote = 0;
+  std::uint64_t acquire_failures = 0;      ///< try_acquire refusals
+  std::uint64_t credit_waits = 0;          ///< blocking waits for flow credit
+};
+
+/// Client-side endpoint toward one server.  Not thread-safe: one client
+/// rank owns one instance.
+class ClientTransport {
+ public:
+  virtual ~ClientTransport() = default;
+
+  /// Nonblocking block reservation; nullopt when the bounded resource
+  /// (segment space or flow credit) cannot fit `size` right now.
+  virtual std::optional<shm::BlockRef> try_acquire(std::uint64_t size) = 0;
+
+  /// Blocking reservation: waits for space/credit.  Returns nullopt only
+  /// when `size` can never fit, or — on backends with an explicit close
+  /// (shm) — when the transport is closed while waiting.  The MPI backend
+  /// has no close: its lifecycle ends through the kClientStop protocol,
+  /// and the wait relies on the server releasing blocks (liveness holds
+  /// whenever one iteration fits the credit budget, the same requirement
+  /// a shared segment places on its capacity).
+  virtual std::optional<shm::BlockRef> acquire_blocking(std::uint64_t size) = 0;
+
+  /// Writable bytes of an acquired (not yet published) block.
+  virtual std::span<std::byte> view(const shm::BlockRef& block) = 0;
+
+  /// Returns an acquired block without publishing it (undo of acquire).
+  virtual void abandon(const shm::BlockRef& block) = 0;
+
+  /// Delivers a kBlockWritten event; on success ownership of event.block
+  /// passes to the server.  Blocking flavor returns false when the
+  /// transport is closed; the caller then abandons the block.
+  virtual bool publish(const Event& event) = 0;
+
+  /// Nonblocking flavor: WOULD_BLOCK when the event channel is full (the
+  /// skip/adaptive policies key off it), CLOSED after shutdown.
+  virtual Status try_publish(const Event& event) = 0;
+
+  /// Delivers a control event (no block payload); false when closed.
+  virtual bool post(const Event& event) = 0;
+
+  [[nodiscard]] virtual TransportStats stats() const = 0;
+};
+
+/// Server-side endpoint: the merged intake of all clients assigned to one
+/// server.  Not thread-safe: one server rank owns one instance.
+class ServerTransport {
+ public:
+  virtual ~ServerTransport() = default;
+
+  /// Blocking: the next event addressed to this server, with any block
+  /// payload locally resident.  nullopt when the transport was closed and
+  /// every pending event has been drained.
+  virtual std::optional<Event> next_event() = 0;
+
+  /// Read-only bytes of a block delivered by next_event().
+  virtual std::span<const std::byte> view(const shm::BlockRef& block) = 0;
+
+  /// Frees a delivered block; relaxes backpressure toward its producer.
+  virtual void release(const shm::BlockRef& block) = 0;
+
+  [[nodiscard]] virtual TransportStats stats() const = 0;
+};
+
+}  // namespace dedicore::transport

@@ -49,6 +49,35 @@ TEST(ConfigurationTest, ParsesFullDocument) {
   EXPECT_EQ(cfg.storage().max_concurrent_nodes, 4);
 }
 
+TEST(ConfigurationTest, DedicatedModeDefaultsToCores) {
+  const Configuration cfg = Configuration::from_string(kFullDocument);
+  EXPECT_EQ(cfg.dedicated_mode(), DedicatedMode::kCores);
+  EXPECT_EQ(cfg.dedicated_nodes(), 1);
+}
+
+TEST(ConfigurationTest, DedicatedNodesModeParses) {
+  const Configuration cfg = Configuration::from_string(R"(
+    <simulation dedicated_mode="nodes" dedicated_nodes="3">
+      <data>
+        <layout name="l" dimensions="8"/>
+        <variable name="v" layout="l"/>
+      </data>
+    </simulation>)");
+  EXPECT_EQ(cfg.dedicated_mode(), DedicatedMode::kNodes);
+  EXPECT_EQ(cfg.dedicated_nodes(), 3);
+  EXPECT_EQ(to_string(DedicatedMode::kNodes), "nodes");
+  EXPECT_EQ(to_string(DedicatedMode::kCores), "cores");
+}
+
+TEST(ConfigurationTest, BadDedicatedModeRejected) {
+  EXPECT_THROW(Configuration::from_string(
+                   R"(<simulation dedicated_mode="racks"/>)"),
+               ConfigError);
+  EXPECT_THROW(Configuration::from_string(
+                   R"(<simulation dedicated_mode="nodes" dedicated_nodes="0"/>)"),
+               ConfigError);
+}
+
 TEST(ConfigurationTest, LayoutLookupAndSizes) {
   const Configuration cfg = Configuration::from_string(kFullDocument);
   const LayoutSpec& grid = cfg.layout("grid3d");

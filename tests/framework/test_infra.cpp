@@ -148,5 +148,17 @@ std::string rstrip(const std::string& s) {
   }
 }
 
+SegmentPressure::SegmentPressure(shm::Segment& segment, std::uint64_t bytes)
+    : segment_(segment), held_(segment.try_allocate(bytes)) {
+  DEDICORE_CHECK(held_.has_value(),
+                 "SegmentPressure: could not pin the requested bytes — "
+                 "construct the fixture before the system under test "
+                 "allocates");
+}
+
+SegmentPressure::~SegmentPressure() {
+  if (held_) segment_.deallocate(*held_);
+}
+
 }  // namespace testing
 }  // namespace dedicore

@@ -7,19 +7,26 @@
 //     recursive cleanup,
 //   - deterministic per-test RNG seeding (stable across runs, distinct per
 //     test, overridable with DEDICORE_TEST_SEED for bisecting),
-//   - golden-table comparison producing a readable diff of Table contents.
+//   - golden-table comparison producing a readable diff of Table contents,
+//   - deterministic timing/backpressure hooks: VirtualTimeScope (per-thread
+//     virtual clocks, see common/clock.hpp) and SegmentPressure (pins
+//     segment bytes so backpressure engages by construction, not by racing
+//     the server).
 #pragma once
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "common/table.hpp"
+#include "shm/segment.hpp"
 
 namespace dedicore {
 namespace testing {
@@ -89,6 +96,42 @@ std::uint64_t test_seed();
 /// Rng already seeded with test_seed().  Mix in `stream` to draw several
 /// unrelated streams inside one test.
 Rng make_rng(std::uint64_t stream = 0);
+
+// ---------------------------------------------------------------------------
+// Deterministic timing / backpressure hooks
+// ---------------------------------------------------------------------------
+
+/// Enables virtual time (common/clock.hpp) for the scope's lifetime: each
+/// thread's sleeps advance its own virtual clock instantly, and Stopwatch
+/// measures exactly what the thread slept.  Wall-clock comparisons become
+/// exact (a path with no modelled waits measures 0) and modelled I/O costs
+/// no real time.  Construct the FileSystem under test *inside* the scope
+/// so its epoch is virtual too.  Not nestable; tests in one binary run
+/// sequentially, so the global switch is safe.
+class VirtualTimeScope {
+ public:
+  VirtualTimeScope() { set_virtual_time_enabled(true); }
+  ~VirtualTimeScope() { set_virtual_time_enabled(false); }
+  VirtualTimeScope(const VirtualTimeScope&) = delete;
+  VirtualTimeScope& operator=(const VirtualTimeScope&) = delete;
+};
+
+/// Pins `bytes` of a segment for the fixture's lifetime, shrinking the
+/// capacity the system under test can see.  This makes backpressure a
+/// *construction* of the test rather than a race: size the remaining free
+/// space to admit exactly the blocks that must succeed, and every
+/// over-budget allocation fails deterministically on every run.
+class SegmentPressure {
+ public:
+  SegmentPressure(shm::Segment& segment, std::uint64_t bytes);
+  ~SegmentPressure();
+  SegmentPressure(const SegmentPressure&) = delete;
+  SegmentPressure& operator=(const SegmentPressure&) = delete;
+
+ private:
+  shm::Segment& segment_;
+  std::optional<shm::BlockRef> held_;
+};
 
 // ---------------------------------------------------------------------------
 // Golden-table comparison

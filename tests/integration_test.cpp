@@ -89,6 +89,61 @@ TEST(IntegrationTest, Cm1ThroughDamarisEndToEnd) {
   }
 }
 
+TEST(IntegrationTest, Cm1ThroughDedicatedNodesEndToEnd) {
+  // The same CM1 workload, deployed in dedicated-*nodes* mode: 4 client
+  // ranks ship their blocks over MPI to 2 dedicated I/O ranks at the end
+  // of the world (client c -> server c % 2).  Output must be equivalent to
+  // the dedicated-cores run, and the server stats must show the blocks
+  // actually traveled over the MPI transport.
+  sim::Cm1WorkloadOptions options;
+  options.nx = options.ny = options.nz = 10;
+  options.dedicated_mode = core::DedicatedMode::kNodes;
+  options.dedicated_nodes = 2;
+  options.buffer_size = 32ull << 20;
+  const Configuration cfg = sim::make_cm1_configuration(options);
+  fsim::FileSystem fs(small_storage(), fast_scale());
+
+  constexpr int kIterations = 3;
+  constexpr int kClients = 4;
+  std::atomic<std::uint64_t> remote_blocks{0};
+  std::atomic<std::uint64_t> remote_bytes{0};
+  minimpi::run_world(kClients + 2, [&](minimpi::Comm& world) {
+    Runtime rt = Runtime::initialize(cfg, world, fs);
+    if (rt.is_server()) {
+      rt.run_server();
+      remote_blocks += rt.server_stats().blocks_received_remote;
+      remote_bytes += rt.server_stats().bytes_received_remote;
+      return;
+    }
+    minimpi::Comm& clients = rt.client_comm();
+    sim::Cm1Proxy proxy(
+        sim::make_cm1_proxy_config(options, clients.rank(), clients.size()));
+    for (int it = 0; it < kIterations; ++it) {
+      proxy.step();
+      for (const auto& [name, bytes] : proxy.field_bytes())
+        ASSERT_OK(rt.client().write(name, bytes));
+      ASSERT_OK(rt.client().end_iteration());
+    }
+    rt.finalize();
+  });
+
+  // Every block crossed the interconnect: 4 clients x 5 fields x 3 its.
+  EXPECT_EQ(remote_blocks.load(), 4u * 5u * 3u);
+  const std::uint64_t block_bytes = 10 * 10 * 10 * sizeof(float);
+  EXPECT_EQ(remote_bytes.load(), 4u * 5u * 3u * block_bytes);
+  // 2 I/O nodes x 3 iterations of aggregated files.
+  EXPECT_EQ(fs.file_count(), 6u);
+  // Each file parses and contains all 5 CM1 fields x 2 clients per server.
+  for (const auto& path : fs.list_files()) {
+    const h5lite::File file = h5lite::File::parse(*fs.read_file(path));
+    for (const char* var : {"theta", "qv", "u", "v", "w"}) {
+      const h5lite::Group* group = file.find_group(var);
+      ASSERT_NE(group, nullptr) << path << " missing " << var;
+      EXPECT_EQ(group->datasets.size(), 2u);
+    }
+  }
+}
+
 TEST(IntegrationTest, XmlConfiguredRunMatchesProgrammatic) {
   const std::string xml = R"(
     <simulation name="xmlrun" cores_per_node="3" dedicated_cores="1">
@@ -124,7 +179,12 @@ TEST(IntegrationTest, XmlConfiguredRunMatchesProgrammatic) {
 TEST(IntegrationTest, DamarisHidesIoThatStallsBaselines) {
   // Same workload, same storage; measure what the simulation experiences.
   // The baselines stall for the full storage time; Damaris clients only
-  // pay the shared-memory copy.
+  // pay the shared-memory copy.  Under virtual time (see VirtualTimeScope)
+  // each thread's Stopwatch measures exactly its own modelled waits, so
+  // the comparison is exact on every run: the baseline stall is the
+  // modelled storage time (> 0) and the Damaris client stall — a path
+  // with no modelled waits — is exactly 0.
+  testing::VirtualTimeScope virtual_time;
   sim::Cm1WorkloadOptions options;
   options.nx = options.ny = options.nz = 12;
   options.cores_per_node = 3;
@@ -175,21 +235,13 @@ TEST(IntegrationTest, DamarisHidesIoThatStallsBaselines) {
     return total.load() / 2.0;
   };
 
-  // The Damaris-visible stall must be a small fraction of the baseline's.
-  // Both stalls are a few hundred microseconds, so one stray scheduler
-  // hiccup can invert a single-shot comparison; the claim must instead
-  // hold on at least one of a few attempts (noise only ever inflates a
-  // measurement, never deflates it).
-  constexpr int kAttempts = 5;
-  double fpp_stall = 0.0, damaris_stall = 0.0;
-  for (int attempt = 0; attempt < kAttempts; ++attempt) {
-    fpp_stall = measure_fpp();
-    damaris_stall = measure_damaris();
-    if (damaris_stall < fpp_stall * 0.5) return;
-  }
-  FAIL() << "Damaris stall never dropped below half the baseline in "
-         << kAttempts << " attempts: last damaris=" << damaris_stall
-         << " fpp=" << fpp_stall;
+  const double fpp_stall = measure_fpp();
+  const double damaris_stall = measure_damaris();
+  // The baseline pays the modelled create + transfer time ...
+  EXPECT_GT(fpp_stall, 0.0);
+  // ... while the Damaris client never waits on modelled storage at all.
+  EXPECT_EQ(damaris_stall, 0.0);
+  EXPECT_LT(damaris_stall, fpp_stall * 0.5);
 }
 
 TEST(IntegrationTest, NekInSituPipelineOnDedicatedCore) {
@@ -287,7 +339,7 @@ TEST(IntegrationTest, ManyIterationsStressSegmentReuse) {
     Runtime rt = Runtime::initialize(cfg, world, fs);
     if (rt.is_server()) {
       rt.run_server();
-      final_used = rt.node().segment.used();
+      final_used = rt.node().segment().used();
       return;
     }
     sim::Cm1Proxy proxy(sim::make_cm1_proxy_config(options, world.rank(), 2));

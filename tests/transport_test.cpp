@@ -1,0 +1,473 @@
+// Transport conformance suite: the contract in transport/transport.hpp,
+// exercised identically against both backends —
+//   * ShmTransport: shared segment + bounded queues (dedicated cores),
+//   * MpiTransport: payload shipping + credit flow control (dedicated
+//     nodes).
+// Covered: per-client FIFO ordering, backpressure primitives (try_acquire
+// refusal, acquire_blocking wakeup on release), close/drain, no lost or
+// duplicated blocks, payload integrity, and the backpressure *policy*
+// semantics end-to-end through Runtime in both deployment modes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "framework/test_infra.hpp"
+#include "minimpi/minimpi.hpp"
+#include "transport/mpi_transport.hpp"
+#include "transport/shm_transport.hpp"
+
+namespace dedicore {
+namespace {
+
+using transport::ClientTransport;
+using transport::Event;
+using transport::EventType;
+using transport::ServerTransport;
+
+enum class Backend { kShm, kMpi };
+
+const char* backend_name(Backend b) {
+  return b == Backend::kShm ? "shm" : "mpi";
+}
+
+struct HarnessOptions {
+  int clients = 1;
+  std::uint64_t capacity = 1 << 20;
+  std::size_t queue_capacity = 256;
+};
+
+using ClientBody = std::function<void(ClientTransport&, int client_index)>;
+using ServerBody = std::function<void(ServerTransport&)>;
+
+/// Runs `client_body` on `clients` concurrent producers and `server_body`
+/// on one consumer, wired through the chosen backend.  For the MPI backend
+/// each client's credit budget is its equal share of `capacity`, matching
+/// what Runtime::initialize hands out.
+void run_backend(Backend backend, const HarnessOptions& options,
+                 const ClientBody& client_body, const ServerBody& server_body) {
+  if (backend == Backend::kShm) {
+    auto fabric = std::make_shared<transport::ShmFabric>(
+        options.capacity, /*queue_count=*/1, options.queue_capacity);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(options.clients) + 1);
+    for (int c = 0; c < options.clients; ++c) {
+      threads.emplace_back([&, c] {
+        transport::ShmClientTransport client(fabric, 0);
+        client_body(client, c);
+      });
+    }
+    threads.emplace_back([&] {
+      transport::ShmServerTransport server(fabric, 0);
+      server_body(server);
+    });
+    for (auto& t : threads) t.join();
+  } else {
+    const int world_size = options.clients + 1;
+    const std::uint64_t share =
+        options.capacity / static_cast<std::uint64_t>(options.clients);
+    minimpi::run_world(world_size, [&](minimpi::Comm& world) {
+      if (world.rank() < options.clients) {
+        transport::MpiClientTransport client(world, options.clients, share);
+        client_body(client, world.rank());
+      } else {
+        auto fabric = std::make_shared<transport::ShmFabric>(
+            options.capacity, /*queue_count=*/0, options.queue_capacity);
+        transport::MpiServerTransport server(world, fabric);
+        server_body(server);
+      }
+    });
+  }
+}
+
+/// Fills a block with a recognizable pattern and publishes it.
+void publish_block(ClientTransport& client, const shm::BlockRef& ref,
+                   int source, std::uint32_t block_id, std::uint64_t stamp) {
+  auto view = client.view(ref);
+  for (std::size_t i = 0; i < view.size(); ++i)
+    view[i] = static_cast<std::byte>((stamp + i) & 0xff);
+  Event event;
+  event.type = EventType::kBlockWritten;
+  event.source = source;
+  event.block_id = block_id;
+  event.block = ref;
+  ASSERT_TRUE(client.publish(event));
+}
+
+bool block_matches(ServerTransport& server, const Event& event,
+                   std::uint64_t stamp) {
+  const auto view = server.view(event.block);
+  for (std::size_t i = 0; i < view.size(); ++i)
+    if (view[i] != static_cast<std::byte>((stamp + i) & 0xff)) return false;
+  return true;
+}
+
+void post_stop(ClientTransport& client, int source) {
+  Event stop;
+  stop.type = EventType::kClientStop;
+  stop.source = source;
+  ASSERT_TRUE(client.post(stop));
+}
+
+// ---------------------------------------------------------------------------
+// Ordering
+// ---------------------------------------------------------------------------
+
+TEST(TransportConformanceTest, PerClientFifoOrderingPreserved) {
+  for (Backend backend : {Backend::kShm, Backend::kMpi}) {
+    SCOPED_TRACE(backend_name(backend));
+    constexpr int kClients = 3;
+    constexpr std::uint32_t kBlocks = 16;
+    constexpr std::uint64_t kBlockSize = 256;
+
+    HarnessOptions options;
+    options.clients = kClients;
+    options.capacity = 1 << 20;  // roomy: this test is about ordering
+
+    run_backend(
+        backend, options,
+        [&](ClientTransport& client, int c) {
+          for (std::uint32_t b = 0; b < kBlocks; ++b) {
+            auto ref = client.acquire_blocking(kBlockSize);
+            ASSERT_TRUE(ref.has_value());
+            publish_block(client, *ref, c, b, c * 1000 + b);
+          }
+          post_stop(client, c);
+        },
+        [&](ServerTransport& server) {
+          std::map<int, std::uint32_t> next_id;
+          int stops = 0;
+          while (stops < kClients) {
+            auto event = server.next_event();
+            ASSERT_TRUE(event.has_value());
+            if (event->type == EventType::kClientStop) {
+              // FIFO: a client's stop arrives after all its blocks.
+              EXPECT_EQ(next_id[event->source], kBlocks);
+              ++stops;
+              continue;
+            }
+            ASSERT_EQ(event->type, EventType::kBlockWritten);
+            // Blocks of one client arrive in publish order.
+            EXPECT_EQ(event->block_id, next_id[event->source]);
+            EXPECT_TRUE(block_matches(server, *event,
+                                      event->source * 1000 + event->block_id));
+            ++next_id[event->source];
+            server.release(event->block);
+          }
+        });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure primitives
+// ---------------------------------------------------------------------------
+
+TEST(TransportConformanceTest, TryAcquireFailsWhenExhaustedAndRecoversOnAbandon) {
+  for (Backend backend : {Backend::kShm, Backend::kMpi}) {
+    SCOPED_TRACE(backend_name(backend));
+    constexpr std::uint64_t kBlockSize = 1024;
+
+    HarnessOptions options;
+    options.clients = 1;
+    options.capacity = 2 * kBlockSize;
+
+    run_backend(
+        backend, options,
+        [&](ClientTransport& client, int c) {
+          auto a = client.try_acquire(kBlockSize);
+          auto b = client.try_acquire(kBlockSize);
+          ASSERT_TRUE(a.has_value());
+          ASSERT_TRUE(b.has_value());
+          // The bounded resource is spent: refusal, not blocking.
+          EXPECT_FALSE(client.try_acquire(kBlockSize).has_value());
+          EXPECT_GE(client.stats().acquire_failures, 1u);
+          // Returning a block restores the budget.
+          client.abandon(*a);
+          auto c2 = client.try_acquire(kBlockSize);
+          EXPECT_TRUE(c2.has_value());
+          if (c2) client.abandon(*c2);
+          client.abandon(*b);
+          post_stop(client, c);
+        },
+        [&](ServerTransport& server) {
+          auto event = server.next_event();
+          ASSERT_TRUE(event.has_value());
+          EXPECT_EQ(event->type, EventType::kClientStop);
+        });
+  }
+}
+
+TEST(TransportConformanceTest, AcquireBlockingWakesWhenServerReleases) {
+  for (Backend backend : {Backend::kShm, Backend::kMpi}) {
+    SCOPED_TRACE(backend_name(backend));
+    constexpr std::uint64_t kBlockSize = 1024;
+
+    HarnessOptions options;
+    options.clients = 1;
+    options.capacity = 2 * kBlockSize;
+
+    run_backend(
+        backend, options,
+        [&](ClientTransport& client, int c) {
+          auto a = client.acquire_blocking(kBlockSize);
+          auto b = client.acquire_blocking(kBlockSize);
+          ASSERT_TRUE(a.has_value());
+          ASSERT_TRUE(b.has_value());
+          publish_block(client, *a, c, 0, 7);
+          // Full: this can only complete once the server releases block 0
+          // (segment space frees on shm, credit returns on mpi).
+          auto blocked = client.acquire_blocking(kBlockSize);
+          ASSERT_TRUE(blocked.has_value());
+          client.abandon(*blocked);
+          client.abandon(*b);
+          post_stop(client, c);
+        },
+        [&](ServerTransport& server) {
+          int stops = 0;
+          while (stops < 1) {
+            auto event = server.next_event();
+            ASSERT_TRUE(event.has_value());
+            if (event->type == EventType::kClientStop) {
+              ++stops;
+            } else {
+              EXPECT_TRUE(block_matches(server, *event, 7));
+              server.release(event->block);
+            }
+          }
+          const auto stats = server.stats();
+          if (stats.blocks_received_remote > 0) {  // mpi backend
+            EXPECT_EQ(stats.bytes_received_remote, kBlockSize);
+          }
+        });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// No loss, no duplication, payload integrity
+// ---------------------------------------------------------------------------
+
+TEST(TransportConformanceTest, NoBlockIsLostOrDuplicated) {
+  for (Backend backend : {Backend::kShm, Backend::kMpi}) {
+    SCOPED_TRACE(backend_name(backend));
+    constexpr int kClients = 4;
+    constexpr std::uint32_t kBlocks = 32;
+
+    HarnessOptions options;
+    options.clients = kClients;
+    options.capacity = 4 << 20;
+
+    run_backend(
+        backend, options,
+        [&](ClientTransport& client, int c) {
+          for (std::uint32_t b = 0; b < kBlocks; ++b) {
+            // Varying sizes exercise the allocator / wire path.
+            const std::uint64_t size = 64 + 32 * (b % 7);
+            auto ref = client.acquire_blocking(size);
+            ASSERT_TRUE(ref.has_value());
+            publish_block(client, *ref, c, b, c * 10000 + b * 13);
+          }
+          post_stop(client, c);
+        },
+        [&](ServerTransport& server) {
+          std::map<std::pair<int, std::uint32_t>, int> seen;
+          int stops = 0;
+          while (stops < kClients) {
+            auto event = server.next_event();
+            ASSERT_TRUE(event.has_value());
+            if (event->type == EventType::kClientStop) {
+              ++stops;
+              continue;
+            }
+            EXPECT_TRUE(block_matches(
+                server, *event, event->source * 10000 + event->block_id * 13));
+            ++seen[{event->source, event->block_id}];
+            server.release(event->block);
+          }
+          ASSERT_EQ(seen.size(),
+                    static_cast<std::size_t>(kClients) * kBlocks);  // none lost
+          for (const auto& [key, count] : seen) EXPECT_EQ(count, 1);  // none duplicated
+        });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Close / drain (shm: an explicit close exists; both: stop-drain protocol)
+// ---------------------------------------------------------------------------
+
+TEST(TransportConformanceTest, ShmCloseDrainsThenRefuses) {
+  auto fabric = std::make_shared<transport::ShmFabric>(1 << 16, 1, 8);
+  transport::ShmClientTransport client(fabric, 0);
+  transport::ShmServerTransport server(fabric, 0);
+
+  for (std::uint32_t b = 0; b < 3; ++b) {
+    auto ref = client.try_acquire(128);
+    ASSERT_TRUE(ref.has_value());
+    Event event;
+    event.type = EventType::kBlockWritten;
+    event.source = 0;
+    event.block_id = b;
+    event.block = *ref;
+    ASSERT_TRUE(client.publish(event));
+  }
+  server.close_intake();
+
+  // Published events drain in order after close...
+  for (std::uint32_t b = 0; b < 3; ++b) {
+    auto event = server.next_event();
+    ASSERT_TRUE(event.has_value());
+    EXPECT_EQ(event->block_id, b);
+    server.release(event->block);
+  }
+  // ...then the transport reports end-of-stream,
+  EXPECT_FALSE(server.next_event().has_value());
+  // and further publishes are refused rather than silently dropped.
+  auto ref = client.try_acquire(128);
+  ASSERT_TRUE(ref.has_value());
+  Event late;
+  late.type = EventType::kBlockWritten;
+  late.block = *ref;
+  EXPECT_FALSE(client.publish(late));
+  EXPECT_STATUS(client.try_publish(late), StatusCode::kClosed);
+  EXPECT_FALSE(client.post(late));
+  client.abandon(*ref);
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure *policy* semantics end-to-end, in both deployment modes
+// ---------------------------------------------------------------------------
+
+/// Adaptive policy through the full Runtime: a buffer sized to 1.5 blocks
+/// admits each iteration's priority-1 block and deterministically refuses
+/// the priority-0 block on top of it (the precious block stays resident
+/// until the iteration completes server-side).  The same invariant must
+/// hold whether the bound is a shared segment (cores) or a credit budget
+/// (nodes).
+void run_adaptive_policy_scenario(core::DedicatedMode mode) {
+  const std::uint64_t block_bytes = 8 * 8 * 8 * sizeof(double);
+  core::Configuration cfg;
+  cfg.set_simulation_name("policy");
+  cfg.set_architecture(2, 1);
+  cfg.set_dedicated_mode(mode, 1);
+  cfg.set_buffer(block_bytes + block_bytes / 2, 64,
+                 core::BackpressurePolicy::kAdaptive);
+  core::LayoutSpec layout;
+  layout.name = "grid";
+  layout.extents = {8, 8, 8};
+  cfg.add_layout(layout);
+  core::VariableSpec precious;
+  precious.name = "precious";
+  precious.layout = "grid";
+  precious.priority = 1;
+  cfg.add_variable(precious);
+  core::VariableSpec bulk;
+  bulk.name = "bulk";
+  bulk.layout = "grid";
+  cfg.add_variable(bulk);
+  core::ActionSpec store;
+  store.event = "end_iteration";
+  store.plugin = "store";
+  cfg.add_action(store);
+  cfg.validate();
+
+  constexpr int kIterations = 6;
+  fsim::StorageConfig storage;
+  storage.ost_count = 2;
+  storage.ost_bandwidth = 400e6;
+  storage.jitter_sigma = 0.0;
+  storage.spike_probability = 0.0;
+  storage.interference_on_rate = 0.0;
+  fsim::TimeScale scale;
+  scale.real_per_sim = 1e-3;
+  fsim::FileSystem fs(storage, scale);
+
+  std::uint64_t precious_failures = 0, dropped = 0, remote_blocks = 0;
+  std::vector<double> field(8 * 8 * 8, 1.5);
+  minimpi::run_world(2, [&](minimpi::Comm& comm) {
+    core::Runtime rt = core::Runtime::initialize(cfg, comm, fs);
+    if (rt.is_server()) {
+      rt.run_server();
+      remote_blocks = rt.server_stats().blocks_received_remote;
+      return;
+    }
+    core::Client& client = rt.client();
+    for (int it = 0; it < kIterations; ++it) {
+      if (!client.write("precious", std::span<const double>(field)).is_ok())
+        ++precious_failures;
+      (void)client.write("bulk", std::span<const double>(field));
+      ASSERT_OK(client.end_iteration());
+    }
+    rt.finalize();
+    dropped = client.stats().dropped_blocks;
+  });
+
+  EXPECT_EQ(precious_failures, 0u);
+  EXPECT_EQ(dropped, static_cast<std::uint64_t>(kIterations));
+  if (mode == core::DedicatedMode::kNodes) {
+    EXPECT_EQ(remote_blocks, static_cast<std::uint64_t>(kIterations));
+  } else {
+    EXPECT_EQ(remote_blocks, 0u);
+  }
+}
+
+TEST(TransportPolicyTest, IoNodesWithoutClientsTerminate) {
+  // More I/O ranks than clients: world of 4 with dedicated_nodes=3 leaves
+  // a single client, served by I/O rank 0 only.  Servers 1 and 2 must see
+  // client_count == 0 and return from run() immediately instead of
+  // blocking forever on an event that never comes.
+  core::Configuration cfg;
+  cfg.set_simulation_name("sparse");
+  cfg.set_architecture(2, 1);
+  cfg.set_dedicated_mode(core::DedicatedMode::kNodes, 3);
+  cfg.set_buffer(1 << 20, 64, core::BackpressurePolicy::kBlock);
+  core::LayoutSpec layout;
+  layout.name = "grid";
+  layout.extents = {8};
+  cfg.add_layout(layout);
+  core::VariableSpec v;
+  v.name = "field";
+  v.layout = "grid";
+  cfg.add_variable(v);
+  core::ActionSpec store;
+  store.event = "end_iteration";
+  store.plugin = "store";
+  cfg.add_action(store);
+  cfg.validate();
+
+  fsim::StorageConfig storage;
+  storage.jitter_sigma = 0.0;
+  storage.spike_probability = 0.0;
+  storage.interference_on_rate = 0.0;
+  fsim::FileSystem fs(storage, fsim::TimeScale{1e-3, 0.01});
+
+  std::atomic<int> servers_done{0};
+  minimpi::run_world(4, [&](minimpi::Comm& comm) {
+    core::Runtime rt = core::Runtime::initialize(cfg, comm, fs);
+    if (rt.is_server()) {
+      rt.run_server();  // must return even with zero clients
+      ++servers_done;
+      return;
+    }
+    std::vector<double> field(8, 2.0);
+    ASSERT_OK(rt.client().write("field", std::span<const double>(field)));
+    ASSERT_OK(rt.client().end_iteration());
+    rt.finalize();
+  });
+  EXPECT_EQ(servers_done.load(), 3);
+  EXPECT_EQ(fs.file_count(), 1u);  // only server 0 had work
+}
+
+TEST(TransportPolicyTest, AdaptivePolicyHoldsOnShmBackend) {
+  run_adaptive_policy_scenario(core::DedicatedMode::kCores);
+}
+
+TEST(TransportPolicyTest, AdaptivePolicyHoldsOnMpiBackend) {
+  run_adaptive_policy_scenario(core::DedicatedMode::kNodes);
+}
+
+}  // namespace
+}  // namespace dedicore
