@@ -1,0 +1,480 @@
+// Hot-path benchmark: the three data-plane costs PR 3 rewrote, measured
+// against the designs they replaced.
+//
+//   1. allocator churn  — concurrent allocate/free against a fragmented
+//      segment: size-segregated best-fit (shm::Segment) vs. the pre-PR
+//      first-fit linear scan (bench_legacy::LegacySegment);
+//   2. queue throughput — N producers / 1 consumer through the two-lock
+//      BoundedQueue (single-event and batched push_all/pop_all paths) vs.
+//      the pre-PR single-mutex ring;
+//   3. MPI batching     — wire messages per (client, iteration) through
+//      MpiTransport, against the analytic pre-PR count of one message per
+//      block plus one per control event.
+//
+// Modes: default is a full run sized for stable numbers; --smoke shrinks
+// everything to a CTest-friendly second (registered with label
+// bench-smoke so the harness cannot bit-rot); --json FILE emits the
+// machine-readable result consumed by scripts/run_bench.sh, which commits
+// it as BENCH_hotpath.json — the perf-regression trajectory.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "legacy_hotpath.hpp"
+#include "minimpi/minimpi.hpp"
+#include "shm/bounded_queue.hpp"
+#include "shm/segment.hpp"
+#include "transport/message.hpp"
+#include "transport/mpi_transport.hpp"
+#include "transport/shm_transport.hpp"
+
+namespace {
+
+using dedicore::Rng;
+using dedicore::transport::Event;
+using dedicore::transport::EventType;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// ---------------------------------------------------------------------------
+// 1. Allocator churn
+// ---------------------------------------------------------------------------
+
+struct ChurnConfig {
+  std::uint64_t capacity = 1ull << 26;
+  int fragment_pins = 4096;       ///< small pinned blocks fragmenting the front
+  std::uint64_t pin_bytes = 2048; ///< size of each pin (and of each hole)
+  int ops_per_thread = 100000;    ///< allocate/free pairs per thread
+  int pool_size = 16;             ///< live blocks each thread cycles through
+};
+
+/// Drives `ops_per_thread` allocate/free pairs per thread against a
+/// fragmented allocator.  Returns allocate+free operations per second.
+///
+/// The fragmentation models a long-running server's segment: thousands of
+/// small live blocks with freed holes between them at low offsets.  The
+/// churn allocates blocks larger than any hole, so a first-fit scan walks
+/// the entire hole band on every allocation — the O(n) behaviour the
+/// size-segregated index removes (best-fit jumps past all of them in one
+/// lower_bound).
+template <typename Allocator>
+double run_allocator_churn(const ChurnConfig& cfg, int threads) {
+  Allocator segment(cfg.capacity);
+
+  std::vector<dedicore::shm::BlockRef> pins;
+  for (int i = 0; i < cfg.fragment_pins; ++i) {
+    auto ref = segment.try_allocate(cfg.pin_bytes);
+    if (!ref) break;
+    pins.push_back(*ref);
+  }
+  for (std::size_t i = 0; i < pins.size(); i += 2) segment.deallocate(pins[i]);
+
+  const auto start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(0x9E3779B9u + static_cast<std::uint64_t>(t));
+      std::vector<dedicore::shm::BlockRef> pool;
+      pool.reserve(static_cast<std::size_t>(cfg.pool_size));
+      for (int op = 0; op < cfg.ops_per_thread; ++op) {
+        if (pool.size() < static_cast<std::size_t>(cfg.pool_size)) {
+          // Larger than every hole: a first-fit scan cannot stop early.
+          const std::uint64_t size = (8ull << 10) + rng.next_below(24 << 10);
+          if (auto ref = segment.try_allocate(size)) {
+            pool.push_back(*ref);
+            continue;
+          }
+        }
+        if (!pool.empty()) {
+          const std::size_t pick = rng.next_below(pool.size());
+          segment.deallocate(pool[pick]);
+          pool[pick] = pool.back();
+          pool.pop_back();
+        }
+      }
+      for (const auto& ref : pool) segment.deallocate(ref);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double elapsed = seconds_since(start);
+
+  for (std::size_t i = 1; i < pins.size(); i += 2) segment.deallocate(pins[i]);
+  return static_cast<double>(threads) * cfg.ops_per_thread / elapsed;
+}
+
+// ---------------------------------------------------------------------------
+// 2. Queue throughput
+// ---------------------------------------------------------------------------
+
+struct QueueConfig {
+  std::size_t capacity = 4096;
+  int events_per_producer = 200000;
+  std::size_t batch = 64;
+};
+
+/// The pre-PR shape: N blocking producers and one consumer, one lock
+/// transaction per event on both sides of the legacy single-mutex ring.
+double run_queue_legacy(const QueueConfig& cfg, int producers) {
+  dedicore::bench_legacy::LegacyBoundedQueue<Event> queue(cfg.capacity);
+  const long total =
+      static_cast<long>(producers) * cfg.events_per_producer;
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&] {
+      Event event;
+      event.type = EventType::kBlockWritten;
+      for (int i = 0; i < cfg.events_per_producer; ++i) (void)queue.push(event);
+    });
+  }
+  long received = 0;
+  while (received < total) {
+    if (queue.pop()) ++received;
+  }
+  for (auto& t : threads) t.join();
+  return static_cast<double>(total) / seconds_since(start);
+}
+
+/// The post-PR ShmTransport shape: producers still push per event (a
+/// publish is per block), but the consumer drains bursts with pop_all —
+/// what ShmServerTransport::next_event does since this PR.
+double run_queue_popall(const QueueConfig& cfg, int producers) {
+  dedicore::shm::BoundedQueue<Event> queue(cfg.capacity);
+  const long total =
+      static_cast<long>(producers) * cfg.events_per_producer;
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&] {
+      Event event;
+      event.type = EventType::kBlockWritten;
+      for (int i = 0; i < cfg.events_per_producer; ++i) (void)queue.push(event);
+    });
+  }
+  long received = 0;
+  std::vector<Event> sink;
+  while (received < total) {
+    sink.clear();
+    received += static_cast<long>(queue.pop_all(sink));
+  }
+  for (auto& t : threads) t.join();
+  return static_cast<double>(total) / seconds_since(start);
+}
+
+/// Fully batched: producers push_all() an iteration's worth of events in
+/// one critical section, the consumer drains with pop_all().
+double run_queue_batched(const QueueConfig& cfg, int producers) {
+  dedicore::shm::BoundedQueue<Event> queue(cfg.capacity);
+  const long total =
+      static_cast<long>(producers) * cfg.events_per_producer;
+  const auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&] {
+      std::vector<Event> burst(cfg.batch);
+      for (Event& event : burst) event.type = EventType::kBlockWritten;
+      int sent = 0;
+      while (sent < cfg.events_per_producer) {
+        const std::size_t n =
+            std::min(cfg.batch,
+                     static_cast<std::size_t>(cfg.events_per_producer - sent));
+        (void)queue.push_all(std::span<Event>(burst.data(), n));
+        sent += static_cast<int>(n);
+      }
+    });
+  }
+  long received = 0;
+  std::vector<Event> sink;
+  while (received < total) {
+    sink.clear();
+    received += static_cast<long>(queue.pop_all(sink));
+  }
+  for (auto& t : threads) t.join();
+  return static_cast<double>(total) / seconds_since(start);
+}
+
+// ---------------------------------------------------------------------------
+// 3. MPI wire messages per iteration
+// ---------------------------------------------------------------------------
+
+struct MpiBatchConfig {
+  int clients = 3;
+  int iterations = 32;
+  int blocks_per_iteration = 8;
+  std::uint64_t block_bytes = 4096;
+};
+
+struct MpiBatchResult {
+  double wire_per_client_iteration = 0;       ///< measured, batched
+  double unbatched_per_client_iteration = 0;  ///< analytic pre-PR count
+  double events_per_wire_message = 0;         ///< aggregation factor
+};
+
+MpiBatchResult run_mpi_batching(const MpiBatchConfig& cfg) {
+  namespace transport = dedicore::transport;
+  namespace minimpi = dedicore::minimpi;
+
+  std::vector<transport::TransportStats> client_stats(
+      static_cast<std::size_t>(cfg.clients));
+  // Two iterations of credit headroom: the server releases iteration k's
+  // blocks when its close event lands, so a client producing iteration
+  // k+1 never stalls (and never has to split an iteration across frames).
+  const std::uint64_t share = static_cast<std::uint64_t>(
+      2 * cfg.blocks_per_iteration + 2) * (cfg.block_bytes + 64);
+
+  minimpi::run_world(cfg.clients + 1, [&](minimpi::Comm& world) {
+    if (world.rank() < cfg.clients) {
+      transport::MpiClientTransport client(world, cfg.clients, share);
+      for (int it = 0; it < cfg.iterations; ++it) {
+        // A simulation computes between outputs — which is when the
+        // server catches up and credit flows back.  Without this pause
+        // the client outruns its credit and iterations split into
+        // partial frames, measuring a client no real deployment has.
+        if (it > 0) std::this_thread::sleep_for(std::chrono::microseconds(500));
+        for (int b = 0; b < cfg.blocks_per_iteration; ++b) {
+          auto ref = client.acquire_blocking(cfg.block_bytes);
+          Event event;
+          event.type = EventType::kBlockWritten;
+          event.source = world.rank();
+          event.iteration = it;
+          event.block_id = static_cast<std::uint32_t>(b);
+          event.block = *ref;
+          client.publish(event);
+        }
+        Event end;
+        end.type = EventType::kEndIteration;
+        end.source = world.rank();
+        end.iteration = it;
+        client.post(end);  // the flush point: ships the iteration's frame
+      }
+      Event stop;
+      stop.type = EventType::kClientStop;
+      stop.source = world.rank();
+      client.post(stop);
+      client_stats[static_cast<std::size_t>(world.rank())] = client.stats();
+    } else {
+      auto fabric = std::make_shared<transport::ShmFabric>(
+          static_cast<std::uint64_t>(cfg.clients) * share, 0, 0);
+      transport::MpiServerTransport server(world, fabric);
+      // Minimal server loop: release blocks when their iteration closes,
+      // mirroring core::Server::complete_iteration.
+      std::vector<std::vector<dedicore::shm::BlockRef>> held(
+          static_cast<std::size_t>(cfg.clients));
+      int stops = 0;
+      while (stops < cfg.clients) {
+        auto event = server.next_event();
+        if (!event) break;
+        const auto source = static_cast<std::size_t>(event->source);
+        switch (event->type) {
+          case EventType::kBlockWritten:
+            held[source].push_back(event->block);
+            break;
+          case EventType::kEndIteration:
+            for (const auto& ref : held[source]) server.release(ref);
+            held[source].clear();
+            break;
+          case EventType::kClientStop:
+            ++stops;
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  });
+
+  std::uint64_t wire = 0, events = 0;
+  for (const auto& s : client_stats) {
+    wire += s.wire_messages;
+    events += s.events_sent;
+  }
+  MpiBatchResult result;
+  const double client_iterations =
+      static_cast<double>(cfg.clients) * cfg.iterations;
+  result.wire_per_client_iteration = static_cast<double>(wire) / client_iterations;
+  // Pre-PR wiring shipped one message per published block and one per
+  // control event: blocks + end-iteration per iteration, plus one stop.
+  result.unbatched_per_client_iteration =
+      static_cast<double>(cfg.blocks_per_iteration) + 1.0 +
+      1.0 / cfg.iterations;
+  result.events_per_wire_message =
+      static_cast<double>(events) / static_cast<double>(wire);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+struct AllocatorRow {
+  int threads;
+  double legacy_ops_per_sec;
+  double ops_per_sec;
+};
+
+struct QueueRow {
+  int producers;
+  double legacy_events_per_sec;
+  double events_per_sec;
+  double batch_events_per_sec;
+};
+
+std::string format_json(const std::string& mode,
+                        const std::vector<AllocatorRow>& allocator,
+                        const std::vector<QueueRow>& queue,
+                        const MpiBatchConfig& mpi_cfg,
+                        const MpiBatchResult& mpi) {
+  std::ostringstream out;
+  out.precision(1);
+  out << std::fixed;
+  out << "{\n  \"bench\": \"hotpath\",\n  \"mode\": \"" << mode << "\",\n";
+  out << "  \"allocator_churn\": [\n";
+  for (std::size_t i = 0; i < allocator.size(); ++i) {
+    const auto& row = allocator[i];
+    out << "    {\"threads\": " << row.threads
+        << ", \"legacy_ops_per_sec\": " << row.legacy_ops_per_sec
+        << ", \"ops_per_sec\": " << row.ops_per_sec << ", \"speedup\": ";
+    out.precision(2);
+    out << row.ops_per_sec / row.legacy_ops_per_sec;
+    out.precision(1);
+    out << "}" << (i + 1 < allocator.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"queue_throughput\": [\n";
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const auto& row = queue[i];
+    out << "    {\"producers\": " << row.producers
+        << ", \"legacy_events_per_sec\": " << row.legacy_events_per_sec
+        << ", \"events_per_sec\": " << row.events_per_sec
+        << ", \"batch_events_per_sec\": " << row.batch_events_per_sec
+        << "}" << (i + 1 < queue.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"mpi_batching\": {\n";
+  out << "    \"clients\": " << mpi_cfg.clients
+      << ", \"iterations\": " << mpi_cfg.iterations
+      << ", \"blocks_per_iteration\": " << mpi_cfg.blocks_per_iteration
+      << ",\n";
+  out.precision(3);
+  out << "    \"wire_messages_per_client_iteration\": "
+      << mpi.wire_per_client_iteration
+      << ",\n    \"unbatched_wire_messages_per_client_iteration\": "
+      << mpi.unbatched_per_client_iteration
+      << ",\n    \"events_per_wire_message\": " << mpi.events_per_wire_message
+      << "\n  }\n}\n";
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_hotpath [--smoke] [--json FILE]\n";
+      return 2;
+    }
+  }
+
+  ChurnConfig churn;
+  QueueConfig queue_cfg;
+  MpiBatchConfig mpi_cfg;
+  if (smoke) {
+    churn.capacity = 1ull << 24;
+    churn.fragment_pins = 512;
+    churn.ops_per_thread = 5000;
+    queue_cfg.events_per_producer = 20000;
+    mpi_cfg.iterations = 8;
+  }
+
+  std::vector<AllocatorRow> allocator_rows;
+  for (int threads : {1, 4}) {
+    AllocatorRow row;
+    row.threads = threads;
+    row.legacy_ops_per_sec =
+        run_allocator_churn<dedicore::bench_legacy::LegacySegment>(churn,
+                                                                   threads);
+    row.ops_per_sec =
+        run_allocator_churn<dedicore::shm::Segment>(churn, threads);
+    allocator_rows.push_back(row);
+    std::printf(
+        "allocator churn, %d thread(s): legacy %.2fM ops/s, new %.2fM ops/s "
+        "(%.2fx)\n",
+        threads, row.legacy_ops_per_sec / 1e6, row.ops_per_sec / 1e6,
+        row.ops_per_sec / row.legacy_ops_per_sec);
+  }
+
+  std::vector<QueueRow> queue_rows;
+  for (int producers : {1, 2, 4}) {
+    QueueRow row;
+    row.producers = producers;
+    row.legacy_events_per_sec = run_queue_legacy(queue_cfg, producers);
+    row.events_per_sec = run_queue_popall(queue_cfg, producers);
+    row.batch_events_per_sec = run_queue_batched(queue_cfg, producers);
+    queue_rows.push_back(row);
+    std::printf(
+        "queue throughput, %d producer(s): legacy %.2fM ev/s, "
+        "push+pop_all %.2fM ev/s, push_all+pop_all %.2fM ev/s\n",
+        producers, row.legacy_events_per_sec / 1e6, row.events_per_sec / 1e6,
+        row.batch_events_per_sec / 1e6);
+  }
+
+  const MpiBatchResult mpi = run_mpi_batching(mpi_cfg);
+  std::printf(
+      "mpi batching: %.3f wire msgs per (client, iteration) for %d blocks "
+      "(unbatched design: %.3f), %.1f events per wire message\n",
+      mpi.wire_per_client_iteration, mpi_cfg.blocks_per_iteration,
+      mpi.unbatched_per_client_iteration, mpi.events_per_wire_message);
+
+  const std::string json = format_json(smoke ? "smoke" : "full",
+                                       allocator_rows, queue_rows, mpi_cfg,
+                                       mpi);
+  if (!json_path.empty()) {
+    if (json_path == "-") {
+      std::cout << json;
+    } else {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::cerr << "bench_hotpath: cannot write " << json_path << "\n";
+        return 1;
+      }
+      out << json;
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  }
+
+  // Smoke mode doubles as a regression gate in CTest: the structural win
+  // (frame batching) must hold at any scale.  Throughput ratios are only
+  // checked in full runs — tiny smoke workloads are noise-dominated.
+  if (!smoke &&
+      mpi.wire_per_client_iteration > 2.0) {
+    std::cerr << "FAIL: wire messages per iteration did not collapse to O(1)\n";
+    return 1;
+  }
+  if (mpi.wire_per_client_iteration >=
+      mpi.unbatched_per_client_iteration) {
+    std::cerr << "FAIL: batching sent no fewer messages than the unbatched "
+                 "design\n";
+    return 1;
+  }
+  return 0;
+}

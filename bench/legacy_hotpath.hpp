@@ -1,0 +1,214 @@
+// Pre-PR-3 reference implementations of the node-local hot path, kept
+// verbatim (modulo renaming) so bench_hotpath can measure the rewrite
+// against the design it replaced:
+//
+//   * LegacySegment — first-fit linear scan over a free-list vector,
+//     O(n) sorted-vector bookkeeping of allocated blocks, every operation
+//     (including used()/stats()) under one global mutex, notify_all on
+//     every free;
+//   * LegacyBoundedQueue — single mutex/two condvar ring buffer,
+//     unconditional notify on every push/pop.
+//
+// These are benchmark baselines only — nothing outside bench/ links them.
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/status.hpp"
+#include "shm/segment.hpp"
+
+namespace dedicore::bench_legacy {
+
+class LegacySegment {
+ public:
+  explicit LegacySegment(std::uint64_t capacity)
+      : capacity_(capacity), memory_(new std::byte[capacity]) {
+    free_list_.push_back(FreeBlock{0, capacity});
+  }
+
+  std::optional<shm::BlockRef> try_allocate(std::uint64_t size,
+                                            std::uint64_t alignment = 8) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return allocate_locked(size, alignment);
+  }
+
+  void deallocate(shm::BlockRef block) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto pos = std::lower_bound(allocated_.begin(), allocated_.end(),
+                                  block.offset,
+                                  [](const FreeBlock& b, std::uint64_t off) {
+                                    return b.offset < off;
+                                  });
+      DEDICORE_CHECK(pos != allocated_.end() && pos->offset == block.offset,
+                     "LegacySegment: unknown block");
+      allocated_.erase(pos);
+      used_ -= block.size;
+
+      auto it = std::lower_bound(free_list_.begin(), free_list_.end(),
+                                 block.offset,
+                                 [](const FreeBlock& b, std::uint64_t off) {
+                                   return b.offset < off;
+                                 });
+      it = free_list_.insert(it, FreeBlock{block.offset, block.size});
+      if (auto next = it + 1;
+          next != free_list_.end() && it->offset + it->size == next->offset) {
+        it->size += next->size;
+        free_list_.erase(next);
+      }
+      if (it != free_list_.begin()) {
+        auto prev = it - 1;
+        if (prev->offset + prev->size == it->offset) {
+          prev->size += it->size;
+          free_list_.erase(it);
+        }
+      }
+    }
+    space_freed_.notify_all();
+  }
+
+  std::uint64_t used() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return used_;
+  }
+
+ private:
+  struct FreeBlock {
+    std::uint64_t offset;
+    std::uint64_t size;
+  };
+
+  std::optional<shm::BlockRef> allocate_locked(std::uint64_t size,
+                                               std::uint64_t alignment) {
+    for (std::size_t i = 0; i < free_list_.size(); ++i) {
+      FreeBlock& fb = free_list_[i];
+      const std::uint64_t aligned =
+          (fb.offset + alignment - 1) / alignment * alignment;
+      const std::uint64_t padding = aligned - fb.offset;
+      if (fb.size < padding + size) continue;
+      const std::uint64_t tail_offset = aligned + size;
+      const std::uint64_t tail_size = fb.offset + fb.size - tail_offset;
+      if (padding == 0 && tail_size == 0) {
+        free_list_.erase(free_list_.begin() + static_cast<std::ptrdiff_t>(i));
+      } else if (padding == 0) {
+        fb.offset = tail_offset;
+        fb.size = tail_size;
+      } else if (tail_size == 0) {
+        fb.size = padding;
+      } else {
+        fb.size = padding;
+        free_list_.insert(
+            free_list_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+            FreeBlock{tail_offset, tail_size});
+      }
+      const shm::BlockRef ref{aligned, size};
+      auto pos = std::lower_bound(allocated_.begin(), allocated_.end(), aligned,
+                                  [](const FreeBlock& b, std::uint64_t off) {
+                                    return b.offset < off;
+                                  });
+      allocated_.insert(pos, FreeBlock{aligned, size});
+      used_ += size;
+      return ref;
+    }
+    return std::nullopt;
+  }
+
+  const std::uint64_t capacity_;
+  std::unique_ptr<std::byte[]> memory_;
+  mutable std::mutex mutex_;
+  std::condition_variable space_freed_;
+  std::vector<FreeBlock> free_list_;
+  std::vector<FreeBlock> allocated_;
+  std::uint64_t used_ = 0;
+};
+
+template <typename T>
+class LegacyBoundedQueue {
+ public:
+  explicit LegacyBoundedQueue(std::size_t capacity)
+      : capacity_(capacity), buffer_(capacity) {}
+
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return size_ < capacity_ || closed_; });
+    if (closed_) return false;
+    enqueue_locked(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  Status try_push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return Status::closed("queue closed");
+      if (size_ == capacity_) return Status::would_block("queue full");
+      enqueue_locked(std::move(value));
+    }
+    not_empty_.notify_one();
+    return Status::ok();
+  }
+
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return std::nullopt;
+    T out = dequeue_locked();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  std::optional<T> try_pop() {
+    std::optional<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (size_ == 0) return std::nullopt;
+      out = dequeue_locked();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  void enqueue_locked(T value) {
+    buffer_[tail_] = std::move(value);
+    tail_ = (tail_ + 1) % capacity_;
+    ++size_;
+  }
+
+  T dequeue_locked() {
+    T out = std::move(buffer_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    return out;
+  }
+
+  const std::size_t capacity_;
+  std::vector<T> buffer_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t size_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace dedicore::bench_legacy

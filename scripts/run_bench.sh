@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Build and run the hot-path benchmark; optionally emit the JSON
+# trajectory point the repo commits as BENCH_hotpath.json.
+#
+# Usage:
+#   scripts/run_bench.sh                 # full run, human-readable
+#   scripts/run_bench.sh --json          # full run + write BENCH_hotpath.json
+#   scripts/run_bench.sh --json --smoke  # fast run -> BENCH_hotpath.smoke.json
+#   scripts/run_bench.sh --build-dir out # custom build directory
+#
+# Smoke output goes to a separate file so reproducing the CI step locally
+# can never clobber the committed full-run baseline (smoke throughput is
+# noise-dominated; only its structural assertions are comparable).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="$repo_root/build"
+json=0
+smoke=0
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --json)  json=1; shift ;;
+    --smoke) smoke=1; shift ;;
+    --build-dir)
+      [[ $# -ge 2 ]] || { echo "error: --build-dir needs a path" >&2; exit 2; }
+      build_dir="$2"; shift 2 ;;
+    -j|--jobs)
+      [[ $# -ge 2 ]] || { echo "error: $1 needs a number" >&2; exit 2; }
+      jobs="$2"; shift 2 ;;
+    -h|--help)
+      sed -n '2,10p' "$0"; exit 0 ;;
+    *)
+      echo "error: unknown argument '$1' (see --help)" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j "$jobs" --target bench_hotpath
+
+args=()
+json_out="$repo_root/BENCH_hotpath.json"
+[[ "$smoke" -eq 1 ]] && { args+=(--smoke); json_out="$repo_root/BENCH_hotpath.smoke.json"; }
+[[ "$json" -eq 1 ]] && args+=(--json "$json_out")
+
+"$build_dir/bench/bench_hotpath" "${args[@]}"

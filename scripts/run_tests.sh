@@ -5,6 +5,7 @@
 #   scripts/run_tests.sh                 # everything
 #   scripts/run_tests.sh --filter shm    # suites matching a regex (ctest -R)
 #   scripts/run_tests.sh --asan          # AddressSanitizer build (separate build dir)
+#   scripts/run_tests.sh --tsan          # ThreadSanitizer build (separate build dir)
 #   scripts/run_tests.sh --build-dir out # custom build directory
 set -euo pipefail
 
@@ -21,6 +22,8 @@ while [[ $# -gt 0 ]]; do
       filter="$2"; shift 2 ;;
     --asan)
       sanitize="address"; shift ;;
+    --tsan)
+      sanitize="thread"; shift ;;
     --build-dir)
       [[ $# -ge 2 ]] || { echo "error: --build-dir needs a path" >&2; exit 2; }
       build_dir="$2"; shift 2 ;;
@@ -34,10 +37,14 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-# Sanitized builds get their own directory so plain and ASan binaries never mix.
+# Sanitized builds get their own directory so differently-instrumented
+# binaries never mix.
 if [[ -z "$build_dir" ]]; then
   build_dir="$repo_root/build"
-  [[ -n "$sanitize" ]] && build_dir="$repo_root/build-asan"
+  case "$sanitize" in
+    address) build_dir="$repo_root/build-asan" ;;
+    thread)  build_dir="$repo_root/build-tsan" ;;
+  esac
 fi
 
 cmake_args=(-B "$build_dir" -S "$repo_root")

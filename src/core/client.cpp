@@ -182,6 +182,10 @@ Status Client::end_iteration() {
                          : EventType::kEndIteration;
   if (skipping_) ++skipped_iterations_;
   if (!transport_->post(event)) return Status::closed("event channel closed");
+  // The iteration close is the transport's flush point: everything the
+  // iteration staged (the MPI backend batches publishes into one wire
+  // frame) must be on its way before the simulation resumes computing.
+  transport_->flush();
 
   skipping_ = false;
   block_counters_.clear();
@@ -198,6 +202,7 @@ void Client::stop() {
   event.source = client_index_;
   event.iteration = iteration_;
   transport_->post(event);
+  transport_->flush();
 }
 
 ClientStats Client::stats() const {

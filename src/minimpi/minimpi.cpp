@@ -141,6 +141,23 @@ void Comm::send_bytes(std::vector<std::byte> payload, int dest, int tag) {
   state_->deliver(dest, Message{rank_, tag, std::move(payload)});
 }
 
+void Comm::send_bytes_parts(std::vector<std::vector<std::byte>> parts,
+                            int dest, int tag) {
+  DEDICORE_CHECK(valid(), "send on an invalid communicator");
+  DEDICORE_CHECK(tag >= 0, "negative tags are reserved");
+  std::vector<std::byte> payload;
+  if (parts.size() == 1) {
+    payload = std::move(parts.front());
+  } else {
+    std::size_t total = 0;
+    for (const auto& part : parts) total += part.size();
+    payload.reserve(total);
+    for (const auto& part : parts)
+      payload.insert(payload.end(), part.begin(), part.end());
+  }
+  state_->deliver(dest, Message{rank_, tag, std::move(payload)});
+}
+
 Message Comm::recv(int source, int tag) {
   DEDICORE_CHECK(valid(), "recv on an invalid communicator");
   return state_->consume(rank_, source, tag);

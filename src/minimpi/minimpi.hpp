@@ -110,6 +110,15 @@ class Comm {
   /// Buffered send; never blocks.
   void send_bytes(std::vector<std::byte> payload, int dest, int tag);
 
+  /// Buffered gather-send: ships `parts` as ONE message whose payload is
+  /// their concatenation.  The parts are moved in and assembled directly
+  /// into the wire buffer (a single-part send moves straight through with
+  /// no copy at all), so batching N buffers into one message costs one
+  /// mailbox transaction instead of N — the primitive behind the
+  /// transport layer's per-iteration frame batching.
+  void send_bytes_parts(std::vector<std::vector<std::byte>> parts, int dest,
+                        int tag);
+
   /// Blocking receive; source/tag may be wildcards.
   Message recv(int source = kAnySource, int tag = kAnyTag);
 

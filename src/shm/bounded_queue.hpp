@@ -5,15 +5,22 @@
 // shutdown) to the dedicated cores.  The queue is bounded like its
 // shared-memory counterpart: a full queue participates in backpressure.
 //
-// The implementation is a mutex/condvar ring buffer — the queue carries
-// small control messages at iteration granularity, so contention is not a
-// concern; correctness and blocking semantics are.
+// The implementation is a two-lock ring buffer (Michael & Scott's two-lock
+// queue adapted to a fixed ring): producers serialize on the tail lock,
+// consumers on the head lock, and the two sides communicate only through
+// an atomic element count.  A producer therefore never contends with the
+// consumer on the hot path, and condition variables are signalled only
+// when the other side has actually registered a waiter — the uncontended
+// path performs no notify syscall at all.  Batch push_all/pop_all move a
+// whole iteration's events through one critical section.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/status.hpp"
@@ -33,94 +40,241 @@ class BoundedQueue {
 
   /// Blocking push; returns false if the queue was closed.
   bool push(T value) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] { return size_ < capacity_ || closed_; });
-    if (closed_) return false;
+    std::unique_lock<std::mutex> lock(tail_mutex_);
+    if (!wait_for_space_locked(lock)) return false;
     enqueue_locked(std::move(value));
     lock.unlock();
-    not_empty_.notify_one();
+    signal_not_empty();
     return true;
+  }
+
+  /// Blocking bulk push: delivers every element of `values` in order,
+  /// waiting for space as needed (possibly in several chunks, but each
+  /// chunk costs one critical section).  Returns the number of elements
+  /// delivered — short only if the queue is closed mid-way.
+  std::size_t push_all(std::span<T> values) {
+    std::size_t pushed = 0;
+    std::size_t final_chunk = 0;
+    {
+      std::unique_lock<std::mutex> lock(tail_mutex_);
+      while (pushed < values.size()) {
+        if (!wait_for_space_locked(lock)) break;
+        // Only consumers grow the space concurrently, so the room observed
+        // here can be filled without re-checking per element.
+        std::size_t room = capacity_ - size_.load(std::memory_order_acquire);
+        std::size_t chunk = 0;
+        while (room > 0 && pushed < values.size()) {
+          enqueue_locked(std::move(values[pushed]));
+          ++pushed;
+          ++chunk;
+          --room;
+        }
+        if (pushed < values.size()) {
+          // Mid-batch: consumers must drain before we can wait for more
+          // space, so this signal has to happen before the next wait.
+          signal_not_empty(chunk);
+        } else {
+          final_chunk = chunk;  // signal after dropping the tail lock
+        }
+      }
+    }
+    signal_not_empty(final_chunk);
+    return pushed;
   }
 
   /// Nonblocking push; WOULD_BLOCK when full, CLOSED after close().
   Status try_push(T value) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_) return Status::closed("queue closed");
-      if (size_ == capacity_) return Status::would_block("queue full");
+      std::lock_guard<std::mutex> lock(tail_mutex_);
+      if (closed_.load(std::memory_order_relaxed))
+        return Status::closed("queue closed");
+      if (size_.load(std::memory_order_acquire) == capacity_)
+        return Status::would_block("queue full");
       enqueue_locked(std::move(value));
     }
-    not_empty_.notify_one();
+    signal_not_empty();
+    return Status::ok();
+  }
+
+  /// Nonblocking all-or-nothing bulk push: either every element is
+  /// delivered in order (one critical section) or none is.  WOULD_BLOCK
+  /// when the free space cannot hold them all *right now*; a batch larger
+  /// than the capacity can never succeed and is INVALID_ARGUMENT instead
+  /// (retrying it would spin forever — use push_all, which chunks).
+  /// CLOSED after close().
+  Status try_push_all(std::span<T> values) {
+    if (values.empty()) return Status::ok();
+    if (values.size() > capacity_)
+      return Status::invalid_argument("batch exceeds queue capacity");
+    {
+      std::lock_guard<std::mutex> lock(tail_mutex_);
+      if (closed_.load(std::memory_order_relaxed))
+        return Status::closed("queue closed");
+      const std::size_t room =
+          capacity_ - size_.load(std::memory_order_acquire);
+      if (room < values.size()) return Status::would_block("queue full");
+      for (T& value : values) enqueue_locked(std::move(value));
+    }
+    signal_not_empty(values.size());
     return Status::ok();
   }
 
   /// Blocking pop; nullopt when the queue is closed *and* drained.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
-    if (size_ == 0) return std::nullopt;  // closed and empty
+    std::unique_lock<std::mutex> lock(head_mutex_);
+    if (!wait_for_item_locked(lock)) return std::nullopt;
     T out = dequeue_locked();
     lock.unlock();
-    not_full_.notify_one();
+    signal_not_full();
     return out;
+  }
+
+  /// Blocking bulk pop: waits for at least one element, then drains
+  /// everything currently queued (up to `max`) in one critical section.
+  /// Appends to `out`; returns the number of elements taken (0 only when
+  /// the queue is closed and drained).
+  std::size_t pop_all(std::vector<T>& out,
+                      std::size_t max = static_cast<std::size_t>(-1)) {
+    std::size_t taken = 0;
+    {
+      std::unique_lock<std::mutex> lock(head_mutex_);
+      if (!wait_for_item_locked(lock)) return 0;
+      // Only producers grow the count concurrently, so the batch observed
+      // here can be drained without re-checking per element.
+      std::size_t available = size_.load(std::memory_order_acquire);
+      while (available > 0 && taken < max) {
+        out.push_back(dequeue_locked());
+        ++taken;
+        --available;
+      }
+    }
+    signal_not_full(taken);
+    return taken;
   }
 
   /// Nonblocking pop.
   std::optional<T> try_pop() {
     std::optional<T> out;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (size_ == 0) return std::nullopt;
+      std::lock_guard<std::mutex> lock(head_mutex_);
+      if (size_.load(std::memory_order_acquire) == 0) return std::nullopt;
       out = dequeue_locked();
     }
-    not_full_.notify_one();
+    signal_not_full();
     return out;
   }
 
   /// After close(), pushes fail and pops drain the remaining items then
   /// return nullopt.  Idempotent.
   void close() {
+    closed_.store(true, std::memory_order_seq_cst);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      closed_ = true;
+      std::lock_guard<std::mutex> lock(tail_mutex_);
+      not_full_.notify_all();
     }
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    {
+      std::lock_guard<std::mutex> lock(head_mutex_);
+      not_empty_.notify_all();
+    }
   }
 
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return size_;
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_.load(std::memory_order_acquire);
   }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return closed_;
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_seq_cst);
   }
 
  private:
+  // Waiting protocol: a side registers itself in waiting_* *before*
+  // re-checking the count, and the other side checks waiting_* *after*
+  // updating the count (both seq_cst).  Whichever ordering the race takes,
+  // either the waiter sees the new count and skips the wait, or the
+  // notifier sees the waiter and takes the waiter's mutex to signal —
+  // never a lost wakeup.  The notifier acquires the mutex only when a
+  // waiter is actually registered, so uncontended traffic never crosses
+  // to the other side's lock.
+
+  /// Waits (holding tail_mutex_) until there is room; false when closed.
+  bool wait_for_space_locked(std::unique_lock<std::mutex>& lock) {
+    for (;;) {
+      if (closed_.load(std::memory_order_seq_cst)) return false;
+      if (size_.load(std::memory_order_seq_cst) < capacity_) return true;
+      waiting_pushers_.fetch_add(1, std::memory_order_seq_cst);
+      if (size_.load(std::memory_order_seq_cst) == capacity_ &&
+          !closed_.load(std::memory_order_seq_cst))
+        not_full_.wait(lock);
+      waiting_pushers_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  }
+
+  /// Waits (holding head_mutex_) until an item exists; false when the
+  /// queue is closed and drained.
+  bool wait_for_item_locked(std::unique_lock<std::mutex>& lock) {
+    for (;;) {
+      if (size_.load(std::memory_order_seq_cst) > 0) return true;
+      if (closed_.load(std::memory_order_seq_cst)) return false;
+      waiting_poppers_.fetch_add(1, std::memory_order_seq_cst);
+      if (size_.load(std::memory_order_seq_cst) == 0 &&
+          !closed_.load(std::memory_order_seq_cst))
+        not_empty_.wait(lock);
+      waiting_poppers_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+  }
+
+  /// `produced` is how many elements the caller just made available: a
+  /// bulk delivery can satisfy several waiters, so waking only one would
+  /// strand the rest until unrelated traffic trickled wakeups their way.
+  void signal_not_empty(std::size_t produced = 1) {
+    if (produced == 0) return;
+    if (waiting_poppers_.load(std::memory_order_seq_cst) > 0) {
+      std::lock_guard<std::mutex> lock(head_mutex_);
+      if (produced > 1) {
+        not_empty_.notify_all();
+      } else {
+        not_empty_.notify_one();
+      }
+    }
+  }
+
+  void signal_not_full(std::size_t freed = 1) {
+    if (freed == 0) return;
+    if (waiting_pushers_.load(std::memory_order_seq_cst) > 0) {
+      std::lock_guard<std::mutex> lock(tail_mutex_);
+      if (freed > 1) {
+        not_full_.notify_all();
+      } else {
+        not_full_.notify_one();
+      }
+    }
+  }
+
   void enqueue_locked(T value) {
     buffer_[tail_] = std::move(value);
     tail_ = (tail_ + 1) % capacity_;
-    ++size_;
+    size_.fetch_add(1, std::memory_order_seq_cst);
   }
 
   T dequeue_locked() {
     T out = std::move(buffer_[head_]);
     head_ = (head_ + 1) % capacity_;
-    --size_;
+    size_.fetch_sub(1, std::memory_order_seq_cst);
     return out;
   }
 
   const std::size_t capacity_;
   std::vector<T> buffer_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
+  std::mutex tail_mutex_;  ///< serializes producers; guards tail_
+  std::mutex head_mutex_;  ///< serializes consumers; guards head_
+  std::condition_variable not_empty_;  ///< waited on under head_mutex_
+  std::condition_variable not_full_;   ///< waited on under tail_mutex_
   std::size_t head_ = 0;
   std::size_t tail_ = 0;
-  std::size_t size_ = 0;
-  bool closed_ = false;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<int> waiting_pushers_{0};
+  std::atomic<int> waiting_poppers_{0};
+  std::atomic<bool> closed_{false};
 };
 
 }  // namespace dedicore::shm

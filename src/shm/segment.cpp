@@ -2,62 +2,80 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
 namespace dedicore::shm {
 
 namespace {
-std::uint64_t align_up(std::uint64_t value, std::uint64_t alignment) {
-  return (value + alignment - 1) / alignment * alignment;
-}
 bool is_power_of_two(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
 }  // namespace
 
 Segment::Segment(std::uint64_t capacity)
     : capacity_(capacity), memory_(new std::byte[capacity]) {
   DEDICORE_CHECK(capacity > 0, "Segment capacity must be non-zero");
-  free_list_.push_back(FreeBlock{0, capacity});
+  insert_free_locked(0, capacity);
+  refresh_largest_locked();
+}
+
+void Segment::insert_free_locked(std::uint64_t offset, std::uint64_t size) {
+  free_by_offset_.emplace(offset, size);
+  free_by_size_.emplace(size, offset);
+}
+
+void Segment::erase_free_locked(std::uint64_t offset, std::uint64_t size) {
+  free_by_offset_.erase(offset);
+  free_by_size_.erase({size, offset});
+}
+
+void Segment::refresh_largest_locked() {
+  largest_free_block_.store(
+      free_by_size_.empty() ? 0 : free_by_size_.rbegin()->first,
+      std::memory_order_relaxed);
 }
 
 std::optional<BlockRef> Segment::allocate_locked(std::uint64_t size,
                                                  std::uint64_t alignment) {
   DEDICORE_CHECK(size > 0, "cannot allocate an empty block");
   DEDICORE_CHECK(is_power_of_two(alignment), "alignment must be a power of two");
-  for (std::size_t i = 0; i < free_list_.size(); ++i) {
-    FreeBlock& fb = free_list_[i];
-    const std::uint64_t aligned = align_up(fb.offset, alignment);
-    const std::uint64_t padding = aligned - fb.offset;
-    if (fb.size < padding + size) continue;
-
-    // First fit found.  Carve [aligned, aligned+size) out of fb.  Padding
-    // in front stays free; the tail (if any) stays free.
-    const std::uint64_t tail_offset = aligned + size;
-    const std::uint64_t tail_size = fb.offset + fb.size - tail_offset;
-
-    if (padding == 0 && tail_size == 0) {
-      free_list_.erase(free_list_.begin() + static_cast<std::ptrdiff_t>(i));
-    } else if (padding == 0) {
-      fb.offset = tail_offset;
-      fb.size = tail_size;
-    } else if (tail_size == 0) {
-      fb.size = padding;
-    } else {
-      fb.size = padding;
-      free_list_.insert(free_list_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
-                        FreeBlock{tail_offset, tail_size});
-    }
-
-    const BlockRef ref{aligned, size};
-    auto pos = std::lower_bound(allocated_.begin(), allocated_.end(), aligned,
-                                [](const FreeBlock& b, std::uint64_t off) {
-                                  return b.offset < off;
-                                });
-    allocated_.insert(pos, FreeBlock{aligned, size});
-    used_ += size;
-    peak_used_ = std::max(peak_used_, used_);
-    ++allocations_;
-    return ref;
+  // An alignment wider than the segment can never be satisfied (offset 0 is
+  // the only aligned offset and the check below covers it); anything larger
+  // would also overflow the `size + alignment - 1` band arithmetic.  Refuse
+  // it as a counted failure instead of computing with wrapped padding.
+  if (alignment > capacity_ || size > capacity_) {
+    failed_allocations_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
   }
-  ++failed_allocations_;
+
+  // Best-fit with alignment: only blocks whose size is in
+  // [size, size + alignment - 1) can be disqualified by padding, so scan
+  // that narrow band and fall through to the first block at or above
+  // size + alignment - 1, which fits any placement.  Offsets never exceed
+  // capacity_, so align_up cannot wrap after the alignment guard above.
+  const std::uint64_t padding_mask = alignment - 1;
+  for (auto it = free_by_size_.lower_bound({size, 0});
+       it != free_by_size_.end(); ++it) {
+    const std::uint64_t block_size = it->first;
+    const std::uint64_t block_offset = it->second;
+    const std::uint64_t aligned = (block_offset + padding_mask) & ~padding_mask;
+    const std::uint64_t padding = aligned - block_offset;
+    if (block_size < padding + size) continue;  // only possible in the band
+
+    erase_free_locked(block_offset, block_size);
+    const std::uint64_t tail_offset = aligned + size;
+    const std::uint64_t tail_size = block_offset + block_size - tail_offset;
+    if (padding > 0) insert_free_locked(block_offset, padding);
+    if (tail_size > 0) insert_free_locked(tail_offset, tail_size);
+    refresh_largest_locked();
+
+    allocated_.emplace(aligned, size);
+    const std::uint64_t now_used =
+        used_.fetch_add(size, std::memory_order_relaxed) + size;
+    if (now_used > peak_used_.load(std::memory_order_relaxed))
+      peak_used_.store(now_used, std::memory_order_relaxed);
+    allocations_.fetch_add(1, std::memory_order_relaxed);
+    return BlockRef{aligned, size};
+  }
+  failed_allocations_.fetch_add(1, std::memory_order_relaxed);
   return std::nullopt;
 }
 
@@ -71,52 +89,66 @@ std::optional<BlockRef> Segment::try_allocate(std::uint64_t size,
 std::optional<BlockRef> Segment::allocate_blocking(std::uint64_t size,
                                                    std::uint64_t alignment) {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (size > capacity_) return std::nullopt;  // can never succeed
+  if (size > capacity_ || alignment > capacity_)
+    return std::nullopt;  // can never succeed
   for (;;) {
     if (closed_) return std::nullopt;
     if (auto ref = allocate_locked(size, alignment)) return ref;
-    space_freed_.wait(lock);
+    Waiter waiter;
+    waiter.size = size;
+    auto position = waiters_.insert(waiters_.end(), &waiter);
+    waiter.cv.wait(lock, [&] { return waiter.ready || closed_; });
+    waiters_.erase(position);
   }
 }
 
 void Segment::deallocate(BlockRef block) {
   if (block.is_null()) return;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto pos = std::lower_bound(allocated_.begin(), allocated_.end(),
-                                block.offset,
-                                [](const FreeBlock& b, std::uint64_t off) {
-                                  return b.offset < off;
-                                });
-    DEDICORE_CHECK(pos != allocated_.end() && pos->offset == block.offset &&
-                       pos->size == block.size,
-                   "Segment::deallocate: unknown or double-freed block");
-    allocated_.erase(pos);
-    used_ -= block.size;
-    ++frees_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = allocated_.find(block.offset);
+  DEDICORE_CHECK(it != allocated_.end() && it->second == block.size,
+                 "Segment::deallocate: unknown or double-freed block");
+  allocated_.erase(it);
+  used_.fetch_sub(block.size, std::memory_order_relaxed);
+  frees_.fetch_add(1, std::memory_order_relaxed);
 
-    // Insert into the sorted free list and coalesce with neighbours.
-    auto it = std::lower_bound(free_list_.begin(), free_list_.end(),
-                               block.offset,
-                               [](const FreeBlock& b, std::uint64_t off) {
-                                 return b.offset < off;
-                               });
-    it = free_list_.insert(it, FreeBlock{block.offset, block.size});
-    // Coalesce with successor first (keeps `it` valid).
-    if (auto next = it + 1;
-        next != free_list_.end() && it->offset + it->size == next->offset) {
-      it->size += next->size;
-      free_list_.erase(next);
-    }
-    if (it != free_list_.begin()) {
-      auto prev = it - 1;
-      if (prev->offset + prev->size == it->offset) {
-        prev->size += it->size;
-        free_list_.erase(it);
-      }
+  // Coalesce with the free neighbours, then reindex the merged block.
+  std::uint64_t offset = block.offset;
+  std::uint64_t size = block.size;
+  auto next = free_by_offset_.lower_bound(offset);
+  if (next != free_by_offset_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->first + prev->second == offset) {
+      offset = prev->first;
+      size += prev->second;
+      erase_free_locked(prev->first, prev->second);
+      next = free_by_offset_.lower_bound(offset);
     }
   }
-  space_freed_.notify_all();
+  if (next != free_by_offset_.end() && block.offset + block.size == next->first) {
+    size += next->second;
+    erase_free_locked(next->first, next->second);
+  }
+  insert_free_locked(offset, size);
+  refresh_largest_locked();
+  wake_fitting_waiters_locked();
+}
+
+void Segment::wake_fitting_waiters_locked() {
+  if (waiters_.empty()) return;
+  // Wake only the waiters whose request can now plausibly fit.  Using the
+  // largest free block as the fit test is conservative (alignment padding
+  // may still refuse the retry, which then re-parks), so no fitting waiter
+  // is ever left asleep — but a free that cannot help anyone wakes no one,
+  // unlike the former notify_all thundering herd.
+  const std::uint64_t largest =
+      largest_free_block_.load(std::memory_order_relaxed);
+  for (Waiter* waiter : waiters_) {
+    if (!waiter->ready && waiter->size <= largest) {
+      waiter->ready = true;
+      waiter->cv.notify_one();
+    }
+  }
 }
 
 std::span<std::byte> Segment::view(BlockRef block) {
@@ -140,69 +172,67 @@ std::optional<BlockRef> Segment::try_write(std::span<const std::byte> bytes,
 }
 
 void Segment::close() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    closed_ = true;
-  }
-  space_freed_.notify_all();
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  for (Waiter* waiter : waiters_) waiter->cv.notify_one();
 }
 
-std::uint64_t Segment::used() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return used_;
-}
-
-std::uint64_t Segment::free_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return capacity_ - used_;
-}
-
-SegmentStats Segment::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+SegmentStats Segment::stats() const noexcept {
   SegmentStats s;
   s.capacity = capacity_;
-  s.used = used_;
-  s.peak_used = peak_used_;
-  s.allocations = allocations_;
-  s.frees = frees_;
-  s.failed_allocations = failed_allocations_;
-  for (const auto& fb : free_list_)
-    s.largest_free_block = std::max(s.largest_free_block, fb.size);
+  s.used = used_.load(std::memory_order_relaxed);
+  s.peak_used = peak_used_.load(std::memory_order_relaxed);
+  s.allocations = allocations_.load(std::memory_order_relaxed);
+  s.frees = frees_.load(std::memory_order_relaxed);
+  s.failed_allocations = failed_allocations_.load(std::memory_order_relaxed);
+  s.largest_free_block = largest_free_block_.load(std::memory_order_relaxed);
   return s;
 }
 
 void Segment::check_invariants() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  DEDICORE_CHECK(free_by_offset_.size() == free_by_size_.size(),
+                 "invariant: free indexes disagree on block count");
   std::uint64_t free_total = 0;
-  for (std::size_t i = 0; i < free_list_.size(); ++i) {
-    const auto& fb = free_list_[i];
-    DEDICORE_CHECK(fb.size > 0, "invariant: empty free block");
-    DEDICORE_CHECK(fb.offset + fb.size <= capacity_,
+  std::uint64_t largest = 0;
+  std::uint64_t prev_end = 0;
+  bool first = true;
+  for (const auto& [offset, size] : free_by_offset_) {
+    DEDICORE_CHECK(size > 0, "invariant: empty free block");
+    DEDICORE_CHECK(offset + size <= capacity_,
                    "invariant: free block out of range");
-    if (i > 0) {
-      const auto& prev = free_list_[i - 1];
-      DEDICORE_CHECK(prev.offset + prev.size < fb.offset,
+    DEDICORE_CHECK(free_by_size_.count({size, offset}) == 1,
+                   "invariant: free block missing from size index");
+    if (!first)
+      DEDICORE_CHECK(prev_end < offset,
                      "invariant: free list not sorted/coalesced");
-    }
-    free_total += fb.size;
+    first = false;
+    prev_end = offset + size;
+    free_total += size;
+    largest = std::max(largest, size);
   }
+  DEDICORE_CHECK(largest == largest_free_block_.load(std::memory_order_relaxed),
+                 "invariant: cached largest free block stale");
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> allocated(
+      allocated_.begin(), allocated_.end());
+  std::sort(allocated.begin(), allocated.end());
   std::uint64_t alloc_total = 0;
-  for (std::size_t i = 0; i < allocated_.size(); ++i) {
-    const auto& ab = allocated_[i];
-    DEDICORE_CHECK(ab.offset + ab.size <= capacity_,
+  for (std::size_t i = 0; i < allocated.size(); ++i) {
+    const auto& [offset, size] = allocated[i];
+    DEDICORE_CHECK(offset + size <= capacity_,
                    "invariant: allocated block out of range");
     if (i > 0) {
-      const auto& prev = allocated_[i - 1];
-      DEDICORE_CHECK(prev.offset + prev.size <= ab.offset,
+      const auto& [prev_offset, prev_size] = allocated[i - 1];
+      DEDICORE_CHECK(prev_offset + prev_size <= offset,
                      "invariant: allocated blocks overlap");
     }
-    alloc_total += ab.size;
+    alloc_total += size;
   }
-  DEDICORE_CHECK(alloc_total == used_, "invariant: used-bytes accounting broken");
-  // Padding bytes burnt by alignment live in neither list; they are
-  // returned when the allocation that created them is freed only if they
-  // were left in the free list, which this allocator guarantees — so free
-  // + used must cover the whole capacity.
+  DEDICORE_CHECK(alloc_total == used_.load(std::memory_order_relaxed),
+                 "invariant: used-bytes accounting broken");
+  // Padding bytes burnt by alignment stay in the free indexes, so free +
+  // used must cover the whole capacity.
   DEDICORE_CHECK(free_total + alloc_total == capacity_,
                  "invariant: capacity accounting broken");
 }

@@ -1,5 +1,5 @@
-// Bounded shared-memory segment with a first-fit, coalescing free-list
-// allocator.
+// Bounded shared-memory segment with a size-segregated, best-fit,
+// coalescing allocator.
 //
 // This is the Damaris data path: simulation cores allocate blocks here
 // (zero-copy `alloc/commit` or one-copy `write`), and dedicated cores read
@@ -14,17 +14,44 @@
 //  * blocks are addressed by handles (offsets), not raw pointers, as they
 //    would be across processes with distinct mappings.
 //
+// Allocator design (the node-local hot path — every simulation write goes
+// through here, so it must stay in the microsecond range at any live-block
+// count):
+//
+//  * free space is indexed twice: an offset-ordered map (offset -> size)
+//    for O(log n) neighbour coalescing on free, and a (size, offset)
+//    ordered set for O(log n) best-fit lookup on allocate.  Lookup scans
+//    the narrow band of blocks whose size is in [size, size + alignment)
+//    — only those can be disqualified by alignment padding — and then
+//    jumps to the first block of size >= size + alignment - 1, which is
+//    guaranteed to fit.  An allocation therefore fails only when *no*
+//    free block can hold the request, the same completeness guarantee a
+//    full first-fit scan gives.
+//  * allocated blocks live in a hash map (offset -> size): O(1)
+//    double-free detection instead of the former O(n) sorted vector.
+//  * counters are atomics, so used()/free_bytes()/stats() never touch the
+//    allocator lock — monitoring cannot stall the data path.
+//  * blocking allocations register per-waiter wakeup records; a free
+//    wakes only the waiters whose request can now plausibly fit (request
+//    size <= largest free block) instead of notify_all-ing every waiter
+//    into a thundering herd that mostly re-sleeps.
+//
 // Thread-safety: all operations are safe to call concurrently.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <span>
-#include <vector>
+#include <unordered_map>
+#include <utility>
 
 #include "common/status.hpp"
 
@@ -61,12 +88,16 @@ class Segment {
   Segment& operator=(const Segment&) = delete;
 
   /// Nonblocking allocation; nullopt when no free block fits (the failure
-  /// is counted — the skip-iteration policy keys off it).
+  /// is counted — the skip-iteration policy keys off it).  `alignment`
+  /// must be a power of two; an alignment larger than the capacity can
+  /// never be satisfied and is rejected as a counted failure rather than
+  /// overflowing the padding arithmetic.
   std::optional<BlockRef> try_allocate(std::uint64_t size,
                                        std::uint64_t alignment = 8);
 
   /// Blocking allocation: waits until space frees up.  Returns nullopt if
-  /// the segment is closed while waiting, or if `size` can never fit.
+  /// the segment is closed while waiting, or if `size` (or `alignment`)
+  /// can never fit.
   std::optional<BlockRef> allocate_blocking(std::uint64_t size,
                                             std::uint64_t alignment = 8);
 
@@ -86,38 +117,60 @@ class Segment {
   void close();
 
   [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] std::uint64_t used() const;
-  [[nodiscard]] std::uint64_t free_bytes() const;
-  [[nodiscard]] SegmentStats stats() const;
+  /// Lock-free: reads an atomic counter, never contends with allocations.
+  [[nodiscard]] std::uint64_t used() const noexcept {
+    return used_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t free_bytes() const noexcept {
+    return capacity_ - used();
+  }
+  /// Lock-free snapshot of the counters (individually consistent).
+  [[nodiscard]] SegmentStats stats() const noexcept;
 
-  /// Verifies the free-list invariants (sorted, non-overlapping, coalesced,
-  /// accounting consistent).  Used by property tests; aborts on violation.
+  /// Verifies the allocator invariants (free maps mirror each other,
+  /// sorted, non-overlapping, coalesced, accounting consistent).  Used by
+  /// property tests; aborts on violation.
   void check_invariants() const;
 
  private:
-  struct FreeBlock {
-    std::uint64_t offset;
-    std::uint64_t size;
+  /// A blocking allocation parked until a free might satisfy it.
+  struct Waiter {
+    std::uint64_t size = 0;
+    std::condition_variable cv;
+    bool ready = false;
   };
 
   std::optional<BlockRef> allocate_locked(std::uint64_t size,
                                           std::uint64_t alignment);
+  /// Removes a free block from both indexes.
+  void erase_free_locked(std::uint64_t offset, std::uint64_t size);
+  /// Adds a free block to both indexes.
+  void insert_free_locked(std::uint64_t offset, std::uint64_t size);
+  /// Refreshes the cached largest-free-block counter.
+  void refresh_largest_locked();
+  /// Wakes the waiters whose request can now plausibly fit.
+  void wake_fitting_waiters_locked();
 
   const std::uint64_t capacity_;
   std::unique_ptr<std::byte[]> memory_;
 
   mutable std::mutex mutex_;
-  std::condition_variable space_freed_;
-  std::vector<FreeBlock> free_list_;  // sorted by offset, fully coalesced
-  // Allocated blocks (offset -> size) for double-free detection.
-  std::vector<FreeBlock> allocated_;  // sorted by offset
+  /// Free blocks, offset -> size: neighbour lookup for coalescing.
+  std::map<std::uint64_t, std::uint64_t> free_by_offset_;
+  /// The same free blocks as (size, offset): best-fit lookup.
+  std::set<std::pair<std::uint64_t, std::uint64_t>> free_by_size_;
+  /// Allocated blocks, offset -> size: O(1) double-free detection.
+  std::unordered_map<std::uint64_t, std::uint64_t> allocated_;
+  /// Parked blocking allocations, in arrival order.
+  std::list<Waiter*> waiters_;
   bool closed_ = false;
 
-  std::uint64_t used_ = 0;
-  std::uint64_t peak_used_ = 0;
-  std::uint64_t allocations_ = 0;
-  std::uint64_t frees_ = 0;
-  std::uint64_t failed_allocations_ = 0;
+  std::atomic<std::uint64_t> used_{0};
+  std::atomic<std::uint64_t> peak_used_{0};
+  std::atomic<std::uint64_t> allocations_{0};
+  std::atomic<std::uint64_t> frees_{0};
+  std::atomic<std::uint64_t> failed_allocations_{0};
+  std::atomic<std::uint64_t> largest_free_block_{0};
 };
 
 }  // namespace dedicore::shm

@@ -50,8 +50,15 @@ std::optional<shm::BlockRef> MpiClientTransport::try_acquire(
   const std::uint64_t need = aligned(size);
   drain_credits();
   if (need > credits_) {
-    ++stats_.acquire_failures;
-    return std::nullopt;
+    // Ship the staged frame so the server can process (and eventually
+    // credit back) what this client already owes it, then fail: the
+    // skip/adaptive policies key off the refusal.
+    flush();
+    drain_credits();
+    if (need > credits_) {
+      ++stats_.acquire_failures;
+      return std::nullopt;
+    }
   }
   credits_ -= need;
   const shm::BlockRef ref{next_offset_, size};
@@ -66,8 +73,11 @@ std::optional<shm::BlockRef> MpiClientTransport::acquire_blocking(
   if (need > credit_limit_) return std::nullopt;  // can never fit
   drain_credits();
   while (need > credits_) {
-    // The analogue of blocking on a full segment: wait for the server to
+    // The analogue of blocking on a full segment: flush the staged frame
+    // first (the credit we are about to wait for can only come back once
+    // the server has seen those blocks), then wait for the server to
     // release blocks and return their credit.
+    flush();
     ++stats_.credit_waits;
     credits_ += credit_from(comm_.recv(server_rank_, kTagCredit));
   }
@@ -98,30 +108,58 @@ bool MpiClientTransport::publish(const Event& event) {
   DEDICORE_CHECK(it != staging_.end(),
                  "MpiClientTransport: publish of an unknown block");
   // The staging buffer already reserves header space: stamp the event into
-  // the prefix and move the whole buffer to the wire — no payload copy.
-  std::vector<std::byte> wire = std::move(it->second);
+  // the prefix and move the whole buffer into the pending frame — no
+  // payload copy here; the single copy happens when the frame's records
+  // are gathered into one wire message at flush time.
+  std::vector<std::byte> record = std::move(it->second);
   staging_.erase(it);
-  std::memcpy(wire.data(), &event, kHeaderBytes);
-  stats_.bytes_shipped += wire.size() - kHeaderBytes;
+  std::memcpy(record.data(), &event, kHeaderBytes);
+  frame_payload_bytes_ += record.size() - kHeaderBytes;
+  frame_records_.push_back(std::move(record));
+  ++frame_event_count_;
+  stats_.bytes_shipped += event.block.size;
   ++stats_.blocks_shipped;
   ++stats_.events_sent;
-  comm_.send_bytes(std::move(wire), server_rank_, kTagEvent);
-  return true;  // credit returns when the server releases the block
+  // Bound client-side staging memory: a huge iteration goes out in a few
+  // frames instead of one unbounded one (order is preserved either way).
+  if (frame_payload_bytes_ >= kMaxFrameBytes) flush();
+  return true;
 }
 
 Status MpiClientTransport::try_publish(const Event& event) {
-  // Sends are buffered and the event channel is unbounded; flow control
+  // Staging is local and the wire channel is unbounded; flow control
   // already happened at acquire time, so this never reports WOULD_BLOCK.
   publish(event);
   return Status::ok();
 }
 
 bool MpiClientTransport::post(const Event& event) {
-  std::vector<std::byte> wire(kHeaderBytes);
-  std::memcpy(wire.data(), &event, kHeaderBytes);
-  comm_.send_bytes(std::move(wire), server_rank_, kTagEvent);
+  std::vector<std::byte> record(kHeaderBytes);
+  std::memcpy(record.data(), &event, kHeaderBytes);
+  frame_records_.push_back(std::move(record));
+  ++frame_event_count_;
   ++stats_.events_sent;
+  // Control events (end-iteration, signals, stop) close a batch: ship the
+  // frame so the server sees everything up to and including this event.
+  flush();
   return true;
+}
+
+void MpiClientTransport::flush() {
+  if (frame_event_count_ == 0) return;
+  wire::FrameHeader header;
+  header.event_count = frame_event_count_;
+  header.frame_seq = frame_seq_++;
+  std::vector<std::vector<std::byte>> parts;
+  parts.reserve(frame_records_.size() + 1);
+  parts.emplace_back(sizeof(header));
+  std::memcpy(parts.front().data(), &header, sizeof(header));
+  for (auto& record : frame_records_) parts.push_back(std::move(record));
+  frame_records_.clear();
+  frame_event_count_ = 0;
+  frame_payload_bytes_ = 0;
+  comm_.send_bytes_parts(std::move(parts), server_rank_, kTagFrame);
+  ++stats_.wire_messages;
 }
 
 // ---------------------------------------------------------------------------
@@ -137,41 +175,52 @@ MpiServerTransport::MpiServerTransport(minimpi::Comm comm,
 }
 
 std::optional<Event> MpiServerTransport::next_event() {
-  minimpi::Message m = comm_.recv(minimpi::kAnySource, kTagEvent);
-  DEDICORE_CHECK(m.payload.size() >= kHeaderBytes,
-                 "MpiServerTransport: short event message");
-  Event event;
-  std::memcpy(&event, m.payload.data(), kHeaderBytes);
-  ++stats_.events_received;
-  if (event.type != EventType::kBlockWritten) return event;
-
-  const std::uint64_t bytes = m.payload.size() - kHeaderBytes;
-  DEDICORE_CHECK(bytes == event.block.size,
-                 "MpiServerTransport: payload size does not match block ref");
-  const std::span<const std::byte> payload(m.payload.data() + kHeaderBytes,
-                                           bytes);
-  Resident info;
-  info.source_rank = m.source;
-  info.credit = aligned(bytes);
-
-  // Re-home the payload in the local segment; the credit protocol bounds
-  // total residency by the segment capacity, but first-fit fragmentation
-  // can still refuse a fitting block — spill to the heap rather than
-  // deadlocking a single-threaded server on its own free.
-  shm::BlockRef ref;
-  if (auto placed = fabric_->segment.try_allocate(bytes)) {
-    ref = *placed;
-    std::memcpy(fabric_->segment.view(ref).data(), payload.data(), bytes);
-  } else {
-    ref = shm::BlockRef{next_spill_offset_, bytes};
-    next_spill_offset_ += info.credit;
-    info.spill.assign(payload.begin(), payload.end());
-  }
-  resident_.emplace(ref.offset, std::move(info));
-  event.block = ref;
-  ++stats_.blocks_received_remote;
-  stats_.bytes_received_remote += bytes;
+  while (pending_.empty()) receive_frame();
+  Event event = pending_.front();
+  pending_.pop_front();
   return event;
+}
+
+void MpiServerTransport::receive_frame() {
+  minimpi::Message m = comm_.recv(minimpi::kAnySource, kTagFrame);
+  wire::FrameReader reader(m.payload);
+  const std::uint64_t frame_id = next_frame_id_++;
+  FrameCredit frame;
+  frame.source_rank = m.source;
+
+  while (reader.remaining() > 0) {
+    std::span<const std::byte> payload;
+    Event event = reader.next(&payload);
+    ++stats_.events_received;
+    if (event.type == EventType::kBlockWritten) {
+      const std::uint64_t bytes = event.block.size;
+      Resident info;
+      info.frame_id = frame_id;
+      info.credit = aligned(bytes);
+
+      // Re-home the payload in the local segment; the credit protocol
+      // bounds total residency by the segment capacity, but fragmentation
+      // can still refuse a fitting block — spill to the heap rather than
+      // deadlocking a single-threaded server on its own free.
+      shm::BlockRef ref;
+      if (auto placed = fabric_->segment.try_allocate(bytes)) {
+        ref = *placed;
+        std::memcpy(fabric_->segment.view(ref).data(), payload.data(), bytes);
+      } else {
+        ref = shm::BlockRef{next_spill_offset_, bytes};
+        next_spill_offset_ += info.credit;
+        info.spill.assign(payload.begin(), payload.end());
+      }
+      resident_.emplace(ref.offset, std::move(info));
+      event.block = ref;
+      ++frame.blocks_outstanding;
+      ++stats_.blocks_received_remote;
+      stats_.bytes_received_remote += bytes;
+    }
+    pending_.push_back(event);
+  }
+  // Pure control frames owe no credit and need no accounting entry.
+  if (frame.blocks_outstanding > 0) frames_.emplace(frame_id, frame);
 }
 
 std::span<const std::byte> MpiServerTransport::view(
@@ -191,7 +240,21 @@ void MpiServerTransport::release(const shm::BlockRef& block) {
   const Resident info = std::move(it->second);
   resident_.erase(it);
   if (info.spill.empty()) fabric_->segment.deallocate(block);
-  comm_.send_value(info.credit, info.source_rank, kTagCredit);
+
+  // Credit returns at frame granularity: accumulate until the last block
+  // of the frame is released, then ship ONE credit message.
+  auto frame_it = frames_.find(info.frame_id);
+  DEDICORE_CHECK(frame_it != frames_.end(),
+                 "MpiServerTransport: release for an unknown frame");
+  FrameCredit& frame = frame_it->second;
+  frame.credit_accum += info.credit;
+  DEDICORE_CHECK(frame.blocks_outstanding > 0,
+                 "MpiServerTransport: frame over-released");
+  if (--frame.blocks_outstanding == 0) {
+    comm_.send_value(frame.credit_accum, frame.source_rank, kTagCredit);
+    ++stats_.wire_messages;
+    frames_.erase(frame_it);
+  }
 }
 
 }  // namespace dedicore::transport

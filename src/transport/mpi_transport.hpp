@@ -1,25 +1,38 @@
 // MpiTransport — dedicated-*nodes* data path over minimpi point-to-point.
 //
 // Instead of sharing a segment with its server, a client stages each block
-// in private memory and ships event + payload in one tagged message; the
-// server re-homes arriving payloads in its own node-local segment so the
+// in private memory and ships event + payload over the wire; the server
+// re-homes arriving payloads in its own node-local segment so the
 // downstream pipeline (index, plugins, release) is identical to the
 // shared-memory path.
+//
+// Shipping is *batched at iteration granularity* (wire.hpp): publishes
+// append records to a pending frame, and the frame goes out as ONE wire
+// message when a control event is posted (end_iteration is the natural
+// flush point), when flush() is called, when the staged payload crosses
+// kMaxFrameBytes, or before any wait that needs the server to see staged
+// work.  The wire cost per (client, iteration) is therefore O(1) messages
+// instead of O(blocks) — the cross-node mirror of the paper's per-node
+// shared-memory aggregation.
 //
 // Backpressure cannot ride on a shared allocator here, so it is
 // credit-based: each client starts with a byte budget (its share of the
 // server's segment), debits it on acquire, and gets credit back in a
-// kTagCredit message when the server releases the block after the plugin
-// pipeline.  acquire_blocking waits on the credit channel — the exact
-// analogue of blocking on a full segment — and try_acquire fails when the
-// budget is spent, which is what the skip/adaptive policies key off.
+// kTagCredit message.  Credit is returned at frame granularity: the
+// server accumulates the credit of a frame's blocks and sends ONE credit
+// message once the plugin pipeline has released them all.
+// acquire_blocking flushes the pending frame and waits on the credit
+// channel — the exact analogue of blocking on a full segment — and
+// try_acquire fails when the budget is spent, which is what the
+// skip/adaptive policies key off.
 //
-// Per-pair FIFO of minimpi messages gives the same ordering guarantee as
-// the bounded queue: a server sees every block of a client's iteration
-// before that iteration's close event.
+// Per-pair FIFO of minimpi messages plus in-order demux of each frame
+// gives the same ordering guarantee as the bounded queue: a server sees
+// every block of a client's iteration before that iteration's close event.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -27,13 +40,18 @@
 #include "minimpi/minimpi.hpp"
 #include "transport/shm_transport.hpp"
 #include "transport/transport.hpp"
+#include "transport/wire.hpp"
 
 namespace dedicore::transport {
 
 /// Tags used by the MPI backend (below minimpi's reserved collective
 /// range, above anything the examples use on the world communicator).
-inline constexpr int kTagEvent = (1 << 20) + 1;
+inline constexpr int kTagFrame = (1 << 20) + 1;
 inline constexpr int kTagCredit = (1 << 20) + 2;
+
+/// Staged payload bound before an early flush: bounds client-side frame
+/// memory while keeping typical iterations to a single wire message.
+inline constexpr std::uint64_t kMaxFrameBytes = 8ull << 20;
 
 class MpiClientTransport final : public ClientTransport {
  public:
@@ -51,9 +69,14 @@ class MpiClientTransport final : public ClientTransport {
   bool publish(const Event& event) override;
   Status try_publish(const Event& event) override;
   bool post(const Event& event) override;
+  void flush() override;
   [[nodiscard]] TransportStats stats() const override { return stats_; }
 
   [[nodiscard]] std::uint64_t credits() const noexcept { return credits_; }
+  /// Records staged for the pending frame (tests/diagnostics).
+  [[nodiscard]] std::size_t staged_events() const noexcept {
+    return frame_records_.size();
+  }
 
  private:
   /// Consumes any credit-return messages waiting in the mailbox.
@@ -68,6 +91,12 @@ class MpiClientTransport final : public ClientTransport {
   /// of header space in front of the payload so publish() serializes
   /// without copying (view() returns the subspan past the header).
   std::unordered_map<std::uint64_t, std::vector<std::byte>> staging_;
+  /// Records of the pending frame, in publish/post order; shipped as one
+  /// wire message by flush().
+  std::vector<std::vector<std::byte>> frame_records_;
+  std::uint32_t frame_event_count_ = 0;
+  std::uint64_t frame_payload_bytes_ = 0;
+  std::uint64_t frame_seq_ = 0;
   TransportStats stats_;
 };
 
@@ -83,17 +112,33 @@ class MpiServerTransport final : public ServerTransport {
   [[nodiscard]] TransportStats stats() const override { return stats_; }
 
  private:
-  /// A block that arrived over the wire: who to credit on release, and —
-  /// when the segment was too fragmented to place it — its spill storage.
-  struct Resident {
+  /// Credit accounting for one received frame: the credit owed to its
+  /// source accumulates as blocks are released and ships as one message
+  /// when the last block of the frame is gone.
+  struct FrameCredit {
     int source_rank = -1;
+    std::uint64_t credit_accum = 0;
+    std::uint32_t blocks_outstanding = 0;
+  };
+
+  /// A block that arrived over the wire: which frame to credit on release,
+  /// and — when the segment was too fragmented to place it — its spill
+  /// storage.
+  struct Resident {
+    std::uint64_t frame_id = 0;
     std::uint64_t credit = 0;
     std::vector<std::byte> spill;  ///< empty when segment-resident
   };
 
+  /// Receives one frame and demuxes its records into pending_.
+  void receive_frame();
+
   minimpi::Comm comm_;
   std::shared_ptr<ShmFabric> fabric_;
+  std::deque<Event> pending_;  ///< demuxed, not yet handed to the server
   std::unordered_map<std::uint64_t, Resident> resident_;
+  std::unordered_map<std::uint64_t, FrameCredit> frames_;
+  std::uint64_t next_frame_id_ = 0;
   std::uint64_t next_spill_offset_;  ///< offsets >= capacity mark spills
   TransportStats stats_;
 };

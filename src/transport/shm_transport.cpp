@@ -60,9 +60,13 @@ ShmServerTransport::ShmServerTransport(std::shared_ptr<ShmFabric> fabric,
     : fabric_(std::move(fabric)), queue_(queue_of(*fabric_, server_index)) {}
 
 std::optional<Event> ShmServerTransport::next_event() {
-  auto event = queue_.pop();
-  if (event) ++stats_.events_received;
-  return event;
+  if (batch_cursor_ == batch_.size()) {
+    batch_.clear();
+    batch_cursor_ = 0;
+    if (queue_.pop_all(batch_) == 0) return std::nullopt;  // closed + drained
+  }
+  ++stats_.events_received;
+  return batch_[batch_cursor_++];
 }
 
 std::span<const std::byte> ShmServerTransport::view(

@@ -73,12 +73,17 @@ class ShmServerTransport final : public ServerTransport {
   [[nodiscard]] TransportStats stats() const override { return stats_; }
 
   /// Closes this server's intake queue; next_event() drains what is left
-  /// and then returns nullopt.
+  /// (including anything already batched locally) and then returns nullopt.
   void close_intake();
 
  private:
   std::shared_ptr<ShmFabric> fabric_;
   shm::BoundedQueue<Event>& queue_;
+  /// Local intake batch: next_event() drains the queue with one pop_all
+  /// critical section and hands events out from here, so the consumer
+  /// touches the shared lock once per burst instead of once per event.
+  std::vector<Event> batch_;
+  std::size_t batch_cursor_ = 0;
   TransportStats stats_;
 };
 

@@ -50,6 +50,10 @@ struct TransportStats {
   std::uint64_t bytes_received_remote = 0;
   std::uint64_t acquire_failures = 0;      ///< try_acquire refusals
   std::uint64_t credit_waits = 0;          ///< blocking waits for flow credit
+  /// Messages actually put on the wire by this endpoint (frames on the MPI
+  /// backend).  With batching this is O(1) per iteration, not O(blocks) —
+  /// the ratio events_sent / wire_messages is the aggregation factor.
+  std::uint64_t wire_messages = 0;
 };
 
 /// Client-side endpoint toward one server.  Not thread-safe: one client
@@ -88,6 +92,13 @@ class ClientTransport {
 
   /// Delivers a control event (no block payload); false when closed.
   virtual bool post(const Event& event) = 0;
+
+  /// Ships anything the backend has staged for batching (the MPI backend
+  /// coalesces an iteration's publishes into one wire frame).  Called by
+  /// the client at iteration close; backends also flush internally before
+  /// any wait that needs the server to see staged work (liveness), so
+  /// forgetting to call this can delay delivery but never deadlock.
+  virtual void flush() {}
 
   [[nodiscard]] virtual TransportStats stats() const = 0;
 };

@@ -1,0 +1,94 @@
+// Wire framing for the MPI transport's batched data path.
+//
+// Instead of one tagged message per block, a client stages the events (and
+// block payloads) of an iteration and flushes them as ONE frame per
+// (iteration, destination) — the cross-node mirror of the per-node
+// aggregation the paper's shared-memory design gets for free.  A frame is:
+//
+//   FrameHeader                            (fixed size, magic-checked)
+//   record 0: Event [+ payload bytes]      (payload iff kBlockWritten,
+//   record 1: Event [+ payload bytes]       length = event.block.size)
+//   ...
+//
+// Records preserve publish/post order, so demuxing a frame preserves the
+// per-client FIFO guarantee of the transport contract.  Flow credit is
+// accounted at the same granularity: the server returns ONE credit message
+// per frame, once every block the frame carried has been released.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+
+#include "common/status.hpp"
+#include "transport/message.hpp"
+
+namespace dedicore::transport::wire {
+
+inline constexpr std::uint32_t kFrameMagic = 0x44434652u;  // "DCFR"
+
+/// Prefix of every frame message on the event channel.
+struct FrameHeader {
+  std::uint32_t magic = kFrameMagic;
+  std::uint32_t event_count = 0;
+  std::uint64_t frame_seq = 0;  ///< client-side frame counter (diagnostics)
+};
+
+static_assert(std::is_trivially_copyable_v<FrameHeader>,
+              "FrameHeader is wire-serialized");
+
+/// Incremental parser over a received frame payload.  The frame was
+/// assembled in-process, so malformed input is a logic error: parsing
+/// aborts via DEDICORE_CHECK rather than returning soft errors.
+class FrameReader {
+ public:
+  explicit FrameReader(std::span<const std::byte> payload)
+      : payload_(payload) {
+    DEDICORE_CHECK(payload_.size() >= sizeof(FrameHeader),
+                   "FrameReader: short frame");
+    std::memcpy(&header_, payload_.data(), sizeof(FrameHeader));
+    DEDICORE_CHECK(header_.magic == kFrameMagic,
+                   "FrameReader: bad frame magic");
+    cursor_ = sizeof(FrameHeader);
+  }
+
+  [[nodiscard]] const FrameHeader& header() const noexcept { return header_; }
+  [[nodiscard]] std::uint32_t remaining() const noexcept {
+    return header_.event_count - consumed_;
+  }
+
+  /// Reads the next record; `payload` receives the block bytes for
+  /// kBlockWritten events and an empty span otherwise.
+  Event next(std::span<const std::byte>* payload) {
+    DEDICORE_CHECK(remaining() > 0, "FrameReader: read past last record");
+    DEDICORE_CHECK(cursor_ + sizeof(Event) <= payload_.size(),
+                   "FrameReader: truncated event record");
+    Event event;
+    std::memcpy(&event, payload_.data() + cursor_, sizeof(Event));
+    cursor_ += sizeof(Event);
+    if (event.type == EventType::kBlockWritten) {
+      // Subtraction form: `cursor_ + size` could wrap on a corrupted size
+      // and sail past the bound it exists to enforce.
+      DEDICORE_CHECK(event.block.size <= payload_.size() - cursor_,
+                     "FrameReader: truncated block payload");
+      *payload = payload_.subspan(cursor_, event.block.size);
+      cursor_ += event.block.size;
+    } else {
+      *payload = {};
+    }
+    ++consumed_;
+    if (remaining() == 0)
+      DEDICORE_CHECK(cursor_ == payload_.size(),
+                     "FrameReader: trailing bytes after last record");
+    return event;
+  }
+
+ private:
+  std::span<const std::byte> payload_;
+  FrameHeader header_;
+  std::size_t cursor_ = 0;
+  std::uint32_t consumed_ = 0;
+};
+
+}  // namespace dedicore::transport::wire

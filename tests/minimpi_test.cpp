@@ -44,6 +44,32 @@ TEST(MiniMpiTest, SendRecvDeliversPayload) {
   });
 }
 
+TEST(MiniMpiTest, SendBytesPartsArrivesAsOneConcatenatedMessage) {
+  run_world(2, [](Comm& world) {
+    if (world.rank() == 0) {
+      std::vector<std::vector<std::byte>> parts;
+      parts.push_back({std::byte{'a'}, std::byte{'b'}});
+      parts.push_back({});  // empty parts are legal and contribute nothing
+      parts.push_back({std::byte{'c'}, std::byte{'d'}, std::byte{'e'}});
+      world.send_bytes_parts(std::move(parts), 1, 9);
+      // Single-part batches take the move-through path.
+      std::vector<std::vector<std::byte>> single;
+      single.push_back({std::byte{'z'}});
+      world.send_bytes_parts(std::move(single), 1, 9);
+    } else {
+      const Message first = world.recv(0, 9);
+      ASSERT_EQ(first.payload.size(), 5u);  // ONE message, parts concatenated
+      EXPECT_EQ(std::to_integer<char>(first.payload[0]), 'a');
+      EXPECT_EQ(std::to_integer<char>(first.payload[4]), 'e');
+      const Message second = world.recv(0, 9);
+      ASSERT_EQ(second.payload.size(), 1u);
+      EXPECT_EQ(std::to_integer<char>(second.payload[0]), 'z');
+      // Exactly two messages total: nothing else is in flight.
+      EXPECT_FALSE(world.try_recv(0, 9).has_value());
+    }
+  });
+}
+
 TEST(MiniMpiTest, TagMatchingIsSelective) {
   run_world(2, [](Comm& world) {
     if (world.rank() == 0) {

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -175,6 +176,52 @@ TEST(ShmQueueStressTest, MixedBlockingAndNonblockingEndpoints) {
         // Fall through to the close() bookkeeping on failure: bailing out
         // without it would leave consumers blocked in pop() forever.
         if (!pushed) break;
+      }
+      if (producers_left.fetch_sub(1) == 1) queue.close();
+    });
+  }
+  for (auto& t : threads) t.join();
+  check_no_loss_no_dup(result, kProducers, kItems);
+}
+
+TEST(ShmQueueStressTest, BatchedProducersAndConsumersLoseNothing) {
+  // The PR-3 batch paths under contention: producers push_all random-sized
+  // bursts (often larger than the capacity, forcing chunked delivery),
+  // consumers drain with pop_all.  Same exactly-once + per-producer-order
+  // contract as the single-event paths.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 2;
+  constexpr int kItems = 3000;
+  BoundedQueue<std::uint64_t> queue(16);
+
+  StressResult result;
+  result.per_consumer.resize(kConsumers);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&queue, &result, c] {
+      auto& received = result.per_consumer[static_cast<std::size_t>(c)];
+      std::vector<std::uint64_t> burst;
+      while (queue.pop_all(burst) > 0) {
+        received.insert(received.end(), burst.begin(), burst.end());
+        burst.clear();
+      }
+    });
+  }
+  std::atomic<int> producers_left{kProducers};
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&queue, &producers_left, p] {
+      Rng rng = testing::make_rng(static_cast<std::uint64_t>(p));
+      int next = 0;
+      std::vector<std::uint64_t> burst;
+      while (next < kItems) {
+        const int n = static_cast<int>(1 + rng.next_below(40));
+        burst.clear();
+        for (int i = 0; i < n && next < kItems; ++i, ++next)
+          burst.push_back(make_item(static_cast<std::uint64_t>(p),
+                                    static_cast<std::uint64_t>(next)));
+        const std::size_t delivered =
+            queue.push_all(std::span<std::uint64_t>(burst));
+        ASSERT_EQ(delivered, burst.size()) << "queue closed under producer";
       }
       if (producers_left.fetch_sub(1) == 1) queue.close();
     });

@@ -3,8 +3,12 @@
 // semantics under concurrency.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
+#include <span>
 #include <thread>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "shm/bounded_queue.hpp"
@@ -125,6 +129,34 @@ TEST(SegmentTest, CloseUnblocksWaiters) {
   closer.join();
 }
 
+TEST(SegmentTest, OversizedAlignmentIsRejectedNotUndefined) {
+  Segment seg(1024);
+  // An alignment wider than the segment can never be satisfied; it must be
+  // refused as a counted failure, not fed into the padding arithmetic.
+  EXPECT_FALSE(seg.try_allocate(8, 2048).has_value());
+  EXPECT_EQ(seg.stats().failed_allocations, 1u);
+  // The extreme case: align_up(offset, 1 << 63) would wrap without a guard.
+  EXPECT_FALSE(seg.try_allocate(8, 1ull << 63).has_value());
+  // Blocking flavor fails fast instead of parking forever.
+  EXPECT_FALSE(seg.allocate_blocking(8, 2048).has_value());
+  seg.check_invariants();
+  // The refusals left the segment fully intact.
+  EXPECT_TRUE(seg.try_allocate(1024, 1).has_value());
+}
+
+TEST(SegmentTest, StatsAreLockFreeSnapshots) {
+  Segment seg(4096);
+  auto a = seg.try_allocate(1000);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(seg.used(), 1000u);
+  EXPECT_EQ(seg.free_bytes(), 3096u);
+  const SegmentStats s = seg.stats();
+  EXPECT_EQ(s.used, 1000u);
+  EXPECT_EQ(s.largest_free_block, 3096u);
+  seg.deallocate(*a);
+  EXPECT_EQ(seg.stats().largest_free_block, 4096u);
+}
+
 TEST(SegmentDeathTest, DoubleFreeAborts) {
   GTEST_FLAG_SET(death_test_style, "threadsafe");
   Segment seg(256);
@@ -174,6 +206,105 @@ TEST_P(SegmentPropertyTest, RandomWorkloadKeepsInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Capacities, SegmentPropertyTest,
                          ::testing::Values(1 << 10, 1 << 14, 1 << 18, 123457));
+
+/// Property test against a reference bitmap model: every returned block
+/// must land on bytes the model says are free, every failure must happen
+/// only when the model confirms no aligned placement exists (the
+/// completeness guarantee of the banded best-fit scan), and the
+/// peak/failed/largest counters must track the model exactly.
+TEST(SegmentBitmapPropertyTest, AllocatorAgreesWithBitmapModel) {
+  constexpr std::uint64_t kCapacity = 1 << 16;
+  Segment seg(kCapacity);
+  Rng rng = dedicore::testing::make_rng();
+
+  std::vector<char> bitmap(kCapacity, 0);  // 1 = byte handed out
+  std::vector<BlockRef> live;
+  std::uint64_t model_used = 0, model_peak = 0;
+  std::uint64_t model_allocs = 0, model_frees = 0, model_failed = 0;
+
+  // True iff some maximal free run admits an aligned placement of `size`.
+  const auto model_has_fit = [&](std::uint64_t size, std::uint64_t alignment) {
+    std::uint64_t run_start = 0;
+    bool in_run = false;
+    for (std::uint64_t i = 0; i <= kCapacity; ++i) {
+      const bool free_byte = i < kCapacity && bitmap[i] == 0;
+      if (free_byte && !in_run) {
+        run_start = i;
+        in_run = true;
+      } else if (!free_byte && in_run) {
+        in_run = false;
+        const std::uint64_t aligned =
+            (run_start + alignment - 1) / alignment * alignment;
+        if (aligned < i && i - aligned >= size) return true;
+      }
+    }
+    return false;
+  };
+
+  const auto model_largest_run = [&] {
+    std::uint64_t best = 0, current = 0;
+    for (std::uint64_t i = 0; i < kCapacity; ++i) {
+      current = bitmap[i] == 0 ? current + 1 : 0;
+      best = std::max(best, current);
+    }
+    return best;
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    const bool allocate = live.empty() || rng.chance(0.6);
+    if (allocate) {
+      const std::uint64_t size = 1 + rng.next_below(kCapacity / 16);
+      const std::uint64_t alignment = 1ull << rng.next_below(8);
+      auto got = seg.try_allocate(size, alignment);
+      if (!got) {
+        ++model_failed;
+        // Completeness: the allocator may only refuse when NO free run
+        // admits the placement.
+        ASSERT_FALSE(model_has_fit(size, alignment))
+            << "refused size=" << size << " alignment=" << alignment
+            << " although the bitmap has a fitting run (step " << step << ")";
+      } else {
+        ASSERT_EQ(got->offset % alignment, 0u);
+        ASSERT_LE(got->offset + got->size, kCapacity);
+        for (std::uint64_t i = got->offset; i < got->offset + got->size; ++i) {
+          ASSERT_EQ(bitmap[i], 0) << "byte " << i << " double-allocated";
+          bitmap[i] = 1;
+        }
+        live.push_back(*got);
+        ++model_allocs;
+        model_used += size;
+        model_peak = std::max(model_peak, model_used);
+      }
+    } else {
+      const std::size_t pick = rng.next_below(live.size());
+      const BlockRef block = live[pick];
+      for (std::uint64_t i = block.offset; i < block.offset + block.size; ++i) {
+        ASSERT_EQ(bitmap[i], 1);
+        bitmap[i] = 0;
+      }
+      seg.deallocate(block);
+      ++model_frees;
+      model_used -= block.size;
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    ASSERT_EQ(seg.used(), model_used);
+    if (step % 200 == 0) seg.check_invariants();
+  }
+
+  const SegmentStats stats = seg.stats();
+  EXPECT_EQ(stats.used, model_used);
+  EXPECT_EQ(stats.peak_used, model_peak);
+  EXPECT_EQ(stats.allocations, model_allocs);
+  EXPECT_EQ(stats.frees, model_frees);
+  EXPECT_EQ(stats.failed_allocations, model_failed);
+  EXPECT_EQ(stats.largest_free_block, model_largest_run());
+
+  for (const auto& block : live) seg.deallocate(block);
+  seg.check_invariants();
+  EXPECT_EQ(seg.used(), 0u);
+  EXPECT_TRUE(seg.try_allocate(kCapacity, 1).has_value());
+}
 
 TEST(SegmentTest, ConcurrentAllocFreeIsSafe) {
   Segment seg(1 << 20);
@@ -280,6 +411,97 @@ TEST(BoundedQueueTest, ManyProducersOneConsumer) {
   }
   for (auto& t : producers) t.join();
   EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, TryPushAllIsAllOrNothing) {
+  BoundedQueue<int> q(4);
+  std::vector<int> first{1, 2, 3};
+  EXPECT_OK(q.try_push_all(std::span<int>(first)));
+  EXPECT_EQ(q.size(), 3u);
+  // Two more do not fit: nothing may be enqueued.
+  std::vector<int> overflow{4, 5};
+  EXPECT_EQ(q.try_push_all(std::span<int>(overflow)).code(),
+            StatusCode::kWouldBlock);
+  EXPECT_EQ(q.size(), 3u);
+  std::vector<int> fits{4};
+  EXPECT_OK(q.try_push_all(std::span<int>(fits)));
+  for (int want : {1, 2, 3, 4}) EXPECT_EQ(q.try_pop().value(), want);
+  // A batch wider than the capacity can never succeed: not WOULD_BLOCK
+  // (which invites a retry loop that would spin forever) but a hard error.
+  std::vector<int> impossible{1, 2, 3, 4, 5};
+  EXPECT_EQ(q.try_push_all(std::span<int>(impossible)).code(),
+            StatusCode::kInvalidArgument);
+  q.close();
+  std::vector<int> late{9};
+  EXPECT_EQ(q.try_push_all(std::span<int>(late)).code(), StatusCode::kClosed);
+}
+
+TEST(BoundedQueueTest, PushAllDeliversAcrossCapacityInOrder) {
+  BoundedQueue<int> q(4);
+  std::vector<int> items(100);
+  for (int i = 0; i < 100; ++i) items[i] = i;
+  // The batch exceeds the capacity, so push_all must chunk, waiting for
+  // the consumer in between — order preserved throughout.
+  std::thread producer([&] {
+    EXPECT_EQ(q.push_all(std::span<int>(items)), 100u);
+  });
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(q.pop().value(), i);
+  producer.join();
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueueTest, PopAllDrainsEverythingQueued) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_OK(q.try_push(i));
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_all(out), 5u);
+  ASSERT_EQ(out.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+  // Closed + empty: pop_all reports end-of-stream as 0.
+  q.close();
+  out.clear();
+  EXPECT_EQ(q.pop_all(out), 0u);
+}
+
+TEST(BoundedQueueTest, PopAllRespectsMaxAndKeepsRemainder) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 6; ++i) EXPECT_OK(q.try_push(i));
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_all(out, 4), 4u);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop_all(out), 2u);
+  ASSERT_EQ(out.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+}
+
+TEST(BoundedQueueTest, BulkPushWakesEveryWaitingConsumer) {
+  BoundedQueue<int> q(8);
+  std::atomic<int> got{0};
+  std::thread c1([&] { if (q.pop()) ++got; });
+  std::thread c2([&] { if (q.pop()) ++got; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // let both park
+  std::vector<int> items{1, 2, 3, 4};
+  EXPECT_OK(q.try_push_all(std::span<int>(items)));
+  // One bulk delivery satisfies several waiters: both must wake (a single
+  // notify_one would strand the second consumer and hang this join).
+  c1.join();
+  c2.join();
+  EXPECT_EQ(got.load(), 2);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(BoundedQueueTest, BulkPopWakesEveryWaitingProducer) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.push(1));
+  ASSERT_TRUE(q.push(2));  // full
+  std::thread p1([&] { EXPECT_TRUE(q.push(3)); });
+  std::thread p2([&] { EXPECT_TRUE(q.push(4)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // let both park
+  std::vector<int> out;
+  EXPECT_EQ(q.pop_all(out), 2u);  // frees two slots in one critical section
+  p1.join();
+  p2.join();
+  EXPECT_EQ(q.size(), 2u);
 }
 
 TEST(BoundedQueueTest, WrapAroundKeepsOrder) {

@@ -296,6 +296,120 @@ TEST(TransportConformanceTest, NoBlockIsLostOrDuplicated) {
 }
 
 // ---------------------------------------------------------------------------
+// Batching: FIFO and exactly-once must hold across flush boundaries
+// ---------------------------------------------------------------------------
+
+TEST(TransportConformanceTest, BatchingPreservesFifoAndExactlyOnceAcrossFlushBoundaries) {
+  for (Backend backend : {Backend::kShm, Backend::kMpi}) {
+    SCOPED_TRACE(backend_name(backend));
+    constexpr int kClients = 2;
+    constexpr int kIterations = 4;
+    constexpr std::uint32_t kBlocksPerIteration = 6;
+    constexpr std::uint64_t kBlockSize = 512;
+
+    HarnessOptions options;
+    options.clients = kClients;
+    options.capacity = 1 << 20;
+
+    std::vector<transport::TransportStats> client_stats(kClients);
+    run_backend(
+        backend, options,
+        [&](ClientTransport& client, int c) {
+          for (int it = 0; it < kIterations; ++it) {
+            for (std::uint32_t b = 0; b < kBlocksPerIteration; ++b) {
+              const std::uint32_t id =
+                  static_cast<std::uint32_t>(it) * kBlocksPerIteration + b;
+              auto ref = client.acquire_blocking(kBlockSize);
+              ASSERT_TRUE(ref.has_value());
+              auto view = client.view(*ref);
+              const std::uint64_t stamp = c * 100000 + id * 7;
+              for (std::size_t i = 0; i < view.size(); ++i)
+                view[i] = static_cast<std::byte>((stamp + i) & 0xff);
+              Event event;
+              event.type = EventType::kBlockWritten;
+              event.source = c;
+              event.iteration = it;
+              event.block_id = id;
+              event.block = *ref;
+              ASSERT_TRUE(client.publish(event));
+              // A mid-iteration flush boundary: everything published so
+              // far ships now, the rest of the iteration ships later —
+              // the server must not be able to tell the difference.
+              if (b == 2) client.flush();
+            }
+            Event end;
+            end.type = EventType::kEndIteration;
+            end.source = c;
+            end.iteration = it;
+            ASSERT_TRUE(client.post(end));  // the natural flush point
+          }
+          post_stop(client, c);
+          client_stats[static_cast<std::size_t>(c)] = client.stats();
+        },
+        [&](ServerTransport& server) {
+          std::map<int, std::uint32_t> next_id;
+          std::map<int, std::vector<shm::BlockRef>> held;
+          int stops = 0;
+          while (stops < kClients) {
+            auto event = server.next_event();
+            ASSERT_TRUE(event.has_value());
+            switch (event->type) {
+              case EventType::kBlockWritten: {
+                // FIFO across every flush boundary: ids strictly
+                // sequential per client, each seen exactly once.
+                ASSERT_EQ(event->block_id, next_id[event->source]);
+                ++next_id[event->source];
+                EXPECT_TRUE(block_matches(
+                    server, *event,
+                    event->source * 100000 + event->block_id * 7));
+                held[event->source].push_back(event->block);
+                break;
+              }
+              case EventType::kEndIteration: {
+                // An iteration's blocks all precede its close event.
+                ASSERT_EQ(next_id[event->source] % kBlocksPerIteration, 0u);
+                // Release like a real server: end of the plugin pipeline
+                // (on MPI this exercises frame-granular credit return).
+                for (const auto& ref : held[event->source])
+                  server.release(ref);
+                held[event->source].clear();
+                break;
+              }
+              case EventType::kClientStop:
+                EXPECT_EQ(next_id[event->source],
+                          kIterations * kBlocksPerIteration);
+                ++stops;
+                break;
+              default:
+                FAIL() << "unexpected event type";
+            }
+          }
+        });
+
+    for (int c = 0; c < kClients; ++c) {
+      const auto& stats = client_stats[static_cast<std::size_t>(c)];
+      EXPECT_EQ(stats.events_sent,
+                static_cast<std::uint64_t>(kIterations) *
+                        (kBlocksPerIteration + 1) + 1);
+      if (backend == Backend::kMpi) {
+        EXPECT_EQ(stats.blocks_shipped,
+                  static_cast<std::uint64_t>(kIterations) * kBlocksPerIteration);
+        // The aggregation claim: at most two frames per iteration (the
+        // explicit mid-iteration flush + the close) plus the stop frame —
+        // far fewer wire messages than events.
+        EXPECT_GT(stats.wire_messages, 0u);
+        EXPECT_LE(stats.wire_messages,
+                  static_cast<std::uint64_t>(kIterations) * 2 + 1);
+        EXPECT_LT(stats.wire_messages, stats.events_sent);
+      } else {
+        EXPECT_EQ(stats.blocks_shipped, 0u);  // zero-copy: nothing serialized
+        EXPECT_EQ(stats.wire_messages, 0u);   // nothing crosses a wire
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Close / drain (shm: an explicit close exists; both: stop-drain protocol)
 // ---------------------------------------------------------------------------
 
