@@ -9,14 +9,20 @@
 //      the pre-PR single-mutex ring;
 //   3. MPI batching     — wire messages per (client, iteration) through
 //      MpiTransport, against the analytic pre-PR count of one message per
-//      block plus one per control event.
+//      block plus one per control event;
+//   4. server worker scaling (PR 4) — event throughput of one
+//      ShmServerTransport drained by a pool of N concurrent next_event()
+//      consumers (the dedicated-I/O-rank worker pool), with a synthetic
+//      per-event pipeline cost standing in for indexing + plugins.
+//      --workers N,N,... selects the sweep (default 1,2,4,8).
 //
 // Modes: default is a full run sized for stable numbers; --smoke shrinks
 // everything to a CTest-friendly second (registered with label
 // bench-smoke so the harness cannot bit-rot); --json FILE emits the
-// machine-readable result consumed by scripts/run_bench.sh, which commits
-// it as BENCH_hotpath.json — the perf-regression trajectory.
+// machine-readable result consumed by scripts/run_bench.sh, which appends
+// it to BENCH_hotpath.json — the perf-regression trajectory.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -30,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "legacy_hotpath.hpp"
 #include "minimpi/minimpi.hpp"
@@ -318,6 +325,113 @@ MpiBatchResult run_mpi_batching(const MpiBatchConfig& cfg) {
 }
 
 // ---------------------------------------------------------------------------
+// 4. Server worker scaling (the PR-4 axis)
+// ---------------------------------------------------------------------------
+
+struct WorkerScaleConfig {
+  int clients = 8;  ///< pinning cap: a pool wider than this stops scaling
+  int events_per_client = 30000;
+  std::uint64_t block_bytes = 2048;
+  std::uint64_t capacity = 1ull << 26;
+  std::size_t queue_capacity = 4096;
+  /// Modeled per-event pipeline service (indexing + plugins), advanced on
+  /// each worker's *virtual* clock (common/clock virtual-time hook, the
+  /// same determinism device the timing suites use).  Physical-thread
+  /// scaling is meaningless on an arbitrary CI box (this container has a
+  /// single core), so the bench measures what the pool actually adds —
+  /// how the demux + client→worker pinning parallelize the service time —
+  /// as events per modeled second.  Demux/lock overhead is real and is
+  /// measured separately by the queue_throughput section.
+  double service_seconds_per_event = 10e-6;
+};
+
+/// Drives `clients` producers through one ShmServerTransport drained by
+/// `workers` concurrent next_event() consumers (the server worker pool).
+/// Returns events per modeled second (makespan = the busiest worker's
+/// virtual clock); aborts the bench on any lost or duplicated event — the
+/// throughput claim is worthless without the exactly-once one.
+double run_worker_scaling(const WorkerScaleConfig& cfg, int workers) {
+  namespace transport = dedicore::transport;
+  auto fabric = std::make_shared<transport::ShmFabric>(
+      cfg.capacity, /*queue_count=*/1, cfg.queue_capacity);
+  transport::ShmServerTransport server(fabric, 0);
+  server.set_worker_count(workers);
+
+  const long total =
+      static_cast<long>(cfg.clients) * (cfg.events_per_client + 1);
+  std::atomic<int> stops{0};
+  // Per-(client, block) delivery counters: a total-only check would let a
+  // loss paired with a duplication cancel out and pass the gate.
+  std::vector<std::atomic<int>> delivered(
+      static_cast<std::size_t>(cfg.clients) *
+      static_cast<std::size_t>(cfg.events_per_client));
+  std::vector<std::atomic<int>> stop_delivered(
+      static_cast<std::size_t>(cfg.clients));
+  std::vector<double> worker_busy(static_cast<std::size_t>(workers), 0.0);
+
+  dedicore::set_virtual_time_enabled(true);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(cfg.clients + workers));
+  for (int c = 0; c < cfg.clients; ++c) {
+    threads.emplace_back([&, c] {
+      transport::ShmClientTransport client(fabric, 0);
+      for (int i = 0; i < cfg.events_per_client; ++i) {
+        auto ref = client.acquire_blocking(cfg.block_bytes);
+        if (!ref) return;
+        Event event;
+        event.type = EventType::kBlockWritten;
+        event.source = c;
+        event.block_id = static_cast<std::uint32_t>(i);
+        event.block = *ref;
+        client.publish(event);
+      }
+      Event stop;
+      stop.type = EventType::kClientStop;
+      stop.source = c;
+      client.post(stop);
+    });
+  }
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      while (auto event = server.next_event(w)) {
+        if (event->type == EventType::kBlockWritten) {
+          delivered[static_cast<std::size_t>(event->source) *
+                        static_cast<std::size_t>(cfg.events_per_client) +
+                    event->block_id]
+              .fetch_add(1, std::memory_order_relaxed);
+          dedicore::sleep_seconds(cfg.service_seconds_per_event);
+          server.release(event->block);
+        } else if (event->type == EventType::kClientStop) {
+          stop_delivered[static_cast<std::size_t>(event->source)].fetch_add(
+              1, std::memory_order_relaxed);
+          if (stops.fetch_add(1) + 1 == cfg.clients) server.end_of_stream();
+        }
+      }
+      // The thread's virtual clock is exactly its accumulated service.
+      worker_busy[static_cast<std::size_t>(w)] = dedicore::now_seconds();
+    });
+  }
+  for (auto& t : threads) t.join();
+  dedicore::set_virtual_time_enabled(false);
+
+  long exactly_once = 0;
+  for (const auto& count : delivered)
+    if (count.load(std::memory_order_relaxed) == 1) ++exactly_once;
+  for (const auto& count : stop_delivered)
+    if (count.load(std::memory_order_relaxed) == 1) ++exactly_once;
+  if (exactly_once != total) {
+    std::fprintf(stderr,
+                 "FAIL: worker pool delivered %ld of %ld events exactly once "
+                 "(workers=%d)\n",
+                 exactly_once, total, workers);
+    std::exit(1);
+  }
+  const double makespan =
+      *std::max_element(worker_busy.begin(), worker_busy.end());
+  return static_cast<double>(total) / makespan;
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -334,9 +448,16 @@ struct QueueRow {
   double batch_events_per_sec;
 };
 
+struct WorkerRow {
+  int workers;
+  double events_per_sec;
+  double speedup;  ///< vs the first (narrowest) entry of the sweep
+};
+
 std::string format_json(const std::string& mode,
                         const std::vector<AllocatorRow>& allocator,
                         const std::vector<QueueRow>& queue,
+                        const std::vector<WorkerRow>& worker_rows,
                         const MpiBatchConfig& mpi_cfg,
                         const MpiBatchResult& mpi) {
   std::ostringstream out;
@@ -363,6 +484,16 @@ std::string format_json(const std::string& mode,
         << ", \"batch_events_per_sec\": " << row.batch_events_per_sec
         << "}" << (i + 1 < queue.size() ? "," : "") << "\n";
   }
+  out << "  ],\n  \"server_worker_scaling\": [\n";
+  for (std::size_t i = 0; i < worker_rows.size(); ++i) {
+    const auto& row = worker_rows[i];
+    out << "    {\"workers\": " << row.workers
+        << ", \"events_per_sec\": " << row.events_per_sec << ", \"speedup\": ";
+    out.precision(2);
+    out << row.speedup;
+    out.precision(1);
+    out << "}" << (i + 1 < worker_rows.size() ? "," : "") << "\n";
+  }
   out << "  ],\n  \"mpi_batching\": {\n";
   out << "    \"clients\": " << mpi_cfg.clients
       << ", \"iterations\": " << mpi_cfg.iterations
@@ -383,14 +514,34 @@ std::string format_json(const std::string& mode,
 int main(int argc, char** argv) {
   bool smoke = false;
   std::string json_path;
+  std::vector<int> worker_sweep = {1, 2, 4, 8};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--workers" && i + 1 < argc) {
+      // Comma-separated sweep, e.g. --workers 1,2,4,8.
+      worker_sweep.clear();
+      std::string list = argv[++i];
+      std::stringstream items(list);
+      std::string item;
+      while (std::getline(items, item, ',')) {
+        const int workers = std::atoi(item.c_str());
+        if (workers < 1) {
+          std::cerr << "bench_hotpath: bad --workers entry '" << item << "'\n";
+          return 2;
+        }
+        worker_sweep.push_back(workers);
+      }
+      if (worker_sweep.empty()) {
+        std::cerr << "bench_hotpath: empty --workers sweep\n";
+        return 2;
+      }
     } else {
-      std::cerr << "usage: bench_hotpath [--smoke] [--json FILE]\n";
+      std::cerr << "usage: bench_hotpath [--smoke] [--json FILE] "
+                   "[--workers N,N,...]\n";
       return 2;
     }
   }
@@ -398,12 +549,14 @@ int main(int argc, char** argv) {
   ChurnConfig churn;
   QueueConfig queue_cfg;
   MpiBatchConfig mpi_cfg;
+  WorkerScaleConfig worker_cfg;
   if (smoke) {
     churn.capacity = 1ull << 24;
     churn.fragment_pins = 512;
     churn.ops_per_thread = 5000;
     queue_cfg.events_per_producer = 20000;
     mpi_cfg.iterations = 8;
+    worker_cfg.events_per_client = 4000;
   }
 
   std::vector<AllocatorRow> allocator_rows;
@@ -438,6 +591,21 @@ int main(int argc, char** argv) {
         row.batch_events_per_sec / 1e6);
   }
 
+  std::vector<WorkerRow> worker_rows;
+  for (int workers : worker_sweep) {
+    WorkerRow row;
+    row.workers = workers;
+    row.events_per_sec = run_worker_scaling(worker_cfg, workers);
+    row.speedup = worker_rows.empty()
+                      ? 1.0
+                      : row.events_per_sec / worker_rows.front().events_per_sec;
+    worker_rows.push_back(row);
+    std::printf(
+        "server worker scaling, %d worker(s): %.2fM ev/s (%.2fx vs %d)\n",
+        workers, row.events_per_sec / 1e6, row.speedup,
+        worker_rows.front().workers);
+  }
+
   const MpiBatchResult mpi = run_mpi_batching(mpi_cfg);
   std::printf(
       "mpi batching: %.3f wire msgs per (client, iteration) for %d blocks "
@@ -446,8 +614,8 @@ int main(int argc, char** argv) {
       mpi.unbatched_per_client_iteration, mpi.events_per_wire_message);
 
   const std::string json = format_json(smoke ? "smoke" : "full",
-                                       allocator_rows, queue_rows, mpi_cfg,
-                                       mpi);
+                                       allocator_rows, queue_rows, worker_rows,
+                                       mpi_cfg, mpi);
   if (!json_path.empty()) {
     if (json_path == "-") {
       std::cout << json;

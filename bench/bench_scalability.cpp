@@ -71,6 +71,30 @@ int main() {
   }
   table.print(std::cout);
 
+  // The worker-count axis of an I/O node (mirrors the runtime's
+  // server_workers): how much of the dedicated-nodes result depends on
+  // actually using the whole node, not just reserving it.
+  std::printf("\ndedicated-nodes I/O-node worker sweep at 9,216 cores "
+              "(server_workers in the runtime):\n");
+  Table worker_table({"io-node workers", "run time (s)", "I/O share",
+                      "io-node idle"});
+  {
+    ClusterSpec cluster;
+    cluster.total_cores = 9216;
+    cluster.cores_per_node = 12;
+    for (int workers : {1, 2, 4, 12}) {
+      WorkloadSpec swept = workload;
+      swept.io_node_workers = workers;
+      const ReplayResult r = replay(Strategy::kDedicatedNodes, cluster, swept,
+                                    storage, alpha, 42);
+      worker_table.add_row({fmt_count(static_cast<std::uint64_t>(workers)),
+                            fmt_double(r.app_seconds, 1),
+                            fmt_percent(r.io_fraction),
+                            fmt_percent(r.dedicated_idle_fraction)});
+    }
+  }
+  worker_table.print(std::cout);
+
   std::printf("\nheadline comparison at 9,216 cores:\n");
   std::printf("  Damaris speedup vs collective I/O: %.2fx   (paper: 3.5x)\n",
               collective_9216 / damaris_9216);

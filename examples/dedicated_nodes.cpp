@@ -8,6 +8,11 @@
 // per iteration, and returns flow credit as it releases blocks — the
 // credit budget is the distributed analogue of the bounded shared segment.
 //
+// Each I/O rank models a whole I/O *node*: it drains its intake with a
+// pool of server workers (server_workers="3" here; default is the full
+// cores_per_node width), each client pinned to one worker so per-client
+// ordering survives the concurrency.
+//
 // Build & run:   ./examples/dedicated_nodes
 #include <cstdio>
 #include <vector>
@@ -21,7 +26,8 @@ using namespace dedicore;
 int main() {
   // Identical data model to quickstart; only the deployment line differs.
   const core::Configuration config = core::Configuration::from_string(R"(
-    <simulation name="dedicated_nodes" dedicated_mode="nodes" dedicated_nodes="2">
+    <simulation name="dedicated_nodes" dedicated_mode="nodes" dedicated_nodes="2"
+                server_workers="3">
       <buffer size="16MiB" queue="256" policy="block"/>
       <data>
         <layout name="block" type="float64" dimensions="32,32"/>

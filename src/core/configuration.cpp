@@ -112,6 +112,8 @@ Configuration Configuration::from_xml(const xml::Node& root) {
   }
   cfg.dedicated_nodes_ =
       static_cast<int>(root.attribute_int("dedicated_nodes", 1));
+  cfg.server_workers_ =
+      static_cast<int>(root.attribute_int("server_workers", 0));
 
   if (const xml::Node* buffer = root.child("buffer")) {
     cfg.buffer_size_ = parse_bytes(buffer->attribute_or("size", "64MiB"));
@@ -271,6 +273,14 @@ void Configuration::validate() const {
     throw ConfigError("dedicated_cores must be in [0, cores_per_node)");
   if (dedicated_nodes_ <= 0)
     throw ConfigError("dedicated_nodes must be positive");
+  if (server_workers_ < 0)
+    throw ConfigError("server_workers must be >= 0 (0 = auto)");
+  // Sanity cap: a typo like server_workers="500000" would otherwise pass
+  // here and kill the I/O rank at thread-spawn time while the other ranks
+  // proceed into collectives and block forever.
+  if (server_workers_ > 1024)
+    throw ConfigError("server_workers must be <= 1024 (got " +
+                      std::to_string(server_workers_) + ")");
   if (buffer_size_ == 0) throw ConfigError("buffer size must be non-zero");
   if (queue_capacity_ == 0) throw ConfigError("queue capacity must be non-zero");
 

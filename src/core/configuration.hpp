@@ -8,7 +8,10 @@
 //
 // Accepted document shape (see examples/config/*.xml):
 //
-//   <simulation name="cm1" cores_per_node="12" dedicated_cores="1">
+//   <simulation name="cm1" cores_per_node="12" dedicated_cores="1"
+//               server_workers="0">  <!-- 0 = auto: full node width on
+//                                         dedicated I/O nodes, 1 per
+//                                         dedicated core -->
 //     <buffer size="64MiB" queue="1024" policy="block"/>
 //     <data>
 //       <layout name="grid3d" type="float32" dimensions="64,64,64"/>
@@ -107,6 +110,20 @@ class Configuration {
   /// Number of world ranks acting as I/O nodes (kNodes mode only).
   [[nodiscard]] int dedicated_nodes() const noexcept { return dedicated_nodes_; }
 
+  /// Server worker threads per dedicated rank, as configured (0 = auto).
+  /// XML: <simulation server_workers="4">.
+  [[nodiscard]] int server_workers() const noexcept { return server_workers_; }
+
+  /// The worker-pool width the runtime actually deploys per server rank.
+  /// Auto (0) resolves to the width the model layer assumes: a dedicated
+  /// I/O *node* is a full node (cores_per_node workers — see
+  /// model/replay.cpp's dedicated-nodes strategy), while a dedicated
+  /// *core* is exactly one core (1 worker).
+  [[nodiscard]] int effective_server_workers() const noexcept {
+    if (server_workers_ > 0) return server_workers_;
+    return dedicated_mode_ == DedicatedMode::kNodes ? cores_per_node_ : 1;
+  }
+
   [[nodiscard]] std::uint64_t buffer_size() const noexcept { return buffer_size_; }
   [[nodiscard]] std::size_t queue_capacity() const noexcept { return queue_capacity_; }
   [[nodiscard]] BackpressurePolicy policy() const noexcept { return policy_; }
@@ -132,6 +149,8 @@ class Configuration {
   Configuration() = default;
   void set_architecture(int cores_per_node, int dedicated_cores);
   void set_dedicated_mode(DedicatedMode mode, int dedicated_nodes = 1);
+  /// 0 = auto (see effective_server_workers()).
+  void set_server_workers(int workers) { server_workers_ = workers; }
   void set_buffer(std::uint64_t size, std::size_t queue_capacity,
                   BackpressurePolicy policy);
   void add_layout(LayoutSpec layout);
@@ -150,6 +169,7 @@ class Configuration {
   int dedicated_cores_ = 1;
   DedicatedMode dedicated_mode_ = DedicatedMode::kCores;
   int dedicated_nodes_ = 1;
+  int server_workers_ = 0;  ///< 0 = auto-resolve per deployment mode
   std::uint64_t buffer_size_ = 64ull << 20;
   std::size_t queue_capacity_ = 1024;
   BackpressurePolicy policy_ = BackpressurePolicy::kBlock;

@@ -100,7 +100,8 @@ Runtime Runtime::initialize_cores_mode(const Configuration& config,
         node, server_index,
         std::make_unique<transport::ShmServerTransport>(node->fabric,
                                                         server_index),
-        node->clients_of_server(server_index));
+        node->clients_of_server(server_index),
+        config.effective_server_workers());
   }
   return rt;
 }
@@ -113,10 +114,16 @@ Runtime Runtime::initialize_nodes_mode(const Configuration& config,
                                        fsim::FileSystem& fs,
                                        std::shared_ptr<IoScheduler> scheduler) {
   const int io_ranks = config.dedicated_nodes();
-  if (world.size() <= io_ranks)
-    throw ConfigError("world size " + std::to_string(world.size()) +
-                      " leaves no clients for " + std::to_string(io_ranks) +
-                      " dedicated I/O node(s)");
+  // Configuration::validate() can only check dedicated_nodes > 0 — the
+  // world size is a wiring-time fact.  Reject partitions with zero (or
+  // negative) compute ranks here, on every rank, before any split: a
+  // partial failure would leave the survivors deadlocked in collectives.
+  if (io_ranks >= world.size())
+    throw ConfigError(
+        "dedicated_mode=nodes: dedicated_nodes=" + std::to_string(io_ranks) +
+        " must be smaller than the world size (" +
+        std::to_string(world.size()) +
+        "); this run would have no compute ranks left");
   const int clients = world.size() - io_ranks;
   // Count of client ranks c in [0, clients) with c % io_ranks == server;
   // 0 when there are fewer clients than I/O ranks (such a server's run()
@@ -124,6 +131,35 @@ Runtime Runtime::initialize_nodes_mode(const Configuration& config,
   const auto clients_of = [&](int server) {
     return (clients - server + io_ranks - 1) / io_ranks;
   };
+
+  // Credit sizing checks run on EVERY rank, against the most-loaded
+  // server (server 0 takes the ceiling of the round-robin), so either the
+  // whole world proceeds or the whole world throws — client-only throws
+  // would strand the server ranks in run_server() waiting for stops.
+  const std::uint64_t min_share =
+      config.buffer_size() / static_cast<std::uint64_t>(clients_of(0));
+  if (min_share == 0)
+    throw ConfigError(
+        "dedicated_mode=nodes: <buffer size> (" +
+        std::to_string(config.buffer_size()) +
+        " bytes) is smaller than the number of clients per I/O node (" +
+        std::to_string(clients_of(0)) +
+        "), leaving a zero-byte credit share; grow the buffer");
+  // A block can never exceed the client's credit budget (in cores mode
+  // the whole shared segment is the bound); surface that as the
+  // configuration error it is instead of a permanent write failure.
+  for (const LayoutSpec& layout : config.layouts()) {
+    const std::uint64_t layout_aligned =
+        (layout.byte_size() + 7) & ~std::uint64_t{7};
+    if (layout_aligned > min_share)
+      throw ConfigError(
+          "dedicated_mode=nodes: layout '" + layout.name + "' (" +
+          std::to_string(layout.byte_size()) +
+          " bytes) exceeds the per-client credit share (" +
+          std::to_string(min_share) +
+          " bytes = buffer / clients-per-io-node); grow <buffer size> or "
+          "add I/O nodes");
+  }
 
   Runtime rt;
   const bool is_server = world.rank() >= clients;
@@ -135,10 +171,13 @@ Runtime Runtime::initialize_nodes_mode(const Configuration& config,
     auto node = std::make_shared<NodeRuntime>(config, server, &fs, scheduler,
                                               NodeRuntime::Role::kIoNode);
     rt.node_ = node;
+    // A dedicated I/O rank models a whole I/O *node*: run a pool of
+    // server workers (default: cores_per_node, matching the model layer's
+    // full-width I/O nodes) draining the one MPI transport concurrently.
     rt.server_ = std::make_unique<Server>(
         node, /*server_index=*/0,
         std::make_unique<transport::MpiServerTransport>(world, node->fabric),
-        clients_of(server));
+        clients_of(server), config.effective_server_workers());
   } else {
     auto node = std::make_shared<NodeRuntime>(config, world.rank(), &fs,
                                               scheduler,
@@ -146,23 +185,10 @@ Runtime Runtime::initialize_nodes_mode(const Configuration& config,
     rt.node_ = node;
     const int server = world.rank() % io_ranks;
     // Each client gets an equal share of its server's segment as flow
-    // credit — the distributed analogue of the shared bounded segment.
+    // credit — the distributed analogue of the shared bounded segment
+    // (validated against the worst-case server above).
     const std::uint64_t share =
         config.buffer_size() / static_cast<std::uint64_t>(clients_of(server));
-    // A block can never exceed the client's credit budget (in cores mode
-    // the whole shared segment is the bound); surface that as the
-    // configuration error it is instead of a permanent write failure.
-    for (const LayoutSpec& layout : config.layouts()) {
-      const std::uint64_t aligned = (layout.byte_size() + 7) & ~std::uint64_t{7};
-      if (aligned > share)
-        throw ConfigError(
-            "dedicated_mode=nodes: layout '" + layout.name + "' (" +
-            std::to_string(layout.byte_size()) +
-            " bytes) exceeds the per-client credit share (" +
-            std::to_string(share) +
-            " bytes = buffer / clients-per-io-node); grow <buffer size> or "
-            "add I/O nodes");
-    }
     rt.client_ = std::make_unique<Client>(
         node, world.rank(),
         std::make_unique<transport::MpiClientTransport>(

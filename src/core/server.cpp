@@ -1,5 +1,7 @@
 #include "core/server.hpp"
 
+#include <thread>
+
 #include "common/clock.hpp"
 #include "common/log.hpp"
 
@@ -7,11 +9,12 @@ namespace dedicore::core {
 
 Server::Server(std::shared_ptr<NodeRuntime> node, int server_index,
                std::unique_ptr<transport::ServerTransport> transport,
-               int client_count)
+               int client_count, int worker_count)
     : node_(std::move(node)),
       server_index_(server_index),
       transport_(std::move(transport)),
-      client_count_(client_count) {
+      client_count_(client_count),
+      worker_count_(worker_count) {
   DEDICORE_CHECK(server_index >= 0 &&
                      server_index < static_cast<int>(node_->indexes.size()),
                  "Server: server_index out of range");
@@ -19,6 +22,7 @@ Server::Server(std::shared_ptr<NodeRuntime> node, int server_index,
   // client_count may be 0 (more servers than clients): run() returns
   // immediately on such a server.
   DEDICORE_CHECK(client_count >= 0, "Server: negative client count");
+  DEDICORE_CHECK(worker_count >= 1, "Server: worker count must be >= 1");
   register_builtin_plugins();
   for (const auto& action : node_->config.actions())
     actions_.push_back(BoundAction{action, make_plugin(action.plugin, action.params)});
@@ -35,20 +39,53 @@ Plugin* Server::find_plugin(const std::string& event,
 }
 
 void Server::run() {
-  while (stopped_clients_ < client_count_) {
-    Stopwatch idle;
-    auto event = transport_->next_event();
-    stats_.idle_seconds += idle.elapsed_seconds();
-    if (!event) break;  // transport closed and drained
-    Stopwatch busy;
-    handle(*event);
-    stats_.busy_seconds += busy.elapsed_seconds();
-    ++stats_.events_processed;
+  stats_.workers = worker_count_;
+  if (client_count_ > 0) {
+    if (worker_count_ == 1) {
+      // Classic single-threaded event loop: no pool, no end_of_stream —
+      // the loop simply stops once the last client's stop is consumed.
+      WorkerLedger ledger;
+      worker_loop(0, ledger);
+      stats_.idle_seconds += ledger.idle_seconds;
+      stats_.busy_seconds += ledger.busy_seconds;
+      stats_.events_processed += ledger.events;
+    } else {
+      transport_->set_worker_count(worker_count_);
+      std::vector<WorkerLedger> ledgers(
+          static_cast<std::size_t>(worker_count_));
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(worker_count_));
+      for (int w = 0; w < worker_count_; ++w)
+        pool.emplace_back([this, w, &ledgers] {
+          worker_loop(w, ledgers[static_cast<std::size_t>(w)]);
+        });
+      for (auto& t : pool) t.join();
+      // The pool has drained: folding ledgers and reading transport stats
+      // below cannot race a live worker.
+      for (const WorkerLedger& ledger : ledgers) {
+        stats_.idle_seconds += ledger.idle_seconds;
+        stats_.busy_seconds += ledger.busy_seconds;
+        stats_.events_processed += ledger.events;
+      }
+    }
   }
   const transport::TransportStats t = transport_->stats();
   stats_.blocks_received_remote = t.blocks_received_remote;
   stats_.bytes_received_remote = t.bytes_received_remote;
   stats_.pipeline_time = pipeline_times_.summary();
+}
+
+void Server::worker_loop(int worker, WorkerLedger& ledger) {
+  while (!done_.load(std::memory_order_acquire)) {
+    Stopwatch idle;
+    auto event = transport_->next_event(worker);
+    ledger.idle_seconds += idle.elapsed_seconds();
+    if (!event) break;  // transport closed/ended and drained
+    Stopwatch busy;
+    handle(*event);
+    ledger.busy_seconds += busy.elapsed_seconds();
+    ++ledger.events;
+  }
 }
 
 void Server::handle(const Event& event) {
@@ -62,30 +99,52 @@ void Server::handle(const Event& event) {
       info.block = event.block;
       for (int i = 0; i < 4; ++i) info.global_offset[i] = event.global_offset[i];
       node_->indexes[static_cast<std::size_t>(server_index_)]->insert(info);
+      std::lock_guard<std::mutex> state(state_mutex_);
       ++stats_.blocks_received;
       stats_.bytes_received += event.block.size;
       break;
     }
     case EventType::kEndIteration:
     case EventType::kIterationSkipped: {
-      if (event.type == EventType::kIterationSkipped) ++stats_.client_skips;
-      const int closes = ++iteration_closes_[event.iteration];
-      if (closes == client_count_) {
-        iteration_closes_.erase(event.iteration);
-        complete_iteration(event.iteration);
+      bool completes = false;
+      {
+        std::lock_guard<std::mutex> state(state_mutex_);
+        if (event.type == EventType::kIterationSkipped) ++stats_.client_skips;
+        const int closes = ++iteration_closes_[event.iteration];
+        if (closes == client_count_) {
+          iteration_closes_.erase(event.iteration);
+          completes = true;
+        }
       }
+      // Outside the state lock: the pipeline can run long, and other
+      // workers must keep indexing/closing unrelated iterations meanwhile.
+      if (completes) complete_iteration(event.iteration);
       break;
     }
     case EventType::kUserSignal: {
       const auto id = static_cast<std::size_t>(event.signal_id);
       DEDICORE_CHECK(id < node_->signal_names.size(),
                      "Server: signal id out of range");
+      std::lock_guard<std::mutex> pipeline(pipeline_mutex_);
       fire(node_->signal_names[id], event.iteration, &event);
       break;
     }
-    case EventType::kClientStop:
-      ++stopped_clients_;
+    case EventType::kClientStop: {
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> state(state_mutex_);
+        last = ++stopped_clients_ == client_count_;
+      }
+      if (last) {
+        // Ordered shutdown: every client's stop is its final event and
+        // stops arrive after all that client's data (per-client FIFO), so
+        // at this point every event of the run has been handled.  Mark the
+        // run done and wake the other workers out of next_event().
+        done_.store(true, std::memory_order_release);
+        if (worker_count_ > 1) transport_->end_of_stream();
+      }
       break;
+    }
   }
 }
 
@@ -101,7 +160,12 @@ void Server::fire(const std::string& event_name, Iteration iteration,
 
 void Server::complete_iteration(Iteration iteration) {
   Stopwatch pipeline;
-  fire("end_iteration", iteration, nullptr);
+  {
+    // Plugins are not required to be thread-safe: at most one pipeline per
+    // server at a time, even when iterations complete on several workers.
+    std::lock_guard<std::mutex> serialize(pipeline_mutex_);
+    fire("end_iteration", iteration, nullptr);
+  }
 
   // Release the iteration's blocks: the plugins are done with them.  The
   // transport frees segment space (shm) or returns flow credit (mpi).
@@ -109,8 +173,11 @@ void Server::complete_iteration(Iteration iteration) {
   for (const auto& block : index.extract_iteration(iteration))
     transport_->release(block.block);
 
-  ++stats_.iterations_completed;
-  pipeline_times_.add(pipeline.elapsed_seconds());
+  {
+    std::lock_guard<std::mutex> state(state_mutex_);
+    ++stats_.iterations_completed;
+    pipeline_times_.add(pipeline.elapsed_seconds());
+  }
   DEDICORE_LOG(kDebug) << "node " << node_->node_id << " server "
                        << server_index_ << " completed iteration " << iteration;
 }

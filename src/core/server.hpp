@@ -12,7 +12,10 @@
 // compression and in-situ analysis free.
 #pragma once
 
+#include <atomic>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -24,6 +27,11 @@
 namespace dedicore::core {
 
 struct ServerStats {
+  /// Worker threads that drained this server's transport (1 = the classic
+  /// single-threaded event loop).  idle/busy below are summed across the
+  /// pool, so idle_fraction() keeps meaning "share of worker-time spent
+  /// blocked on an empty intake".
+  int workers = 1;
   double idle_seconds = 0.0;   ///< blocked on an empty queue
   double busy_seconds = 0.0;   ///< indexing, plugins, frees
   std::uint64_t events_processed = 0;
@@ -51,16 +59,24 @@ class Server {
   /// on a dedicated I/O rank); `transport` is the event intake + block
   /// residency, `client_count` the number of clients whose stop events end
   /// the run.  Plugins are instantiated from the configuration's actions.
+  /// `worker_count` > 1 runs the event loop on a pool of that many worker
+  /// threads draining the one transport concurrently (dedicated-nodes
+  /// mode: the runtime's answer to a full-width I/O node) — clients stay
+  /// pinned to one worker each, and the plugin pipeline is serialized per
+  /// server (plugins need not be thread-safe).
   Server(std::shared_ptr<NodeRuntime> node, int server_index,
          std::unique_ptr<transport::ServerTransport> transport,
-         int client_count);
+         int client_count, int worker_count = 1);
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
   /// Processes events until every client of this server has sent
-  /// kClientStop (and all their iterations have been completed).
+  /// kClientStop (and all their iterations have been completed).  With a
+  /// worker pool, shutdown is ordered: the worker that consumes the final
+  /// stop signals end_of_stream(), the pool drains and joins, and only
+  /// then are stats folded — no credit/queue teardown races a live worker.
   void run();
 
   [[nodiscard]] const ServerStats& stats() const noexcept { return stats_; }
@@ -76,6 +92,15 @@ class Server {
     std::unique_ptr<Plugin> plugin;
   };
 
+  /// Per-worker time/event ledger, folded into stats_ after the pool
+  /// joins so the hot loop never contends on shared counters.
+  struct WorkerLedger {
+    double idle_seconds = 0.0;
+    double busy_seconds = 0.0;
+    std::uint64_t events = 0;
+  };
+
+  void worker_loop(int worker, WorkerLedger& ledger);
   void handle(const Event& event);
   void complete_iteration(Iteration iteration);
   void fire(const std::string& event_name, Iteration iteration,
@@ -85,9 +110,22 @@ class Server {
   int server_index_;
   std::unique_ptr<transport::ServerTransport> transport_;
   int client_count_;
+  int worker_count_;
   std::vector<BoundAction> actions_;
   ServerStats stats_;
   SampleSet pipeline_times_;
+
+  /// Guards the cross-worker bookkeeping (iteration_closes_,
+  /// stopped_clients_, the event counters in stats_, pipeline_times_).
+  std::mutex state_mutex_;
+  /// Serializes the plugin pipeline per server: workers parallelize event
+  /// intake and indexing, but plugins are not required to be thread-safe,
+  /// so at most one pipeline (or signal action) runs at a time.
+  std::mutex pipeline_mutex_;
+  /// Set by the worker that consumes the final kClientStop; workers check
+  /// it between events so the pool winds down without another blocking
+  /// next_event() on an already-finished stream.
+  std::atomic<bool> done_{false};
 
   // Iteration bookkeeping: iteration -> number of end/skip notifications.
   std::map<Iteration, int> iteration_closes_;

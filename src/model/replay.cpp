@@ -397,8 +397,9 @@ void replay_damaris(ReplayContext& ctx, Strategy strategy) {
 // ---------------------------------------------------------------------------
 // Dedicated I/O nodes: compute nodes keep every core for the simulation
 // and ship one aggregated buffer per iteration over the interconnect to
-// the I/O node serving their group.  Each I/O node runs cores_per_node
-// server workers and a bounded staging buffer shared by its whole group.
+// the I/O node serving their group.  Each I/O node runs io_node_workers
+// server workers (default: the full cores_per_node width) and a bounded
+// staging buffer shared by its whole group.
 // ---------------------------------------------------------------------------
 
 void replay_dedicated_nodes(ReplayContext& ctx) {
@@ -406,7 +407,12 @@ void replay_dedicated_nodes(ReplayContext& ctx) {
   const int clients = ctx.cluster.cores_per_node;  // full node computes
   const int group = std::max(1, ctx.workload.compute_nodes_per_io_node);
   const int io_nodes = (nodes + group - 1) / group;
-  const int server_width = ctx.cluster.cores_per_node;  // whole node serves
+  // Worker-pool width of an I/O node: the whole node by default, narrower
+  // when the runtime is configured with fewer server_workers.
+  const int server_width =
+      ctx.workload.io_node_workers > 0
+          ? std::min(ctx.workload.io_node_workers, ctx.cluster.cores_per_node)
+          : ctx.cluster.cores_per_node;
   const int iterations = ctx.workload.iterations;
   const double node_bytes =
       static_cast<double>(ctx.workload.bytes_per_core) * clients;

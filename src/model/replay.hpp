@@ -67,6 +67,11 @@ struct WorkloadSpec {
   /// comparison systems provision roughly one I/O node per 16-64 compute
   /// nodes).
   int compute_nodes_per_io_node = 16;
+  /// kDedicatedNodes: concurrent server workers per I/O node; 0 = the full
+  /// node width (cores_per_node), the runtime's default.  Mirrors the
+  /// runtime's `server_workers` so model predictions and measured behavior
+  /// stay comparable along the worker axis.
+  int io_node_workers = 0;
 };
 
 struct ReplayResult {

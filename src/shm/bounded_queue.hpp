@@ -166,10 +166,20 @@ class BoundedQueue {
 
   /// After close(), pushes fail and pops drain the remaining items then
   /// return nullopt.  Idempotent.
+  ///
+  /// The closed_ store happens under tail_mutex_: a blocking push holds
+  /// that mutex from its closed-check through its enqueue, so every push
+  /// that was accepted has fully enqueued before closed_ becomes true —
+  /// which is what lets a consumer treat "size == 0 read *after* closed
+  /// was observed" as proof the queue is drained (see
+  /// wait_for_item_locked).  With the store outside the mutex, a push
+  /// could pass its check, lose the CPU, and enqueue after every consumer
+  /// had already concluded closed-and-empty — an accepted item silently
+  /// stranded (caught by the close-race stress test).
   void close() {
-    closed_.store(true, std::memory_order_seq_cst);
     {
       std::lock_guard<std::mutex> lock(tail_mutex_);
+      closed_.store(true, std::memory_order_seq_cst);
       not_full_.notify_all();
     }
     {
@@ -195,6 +205,33 @@ class BoundedQueue {
   // never a lost wakeup.  The notifier acquires the mutex only when a
   // waiter is actually registered, so uncontended traffic never crosses
   // to the other side's lock.
+  //
+  // Close/drain audit (multi-worker shutdown relies on this; stressed by
+  // tests/shm_queue_stress_test):
+  //  * close() notifies *unconditionally* under each mutex — it does not
+  //    gate on the waiting_* counts.  A waiter between its registration
+  //    and its cv wait holds the mutex for that whole window, so close()'s
+  //    notify cannot fire inside it: either the waiter re-checks closed_
+  //    (seq_cst, after the store) and skips the wait, or it waits first
+  //    and the notify — serialized behind the mutex — reaches it.
+  //  * A consumer blocked in wait_for_item_locked observes close promptly
+  //    even when another consumer's pop_all drains the last batch: the
+  //    drain happens under head_mutex_, the blocked consumer re-checks
+  //    (size, closed_) on every wakeup, and close()'s notify_all is not
+  //    consumed by the draining consumer (it holds the mutex, it is not
+  //    on the condvar).
+  //  * The audit's stress test DID catch one race: a push that passed its
+  //    closed-check could enqueue after every consumer had concluded
+  //    closed-and-empty, stranding an accepted item.  Two-part fix:
+  //    close() stores closed_ under tail_mutex_ (an accepted enqueue now
+  //    strictly precedes the close), and a consumer declares the queue
+  //    drained only from a size re-read taken AFTER it observed closed_.
+  //  * The relaxed closed_ loads in try_push/try_push_all are sound for
+  //    the "pushes fail after close() returned" contract: the store now
+  //    happens inside a tail critical section, so any later tail critical
+  //    section observes it via the mutex ordering; a try_push genuinely
+  //    concurrent with close() may land on either side, as any order-free
+  //    race must — but its enqueue, like push's, precedes the store.
 
   /// Waits (holding tail_mutex_) until there is room; false when closed.
   bool wait_for_space_locked(std::unique_lock<std::mutex>& lock) {
@@ -214,7 +251,13 @@ class BoundedQueue {
   bool wait_for_item_locked(std::unique_lock<std::mutex>& lock) {
     for (;;) {
       if (size_.load(std::memory_order_seq_cst) > 0) return true;
-      if (closed_.load(std::memory_order_seq_cst)) return false;
+      if (closed_.load(std::memory_order_seq_cst)) {
+        // Drained only if empty when re-read AFTER closed was observed:
+        // close() sets closed_ under tail_mutex_, so every accepted push
+        // enqueued before it — this re-read therefore sees any late item
+        // the first (pre-closed) size check raced past.
+        return size_.load(std::memory_order_seq_cst) > 0;
+      }
       waiting_poppers_.fetch_add(1, std::memory_order_seq_cst);
       if (size_.load(std::memory_order_seq_cst) == 0 &&
           !closed_.load(std::memory_order_seq_cst))

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/log.hpp"
+
 namespace dedicore::transport {
 
 namespace {
@@ -45,9 +47,31 @@ void MpiClientTransport::drain_credits() {
     credits_ += credit_from(*m);
 }
 
+bool MpiClientTransport::can_never_fit(std::uint64_t need) {
+  if (need <= credit_limit_) return false;
+  // One shared diagnostic for both acquire flavors: no amount of waiting
+  // (or flushing) produces credit beyond the budget, so this is a sizing
+  // error, not backpressure.  Without the fail-fast the blocking path
+  // would wait forever on credit that can never cover the request.
+  // Logged once per client — a skip/adaptive caller retries every
+  // iteration and would otherwise flood the log with the same line.
+  if (!warned_never_fit_) {
+    warned_never_fit_ = true;
+    DEDICORE_LOG(kWarn) << "MpiClientTransport: block of " << need
+                        << " aligned bytes can never fit the credit budget ("
+                        << credit_limit_
+                        << " bytes = this client's share of the server "
+                           "segment); grow <buffer size> or add I/O nodes "
+                           "(further occurrences not logged)";
+  }
+  ++stats_.acquire_failures;
+  return true;
+}
+
 std::optional<shm::BlockRef> MpiClientTransport::try_acquire(
     std::uint64_t size) {
   const std::uint64_t need = aligned(size);
+  if (can_never_fit(need)) return std::nullopt;
   drain_credits();
   if (need > credits_) {
     // Ship the staged frame so the server can process (and eventually
@@ -70,7 +94,7 @@ std::optional<shm::BlockRef> MpiClientTransport::try_acquire(
 std::optional<shm::BlockRef> MpiClientTransport::acquire_blocking(
     std::uint64_t size) {
   const std::uint64_t need = aligned(size);
-  if (need > credit_limit_) return std::nullopt;  // can never fit
+  if (can_never_fit(need)) return std::nullopt;
   drain_credits();
   while (need > credits_) {
     // The analogue of blocking on a full segment: flush the staged frame
@@ -174,24 +198,46 @@ MpiServerTransport::MpiServerTransport(minimpi::Comm comm,
   DEDICORE_CHECK(comm_.valid(), "MpiServerTransport: invalid communicator");
 }
 
-std::optional<Event> MpiServerTransport::next_event() {
-  while (pending_.empty()) receive_frame();
-  Event event = pending_.front();
-  pending_.pop_front();
-  return event;
+void MpiServerTransport::set_worker_count(int workers) {
+  DEDICORE_CHECK(next_frame_id_ == 0,
+                 "MpiServerTransport: set_worker_count after consumption began");
+  demux_.set_worker_count(workers);
 }
 
-void MpiServerTransport::receive_frame() {
+std::optional<Event> MpiServerTransport::next_event(int worker) {
+  // receive_frame blocks until a frame arrives; false means the
+  // end-of-stream sentinel — the verdict the demux fans out to every
+  // worker.  The MPI backend uses the demux even single-consumer: the
+  // frame channel has no cheaper fast path to preserve.
+  return demux_.next(
+      worker, [this](std::vector<Event>& out) { return receive_frame(out); },
+      events_received_);
+}
+
+void MpiServerTransport::end_of_stream() {
+  comm_.send_bytes({}, comm_.rank(), kTagFrame);
+}
+
+bool MpiServerTransport::receive_frame(std::vector<Event>& out) {
   minimpi::Message m = comm_.recv(minimpi::kAnySource, kTagFrame);
+  if (m.payload.empty()) return false;  // end_of_stream() sentinel
   wire::FrameReader reader(m.payload);
-  const std::uint64_t frame_id = next_frame_id_++;
   FrameCredit frame;
   frame.source_rank = m.source;
 
+  // Re-home payloads WITHOUT state_mutex_: the allocation + memcpy is the
+  // expensive part of the demux, and other workers must keep releasing
+  // blocks (credit!) and viewing payloads meanwhile.  next_frame_id_ and
+  // next_spill_offset_ are leader-only state, ordered across successive
+  // leaders by the demux's own lock handoff.  The blocks homed here are
+  // invisible to view()/release() until their events are handed out, so
+  // deferring the map inserts to one short critical section is safe.
+  const std::uint64_t frame_id = next_frame_id_++;
+  std::vector<std::pair<std::uint64_t, Resident>> homed;
+  std::uint64_t frame_bytes = 0;
   while (reader.remaining() > 0) {
     std::span<const std::byte> payload;
     Event event = reader.next(&payload);
-    ++stats_.events_received;
     if (event.type == EventType::kBlockWritten) {
       const std::uint64_t bytes = event.block.size;
       Resident info;
@@ -201,7 +247,7 @@ void MpiServerTransport::receive_frame() {
       // Re-home the payload in the local segment; the credit protocol
       // bounds total residency by the segment capacity, but fragmentation
       // can still refuse a fitting block — spill to the heap rather than
-      // deadlocking a single-threaded server on its own free.
+      // deadlocking the server on its own free.
       shm::BlockRef ref;
       if (auto placed = fabric_->segment.try_allocate(bytes)) {
         ref = *placed;
@@ -211,50 +257,76 @@ void MpiServerTransport::receive_frame() {
         next_spill_offset_ += info.credit;
         info.spill.assign(payload.begin(), payload.end());
       }
-      resident_.emplace(ref.offset, std::move(info));
+      homed.emplace_back(ref.offset, std::move(info));
       event.block = ref;
       ++frame.blocks_outstanding;
-      ++stats_.blocks_received_remote;
-      stats_.bytes_received_remote += bytes;
+      frame_bytes += bytes;
     }
-    pending_.push_back(event);
+    out.push_back(event);
   }
+
+  std::lock_guard<std::mutex> state(state_mutex_);
+  for (auto& [offset, info] : homed) resident_.emplace(offset, std::move(info));
+  stats_.blocks_received_remote += homed.size();
+  stats_.bytes_received_remote += frame_bytes;
   // Pure control frames owe no credit and need no accounting entry.
   if (frame.blocks_outstanding > 0) frames_.emplace(frame_id, frame);
+  return true;
 }
 
 std::span<const std::byte> MpiServerTransport::view(
     const shm::BlockRef& block) {
+  std::lock_guard<std::mutex> state(state_mutex_);
   auto it = resident_.find(block.offset);
   DEDICORE_CHECK(it != resident_.end(),
                  "MpiServerTransport: view of an unknown block");
+  // Safe to hand out past the unlock: unordered_map references are stable
+  // and a resident entry only dies in release(), which the contract orders
+  // after every view of that block.
   if (!it->second.spill.empty())
     return std::span<const std::byte>(it->second.spill);
   return std::as_const(fabric_->segment).view(block);
 }
 
 void MpiServerTransport::release(const shm::BlockRef& block) {
-  auto it = resident_.find(block.offset);
-  DEDICORE_CHECK(it != resident_.end(),
-                 "MpiServerTransport: release of an unknown block");
-  const Resident info = std::move(it->second);
-  resident_.erase(it);
-  if (info.spill.empty()) fabric_->segment.deallocate(block);
+  std::uint64_t credit_to_send = 0;
+  int credit_dest = -1;
+  bool segment_resident = false;
+  {
+    std::lock_guard<std::mutex> state(state_mutex_);
+    auto it = resident_.find(block.offset);
+    DEDICORE_CHECK(it != resident_.end(),
+                   "MpiServerTransport: release of an unknown block");
+    const Resident info = std::move(it->second);
+    resident_.erase(it);
+    segment_resident = info.spill.empty();
 
-  // Credit returns at frame granularity: accumulate until the last block
-  // of the frame is released, then ship ONE credit message.
-  auto frame_it = frames_.find(info.frame_id);
-  DEDICORE_CHECK(frame_it != frames_.end(),
-                 "MpiServerTransport: release for an unknown frame");
-  FrameCredit& frame = frame_it->second;
-  frame.credit_accum += info.credit;
-  DEDICORE_CHECK(frame.blocks_outstanding > 0,
-                 "MpiServerTransport: frame over-released");
-  if (--frame.blocks_outstanding == 0) {
-    comm_.send_value(frame.credit_accum, frame.source_rank, kTagCredit);
-    ++stats_.wire_messages;
-    frames_.erase(frame_it);
+    // Credit returns at frame granularity: accumulate until the last block
+    // of the frame is released, then ship ONE credit message.
+    auto frame_it = frames_.find(info.frame_id);
+    DEDICORE_CHECK(frame_it != frames_.end(),
+                   "MpiServerTransport: release for an unknown frame");
+    FrameCredit& frame = frame_it->second;
+    frame.credit_accum += info.credit;
+    DEDICORE_CHECK(frame.blocks_outstanding > 0,
+                   "MpiServerTransport: frame over-released");
+    if (--frame.blocks_outstanding == 0) {
+      credit_to_send = frame.credit_accum;
+      credit_dest = frame.source_rank;
+      ++stats_.wire_messages;
+      frames_.erase(frame_it);
+    }
   }
+  if (segment_resident) fabric_->segment.deallocate(block);
+  if (credit_dest >= 0)
+    comm_.send_value(credit_to_send, credit_dest, kTagCredit);
+}
+
+TransportStats MpiServerTransport::stats() const {
+  std::lock_guard<std::mutex> state(state_mutex_);
+  TransportStats out = stats_;
+  out.events_received = events_received_.load(std::memory_order_relaxed);
+  return out;
 }
 
 }  // namespace dedicore::transport

@@ -31,9 +31,10 @@
 // every block of a client's iteration before that iteration's close event.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -41,6 +42,7 @@
 #include "transport/shm_transport.hpp"
 #include "transport/transport.hpp"
 #include "transport/wire.hpp"
+#include "transport/worker_demux.hpp"
 
 namespace dedicore::transport {
 
@@ -82,10 +84,17 @@ class MpiClientTransport final : public ClientTransport {
   /// Consumes any credit-return messages waiting in the mailbox.
   void drain_credits();
 
+  /// True when `need` exceeds the whole credit budget: no wait or flush
+  /// can ever satisfy it.  Logs the shared "can never fit" diagnostic and
+  /// counts an acquire failure, so both acquire flavors fail fast with the
+  /// same story instead of the blocking one waiting forever.
+  bool can_never_fit(std::uint64_t need);
+
   minimpi::Comm comm_;
   int server_rank_;
   const std::uint64_t credit_limit_;
   std::uint64_t credits_;
+  bool warned_never_fit_ = false;  ///< the sizing diagnostic logs once
   std::uint64_t next_offset_ = 0;  ///< synthetic BlockRef offsets
   /// Acquired-but-unpublished blocks; each buffer reserves sizeof(Event)
   /// of header space in front of the payload so publish() serializes
@@ -106,10 +115,24 @@ class MpiServerTransport final : public ServerTransport {
   /// in (its queues are unused; pass queue_count = 0).
   MpiServerTransport(minimpi::Comm comm, std::shared_ptr<ShmFabric> fabric);
 
-  std::optional<Event> next_event() override;
+  /// Multi-worker mode: N concurrent next_event() consumers drain the one
+  /// frame channel through the leader-follower demux (WorkerDemux); the
+  /// leader's blocking drain is the frame recv.  A frame carries one
+  /// client's events, so the pinning rule ships whole frames to one
+  /// worker and per-client FIFO survives concurrency.  Frame/credit/
+  /// residency bookkeeping lives under state_mutex_ because release() and
+  /// view() may be called from any worker while the leader is demuxing.
+  void set_worker_count(int workers) override;
+  std::optional<Event> next_event(int worker) override;
+  using ServerTransport::next_event;
+  /// Wakes workers blocked in next_event() by sending this rank a
+  /// zero-byte sentinel on the frame channel.  Per-pair FIFO means every
+  /// real frame sent before the callers' stop events has already been
+  /// received, so nothing can arrive behind the sentinel.
+  void end_of_stream() override;
   std::span<const std::byte> view(const shm::BlockRef& block) override;
   void release(const shm::BlockRef& block) override;
-  [[nodiscard]] TransportStats stats() const override { return stats_; }
+  [[nodiscard]] TransportStats stats() const override;
 
  private:
   /// Credit accounting for one received frame: the credit owed to its
@@ -130,12 +153,18 @@ class MpiServerTransport final : public ServerTransport {
     std::vector<std::byte> spill;  ///< empty when segment-resident
   };
 
-  /// Receives one frame and demuxes its records into pending_.
-  void receive_frame();
+  /// Receives one frame, re-homes its payloads, and appends its events to
+  /// `out` (residency/credit bookkeeping under state_mutex_; no intake
+  /// locks).  Returns false when the end-of-stream sentinel arrived.
+  bool receive_frame(std::vector<Event>& out);
 
   minimpi::Comm comm_;
   std::shared_ptr<ShmFabric> fabric_;
-  std::deque<Event> pending_;  ///< demuxed, not yet handed to the server
+  WorkerDemux demux_;
+  std::atomic<std::uint64_t> events_received_{0};
+  /// Guards resident_, frames_, spill offsets and the non-atomic stats —
+  /// everything release()/view() share with the demux leader.
+  mutable std::mutex state_mutex_;
   std::unordered_map<std::uint64_t, Resident> resident_;
   std::unordered_map<std::uint64_t, FrameCredit> frames_;
   std::uint64_t next_frame_id_ = 0;

@@ -59,13 +59,31 @@ ShmServerTransport::ShmServerTransport(std::shared_ptr<ShmFabric> fabric,
                                        int server_index)
     : fabric_(std::move(fabric)), queue_(queue_of(*fabric_, server_index)) {}
 
-std::optional<Event> ShmServerTransport::next_event() {
+void ShmServerTransport::set_worker_count(int workers) {
+  DEDICORE_CHECK(batch_.empty(),
+                 "ShmServerTransport: set_worker_count after consumption began");
+  demux_.set_worker_count(workers);
+}
+
+std::optional<Event> ShmServerTransport::next_event(int worker) {
+  if (demux_.workers() == 1) {
+    DEDICORE_CHECK(worker == 0, "ShmServerTransport: worker index out of range");
+    return next_event_single();
+  }
+  // pop_all blocks until a batch arrives; 0 means closed and drained —
+  // the end-of-stream verdict the demux fans out to every worker.
+  return demux_.next(
+      worker, [this](std::vector<Event>& out) { return queue_.pop_all(out) > 0; },
+      events_received_);
+}
+
+std::optional<Event> ShmServerTransport::next_event_single() {
   if (batch_cursor_ == batch_.size()) {
     batch_.clear();
     batch_cursor_ = 0;
     if (queue_.pop_all(batch_) == 0) return std::nullopt;  // closed + drained
   }
-  ++stats_.events_received;
+  events_received_.fetch_add(1, std::memory_order_relaxed);
   return batch_[batch_cursor_++];
 }
 
@@ -76,6 +94,12 @@ std::span<const std::byte> ShmServerTransport::view(
 
 void ShmServerTransport::release(const shm::BlockRef& block) {
   fabric_->segment.deallocate(block);
+}
+
+TransportStats ShmServerTransport::stats() const {
+  TransportStats out = stats_;
+  out.events_received = events_received_.load(std::memory_order_relaxed);
+  return out;
 }
 
 void ShmServerTransport::close_intake() { queue_.close(); }

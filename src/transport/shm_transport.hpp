@@ -9,11 +9,13 @@
 // §V.C.1.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "shm/bounded_queue.hpp"
 #include "transport/transport.hpp"
+#include "transport/worker_demux.hpp"
 
 namespace dedicore::transport {
 
@@ -67,23 +69,34 @@ class ShmServerTransport final : public ServerTransport {
  public:
   ShmServerTransport(std::shared_ptr<ShmFabric> fabric, int server_index);
 
-  std::optional<Event> next_event() override;
+  /// Multi-worker mode: N concurrent next_event() consumers share this
+  /// server's one queue through the leader-follower demux (WorkerDemux);
+  /// the leader's blocking drain is the queue's batch pop_all.
+  void set_worker_count(int workers) override;
+  std::optional<Event> next_event(int worker) override;
+  using ServerTransport::next_event;
+  void end_of_stream() override { close_intake(); }
   std::span<const std::byte> view(const shm::BlockRef& block) override;
   void release(const shm::BlockRef& block) override;
-  [[nodiscard]] TransportStats stats() const override { return stats_; }
+  [[nodiscard]] TransportStats stats() const override;
 
   /// Closes this server's intake queue; next_event() drains what is left
   /// (including anything already batched locally) and then returns nullopt.
   void close_intake();
 
  private:
+  std::optional<Event> next_event_single();
+
   std::shared_ptr<ShmFabric> fabric_;
   shm::BoundedQueue<Event>& queue_;
-  /// Local intake batch: next_event() drains the queue with one pop_all
-  /// critical section and hands events out from here, so the consumer
-  /// touches the shared lock once per burst instead of once per event.
+  /// Local intake batch (single-consumer mode): next_event() drains the
+  /// queue with one pop_all critical section and hands events out from
+  /// here, so the consumer touches the shared lock once per burst instead
+  /// of once per event.
   std::vector<Event> batch_;
   std::size_t batch_cursor_ = 0;
+  WorkerDemux demux_;  ///< pooled mode (set_worker_count > 1)
+  std::atomic<std::uint64_t> events_received_{0};
   TransportStats stats_;
 };
 

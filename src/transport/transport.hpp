@@ -104,20 +104,53 @@ class ClientTransport {
 };
 
 /// Server-side endpoint: the merged intake of all clients assigned to one
-/// server.  Not thread-safe: one server rank owns one instance.
+/// server.  One server rank owns one instance; by default a single thread
+/// consumes it, but after set_worker_count(N) the instance supports N
+/// concurrent next_event() callers (a worker pool draining one intake).
+///
+/// Multi-worker contract (checked by tests/transport_test):
+///  * every client is *pinned* to one worker — events from client c are
+///    delivered only through next_event(c mod N), in publish/post order —
+///    so per-client FIFO and exactly-once survive concurrency;
+///  * view() and release() may be called from any worker at any time
+///    (an iteration's completing worker releases other clients' blocks);
+///  * end_of_stream() declares that no further client events will arrive
+///    (every client posted kClientStop and those stops were consumed);
+///    workers still blocked in next_event() then return nullopt.  Ordered
+///    shutdown is the caller's job: call it only after the last stop, so
+///    workers drain before any credit/queue teardown.
 class ServerTransport {
  public:
   virtual ~ServerTransport() = default;
 
-  /// Blocking: the next event addressed to this server, with any block
-  /// payload locally resident.  nullopt when the transport was closed and
-  /// every pending event has been drained.
-  virtual std::optional<Event> next_event() = 0;
+  /// Declares `workers` concurrent next_event() consumers.  Call at most
+  /// once, before the first next_event(); without it the transport serves
+  /// a single consumer (worker 0).
+  virtual void set_worker_count(int workers) {
+    DEDICORE_CHECK(workers == 1,
+                   "ServerTransport: backend supports a single consumer");
+  }
 
-  /// Read-only bytes of a block delivered by next_event().
+  /// Blocking: the next event addressed to worker `worker`, with any block
+  /// payload locally resident.  nullopt when the transport was closed (or
+  /// end_of_stream() was called) and every pending event for this worker
+  /// has been drained.
+  virtual std::optional<Event> next_event(int worker) = 0;
+
+  /// Single-consumer convenience: worker 0's intake.
+  std::optional<Event> next_event() { return next_event(0); }
+
+  /// Wakes every worker blocked in next_event() once the stream is over;
+  /// they drain what is already demuxed for them, then see nullopt.
+  /// No-op on single-consumer use (the caller's loop just stops calling).
+  virtual void end_of_stream() {}
+
+  /// Read-only bytes of a block delivered by next_event().  Safe to call
+  /// from any worker.
   virtual std::span<const std::byte> view(const shm::BlockRef& block) = 0;
 
   /// Frees a delivered block; relaxes backpressure toward its producer.
+  /// Safe to call from any worker.
   virtual void release(const shm::BlockRef& block) = 0;
 
   [[nodiscard]] virtual TransportStats stats() const = 0;

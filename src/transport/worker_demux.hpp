@@ -1,0 +1,106 @@
+// Leader-follower demux shared by the pooled server transports.
+//
+// One ServerTransport, N concurrent next_event() consumers: exactly one
+// worker at a time (the leader) runs the backend's blocking drain — queue
+// pop_all on shm, frame recv on MPI — with the pool lock DROPPED, then
+// routes the batch into per-worker FIFOs under the lock.  Followers wait
+// on a condition variable, never on a lock the leader holds across its
+// blocking call: that shape deadlocks when the leader waits for traffic
+// that only a fed-but-parked worker can cause (e.g. the credit a blocked
+// client is waiting for, which returns only after the parked worker
+// completes an iteration).
+//
+// Every leadership exit — a routed batch or the drained verdict —
+// notifies under the lock, so a follower either consumes its intake or
+// takes over leadership; no wakeup can be missed.
+//
+// Routing is the client→worker *pinning rule*: client c's events always
+// land on worker c mod N, so one worker observes a client's stream in
+// order, exactly once — per-client FIFO survives the concurrency (the
+// transport conformance suite enforces this).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/status.hpp"
+#include "transport/message.hpp"
+
+namespace dedicore::transport {
+
+class WorkerDemux {
+ public:
+  /// Call at most once, before the first next().  `workers` >= 1.
+  void set_worker_count(int workers) {
+    DEDICORE_CHECK(workers >= 1, "WorkerDemux: worker count must be >= 1");
+    DEDICORE_CHECK(!consumed_, "WorkerDemux: set_worker_count after consumption began");
+    workers_ = workers;
+    intakes_.resize(static_cast<std::size_t>(workers_));
+  }
+
+  [[nodiscard]] int workers() const noexcept { return workers_; }
+
+  /// The next event for `worker`.  `drain` is the backend's blocking
+  /// intake: it appends a non-empty batch to its argument and returns
+  /// true, or returns false when the stream is over (queue closed and
+  /// empty / end-of-stream sentinel); it is invoked by one leader at a
+  /// time, without the pool lock held.  `delivered` counts handed-out
+  /// events for the backend's stats.
+  template <typename DrainFn>
+  std::optional<Event> next(int worker, DrainFn&& drain,
+                            std::atomic<std::uint64_t>& delivered) {
+    DEDICORE_CHECK(worker >= 0 && worker < workers_,
+                   "WorkerDemux: worker index out of range");
+    std::deque<Event>& mine = intakes_[static_cast<std::size_t>(worker)];
+    std::unique_lock<std::mutex> lock(mutex_);
+    consumed_ = true;
+    for (;;) {
+      if (!mine.empty()) {
+        Event event = mine.front();
+        mine.pop_front();
+        delivered.fetch_add(1, std::memory_order_relaxed);
+        return event;
+      }
+      if (drained_) return std::nullopt;
+      if (!leader_active_) {
+        // Lead one drain, with the pool lock dropped for the blocking
+        // call so followers can keep consuming their intakes meanwhile.
+        leader_active_ = true;
+        lock.unlock();
+        batch_.clear();
+        const bool more = drain(batch_);
+        lock.lock();
+        leader_active_ = false;
+        if (!more) {
+          drained_ = true;
+          cv_.notify_all();
+          return std::nullopt;
+        }
+        for (const Event& event : batch_) {
+          const int target = ((event.source % workers_) + workers_) % workers_;
+          intakes_[static_cast<std::size_t>(target)].push_back(event);
+        }
+        cv_.notify_all();  // fed followers wake; one may take the lead
+        continue;
+      }
+      cv_.wait(lock);
+    }
+  }
+
+ private:
+  int workers_ = 1;
+  std::mutex mutex_;  ///< guards intakes_/leader_active_/drained_/consumed_
+  std::condition_variable cv_;
+  std::vector<std::deque<Event>> intakes_{1};  ///< per-worker FIFO, pinned
+  std::vector<Event> batch_;                   ///< leader-only scratch
+  bool leader_active_ = false;
+  bool drained_ = false;
+  bool consumed_ = false;
+};
+
+}  // namespace dedicore::transport

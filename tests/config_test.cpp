@@ -78,6 +78,38 @@ TEST(ConfigurationTest, BadDedicatedModeRejected) {
                ConfigError);
 }
 
+TEST(ConfigurationTest, ServerWorkersParsesAndValidates) {
+  // Default: auto (0), resolved per deployment mode at wiring time.
+  const Configuration defaulted = Configuration::from_string(kFullDocument);
+  EXPECT_EQ(defaulted.server_workers(), 0);
+  EXPECT_EQ(defaulted.effective_server_workers(), 1);  // cores mode
+
+  const Configuration cfg = Configuration::from_string(R"(
+    <simulation cores_per_node="8" dedicated_mode="nodes" dedicated_nodes="2"
+                server_workers="4">
+      <data>
+        <layout name="l" dimensions="8"/>
+        <variable name="v" layout="l"/>
+      </data>
+    </simulation>)");
+  EXPECT_EQ(cfg.server_workers(), 4);
+  EXPECT_EQ(cfg.effective_server_workers(), 4);
+
+  // Auto in nodes mode deploys the full node width the model assumes.
+  const Configuration auto_nodes = Configuration::from_string(R"(
+    <simulation cores_per_node="8" dedicated_mode="nodes" dedicated_nodes="2"/>)");
+  EXPECT_EQ(auto_nodes.effective_server_workers(), 8);
+
+  EXPECT_THROW(Configuration::from_string(
+                   R"(<simulation server_workers="-1"/>)"),
+               ConfigError);
+  // The sanity cap: a fat-fingered width must not pass validation and
+  // kill the I/O rank at thread-spawn time.
+  EXPECT_THROW(Configuration::from_string(
+                   R"(<simulation server_workers="500000"/>)"),
+               ConfigError);
+}
+
 TEST(ConfigurationTest, LayoutLookupAndSizes) {
   const Configuration cfg = Configuration::from_string(kFullDocument);
   const LayoutSpec& grid = cfg.layout("grid3d");

@@ -246,6 +246,37 @@ TEST_P(ReplayShapeTest, ThrottledSchedulerDoesNotHurtAppTime) {
 
 INSTANTIATE_TEST_SUITE_P(Scales, ReplayShapeTest, ::testing::Values(576, 1152));
 
+TEST(ReplayTest, NarrowIoNodeWorkerPoolsDrainSlower) {
+  // The io_node_workers axis (mirroring the runtime's server_workers): a
+  // 1-worker I/O node serializes its group's writes, so the storage drain
+  // takes at least as long as with the full node width, and the narrower
+  // pool is busier per worker (lower idle fraction).  Equal widths —
+  // explicit cores_per_node vs auto(0) — must be identical.
+  const ClusterSpec cluster{1152, 12, 1};
+  WorkloadSpec workload;
+  workload.iterations = 4;
+  workload.compute_seconds = 120.0;
+  workload.bytes_per_core = 43ull << 20;
+  workload.compute_nodes_per_io_node = 16;
+  const auto storage = kraken_storage_config();
+  const double alpha = kraken_congestion_alpha();
+
+  auto with_workers = [&](int workers) {
+    WorkloadSpec w = workload;
+    w.io_node_workers = workers;
+    return replay(Strategy::kDedicatedNodes, cluster, w, storage, alpha, 7);
+  };
+  const auto full = with_workers(0);            // auto: full node width
+  const auto explicit_full = with_workers(12);  // same width, spelled out
+  const auto narrow = with_workers(1);
+
+  EXPECT_EQ(explicit_full.app_seconds, full.app_seconds);
+  EXPECT_EQ(explicit_full.dedicated_idle_fraction,
+            full.dedicated_idle_fraction);
+  EXPECT_GE(narrow.storage_drain_seconds, full.storage_drain_seconds);
+  EXPECT_LT(narrow.dedicated_idle_fraction, full.dedicated_idle_fraction);
+}
+
 TEST(ReplayTest, VariabilitySpreadIsOrdersOfMagnitudeForBaselines) {
   const ClusterSpec cluster{1152, 12, 1};
   WorkloadSpec workload;

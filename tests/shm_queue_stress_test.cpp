@@ -254,6 +254,83 @@ TEST(ShmQueueStressTest, CloseWithPendingItemsDrainsExactly) {
   check_no_loss_no_dup(result, 1, 32);
 }
 
+TEST(ShmQueueStressTest, CloseRacesConcurrentBatchDrains) {
+  // The multi-worker shutdown shape (server worker pools drain one queue
+  // via pop_all): close() fires from a separate thread while several
+  // consumers are mid-drain and others are blocked in wait_for_item_locked.
+  // Every consumer must observe the close promptly — a missed wakeup turns
+  // this test into a suite timeout — and the items that were successfully
+  // pushed before the close form, per producer, a prefix delivered exactly
+  // once.  Chiefly here for the TSan job, which runs this suite.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 6;
+  constexpr int kItems = 20000;
+  constexpr int kRounds = 20;
+  for (int round = 0; round < kRounds; ++round) {
+    BoundedQueue<std::uint64_t> queue(32);
+    std::vector<std::vector<std::uint64_t>> received(kConsumers);
+    std::vector<int> pushed_ok(kProducers, 0);
+
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kConsumers; ++c) {
+      threads.emplace_back([&queue, &received, c] {
+        auto& mine = received[static_cast<std::size_t>(c)];
+        std::vector<std::uint64_t> burst;
+        while (queue.pop_all(burst) > 0) {
+          mine.insert(mine.end(), burst.begin(), burst.end());
+          burst.clear();
+        }
+      });
+    }
+    for (int p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&queue, &pushed_ok, p] {
+        for (int i = 0; i < kItems; ++i) {
+          if (!queue.push(make_item(static_cast<std::uint64_t>(p),
+                                    static_cast<std::uint64_t>(i))))
+            return;  // closed under us: everything before i was delivered
+          pushed_ok[static_cast<std::size_t>(p)] = i + 1;
+        }
+      });
+    }
+    // Let traffic build, then slam the door mid-stream.
+    std::this_thread::sleep_for(std::chrono::microseconds(200 + 150 * round));
+    queue.close();
+    for (auto& t : threads) t.join();
+
+    // Exactly-once and per-producer order for everything that was pushed;
+    // the delivered set per producer is a prefix of what push() accepted
+    // (a push racing the close may or may not have landed).
+    std::vector<std::int64_t> max_seq(kProducers, -1);
+    std::vector<std::vector<bool>> seen(
+        static_cast<std::size_t>(kProducers),
+        std::vector<bool>(static_cast<std::size_t>(kItems), false));
+    for (const auto& mine : received) {
+      std::vector<std::int64_t> last(kProducers, -1);
+      for (std::uint64_t item : mine) {
+        const auto p = item_producer(item);
+        const auto s = item_seq(item);
+        ASSERT_LT(p, static_cast<std::uint64_t>(kProducers));
+        EXPECT_FALSE(seen[p][s]) << "duplicate item";
+        seen[p][s] = true;
+        EXPECT_GT(static_cast<std::int64_t>(s), last[p]) << "order inverted";
+        last[p] = static_cast<std::int64_t>(s);
+        max_seq[p] = std::max(max_seq[p], last[p]);
+      }
+    }
+    for (int p = 0; p < kProducers; ++p) {
+      // No holes: delivery is a prefix.
+      for (std::int64_t s = 0; s <= max_seq[p]; ++s)
+        EXPECT_TRUE(seen[static_cast<std::size_t>(p)][static_cast<std::size_t>(s)])
+            << "producer " << p << " lost item " << s;
+      // Everything push() accepted was delivered: close() drains, it does
+      // not drop.
+      EXPECT_GE(max_seq[p] + 1,
+                static_cast<std::int64_t>(pushed_ok[static_cast<std::size_t>(p)]))
+          << "producer " << p << " had accepted pushes dropped";
+    }
+  }
+}
+
 TEST(ShmQueueStressTest, CloseReleasesBlockedProducers) {
   // Producers blocked on a full queue must wake and observe failure when
   // the consumer side closes the queue instead of draining it.

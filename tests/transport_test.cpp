@@ -410,6 +410,126 @@ TEST(TransportConformanceTest, BatchingPreservesFifoAndExactlyOnceAcrossFlushBou
 }
 
 // ---------------------------------------------------------------------------
+// Concurrent consumers: a worker pool draining one ServerTransport must
+// preserve the whole contract — per-client FIFO, exactly-once — via the
+// client→worker pinning rule (client c is observed only by worker c mod N).
+// ---------------------------------------------------------------------------
+
+TEST(TransportConformanceTest, ConcurrentConsumersPreserveFifoAndExactlyOnce) {
+  for (Backend backend : {Backend::kShm, Backend::kMpi}) {
+    SCOPED_TRACE(backend_name(backend));
+    constexpr int kClients = 5;
+    constexpr int kWorkers = 3;
+    constexpr std::uint32_t kBlocks = 48;
+    constexpr std::uint64_t kBlockSize = 192;
+
+    HarnessOptions options;
+    options.clients = kClients;
+    options.capacity = 4 << 20;  // roomy: this test is about ordering
+
+    // What each worker observed, in its own arrival order.
+    std::vector<std::vector<Event>> per_worker(kWorkers);
+
+    run_backend(
+        backend, options,
+        [&](ClientTransport& client, int c) {
+          for (std::uint32_t b = 0; b < kBlocks; ++b) {
+            auto ref = client.acquire_blocking(kBlockSize);
+            ASSERT_TRUE(ref.has_value());
+            publish_block(client, *ref, c, b, c * 1000 + b);
+            // Occasional explicit flush boundaries (MPI) interleave frames
+            // from different clients at the server's single recv point.
+            if (b % 7 == 3) client.flush();
+          }
+          post_stop(client, c);
+        },
+        [&](ServerTransport& server) {
+          server.set_worker_count(kWorkers);
+          std::atomic<int> stops{0};
+          std::vector<std::thread> workers;
+          workers.reserve(kWorkers);
+          for (int w = 0; w < kWorkers; ++w) {
+            workers.emplace_back([&, w] {
+              auto& seen = per_worker[static_cast<std::size_t>(w)];
+              while (auto event = server.next_event(w)) {
+                seen.push_back(*event);
+                if (event->type == EventType::kBlockWritten) {
+                  EXPECT_TRUE(block_matches(
+                      server, *event,
+                      event->source * 1000 + event->block_id));
+                  server.release(event->block);
+                } else if (event->type == EventType::kClientStop) {
+                  // Ordered shutdown: the worker that consumes the final
+                  // stop ends the stream; the others drain and see
+                  // nullopt.  Mirrors core::Server's worker lifecycle.
+                  if (stops.fetch_add(1) + 1 == kClients)
+                    server.end_of_stream();
+                }
+              }
+            });
+          }
+          for (auto& t : workers) t.join();
+        });
+
+    // Every client's stream lands on exactly its pinned worker, in FIFO
+    // order, stop last, nothing lost, nothing duplicated.
+    std::size_t total_events = 0;
+    for (int w = 0; w < kWorkers; ++w) {
+      std::map<int, std::uint32_t> next_id;
+      std::map<int, bool> stopped;
+      for (const Event& event : per_worker[static_cast<std::size_t>(w)]) {
+        EXPECT_EQ(event.source % kWorkers, w) << "client not pinned";
+        EXPECT_FALSE(stopped[event.source]) << "event after its client's stop";
+        if (event.type == EventType::kClientStop) {
+          EXPECT_EQ(next_id[event.source], kBlocks);
+          stopped[event.source] = true;
+        } else {
+          ASSERT_EQ(event.type, EventType::kBlockWritten);
+          EXPECT_EQ(event.block_id, next_id[event.source]++) << "FIFO broken";
+        }
+        ++total_events;
+      }
+    }
+    EXPECT_EQ(total_events,
+              static_cast<std::size_t>(kClients) * (kBlocks + 1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Credit accounting: a request larger than the whole budget must fail fast
+// on BOTH acquire flavors (the blocking one used to be able to wait forever
+// on credit that could never cover it — this test hangs, and times the
+// suite out, on a regression).
+// ---------------------------------------------------------------------------
+
+TEST(TransportConformanceTest, MpiAcquireFlavorsAgreeOnCanNeverFit) {
+  constexpr std::uint64_t kBudget = 4096;
+  minimpi::run_world(2, [&](minimpi::Comm& world) {
+    if (world.rank() == 0) {
+      transport::MpiClientTransport client(world, 1, kBudget);
+      EXPECT_FALSE(client.try_acquire(kBudget + 1).has_value());
+      EXPECT_FALSE(client.acquire_blocking(kBudget + 1).has_value());
+      EXPECT_GE(client.stats().acquire_failures, 2u);
+      // The budget itself still fits on both paths.
+      auto a = client.try_acquire(kBudget);
+      ASSERT_TRUE(a.has_value());
+      client.abandon(*a);
+      auto b = client.acquire_blocking(kBudget);
+      ASSERT_TRUE(b.has_value());
+      client.abandon(*b);
+      post_stop(client, 0);
+    } else {
+      auto fabric =
+          std::make_shared<transport::ShmFabric>(kBudget, /*queue_count=*/0, 8);
+      transport::MpiServerTransport server(world, fabric);
+      auto event = server.next_event();
+      ASSERT_TRUE(event.has_value());
+      EXPECT_EQ(event->type, EventType::kClientStop);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
 // Close / drain (shm: an explicit close exists; both: stop-drain protocol)
 // ---------------------------------------------------------------------------
 
