@@ -15,6 +15,12 @@
 //      consumers (the dedicated-I/O-rank worker pool), with a synthetic
 //      per-event pipeline cost standing in for indexing + plugins.
 //      --workers N,N,... selects the sweep (default 1,2,4,8).
+//   5. posix storage backend (PR 5) — real-disk emit throughput of
+//      h5lite-sized images through storage::PosixBackend into a scratch
+//      directory (TempDir-style, removed afterwards): the synchronous
+//      create/write/fsync/close path vs. the write-behind queue drained
+//      by worker threads.  Unlike sections 1–4 these are *measured disk*
+//      numbers, not modelled ones — see docs/performance.md.
 //
 // Modes: default is a full run sized for stable numbers; --smoke shrinks
 // everything to a CTest-friendly second (registered with label
@@ -36,12 +42,18 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
+#include <filesystem>
+
 #include "common/clock.hpp"
 #include "common/rng.hpp"
 #include "legacy_hotpath.hpp"
 #include "minimpi/minimpi.hpp"
 #include "shm/bounded_queue.hpp"
 #include "shm/segment.hpp"
+#include "storage/posix_backend.hpp"
+#include "storage/write_behind.hpp"
 #include "transport/message.hpp"
 #include "transport/mpi_transport.hpp"
 #include "transport/shm_transport.hpp"
@@ -432,6 +444,95 @@ double run_worker_scaling(const WorkerScaleConfig& cfg, int workers) {
 }
 
 // ---------------------------------------------------------------------------
+// 5. Posix storage backend (real disk, not modelled)
+// ---------------------------------------------------------------------------
+
+struct PosixBenchConfig {
+  int files = 64;                          ///< h5lite-sized images emitted
+  std::uint64_t image_bytes = 1ull << 20;  ///< 1 MiB per image
+  std::uint64_t budget_bytes = 8ull << 20; ///< write-behind byte budget
+  int drainers = 2;                        ///< stand-in server workers
+};
+
+struct PosixBenchResult {
+  double sync_mb_per_sec = 0.0;          ///< create/write/fsync/close inline
+  double write_behind_mb_per_sec = 0.0;  ///< enqueue + concurrent drain
+  double enqueue_block_seconds = 0.0;    ///< producer stalls (backpressure)
+};
+
+/// Emits `files` images through PosixBackend into a fresh scratch
+/// directory under the system temp dir, once synchronously and once
+/// through a WriteBehind queue drained by `drainers` threads, verifying
+/// every byte landed.  The scratch directory is removed afterwards.
+PosixBenchResult run_posix_backend(const PosixBenchConfig& cfg) {
+  namespace fs = std::filesystem;
+  namespace storage = dedicore::storage;
+  const fs::path scratch =
+      fs::temp_directory_path() /
+      ("dedicore_bench_posix_" + std::to_string(::getpid()));
+  PosixBenchResult result;
+
+  std::vector<std::byte> image(cfg.image_bytes);
+  Rng rng(0xC0FFEE);
+  for (auto& b : image) b = static_cast<std::byte>(rng.next_below(256));
+  const double total_mb = static_cast<double>(cfg.files) *
+                          static_cast<double>(cfg.image_bytes) / 1e6;
+
+  {
+    storage::PosixBackend backend(scratch / "sync");
+    const auto start = Clock::now();
+    for (int i = 0; i < cfg.files; ++i) {
+      const auto status = storage::write_image(
+          backend, "node0/it" + std::to_string(i) + ".h5l", image);
+      if (!status.is_ok()) {
+        std::fprintf(stderr, "FAIL: posix sync write: %s\n",
+                     status.to_string().c_str());
+        std::exit(1);
+      }
+    }
+    result.sync_mb_per_sec = total_mb / seconds_since(start);
+    if (backend.stats().bytes_written !=
+        static_cast<std::uint64_t>(cfg.files) * cfg.image_bytes) {
+      std::fprintf(stderr, "FAIL: posix sync byte accounting\n");
+      std::exit(1);
+    }
+  }
+
+  {
+    storage::PosixBackend backend(scratch / "wb");
+    storage::WriteBehind queue(backend, cfg.budget_bytes);
+    const auto start = Clock::now();
+    std::vector<std::thread> drainers;
+    std::atomic<bool> done{false};
+    for (int d = 0; d < cfg.drainers; ++d) {
+      drainers.emplace_back([&] {
+        while (!done.load(std::memory_order_acquire))
+          if (queue.drain_some(4) == 0) std::this_thread::yield();
+      });
+    }
+    for (int i = 0; i < cfg.files; ++i)
+      queue.enqueue({"node0/it" + std::to_string(i) + ".h5l", 0, image});
+    queue.drain_all();
+    done.store(true, std::memory_order_release);
+    for (auto& d : drainers) d.join();
+    result.write_behind_mb_per_sec = total_mb / seconds_since(start);
+    result.enqueue_block_seconds = queue.stats().enqueue_block_seconds;
+    const auto stats = queue.stats();
+    if (stats.jobs_written != static_cast<std::uint64_t>(cfg.files) ||
+        stats.jobs_failed != 0) {
+      std::fprintf(stderr, "FAIL: write-behind drained %llu/%d jobs\n",
+                   static_cast<unsigned long long>(stats.jobs_written),
+                   cfg.files);
+      std::exit(1);
+    }
+  }
+
+  std::error_code ec;
+  fs::remove_all(scratch, ec);  // best-effort scratch cleanup
+  return result;
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -459,7 +560,9 @@ std::string format_json(const std::string& mode,
                         const std::vector<QueueRow>& queue,
                         const std::vector<WorkerRow>& worker_rows,
                         const MpiBatchConfig& mpi_cfg,
-                        const MpiBatchResult& mpi) {
+                        const MpiBatchResult& mpi,
+                        const PosixBenchConfig& posix_cfg,
+                        const PosixBenchResult& posix) {
   std::ostringstream out;
   out.precision(1);
   out << std::fixed;
@@ -505,6 +608,17 @@ std::string format_json(const std::string& mode,
       << ",\n    \"unbatched_wire_messages_per_client_iteration\": "
       << mpi.unbatched_per_client_iteration
       << ",\n    \"events_per_wire_message\": " << mpi.events_per_wire_message
+      << "\n  },\n";
+  out << "  \"posix_backend\": {\n";
+  out << "    \"files\": " << posix_cfg.files
+      << ", \"image_bytes\": " << posix_cfg.image_bytes
+      << ", \"drainers\": " << posix_cfg.drainers << ",\n";
+  out.precision(1);
+  out << "    \"sync_mb_per_sec\": " << posix.sync_mb_per_sec
+      << ",\n    \"write_behind_mb_per_sec\": "
+      << posix.write_behind_mb_per_sec;
+  out.precision(4);
+  out << ",\n    \"enqueue_block_seconds\": " << posix.enqueue_block_seconds
       << "\n  }\n}\n";
   return out.str();
 }
@@ -550,6 +664,7 @@ int main(int argc, char** argv) {
   QueueConfig queue_cfg;
   MpiBatchConfig mpi_cfg;
   WorkerScaleConfig worker_cfg;
+  PosixBenchConfig posix_cfg;
   if (smoke) {
     churn.capacity = 1ull << 24;
     churn.fragment_pins = 512;
@@ -557,6 +672,9 @@ int main(int argc, char** argv) {
     queue_cfg.events_per_producer = 20000;
     mpi_cfg.iterations = 8;
     worker_cfg.events_per_client = 4000;
+    posix_cfg.files = 8;
+    posix_cfg.image_bytes = 256 * 1024;
+    posix_cfg.budget_bytes = 1ull << 20;
   }
 
   std::vector<AllocatorRow> allocator_rows;
@@ -613,9 +731,17 @@ int main(int argc, char** argv) {
       mpi.wire_per_client_iteration, mpi_cfg.blocks_per_iteration,
       mpi.unbatched_per_client_iteration, mpi.events_per_wire_message);
 
+  const PosixBenchResult posix = run_posix_backend(posix_cfg);
+  std::printf(
+      "posix backend: sync %.1f MB/s, write-behind (%d drainers) %.1f MB/s, "
+      "producer blocked %.3fs on the %.0f MiB budget\n",
+      posix.sync_mb_per_sec, posix_cfg.drainers,
+      posix.write_behind_mb_per_sec, posix.enqueue_block_seconds,
+      static_cast<double>(posix_cfg.budget_bytes) / (1 << 20));
+
   const std::string json = format_json(smoke ? "smoke" : "full",
                                        allocator_rows, queue_rows, worker_rows,
-                                       mpi_cfg, mpi);
+                                       mpi_cfg, mpi, posix_cfg, posix);
   if (!json_path.empty()) {
     if (json_path == "-") {
       std::cout << json;

@@ -4,18 +4,34 @@
 // field), 1 is dedicated to I/O.  The dedicated core aggregates all three
 // clients' blocks into one h5lite file per iteration, asynchronously.
 //
-// Build & run:   ./examples/quickstart
+// By default the files land in the filesystem *simulator* (modelled
+// durations, in-memory content).  Pass a directory to persist them for
+// real through the posix storage backend — the h5lite files then appear
+// on your actual disk, emitted by the dedicated core's write-behind queue:
+//
+// Build & run:   ./examples/quickstart [output-dir]
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/runtime.hpp"
 #include "fsim/filesystem.hpp"
 #include "minimpi/minimpi.hpp"
+#include "storage/posix_backend.hpp"
 
 using namespace dedicore;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string output_dir = argc > 1 ? argv[1] : "";
+
   // The data model comes from an XML description, as in Damaris/ADIOS.
+  // storage backend="posix" path="..." switches every persisted byte from
+  // the simulator to real files, with no change to the simulation code.
+  const std::string storage_element =
+      output_dir.empty()
+          ? R"(<storage basename="quickstart"/>)"
+          : R"(<storage basename="quickstart" backend="posix" path=")" +
+                output_dir + R"(" write_behind="8MiB"/>)";
   const core::Configuration config = core::Configuration::from_string(R"(
     <simulation name="quickstart" cores_per_node="4" dedicated_cores="1">
       <buffer size="16MiB" queue="256" policy="block"/>
@@ -23,13 +39,14 @@ int main() {
         <layout name="block" type="float64" dimensions="32,32"/>
         <variable name="temperature" layout="block"/>
       </data>
-      <storage basename="quickstart"/>
+      )" + storage_element + R"(
       <actions>
         <event name="end_iteration" plugin="store"/>
       </actions>
     </simulation>)");
 
-  // A simulated parallel filesystem (4 OSTs + 1 metadata server).
+  // A simulated parallel filesystem (4 OSTs + 1 metadata server); unused
+  // for persistence when the posix backend is selected.
   fsim::StorageConfig storage;
   storage.ost_count = 4;
   fsim::TimeScale scale;
@@ -64,10 +81,21 @@ int main() {
     rt.finalize();  // damaris-api
   });
 
-  std::printf("files written through the dedicated core:\n");
-  for (const auto& path : fs.list_files()) {
-    std::printf("  %s (%llu bytes)\n", path.c_str(),
-                static_cast<unsigned long long>(fs.file_size(path)));
+  if (output_dir.empty()) {
+    std::printf("files written through the dedicated core (simulated fs):\n");
+    for (const auto& path : fs.list_files()) {
+      std::printf("  %s (%llu bytes)\n", path.c_str(),
+                  static_cast<unsigned long long>(fs.file_size(path)));
+    }
+    std::printf("pass an output directory to write them to real disk\n");
+  } else {
+    storage::PosixBackend disk(output_dir);
+    std::printf("files written through the dedicated core to %s:\n",
+                output_dir.c_str());
+    for (const auto& path : disk.list_files()) {
+      std::printf("  %s (%llu bytes)\n", path.c_str(),
+                  static_cast<unsigned long long>(disk.file_size(path)));
+    }
   }
   return 0;
 }

@@ -4,6 +4,8 @@
 # Usage:
 #   scripts/run_tests.sh                 # everything
 #   scripts/run_tests.sh --filter shm    # suites matching a regex (ctest -R)
+#   scripts/run_tests.sh --filter storage  # storage backends: conformance,
+#                                          # posix round-trips, write-behind
 #   scripts/run_tests.sh --asan          # AddressSanitizer build (separate build dir)
 #   scripts/run_tests.sh --tsan          # ThreadSanitizer build (separate build dir)
 #   scripts/run_tests.sh --build-dir out # custom build directory
@@ -31,7 +33,7 @@ while [[ $# -gt 0 ]]; do
       [[ $# -ge 2 ]] || { echo "error: $1 needs a number" >&2; exit 2; }
       jobs="$2"; shift 2 ;;
     -h|--help)
-      sed -n '2,8p' "$0"; exit 0 ;;
+      sed -n '2,10p' "$0"; exit 0 ;;
     *)
       echo "error: unknown argument '$1' (see --help)" >&2; exit 2 ;;
   esac

@@ -5,10 +5,18 @@
 
 #include "common/clock.hpp"
 #include "h5lite/h5lite.hpp"
+#include "storage/sim_backend.hpp"
 
 namespace dedicore::core {
 
 namespace {
+
+/// Baseline writers run synchronously on the simulation cores, so a
+/// backend failure is a hard experiment failure — surface it immediately.
+void check_storage(const Status& status, const char* what) {
+  if (status.is_ok()) return;
+  throw ConfigError(std::string(what) + ": " + status.to_string());
+}
 
 /// Stored variables in configuration order (the deterministic order both
 /// writers and the shared layout rely on).
@@ -45,10 +53,19 @@ void validate_iteration_data(const Configuration& config,
 // FilePerProcessWriter
 // ---------------------------------------------------------------------------
 
+FilePerProcessWriter::FilePerProcessWriter(storage::StorageBackend& backend,
+                                           Configuration config,
+                                           std::string basename)
+    : backend_(backend), config_(std::move(config)),
+      basename_(std::move(basename)) {
+  config_.validate();
+}
+
 FilePerProcessWriter::FilePerProcessWriter(fsim::FileSystem& fs,
                                            Configuration config,
                                            std::string basename)
-    : fs_(fs), config_(std::move(config)), basename_(std::move(basename)) {
+    : owned_(std::make_unique<storage::SimBackend>(fs)), backend_(*owned_),
+      config_(std::move(config)), basename_(std::move(basename)) {
   config_.validate();
 }
 
@@ -71,9 +88,9 @@ double FilePerProcessWriter::write_iteration(int rank, Iteration iteration,
 
   const std::string path = basename_ + "/rank" + std::to_string(rank) + "_it" +
                            std::to_string(iteration) + ".h5l";
-  fsim::FileHandle file = fs_.create(path, config_.storage().stripe_count);
-  fs_.write(file, image);
-  fs_.close(file);
+  check_storage(storage::write_image(backend_, path, image,
+                                     config_.storage().stripe_count),
+                "file-per-process write");
   return timer.elapsed_seconds();
 }
 
@@ -81,9 +98,20 @@ double FilePerProcessWriter::write_iteration(int rank, Iteration iteration,
 // CollectiveWriter
 // ---------------------------------------------------------------------------
 
+CollectiveWriter::CollectiveWriter(storage::StorageBackend& backend,
+                                   Configuration config,
+                                   int aggregator_group, std::string basename)
+    : backend_(backend), config_(std::move(config)),
+      aggregator_group_(aggregator_group), basename_(std::move(basename)) {
+  config_.validate();
+  if (aggregator_group_ <= 0)
+    throw ConfigError("CollectiveWriter: aggregator_group must be positive");
+}
+
 CollectiveWriter::CollectiveWriter(fsim::FileSystem& fs, Configuration config,
                                    int aggregator_group, std::string basename)
-    : fs_(fs), config_(std::move(config)),
+    : owned_(std::make_unique<storage::SimBackend>(fs)), backend_(*owned_),
+      config_(std::move(config)),
       aggregator_group_(aggregator_group), basename_(std::move(basename)) {
   config_.validate();
   if (aggregator_group_ <= 0)
@@ -126,8 +154,10 @@ double CollectiveWriter::write_iteration(minimpi::Comm& comm,
   // Phase 0: rank 0 creates the file; everyone else learns it is ready.
   const int base_tag = 2000 + static_cast<int>(iteration % 1000) * 8;
   if (rank == 0) {
-    fsim::FileHandle file = fs_.create(path, config_.storage().stripe_count);
-    fs_.close(file);
+    storage::FileHandle file;
+    check_storage(backend_.create(path, &file, config_.storage().stripe_count),
+                  "collective: create shared file");
+    check_storage(backend_.close(file), "collective: close shared file");
   }
   comm.barrier();
 
@@ -144,8 +174,8 @@ double CollectiveWriter::write_iteration(minimpi::Comm& comm,
                       base_tag + static_cast<int>(v % 8));
     }
   } else {
-    auto file = fs_.open(path);
-    DEDICORE_CHECK(file.has_value(), "collective: shared file vanished");
+    storage::FileHandle file;
+    check_storage(backend_.open(path, &file), "collective: shared file vanished");
 
     // Gather the group's payloads per variable, then write the contiguous
     // region covering the group's datasets in one positional write.
@@ -173,19 +203,23 @@ double CollectiveWriter::write_iteration(minimpi::Comm& comm,
                     parts[static_cast<std::size_t>(m)].data(),
                     parts[static_cast<std::size_t>(m)].size());
       }
-      fs_.pwrite(*file, region_begin, region);
+      check_storage(backend_.pwrite(file, region_begin, region),
+                    "collective: region write");
     }
-    fs_.close(*file);
+    check_storage(backend_.close(file), "collective: aggregator close");
   }
 
   // Phase 2: rank 0 writes the header + metadata tree, making the file
   // parseable; then the collective completes with a barrier.
   if (rank == 0) {
-    auto file = fs_.open(path);
-    DEDICORE_CHECK(file.has_value(), "collective: shared file vanished");
-    fs_.pwrite(*file, 0, layout.header_image());
-    fs_.pwrite(*file, layout.metadata_offset(), layout.metadata_image());
-    fs_.close(*file);
+    storage::FileHandle file;
+    check_storage(backend_.open(path, &file), "collective: shared file vanished");
+    check_storage(backend_.pwrite(file, 0, layout.header_image()),
+                  "collective: header write");
+    check_storage(backend_.pwrite(file, layout.metadata_offset(),
+                                  layout.metadata_image()),
+                  "collective: metadata write");
+    check_storage(backend_.close(file), "collective: header close");
   }
   comm.barrier();
   return timer.elapsed_seconds();

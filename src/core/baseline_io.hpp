@@ -4,18 +4,23 @@
 // simulation stalls for their full duration, which is exactly what Damaris
 // removes.
 //
-// Both writers produce real h5lite files through the filesystem simulator,
+// Both writers produce real h5lite files through a storage::StorageBackend,
 // so their outputs can be read back, counted (the "huge amount of files
-// that are simply impossible to post-process") and verified.
+// that are simply impossible to post-process") and verified — through the
+// filesystem simulator (modelled durations, in-memory content) or straight
+// to disk via storage::PosixBackend.  The fsim::FileSystem constructors
+// are conveniences that wrap the simulator in an owned SimBackend.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 
 #include "core/configuration.hpp"
 #include "fsim/filesystem.hpp"
 #include "minimpi/minimpi.hpp"
+#include "storage/backend.hpp"
 
 namespace dedicore::core {
 
@@ -33,6 +38,8 @@ void validate_iteration_data(const Configuration& config,
 /// per iteration, and as many files as ranks.
 class FilePerProcessWriter {
  public:
+  FilePerProcessWriter(storage::StorageBackend& backend, Configuration config,
+                       std::string basename = "fpp");
   FilePerProcessWriter(fsim::FileSystem& fs, Configuration config,
                        std::string basename = "fpp");
 
@@ -42,7 +49,8 @@ class FilePerProcessWriter {
                          const IterationData& data);
 
  private:
-  fsim::FileSystem& fs_;
+  std::unique_ptr<storage::StorageBackend> owned_;  ///< fsim convenience only
+  storage::StorageBackend& backend_;
   Configuration config_;
   std::string basename_;
 };
@@ -54,6 +62,9 @@ class FilePerProcessWriter {
 /// over `comm` and ends with a barrier, like MPI-IO collective writes.
 class CollectiveWriter {
  public:
+  CollectiveWriter(storage::StorageBackend& backend, Configuration config,
+                   int aggregator_group = 8,
+                   std::string basename = "collective");
   CollectiveWriter(fsim::FileSystem& fs, Configuration config,
                    int aggregator_group = 8,
                    std::string basename = "collective");
@@ -63,7 +74,8 @@ class CollectiveWriter {
                          const IterationData& data);
 
  private:
-  fsim::FileSystem& fs_;
+  std::unique_ptr<storage::StorageBackend> owned_;  ///< fsim convenience only
+  storage::StorageBackend& backend_;
   Configuration config_;
   int aggregator_group_;
   std::string basename_;

@@ -6,8 +6,11 @@
 #include <limits>
 
 #include "common/clock.hpp"
+#include "common/log.hpp"
 #include "core/server.hpp"
 #include "h5lite/h5lite.hpp"
+#include "storage/backend.hpp"
+#include "storage/write_behind.hpp"
 
 namespace dedicore::core {
 
@@ -110,7 +113,8 @@ StorePlugin::StorePlugin(const std::map<std::string, std::string>& params) {
 
 void StorePlugin::run(PluginContext& context) {
   NodeRuntime& node = context.node;
-  DEDICORE_CHECK(node.fs != nullptr, "store plugin requires a filesystem");
+  DEDICORE_CHECK(node.storage != nullptr,
+                 "store plugin requires a storage backend");
   auto& index = *node.indexes[static_cast<std::size_t>(context.server_index)];
 
   const std::string codec_name =
@@ -165,23 +169,60 @@ void StorePlugin::run(PluginContext& context) {
   ScheduleGuard guard(*node.scheduler, node.node_id);
   const double waited = wait.elapsed_seconds();
 
+  const std::uint64_t image_bytes = image.size();
   Stopwatch io;
-  fsim::FileHandle file =
-      node.fs->create(path, node.config.storage().stripe_count);
-  node.fs->write(file, image);
-  node.fs->close(file);
+  if (node.write_behind != nullptr) {
+    // Async emit: hand the image to the write-behind queue and return, so
+    // iteration completion (and the block release that returns credit to
+    // clients) never waits on the disk.  A full queue blocks here — the
+    // pipeline stall *is* the backpressure path.  Durability is counted
+    // at *drain* time through the completion hook: an enqueued image a
+    // full disk later rejects must not show up as a file written.
+    storage::WriteBehind::Job job;
+    job.path = path;
+    job.stripe_count = node.config.storage().stripe_count;
+    job.image = std::move(image);
+    ServerStats* server_stats = context.stats;  // outlives the final drain
+    job.on_complete = [this, server_stats, image_bytes](const Status& st) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!st.is_ok()) {
+        ++totals_.failed_writes;
+        // Make the drop visible to whoever reads the run's stats: a
+        // non-zero storage_failures says "completed but not fully
+        // persisted".  (The queue already logged the Status.)
+        if (server_stats != nullptr) ++server_stats->storage_failures;
+        return;
+      }
+      ++totals_.files;
+      totals_.stored_bytes += image_bytes;
+      if (server_stats != nullptr) {
+        server_stats->bytes_written += image_bytes;
+        ++server_stats->files_written;
+      }
+    };
+    node.write_behind->enqueue(std::move(job));
+  } else {
+    const Status st = storage::write_image(
+        *node.storage, path, image, node.config.storage().stripe_count);
+    if (!st.is_ok())
+      DEDICORE_LOG(kError) << "store plugin: " << st.to_string();
+    DEDICORE_CHECK(st.is_ok(), "store plugin: storage write failed (see log)");
+  }
   const double io_seconds = io.elapsed_seconds();
 
+  const bool persisted_inline = node.write_behind == nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    ++totals_.files;
     totals_.raw_bytes += raw_bytes;
-    totals_.stored_bytes += image.size();
     totals_.write_seconds += io_seconds;
     totals_.schedule_wait_seconds += waited;
+    if (persisted_inline) {
+      ++totals_.files;
+      totals_.stored_bytes += image_bytes;
+    }
   }
-  if (context.stats != nullptr) {
-    context.stats->bytes_written += image.size();
+  if (persisted_inline && context.stats != nullptr) {
+    context.stats->bytes_written += image_bytes;
     ++context.stats->files_written;
   }
 }
@@ -416,16 +457,37 @@ void VisLitePlugin::run(PluginContext& context) {
     triangles += result.triangles;
     ++rendered;
 
-    if (write_image_ && node.fs != nullptr) {
+    if (write_image_ && node.storage != nullptr) {
       const std::string path =
           "viz/node" + std::to_string(node.node_id) + "_it" +
           std::to_string(context.iteration) + "_r" +
           std::to_string(block.source) + "_b" + std::to_string(block.block_id) +
           ".ppm";
-      fsim::FileHandle file = node.fs->create(path);
-      node.fs->write(file, result.image.encode_ppm());
-      node.fs->close(file);
-      ++images;
+      std::vector<std::byte> ppm = result.image.encode_ppm();
+      if (node.write_behind != nullptr) {
+        // Same async emit as the store plugin: a rendered frame must not
+        // gate iteration completion on disk latency, and a failed frame
+        // is a dropped frame (counted at drain time), not a dead run.
+        storage::WriteBehind::Job job;
+        job.path = path;
+        job.image = std::move(ppm);
+        job.on_complete = [this](const Status& st) {
+          if (!st.is_ok()) return;  // the queue logged and counted the drop
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++totals_.images_written;
+        };
+        node.write_behind->enqueue(std::move(job));
+      } else {
+        const Status st = storage::write_image(*node.storage, path, ppm);
+        if (st.is_ok()) {
+          ++images;
+        } else {
+          // Rendered images are auxiliary output: log the drop and keep
+          // the run (and images_written honest) instead of aborting.
+          DEDICORE_LOG(kError) << "vislite plugin: dropping '" << path
+                               << "': " << st.to_string();
+        }
+      }
     }
   }
 

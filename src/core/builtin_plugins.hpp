@@ -28,10 +28,16 @@ class StorePlugin final : public Plugin {
   void run(PluginContext& context) override;
 
   struct Totals {
-    std::uint64_t files = 0;
+    std::uint64_t files = 0;         ///< images durably written (counted at
+                                     ///< drain time on the write-behind path)
+    std::uint64_t failed_writes = 0; ///< images the backend rejected (async
+                                     ///< path; logged by the queue)
     std::uint64_t raw_bytes = 0;     ///< block payloads aggregated
-    std::uint64_t stored_bytes = 0;  ///< bytes actually written (post-codec)
-    double write_seconds = 0.0;      ///< wall time inside fs write calls
+    std::uint64_t stored_bytes = 0;  ///< image bytes persisted (post-codec)
+    /// Wall time the pipeline spent emitting: inside backend write calls
+    /// on the synchronous (sim) path, inside enqueue() on the write-behind
+    /// (posix) path — where it only grows when backpressure engages.
+    double write_seconds = 0.0;
     double schedule_wait_seconds = 0.0;
   };
   [[nodiscard]] Totals totals() const;

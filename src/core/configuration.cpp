@@ -168,6 +168,9 @@ Configuration Configuration::from_xml(const xml::Node& root) {
     s.scheduler = storage->attribute_or("scheduler", "greedy");
     s.max_concurrent_nodes =
         static_cast<int>(storage->attribute_int("max_concurrent", 0));
+    s.backend = storage->attribute_or("backend", "sim");
+    s.path = storage->attribute_or("path", "");
+    s.write_behind_bytes = parse_bytes(storage->attribute_or("write_behind", "0"));
     cfg.set_storage(std::move(s));
   }
 
@@ -315,6 +318,12 @@ void Configuration::validate() const {
     throw ConfigError("storage scheduler must be 'greedy' or 'throttled'");
   if (storage_.scheduler == "throttled" && storage_.max_concurrent_nodes <= 0)
     throw ConfigError("throttled scheduler requires max_concurrent > 0");
+  if (storage_.backend != "sim" && storage_.backend != "posix")
+    throw ConfigError("storage backend must be 'sim' or 'posix', got '" +
+                      storage_.backend + "'");
+  if (storage_.backend == "posix" && storage_.path.empty())
+    throw ConfigError("storage backend 'posix' requires a path attribute "
+                      "(the root directory for emitted files)");
   (void)compress::codec_id(storage_.codec);  // throws on unknown codec
 }
 

@@ -19,7 +19,11 @@
 //       <variable name="theta" layout="grid3d" mesh="atm" group="fields"/>
 //     </data>
 //     <storage basename="cm1" codec="none" stripe_count="2"
-//              scheduler="greedy" max_concurrent="0"/>
+//              scheduler="greedy" max_concurrent="0"
+//              backend="sim" path="" write_behind="0"/>
+//     <!-- backend="posix" path="/scratch/run42" writes real files through
+//          the async write-behind queue; backend="sim" (default) keeps the
+//          filesystem simulator's modelled, in-memory persistence --->
 //     <actions>
 //       <event name="end_iteration" plugin="store"/>
 //       <event name="snapshot" plugin="vislite">
@@ -83,6 +87,14 @@ struct StorageSpec {
   int stripe_count = 0;           ///< 0 = filesystem default
   std::string scheduler = "greedy";  ///< "greedy" | "throttled"
   int max_concurrent_nodes = 0;   ///< "throttled" only; 0 = unlimited
+  /// Persistence backend: "sim" (filesystem simulator, in-memory content)
+  /// or "posix" (real files under `path`, emitted through an async
+  /// write-behind queue drained by the server workers).
+  std::string backend = "sim";
+  std::string path;               ///< posix root directory (required for posix)
+  /// Byte budget of the posix write-behind queue (pending images); 0 =
+  /// auto (the node's <buffer size>).  XML: <storage write_behind="32MiB">.
+  std::uint64_t write_behind_bytes = 0;
 };
 
 class Configuration {

@@ -20,6 +20,9 @@
 #include "core/scheduler.hpp"
 #include "core/types.hpp"
 #include "fsim/filesystem.hpp"
+#include "storage/posix_backend.hpp"
+#include "storage/sim_backend.hpp"
+#include "storage/write_behind.hpp"
 #include "transport/shm_transport.hpp"
 
 namespace dedicore::core {
@@ -70,6 +73,24 @@ struct NodeRuntime {
           signal_names.end())
         signal_names.push_back(action.event);
     }
+    // Persistence: one StorageBackend per node, selected by the
+    // configuration (both deployment modes flow through here).  The sim
+    // backend wraps the experiment-wide simulator and keeps its modelled,
+    // synchronous semantics; the posix backend writes real files and gets
+    // an async write-behind queue drained by this node's server workers.
+    if (role != Role::kClientOnly) {
+      if (config.storage().backend == "posix") {
+        storage = std::make_shared<storage::PosixBackend>(
+            std::filesystem::path(config.storage().path));
+        const std::uint64_t budget = config.storage().write_behind_bytes > 0
+                                         ? config.storage().write_behind_bytes
+                                         : config.buffer_size();
+        write_behind =
+            std::make_shared<storage::WriteBehind>(*storage, budget);
+      } else if (fs != nullptr) {
+        storage = std::make_shared<storage::SimBackend>(*fs);
+      }
+    }
   }
 
   /// Which dedicated core serves a given client index (cores mode).
@@ -103,6 +124,14 @@ struct NodeRuntime {
   Role role = Role::kSmpNode;
   fsim::FileSystem* fs = nullptr;
   std::shared_ptr<IoScheduler> scheduler;
+  /// Persistence target of this node's storage-flavoured plugins and
+  /// writers; null on dedicated-nodes client ranks (and on nodes built
+  /// with neither a simulator nor a posix configuration).
+  std::shared_ptr<storage::StorageBackend> storage;
+  /// Async image queue in front of `storage`; non-null only for the posix
+  /// backend.  Server workers drain it (see core::Server), and its byte
+  /// budget turns a slow disk into pipeline backpressure.
+  std::shared_ptr<storage::WriteBehind> write_behind;
   /// Segment + queues; shared across the node's ranks in cores mode,
   /// private to an I/O rank in nodes mode, null on nodes-mode clients.
   std::shared_ptr<transport::ShmFabric> fabric;

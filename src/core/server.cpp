@@ -69,6 +69,12 @@ void Server::run() {
       }
     }
   }
+  // Final drain: the write-behind queue may still hold images enqueued by
+  // the last iterations (workers only drain opportunistically).  Flushing
+  // before returning means a caller that inspects the backend after
+  // run_server() sees every file the run produced.
+  if (node_->write_behind != nullptr) node_->write_behind->drain_all();
+
   const transport::TransportStats t = transport_->stats();
   stats_.blocks_received_remote = t.blocks_received_remote;
   stats_.bytes_received_remote = t.bytes_received_remote;
@@ -178,6 +184,15 @@ void Server::complete_iteration(Iteration iteration) {
     ++stats_.iterations_completed;
     pipeline_times_.add(pipeline.elapsed_seconds());
   }
+
+  // Opportunistic write-behind drain, *after* the blocks are released:
+  // the disk write happens on this worker's time but no longer gates the
+  // credit/segment return to clients.  Workers completing different
+  // iterations drain concurrently (the posix backend is thread-safe), so
+  // the pool's width is also the drain bandwidth.  A small batch keeps
+  // one worker from absorbing the whole backlog while events queue up.
+  if (node_->write_behind != nullptr) node_->write_behind->drain_some(4);
+
   DEDICORE_LOG(kDebug) << "node " << node_->node_id << " server "
                        << server_index_ << " completed iteration " << iteration;
 }

@@ -44,7 +44,13 @@ struct ServerStats {
   std::uint64_t iterations_completed = 0;
   std::uint64_t client_skips = 0;      ///< kIterationSkipped events seen
   std::uint64_t bytes_written = 0;     ///< accounted by storage plugins
-  std::uint64_t files_written = 0;
+  std::uint64_t files_written = 0;     ///< durably persisted (drain-time on
+                                       ///< the write-behind path)
+  /// Images the storage backend rejected on the async write-behind path
+  /// (disk full, I/O error).  Zero on a healthy run; a non-zero value
+  /// means output was dropped — the run completed but is NOT fully
+  /// persisted.  (The synchronous sim path aborts on the same condition.)
+  std::uint64_t storage_failures = 0;
   Summary pipeline_time;               ///< seconds per completed iteration
 
   [[nodiscard]] double idle_fraction() const noexcept {

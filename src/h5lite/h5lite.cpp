@@ -122,10 +122,17 @@ class Cursor {
   }
 
   [[nodiscard]] std::uint64_t position() const noexcept { return at_; }
+  /// Bytes left between the cursor and the end of the image; used to
+  /// sanity-bound table sizes *before* allocating for them.
+  [[nodiscard]] std::uint64_t remaining() const noexcept {
+    return at_ <= image_.size() ? image_.size() - at_ : 0;
+  }
 
  private:
   void need(std::uint64_t n) const {
-    if (at_ + n > image_.size()) throw ConfigError("h5lite: truncated image");
+    // Subtraction form: `at_ + n` could wrap for hostile lengths.
+    if (n > image_.size() || at_ > image_.size() - n)
+      throw ConfigError("h5lite: truncated image");
   }
   const std::vector<std::byte>& image_;
   std::uint64_t at_;
@@ -135,6 +142,30 @@ std::uint64_t product(std::span<const std::uint64_t> dims) {
   std::uint64_t p = 1;
   for (auto d : dims) p *= d;
   return p;
+}
+
+/// product(dims) * elem with overflow detection — a corrupt image can
+/// declare dimensions whose product wraps, making byte_size() tiny while
+/// the chunk walk indexes far past the output buffer.
+std::uint64_t checked_byte_size(std::span<const std::uint64_t> dims,
+                                std::size_t elem) {
+  std::uint64_t p = 1;
+  for (auto d : dims) {
+    if (d != 0 && p > UINT64_MAX / d)
+      throw ConfigError("h5lite: dataset dimensions overflow");
+    p *= d;
+  }
+  if (p > UINT64_MAX / elem)
+    throw ConfigError("h5lite: dataset byte size overflows");
+  return p * elem;
+}
+
+/// `offset`/`size` must describe a range inside `image` (overflow-proof).
+void check_range(const std::vector<std::byte>* image, std::uint64_t offset,
+                 std::uint64_t size, const char* what) {
+  if (image == nullptr) return;
+  if (offset > image->size() || size > image->size() - offset)
+    throw ConfigError(std::string("h5lite: ") + what + " out of range");
 }
 
 }  // namespace
@@ -406,7 +437,8 @@ std::uint64_t Dataset::stored_size() const noexcept {
 std::vector<std::byte> Dataset::read() const {
   DEDICORE_CHECK(image_ != nullptr, "Dataset::read: detached dataset");
   if (!chunked_) {
-    if (data_offset_ + data_size_ > image_->size())
+    if (data_offset_ > image_->size() ||
+        data_size_ > image_->size() - data_offset_)
       throw ConfigError("h5lite: dataset payload out of range");
     return {image_->begin() + static_cast<std::ptrdiff_t>(data_offset_),
             image_->begin() + static_cast<std::ptrdiff_t>(data_offset_ + data_size_)};
@@ -415,7 +447,17 @@ std::vector<std::byte> Dataset::read() const {
   // Reassemble chunks.  This mirrors the builder's chunk walk.
   const std::size_t rank = dims.size();
   const std::size_t elem = dtype_size(dtype);
-  std::vector<std::byte> out(byte_size());
+  // byte_size() was plausibility-capped at parse time; if the machine
+  // still cannot materialize it, surface the parser's error type rather
+  // than leaking bad_alloc through an API that promises ConfigError.
+  std::vector<std::byte> out;
+  try {
+    out.resize(byte_size());
+  } catch (const std::bad_alloc&) {
+    throw ConfigError("h5lite: dataset too large to materialize");
+  } catch (const std::length_error&) {
+    throw ConfigError("h5lite: dataset too large to materialize");
+  }
 
   // Recover the chunk grid from chunk dims stored on the side during parse:
   // chunk extents were not stored per chunk, so recompute from chunk_dims_.
@@ -436,8 +478,23 @@ std::vector<std::byte> Dataset::read() const {
   std::vector<std::uint64_t> coord(rank, 0);
   for (std::size_t c = 0; c < chunks_.size(); ++c) {
     const auto& entry = chunks_[c];
-    if (entry.offset + entry.stored > image_->size())
+    if (entry.offset > image_->size() ||
+        entry.stored > image_->size() - entry.offset)
       throw ConfigError("h5lite: chunk payload out of range");
+
+    // Expected raw size from the (validated) grid walk — computed *before*
+    // touching the codec, so a corrupt `raw` field cannot request a giant
+    // decompression buffer.
+    std::vector<std::uint64_t> lo(rank), extent(rank);
+    std::uint64_t chunk_elems = 1;
+    for (std::size_t i = 0; i < rank; ++i) {
+      lo[i] = coord[i] * chunk_dims[i];
+      extent[i] = std::min(chunk_dims[i], dims[i] - lo[i]);
+      chunk_elems *= extent[i];
+    }
+    if (entry.raw != chunk_elems * elem)
+      throw ConfigError("h5lite: chunk raw size mismatch");
+
     std::span<const std::byte> stored(image_->data() + entry.offset, entry.stored);
     std::vector<std::byte> raw;
     if (entry.stored == entry.raw) {
@@ -446,14 +503,6 @@ std::vector<std::byte> Dataset::read() const {
       const compress::Codec* cc = compress::find_codec(codec_);
       if (cc == nullptr) throw ConfigError("h5lite: compressed chunk with no codec");
       raw = cc->decompress(stored, entry.raw);
-    }
-
-    std::vector<std::uint64_t> lo(rank), extent(rank);
-    std::uint64_t chunk_elems = 1;
-    for (std::size_t i = 0; i < rank; ++i) {
-      lo[i] = coord[i] * chunk_dims[i];
-      extent[i] = std::min(chunk_dims[i], dims[i] - lo[i]);
-      chunk_elems *= extent[i];
     }
     if (raw.size() != chunk_elems * elem)
       throw ConfigError("h5lite: chunk raw size mismatch");
@@ -524,18 +573,26 @@ struct DatasetAccess {
     Dataset d;
     d.name = cur.name();
     d.attributes = parse_attrs(cur);
-    d.dtype = static_cast<DType>(cur.u8());
+    const std::uint8_t dtype_tag = cur.u8();
+    if (dtype_tag > static_cast<std::uint8_t>(DType::kFloat64))
+      throw ConfigError("h5lite: unknown dtype tag");
+    d.dtype = static_cast<DType>(dtype_tag);
     const std::uint8_t rank = cur.u8();
     if (rank == 0 || rank > 8) throw ConfigError("h5lite: bad dataset rank");
     d.dims.resize(rank);
     for (auto& dim : d.dims) dim = cur.u64();
+    // Overflow-audited size: everything downstream (output buffers, chunk
+    // strides) trusts product(dims) * dtype_size.
+    const std::uint64_t expected_bytes =
+        checked_byte_size(d.dims, dtype_size(d.dtype));
     const std::uint8_t layout = cur.u8();
     d.image_ = image;
     if (layout == 0) {
       d.data_offset_ = cur.u64();
       d.data_size_ = cur.u64();
-      if (d.data_size_ != d.byte_size())
+      if (d.data_size_ != expected_bytes)
         throw ConfigError("h5lite: contiguous payload size mismatch");
+      check_range(image, d.data_offset_, d.data_size_, "dataset payload");
     } else if (layout == 1) {
       d.chunked_ = true;
       d.chunk_dims_cache_.resize(rank);
@@ -546,11 +603,41 @@ struct DatasetAccess {
       d.codec_ = static_cast<compress::CodecId>(cur.u8());
       const std::uint64_t n = cur.u64();
       if (n > (1ull << 32)) throw ConfigError("h5lite: absurd chunk count");
+      // Each table entry takes 24 bytes in the image: bound n by what the
+      // image can still hold *before* resizing, or a hostile count turns
+      // into a giant allocation rather than a parse error.
+      if (n > cur.remaining() / 24)
+        throw ConfigError("h5lite: chunk table exceeds image");
       d.chunks_.resize(n);
+      std::uint64_t raw_total = 0;
       for (auto& c : d.chunks_) {
         c.offset = cur.u64();
         c.stored = cur.u64();
         c.raw = cur.u64();
+        check_range(image, c.offset, c.stored, "chunk payload");
+        if (c.raw > UINT64_MAX - raw_total)
+          throw ConfigError("h5lite: chunk raw sizes overflow");
+        raw_total += c.raw;
+      }
+      // The chunks partition the dataset: their raw bytes must add up to
+      // exactly product(dims) * dtype_size.  This also kills images whose
+      // dimension arithmetic wraps into a zero-chunk grid.
+      if (raw_total != expected_bytes)
+        throw ConfigError("h5lite: chunk raw sizes disagree with dims");
+      // Decompression-bomb guard: the codecs can legitimately expand far
+      // beyond the stored bytes (RLE encodes an arbitrary run in ~10
+      // bytes), so no exact bound exists — but a dataset claiming to
+      // decode to thousands of times the entire image is corruption or an
+      // attack, not data.  Capping here keeps Dataset::read from being
+      // talked into a multi-terabyte allocation by a few hostile u64s.
+      if (image != nullptr) {
+        const std::uint64_t image_size = image->size();
+        const std::uint64_t cap =
+            image_size > (UINT64_MAX >> 10)
+                ? UINT64_MAX
+                : std::max<std::uint64_t>(64ull << 20, image_size << 10);
+        if (raw_total > cap)
+          throw ConfigError("h5lite: chunked dataset raw size implausible");
       }
     } else {
       throw ConfigError("h5lite: unknown dataset layout");
@@ -590,7 +677,8 @@ File File::parse(std::vector<std::byte> image) {
   Cursor head(image, 8);
   const std::uint64_t root_offset = head.u64();
   const std::uint64_t file_size = head.u64();
-  if (file_size > image.size() || root_offset >= file_size)
+  if (file_size > image.size() || root_offset >= file_size ||
+      root_offset < kSuperblockSize)
     throw ConfigError("h5lite: corrupt superblock");
 
   File f;

@@ -1,0 +1,36 @@
+#include "storage/backend.hpp"
+
+#include <string_view>
+
+namespace dedicore::storage {
+
+Status validate_backend_path(const std::string& path) {
+  if (path.empty() || path.front() == '/')
+    return Status::invalid_argument(
+        "storage: path must be non-empty and relative, got '" + path + "'");
+  std::string_view rest(path);
+  while (!rest.empty()) {
+    const auto slash = rest.find('/');
+    const std::string_view part = rest.substr(0, slash);
+    if (part == "..")
+      return Status::invalid_argument("storage: path '" + path +
+                                      "' escapes the storage root");
+    if (slash == std::string_view::npos) break;
+    rest.remove_prefix(slash + 1);
+  }
+  return Status::ok();
+}
+
+Status write_image(StorageBackend& backend, const std::string& path,
+                   std::span<const std::byte> image, int stripe_count,
+                   double* seconds) {
+  FileHandle file;
+  if (Status st = backend.create(path, &file, stripe_count); !st.is_ok())
+    return st;
+  const Status wrote = backend.write(file, image, seconds);
+  const Status closed = backend.close(file);
+  if (!wrote.is_ok()) return wrote;
+  return closed;
+}
+
+}  // namespace dedicore::storage

@@ -1,0 +1,251 @@
+#include "storage/posix_backend.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <system_error>
+
+#include "common/clock.hpp"
+#include "common/log.hpp"
+
+namespace dedicore::storage {
+
+namespace {
+
+std::string errno_text(const char* op, const std::string& path) {
+  return std::string(op) + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+struct PosixBackend::OpenFile {
+  std::string path;   ///< backend-relative, for diagnostics
+  int fd = -1;
+  std::mutex io_mutex;          ///< serializes append-cursor updates
+  std::uint64_t append_at = 0;  ///< end-of-file cursor for write()
+};
+
+PosixBackend::PosixBackend(std::filesystem::path root) : root_(std::move(root)) {
+  std::error_code ec;
+  std::filesystem::create_directories(root_, ec);
+  if (ec)
+    throw ConfigError("PosixBackend: cannot create root '" + root_.string() +
+                      "': " + ec.message());
+  if (::access(root_.c_str(), W_OK) != 0)
+    throw ConfigError("PosixBackend: root '" + root_.string() +
+                      "' is not writable: " + std::strerror(errno));
+}
+
+PosixBackend::~PosixBackend() {
+  // Leaked handles are a caller bug but must not leak fds; warn so a test
+  // that forgot to close shows up in the log instead of in lsof.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [id, file] : open_) {
+    DEDICORE_LOG(kWarn) << "PosixBackend: handle " << id << " ('" << file->path
+                        << "') still open at backend destruction; closing";
+    ::close(file->fd);
+  }
+  open_.clear();
+}
+
+Status PosixBackend::materialize(const std::string& path,
+                                 std::filesystem::path* out) const {
+  if (Status st = validate_backend_path(path); !st.is_ok()) return st;
+  *out = root_ / std::filesystem::path(path);
+  return Status::ok();
+}
+
+Status PosixBackend::create(const std::string& path, FileHandle* out,
+                            int stripe_count) {
+  DEDICORE_CHECK(out != nullptr, "PosixBackend::create: null out");
+  (void)stripe_count;  // placement hint: meaningful to the simulator only
+  std::filesystem::path full;
+  if (Status st = materialize(path, &full); !st.is_ok()) return st;
+
+  std::error_code ec;
+  std::filesystem::create_directories(full.parent_path(), ec);
+  if (ec)
+    return Status::io_error("posix create: mkdir for '" + path +
+                            "': " + ec.message());
+  const int fd = ::open(full.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return Status::io_error(errno_text("posix create", path));
+
+  auto file = std::make_shared<OpenFile>();
+  file->path = path;
+  file->fd = fd;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  open_.emplace(id, std::move(file));
+  ++stats_.files_created;
+  *out = FileHandle{id};
+  return Status::ok();
+}
+
+Status PosixBackend::open(const std::string& path, FileHandle* out) {
+  DEDICORE_CHECK(out != nullptr, "PosixBackend::open: null out");
+  std::filesystem::path full;
+  if (Status st = materialize(path, &full); !st.is_ok()) return st;
+
+  const int fd = ::open(full.c_str(), O_WRONLY);
+  if (fd < 0) {
+    if (errno == ENOENT)
+      return Status::not_found("posix open: no such file '" + path + "'");
+    return Status::io_error(errno_text("posix open", path));
+  }
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return Status::io_error(errno_text("posix open: lseek", path));
+  }
+
+  auto file = std::make_shared<OpenFile>();
+  file->path = path;
+  file->fd = fd;
+  file->append_at = static_cast<std::uint64_t>(end);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  open_.emplace(id, std::move(file));
+  *out = FileHandle{id};
+  return Status::ok();
+}
+
+Status PosixBackend::do_pwrite(FileHandle handle, std::uint64_t offset,
+                               std::span<const std::byte> bytes,
+                               double* seconds, bool append) {
+  std::shared_ptr<OpenFile> file;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = open_.find(handle.id);
+    if (it == open_.end())
+      return Status::failed_precondition(
+          "posix: handle " + std::to_string(handle.id) +
+          " is closed or invalid");
+    file = it->second;
+  }
+
+  Stopwatch timer;
+  {
+    std::lock_guard<std::mutex> io(file->io_mutex);
+    if (append) offset = file->append_at;
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+      const ssize_t n = ::pwrite(
+          file->fd, reinterpret_cast<const char*>(bytes.data()) + done,
+          bytes.size() - done, static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::io_error(errno_text("posix pwrite", file->path));
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    file->append_at = std::max<std::uint64_t>(file->append_at,
+                                              offset + bytes.size());
+  }
+  const double duration = timer.elapsed_seconds();
+  if (seconds != nullptr) *seconds = duration;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.writes;
+  stats_.bytes_written += bytes.size();
+  stats_.write_seconds += duration;
+  return Status::ok();
+}
+
+Status PosixBackend::write(FileHandle file, std::span<const std::byte> bytes,
+                           double* seconds) {
+  return do_pwrite(file, 0, bytes, seconds, /*append=*/true);
+}
+
+Status PosixBackend::pwrite(FileHandle file, std::uint64_t offset,
+                            std::span<const std::byte> bytes, double* seconds) {
+  return do_pwrite(file, offset, bytes, seconds, /*append=*/false);
+}
+
+Status PosixBackend::close(FileHandle handle) {
+  std::shared_ptr<OpenFile> file;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = open_.find(handle.id);
+    // Mirror fsim's stale-handle crash: a double close means the caller's
+    // handle lifecycle is broken, and silently ignoring it would let a
+    // use-after-close of a *recycled* descriptor go unnoticed.
+    DEDICORE_CHECK(it != open_.end(),
+                   "PosixBackend: double close or stale file handle");
+    file = it->second;
+    open_.erase(it);
+  }
+  std::lock_guard<std::mutex> io(file->io_mutex);
+  Status result = Status::ok();
+  if (::fsync(file->fd) != 0)
+    result = Status::io_error(errno_text("posix fsync", file->path));
+  if (::close(file->fd) != 0 && result.is_ok())
+    result = Status::io_error(errno_text("posix close", file->path));
+  file->fd = -1;
+  return result;
+}
+
+bool PosixBackend::exists(const std::string& path) const {
+  std::filesystem::path full;
+  if (!materialize(path, &full).is_ok()) return false;
+  std::error_code ec;
+  return std::filesystem::is_regular_file(full, ec);
+}
+
+std::optional<std::vector<std::byte>> PosixBackend::read_file(
+    const std::string& path) const {
+  std::filesystem::path full;
+  if (!materialize(path, &full).is_ok()) return std::nullopt;
+  std::ifstream in(full, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<std::byte> out;
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return std::nullopt;
+  out.resize(static_cast<std::size_t>(size));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(out.data()),
+          static_cast<std::streamsize>(out.size()));
+  if (!in && size > 0) return std::nullopt;
+  return out;
+}
+
+std::uint64_t PosixBackend::file_size(const std::string& path) const {
+  std::filesystem::path full;
+  if (!materialize(path, &full).is_ok()) return 0;
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(full, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
+}
+
+std::vector<std::string> PosixBackend::list_files() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  std::filesystem::recursive_directory_iterator it(root_, ec), end;
+  if (ec) return out;
+  for (; it != end; it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file(ec) || ec) continue;
+    out.push_back(
+        std::filesystem::relative(it->path(), root_, ec).generic_string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t PosixBackend::file_count() const { return list_files().size(); }
+
+StorageStats PosixBackend::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t PosixBackend::open_handles() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return open_.size();
+}
+
+}  // namespace dedicore::storage

@@ -1,0 +1,76 @@
+// StorageBackend over a real POSIX filesystem — the missing half of the
+// h5lite story: the same per-node aggregated and file-per-process images
+// the simulator retains in memory, written to actual disk through
+// open/pwrite/fsync/close, the way Damaris's default storage plugin emits
+// per-node aggregated HDF5.
+//
+// All backend paths are '/'-separated and relative; they are materialized
+// under a root directory chosen at construction (<storage path="...">).
+// Parent directories are created on demand.  Handles are process-local fds
+// plus an append cursor so write() keeps fsim's append semantics even with
+// concurrent writers on distinct handles.  Thread-safe: the handle table
+// and counters are mutex-guarded and each open file carries its own lock.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "storage/backend.hpp"
+
+namespace dedicore::storage {
+
+class PosixBackend final : public StorageBackend {
+ public:
+  /// Creates `root` (and parents) if needed; throws ConfigError when the
+  /// directory cannot be created or is not writable.
+  explicit PosixBackend(std::filesystem::path root);
+  ~PosixBackend() override;
+
+  PosixBackend(const PosixBackend&) = delete;
+  PosixBackend& operator=(const PosixBackend&) = delete;
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "posix"; }
+
+  Status create(const std::string& path, FileHandle* out,
+                int stripe_count = 0) override;
+  Status open(const std::string& path, FileHandle* out) override;
+  Status write(FileHandle file, std::span<const std::byte> bytes,
+               double* seconds = nullptr) override;
+  Status pwrite(FileHandle file, std::uint64_t offset,
+                std::span<const std::byte> bytes,
+                double* seconds = nullptr) override;
+  Status close(FileHandle file) override;
+
+  [[nodiscard]] bool exists(const std::string& path) const override;
+  [[nodiscard]] std::optional<std::vector<std::byte>> read_file(
+      const std::string& path) const override;
+  [[nodiscard]] std::uint64_t file_size(const std::string& path) const override;
+  [[nodiscard]] std::vector<std::string> list_files() const override;
+  [[nodiscard]] std::size_t file_count() const override;
+  [[nodiscard]] StorageStats stats() const override;
+
+  [[nodiscard]] const std::filesystem::path& root() const noexcept { return root_; }
+
+  /// Number of handles currently open (tests: close ordering / fd leaks).
+  [[nodiscard]] std::size_t open_handles() const;
+
+ private:
+  struct OpenFile;
+
+  /// Validates a backend path and maps it under root; Status on empty,
+  /// absolute, or '..'-escaping paths.
+  Status materialize(const std::string& path, std::filesystem::path* out) const;
+  Status do_pwrite(FileHandle file, std::uint64_t offset,
+                   std::span<const std::byte> bytes, double* seconds,
+                   bool append);
+
+  std::filesystem::path root_;
+  mutable std::mutex mutex_;  ///< handle table + counters
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, std::shared_ptr<OpenFile>> open_;
+  StorageStats stats_;
+};
+
+}  // namespace dedicore::storage

@@ -1,0 +1,102 @@
+#include "storage/sim_backend.hpp"
+
+namespace dedicore::storage {
+
+Status SimBackend::create(const std::string& path, FileHandle* out,
+                          int stripe_count) {
+  DEDICORE_CHECK(out != nullptr, "SimBackend::create: null out");
+  if (Status st = validate_backend_path(path); !st.is_ok()) return st;
+  const fsim::FileHandle handle = fs_.create(path, stripe_count);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  open_.emplace(id, handle);
+  ++stats_.files_created;
+  *out = FileHandle{id};
+  return Status::ok();
+}
+
+Status SimBackend::open(const std::string& path, FileHandle* out) {
+  DEDICORE_CHECK(out != nullptr, "SimBackend::open: null out");
+  if (Status st = validate_backend_path(path); !st.is_ok()) return st;
+  auto handle = fs_.open(path);
+  if (!handle)
+    return Status::not_found("sim open: no such file '" + path + "'");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  open_.emplace(id, *handle);
+  *out = FileHandle{id};
+  return Status::ok();
+}
+
+Status SimBackend::resolve(FileHandle file, fsim::FileHandle* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = open_.find(file.id);
+  if (it == open_.end())
+    return Status::failed_precondition(
+        "sim: handle " + std::to_string(file.id) + " is closed or invalid");
+  *out = it->second;
+  return Status::ok();
+}
+
+Status SimBackend::write(FileHandle file, std::span<const std::byte> bytes,
+                         double* seconds) {
+  fsim::FileHandle handle;
+  if (Status st = resolve(file, &handle); !st.is_ok()) return st;
+  const double duration = fs_.write(handle, bytes);
+  if (seconds != nullptr) *seconds = duration;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.writes;
+  stats_.bytes_written += bytes.size();
+  stats_.write_seconds += duration;
+  return Status::ok();
+}
+
+Status SimBackend::pwrite(FileHandle file, std::uint64_t offset,
+                          std::span<const std::byte> bytes, double* seconds) {
+  fsim::FileHandle handle;
+  if (Status st = resolve(file, &handle); !st.is_ok()) return st;
+  const double duration = fs_.pwrite(handle, offset, bytes);
+  if (seconds != nullptr) *seconds = duration;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.writes;
+  stats_.bytes_written += bytes.size();
+  stats_.write_seconds += duration;
+  return Status::ok();
+}
+
+Status SimBackend::close(FileHandle file) {
+  fsim::FileHandle handle;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = open_.find(file.id);
+    // Double close is an invariant violation, exactly like fsim's own
+    // stale-handle check — the caller's handle bookkeeping is broken.
+    DEDICORE_CHECK(it != open_.end(), "SimBackend: double close or stale file handle");
+    handle = it->second;
+    open_.erase(it);
+  }
+  fs_.close(handle);
+  return Status::ok();
+}
+
+bool SimBackend::exists(const std::string& path) const { return fs_.exists(path); }
+
+std::optional<std::vector<std::byte>> SimBackend::read_file(
+    const std::string& path) const {
+  return fs_.read_file(path);
+}
+
+std::uint64_t SimBackend::file_size(const std::string& path) const {
+  return fs_.file_size(path);
+}
+
+std::vector<std::string> SimBackend::list_files() const { return fs_.list_files(); }
+
+std::size_t SimBackend::file_count() const { return fs_.file_count(); }
+
+StorageStats SimBackend::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace dedicore::storage

@@ -1,0 +1,61 @@
+// StorageBackend over the filesystem simulator — the seed's in-memory
+// persistence path, unchanged semantics: modelled write durations, MDS
+// serialization, striping, and content retention all come from
+// fsim::FileSystem.  The adapter adds only the backend contract the
+// simulator does not enforce itself: per-handle open/closed tracking so a
+// write after close is a Status error and a double close is a crash, and
+// adapter-local counters so stats() describes exactly the traffic routed
+// through this backend (the underlying FileSystem may be shared by other
+// writers in the same experiment).
+#pragma once
+
+#include <mutex>
+#include <unordered_map>
+
+#include "fsim/filesystem.hpp"
+#include "storage/backend.hpp"
+
+namespace dedicore::storage {
+
+class SimBackend final : public StorageBackend {
+ public:
+  /// Non-owning: `fs` must outlive the backend (it is typically the
+  /// experiment-wide simulator shared with baseline writers and stats).
+  explicit SimBackend(fsim::FileSystem& fs) : fs_(fs) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "sim"; }
+
+  Status create(const std::string& path, FileHandle* out,
+                int stripe_count = 0) override;
+  Status open(const std::string& path, FileHandle* out) override;
+  Status write(FileHandle file, std::span<const std::byte> bytes,
+               double* seconds = nullptr) override;
+  Status pwrite(FileHandle file, std::uint64_t offset,
+                std::span<const std::byte> bytes,
+                double* seconds = nullptr) override;
+  Status close(FileHandle file) override;
+
+  [[nodiscard]] bool exists(const std::string& path) const override;
+  [[nodiscard]] std::optional<std::vector<std::byte>> read_file(
+      const std::string& path) const override;
+  [[nodiscard]] std::uint64_t file_size(const std::string& path) const override;
+  [[nodiscard]] std::vector<std::string> list_files() const override;
+  [[nodiscard]] std::size_t file_count() const override;
+  [[nodiscard]] StorageStats stats() const override;
+
+  /// The wrapped simulator (experiment-wide stats, config).
+  [[nodiscard]] fsim::FileSystem& filesystem() noexcept { return fs_; }
+
+ private:
+  /// Resolves a live handle to the simulator's handle; Status on a closed
+  /// or foreign id (write-after-close must not reach fsim's fatal check).
+  Status resolve(FileHandle file, fsim::FileHandle* out) const;
+
+  fsim::FileSystem& fs_;
+  mutable std::mutex mutex_;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, fsim::FileHandle> open_;  ///< live handles
+  StorageStats stats_;
+};
+
+}  // namespace dedicore::storage

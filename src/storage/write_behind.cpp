@@ -1,0 +1,165 @@
+#include "storage/write_behind.hpp"
+
+#include "common/clock.hpp"
+#include "common/log.hpp"
+
+namespace dedicore::storage {
+
+WriteBehind::WriteBehind(StorageBackend& backend, std::uint64_t budget_bytes)
+    : backend_(backend), budget_bytes_(budget_bytes) {
+  DEDICORE_CHECK(budget_bytes_ > 0, "WriteBehind: budget must be positive");
+}
+
+WriteBehind::~WriteBehind() { close(); }
+
+void WriteBehind::enqueue(Job job) {
+  Stopwatch blocked;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    DEDICORE_CHECK(!closed_, "WriteBehind: enqueue after close");
+    // Admit when the budget has room — or when nothing is pending at all,
+    // so an oversized job is let in alone and can never wait on itself.
+    if (pending_bytes_ + job.image.size() <= budget_bytes_ ||
+        pending_bytes_ == 0) {
+      stats_.enqueue_block_seconds += blocked.elapsed_seconds();
+      pending_bytes_ += job.image.size();
+      stats_.max_pending_bytes =
+          std::max(stats_.max_pending_bytes, pending_bytes_);
+      ++stats_.jobs_enqueued;
+      stats_.bytes_enqueued += job.image.size();
+      queue_.push_back(std::move(job));
+      idle_.notify_all();  // a parked drain_all re-arms its pop loop
+      return;
+    }
+    if (!queue_.empty()) {
+      // Budget full with queued work: the producer becomes a drainer
+      // instead of parking.  This is what makes the queue deadlock-free
+      // by construction — the blocked producer may be the only thread
+      // that can reach a drain site (e.g. a plugin firing twice under
+      // the server's pipeline mutex), so it frees the budget itself.
+      // The stall is still real backpressure: the producer is doing disk
+      // time instead of completing its iteration.
+      Job head = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      lock.unlock();
+      write_out(std::move(head));
+      continue;
+    }
+    // Every pending byte is in flight on another drainer; those writes
+    // finish without any help from us — park until one returns budget.
+    space_.wait(lock, [&] {
+      return closed_ || pending_bytes_ + job.image.size() <= budget_bytes_ ||
+             pending_bytes_ == 0 || !queue_.empty();
+    });
+    // Loop re-checks closed_ (fatal: enqueue-after-close) and re-evaluates
+    // admission/drain with the lock held.
+  }
+}
+
+bool WriteBehind::pop(Job* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) return false;
+  *out = std::move(queue_.front());
+  queue_.pop_front();
+  ++in_flight_;
+  return true;
+}
+
+void WriteBehind::write_out(Job job) {
+  Stopwatch timer;
+  double write_seconds = 0.0;
+  const Status st = write_image(backend_, job.path, job.image,
+                                job.stripe_count, &write_seconds);
+  const double drained_in = timer.elapsed_seconds();
+
+  if (!st.is_ok())
+    DEDICORE_LOG(kError) << "write-behind: dropping '" << job.path
+                         << "': " << st.to_string();
+  if (job.on_complete) {
+    // Outside mutex_ (the callback may take producer locks) but
+    // serialized against other callbacks, so producers can account
+    // without guarding against concurrent drainers themselves.
+    std::lock_guard<std::mutex> serialize(callback_mutex_);
+    job.on_complete(st);
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // The job's budget share is released only now, after the backend call:
+  // in-flight images still occupy memory, so they must still count
+  // against the producers.
+  DEDICORE_CHECK(pending_bytes_ >= job.image.size(),
+                 "WriteBehind: pending-byte accounting underflow");
+  pending_bytes_ -= job.image.size();
+  --in_flight_;
+  stats_.drain_seconds += drained_in;
+  if (st.is_ok()) {
+    ++stats_.jobs_written;
+    stats_.bytes_written += job.image.size();
+  } else {
+    ++stats_.jobs_failed;
+  }
+  space_.notify_all();
+  idle_.notify_all();
+}
+
+std::size_t WriteBehind::drain_some(std::size_t max_jobs) {
+  std::size_t written = 0;
+  Job job;
+  while (written < max_jobs && pop(&job)) {
+    write_out(std::move(job));
+    ++written;
+    job = Job{};
+  }
+  return written;
+}
+
+void WriteBehind::drain_all() {
+  for (;;) {
+    Job job;
+    while (pop(&job)) {
+      write_out(std::move(job));
+      job = Job{};
+    }
+    // Jobs another drainer popped may still be mid-write: wait them out,
+    // so a caller returning from drain_all knows every enqueued image has
+    // been attempted and its completion callback has run — a server's
+    // shutdown drain must not let a sibling's in-flight write outlive the
+    // run.  A producer that slips a new job in meanwhile (another server
+    // of the node still finishing) re-arms the pop loop instead of being
+    // waited on forever.
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [&] { return !queue_.empty() || in_flight_ == 0; });
+    if (queue_.empty() && in_flight_ == 0) return;
+  }
+}
+
+void WriteBehind::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) {
+      // Idempotent close still owes a final drain below (a racing enqueue
+      // cannot exist: producers crash on enqueue-after-close).
+    }
+    closed_ = true;
+    space_.notify_all();
+  }
+  drain_all();
+}
+
+std::uint64_t WriteBehind::pending_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_bytes_;
+}
+
+std::size_t WriteBehind::pending_jobs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+WriteBehindStats WriteBehind::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace dedicore::storage

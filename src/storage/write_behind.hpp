@@ -1,0 +1,113 @@
+// Async write-behind queue in front of a StorageBackend.
+//
+// The dedicated core's storage plugin must never couple the *iteration
+// completion path* (which releases segment space / flow credit back to
+// clients) to disk latency.  With write-behind, the plugin enqueues the
+// finalized h5lite image and returns; server workers drain the queue and
+// perform the real create/write/close.  The queue is bounded by a byte
+// budget: when a slow disk lets pending images accumulate past the budget,
+// enqueue() blocks — the pipeline stalls, iterations stop completing,
+// blocks stay resident, and the existing credit/segment backpressure
+// reaches the clients.  A slow disk therefore backs up into the same
+// flow-control machinery as a slow plugin, instead of silently growing an
+// unbounded buffer or stalling clients on every write.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/backend.hpp"
+
+namespace dedicore::storage {
+
+struct WriteBehindStats {
+  std::uint64_t jobs_enqueued = 0;
+  std::uint64_t jobs_written = 0;
+  std::uint64_t jobs_failed = 0;       ///< backend errors (logged + counted)
+  std::uint64_t bytes_enqueued = 0;
+  std::uint64_t bytes_written = 0;
+  double enqueue_block_seconds = 0.0;  ///< producer stalls on a full budget
+  double drain_seconds = 0.0;          ///< worker time inside backend calls
+  std::uint64_t max_pending_bytes = 0; ///< high-water mark of the queue
+};
+
+class WriteBehind {
+ public:
+  struct Job {
+    std::string path;
+    int stripe_count = 0;
+    std::vector<std::byte> image;
+    /// Invoked once with the backend's verdict after the write attempt
+    /// (any drainer thread; callbacks across the queue are serialized, so
+    /// shared accounting inside needs no extra locking against other
+    /// callbacks).  Producers use it to count durability at *drain* time
+    /// — an enqueue is a promise, not a persisted file.
+    std::function<void(const Status&)> on_complete;
+  };
+
+  /// `budget_bytes` bounds the pending (not yet drained) image bytes; a
+  /// single job larger than the budget is still admitted alone, so the
+  /// queue can never deadlock on an oversized image.
+  WriteBehind(StorageBackend& backend, std::uint64_t budget_bytes);
+  ~WriteBehind();
+
+  WriteBehind(const WriteBehind&) = delete;
+  WriteBehind& operator=(const WriteBehind&) = delete;
+
+  /// Queues the job.  While the byte budget is exhausted the caller is
+  /// held up (backpressure) — but never parked helplessly: if queued work
+  /// exists, the producer drains it itself (it may be the only thread
+  /// able to reach a drain site, e.g. a plugin firing repeatedly under
+  /// the server's pipeline mutex), and it only sleeps when every pending
+  /// byte is in flight on another drainer.  Deadlock-free by
+  /// construction.  Fatal after close().
+  void enqueue(Job job);
+
+  /// Drains up to `max_jobs` pending jobs on the calling thread (server
+  /// workers call this opportunistically after completing an iteration's
+  /// pipeline).  Returns the number of jobs written.  Concurrent callers
+  /// drain disjoint jobs.
+  std::size_t drain_some(std::size_t max_jobs);
+
+  /// Drains until the queue is empty *and no job is in flight on another
+  /// drainer* — when it returns, every enqueued image has been durably
+  /// attempted and its on_complete has run (shutdown path; also wakes
+  /// producers).
+  void drain_all();
+
+  /// Rejects further enqueues and drains what is left.  Idempotent;
+  /// called by the destructor.
+  void close();
+
+  [[nodiscard]] std::uint64_t pending_bytes() const;
+  [[nodiscard]] std::size_t pending_jobs() const;
+  [[nodiscard]] WriteBehindStats stats() const;
+  [[nodiscard]] StorageBackend& backend() noexcept { return backend_; }
+
+ private:
+  /// Pops one job; false when the queue is empty.
+  bool pop(Job* out);
+  void write_out(Job job);
+
+  StorageBackend& backend_;
+  const std::uint64_t budget_bytes_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable space_;   ///< producers waiting for budget
+  std::condition_variable idle_;    ///< drain_all waiting for in-flight jobs
+  /// Serializes on_complete invocations (not the backend writes), so
+  /// producer-side accounting never races another drainer's callback.
+  std::mutex callback_mutex_;
+  std::deque<Job> queue_;
+  std::uint64_t pending_bytes_ = 0; ///< queued + in-flight drain bytes
+  int in_flight_ = 0;               ///< jobs popped but not yet written out
+  bool closed_ = false;
+  WriteBehindStats stats_;
+};
+
+}  // namespace dedicore::storage

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <system_error>
 
+#include "common/log.hpp"
+
 namespace dedicore {
 namespace testing {
 
@@ -48,8 +50,22 @@ TempDir::TempDir(const std::string& tag) {
 }
 
 TempDir::~TempDir() {
-  std::error_code ec;  // best-effort cleanup; never throw from a destructor
-  std::filesystem::remove_all(path_, ec);
+  // Best-effort cleanup; never throw from a destructor.  On POSIX an open
+  // file handle inside the directory does not block unlinking, but a file
+  // created *between* remove_all's directory scan and its final rmdir
+  // (e.g. a storage backend's write-behind drain racing the fixture) makes
+  // the pass fail with ENOTEMPTY — so retry once after the first pass has
+  // emptied everything it saw, and make any residual failure loud instead
+  // of silently leaking scratch directories.
+  std::error_code ec;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    ec.clear();
+    std::filesystem::remove_all(path_, ec);
+    if (!ec) return;
+  }
+  DEDICORE_LOG(kWarn) << "TempDir: failed to remove '" << path_.string()
+                      << "': " << ec.message() << " (error code " << ec.value()
+                      << "); scratch directory leaked";
 }
 
 std::filesystem::path TempDir::file(const std::string& name) const {

@@ -49,7 +49,12 @@ namespace testing {
 // ---------------------------------------------------------------------------
 
 /// RAII temporary directory: created unique on construction, recursively
-/// removed on destruction.  Safe to use outside a fixture.
+/// removed on destruction (one retry for files that appear mid-removal;
+/// a residual failure logs a warning with the error code rather than
+/// leaking the directory silently).  Safe to use outside a fixture.
+/// Destroy anything holding handles inside the directory — a
+/// storage::PosixBackend, a WriteBehind queue — *before* the TempDir, as
+/// the posix suites do, so cleanup never races a live writer.
 class TempDir {
  public:
   /// `tag` becomes part of the directory name to ease post-mortem triage.
