@@ -15,6 +15,10 @@
 # separate file so reproducing the CI step locally can never clobber the
 # committed full-run trajectory (smoke throughput is noise-dominated; only
 # its structural assertions are comparable).
+#
+# Since PR 6 each run object also carries a "compression" section: twin
+# CM1 runs (raw vs xor+lzs) through the real emit pipeline onto real disk
+# — bytes-to-disk, achieved ratio, and spare-time utilization.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"

@@ -1,7 +1,10 @@
 #include "compress/codec.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
+#include <new>
+#include <stdexcept>
 
 #include "common/status.hpp"
 
@@ -42,6 +45,26 @@ std::uint64_t get_varint(std::span<const std::byte> in, std::size_t& at) {
     shift += 7;
     if (shift > 63) throw ConfigError("codec: varint overflow");
   }
+}
+
+/// Reserve for a decompress output without trusting `raw_size` with a
+/// giant up-front allocation: a corrupt header must cost at most this much
+/// before the per-token bounds checks reject it.  Legitimate outputs
+/// larger than the clamp simply grow geometrically past it.
+constexpr std::size_t kReserveClamp = std::size_t{1} << 20;
+
+void bounded_reserve(std::vector<std::byte>& out, std::size_t raw_size) {
+  out.reserve(std::min(raw_size, kReserveClamp));
+}
+
+/// Bounds check shared by the token decoders: every literal/run/match must
+/// fit in the declared raw size *before* any byte is materialized, so a
+/// hostile token length can never trigger a huge allocation (the pre-PR
+/// code inserted first and compared after).
+void check_output_fits(const std::vector<std::byte>& out, std::uint64_t n,
+                       std::size_t raw_size, const char* what) {
+  if (n > raw_size - out.size())  // out.size() <= raw_size is invariant
+    throw ConfigError(std::string(what) + ": output exceeds raw size");
 }
 
 // ---------------------------------------------------------------------------
@@ -90,23 +113,24 @@ class RleCodec final : public Codec {
   [[nodiscard]] std::vector<std::byte> decompress(
       std::span<const std::byte> in, std::size_t raw_size) const override {
     std::vector<std::byte> out;
-    out.reserve(raw_size);
+    bounded_reserve(out, raw_size);
     std::size_t at = 0;
     while (at < in.size()) {
       const std::uint64_t control = get_varint(in, at);
       if (control % 2 == 0) {
-        const auto n = static_cast<std::size_t>(control / 2);
-        if (at + n > in.size()) throw ConfigError("rle: truncated literal run");
+        const std::uint64_t n = control / 2;
+        check_output_fits(out, n, raw_size, "rle");
+        if (n > in.size() - at) throw ConfigError("rle: truncated literal run");
         out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(at),
                    in.begin() + static_cast<std::ptrdiff_t>(at + n));
-        at += n;
+        at += static_cast<std::size_t>(n);
       } else {
-        const auto n = static_cast<std::size_t>((control - 1) / 2);
+        const std::uint64_t n = (control - 1) / 2;
+        check_output_fits(out, n, raw_size, "rle");
         if (at >= in.size()) throw ConfigError("rle: truncated run byte");
-        out.insert(out.end(), n, in[at]);
+        out.insert(out.end(), static_cast<std::size_t>(n), in[at]);
         ++at;
       }
-      if (out.size() > raw_size) throw ConfigError("rle: output exceeds raw size");
     }
     if (out.size() != raw_size) throw ConfigError("rle: output size mismatch");
     return out;
@@ -238,24 +262,25 @@ class LzsCodec final : public Codec {
   [[nodiscard]] std::vector<std::byte> decompress(
       std::span<const std::byte> in, std::size_t raw_size) const override {
     std::vector<std::byte> out;
-    out.reserve(raw_size);
+    bounded_reserve(out, raw_size);
     std::size_t at = 0;
     while (at < in.size()) {
       const std::uint64_t control = get_varint(in, at);
       if (control % 2 == 0) {
-        const auto n = static_cast<std::size_t>(control / 2);
-        if (at + n > in.size()) throw ConfigError("lzs: truncated literals");
+        const std::uint64_t n = control / 2;
+        check_output_fits(out, n, raw_size, "lzs");
+        if (n > in.size() - at) throw ConfigError("lzs: truncated literals");
         out.insert(out.end(), in.begin() + static_cast<std::ptrdiff_t>(at),
                    in.begin() + static_cast<std::ptrdiff_t>(at + n));
-        at += n;
+        at += static_cast<std::size_t>(n);
       } else {
         const auto len = static_cast<std::size_t>((control - 1) / 2);
+        check_output_fits(out, len, raw_size, "lzs");
         const auto dist = static_cast<std::size_t>(get_varint(in, at));
         if (dist == 0 || dist > out.size()) throw ConfigError("lzs: bad distance");
         const std::size_t start = out.size() - dist;
         for (std::size_t j = 0; j < len; ++j) out.push_back(out[start + j]);
       }
-      if (out.size() > raw_size) throw ConfigError("lzs: output exceeds raw size");
     }
     if (out.size() != raw_size) throw ConfigError("lzs: output size mismatch");
     return out;
@@ -350,11 +375,32 @@ std::vector<std::byte> decompress_frame(std::span<const std::byte> frame) {
   }
   const Codec* codec = find_codec(id);
   if (codec == nullptr) throw ConfigError("decompress_frame: unknown codec id");
-  return codec->decompress(body, raw_size);
+  if (body.empty() && raw_size > 0)
+    throw ConfigError("decompress_frame: empty payload with nonzero raw size");
+  // Plausibility guard against decode bombs (same shape as h5lite's
+  // chunk parser): no exact bound on a valid payload's expansion exists,
+  // but a header claiming more than ~1000x the payload — never less than
+  // 64 MiB — is corruption, not data.  The header is untrusted input; it
+  // must not size an allocation by itself.
+  const std::uint64_t cap = std::max<std::uint64_t>(
+      64ull << 20, static_cast<std::uint64_t>(body.size()) << 10);
+  if (raw_size > cap)
+    throw ConfigError("decompress_frame: raw size implausible for payload");
+  try {
+    return codec->decompress(body, raw_size);
+  } catch (const std::bad_alloc&) {
+    throw ConfigError("decompress_frame: implausible allocation rejected");
+  } catch (const std::length_error&) {
+    throw ConfigError("decompress_frame: implausible allocation rejected");
+  }
 }
 
 double compression_ratio(std::size_t raw, std::size_t compressed) noexcept {
-  if (compressed == 0) return 0.0;
+  // Degenerate cases, defined rather than divided: an empty input stored
+  // in zero bytes is the identity (1.0); a nonzero input claimed to fit
+  // in zero bytes has no meaningful ratio — 0.0 is the "no ratio"
+  // sentinel (it can never be mistaken for a real ratio, which is > 0).
+  if (compressed == 0) return raw == 0 ? 1.0 : 0.0;
   return static_cast<double>(raw) / static_cast<double>(compressed);
 }
 

@@ -64,11 +64,16 @@ CodecId codec_id(std::string_view name);
 std::string_view codec_name(CodecId id) noexcept;
 
 /// Framed helpers: prepend a tiny header (id + raw size) so a buffer can be
-/// decompressed without out-of-band metadata.
+/// decompressed without out-of-band metadata.  The header is untrusted:
+/// decompress_frame rejects truncated/short frames, unknown codec ids, and
+/// raw sizes implausible for the payload (decode bombs) with ConfigError —
+/// a corrupt frame can never crash or size a huge allocation.
 std::vector<std::byte> compress_frame(CodecId id, std::span<const std::byte> input);
 std::vector<std::byte> decompress_frame(std::span<const std::byte> frame);
 
 /// compression ratio as the paper quotes it: raw/compressed (600% == 6.0).
+/// Degenerate cases are defined, not divided: (0, 0) is the identity
+/// (1.0); (raw > 0, 0) returns the 0.0 "no ratio" sentinel.
 double compression_ratio(std::size_t raw, std::size_t compressed) noexcept;
 
 }  // namespace dedicore::compress

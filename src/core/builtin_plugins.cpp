@@ -7,6 +7,7 @@
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
+#include "core/emit_stage.hpp"
 #include "core/server.hpp"
 #include "h5lite/h5lite.hpp"
 #include "storage/backend.hpp"
@@ -115,16 +116,20 @@ void StorePlugin::run(PluginContext& context) {
   NodeRuntime& node = context.node;
   DEDICORE_CHECK(node.storage != nullptr,
                  "store plugin requires a storage backend");
+  DEDICORE_CHECK(node.emit != nullptr,
+                 "store plugin requires the emit-path transform stage");
   auto& index = *node.indexes[static_cast<std::size_t>(context.server_index)];
+  EmitStage& emit = *node.emit;
 
-  const std::string codec_name =
-      codec_override_.empty() ? node.config.storage().codec : codec_override_;
-  const compress::CodecId codec = compress::codec_id(codec_name);
   const std::string basename =
       basename_override_.empty() ? node.config.storage().basename
                                  : basename_override_;
 
-  // Aggregate every stored variable's blocks into one file image.
+  // Aggregate every stored variable's blocks into one file image, each
+  // dataset flowing through the emit-path transform stage (per-variable
+  // codec resolution + the adaptive store-raw decision) on this dedicated
+  // core — compression happens *before* the image reaches the
+  // write-behind queue, so the byte budget sees post-codec bytes.
   h5lite::FileBuilder builder;
   builder.set_attribute(h5lite::FileBuilder::kRoot, "simulation",
                         node.config.simulation_name());
@@ -134,6 +139,10 @@ void StorePlugin::run(PluginContext& context) {
                         static_cast<std::int64_t>(node.node_id));
 
   std::uint64_t raw_bytes = 0;
+  std::uint64_t emit_stored_bytes = 0;
+  std::uint64_t datasets_compressed = 0;
+  std::uint64_t datasets_stored_raw = 0;
+  double compress_seconds = 0.0;
   bool any = false;
   for (const VariableSpec& var : node.config.variables()) {
     if (!var.store) continue;
@@ -141,24 +150,48 @@ void StorePlugin::run(PluginContext& context) {
     if (blocks.empty()) continue;
     any = true;
     const LayoutSpec& layout = node.config.layout_of(var);
+    const compress::CodecId requested =
+        emit.resolve_codec(var, codec_override_);
+    // One adaptive decision per (variable, firing), sampled on the first
+    // block; EmitStage caches it across firings and re-probes periodically.
+    compress::CodecId planned = compress::CodecId::kNone;
+    bool planned_known = false;
     const auto group = builder.create_group(h5lite::FileBuilder::kRoot, var.name);
     builder.set_attribute(group, "layout", layout.name);
     builder.set_attribute(group, "dtype", std::string(h5lite::dtype_name(layout.dtype)));
     for (const BlockInfo& block : blocks) {
       const auto view = context.block_view(block.block);
-      raw_bytes += view.size();
+      if (!planned_known) {
+        planned = emit.plan(var, requested, view);
+        builder.set_attribute(group, "codec",
+                              std::string(compress::codec_name(planned)));
+        planned_known = true;
+      }
       const std::string dataset_name =
           "r" + std::to_string(block.source) + "_b" + std::to_string(block.block_id);
-      if (codec == compress::CodecId::kNone) {
-        builder.add_dataset(group, dataset_name, layout.dtype, layout.extents,
-                            view);
+      const EmitStage::Emitted emitted = emit.emit_dataset(
+          builder, group, dataset_name, layout, view, planned);
+      raw_bytes += emitted.raw_bytes;
+      emit_stored_bytes += emitted.stored_bytes;
+      compress_seconds += emitted.seconds;
+      if (emitted.compressed) {
+        ++datasets_compressed;
       } else {
-        builder.add_dataset_chunked(group, dataset_name, layout.dtype,
-                                    layout.extents, layout.extents, view, codec);
+        ++datasets_stored_raw;
       }
     }
   }
   if (!any) return;  // every client skipped this iteration
+
+  if (context.stats != nullptr) {
+    // Serialized per server by the pipeline mutex; the async drain
+    // callbacks touch disjoint ServerStats fields.
+    context.stats->emit_raw_bytes += raw_bytes;
+    context.stats->emit_stored_bytes += emit_stored_bytes;
+    context.stats->datasets_compressed += datasets_compressed;
+    context.stats->datasets_stored_raw += datasets_stored_raw;
+    context.stats->compress_seconds += compress_seconds;
+  }
 
   std::vector<std::byte> image = std::move(builder).finalize();
   const std::string path = basename + "/node" + std::to_string(node.node_id) +

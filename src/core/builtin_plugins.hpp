@@ -18,8 +18,14 @@ namespace dedicore::core {
 /// processes into bigger files without the communication overhead of a
 /// collective I/O approach".
 ///
-/// Params: `codec` (overrides <storage codec>), `basename` (overrides
-/// <storage basename>).
+/// Each dataset flows through the node's EmitStage (emit-path transform
+/// stage): codec precedence is the `codec` param here, then the
+/// variable's `codec` attribute, then <storage codec>; an adaptive probe
+/// stores a variable raw when its sample compresses below
+/// <storage min_ratio>.
+///
+/// Params: `codec` (overrides every configured codec), `basename`
+/// (overrides <storage basename>).
 class StorePlugin final : public Plugin {
  public:
   explicit StorePlugin(const std::map<std::string, std::string>& params);

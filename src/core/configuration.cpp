@@ -1,8 +1,10 @@
 #include "core/configuration.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/bytes.hpp"
+#include "compress/codec.hpp"
 
 namespace dedicore::core {
 
@@ -155,6 +157,7 @@ Configuration Configuration::from_xml(const xml::Node& root) {
       v.mesh = n->attribute_or("mesh", "");
       v.group = n->attribute_or("group", "");
       v.store = n->attribute_bool("store", true);
+      v.codec = n->attribute_or("codec", "");
       v.priority = static_cast<int>(n->attribute_int("priority", 0));
       cfg.add_variable(std::move(v));
     }
@@ -164,6 +167,7 @@ Configuration Configuration::from_xml(const xml::Node& root) {
     StorageSpec s;
     s.basename = storage->attribute_or("basename", "output");
     s.codec = storage->attribute_or("codec", "none");
+    s.min_ratio = storage->attribute_double("min_ratio", s.min_ratio);
     s.stripe_count = static_cast<int>(storage->attribute_int("stripe_count", 0));
     s.scheduler = storage->attribute_or("scheduler", "greedy");
     s.max_concurrent_nodes =
@@ -306,6 +310,13 @@ void Configuration::validate() const {
     if (!v.mesh.empty() && mesh(v.mesh) == nullptr)
       throw ConfigError("variable '" + v.name + "' references unknown mesh '" +
                         v.mesh + "'");
+    // A bad per-variable codec must fail here, not at the first write.
+    try {
+      (void)compress::codec_id(v.codec);
+    } catch (const ConfigError&) {
+      throw ConfigError("variable '" + v.name + "' references unknown codec '" +
+                        v.codec + "'");
+    }
   }
   for (const auto& m : meshes_)
     for (const auto& coord : m.coordinates)
@@ -313,6 +324,17 @@ void Configuration::validate() const {
   for (const auto& a : actions_) {
     if (a.event.empty() || a.plugin.empty())
       throw ConfigError("actions need both an event name and a plugin name");
+    // A plugin's `codec` param (the store plugin's per-action override)
+    // used to surface only when the first write ran; validate it with the
+    // rest of the configuration.
+    if (auto it = a.params.find("codec"); it != a.params.end()) {
+      try {
+        (void)compress::codec_id(it->second);
+      } catch (const ConfigError&) {
+        throw ConfigError("action '" + a.event + "' (plugin '" + a.plugin +
+                          "') references unknown codec '" + it->second + "'");
+      }
+    }
   }
   if (storage_.scheduler != "greedy" && storage_.scheduler != "throttled")
     throw ConfigError("storage scheduler must be 'greedy' or 'throttled'");
@@ -325,6 +347,9 @@ void Configuration::validate() const {
     throw ConfigError("storage backend 'posix' requires a path attribute "
                       "(the root directory for emitted files)");
   (void)compress::codec_id(storage_.codec);  // throws on unknown codec
+  // `!(x >= 1.0)` (rather than `x < 1.0`) also rejects NaN.
+  if (!(storage_.min_ratio >= 1.0) || !std::isfinite(storage_.min_ratio))
+    throw ConfigError("storage min_ratio must be a finite value >= 1.0");
 }
 
 }  // namespace dedicore::core

@@ -16,10 +16,12 @@
 //     <data>
 //       <layout name="grid3d" type="float32" dimensions="64,64,64"/>
 //       <mesh name="atm" type="rectilinear" coordinates="x,y,z"/>
-//       <variable name="theta" layout="grid3d" mesh="atm" group="fields"/>
+//       <variable name="theta" layout="grid3d" mesh="atm" group="fields"
+//                 codec="xor+lzs"/>  <!-- per-variable override of the
+//                                         storage-level codec -->
 //     </data>
-//     <storage basename="cm1" codec="none" stripe_count="2"
-//              scheduler="greedy" max_concurrent="0"
+//     <storage basename="cm1" codec="none" min_ratio="1.25"
+//              stripe_count="2" scheduler="greedy" max_concurrent="0"
 //              backend="sim" path="" write_behind="0"/>
 //     <!-- backend="posix" path="/scratch/run42" writes real files through
 //          the async write-behind queue; backend="sim" (default) keeps the
@@ -68,6 +70,10 @@ struct VariableSpec {
   std::string mesh;     ///< optional
   std::string group;    ///< optional dataset group in the output files
   bool store = true;    ///< whether the storage plugin persists it
+  /// Per-variable codec for the emit-path transform stage; "" inherits
+  /// <storage codec>.  Validated at configuration time, like the storage
+  /// codec.  XML: <variable name="theta" codec="xor+lzs"/>.
+  std::string codec;
   /// Scientific importance under the adaptive backpressure policy:
   /// priority > 0 is never dropped; priority 0 may be shed under pressure.
   int priority = 0;
@@ -83,7 +89,12 @@ struct ActionSpec {
 
 struct StorageSpec {
   std::string basename = "output";
-  std::string codec = "none";     ///< chunk codec for stored datasets
+  std::string codec = "none";     ///< default chunk codec for stored datasets
+  /// Adaptive-skip threshold of the emit-path transform stage: when a
+  /// sampled probe of a variable compresses below this ratio the server
+  /// stores it raw (compression that does not pay is pure cycle waste).
+  /// Must be >= 1.0.  XML: <storage min_ratio="1.25">.
+  double min_ratio = 1.25;
   int stripe_count = 0;           ///< 0 = filesystem default
   std::string scheduler = "greedy";  ///< "greedy" | "throttled"
   int max_concurrent_nodes = 0;   ///< "throttled" only; 0 = unlimited

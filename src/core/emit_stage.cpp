@@ -1,0 +1,105 @@
+#include "core/emit_stage.hpp"
+
+#include <algorithm>
+
+#include "common/clock.hpp"
+
+namespace dedicore::core {
+
+EmitStage::EmitStage(const Configuration& config)
+    : default_codec_(config.storage().codec),
+      min_ratio_(config.storage().min_ratio),
+      decisions_(config.variables().size()) {}
+
+compress::CodecId EmitStage::resolve_codec(
+    const VariableSpec& var, const std::string& override_name) const {
+  if (!override_name.empty()) return compress::codec_id(override_name);
+  if (!var.codec.empty()) return compress::codec_id(var.codec);
+  return compress::codec_id(default_codec_);
+}
+
+compress::CodecId EmitStage::plan(const VariableSpec& var,
+                                  compress::CodecId requested,
+                                  std::span<const std::byte> sample) {
+  if (requested == compress::CodecId::kNone) return requested;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (var.id < decisions_.size()) {
+      Decision& decision = decisions_[var.id];
+      if (decision.decided && decision.emits_since_probe < kReprobePeriod) {
+        ++decision.emits_since_probe;
+        return decision.codec;
+      }
+    }
+  }
+
+  // Probe outside the lock: compressing the sample is the expensive part,
+  // and a concurrent probe of the same variable is merely redundant (last
+  // decision wins), never wrong.
+  const compress::Codec* codec = compress::find_codec(requested);
+  DEDICORE_CHECK(codec != nullptr, "emit stage: unresolvable codec");
+  const auto probe = sample.first(std::min(sample.size(), kSampleBytes));
+  Stopwatch timer;
+  const auto packed = codec->compress(probe);
+  const double seconds = timer.elapsed_seconds();
+  const double ratio = compress::compression_ratio(probe.size(), packed.size());
+  // An empty sample carries no evidence — keep the requested codec (the
+  // per-chunk stored fallback already bounds the downside to a few bytes).
+  const bool skip = !probe.empty() && ratio < min_ratio_;
+  const compress::CodecId planned =
+      skip ? compress::CodecId::kNone : requested;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.probes;
+  stats_.probe_seconds += seconds;
+  if (skip) ++stats_.adaptive_skips;
+  if (var.id < decisions_.size()) {
+    Decision& decision = decisions_[var.id];
+    decision.decided = true;
+    decision.codec = planned;
+    decision.emits_since_probe = 0;
+  }
+  return planned;
+}
+
+EmitStage::Emitted EmitStage::emit_dataset(h5lite::FileBuilder& builder,
+                                           h5lite::FileBuilder::GroupId group,
+                                           const std::string& name,
+                                           const LayoutSpec& layout,
+                                           std::span<const std::byte> payload,
+                                           compress::CodecId codec) {
+  Emitted emitted;
+  emitted.raw_bytes = payload.size();
+  emitted.compressed = codec != compress::CodecId::kNone;
+  const std::size_t before = builder.data_bytes();
+  Stopwatch timer;
+  if (emitted.compressed) {
+    // Chunked emit: the builder compresses per chunk and falls back to a
+    // stored chunk wherever the codec does not pay, so an "emitted
+    // through a codec" dataset never grows beyond raw + chunk headers.
+    builder.add_dataset_chunked(group, name, layout.dtype, layout.extents,
+                                layout.extents, payload, codec);
+    emitted.seconds = timer.elapsed_seconds();
+  } else {
+    builder.add_dataset(group, name, layout.dtype, layout.extents, payload);
+  }
+  emitted.stored_bytes = builder.data_bytes() - before;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.raw_bytes += emitted.raw_bytes;
+  stats_.stored_bytes += emitted.stored_bytes;
+  stats_.compress_seconds += emitted.seconds;
+  if (emitted.compressed) {
+    ++stats_.datasets_compressed;
+  } else {
+    ++stats_.datasets_stored_raw;
+  }
+  return emitted;
+}
+
+EmitStats EmitStage::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace dedicore::core

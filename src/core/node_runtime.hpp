@@ -17,6 +17,7 @@
 
 #include "core/block_index.hpp"
 #include "core/configuration.hpp"
+#include "core/emit_stage.hpp"
 #include "core/scheduler.hpp"
 #include "core/types.hpp"
 #include "fsim/filesystem.hpp"
@@ -79,6 +80,10 @@ struct NodeRuntime {
     // synchronous semantics; the posix backend writes real files and gets
     // an async write-behind queue drained by this node's server workers.
     if (role != Role::kClientOnly) {
+      // The emit-path transform stage (codec resolution + adaptive skip)
+      // sits in front of whichever backend is selected; it is shared by
+      // every server of the node, so its counters are node-wide.
+      emit = std::make_shared<EmitStage>(config);
       if (config.storage().backend == "posix") {
         storage = std::make_shared<storage::PosixBackend>(
             std::filesystem::path(config.storage().path));
@@ -124,6 +129,10 @@ struct NodeRuntime {
   Role role = Role::kSmpNode;
   fsim::FileSystem* fs = nullptr;
   std::shared_ptr<IoScheduler> scheduler;
+  /// Emit-path transform stage: per-variable codec resolution, adaptive
+  /// store-raw decisions, and the node-wide compression counters.  Null
+  /// only on dedicated-nodes client ranks.
+  std::shared_ptr<EmitStage> emit;
   /// Persistence target of this node's storage-flavoured plugins and
   /// writers; null on dedicated-nodes client ranks (and on nodes built
   /// with neither a simulator nor a posix configuration).

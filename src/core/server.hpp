@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "compress/codec.hpp"
 #include "core/node_runtime.hpp"
 #include "core/plugin.hpp"
 #include "transport/transport.hpp"
@@ -51,11 +52,25 @@ struct ServerStats {
   /// means output was dropped — the run completed but is NOT fully
   /// persisted.  (The synchronous sim path aborts on the same condition.)
   std::uint64_t storage_failures = 0;
+  // Emit-path compression (the §IV.D spare-cycle story): dataset payload
+  // bytes that entered this server's transform stage vs the bytes the
+  // codecs left in the images, and the dedicated-core seconds spent
+  // compressing.  emit_raw_bytes counts only store-plugin payloads, so
+  // achieved_ratio() is the paper's raw/stored figure (600% == 6.0).
+  std::uint64_t emit_raw_bytes = 0;
+  std::uint64_t emit_stored_bytes = 0;
+  std::uint64_t datasets_compressed = 0;  ///< emitted through a codec
+  std::uint64_t datasets_stored_raw = 0;  ///< raw (no codec / adaptive skip)
+  double compress_seconds = 0.0;          ///< spare cycles spent in codecs
   Summary pipeline_time;               ///< seconds per completed iteration
 
   [[nodiscard]] double idle_fraction() const noexcept {
     const double total = idle_seconds + busy_seconds;
     return total > 0.0 ? idle_seconds / total : 0.0;
+  }
+
+  [[nodiscard]] double achieved_ratio() const noexcept {
+    return compress::compression_ratio(emit_raw_bytes, emit_stored_bytes);
   }
 };
 

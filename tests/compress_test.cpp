@@ -1,9 +1,13 @@
 // Tests for the compression codecs: round-trip properties on adversarial
-// and realistic inputs, ratio expectations on smooth fields, framing.
+// and realistic inputs, ratio expectations on smooth fields, framing, and
+// the fuzz-style corruption table guarding the frame decoder (a corrupt
+// frame must be rejected with ConfigError — never crash, over-read, or
+// size an allocation from a hostile header).
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "common/rng.hpp"
 #include "common/status.hpp"
@@ -172,7 +176,12 @@ TEST(CodecTest, FrameRejectsTruncatedHeader) {
 
 TEST(CodecTest, CompressionRatioHelper) {
   EXPECT_DOUBLE_EQ(compression_ratio(600, 100), 6.0);
+  // Degenerate cases are defined, not divided: zero compressed bytes for
+  // a nonzero input is the 0.0 "no ratio" sentinel; the empty input
+  // stored in zero bytes is the identity.
   EXPECT_DOUBLE_EQ(compression_ratio(100, 0), 0.0);
+  EXPECT_DOUBLE_EQ(compression_ratio(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(compression_ratio(0, 100), 0.0);
 }
 
 TEST(CodecTest, EmptyInputProducesEmptyOutput) {
@@ -182,6 +191,170 @@ TEST(CodecTest, EmptyInputProducesEmptyOutput) {
     const auto packed = codec->compress({});
     EXPECT_TRUE(codec->decompress(packed, 0).empty());
   }
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz-style frame corruption table (mirrors h5lite_test's: every mutation
+// of a valid frame must either decode cleanly or throw ConfigError)
+// ---------------------------------------------------------------------------
+
+void put_frame_u32(std::vector<std::byte>& frame, std::size_t at,
+                   std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    frame[at + static_cast<std::size_t>(i)] =
+        static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+}
+
+/// A frame over compressible data, so every codec id survives the
+/// stored-fallback and the mutations hit real codec payloads.
+std::vector<std::byte> corpus_frame(CodecId id) {
+  return compress_frame(id, to_bytes(smooth_field(4096, 23)));
+}
+
+void expect_rejected_or_clean(const std::vector<std::byte>& frame) {
+  try {
+    const auto out = decompress_frame(frame);
+    // A harmless mutation decodes to *something* bounded by the header's
+    // (plausibility-capped) raw size; reaching here without a crash or a
+    // giant allocation is the audited outcome.
+    EXPECT_LE(out.size(),
+              std::max<std::size_t>(64u << 20, frame.size() << 10));
+  } catch (const ConfigError&) {
+    // rejected with a precise error: the audited outcome
+  }
+}
+
+struct FrameCorruptionCase {
+  const char* name;
+  void (*mutate)(std::vector<std::byte>&);
+};
+
+const FrameCorruptionCase kFrameCorruptionTable[] = {
+    {"truncate_to_empty", [](std::vector<std::byte>& f) { f.clear(); }},
+    {"truncate_inside_header", [](std::vector<std::byte>& f) { f.resize(3); }},
+    {"truncate_to_header_only", [](std::vector<std::byte>& f) { f.resize(5); }},
+    {"truncate_body_half",
+     [](std::vector<std::byte>& f) { f.resize(5 + (f.size() - 5) / 2); }},
+    {"raw_size_plus_one",
+     [](std::vector<std::byte>& f) {
+       put_frame_u32(f, 1, static_cast<std::uint32_t>(4096 * 8 + 1));
+     }},
+    {"raw_size_zero", [](std::vector<std::byte>& f) { put_frame_u32(f, 1, 0); }},
+    // The decode bomb: a 4 GiB raw size over a few-KiB payload must be
+    // rejected by the plausibility cap, not attempted.
+    {"raw_size_decode_bomb",
+     [](std::vector<std::byte>& f) { put_frame_u32(f, 1, 0xFFFFFFFFu); }},
+    {"unknown_codec_id",
+     [](std::vector<std::byte>& f) { f[0] = std::byte{0x7F}; }},
+    {"codec_id_smashed_to_none",
+     [](std::vector<std::byte>& f) { f[0] = std::byte{0}; }},
+    {"first_body_byte_flipped",
+     [](std::vector<std::byte>& f) {
+       if (f.size() > 5) f[5] ^= std::byte{0xFF};
+     }},
+    {"last_body_byte_flipped",
+     [](std::vector<std::byte>& f) { f.back() ^= std::byte{0xFF}; }},
+};
+
+class FrameCorruptionTest
+    : public ::testing::TestWithParam<std::tuple<CodecId, FrameCorruptionCase>> {
+};
+
+TEST_P(FrameCorruptionTest, RejectedOrHarmless) {
+  const auto [id, corruption] = GetParam();
+  std::vector<std::byte> frame = corpus_frame(id);
+  corruption.mutate(frame);
+  expect_rejected_or_clean(frame);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, FrameCorruptionTest,
+    ::testing::Combine(::testing::Values(CodecId::kNone, CodecId::kRle,
+                                         CodecId::kXorDelta, CodecId::kLzs,
+                                         CodecId::kXorLzs),
+                       ::testing::ValuesIn(kFrameCorruptionTable)),
+    [](const auto& info) {
+      const std::string base(codec_name(std::get<0>(info.param)));
+      return (base == "xor+lzs" ? std::string("xorlzs") : base) + "_" +
+             std::get<1>(info.param).name;
+    });
+
+TEST(FrameCorruptionTest, EveryTruncationLengthIsRejectedOrClean) {
+  const auto frame = corpus_frame(CodecId::kXorLzs);
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    std::vector<std::byte> cut(frame.begin(),
+                               frame.begin() + static_cast<std::ptrdiff_t>(len));
+    expect_rejected_or_clean(cut);
+  }
+}
+
+TEST(FrameCorruptionTest, RandomByteFlipsNeverEscapeConfigError) {
+  const auto frame = corpus_frame(CodecId::kLzs);
+  Rng rng(0xF00D);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::byte> mutated = frame;
+    const std::size_t at = rng.next_below(mutated.size());
+    mutated[at] ^= static_cast<std::byte>(1u << rng.next_below(8));
+    expect_rejected_or_clean(mutated);
+  }
+}
+
+TEST(FrameCorruptionTest, DecodeBombIsRejectedBeforeAllocating) {
+  // Hand-crafted hostile frame: RLE codec id, a 4 GiB raw size, and a
+  // payload whose single token claims an enormous repeat run.  Both
+  // guards must hold: the frame-level plausibility cap, and (for the
+  // direct codec API, where h5lite pre-validates sizes) the
+  // check-before-materialize token bound.
+  std::vector<std::byte> frame{std::byte{1}};  // kRle
+  for (int i = 0; i < 4; ++i) frame.push_back(std::byte{0xFF});  // raw = 4 GiB-1
+  // varint control for a repeat run of ~2^40 bytes (odd control).
+  const std::uint64_t control = ((1ull << 40) * 2) + 1;
+  std::uint64_t v = control;
+  while (v >= 0x80) {
+    frame.push_back(static_cast<std::byte>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  frame.push_back(static_cast<std::byte>(v));
+  frame.push_back(std::byte{0x42});  // the byte to repeat
+  EXPECT_THROW((void)decompress_frame(frame), ConfigError);
+
+  // Same hostile token straight through the codec API with a small
+  // declared raw size: the token bound must fire before any insert.
+  const std::span<const std::byte> body(frame.data() + 5, frame.size() - 5);
+  EXPECT_THROW((void)find_codec(CodecId::kRle)->decompress(body, 64),
+               ConfigError);
+}
+
+TEST(FrameCorruptionTest, EmptyCodecBodyWithNonzeroRawSizeRejected) {
+  std::vector<std::byte> frame{std::byte{3}};  // kLzs
+  frame.push_back(std::byte{16});              // raw_size = 16
+  frame.push_back(std::byte{0});
+  frame.push_back(std::byte{0});
+  frame.push_back(std::byte{0});
+  EXPECT_THROW((void)decompress_frame(frame), ConfigError);
+}
+
+// The emit path runs codecs concurrently on server workers (one EmitStage
+// per node, many servers): the stateless-codec claim is now load-bearing
+// and runs under TSan in CI.
+TEST(CodecTest, CodecsAreThreadSafeUnderConcurrentUse) {
+  const auto smooth = to_bytes(smooth_field(16 * 1024, 31));
+  const auto noisy = random_bytes(16 * 1024, 37);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      const auto& input = (t % 2 == 0) ? smooth : noisy;
+      for (CodecId id : {CodecId::kRle, CodecId::kXorDelta, CodecId::kLzs,
+                         CodecId::kXorLzs}) {
+        const Codec* codec = find_codec(id);
+        const auto packed = codec->compress(input);
+        ASSERT_EQ(codec->decompress(packed, input.size()), input);
+        const auto frame = compress_frame(id, input);
+        ASSERT_EQ(decompress_frame(frame), input);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
 }
 
 }  // namespace

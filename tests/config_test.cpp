@@ -15,10 +15,10 @@ const char* kFullDocument = R"(
     <layout name="profile" type="float64" dimensions="64"/>
     <mesh name="atm" type="rectilinear" coordinates="xcoord"/>
     <variable name="xcoord" layout="profile" store="false"/>
-    <variable name="theta" layout="grid3d" mesh="atm" group="fields"/>
+    <variable name="theta" layout="grid3d" mesh="atm" group="fields" codec="xor"/>
     <variable name="qv" layout="grid3d" mesh="atm" group="fields"/>
   </data>
-  <storage basename="out/cm1" codec="xor+lzs" stripe_count="2"
+  <storage basename="out/cm1" codec="xor+lzs" min_ratio="1.5" stripe_count="2"
            scheduler="throttled" max_concurrent="4"/>
   <actions>
     <event name="end_iteration" plugin="store"/>
@@ -45,8 +45,12 @@ TEST(ConfigurationTest, ParsesFullDocument) {
   EXPECT_EQ(cfg.actions().size(), 2u);
   EXPECT_EQ(cfg.storage().basename, "out/cm1");
   EXPECT_EQ(cfg.storage().codec, "xor+lzs");
+  EXPECT_DOUBLE_EQ(cfg.storage().min_ratio, 1.5);
   EXPECT_EQ(cfg.storage().scheduler, "throttled");
   EXPECT_EQ(cfg.storage().max_concurrent_nodes, 4);
+  // Per-variable codec override; unset inherits the storage codec ("").
+  EXPECT_EQ(cfg.variable("theta").codec, "xor");
+  EXPECT_EQ(cfg.variable("qv").codec, "");
 }
 
 TEST(ConfigurationTest, DedicatedModeDefaultsToCores) {
@@ -225,6 +229,21 @@ INSTANTIATE_TEST_SUITE_P(
         BadDocumentCase{"unknown_codec",
                         "<simulation><storage codec=\"zstd\"/></simulation>",
                         "codec"},
+        BadDocumentCase{"unknown_variable_codec",
+                        "<simulation><data><layout name=\"l\" dimensions=\"4\"/>"
+                        "<variable name=\"v\" layout=\"l\" codec=\"zstd\"/>"
+                        "</data></simulation>",
+                        "unknown codec"},
+        BadDocumentCase{"unknown_action_codec",
+                        "<simulation><data><layout name=\"l\" dimensions=\"4\"/>"
+                        "<variable name=\"v\" layout=\"l\"/></data>"
+                        "<actions><event name=\"e\" plugin=\"store\">"
+                        "<param key=\"codec\" value=\"zstd\"/></event></actions>"
+                        "</simulation>",
+                        "unknown codec"},
+        BadDocumentCase{"min_ratio_below_one",
+                        "<simulation><storage min_ratio=\"0.5\"/></simulation>",
+                        "min_ratio"},
         BadDocumentCase{"mesh_coordinate_not_variable",
                         "<simulation><data>"
                         "<mesh name=\"m\" coordinates=\"nope\"/>"

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <span>
@@ -25,6 +26,7 @@
 #include <vector>
 
 #include "core/baseline_io.hpp"
+#include "core/emit_stage.hpp"
 #include "core/runtime.hpp"
 #include "framework/test_infra.hpp"
 #include "h5lite/h5lite.hpp"
@@ -669,6 +671,304 @@ TEST(StorageEndToEndTest, PosixRequiresAPath) {
   storage.path.clear();
   cfg.set_storage(storage);
   EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: emit-path compression (spare-core codecs, §IV.D)
+// ---------------------------------------------------------------------------
+
+/// Like runtime_config, but with a 64x64 float64 layout so one block is
+/// 32 KiB — big enough for the codecs to show a meaningful ratio — and the
+/// given codec on <storage>.
+core::Configuration compression_config(const std::string& path,
+                                       const std::string& codec) {
+  core::Configuration cfg;
+  cfg.set_simulation_name("squeeze");
+  cfg.set_architecture(/*cores_per_node=*/4, /*dedicated_cores=*/1);
+  cfg.set_server_workers(1);
+  cfg.set_buffer(8ull << 20, 256, core::BackpressurePolicy::kBlock);
+  core::LayoutSpec layout;
+  layout.name = "grid";
+  layout.dtype = h5lite::DType::kFloat64;
+  layout.extents = {64, 64};
+  cfg.add_layout(layout);
+  core::VariableSpec v;
+  v.name = "field";
+  v.layout = "grid";
+  cfg.add_variable(v);
+  core::ActionSpec store;
+  store.event = "end_iteration";
+  store.plugin = "store";
+  cfg.add_action(store);
+  core::StorageSpec storage;
+  storage.basename = "squeeze";
+  storage.backend = "posix";
+  storage.path = path;
+  storage.codec = codec;
+  cfg.set_storage(storage);
+  cfg.validate();
+  return cfg;
+}
+
+struct CompressionRunResult {
+  core::ServerStats server;
+  core::EmitStats emit;
+  storage::WriteBehindStats wb;
+};
+
+/// Runs a 3-client world where every client fills `field` through
+/// `fill(rank, it, i)`; captures the server-side compression counters.
+template <typename Fill>
+CompressionRunResult run_compression_world(const core::Configuration& cfg,
+                                           int iterations, Fill fill) {
+  CompressionRunResult result;
+  fsim::FileSystem fs(quiet_storage(), fast_scale());
+  minimpi::run_world(4, [&](minimpi::Comm& comm) {
+    core::Runtime rt = core::Runtime::initialize(cfg, comm, fs);
+    if (rt.is_server()) {
+      rt.run_server();
+      result.server = rt.server_stats();
+      ASSERT_NE(rt.node().emit, nullptr);
+      result.emit = rt.node().emit->stats();
+      if (rt.node().write_behind != nullptr)
+        result.wb = rt.node().write_behind->stats();
+      return;
+    }
+    std::vector<double> field(64 * 64);
+    for (int it = 0; it < iterations; ++it) {
+      for (std::size_t i = 0; i < field.size(); ++i)
+        field[i] = fill(comm.rank(), it, i);
+      ASSERT_OK(rt.client().write("field", std::span<const double>(field)));
+      ASSERT_OK(rt.client().end_iteration());
+    }
+    rt.finalize();
+  });
+  return result;
+}
+
+/// CM1-like smooth field: row-structured with slow drift per iteration
+/// and rank — the shape the paper compresses at 600%.
+double smooth_value(int rank, int it, std::size_t i) {
+  return 300.0 + static_cast<double>(i / 64) * 0.25 + it * 0.5 + rank;
+}
+
+/// Full-mantissa hash noise: no codec in the registry reaches a useful
+/// ratio on this, so the adaptive probe must park the variable on raw.
+double noisy_value(int rank, int it, std::size_t i) {
+  double whole;
+  return std::modf(std::sin(static_cast<double>(i) * 12.9898 + it * 78.233 +
+                            rank * 37.719) *
+                       43758.5453,
+                   &whole);
+}
+
+TEST(CompressionEndToEndTest, TwinRunsShrinkBytesAndReadBackIdentical) {
+  constexpr int kIterations = 3;
+  testing::TempDir raw_dir("compress_e2e_raw");
+  testing::TempDir comp_dir("compress_e2e_comp");
+
+  // Twin runs: identical clients and data, uncompressed vs xor+lzs.
+  run_compression_world(compression_config(raw_dir.path().string(), "none"),
+                        kIterations, smooth_value);
+  const CompressionRunResult comp = run_compression_world(
+      compression_config(comp_dir.path().string(), "xor+lzs"), kIterations,
+      smooth_value);
+
+  PosixBackend raw(raw_dir.path());
+  PosixBackend squeezed(comp_dir.path());
+  ASSERT_EQ(raw.list_files(), squeezed.list_files());
+  ASSERT_EQ(raw.file_count(), static_cast<std::size_t>(kIterations));
+
+  std::uint64_t raw_total = 0;
+  std::uint64_t squeezed_total = 0;
+  for (const std::string& path : raw.list_files()) {
+    const auto raw_bytes = raw.read_file(path);
+    const auto comp_bytes = squeezed.read_file(path);
+    ASSERT_TRUE(raw_bytes.has_value());
+    ASSERT_TRUE(comp_bytes.has_value());
+    raw_total += raw_bytes->size();
+    squeezed_total += comp_bytes->size();
+
+    // Decompress-on-read parity: the compressed file's datasets decode to
+    // exactly the bytes the uncompressed twin stored.
+    const h5lite::File plain = h5lite::File::parse(*raw_bytes);
+    const h5lite::File packed = h5lite::File::parse(*comp_bytes);
+    const auto* plain_group = plain.root().find_group("field");
+    const auto* packed_group = packed.root().find_group("field");
+    ASSERT_NE(plain_group, nullptr);
+    ASSERT_NE(packed_group, nullptr);
+    ASSERT_EQ(plain_group->datasets.size(), packed_group->datasets.size());
+    for (std::size_t d = 0; d < plain_group->datasets.size(); ++d) {
+      EXPECT_EQ(plain_group->datasets[d].read_as<double>(),
+                packed_group->datasets[d].read_as<double>())
+          << path << " dataset " << d;
+    }
+    // The planned codec is recorded on the group for readers.
+    const auto attr = packed_group->attributes.find("codec");
+    ASSERT_NE(attr, packed_group->attributes.end()) << path;
+    EXPECT_EQ(std::get<std::string>(attr->second), "xor+lzs");
+  }
+
+  // The satellite floor: smooth CM1-like fields must clear 2x on disk.
+  ASSERT_GT(raw_total, 0u);
+  EXPECT_LT(squeezed_total, raw_total);
+  EXPECT_GE(static_cast<double>(raw_total) / static_cast<double>(squeezed_total),
+            2.0);
+
+  // The counters tell the same story end to end: EmitStage and ServerStats
+  // agree (one server on this node), and the achieved ratio matches disk.
+  EXPECT_GT(comp.emit.datasets_compressed, 0u);
+  EXPECT_EQ(comp.emit.adaptive_skips, 0u);
+  EXPECT_GT(comp.emit.raw_bytes, comp.emit.stored_bytes);
+  EXPECT_GE(comp.emit.achieved_ratio(), 2.0);
+  EXPECT_EQ(comp.server.emit_raw_bytes, comp.emit.raw_bytes);
+  EXPECT_EQ(comp.server.emit_stored_bytes, comp.emit.stored_bytes);
+  EXPECT_EQ(comp.server.datasets_compressed, comp.emit.datasets_compressed);
+  EXPECT_GE(comp.server.achieved_ratio(), 2.0);
+  EXPECT_GE(comp.server.compress_seconds, 0.0);
+
+  export_artifacts(comp_dir.path());
+}
+
+TEST(CompressionEndToEndTest, AdaptiveProbeStoresNoiseRaw) {
+  // Hash-noise payloads with a 1.5 floor: the probe must measure a ratio
+  // below min_ratio, park the variable on raw storage, and never spend a
+  // full-dataset codec pass on it.
+  testing::TempDir dir("compress_adaptive");
+  core::Configuration cfg =
+      compression_config(dir.path().string(), "xor+lzs");
+  core::StorageSpec storage = cfg.storage();
+  storage.min_ratio = 1.5;
+  cfg.set_storage(storage);
+  cfg.validate();
+
+  const CompressionRunResult result =
+      run_compression_world(cfg, /*iterations=*/2, noisy_value);
+
+  EXPECT_GE(result.emit.probes, 1u);
+  EXPECT_GE(result.emit.adaptive_skips, 1u);
+  EXPECT_EQ(result.emit.datasets_compressed, 0u);
+  EXPECT_GT(result.emit.datasets_stored_raw, 0u);
+  EXPECT_EQ(result.server.datasets_compressed, 0u);
+  EXPECT_GT(result.server.datasets_stored_raw, 0u);
+  // Raw storage claims no compression win: stored tracks raw (plus image
+  // framing), so the achieved ratio sits at ~1.
+  EXPECT_LE(result.emit.achieved_ratio(), 1.1);
+  PosixBackend disk(dir.path());
+  EXPECT_EQ(disk.file_count(), 2u);
+}
+
+TEST(CompressionEndToEndTest, WriteBehindBudgetCountsPostCodecBytes) {
+  // A 16 KiB budget is far below the ~96 KiB raw image but comfortably
+  // above its compressed form.  If the queue accounted pre-codec bytes,
+  // the high-water mark would blow past the budget on every iteration;
+  // counting post-codec bytes keeps the whole run inside it.
+  constexpr std::uint64_t kBudget = 16 * 1024;
+  constexpr int kIterations = 3;
+  testing::TempDir dir("compress_budget");
+  core::Configuration cfg =
+      compression_config(dir.path().string(), "xor+lzs");
+  core::StorageSpec storage = cfg.storage();
+  storage.write_behind_bytes = kBudget;
+  cfg.set_storage(storage);
+  cfg.validate();
+
+  const CompressionRunResult result =
+      run_compression_world(cfg, kIterations, smooth_value);
+
+  EXPECT_EQ(result.wb.jobs_enqueued, static_cast<std::uint64_t>(kIterations));
+  EXPECT_EQ(result.wb.jobs_written, result.wb.jobs_enqueued);
+  EXPECT_EQ(result.wb.jobs_failed, 0u);
+  // The budget ledger saw only post-codec bytes...
+  EXPECT_LT(result.wb.bytes_enqueued, result.emit.raw_bytes);
+  // ...and never overflowed a budget several times smaller than one raw
+  // image.
+  EXPECT_LE(result.wb.max_pending_bytes, kBudget);
+  PosixBackend disk(dir.path());
+  EXPECT_EQ(disk.file_count(), static_cast<std::size_t>(kIterations));
+}
+
+TEST(CompressionEndToEndTest, PerVariableCodecOverridesStorageDefault) {
+  // Storage default says raw; one variable opts into xor+lzs.  The mixed
+  // run must compress exactly that variable's datasets.
+  testing::TempDir dir("compress_per_var");
+  core::Configuration cfg;
+  cfg.set_simulation_name("mixed");
+  cfg.set_architecture(/*cores_per_node=*/4, /*dedicated_cores=*/1);
+  cfg.set_buffer(8ull << 20, 256, core::BackpressurePolicy::kBlock);
+  core::LayoutSpec layout;
+  layout.name = "grid";
+  layout.dtype = h5lite::DType::kFloat64;
+  layout.extents = {64, 64};
+  cfg.add_layout(layout);
+  core::VariableSpec plain;
+  plain.name = "plain";
+  plain.layout = "grid";
+  cfg.add_variable(plain);
+  core::VariableSpec packed;
+  packed.name = "packed";
+  packed.layout = "grid";
+  packed.codec = "xor+lzs";
+  cfg.add_variable(packed);
+  core::ActionSpec store;
+  store.event = "end_iteration";
+  store.plugin = "store";
+  cfg.add_action(store);
+  core::StorageSpec storage;
+  storage.basename = "mixed";
+  storage.backend = "posix";
+  storage.path = dir.path().string();
+  cfg.set_storage(storage);
+  cfg.validate();
+
+  core::EmitStats emit;
+  fsim::FileSystem fs(quiet_storage(), fast_scale());
+  minimpi::run_world(4, [&](minimpi::Comm& comm) {
+    core::Runtime rt = core::Runtime::initialize(cfg, comm, fs);
+    if (rt.is_server()) {
+      rt.run_server();
+      ASSERT_NE(rt.node().emit, nullptr);
+      emit = rt.node().emit->stats();
+      return;
+    }
+    std::vector<double> field(64 * 64);
+    for (std::size_t i = 0; i < field.size(); ++i)
+      field[i] = smooth_value(comm.rank(), 0, i);
+    ASSERT_OK(rt.client().write("plain", std::span<const double>(field)));
+    ASSERT_OK(rt.client().write("packed", std::span<const double>(field)));
+    ASSERT_OK(rt.client().end_iteration());
+    rt.finalize();
+  });
+
+  // 3 clients, 1 iteration: 3 datasets per variable.
+  EXPECT_EQ(emit.datasets_compressed, 3u);
+  EXPECT_EQ(emit.datasets_stored_raw, 3u);
+
+  PosixBackend disk(dir.path());
+  ASSERT_EQ(disk.file_count(), 1u);
+  const auto bytes = disk.read_file(disk.list_files().front());
+  ASSERT_TRUE(bytes.has_value());
+  const h5lite::File file = h5lite::File::parse(*bytes);
+  const auto* plain_group = file.root().find_group("plain");
+  const auto* packed_group = file.root().find_group("packed");
+  ASSERT_NE(plain_group, nullptr);
+  ASSERT_NE(packed_group, nullptr);
+  EXPECT_EQ(std::get<std::string>(plain_group->attributes.at("codec")),
+            "none");
+  EXPECT_EQ(std::get<std::string>(packed_group->attributes.at("codec")),
+            "xor+lzs");
+  // Same payload, different footprint — and identical decoded values.
+  ASSERT_EQ(plain_group->datasets.size(), 3u);
+  ASSERT_EQ(packed_group->datasets.size(), 3u);
+  std::uint64_t plain_stored = 0;
+  std::uint64_t packed_stored = 0;
+  for (std::size_t d = 0; d < 3; ++d) {
+    plain_stored += plain_group->datasets[d].stored_size();
+    packed_stored += packed_group->datasets[d].stored_size();
+    EXPECT_EQ(plain_group->datasets[d].read_as<double>(),
+              packed_group->datasets[d].read_as<double>());
+  }
+  EXPECT_LT(packed_stored, plain_stored);
 }
 
 }  // namespace
