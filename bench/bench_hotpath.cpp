@@ -14,7 +14,10 @@
 //      ShmServerTransport drained by a pool of N concurrent next_event()
 //      consumers (the dedicated-I/O-rank worker pool), with a synthetic
 //      per-event pipeline cost standing in for indexing + plugins.
-//      --workers N,N,... selects the sweep (default 1,2,4,8).
+//      --workers N,N,... selects the sweep (default 1,2,4,8).  On a host
+//      with >= 4 cores the service cost is a real spin and the result is a
+//      wall-clock measurement; on narrower machines the bench falls back
+//      to the virtual-clock model (mode recorded in the JSON).
 //   5. posix storage backend (PR 5) — real-disk emit throughput of
 //      h5lite-sized images through storage::PosixBackend into a scratch
 //      directory (TempDir-style, removed afterwards): the synchronous
@@ -27,6 +30,15 @@
 //      xor+lzs: bytes-to-disk, achieved ratio, dedicated-core codec time
 //      as a share of worker time (the §IV.D spare-cycle claim), and the
 //      effective MB/s of raw payload retired per wall second.
+//   7. skewed clients + work stealing (this PR) — the same worker pool
+//      fed a pathological client mix (one client producing >= 75 % of the
+//      events) twice: once with static client->worker pinning and once
+//      with ownership-token work stealing.  Pinning serializes the hot
+//      client on one worker; stealing spreads its backlog across the
+//      pool.  Structural gates: steals observed, exactly-once asserted.
+//      A twin run attaches a real posix write-behind queue and asserts
+//      that *parked* workers drained it (idle_drains > 0) — the
+//      drain-while-idle half of the stealing PR.
 //
 // Modes: default is a full run sized for stable numbers; --smoke shrinks
 // everything to a CTest-friendly second (registered with label
@@ -356,23 +368,31 @@ struct WorkerScaleConfig {
   std::uint64_t block_bytes = 2048;
   std::uint64_t capacity = 1ull << 26;
   std::size_t queue_capacity = 4096;
-  /// Modeled per-event pipeline service (indexing + plugins), advanced on
-  /// each worker's *virtual* clock (common/clock virtual-time hook, the
-  /// same determinism device the timing suites use).  Physical-thread
-  /// scaling is meaningless on an arbitrary CI box (this container has a
-  /// single core), so the bench measures what the pool actually adds —
-  /// how the demux + client→worker pinning parallelize the service time —
-  /// as events per modeled second.  Demux/lock overhead is real and is
-  /// measured separately by the queue_throughput section.
+  /// Per-event pipeline service (indexing + plugins).  In wall-clock mode
+  /// (hosts with >= 4 cores) the worker genuinely spins this long and the
+  /// makespan is wall time; otherwise the cost is advanced on each
+  /// worker's *virtual* clock (common/clock virtual-time hook, the same
+  /// determinism device the timing suites use) — physical-thread scaling
+  /// is meaningless on a 1-core CI box, so the fallback measures what the
+  /// pool adds structurally: how the demux + client->worker assignment
+  /// parallelize the service time, as events per modeled second.
   double service_seconds_per_event = 10e-6;
 };
 
+/// True when a wall-clock pool measurement is meaningful on this host: the
+/// sweep needs the workers to actually run in parallel.
+bool wall_clock_capable() {
+  return std::thread::hardware_concurrency() >= 4;
+}
+
 /// Drives `clients` producers through one ShmServerTransport drained by
 /// `workers` concurrent next_event() consumers (the server worker pool).
-/// Returns events per modeled second (makespan = the busiest worker's
-/// virtual clock); aborts the bench on any lost or duplicated event — the
-/// throughput claim is worthless without the exactly-once one.
-double run_worker_scaling(const WorkerScaleConfig& cfg, int workers) {
+/// Returns events per second — wall seconds when `wall_clock`, else
+/// modeled seconds (makespan = the busiest worker's virtual clock); aborts
+/// the bench on any lost or duplicated event — the throughput claim is
+/// worthless without the exactly-once one.
+double run_worker_scaling(const WorkerScaleConfig& cfg, int workers,
+                          bool wall_clock) {
   namespace transport = dedicore::transport;
   auto fabric = std::make_shared<transport::ShmFabric>(
       cfg.capacity, /*queue_count=*/1, cfg.queue_capacity);
@@ -391,7 +411,8 @@ double run_worker_scaling(const WorkerScaleConfig& cfg, int workers) {
       static_cast<std::size_t>(cfg.clients));
   std::vector<double> worker_busy(static_cast<std::size_t>(workers), 0.0);
 
-  dedicore::set_virtual_time_enabled(true);
+  if (!wall_clock) dedicore::set_virtual_time_enabled(true);
+  const auto wall_start = Clock::now();
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(cfg.clients + workers));
   for (int c = 0; c < cfg.clients; ++c) {
@@ -421,7 +442,18 @@ double run_worker_scaling(const WorkerScaleConfig& cfg, int workers) {
                         static_cast<std::size_t>(cfg.events_per_client) +
                     event->block_id]
               .fetch_add(1, std::memory_order_relaxed);
-          dedicore::sleep_seconds(cfg.service_seconds_per_event);
+          // Wall mode burns the service for real.  Modeled mode advances
+          // this thread's virtual clock instantly and then yields: during
+          // a real service window the *other* workers run, and on a
+          // narrow host the yield is what gives them that window —
+          // without it one worker monopolizes the demux between context
+          // switches and the model measures the scheduler, not the pool.
+          if (wall_clock) {
+            dedicore::spin_seconds(cfg.service_seconds_per_event);
+          } else {
+            dedicore::sleep_seconds(cfg.service_seconds_per_event);
+            std::this_thread::yield();
+          }
           server.release(event->block);
         } else if (event->type == EventType::kClientStop) {
           stop_delivered[static_cast<std::size_t>(event->source)].fetch_add(
@@ -429,12 +461,14 @@ double run_worker_scaling(const WorkerScaleConfig& cfg, int workers) {
           if (stops.fetch_add(1) + 1 == cfg.clients) server.end_of_stream();
         }
       }
-      // The thread's virtual clock is exactly its accumulated service.
+      // The thread's virtual clock is exactly its accumulated service
+      // (only meaningful in modeled mode).
       worker_busy[static_cast<std::size_t>(w)] = dedicore::now_seconds();
     });
   }
   for (auto& t : threads) t.join();
-  dedicore::set_virtual_time_enabled(false);
+  const double wall_elapsed = seconds_since(wall_start);
+  if (!wall_clock) dedicore::set_virtual_time_enabled(false);
 
   long exactly_once = 0;
   for (const auto& count : delivered)
@@ -449,7 +483,8 @@ double run_worker_scaling(const WorkerScaleConfig& cfg, int workers) {
     std::exit(1);
   }
   const double makespan =
-      *std::max_element(worker_busy.begin(), worker_busy.end());
+      wall_clock ? wall_elapsed
+                 : *std::max_element(worker_busy.begin(), worker_busy.end());
   return static_cast<double>(total) / makespan;
 }
 
@@ -650,6 +685,239 @@ CompressionBenchRow run_compression(const CompressionBenchConfig& cfg,
 }
 
 // ---------------------------------------------------------------------------
+// 7. Skewed clients + work stealing
+// ---------------------------------------------------------------------------
+
+struct SkewConfig {
+  int clients = 8;
+  int workers = 4;
+  int hot_blocks = 30000;  ///< client 0 — ~78 % of all events
+  int cold_blocks = 1200;  ///< each of the other seven clients
+  std::uint64_t block_bytes = 2048;
+  std::uint64_t capacity = 1ull << 26;
+  std::size_t queue_capacity = 4096;
+  double service_seconds_per_event = 10e-6;
+  int steal_threshold = 2;
+};
+
+struct SkewSummary {
+  std::string mode;  ///< "wall_clock" or "modeled", shared with section 4
+  double pinned_events_per_sec = 0.0;
+  double steal_events_per_sec = 0.0;
+  double speedup = 0.0;
+  std::uint64_t steals = 0;          ///< observed in the steal-on run
+  std::uint64_t posix_jobs = 0;      ///< write-behind jobs in the twin run
+  std::uint64_t posix_idle_drains = 0;  ///< drained by *parked* workers
+};
+
+/// The skewed twin of run_worker_scaling: client 0 produces the bulk of
+/// the events, and the pool runs either with static pinning (client c ->
+/// worker c mod N, the pre-PR design) or with ownership-token work
+/// stealing.  Under pinning the hot client's events serialize on one
+/// worker no matter how wide the pool is; stealing migrates its backlog
+/// to whoever is idle.  Exactly-once is asserted per (client, block) —
+/// the speedup claim is worthless without it.
+double run_skewed_clients(const SkewConfig& cfg, bool steal, bool wall_clock,
+                          std::uint64_t* steals_out) {
+  namespace transport = dedicore::transport;
+  auto fabric = std::make_shared<transport::ShmFabric>(
+      cfg.capacity, /*queue_count=*/1, cfg.queue_capacity);
+  transport::ShmServerTransport server(fabric, 0);
+  transport::WorkerPoolOptions options;
+  options.steal = steal;
+  options.steal_threshold = cfg.steal_threshold;
+  server.set_worker_count(cfg.workers, options);
+
+  const auto blocks_of = [&cfg](int c) {
+    return c == 0 ? cfg.hot_blocks : cfg.cold_blocks;
+  };
+  const auto flat = [&cfg](int c, std::uint32_t b) {
+    const long base =
+        c == 0 ? 0
+               : cfg.hot_blocks + static_cast<long>(c - 1) * cfg.cold_blocks;
+    return static_cast<std::size_t>(base + b);
+  };
+  const long total_blocks =
+      cfg.hot_blocks + static_cast<long>(cfg.clients - 1) * cfg.cold_blocks;
+  const long total = total_blocks + cfg.clients;
+  std::vector<std::atomic<int>> delivered(
+      static_cast<std::size_t>(total_blocks));
+  std::vector<std::atomic<int>> stop_delivered(
+      static_cast<std::size_t>(cfg.clients));
+  std::vector<double> worker_busy(static_cast<std::size_t>(cfg.workers), 0.0);
+  std::atomic<int> stops{0};
+
+  if (!wall_clock) dedicore::set_virtual_time_enabled(true);
+  const auto wall_start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(cfg.clients + cfg.workers));
+  for (int c = 0; c < cfg.clients; ++c) {
+    threads.emplace_back([&, c] {
+      transport::ShmClientTransport client(fabric, 0);
+      const int blocks = blocks_of(c);
+      for (int i = 0; i < blocks; ++i) {
+        auto ref = client.acquire_blocking(cfg.block_bytes);
+        if (!ref) return;
+        Event event;
+        event.type = EventType::kBlockWritten;
+        event.source = c;
+        event.block_id = static_cast<std::uint32_t>(i);
+        event.block = *ref;
+        client.publish(event);
+      }
+      Event stop;
+      stop.type = EventType::kClientStop;
+      stop.source = c;
+      client.post(stop);
+    });
+  }
+  for (int w = 0; w < cfg.workers; ++w) {
+    threads.emplace_back([&, w] {
+      while (auto event = server.next_event(w)) {
+        if (event->type == EventType::kBlockWritten) {
+          delivered[flat(event->source, event->block_id)].fetch_add(
+              1, std::memory_order_relaxed);
+          // Same service model as run_worker_scaling: real spin in wall
+          // mode, virtual advance + yield (the peers' service window) in
+          // modeled mode.
+          if (wall_clock) {
+            dedicore::spin_seconds(cfg.service_seconds_per_event);
+          } else {
+            dedicore::sleep_seconds(cfg.service_seconds_per_event);
+            std::this_thread::yield();
+          }
+          server.release(event->block);
+        } else if (event->type == EventType::kClientStop) {
+          stop_delivered[static_cast<std::size_t>(event->source)].fetch_add(
+              1, std::memory_order_relaxed);
+          if (stops.fetch_add(1) + 1 == cfg.clients) server.end_of_stream();
+        }
+      }
+      worker_busy[static_cast<std::size_t>(w)] = dedicore::now_seconds();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_elapsed = seconds_since(wall_start);
+  if (!wall_clock) dedicore::set_virtual_time_enabled(false);
+
+  long exactly_once = 0;
+  for (const auto& count : delivered)
+    if (count.load(std::memory_order_relaxed) == 1) ++exactly_once;
+  for (const auto& count : stop_delivered)
+    if (count.load(std::memory_order_relaxed) == 1) ++exactly_once;
+  if (exactly_once != total) {
+    std::fprintf(stderr,
+                 "FAIL: skewed pool delivered %ld of %ld events exactly once "
+                 "(steal=%d)\n",
+                 exactly_once, total, steal ? 1 : 0);
+    std::exit(1);
+  }
+  *steals_out = server.stats().steals;
+  const double makespan =
+      wall_clock ? wall_elapsed
+                 : *std::max_element(worker_busy.begin(), worker_busy.end());
+  return static_cast<double>(total) / makespan;
+}
+
+struct SkewPosixConfig {
+  int jobs = 24;                           ///< write-behind images
+  std::uint64_t image_bytes = 256 * 1024;
+  std::uint64_t budget_bytes = 8ull << 20;
+};
+
+struct SkewPosixResult {
+  std::uint64_t idle_drains = 0;
+  std::uint64_t jobs_written = 0;
+};
+
+/// The drain-while-idle twin: the same skewed stream with stealing on,
+/// but with a real posix write-behind queue hooked into the pool's idle
+/// path.  The jobs are enqueued before the pool starts, so a worker that
+/// parks with nothing to consume or steal has disk work waiting — the
+/// idle_drains counter proves parked workers (not the enqueuer, not a
+/// final flush) performed writes.  Runs in real time: the writes are
+/// measured disk I/O, as in section 5.
+SkewPosixResult run_skew_posix_drain(const SkewConfig& cfg,
+                                     const SkewPosixConfig& pcfg) {
+  namespace fs = std::filesystem;
+  namespace transport = dedicore::transport;
+  namespace storage = dedicore::storage;
+  const fs::path scratch =
+      fs::temp_directory_path() /
+      ("dedicore_bench_skew_" + std::to_string(::getpid()));
+  storage::PosixBackend backend(scratch);
+  storage::WriteBehind queue(backend, pcfg.budget_bytes);
+
+  auto fabric = std::make_shared<transport::ShmFabric>(
+      cfg.capacity, /*queue_count=*/1, cfg.queue_capacity);
+  transport::ShmServerTransport server(fabric, 0);
+  transport::WorkerPoolOptions options;
+  options.steal = true;
+  options.steal_threshold = cfg.steal_threshold;
+  server.set_worker_count(cfg.workers, options);
+  server.set_idle_hook([&queue] { return queue.try_drain_one(); });
+
+  std::vector<std::byte> image(pcfg.image_bytes);
+  Rng rng(0xBEEF);
+  for (auto& b : image) b = static_cast<std::byte>(rng.next_below(256));
+  // Fits inside the budget, so none of these enqueues blocks: the whole
+  // backlog is waiting before the first worker parks.
+  for (int i = 0; i < pcfg.jobs; ++i)
+    queue.enqueue({"skew/it" + std::to_string(i) + ".h5l", 0, image});
+
+  std::atomic<int> stops{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < cfg.workers; ++w) {
+    threads.emplace_back([&, w] {
+      while (auto event = server.next_event(w)) {
+        if (event->type == EventType::kBlockWritten) {
+          server.release(event->block);
+        } else if (event->type == EventType::kClientStop) {
+          if (stops.fetch_add(1) + 1 == cfg.clients) server.end_of_stream();
+        }
+      }
+    });
+  }
+  for (int c = 0; c < cfg.clients; ++c) {
+    threads.emplace_back([&, c] {
+      transport::ShmClientTransport client(fabric, 0);
+      const int blocks = c == 0 ? cfg.hot_blocks : cfg.cold_blocks;
+      for (int i = 0; i < blocks; ++i) {
+        auto ref = client.acquire_blocking(cfg.block_bytes);
+        if (!ref) return;
+        Event event;
+        event.type = EventType::kBlockWritten;
+        event.source = c;
+        event.block_id = static_cast<std::uint32_t>(i);
+        event.block = *ref;
+        client.publish(event);
+      }
+      Event stop;
+      stop.type = EventType::kClientStop;
+      stop.source = c;
+      client.post(stop);
+    });
+  }
+  for (auto& t : threads) t.join();
+  queue.drain_all();  // whatever the idle path did not get to
+
+  const auto wb_stats = queue.stats();
+  if (wb_stats.jobs_written != static_cast<std::uint64_t>(pcfg.jobs) ||
+      wb_stats.jobs_failed != 0) {
+    std::fprintf(stderr, "FAIL: skew posix twin wrote %llu/%d jobs\n",
+                 static_cast<unsigned long long>(wb_stats.jobs_written),
+                 pcfg.jobs);
+    std::exit(1);
+  }
+  SkewPosixResult result;
+  result.idle_drains = server.stats().idle_drains;
+  result.jobs_written = wb_stats.jobs_written;
+  std::error_code ec;
+  fs::remove_all(scratch, ec);  // best-effort scratch cleanup
+  return result;
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -676,6 +944,8 @@ std::string format_json(const std::string& mode,
                         const std::vector<AllocatorRow>& allocator,
                         const std::vector<QueueRow>& queue,
                         const std::vector<WorkerRow>& worker_rows,
+                        const std::string& scaling_mode,
+                        const SkewConfig& skew_cfg, const SkewSummary& skew,
                         const MpiBatchConfig& mpi_cfg,
                         const MpiBatchResult& mpi,
                         const PosixBenchConfig& posix_cfg,
@@ -706,7 +976,8 @@ std::string format_json(const std::string& mode,
         << ", \"batch_events_per_sec\": " << row.batch_events_per_sec
         << "}" << (i + 1 < queue.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"server_worker_scaling\": [\n";
+  out << "  ],\n  \"server_worker_scaling_mode\": \"" << scaling_mode
+      << "\",\n  \"server_worker_scaling\": [\n";
   for (std::size_t i = 0; i < worker_rows.size(); ++i) {
     const auto& row = worker_rows[i];
     out << "    {\"workers\": " << row.workers
@@ -716,7 +987,22 @@ std::string format_json(const std::string& mode,
     out.precision(1);
     out << "}" << (i + 1 < worker_rows.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"mpi_batching\": {\n";
+  out << "  ],\n  \"skewed_clients\": {\n";
+  out << "    \"clients\": " << skew_cfg.clients
+      << ", \"workers\": " << skew_cfg.workers
+      << ", \"hot_blocks\": " << skew_cfg.hot_blocks
+      << ", \"cold_blocks\": " << skew_cfg.cold_blocks << ",\n";
+  out << "    \"mode\": \"" << skew.mode << "\",\n";
+  out << "    \"pinned_events_per_sec\": " << skew.pinned_events_per_sec
+      << ",\n    \"steal_events_per_sec\": " << skew.steal_events_per_sec
+      << ",\n    \"speedup\": ";
+  out.precision(2);
+  out << skew.speedup;
+  out.precision(1);
+  out << ", \"steals\": " << skew.steals
+      << ",\n    \"posix_idle_drain_jobs\": " << skew.posix_jobs
+      << ", \"posix_idle_drains\": " << skew.posix_idle_drains << "\n  },\n";
+  out << "  \"mpi_batching\": {\n";
   out << "    \"clients\": " << mpi_cfg.clients
       << ", \"iterations\": " << mpi_cfg.iterations
       << ", \"blocks_per_iteration\": " << mpi_cfg.blocks_per_iteration
@@ -802,6 +1088,8 @@ int main(int argc, char** argv) {
   QueueConfig queue_cfg;
   MpiBatchConfig mpi_cfg;
   WorkerScaleConfig worker_cfg;
+  SkewConfig skew_cfg;
+  SkewPosixConfig skew_posix_cfg;
   PosixBenchConfig posix_cfg;
   CompressionBenchConfig compress_cfg;
   if (smoke) {
@@ -811,12 +1099,23 @@ int main(int argc, char** argv) {
     queue_cfg.events_per_producer = 20000;
     mpi_cfg.iterations = 8;
     worker_cfg.events_per_client = 4000;
+    skew_cfg.hot_blocks = 4000;
+    skew_cfg.cold_blocks = 160;
+    skew_posix_cfg.jobs = 6;
+    skew_posix_cfg.image_bytes = 64 * 1024;
     posix_cfg.files = 8;
     posix_cfg.image_bytes = 256 * 1024;
     posix_cfg.budget_bytes = 1ull << 20;
     compress_cfg.iterations = 4;
     compress_cfg.grid = 16;
   }
+
+  // Wall-clock pool measurements need real parallel hardware; narrower
+  // hosts (this includes 1-core CI containers) fall back to the
+  // deterministic virtual-clock model.  Recorded in the JSON so trajectory
+  // points are only ever compared within a mode.
+  const bool wall = wall_clock_capable();
+  const std::string scaling_mode = wall ? "wall_clock" : "modeled";
 
   std::vector<AllocatorRow> allocator_rows;
   for (int threads : {1, 4}) {
@@ -854,15 +1153,58 @@ int main(int argc, char** argv) {
   for (int workers : worker_sweep) {
     WorkerRow row;
     row.workers = workers;
-    row.events_per_sec = run_worker_scaling(worker_cfg, workers);
+    row.events_per_sec = run_worker_scaling(worker_cfg, workers, wall);
     row.speedup = worker_rows.empty()
                       ? 1.0
                       : row.events_per_sec / worker_rows.front().events_per_sec;
     worker_rows.push_back(row);
     std::printf(
-        "server worker scaling, %d worker(s): %.2fM ev/s (%.2fx vs %d)\n",
-        workers, row.events_per_sec / 1e6, row.speedup,
+        "server worker scaling (%s), %d worker(s): %.2fM ev/s (%.2fx vs %d)\n",
+        scaling_mode.c_str(), workers, row.events_per_sec / 1e6, row.speedup,
         worker_rows.front().workers);
+  }
+
+  SkewSummary skew;
+  skew.mode = scaling_mode;
+  std::uint64_t pinned_steals = 0;
+  skew.pinned_events_per_sec =
+      run_skewed_clients(skew_cfg, /*steal=*/false, wall, &pinned_steals);
+  skew.steal_events_per_sec =
+      run_skewed_clients(skew_cfg, /*steal=*/true, wall, &skew.steals);
+  skew.speedup = skew.steal_events_per_sec / skew.pinned_events_per_sec;
+  std::printf(
+      "skewed clients (%s), %d clients (hot %d / cold %d) on %d workers: "
+      "pinned %.2fM ev/s, stealing %.2fM ev/s (%.2fx), %llu steals\n",
+      scaling_mode.c_str(), skew_cfg.clients, skew_cfg.hot_blocks,
+      skew_cfg.cold_blocks, skew_cfg.workers,
+      skew.pinned_events_per_sec / 1e6, skew.steal_events_per_sec / 1e6,
+      skew.speedup, static_cast<unsigned long long>(skew.steals));
+  // Structural gates, any scale: the pinned run must not migrate clients,
+  // and the stealing run must actually have stolen — a zero here means the
+  // speedup compares two identically-assigned pools.
+  if (pinned_steals != 0) {
+    std::fprintf(stderr, "FAIL: pinned run reported %llu steals\n",
+                 static_cast<unsigned long long>(pinned_steals));
+    return 1;
+  }
+  if (skew.steals == 0) {
+    std::fprintf(stderr, "FAIL: stealing run observed no steals\n");
+    return 1;
+  }
+
+  const SkewPosixResult skew_posix =
+      run_skew_posix_drain(skew_cfg, skew_posix_cfg);
+  skew.posix_jobs = skew_posix.jobs_written;
+  skew.posix_idle_drains = skew_posix.idle_drains;
+  std::printf(
+      "skewed clients posix twin: %llu write-behind jobs, %llu drained by "
+      "parked workers\n",
+      static_cast<unsigned long long>(skew_posix.jobs_written),
+      static_cast<unsigned long long>(skew_posix.idle_drains));
+  if (skew_posix.idle_drains == 0) {
+    std::fprintf(stderr,
+                 "FAIL: no write-behind job was drained from the idle path\n");
+    return 1;
   }
 
   const MpiBatchResult mpi = run_mpi_batching(mpi_cfg);
@@ -895,8 +1237,8 @@ int main(int argc, char** argv) {
 
   const std::string json =
       format_json(smoke ? "smoke" : "full", allocator_rows, queue_rows,
-                  worker_rows, mpi_cfg, mpi, posix_cfg, posix, compress_cfg,
-                  compression);
+                  worker_rows, scaling_mode, skew_cfg, skew, mpi_cfg, mpi,
+                  posix_cfg, posix, compress_cfg, compression);
   if (!json_path.empty()) {
     if (json_path == "-") {
       std::cout << json;
@@ -923,6 +1265,17 @@ int main(int argc, char** argv) {
       mpi.unbatched_per_client_iteration) {
     std::cerr << "FAIL: batching sent no fewer messages than the unbatched "
                  "design\n";
+    return 1;
+  }
+  // Work-stealing gate (full runs only — smoke workloads are too small for
+  // throughput ratios): under the skewed mix, stealing must beat pinning
+  // by at least 1.5x at 4 workers.  In modeled mode the ratio is
+  // deterministic (~3x: the hot client's ~81 % service share spreads over
+  // the pool); in wall mode it is a real measurement on >= 4 cores.
+  if (!smoke && skew.speedup < 1.5) {
+    std::fprintf(stderr,
+                 "FAIL: stealing speedup %.2fx under skew is below 1.5x\n",
+                 skew.speedup);
     return 1;
   }
   // PR-6 structural gate (any scale): the xor+lzs twin must put fewer

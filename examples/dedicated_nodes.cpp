@@ -10,8 +10,13 @@
 //
 // Each I/O rank models a whole I/O *node*: it drains its intake with a
 // pool of server workers (server_workers="3" here; default is the full
-// cores_per_node width), each client pinned to one worker so per-client
-// ordering survives the concurrency.
+// cores_per_node width).  Client ownership is a transferable token: an
+// idle worker steals the most-backlogged client from the busiest peer
+// (steal="on", the default; steal_threshold sets the minimum backlog
+// worth migrating), so per-client ordering survives the concurrency but
+// one hot client cannot serialize the pool.  Workers with nothing to
+// consume or steal drain the storage write-behind queue instead of
+// sleeping — the steals/idle-drain counters below show both mechanisms.
 //
 // Build & run:   ./examples/dedicated_nodes
 #include <cstdio>
@@ -27,7 +32,7 @@ int main() {
   // Identical data model to quickstart; only the deployment line differs.
   const core::Configuration config = core::Configuration::from_string(R"(
     <simulation name="dedicated_nodes" dedicated_mode="nodes" dedicated_nodes="2"
-                server_workers="3">
+                server_workers="3" steal="on" steal_threshold="2">
       <buffer size="16MiB" queue="256" policy="block"/>
       <data>
         <layout name="block" type="float64" dimensions="32,32"/>
@@ -55,13 +60,16 @@ int main() {
       const auto& stats = rt.server_stats();
       std::printf(
           "[io-node %d] iterations=%llu blocks_over_mpi=%llu "
-          "bytes_over_mpi=%llu files=%llu idle=%.1f%%\n",
+          "bytes_over_mpi=%llu files=%llu idle=%.1f%% steals=%llu "
+          "idle_drains=%llu\n",
           rt.node_id(),
           static_cast<unsigned long long>(stats.iterations_completed),
           static_cast<unsigned long long>(stats.blocks_received_remote),
           static_cast<unsigned long long>(stats.bytes_received_remote),
           static_cast<unsigned long long>(stats.files_written),
-          stats.idle_fraction() * 100.0);
+          stats.idle_fraction() * 100.0,
+          static_cast<unsigned long long>(stats.steals),
+          static_cast<unsigned long long>(stats.idle_drain_jobs));
       return;
     }
 

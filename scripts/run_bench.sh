@@ -19,6 +19,12 @@
 # Since PR 6 each run object also carries a "compression" section: twin
 # CM1 runs (raw vs xor+lzs) through the real emit pipeline onto real disk
 # — bytes-to-disk, achieved ratio, and spare-time utilization.
+#
+# Since PR 7 the worker-scaling section records its measurement mode
+# (wall_clock on >= 4-core hosts, modeled otherwise) and a
+# "skewed_clients" section compares pinned vs. work-stealing pools under
+# a hot-client mix, with a posix twin proving parked workers drained the
+# write-behind queue.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"

@@ -116,6 +116,16 @@ Configuration Configuration::from_xml(const xml::Node& root) {
       static_cast<int>(root.attribute_int("dedicated_nodes", 1));
   cfg.server_workers_ =
       static_cast<int>(root.attribute_int("server_workers", 0));
+  const std::string steal = root.attribute_or("steal", "on");
+  if (steal == "on") {
+    cfg.steal_enabled_ = true;
+  } else if (steal == "off") {
+    cfg.steal_enabled_ = false;
+  } else {
+    throw ConfigError("steal must be 'on' or 'off', got '" + steal + "'");
+  }
+  cfg.steal_threshold_ =
+      static_cast<int>(root.attribute_int("steal_threshold", 2));
 
   if (const xml::Node* buffer = root.child("buffer")) {
     cfg.buffer_size_ = parse_bytes(buffer->attribute_or("size", "64MiB"));
@@ -288,6 +298,15 @@ void Configuration::validate() const {
   if (server_workers_ > 1024)
     throw ConfigError("server_workers must be <= 1024 (got " +
                       std::to_string(server_workers_) + ")");
+  if (steal_threshold_ < 1)
+    throw ConfigError("steal_threshold must be >= 1 (got " +
+                      std::to_string(steal_threshold_) + ")");
+  // Same typo-guard reasoning as server_workers: a threshold larger than
+  // any plausible backlog silently disables stealing, which the operator
+  // almost certainly did not mean.
+  if (steal_threshold_ > 1 << 20)
+    throw ConfigError("steal_threshold must be <= 2^20 (got " +
+                      std::to_string(steal_threshold_) + ")");
   if (buffer_size_ == 0) throw ConfigError("buffer size must be non-zero");
   if (queue_capacity_ == 0) throw ConfigError("queue capacity must be non-zero");
 

@@ -9,9 +9,12 @@
 // Accepted document shape (see examples/config/*.xml):
 //
 //   <simulation name="cm1" cores_per_node="12" dedicated_cores="1"
-//               server_workers="0">  <!-- 0 = auto: full node width on
+//               server_workers="0"   <!-- 0 = auto: full node width on
 //                                         dedicated I/O nodes, 1 per
 //                                         dedicated core -->
+//               steal="on" steal_threshold="2">  <!-- pooled servers:
+//                                         work-stealing client assignment
+//                                         (off = static c-mod-N pinning) -->
 //     <buffer size="64MiB" queue="1024" policy="block"/>
 //     <data>
 //       <layout name="grid3d" type="float32" dimensions="64,64,64"/>
@@ -137,6 +140,15 @@ class Configuration {
   /// XML: <simulation server_workers="4">.
   [[nodiscard]] int server_workers() const noexcept { return server_workers_; }
 
+  /// Work stealing in pooled servers: with steal on (the default), an
+  /// idle worker takes over the longest-backlogged client of the busiest
+  /// peer instead of sleeping; off reverts to static c-mod-N pinning.
+  /// XML: <simulation steal="on|off" steal_threshold="2">.
+  [[nodiscard]] bool steal_enabled() const noexcept { return steal_enabled_; }
+  /// Minimum per-client backlog (queued events) before that client is
+  /// worth migrating; below it a steal would ping-pong ownership.
+  [[nodiscard]] int steal_threshold() const noexcept { return steal_threshold_; }
+
   /// The worker-pool width the runtime actually deploys per server rank.
   /// Auto (0) resolves to the width the model layer assumes: a dedicated
   /// I/O *node* is a full node (cores_per_node workers — see
@@ -174,6 +186,10 @@ class Configuration {
   void set_dedicated_mode(DedicatedMode mode, int dedicated_nodes = 1);
   /// 0 = auto (see effective_server_workers()).
   void set_server_workers(int workers) { server_workers_ = workers; }
+  void set_steal(bool enabled, int threshold = 2) {
+    steal_enabled_ = enabled;
+    steal_threshold_ = threshold;
+  }
   void set_buffer(std::uint64_t size, std::size_t queue_capacity,
                   BackpressurePolicy policy);
   void add_layout(LayoutSpec layout);
@@ -193,6 +209,8 @@ class Configuration {
   DedicatedMode dedicated_mode_ = DedicatedMode::kCores;
   int dedicated_nodes_ = 1;
   int server_workers_ = 0;  ///< 0 = auto-resolve per deployment mode
+  bool steal_enabled_ = true;
+  int steal_threshold_ = 2;
   std::uint64_t buffer_size_ = 64ull << 20;
   std::size_t queue_capacity_ = 1024;
   BackpressurePolicy policy_ = BackpressurePolicy::kBlock;

@@ -50,7 +50,20 @@ void Server::run() {
       stats_.busy_seconds += ledger.busy_seconds;
       stats_.events_processed += ledger.events;
     } else {
-      transport_->set_worker_count(worker_count_);
+      transport::WorkerPoolOptions assignment;
+      assignment.steal = node_->config.steal_enabled();
+      assignment.steal_threshold = node_->config.steal_threshold();
+      transport_->set_worker_count(worker_count_, assignment);
+      // Idle-worker write-behind drain: a worker parked in next_event()
+      // with nothing to consume or steal performs disk writes instead of
+      // sleeping, overlapping drain with event waits.  The pool, not the
+      // iteration-completing worker, is the drain bandwidth here — see
+      // complete_iteration().
+      if (node_->write_behind != nullptr) {
+        idle_drain_active_ = true;
+        transport_->set_idle_hook(
+            [wb = node_->write_behind.get()] { return wb->try_drain_one(); });
+      }
       std::vector<WorkerLedger> ledgers(
           static_cast<std::size_t>(worker_count_));
       std::vector<std::thread> pool;
@@ -78,6 +91,8 @@ void Server::run() {
   const transport::TransportStats t = transport_->stats();
   stats_.blocks_received_remote = t.blocks_received_remote;
   stats_.bytes_received_remote = t.bytes_received_remote;
+  stats_.steals = t.steals;
+  stats_.idle_drain_jobs = t.idle_drains;
   stats_.pipeline_time = pipeline_times_.summary();
 }
 
@@ -187,11 +202,14 @@ void Server::complete_iteration(Iteration iteration) {
 
   // Opportunistic write-behind drain, *after* the blocks are released:
   // the disk write happens on this worker's time but no longer gates the
-  // credit/segment return to clients.  Workers completing different
-  // iterations drain concurrently (the posix backend is thread-safe), so
-  // the pool's width is also the drain bandwidth.  A small batch keeps
-  // one worker from absorbing the whole backlog while events queue up.
-  if (node_->write_behind != nullptr) node_->write_behind->drain_some(4);
+  // credit/segment return to clients.  With a worker pool the idle hook
+  // owns the drain instead — workers parked in next_event perform the
+  // disk writes while this one returns to the (possibly backlogged)
+  // event stream, so drain overlaps intake rather than stalling it.  A
+  // small batch keeps the single-worker loop from absorbing the whole
+  // backlog while events queue up.
+  if (node_->write_behind != nullptr && !idle_drain_active_)
+    node_->write_behind->drain_some(4);
 
   DEDICORE_LOG(kDebug) << "node " << node_->node_id << " server "
                        << server_index_ << " completed iteration " << iteration;

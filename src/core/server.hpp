@@ -44,6 +44,12 @@ struct ServerStats {
   std::uint64_t bytes_received_remote = 0;
   std::uint64_t iterations_completed = 0;
   std::uint64_t client_skips = 0;      ///< kIterationSkipped events seen
+  /// Work-stealing pool counters (zero with a single worker or steal
+  /// off): clients whose ownership migrated to an idle worker, and
+  /// write-behind jobs drained by workers parked in next_event with
+  /// nothing to consume or steal.
+  std::uint64_t steals = 0;
+  std::uint64_t idle_drain_jobs = 0;
   std::uint64_t bytes_written = 0;     ///< accounted by storage plugins
   std::uint64_t files_written = 0;     ///< durably persisted (drain-time on
                                        ///< the write-behind path)
@@ -147,6 +153,10 @@ class Server {
   /// it between events so the pool winds down without another blocking
   /// next_event() on an already-finished stream.
   std::atomic<bool> done_{false};
+  /// True when the pooled transport's idle hook drains write-behind jobs
+  /// (then complete_iteration skips its inline drain — idle workers own
+  /// the disk, the completing worker returns to the event stream).
+  bool idle_drain_active_ = false;
 
   // Iteration bookkeeping: iteration -> number of end/skip notifications.
   std::map<Iteration, int> iteration_closes_;

@@ -226,6 +226,17 @@ class BoundedQueue {
   //    close() stores closed_ under tail_mutex_ (an accepted enqueue now
   //    strictly precedes the close), and a consumer declares the queue
   //    drained only from a size re-read taken AFTER it observed closed_.
+  //  * An abandoned registration — a waiter increments waiting_*, then its
+  //    recheck sees the count move and it skips the cv — can draw a notify
+  //    into the void, but never one that another waiter needed: each
+  //    notify is triggered by its own count update (seq_cst) and each
+  //    waiter rechecks the count after registering (seq_cst), so a waiter
+  //    registering after the notifier's counter-read must see that
+  //    notifier's update and skip the wait; a waiter registering before it
+  //    is seen and signalled.  The work-stealing server pool leans on this
+  //    (workers bounce between the queue and stolen clients, abandoning
+  //    registrations constantly); stressed by the deserter-churn case in
+  //    tests/shm_queue_stress_test.
   //  * The relaxed closed_ loads in try_push/try_push_all are sound for
   //    the "pushes fail after close() returned" contract: the store now
   //    happens inside a tail critical section, so any later tail critical

@@ -114,6 +114,13 @@ std::size_t WriteBehind::drain_some(std::size_t max_jobs) {
   return written;
 }
 
+bool WriteBehind::try_drain_one() {
+  Job job;
+  if (!pop(&job)) return false;
+  write_out(std::move(job));
+  return true;
+}
+
 void WriteBehind::drain_all() {
   for (;;) {
     Job job;

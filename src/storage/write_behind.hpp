@@ -74,6 +74,13 @@ class WriteBehind {
   /// drain disjoint jobs.
   std::size_t drain_some(std::size_t max_jobs);
 
+  /// Non-blocking single-job drain: pops and writes one pending job, or
+  /// returns false immediately when the queue is empty.  This is the
+  /// idle-worker hook — a pooled server worker parked in next_event()
+  /// with nothing to consume or steal calls it instead of sleeping, so
+  /// disk drain overlaps event waits.  Never waits for in-flight jobs.
+  bool try_drain_one();
+
   /// Drains until the queue is empty *and no job is in flight on another
   /// drainer* — when it returns, every enqueued image has been durably
   /// attempted and its on_complete has run (shutdown path; also wakes

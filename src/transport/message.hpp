@@ -73,4 +73,18 @@ enum class DedicatedMode : std::uint8_t {
   kNodes,
 };
 
+/// How a pooled ServerTransport assigns clients to its next_event()
+/// workers.  With `steal` off, the assignment is the static pinning rule
+/// (client c → worker c mod N) — the PR 4 behavior.  With `steal` on,
+/// ownership of a client is a transferable token: an idle worker whose
+/// own clients are empty takes the longest-backlogged client from the
+/// busiest peer, so one hot client no longer serializes the pool while
+/// siblings sleep.  `steal_threshold` is the minimum backlog (events
+/// queued for one client) that makes that client worth migrating —
+/// below it, a steal would just ping-pong ownership for a single event.
+struct WorkerPoolOptions {
+  bool steal = false;
+  int steal_threshold = 2;
+};
+
 }  // namespace dedicore::transport

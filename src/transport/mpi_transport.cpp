@@ -198,10 +198,15 @@ MpiServerTransport::MpiServerTransport(minimpi::Comm comm,
   DEDICORE_CHECK(comm_.valid(), "MpiServerTransport: invalid communicator");
 }
 
-void MpiServerTransport::set_worker_count(int workers) {
+void MpiServerTransport::set_worker_count(int workers,
+                                          WorkerPoolOptions options) {
   DEDICORE_CHECK(next_frame_id_ == 0,
                  "MpiServerTransport: set_worker_count after consumption began");
-  demux_.set_worker_count(workers);
+  demux_.set_worker_count(workers, options);
+}
+
+void MpiServerTransport::set_idle_hook(std::function<bool()> hook) {
+  demux_.set_idle_hook(std::move(hook));
 }
 
 std::optional<Event> MpiServerTransport::next_event(int worker) {
@@ -326,6 +331,8 @@ TransportStats MpiServerTransport::stats() const {
   std::lock_guard<std::mutex> state(state_mutex_);
   TransportStats out = stats_;
   out.events_received = events_received_.load(std::memory_order_relaxed);
+  out.steals = demux_.steals();
+  out.idle_drains = demux_.idle_drains();
   return out;
 }
 

@@ -118,11 +118,13 @@ class MpiServerTransport final : public ServerTransport {
   /// Multi-worker mode: N concurrent next_event() consumers drain the one
   /// frame channel through the leader-follower demux (WorkerDemux); the
   /// leader's blocking drain is the frame recv.  A frame carries one
-  /// client's events, so the pinning rule ships whole frames to one
-  /// worker and per-client FIFO survives concurrency.  Frame/credit/
-  /// residency bookkeeping lives under state_mutex_ because release() and
-  /// view() may be called from any worker while the leader is demuxing.
-  void set_worker_count(int workers) override;
+  /// client's events, so the per-client ownership token (pinned, or
+  /// migrating under work stealing) keeps per-client FIFO across the
+  /// concurrency.  Frame/credit/residency bookkeeping lives under
+  /// state_mutex_ because release() and view() may be called from any
+  /// worker while the leader is demuxing.
+  void set_worker_count(int workers, WorkerPoolOptions options = {}) override;
+  void set_idle_hook(std::function<bool()> hook) override;
   std::optional<Event> next_event(int worker) override;
   using ServerTransport::next_event;
   /// Wakes workers blocked in next_event() by sending this rank a

@@ -59,10 +59,15 @@ ShmServerTransport::ShmServerTransport(std::shared_ptr<ShmFabric> fabric,
                                        int server_index)
     : fabric_(std::move(fabric)), queue_(queue_of(*fabric_, server_index)) {}
 
-void ShmServerTransport::set_worker_count(int workers) {
+void ShmServerTransport::set_worker_count(int workers,
+                                          WorkerPoolOptions options) {
   DEDICORE_CHECK(batch_.empty(),
                  "ShmServerTransport: set_worker_count after consumption began");
-  demux_.set_worker_count(workers);
+  demux_.set_worker_count(workers, options);
+}
+
+void ShmServerTransport::set_idle_hook(std::function<bool()> hook) {
+  demux_.set_idle_hook(std::move(hook));
 }
 
 std::optional<Event> ShmServerTransport::next_event(int worker) {
@@ -99,6 +104,8 @@ void ShmServerTransport::release(const shm::BlockRef& block) {
 TransportStats ShmServerTransport::stats() const {
   TransportStats out = stats_;
   out.events_received = events_received_.load(std::memory_order_relaxed);
+  out.steals = demux_.steals();
+  out.idle_drains = demux_.idle_drains();
   return out;
 }
 

@@ -71,8 +71,10 @@ class ShmServerTransport final : public ServerTransport {
 
   /// Multi-worker mode: N concurrent next_event() consumers share this
   /// server's one queue through the leader-follower demux (WorkerDemux);
-  /// the leader's blocking drain is the queue's batch pop_all.
-  void set_worker_count(int workers) override;
+  /// the leader's blocking drain is the queue's batch pop_all.  Options
+  /// select the client→worker assignment (pinned or work-stealing).
+  void set_worker_count(int workers, WorkerPoolOptions options = {}) override;
+  void set_idle_hook(std::function<bool()> hook) override;
   std::optional<Event> next_event(int worker) override;
   using ServerTransport::next_event;
   void end_of_stream() override { close_intake(); }

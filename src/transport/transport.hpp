@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 
@@ -54,6 +55,11 @@ struct TransportStats {
   /// backend).  With batching this is O(1) per iteration, not O(blocks) —
   /// the ratio events_sent / wire_messages is the aggregation factor.
   std::uint64_t wire_messages = 0;
+  /// Pooled servers with stealing enabled: client-ownership migrations to
+  /// idle workers, and units of idle-hook work (write-behind jobs drained
+  /// by workers that would otherwise have parked in next_event).
+  std::uint64_t steals = 0;
+  std::uint64_t idle_drains = 0;
 };
 
 /// Client-side endpoint toward one server.  Not thread-safe: one client
@@ -109,9 +115,16 @@ class ClientTransport {
 /// concurrent next_event() callers (a worker pool draining one intake).
 ///
 /// Multi-worker contract (checked by tests/transport_test):
-///  * every client is *pinned* to one worker — events from client c are
-///    delivered only through next_event(c mod N), in publish/post order —
-///    so per-client FIFO and exactly-once survive concurrency;
+///  * every client is *owned* by exactly one worker at any instant, and
+///    only the owner is handed that client's events, in publish/post
+///    order — per-client FIFO delivery and exactly-once survive the
+///    concurrency.  With stealing off (the WorkerPoolOptions default)
+///    ownership is the static pinning rule: client c's events are
+///    delivered only through next_event(c mod N).  With stealing on, an
+///    idle worker may take over a backlogged client (the whole client,
+///    never individual events); control events additionally act as
+///    per-client barriers, so an iteration's close is never delivered
+///    while an earlier event of that client is still being processed;
 ///  * view() and release() may be called from any worker at any time
 ///    (an iteration's completing worker releases other clients' blocks);
 ///  * end_of_stream() declares that no further client events will arrive
@@ -123,13 +136,26 @@ class ServerTransport {
  public:
   virtual ~ServerTransport() = default;
 
-  /// Declares `workers` concurrent next_event() consumers.  Call at most
-  /// once, before the first next_event(); without it the transport serves
-  /// a single consumer (worker 0).
-  virtual void set_worker_count(int workers) {
+  /// Declares `workers` concurrent next_event() consumers and the
+  /// client→worker assignment policy (static pinning by default;
+  /// options.steal enables work stealing).  Call at most once, before
+  /// the first next_event(); without it the transport serves a single
+  /// consumer (worker 0).
+  virtual void set_worker_count(int workers,
+                                WorkerPoolOptions options = {}) {
+    (void)options;
     DEDICORE_CHECK(workers == 1,
                    "ServerTransport: backend supports a single consumer");
   }
+
+  /// Installs idle work for pooled backends: a worker about to park in
+  /// next_event() with nothing to consume, steal, or lead calls `hook`
+  /// (without transport locks) until it returns false ("no work").  The
+  /// server wires this to the write-behind queue so disk drain overlaps
+  /// event waits.  Single-consumer backends ignore it (their one worker
+  /// is never parked while useful work exists — the caller drains
+  /// opportunistically instead).  Install before the first next_event().
+  virtual void set_idle_hook(std::function<bool()> hook) { (void)hook; }
 
   /// Blocking: the next event addressed to worker `worker`, with any block
   /// payload locally resident.  nullopt when the transport was closed (or

@@ -114,6 +114,40 @@ TEST(ConfigurationTest, ServerWorkersParsesAndValidates) {
                ConfigError);
 }
 
+TEST(ConfigurationTest, StealParsesAndValidates) {
+  // Default: stealing on at threshold 2 — the worker-pool assignment the
+  // server wires unless the XML opts out.
+  const Configuration defaulted = Configuration::from_string(kFullDocument);
+  EXPECT_TRUE(defaulted.steal_enabled());
+  EXPECT_EQ(defaulted.steal_threshold(), 2);
+
+  const Configuration off = Configuration::from_string(
+      R"(<simulation steal="off"/>)");
+  EXPECT_FALSE(off.steal_enabled());
+
+  const Configuration tuned = Configuration::from_string(
+      R"(<simulation steal="on" steal_threshold="8"/>)");
+  EXPECT_TRUE(tuned.steal_enabled());
+  EXPECT_EQ(tuned.steal_threshold(), 8);
+
+  // Programmatic path mirrors the XML one.
+  Configuration programmatic = Configuration::from_string(kFullDocument);
+  programmatic.set_steal(false, 5);
+  EXPECT_FALSE(programmatic.steal_enabled());
+  EXPECT_EQ(programmatic.steal_threshold(), 5);
+
+  EXPECT_THROW(
+      Configuration::from_string(R"(<simulation steal="maybe"/>)"),
+      ConfigError);
+  EXPECT_THROW(
+      Configuration::from_string(R"(<simulation steal_threshold="0"/>)"),
+      ConfigError);
+  // Same fat-finger cap rationale as server_workers.
+  EXPECT_THROW(Configuration::from_string(
+                   R"(<simulation steal_threshold="99999999"/>)"),
+               ConfigError);
+}
+
 TEST(ConfigurationTest, LayoutLookupAndSizes) {
   const Configuration cfg = Configuration::from_string(kFullDocument);
   const LayoutSpec& grid = cfg.layout("grid3d");

@@ -331,6 +331,65 @@ TEST(ShmQueueStressTest, CloseRacesConcurrentBatchDrains) {
   }
 }
 
+TEST(ShmQueueStressTest, PopAllDeserterChurnDoesNotStrandWakeups) {
+  // The work-stealing pool's consumer shape: pop_all callers that bounce in
+  // and out of the queue at maximum frequency (max=1, so every item is its
+  // own register/recheck/decrement crossing of the Dekker gate) and
+  // consumers that *desert* mid-stream — a worker that stole a client
+  // elsewhere stops draining this queue while its registration churn is
+  // still in flight.  Producers push single items, so every signal takes
+  // the notify_one path, the easiest one to strand: if an abandoned
+  // registration could swallow a wakeup meant for a real waiter, the
+  // remaining consumers would hang in wait_for_item_locked and time the
+  // suite out.  The accounting assertions are the usual exactly-once +
+  // per-producer order over everything the deserters and stayers received.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 6;
+  constexpr int kDeserters = 3;       // consumers 0..2 leave early
+  constexpr std::size_t kQuota = 400;  // items a deserter takes before leaving
+  constexpr int kItems = 6000;
+  constexpr int kRounds = 8;
+  for (int round = 0; round < kRounds; ++round) {
+    BoundedQueue<std::uint64_t> queue(4);
+    std::vector<std::vector<std::uint64_t>> received(kConsumers);
+
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kConsumers; ++c) {
+      threads.emplace_back([&queue, &received, c] {
+        auto& mine = received[static_cast<std::size_t>(c)];
+        const bool deserter = c < kDeserters;
+        std::vector<std::uint64_t> burst;
+        // max=1 keeps each pop_all to a single item: the consumer re-enters
+        // wait_for_item_locked (register, recheck, often abandon the wait)
+        // once per item instead of once per batch.
+        while (queue.pop_all(burst, 1) > 0) {
+          mine.insert(mine.end(), burst.begin(), burst.end());
+          burst.clear();
+          if (deserter && mine.size() >= kQuota) return;  // walk away
+        }
+      });
+    }
+    std::atomic<int> producers_left{kProducers};
+    for (int p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&queue, &producers_left, p] {
+        for (int i = 0; i < kItems; ++i) {
+          if (!queue.push(make_item(static_cast<std::uint64_t>(p),
+                                    static_cast<std::uint64_t>(i)))) {
+            // Record and fall through to the close() bookkeeping, as above:
+            // bailing out would strand the staying consumers in pop_all.
+            ADD_FAILURE() << "queue closed under producer " << p;
+            break;
+          }
+        }
+        if (producers_left.fetch_sub(1) == 1) queue.close();
+      });
+    }
+    for (auto& t : threads) t.join();
+    StressResult result{std::move(received)};
+    check_no_loss_no_dup(result, kProducers, kItems);
+  }
+}
+
 TEST(ShmQueueStressTest, CloseReleasesBlockedProducers) {
   // Producers blocked on a full queue must wake and observe failure when
   // the consumer side closes the queue instead of draining it.

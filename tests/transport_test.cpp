@@ -9,11 +9,13 @@
 // semantics end-to-end through Runtime in both deployment modes.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <cstring>
 #include <functional>
 #include <map>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/runtime.hpp"
@@ -492,6 +494,122 @@ TEST(TransportConformanceTest, ConcurrentConsumersPreserveFifoAndExactlyOnce) {
     }
     EXPECT_EQ(total_events,
               static_cast<std::size_t>(kClients) * (kBlocks + 1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Work stealing: one hot client carrying ~90% of the events over a 4-worker
+// pool.  Under static pinning that client's worker serializes the pool;
+// with stealing on, ownership of the hot client migrates to idle workers.
+// The contract that must survive the migrations:
+//  * exactly-once — every (client, block) delivered exactly once, payload
+//    intact;
+//  * per-client delivery order — each worker observes any client's blocks
+//    with strictly increasing ids (its view is a subsequence of the
+//    client's FIFO stream);
+//  * control barrier — when a client's stop is handed out, every block
+//    that client published has already been fully processed (the demux
+//    holds controls back while earlier events of that client are in
+//    flight on any worker);
+//  * and at least one steal actually happened (the pool did not quietly
+//    fall back to pinning).
+// ---------------------------------------------------------------------------
+
+TEST(TransportConformanceTest, SkewedClientStealingKeepsFifoAndExactlyOnce) {
+  for (Backend backend : {Backend::kShm, Backend::kMpi}) {
+    SCOPED_TRACE(backend_name(backend));
+    constexpr int kClients = 8;
+    constexpr int kWorkers = 4;
+    constexpr std::uint32_t kHotBlocks = 126;  // client 0: 126 of 140 = 90%
+    constexpr std::uint32_t kColdBlocks = 2;
+    constexpr std::uint64_t kBlockSize = 256;
+
+    HarnessOptions options;
+    options.clients = kClients;
+    options.capacity = 4 << 20;
+
+    const auto blocks_of = [](int c) {
+      return c == 0 ? kHotBlocks : kColdBlocks;
+    };
+
+    std::vector<std::vector<Event>> per_worker(kWorkers);
+    std::array<std::atomic<std::uint32_t>, kClients> processed{};
+    std::atomic<std::uint64_t> observed_steals{0};
+
+    run_backend(
+        backend, options,
+        [&](ClientTransport& client, int c) {
+          const std::uint32_t blocks = blocks_of(c);
+          for (std::uint32_t b = 0; b < blocks; ++b) {
+            auto ref = client.acquire_blocking(kBlockSize);
+            ASSERT_TRUE(ref.has_value());
+            publish_block(client, *ref, c, b, c * 1000 + b);
+            if (b % 11 == 5) client.flush();
+          }
+          post_stop(client, c);
+        },
+        [&](ServerTransport& server) {
+          transport::WorkerPoolOptions steal_on;
+          steal_on.steal = true;
+          steal_on.steal_threshold = 2;
+          server.set_worker_count(kWorkers, steal_on);
+          std::atomic<int> stops{0};
+          std::vector<std::thread> workers;
+          workers.reserve(kWorkers);
+          for (int w = 0; w < kWorkers; ++w) {
+            workers.emplace_back([&, w] {
+              auto& seen = per_worker[static_cast<std::size_t>(w)];
+              while (auto event = server.next_event(w)) {
+                seen.push_back(*event);
+                if (event->type == EventType::kBlockWritten) {
+                  EXPECT_TRUE(block_matches(
+                      server, *event,
+                      event->source * 1000 + event->block_id));
+                  server.release(event->block);
+                  // Counted while the event is in flight — the control
+                  // barrier below is exactly the promise that these
+                  // increments happen-before the stop's delivery.
+                  processed[static_cast<std::size_t>(event->source)]
+                      .fetch_add(1);
+                } else if (event->type == EventType::kClientStop) {
+                  EXPECT_EQ(
+                      processed[static_cast<std::size_t>(event->source)]
+                          .load(),
+                      blocks_of(event->source))
+                      << "stop overtook an in-flight block of client "
+                      << event->source;
+                  if (stops.fetch_add(1) + 1 == kClients)
+                    server.end_of_stream();
+                }
+              }
+            });
+          }
+          for (auto& t : workers) t.join();
+          observed_steals.store(server.stats().steals);
+        });
+
+    // Exactly-once across the pool, and per-(worker, client) ids strictly
+    // increasing — each worker's view is a subsequence of the client FIFO.
+    std::map<std::pair<int, std::uint32_t>, int> deliveries;
+    for (int w = 0; w < kWorkers; ++w) {
+      std::map<int, std::uint32_t> last_id;
+      for (const Event& event : per_worker[static_cast<std::size_t>(w)]) {
+        if (event.type != EventType::kBlockWritten) continue;
+        ++deliveries[{event.source, event.block_id}];
+        auto [it, first] = last_id.try_emplace(event.source, event.block_id);
+        if (!first) {
+          EXPECT_GT(event.block_id, it->second)
+              << "client " << event.source << " reordered on worker " << w;
+          it->second = event.block_id;
+        }
+      }
+    }
+    std::size_t total_blocks = 0;
+    for (int c = 0; c < kClients; ++c) total_blocks += blocks_of(c);
+    EXPECT_EQ(deliveries.size(), total_blocks);
+    for (const auto& [key, count] : deliveries)
+      EXPECT_EQ(count, 1) << "client " << key.first << " block " << key.second;
+    EXPECT_GT(observed_steals.load(), 0u) << "hot client was never stolen";
   }
 }
 
