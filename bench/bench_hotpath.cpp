@@ -65,6 +65,7 @@
 #include <filesystem>
 
 #include "common/clock.hpp"
+#include "common/fault.hpp"
 #include "common/rng.hpp"
 #include "core/runtime.hpp"
 #include "fsim/filesystem.hpp"
@@ -918,6 +919,190 @@ SkewPosixResult run_skew_posix_drain(const SkewConfig& cfg,
 }
 
 // ---------------------------------------------------------------------------
+// 8. Fault tolerance: time-to-reclaim and throughput retained when one of
+//    the clients is killed mid-run
+// ---------------------------------------------------------------------------
+
+struct DeathBenchConfig {
+  int clients = 8;
+  int workers = 4;
+  int blocks_per_client = 6000;
+  int kill_after = 1500;  ///< victim events that land before the death
+  int victim = 3;
+  std::uint64_t block_bytes = 2048;
+  std::uint64_t capacity = 1ull << 26;
+  std::size_t queue_capacity = 4096;
+  double service_seconds_per_event = 10e-6;
+  int steal_threshold = 2;
+};
+
+struct DeathBenchResult {
+  std::string mode;  ///< "wall_clock" or "modeled", as in sections 4/7
+  double healthy_events_per_sec = 0.0;
+  double faulty_events_per_sec = 0.0;
+  double throughput_retained = 0.0;  ///< faulty rate / healthy rate
+  double reclaim_ms = 0.0;  ///< death observed -> reclaim complete (wall)
+  std::uint64_t blocks_reclaimed = 0;
+};
+
+/// One run of the uniform 8-client stream on a stealing 4-worker pool.
+/// With `kill` set, a seeded fault plan kills the victim on the publish
+/// after its kill_after-th event — mid-acquire, so the unpublished block
+/// is left to the liveness ledger exactly as a SIGKILL would leave it.
+/// The survivors run to completion; the pool must consume the abort,
+/// reclaim the orphan, and terminate without the victim's stop.
+/// Exactly-once is asserted for every event that was actually published.
+double run_client_death(const DeathBenchConfig& cfg, bool kill,
+                        bool wall_clock, DeathBenchResult* result) {
+  namespace transport = dedicore::transport;
+  auto fabric = std::make_shared<transport::ShmFabric>(
+      cfg.capacity, /*queue_count=*/1, cfg.queue_capacity);
+  transport::ShmServerTransport server(fabric, 0);
+  transport::WorkerPoolOptions options;
+  options.steal = true;
+  options.steal_threshold = cfg.steal_threshold;
+  server.set_worker_count(cfg.workers, options);
+
+  std::shared_ptr<dedicore::fault::FaultInjector> faults;
+  if (kill) {
+    faults = std::make_shared<dedicore::fault::FaultInjector>(1);
+    dedicore::fault::FaultSpec spec;
+    spec.point = "client.die";
+    spec.target = cfg.victim;
+    spec.after = static_cast<std::uint64_t>(cfg.kill_after);
+    faults->arm(spec);
+  }
+
+  const long total_blocks =
+      static_cast<long>(cfg.clients) * cfg.blocks_per_client;
+  std::vector<std::atomic<int>> delivered(
+      static_cast<std::size_t>(total_blocks));
+  std::vector<double> worker_busy(static_cast<std::size_t>(cfg.workers), 0.0);
+  std::atomic<int> stops{0};
+  std::atomic<bool> aborted{false};
+  std::atomic<double> death_at{-1.0};    // wall seconds since start
+  std::atomic<double> reclaimed_at{-1.0};
+  const int expected_stops = kill ? cfg.clients - 1 : cfg.clients;
+
+  if (!wall_clock) dedicore::set_virtual_time_enabled(true);
+  const auto wall_start = Clock::now();
+  const auto maybe_finish = [&] {
+    if (stops.load(std::memory_order_acquire) == expected_stops &&
+        (!kill || aborted.load(std::memory_order_acquire)))
+      server.end_of_stream();
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(cfg.clients + cfg.workers));
+  for (int c = 0; c < cfg.clients; ++c) {
+    threads.emplace_back([&, c] {
+      transport::ShmClientTransport client(fabric, 0, c, faults);
+      for (int i = 0; i < cfg.blocks_per_client; ++i) {
+        auto ref = client.acquire_blocking(cfg.block_bytes);
+        if (!ref) return;
+        Event event;
+        event.type = EventType::kBlockWritten;
+        event.source = c;
+        event.block_id = static_cast<std::uint32_t>(i);
+        event.block = *ref;
+        if (!client.publish(event)) {
+          // The armed fault fired: the client is dead.  No abandon, no
+          // stop — the acquired block stays in the liveness ledger for
+          // the server's reclaim, as after a real SIGKILL.
+          death_at.store(seconds_since(wall_start),
+                         std::memory_order_release);
+          return;
+        }
+      }
+      Event stop;
+      stop.type = EventType::kClientStop;
+      stop.source = c;
+      client.post(stop);
+    });
+  }
+  for (int w = 0; w < cfg.workers; ++w) {
+    threads.emplace_back([&, w] {
+      while (auto event = server.next_event(w)) {
+        if (event->type == EventType::kBlockWritten) {
+          delivered[static_cast<std::size_t>(event->source) *
+                        static_cast<std::size_t>(cfg.blocks_per_client) +
+                    event->block_id]
+              .fetch_add(1, std::memory_order_relaxed);
+          if (wall_clock) {
+            dedicore::spin_seconds(cfg.service_seconds_per_event);
+          } else {
+            dedicore::sleep_seconds(cfg.service_seconds_per_event);
+            std::this_thread::yield();
+          }
+          server.release(event->block);
+        } else if (event->type == EventType::kClientStop) {
+          stops.fetch_add(1, std::memory_order_acq_rel);
+          maybe_finish();
+        } else if (event->type == EventType::kClientAborted) {
+          server.reclaim_client(event->source);
+          reclaimed_at.store(seconds_since(wall_start),
+                             std::memory_order_release);
+          aborted.store(true, std::memory_order_release);
+          maybe_finish();
+        }
+      }
+      worker_busy[static_cast<std::size_t>(w)] = dedicore::now_seconds();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_elapsed = seconds_since(wall_start);
+  if (!wall_clock) dedicore::set_virtual_time_enabled(false);
+
+  // Exactly-once over everything that was actually published: all blocks
+  // of the survivors, the victim's first kill_after, nothing after.
+  long expected = 0, got = 0;
+  for (int c = 0; c < cfg.clients; ++c) {
+    const int published = (kill && c == cfg.victim) ? cfg.kill_after
+                                                    : cfg.blocks_per_client;
+    expected += published;
+    for (int i = 0; i < cfg.blocks_per_client; ++i) {
+      const int count =
+          delivered[static_cast<std::size_t>(c) *
+                        static_cast<std::size_t>(cfg.blocks_per_client) +
+                    static_cast<std::size_t>(i)]
+              .load(std::memory_order_relaxed);
+      if (count == 1 && i < published) ++got;
+      if (count != 0 && i >= published) got = -1;  // phantom delivery
+    }
+  }
+  if (got != expected) {
+    std::fprintf(stderr,
+                 "FAIL: client-death run delivered %ld of %ld published "
+                 "events exactly once (kill=%d)\n",
+                 got, expected, kill ? 1 : 0);
+    std::exit(1);
+  }
+  if (kill) {
+    const auto stats = server.stats();
+    if (stats.clients_aborted != 1 || stats.blocks_reclaimed < 1) {
+      std::fprintf(stderr,
+                   "FAIL: reclaim saw %llu aborts, %llu blocks\n",
+                   static_cast<unsigned long long>(stats.clients_aborted),
+                   static_cast<unsigned long long>(stats.blocks_reclaimed));
+      std::exit(1);
+    }
+    if (fabric->segment.used() != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %llu segment bytes leaked past the reclaim\n",
+                   static_cast<unsigned long long>(fabric->segment.used()));
+      std::exit(1);
+    }
+    result->blocks_reclaimed = stats.blocks_reclaimed;
+    result->reclaim_ms =
+        (reclaimed_at.load() - death_at.load()) * 1e3;  // wall milliseconds
+  }
+  const long processed = expected + expected_stops + (kill ? 1 : 0);
+  const double makespan =
+      wall_clock ? wall_elapsed
+                 : *std::max_element(worker_busy.begin(), worker_busy.end());
+  return static_cast<double>(processed) / makespan;
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -951,7 +1136,9 @@ std::string format_json(const std::string& mode,
                         const PosixBenchConfig& posix_cfg,
                         const PosixBenchResult& posix,
                         const CompressionBenchConfig& compress_cfg,
-                        const std::vector<CompressionBenchRow>& compression) {
+                        const std::vector<CompressionBenchRow>& compression,
+                        const DeathBenchConfig& death_cfg,
+                        const DeathBenchResult& death) {
   std::ostringstream out;
   out.precision(1);
   out << std::fixed;
@@ -1043,7 +1230,21 @@ std::string format_json(const std::string& mode,
     out << ", \"effective_mb_per_sec\": " << row.effective_mb_per_sec << "}"
         << (i + 1 < compression.size() ? "," : "") << "\n";
   }
-  out << "    ]\n  }\n}\n";
+  out << "    ]\n  },\n";
+  out << "  \"client_death\": {\n";
+  out << "    \"clients\": " << death_cfg.clients
+      << ", \"workers\": " << death_cfg.workers
+      << ", \"blocks_per_client\": " << death_cfg.blocks_per_client
+      << ", \"kill_after\": " << death_cfg.kill_after << ",\n";
+  out << "    \"mode\": \"" << death.mode << "\",\n";
+  out << "    \"healthy_events_per_sec\": " << death.healthy_events_per_sec
+      << ",\n    \"faulty_events_per_sec\": " << death.faulty_events_per_sec
+      << ",\n    \"throughput_retained\": ";
+  out.precision(3);
+  out << death.throughput_retained << ",\n    \"reclaim_ms\": "
+      << death.reclaim_ms;
+  out.precision(1);
+  out << ", \"blocks_reclaimed\": " << death.blocks_reclaimed << "\n  }\n}\n";
   return out.str();
 }
 
@@ -1092,6 +1293,7 @@ int main(int argc, char** argv) {
   SkewPosixConfig skew_posix_cfg;
   PosixBenchConfig posix_cfg;
   CompressionBenchConfig compress_cfg;
+  DeathBenchConfig death_cfg;
   if (smoke) {
     churn.capacity = 1ull << 24;
     churn.fragment_pins = 512;
@@ -1108,6 +1310,8 @@ int main(int argc, char** argv) {
     posix_cfg.budget_bytes = 1ull << 20;
     compress_cfg.iterations = 4;
     compress_cfg.grid = 16;
+    death_cfg.blocks_per_client = 600;
+    death_cfg.kill_after = 150;
   }
 
   // Wall-clock pool measurements need real parallel hardware; narrower
@@ -1235,10 +1439,40 @@ int main(int argc, char** argv) {
         row.effective_mb_per_sec);
   }
 
+  DeathBenchResult death;
+  death.mode = scaling_mode;
+  death.healthy_events_per_sec =
+      run_client_death(death_cfg, /*kill=*/false, wall, &death);
+  death.faulty_events_per_sec =
+      run_client_death(death_cfg, /*kill=*/true, wall, &death);
+  death.throughput_retained =
+      death.faulty_events_per_sec / death.healthy_events_per_sec;
+  std::printf(
+      "client death (%s), %d clients on %d workers, victim killed after %d "
+      "of %d events: healthy %.2fM ev/s, faulty %.2fM ev/s (%.3f retained), "
+      "reclaim in %.2fms, %llu block(s) reclaimed\n",
+      scaling_mode.c_str(), death_cfg.clients, death_cfg.workers,
+      death_cfg.kill_after, death_cfg.blocks_per_client,
+      death.healthy_events_per_sec / 1e6, death.faulty_events_per_sec / 1e6,
+      death.throughput_retained, death.reclaim_ms,
+      static_cast<unsigned long long>(death.blocks_reclaimed));
+  // Structural gates, any scale (run_client_death already asserted
+  // exactly-once, the abort, the orphan reclaim, and a leak-free
+  // segment): a faulty run that keeps less than half the healthy
+  // throughput means the reclaim path is stalling the survivors.
+  if (!smoke && death.throughput_retained < 0.5) {
+    std::fprintf(stderr,
+                 "FAIL: only %.3f of healthy throughput retained with a dead "
+                 "client\n",
+                 death.throughput_retained);
+    return 1;
+  }
+
   const std::string json =
       format_json(smoke ? "smoke" : "full", allocator_rows, queue_rows,
                   worker_rows, scaling_mode, skew_cfg, skew, mpi_cfg, mpi,
-                  posix_cfg, posix, compress_cfg, compression);
+                  posix_cfg, posix, compress_cfg, compression, death_cfg,
+                  death);
   if (!json_path.empty()) {
     if (json_path == "-") {
       std::cout << json;

@@ -8,6 +8,9 @@
 #                                          # posix round-trips, write-behind
 #   scripts/run_tests.sh --asan          # AddressSanitizer build (separate build dir)
 #   scripts/run_tests.sh --tsan          # ThreadSanitizer build (separate build dir)
+#   scripts/run_tests.sh --faults        # fault-tolerance suites under 3 seeds
+#                                        # (DEDICORE_FAULT_SEED sweeps the
+#                                        # injector's probabilistic schedules)
 #   scripts/run_tests.sh --build-dir out # custom build directory
 set -euo pipefail
 
@@ -15,6 +18,7 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir=""
 filter=""
 sanitize=""
+faults=""
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 while [[ $# -gt 0 ]]; do
@@ -26,6 +30,8 @@ while [[ $# -gt 0 ]]; do
       sanitize="address"; shift ;;
     --tsan)
       sanitize="thread"; shift ;;
+    --faults)
+      faults="1"; shift ;;
     --build-dir)
       [[ $# -ge 2 ]] || { echo "error: --build-dir needs a path" >&2; exit 2; }
       build_dir="$2"; shift 2 ;;
@@ -33,7 +39,7 @@ while [[ $# -gt 0 ]]; do
       [[ $# -ge 2 ]] || { echo "error: $1 needs a number" >&2; exit 2; }
       jobs="$2"; shift 2 ;;
     -h|--help)
-      sed -n '2,10p' "$0"; exit 0 ;;
+      sed -n '2,13p' "$0"; exit 0 ;;
     *)
       echo "error: unknown argument '$1' (see --help)" >&2; exit 2 ;;
   esac
@@ -54,6 +60,21 @@ cmake_args=(-B "$build_dir" -S "$repo_root")
 
 cmake "${cmake_args[@]}"
 cmake --build "$build_dir" -j "$jobs"
+
+if [[ -n "$faults" ]]; then
+  # The fault-tolerance suites (injector units, client-death reclamation,
+  # crash-consistent storage) plus the transport conformance layer they
+  # lean on, swept across three injector seeds.  Deterministic
+  # (probability=1.0) plans replay identically under every seed; the sweep
+  # exists for the probabilistic schedules and for shaking out
+  # interleaving-dependent flakes in the reclaim path.
+  for seed in 1 42 20250808; do
+    echo "=== fault suites, DEDICORE_FAULT_SEED=$seed ==="
+    DEDICORE_FAULT_SEED="$seed" ctest --test-dir "$build_dir" \
+      --output-on-failure -j "$jobs" -R "${filter:-fault|transport|storage}"
+  done
+  exit 0
+fi
 
 ctest_args=(--test-dir "$build_dir" --output-on-failure -j "$jobs")
 [[ -n "$filter" ]] && ctest_args+=(-R "$filter")

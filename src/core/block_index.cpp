@@ -56,6 +56,21 @@ std::vector<BlockInfo> BlockIndex::extract_iteration(Iteration it) {
   return out;
 }
 
+std::vector<BlockInfo> BlockIndex::extract_client(int source) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<BlockInfo> out;
+  auto keep = blocks_.begin();
+  for (auto& b : blocks_) {
+    if (b.source == source) {
+      out.push_back(b);
+    } else {
+      *keep++ = b;
+    }
+  }
+  blocks_.erase(keep, blocks_.end());
+  return out;
+}
+
 std::size_t BlockIndex::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return blocks_.size();

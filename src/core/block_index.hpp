@@ -35,6 +35,11 @@ class BlockIndex {
   /// caller deallocates the segment blocks.
   std::vector<BlockInfo> extract_iteration(Iteration it);
 
+  /// Removes (and returns) everything a client published, across all
+  /// iterations still indexed — the drop_iteration reclaim path when that
+  /// client dies; the caller deallocates the segment blocks.
+  std::vector<BlockInfo> extract_client(int source);
+
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t total_bytes() const;
 

@@ -15,6 +15,7 @@ std::string to_string(EventType type) {
     case EventType::kUserSignal: return "user_signal";
     case EventType::kIterationSkipped: return "iteration_skipped";
     case EventType::kClientStop: return "client_stop";
+    case EventType::kClientAborted: return "client_aborted";
   }
   return "?";
 }
@@ -126,6 +127,17 @@ Configuration Configuration::from_xml(const xml::Node& root) {
   }
   cfg.steal_threshold_ =
       static_cast<int>(root.attribute_int("steal_threshold", 2));
+  const std::string on_failure =
+      root.attribute_or("on_client_failure", "drop_iteration");
+  if (on_failure == "drop_iteration") {
+    cfg.on_client_failure_ = ClientFailurePolicy::kDropIteration;
+  } else if (on_failure == "keep_partial") {
+    cfg.on_client_failure_ = ClientFailurePolicy::kKeepPartial;
+  } else {
+    throw ConfigError(
+        "on_client_failure must be 'drop_iteration' or 'keep_partial', got '" +
+        on_failure + "'");
+  }
 
   if (const xml::Node* buffer = root.child("buffer")) {
     cfg.buffer_size_ = parse_bytes(buffer->attribute_or("size", "64MiB"));
@@ -185,7 +197,25 @@ Configuration Configuration::from_xml(const xml::Node& root) {
     s.backend = storage->attribute_or("backend", "sim");
     s.path = storage->attribute_or("path", "");
     s.write_behind_bytes = parse_bytes(storage->attribute_or("write_behind", "0"));
+    s.retries = static_cast<int>(storage->attribute_int("retries", s.retries));
     cfg.set_storage(std::move(s));
+  }
+
+  if (const xml::Node* faults = root.child("faults")) {
+    FaultsSpec plan;
+    plan.seed =
+        static_cast<std::uint64_t>(faults->attribute_int("seed", 0));
+    for (const xml::Node* n : faults->children_named("fault")) {
+      fault::FaultSpec f;
+      f.point = n->require_attribute("point");
+      f.target = static_cast<int>(n->attribute_int("target", -1));
+      f.after = static_cast<std::uint64_t>(n->attribute_int("after", 0));
+      f.count = static_cast<std::uint64_t>(n->attribute_int("count", 1));
+      f.probability = n->attribute_double("probability", 1.0);
+      f.magnitude = static_cast<std::uint64_t>(n->attribute_int("magnitude", 0));
+      plan.faults.push_back(std::move(f));
+    }
+    cfg.set_faults(std::move(plan));
   }
 
   if (const xml::Node* actions = root.child("actions")) {
@@ -369,6 +399,33 @@ void Configuration::validate() const {
   // `!(x >= 1.0)` (rather than `x < 1.0`) also rejects NaN.
   if (!(storage_.min_ratio >= 1.0) || !std::isfinite(storage_.min_ratio))
     throw ConfigError("storage min_ratio must be a finite value >= 1.0");
+  if (storage_.retries < 1)
+    throw ConfigError("storage retries must be >= 1 (got " +
+                      std::to_string(storage_.retries) + ")");
+  // Same typo-guard reasoning as server_workers: an absurd retry budget
+  // times the backoff cap turns one bad disk into an invisible multi-hour
+  // stall of the drain path.
+  if (storage_.retries > 100)
+    throw ConfigError("storage retries must be <= 100 (got " +
+                      std::to_string(storage_.retries) + ")");
+  // A typo'd injection point must fail the run at configuration time, not
+  // silently arm a fault that never fires.
+  for (const auto& f : faults_.faults) {
+    if (!fault::FaultInjector::known_point(f.point)) {
+      std::string known;
+      for (auto p : fault::FaultInjector::known_points()) {
+        if (!known.empty()) known += ", ";
+        known += p;
+      }
+      throw ConfigError("fault: unknown injection point '" + f.point +
+                        "' (known: " + known + ")");
+    }
+    if (!(f.probability >= 0.0) || !(f.probability <= 1.0))
+      throw ConfigError("fault '" + f.point +
+                        "': probability must be within [0, 1]");
+    if (f.count == 0)
+      throw ConfigError("fault '" + f.point + "': count must be >= 1");
+  }
 }
 
 }  // namespace dedicore::core

@@ -44,11 +44,35 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "core/types.hpp"
 #include "h5lite/h5lite.hpp"
 #include "xml/xml.hpp"
 
 namespace dedicore::core {
+
+/// What a server does with a dead client's partial iteration (the blocks
+/// it published before dying, still unclosed):
+/// kDropIteration (default) — release them immediately; an incomplete
+///   iteration's data is worthless downstream and would pin segment space.
+/// kKeepPartial — leave them indexed; they persist with the iteration when
+///   the surviving clients close it (best-effort output).
+/// XML: <simulation on_client_failure="drop_iteration|keep_partial">.
+enum class ClientFailurePolicy : std::uint8_t {
+  kDropIteration,
+  kKeepPartial,
+};
+
+/// The run's fault-injection plan: a seed plus the armed fault specs,
+/// parsed from <faults seed="42"><fault point="client.die" target="3"
+/// after="5"/></faults>.  Point names are validated against
+/// fault::FaultInjector's registry at configuration time.
+struct FaultsSpec {
+  std::uint64_t seed = 0;
+  std::vector<fault::FaultSpec> faults;
+
+  [[nodiscard]] bool empty() const noexcept { return faults.empty(); }
+};
 
 /// Shape of the blocks one simulation core writes for a variable.
 struct LayoutSpec {
@@ -109,6 +133,10 @@ struct StorageSpec {
   /// Byte budget of the posix write-behind queue (pending images); 0 =
   /// auto (the node's <buffer size>).  XML: <storage write_behind="32MiB">.
   std::uint64_t write_behind_bytes = 0;
+  /// Write-behind retry budget for *transient* backend failures (EIO):
+  /// total attempts per job before it is quarantined as poison.  Backoff
+  /// between attempts is bounded exponential.  XML: <storage retries="3">.
+  int retries = 3;
 };
 
 class Configuration {
@@ -163,6 +191,14 @@ class Configuration {
   [[nodiscard]] std::size_t queue_capacity() const noexcept { return queue_capacity_; }
   [[nodiscard]] BackpressurePolicy policy() const noexcept { return policy_; }
 
+  /// Disposal of a dead client's partial iteration (see the enum).
+  [[nodiscard]] ClientFailurePolicy on_client_failure() const noexcept {
+    return on_client_failure_;
+  }
+
+  /// The run's fault-injection plan; empty on healthy runs.
+  [[nodiscard]] const FaultsSpec& faults() const noexcept { return faults_; }
+
   [[nodiscard]] const std::vector<LayoutSpec>& layouts() const noexcept { return layouts_; }
   [[nodiscard]] const std::vector<MeshSpec>& meshes() const noexcept { return meshes_; }
   [[nodiscard]] const std::vector<VariableSpec>& variables() const noexcept { return variables_; }
@@ -198,6 +234,10 @@ class Configuration {
   void add_action(ActionSpec action);
   void set_storage(StorageSpec storage);
   void set_simulation_name(std::string name) { name_ = std::move(name); }
+  void set_on_client_failure(ClientFailurePolicy policy) {
+    on_client_failure_ = policy;
+  }
+  void set_faults(FaultsSpec faults) { faults_ = std::move(faults); }
   /// Cross-checks references; called by from_xml, call it after manual
   /// construction too.
   void validate() const;
@@ -219,6 +259,8 @@ class Configuration {
   std::vector<VariableSpec> variables_;
   std::vector<ActionSpec> actions_;
   StorageSpec storage_;
+  ClientFailurePolicy on_client_failure_ = ClientFailurePolicy::kDropIteration;
+  FaultsSpec faults_;
 };
 
 }  // namespace dedicore::core

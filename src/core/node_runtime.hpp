@@ -12,9 +12,11 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "core/block_index.hpp"
 #include "core/configuration.hpp"
 #include "core/emit_stage.hpp"
@@ -48,6 +50,17 @@ struct NodeRuntime {
         role(role_in),
         fs(fs_in),
         scheduler(std::move(sched)) {
+    // One seeded injector per node, shared by every component with an
+    // injection point; null (all probes skipped) on healthy runs.  The
+    // seed can be overridden by DEDICORE_FAULT_SEED for the CI fault
+    // matrix without editing the XML plan.
+    if (!config.faults().empty()) {
+      std::uint64_t seed = config.faults().seed;
+      if (const char* env = std::getenv("DEDICORE_FAULT_SEED"))
+        seed = std::strtoull(env, nullptr, 10);
+      faults = std::make_shared<fault::FaultInjector>(seed);
+      for (const auto& spec : config.faults().faults) faults->arm(spec);
+    }
     switch (role) {
       case Role::kSmpNode:
         servers_ = std::max(1, config.dedicated_cores());
@@ -86,12 +99,12 @@ struct NodeRuntime {
       emit = std::make_shared<EmitStage>(config);
       if (config.storage().backend == "posix") {
         storage = std::make_shared<storage::PosixBackend>(
-            std::filesystem::path(config.storage().path));
+            std::filesystem::path(config.storage().path), faults);
         const std::uint64_t budget = config.storage().write_behind_bytes > 0
                                          ? config.storage().write_behind_bytes
                                          : config.buffer_size();
-        write_behind =
-            std::make_shared<storage::WriteBehind>(*storage, budget);
+        write_behind = std::make_shared<storage::WriteBehind>(
+            *storage, budget, config.storage().retries, faults);
       } else if (fs != nullptr) {
         storage = std::make_shared<storage::SimBackend>(*fs);
       }
@@ -129,6 +142,10 @@ struct NodeRuntime {
   Role role = Role::kSmpNode;
   fsim::FileSystem* fs = nullptr;
   std::shared_ptr<IoScheduler> scheduler;
+  /// The node's seeded fault injector; null (no faults armed) on healthy
+  /// runs.  Shared by the transports, the storage backend, and the
+  /// write-behind queue so one plan drives every injection point.
+  std::shared_ptr<fault::FaultInjector> faults;
   /// Emit-path transform stage: per-variable codec resolution, adaptive
   /// store-raw decisions, and the node-wide compression counters.  Null
   /// only on dedicated-nodes client ranks.

@@ -93,7 +93,8 @@ Runtime Runtime::initialize_cores_mode(const Configuration& config,
     rt.client_ = std::make_unique<Client>(
         node, node_rank,
         std::make_unique<transport::ShmClientTransport>(
-            node->fabric, node->server_of_client(node_rank)));
+            node->fabric, node->server_of_client(node_rank), node_rank,
+            node->faults));
   } else {
     const int server_index = node_rank - config.clients_per_node();
     rt.server_ = std::make_unique<Server>(
@@ -192,7 +193,7 @@ Runtime Runtime::initialize_nodes_mode(const Configuration& config,
     rt.client_ = std::make_unique<Client>(
         node, world.rank(),
         std::make_unique<transport::MpiClientTransport>(
-            world, clients + server, share));
+            world, clients + server, share, node->faults));
   }
   return rt;
 }

@@ -93,6 +93,11 @@ void Server::run() {
   stats_.bytes_received_remote = t.bytes_received_remote;
   stats_.steals = t.steals;
   stats_.idle_drain_jobs = t.idle_drains;
+  // Fold in what the transport's own reclaim freed (the liveness ledger's
+  // acquired-but-unpublished blocks) on top of the indexed blocks the
+  // abort handler dropped.
+  stats_.blocks_reclaimed += t.blocks_reclaimed;
+  stats_.bytes_reclaimed += t.bytes_reclaimed;
   stats_.pipeline_time = pipeline_times_.summary();
 }
 
@@ -112,6 +117,23 @@ void Server::worker_loop(int worker, WorkerLedger& ledger) {
 void Server::handle(const Event& event) {
   switch (event.type) {
     case EventType::kBlockWritten: {
+      // A zombie block — published by a client whose abort was already
+      // consumed (the demux only guarantees pre-abort events precede the
+      // abort; stragglers may trail it) — is released, never indexed: its
+      // segment space / flow credit returns immediately.
+      bool zombie = false;
+      {
+        std::lock_guard<std::mutex> state(state_mutex_);
+        if (dead_clients_.count(event.source)) {
+          zombie = true;
+          ++stats_.blocks_reclaimed;
+          stats_.bytes_reclaimed += event.block.size;
+        }
+      }
+      if (zombie) {
+        transport_->release(event.block);
+        break;
+      }
       BlockInfo info;
       info.variable = event.variable;
       info.source = event.source;
@@ -131,8 +153,9 @@ void Server::handle(const Event& event) {
       {
         std::lock_guard<std::mutex> state(state_mutex_);
         if (event.type == EventType::kIterationSkipped) ++stats_.client_skips;
-        const int closes = ++iteration_closes_[event.iteration];
-        if (closes == client_count_) {
+        std::set<int>& closed = iteration_closes_[event.iteration];
+        closed.insert(event.source);
+        if (iteration_satisfied_locked(closed)) {
           iteration_closes_.erase(event.iteration);
           completes = true;
         }
@@ -154,7 +177,8 @@ void Server::handle(const Event& event) {
       bool last = false;
       {
         std::lock_guard<std::mutex> state(state_mutex_);
-        last = ++stopped_clients_ == client_count_;
+        ++stopped_clients_;
+        last = all_clients_finished_locked();
       }
       if (last) {
         // Ordered shutdown: every client's stop is its final event and
@@ -166,6 +190,79 @@ void Server::handle(const Event& event) {
       }
       break;
     }
+    case EventType::kClientAborted: {
+      handle_client_abort(event.source);
+      break;
+    }
+  }
+}
+
+bool Server::iteration_satisfied_locked(
+    const std::set<int>& closed_sources) const {
+  std::size_t effective = closed_sources.size();
+  for (int dead : dead_clients_)
+    if (!closed_sources.count(dead)) ++effective;
+  return effective >= static_cast<std::size_t>(client_count_);
+}
+
+void Server::handle_client_abort(int source) {
+  // The abort was a gated control: every event this client published
+  // before dying has been delivered AND processed (the demux's barrier),
+  // so the index already holds its full pre-death contribution and the
+  // reclaim below cannot race its own intake.
+  DEDICORE_LOG(kWarn) << "node " << node_->node_id << " server "
+                      << server_index_ << ": client " << source
+                      << " died; reclaiming";
+
+  // 1. Mark dead FIRST so the transport stops crediting the corpse (MPI)
+  //    before any of its blocks are released below, and this server's
+  //    workers treat stragglers as zombies.
+  {
+    std::lock_guard<std::mutex> state(state_mutex_);
+    if (!dead_clients_.insert(source).second) return;  // duplicate abort
+    ++stats_.clients_aborted;
+  }
+  transport_->reclaim_client(source);
+
+  // 2. The client's partial data, per policy.  drop_iteration: its
+  //    indexed blocks are released now — an incomplete iteration's data is
+  //    worthless downstream, and holding it pins segment space forever.
+  //    keep_partial: the blocks stay indexed and persist with whatever
+  //    iteration they belong to when the survivors close it.
+  if (node_->config.on_client_failure() == ClientFailurePolicy::kDropIteration) {
+    auto& index = *node_->indexes[static_cast<std::size_t>(server_index_)];
+    std::uint64_t blocks = 0, bytes = 0;
+    for (const auto& info : index.extract_client(source)) {
+      ++blocks;
+      bytes += info.block.size;
+      transport_->release(info.block);
+    }
+    std::lock_guard<std::mutex> state(state_mutex_);
+    stats_.blocks_reclaimed += blocks;
+    stats_.bytes_reclaimed += bytes;
+  }
+
+  // 3. Reconcile open iterations: ones only waiting on the corpse's close
+  //    complete now, and the run terminates if every client has stopped
+  //    or died.
+  std::vector<Iteration> newly_complete;
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> state(state_mutex_);
+    for (auto it = iteration_closes_.begin(); it != iteration_closes_.end();) {
+      if (iteration_satisfied_locked(it->second)) {
+        newly_complete.push_back(it->first);
+        it = iteration_closes_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    last = all_clients_finished_locked();
+  }
+  for (Iteration iteration : newly_complete) complete_iteration(iteration);
+  if (last) {
+    done_.store(true, std::memory_order_release);
+    if (worker_count_ > 1) transport_->end_of_stream();
   }
 }
 

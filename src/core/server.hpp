@@ -16,6 +16,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,14 @@ struct ServerStats {
   /// means output was dropped — the run completed but is NOT fully
   /// persisted.  (The synchronous sim path aborts on the same condition.)
   std::uint64_t storage_failures = 0;
+  /// Fault tolerance: clients that died mid-run (kClientAborted consumed)
+  /// and the segment blocks / bytes returned by the reclaim path — both
+  /// the indexed blocks dropped under on_client_failure="drop_iteration"
+  /// and the acquired-but-unpublished blocks freed from the transport's
+  /// liveness ledger.
+  std::uint64_t clients_aborted = 0;
+  std::uint64_t blocks_reclaimed = 0;
+  std::uint64_t bytes_reclaimed = 0;
   // Emit-path compression (the §IV.D spare-cycle story): dataset payload
   // bytes that entered this server's transform stage vs the bytes the
   // codecs left in the images, and the dedicated-core seconds spent
@@ -129,9 +138,22 @@ class Server {
 
   void worker_loop(int worker, WorkerLedger& ledger);
   void handle(const Event& event);
+  void handle_client_abort(int source);
   void complete_iteration(Iteration iteration);
   void fire(const std::string& event_name, Iteration iteration,
             const Event* trigger);
+
+  /// With state_mutex_ held: true when every client still alive has closed
+  /// the iteration — dead clients are treated as having closed everything
+  /// (their partial contribution was already dropped or kept per policy).
+  [[nodiscard]] bool iteration_satisfied_locked(
+      const std::set<int>& closed_sources) const;
+  /// With state_mutex_ held: true once every client has either stopped or
+  /// died — the run's termination condition.
+  [[nodiscard]] bool all_clients_finished_locked() const {
+    return stopped_clients_ + static_cast<int>(dead_clients_.size()) >=
+           client_count_;
+  }
 
   std::shared_ptr<NodeRuntime> node_;
   int server_index_;
@@ -158,9 +180,12 @@ class Server {
   /// the disk, the completing worker returns to the event stream).
   bool idle_drain_active_ = false;
 
-  // Iteration bookkeeping: iteration -> number of end/skip notifications.
-  std::map<Iteration, int> iteration_closes_;
+  // Iteration bookkeeping: iteration -> the client sources that closed it
+  // (end or skip).  Sets rather than counts so a client's death can be
+  // reconciled against the iterations it never got to close.
+  std::map<Iteration, std::set<int>> iteration_closes_;
   int stopped_clients_ = 0;
+  std::set<int> dead_clients_;  ///< sources whose kClientAborted was consumed
 };
 
 }  // namespace dedicore::core

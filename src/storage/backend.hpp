@@ -21,7 +21,11 @@
 //     — never UB;
 //   * closing a handle twice is a fatal invariant violation (crash), like
 //     fsim's stale-handle check;
-//   * read_file/list_files/file_size observe exactly the bytes written.
+//   * read_file/list_files/file_size observe exactly the bytes written;
+//   * PosixBackend publishes created files crash-consistently: bytes land
+//     in a hidden temp, close() fsyncs and atomically renames it into
+//     place, and a startup recovery scan quarantines torn temps — readers
+//     never observe a partially written image.
 #pragma once
 
 #include <cstdint>
@@ -52,6 +56,14 @@ struct StorageStats {
   std::uint64_t writes = 0;
   std::uint64_t bytes_written = 0;
   double write_seconds = 0.0;
+  /// Torn in-progress files found by PosixBackend's startup recovery scan
+  /// and moved aside to `.quarantine/` (always 0 on SimBackend: simulated
+  /// state does not survive a process, so there is nothing to recover).
+  std::uint64_t files_quarantined = 0;
+  /// Handles still open when the backend reclaimed them (destructor or an
+  /// explicit reclaim_leaked_handles()).  A nonzero value is a caller bug
+  /// — but the fds are closed, not leaked.
+  std::uint64_t handles_reclaimed = 0;
 };
 
 class StorageBackend {

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <system_error>
@@ -20,16 +21,41 @@ std::string errno_text(const char* op, const std::string& path) {
   return std::string(op) + " '" + path + "': " + std::strerror(errno);
 }
 
+/// Temps are "<final>.part-<id>"; anything carrying the marker is an
+/// unpublished (possibly torn) image, invisible to readers.
+bool is_temp_name(const std::string& filename) {
+  return filename.find(".part-") != std::string::npos;
+}
+
+/// Durability of a rename is a property of the *directory*, not the file:
+/// without this fsync a crash can roll the directory entry back to the
+/// pre-rename state even though the inode was synced.
+Status fsync_parent_dir(const std::filesystem::path& final_full,
+                        const std::string& path) {
+  const int dirfd = ::open(final_full.parent_path().c_str(),
+                           O_RDONLY | O_DIRECTORY);
+  if (dirfd < 0) return Status::io_error(errno_text("posix opendir", path));
+  const int rc = ::fsync(dirfd);
+  ::close(dirfd);
+  if (rc != 0) return Status::io_error(errno_text("posix fsync dir", path));
+  return Status::ok();
+}
+
 }  // namespace
 
 struct PosixBackend::OpenFile {
   std::string path;   ///< backend-relative, for diagnostics
   int fd = -1;
-  std::mutex io_mutex;          ///< serializes append-cursor updates
-  std::uint64_t append_at = 0;  ///< end-of-file cursor for write()
+  std::filesystem::path write_full;  ///< where the fd points (temp for create)
+  std::filesystem::path final_full;  ///< the published name
+  bool pending_rename = false;       ///< close() must rename write -> final
+  std::mutex io_mutex;               ///< serializes append-cursor updates
+  std::uint64_t append_at = 0;       ///< end-of-file cursor for write()
 };
 
-PosixBackend::PosixBackend(std::filesystem::path root) : root_(std::move(root)) {
+PosixBackend::PosixBackend(std::filesystem::path root,
+                           std::shared_ptr<fault::FaultInjector> faults)
+    : root_(std::move(root)), faults_(std::move(faults)) {
   std::error_code ec;
   std::filesystem::create_directories(root_, ec);
   if (ec)
@@ -38,18 +64,74 @@ PosixBackend::PosixBackend(std::filesystem::path root) : root_(std::move(root)) 
   if (::access(root_.c_str(), W_OK) != 0)
     throw ConfigError("PosixBackend: root '" + root_.string() +
                       "' is not writable: " + std::strerror(errno));
+  recover_torn_files();
 }
 
 PosixBackend::~PosixBackend() {
   // Leaked handles are a caller bug but must not leak fds; warn so a test
   // that forgot to close shows up in the log instead of in lsof.
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& [id, file] : open_) {
-    DEDICORE_LOG(kWarn) << "PosixBackend: handle " << id << " ('" << file->path
-                        << "') still open at backend destruction; closing";
-    ::close(file->fd);
+  const std::size_t leaked = reclaim_leaked_handles();
+  if (leaked > 0)
+    DEDICORE_LOG(kWarn) << "PosixBackend: reclaimed " << leaked
+                        << " leaked handle(s) at destruction";
+}
+
+std::size_t PosixBackend::reclaim_leaked_handles() {
+  std::unordered_map<std::uint64_t, std::shared_ptr<OpenFile>> leaked;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    leaked.swap(open_);
+    stats_.handles_reclaimed += leaked.size();
   }
-  open_.clear();
+  for (auto& [id, file] : leaked) {
+    DEDICORE_LOG(kWarn) << "PosixBackend: handle " << id << " ('" << file->path
+                        << "') was never closed; reclaiming fd without "
+                           "publishing";
+    std::lock_guard<std::mutex> io(file->io_mutex);
+    // No fsync, no rename: a leaked create's temp stays torn on disk and
+    // the next startup's recovery scan quarantines it — exactly the state
+    // a crashed process would have left.
+    if (file->fd >= 0) ::close(file->fd);
+    file->fd = -1;
+  }
+  return leaked.size();
+}
+
+void PosixBackend::recover_torn_files() {
+  std::error_code ec;
+  std::vector<std::filesystem::path> torn;
+  std::filesystem::recursive_directory_iterator it(root_, ec), end;
+  for (; !ec && it != end; it.increment(ec)) {
+    if (it->path().filename() == kQuarantineDirName) {
+      // Already-quarantined files keep their temp names; don't re-move.
+      std::error_code dec;
+      if (it->is_directory(dec) && !dec) it.disable_recursion_pending();
+      continue;
+    }
+    std::error_code fec;
+    if (!it->is_regular_file(fec) || fec) continue;
+    if (is_temp_name(it->path().filename().string())) torn.push_back(it->path());
+  }
+  if (torn.empty()) return;
+
+  const std::filesystem::path qdir = quarantine_dir();
+  std::filesystem::create_directories(qdir, ec);
+  for (const auto& path : torn) {
+    // Flatten the relative path into the quarantine name so nested torn
+    // temps cannot collide and the origin stays readable in the name.
+    std::string qname =
+        std::filesystem::relative(path, root_, ec).generic_string();
+    std::replace(qname.begin(), qname.end(), '/', '_');
+    std::filesystem::rename(path, qdir / qname, ec);
+    if (ec) {
+      // Same filesystem, so a failing rename is exotic; removal still
+      // upholds the contract that no torn image is visible.
+      std::filesystem::remove(path, ec);
+    }
+    DEDICORE_LOG(kWarn) << "PosixBackend: quarantined torn temp '"
+                        << path.string() << "' from a previous crashed run";
+    ++stats_.files_quarantined;  // ctor-time: no concurrent readers yet
+  }
 }
 
 Status PosixBackend::materialize(const std::string& path,
@@ -71,14 +153,28 @@ Status PosixBackend::create(const std::string& path, FileHandle* out,
   if (ec)
     return Status::io_error("posix create: mkdir for '" + path +
                             "': " + ec.message());
-  const int fd = ::open(full.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+
+  // Write into a same-directory temp; the final name appears only at
+  // close(), after the bytes are durable (fsync + rename + dir fsync).
+  // The handle id makes the temp unique, so concurrent creates of the
+  // same path race only on the final rename (last one wins, atomically).
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = next_id_++;
+  }
+  const std::filesystem::path temp(full.string() + ".part-" +
+                                   std::to_string(id));
+  const int fd = ::open(temp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
   if (fd < 0) return Status::io_error(errno_text("posix create", path));
 
   auto file = std::make_shared<OpenFile>();
   file->path = path;
   file->fd = fd;
+  file->write_full = temp;
+  file->final_full = full;
+  file->pending_rename = true;
   std::lock_guard<std::mutex> lock(mutex_);
-  const std::uint64_t id = next_id_++;
   open_.emplace(id, std::move(file));
   ++stats_.files_created;
   *out = FileHandle{id};
@@ -90,6 +186,9 @@ Status PosixBackend::open(const std::string& path, FileHandle* out) {
   std::filesystem::path full;
   if (Status st = materialize(path, &full); !st.is_ok()) return st;
 
+  // Positional update of an already-published file (collective shared
+  // headers): in-place, no rename on close — republishing would race the
+  // other writers of the same file.
   const int fd = ::open(full.c_str(), O_WRONLY);
   if (fd < 0) {
     if (errno == ENOENT)
@@ -105,6 +204,9 @@ Status PosixBackend::open(const std::string& path, FileHandle* out) {
   auto file = std::make_shared<OpenFile>();
   file->path = path;
   file->fd = fd;
+  file->write_full = full;
+  file->final_full = full;
+  file->pending_rename = false;
   file->append_at = static_cast<std::uint64_t>(end);
   std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t id = next_id_++;
@@ -126,6 +228,9 @@ Status PosixBackend::do_pwrite(FileHandle handle, std::uint64_t offset,
           " is closed or invalid");
     file = it->second;
   }
+  if (faults_ != nullptr && faults_->should_fire("posix.pwrite"))
+    return Status::io_error("posix pwrite '" + file->path +
+                            "': injected EIO");
 
   Stopwatch timer;
   {
@@ -179,13 +284,40 @@ Status PosixBackend::close(FileHandle handle) {
     open_.erase(it);
   }
   std::lock_guard<std::mutex> io(file->io_mutex);
+
+  // SIGKILL-equivalent crash mid-close: the fd vanishes with the process —
+  // no fsync, no rename.  The torn temp stays on disk for the next
+  // startup's recovery scan; the final name was never touched.  Returns ok
+  // because a real crash never returns at all: the interesting observer is
+  // the next incarnation of the backend, not this caller.
+  if (faults_ != nullptr && faults_->should_fire("posix.crash_on_close")) {
+    ::close(file->fd);
+    file->fd = -1;
+    return Status::ok();
+  }
+
   Status result = Status::ok();
-  if (::fsync(file->fd) != 0)
+  if (faults_ != nullptr && faults_->should_fire("posix.fsync"))
+    result = Status::io_error("posix fsync '" + file->path +
+                              "': injected EIO");
+  else if (::fsync(file->fd) != 0)
     result = Status::io_error(errno_text("posix fsync", file->path));
   if (::close(file->fd) != 0 && result.is_ok())
     result = Status::io_error(errno_text("posix close", file->path));
   file->fd = -1;
-  return result;
+
+  // Publication happens only after a clean fsync: a failed close leaves
+  // the (possibly torn) temp unpublished — the previously published final,
+  // if any, is untouched, and a later retry recreates a fresh temp.  The
+  // dead temp is invisible to readers and swept by the next recovery scan.
+  if (!result.is_ok() || !file->pending_rename) return result;
+
+  if (faults_ != nullptr && faults_->should_fire("posix.rename"))
+    return Status::io_error("posix rename '" + file->path +
+                            "': injected EIO");
+  if (::rename(file->write_full.c_str(), file->final_full.c_str()) != 0)
+    return Status::io_error(errno_text("posix rename", file->path));
+  return fsync_parent_dir(file->final_full, file->path);
 }
 
 bool PosixBackend::exists(const std::string& path) const {
@@ -228,7 +360,16 @@ std::vector<std::string> PosixBackend::list_files() const {
   if (ec) return out;
   for (; it != end; it.increment(ec)) {
     if (ec) break;
+    if (it->path().filename() == kQuarantineDirName) {
+      // Quarantined torn images are evidence, not output.
+      std::error_code dec;
+      if (it->is_directory(dec) && !dec) it.disable_recursion_pending();
+      continue;
+    }
     if (!it->is_regular_file(ec) || ec) continue;
+    // Unpublished temps are in-flight state, not files: a reader listing
+    // the root mid-write must see only complete images.
+    if (is_temp_name(it->path().filename().string())) continue;
     out.push_back(
         std::filesystem::relative(it->path(), root_, ec).generic_string());
   }

@@ -10,6 +10,29 @@
 // plus an append cursor so write() keeps fsim's append semantics even with
 // concurrent writers on distinct handles.  Thread-safe: the handle table
 // and counters are mutex-guarded and each open file carries its own lock.
+//
+// Crash consistency.  create() never opens the final path: bytes land in a
+// same-directory temp ("<name>.part-<handle id>"), and close() publishes
+// with the classic durable sequence
+//
+//   fsync(temp)  ->  rename(temp, final)  ->  fsync(parent dir)
+//
+// so the final name either does not exist or names a complete, durable
+// image — a crash (power loss, SIGKILL, a fault-injected
+// posix.crash_on_close) at any point leaves at worst a torn *temp*, never
+// a torn final.  The constructor runs a recovery scan that moves any
+// leftover "*.part-*" file into "<root>/.quarantine/" (counted in
+// StorageStats::files_quarantined), so after a restart list_files() and
+// readers see only complete images.  open() on an existing final mutates
+// it in place (collective shared-header rewrites are position-stable
+// in-file updates, not republications) — its close() is fsync-only.
+//
+// Fault injection (when constructed with an injector): "posix.pwrite",
+// "posix.fsync" and "posix.rename" fail the corresponding step with an
+// injected EIO (transient — the write-behind queue retries them);
+// "posix.crash_on_close" simulates dying mid-close: the fd is dropped with
+// no fsync and no rename, leaving the torn temp for the next recovery
+// scan.
 #pragma once
 
 #include <filesystem>
@@ -17,6 +40,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/fault.hpp"
 #include "storage/backend.hpp"
 
 namespace dedicore::storage {
@@ -24,8 +48,12 @@ namespace dedicore::storage {
 class PosixBackend final : public StorageBackend {
  public:
   /// Creates `root` (and parents) if needed; throws ConfigError when the
-  /// directory cannot be created or is not writable.
-  explicit PosixBackend(std::filesystem::path root);
+  /// directory cannot be created or is not writable.  Then runs the
+  /// recovery scan: torn temps from a previous crashed run are moved to
+  /// "<root>/.quarantine/" and counted.  `faults` (optional) enables the
+  /// posix.* injection points.
+  explicit PosixBackend(std::filesystem::path root,
+                        std::shared_ptr<fault::FaultInjector> faults = nullptr);
   ~PosixBackend() override;
 
   PosixBackend(const PosixBackend&) = delete;
@@ -56,6 +84,21 @@ class PosixBackend final : public StorageBackend {
   /// Number of handles currently open (tests: close ordering / fd leaks).
   [[nodiscard]] std::size_t open_handles() const;
 
+  /// Closes every still-open handle WITHOUT fsync or rename — the handles
+  /// were leaked, so their content is not trustworthy enough to publish;
+  /// a leaked create's temp stays torn and is quarantined by the next
+  /// startup's recovery scan.  Returns the number of handles reclaimed
+  /// (also accumulated in StorageStats::handles_reclaimed).  The
+  /// destructor calls this so leaked handles never leak fds.
+  std::size_t reclaim_leaked_handles();
+
+  /// Quarantine directory of this root ("<root>/.quarantine").
+  [[nodiscard]] std::filesystem::path quarantine_dir() const {
+    return root_ / kQuarantineDirName;
+  }
+
+  static constexpr std::string_view kQuarantineDirName = ".quarantine";
+
  private:
   struct OpenFile;
 
@@ -65,8 +108,11 @@ class PosixBackend final : public StorageBackend {
   Status do_pwrite(FileHandle file, std::uint64_t offset,
                    std::span<const std::byte> bytes, double* seconds,
                    bool append);
+  /// Startup recovery: move "*.part-*" leftovers into .quarantine/.
+  void recover_torn_files();
 
   std::filesystem::path root_;
+  std::shared_ptr<fault::FaultInjector> faults_;
   mutable std::mutex mutex_;  ///< handle table + counters
   std::uint64_t next_id_ = 1;
   std::unordered_map<std::uint64_t, std::shared_ptr<OpenFile>> open_;

@@ -1,18 +1,34 @@
 #include "storage/write_behind.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "common/clock.hpp"
 #include "common/log.hpp"
 
 namespace dedicore::storage {
 
-WriteBehind::WriteBehind(StorageBackend& backend, std::uint64_t budget_bytes)
-    : backend_(backend), budget_bytes_(budget_bytes) {
+WriteBehind::WriteBehind(StorageBackend& backend, std::uint64_t budget_bytes,
+                         int retries,
+                         std::shared_ptr<fault::FaultInjector> faults)
+    : backend_(backend),
+      budget_bytes_(budget_bytes),
+      retries_(retries),
+      faults_(std::move(faults)) {
   DEDICORE_CHECK(budget_bytes_ > 0, "WriteBehind: budget must be positive");
+  DEDICORE_CHECK(retries_ >= 1, "WriteBehind: retry budget must be >= 1");
 }
 
 WriteBehind::~WriteBehind() { close(); }
 
 void WriteBehind::enqueue(Job job) {
+  // Injected producer stall (fault plans only): models a plugin that is
+  // slow to reach the enqueue, so drain/stall interleavings can be forced
+  // deterministically in tests.
+  if (faults_ != nullptr) {
+    if (auto fired = faults_->fire("write_behind.enqueue_stall"))
+      std::this_thread::sleep_for(std::chrono::microseconds(fired->magnitude));
+  }
   Stopwatch blocked;
   for (;;) {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -69,11 +85,42 @@ bool WriteBehind::pop(Job* out) {
 void WriteBehind::write_out(Job job) {
   Stopwatch timer;
   double write_seconds = 0.0;
-  const Status st = write_image(backend_, job.path, job.image,
-                                job.stripe_count, &write_seconds);
+  // Transient (kIoError) failures are retried with bounded exponential
+  // backoff: 1 ms doubling to a 50 ms cap, at most `retries_` total
+  // attempts.  Anything else — bad path, stale handle — is deterministic
+  // and fails immediately.  A job that exhausts the budget is poison:
+  // dropped (callback still runs with the failure) so it can never wedge
+  // drain_all, the idle hook, or shutdown.
+  Status st;
+  int attempts = 0;
+  std::uint64_t retries_used = 0;
+  for (;;) {
+    ++attempts;
+    if (faults_ != nullptr && faults_->should_fire("write_behind.write"))
+      st = Status::io_error("write-behind '" + job.path + "': injected EIO");
+    else
+      st = write_image(backend_, job.path, job.image, job.stripe_count,
+                       &write_seconds);
+    if (st.is_ok() || st.code() != StatusCode::kIoError ||
+        attempts >= retries_)
+      break;
+    ++retries_used;
+    const std::int64_t backoff_ms =
+        attempts >= 7 ? 50 : (std::int64_t{1} << (attempts - 1));
+    DEDICORE_LOG(kWarn) << "write-behind: transient failure on '" << job.path
+                        << "' (attempt " << attempts << "/" << retries_
+                        << "): " << st.to_string() << "; retrying in "
+                        << backoff_ms << "ms";
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+  }
+  const bool quarantined = !st.is_ok() && st.code() == StatusCode::kIoError;
   const double drained_in = timer.elapsed_seconds();
 
-  if (!st.is_ok())
+  if (quarantined)
+    DEDICORE_LOG(kError) << "write-behind: quarantining poison job '"
+                         << job.path << "' after " << attempts
+                         << " attempt(s): " << st.to_string();
+  else if (!st.is_ok())
     DEDICORE_LOG(kError) << "write-behind: dropping '" << job.path
                          << "': " << st.to_string();
   if (job.on_complete) {
@@ -93,11 +140,13 @@ void WriteBehind::write_out(Job job) {
   pending_bytes_ -= job.image.size();
   --in_flight_;
   stats_.drain_seconds += drained_in;
+  stats_.retries += retries_used;
   if (st.is_ok()) {
     ++stats_.jobs_written;
     stats_.bytes_written += job.image.size();
   } else {
     ++stats_.jobs_failed;
+    if (quarantined) ++stats_.jobs_quarantined;
   }
   space_.notify_all();
   idle_.notify_all();

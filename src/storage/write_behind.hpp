@@ -17,10 +17,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/fault.hpp"
 #include "storage/backend.hpp"
 
 namespace dedicore::storage {
@@ -28,11 +30,19 @@ namespace dedicore::storage {
 struct WriteBehindStats {
   std::uint64_t jobs_enqueued = 0;
   std::uint64_t jobs_written = 0;
-  std::uint64_t jobs_failed = 0;       ///< backend errors (logged + counted)
+  /// Jobs whose final verdict was failure (logged + counted + dropped).
+  std::uint64_t jobs_failed = 0;
+  /// Poison jobs: transient (kIoError) failures that survived the whole
+  /// retry budget and were dropped so they cannot wedge the drain.  Every
+  /// quarantined job is also counted in jobs_failed.
+  std::uint64_t jobs_quarantined = 0;
+  /// Individual retry attempts across all jobs (first attempts excluded).
+  std::uint64_t retries = 0;
   std::uint64_t bytes_enqueued = 0;
   std::uint64_t bytes_written = 0;
   double enqueue_block_seconds = 0.0;  ///< producer stalls on a full budget
-  double drain_seconds = 0.0;          ///< worker time inside backend calls
+  /// Worker time inside backend calls (including retry backoff sleeps).
+  double drain_seconds = 0.0;
   std::uint64_t max_pending_bytes = 0; ///< high-water mark of the queue
 };
 
@@ -52,8 +62,17 @@ class WriteBehind {
 
   /// `budget_bytes` bounds the pending (not yet drained) image bytes; a
   /// single job larger than the budget is still admitted alone, so the
-  /// queue can never deadlock on an oversized image.
-  WriteBehind(StorageBackend& backend, std::uint64_t budget_bytes);
+  /// queue can never deadlock on an oversized image.  `retries` is the
+  /// total attempt budget per job for *transient* (kIoError) backend
+  /// failures: between attempts the drainer backs off exponentially (1 ms
+  /// doubling, capped at 50 ms), and a job that exhausts the budget is
+  /// quarantined as poison — dropped with its callback run, counted in
+  /// WriteBehindStats::jobs_quarantined — instead of wedging the drain or
+  /// the shutdown path.  `faults` (optional) enables the
+  /// write_behind.* injection points.
+  WriteBehind(StorageBackend& backend, std::uint64_t budget_bytes,
+              int retries = 3,
+              std::shared_ptr<fault::FaultInjector> faults = nullptr);
   ~WriteBehind();
 
   WriteBehind(const WriteBehind&) = delete;
@@ -85,6 +104,26 @@ class WriteBehind {
   /// drainer* — when it returns, every enqueued image has been durably
   /// attempted and its on_complete has run (shutdown path; also wakes
   /// producers).
+  ///
+  /// Audit notes (same discipline as the BoundedQueue condvar audits):
+  ///  * No lost wakeup: idle_ is waited on under mutex_, and both state
+  ///    transitions its predicate watches are made AND notified while
+  ///    mutex_ is held — enqueue() pushes onto queue_ then notifies, and
+  ///    write_out() decrements in_flight_ then notifies.  A waiter
+  ///    therefore either observes the new state at the predicate check or
+  ///    is woken by the notification; there is no window where the state
+  ///    changes between the check and the wait registration.
+  ///  * No double count / double drain: a job moves queue_ -> in_flight_
+  ///    exactly once, atomically under mutex_ (pop()), and its budget
+  ///    share and stats are released exactly once, in write_out()'s
+  ///    accounting block.  drain_all never touches a job another drainer
+  ///    popped — it waits for in_flight_ == 0 instead, so no job's
+  ///    on_complete can run twice.
+  ///  * Termination: retries are bounded (poison jobs are quarantined
+  ///    after the retry budget, never re-enqueued), so every in-flight
+  ///    job finishes in bounded time and in_flight_ is monotonically
+  ///    drained once producers stop; a producer that slips a new job in
+  ///    meanwhile re-arms the pop loop instead of being waited on forever.
   void drain_all();
 
   /// Rejects further enqueues and drains what is left.  Idempotent;
@@ -103,6 +142,8 @@ class WriteBehind {
 
   StorageBackend& backend_;
   const std::uint64_t budget_bytes_;
+  const int retries_;  ///< total attempts per job on transient failures
+  std::shared_ptr<fault::FaultInjector> faults_;
 
   mutable std::mutex mutex_;
   std::condition_variable space_;   ///< producers waiting for budget

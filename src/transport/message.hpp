@@ -28,6 +28,13 @@ enum class EventType : std::uint8_t {
   kUserSignal,     ///< user-defined event; `signal_id` selects the action
   kIterationSkipped,  ///< source rank dropped this iteration (backpressure)
   kClientStop,     ///< the source rank is shutting down
+  /// The source rank died without the stop protocol (process kill, network
+  /// partition).  Injected by the transport's liveness machinery — the shm
+  /// backend's liveness epoch or the MPI abort frame — never posted by a
+  /// healthy client.  On delivery the server reclaims the client's
+  /// resources (credits, segment blocks, partial iteration) and the demux
+  /// cancels any of its still-gated control barriers.
+  kClientAborted,
 };
 
 /// Fixed-size message traveling through a transport.  Trivially copyable

@@ -30,16 +30,52 @@ std::uint64_t credit_from(const minimpi::Message& message) {
 // MpiClientTransport
 // ---------------------------------------------------------------------------
 
-MpiClientTransport::MpiClientTransport(minimpi::Comm comm, int server_rank,
-                                       std::uint64_t credit_bytes)
+MpiClientTransport::MpiClientTransport(
+    minimpi::Comm comm, int server_rank, std::uint64_t credit_bytes,
+    std::shared_ptr<fault::FaultInjector> faults)
     : comm_(std::move(comm)),
       server_rank_(server_rank),
       credit_limit_(credit_bytes),
-      credits_(credit_bytes) {
+      credits_(credit_bytes),
+      faults_(std::move(faults)) {
   DEDICORE_CHECK(comm_.valid(), "MpiClientTransport: invalid communicator");
   DEDICORE_CHECK(server_rank >= 0 && server_rank < comm_.size(),
                  "MpiClientTransport: server rank out of range");
   DEDICORE_CHECK(credit_bytes > 0, "MpiClientTransport: zero credit budget");
+}
+
+bool MpiClientTransport::fault_kills_now() {
+  if (dead_) return true;
+  if (!faults_) return false;
+  if (!faults_->should_fire("client.die", comm_.rank())) return false;
+  die();
+  return true;
+}
+
+void MpiClientTransport::die() {
+  if (dead_) return;
+  dead_ = true;
+  // A SIGKILL between flush points loses the staged frame: drop it on the
+  // floor.  The credit it held is the server's to reclaim, not ours.
+  staging_.clear();
+  frame_records_.clear();
+  frame_event_count_ = 0;
+  frame_payload_bytes_ = 0;
+  // The abort frame — the stand-in for the MPI layer's peer-death
+  // notification.  Per-pair FIFO lands it behind every frame this client
+  // really shipped.
+  Event abort;
+  abort.type = EventType::kClientAborted;
+  abort.source = comm_.rank();
+  wire::FrameHeader header;
+  header.event_count = 1;
+  header.frame_seq = frame_seq_++;
+  std::vector<std::vector<std::byte>> parts;
+  parts.emplace_back(sizeof(header));
+  std::memcpy(parts.front().data(), &header, sizeof(header));
+  parts.emplace_back(kHeaderBytes);
+  std::memcpy(parts.back().data(), &abort, kHeaderBytes);
+  comm_.send_bytes_parts(std::move(parts), server_rank_, kTagFrame);
 }
 
 void MpiClientTransport::drain_credits() {
@@ -70,6 +106,7 @@ bool MpiClientTransport::can_never_fit(std::uint64_t need) {
 
 std::optional<shm::BlockRef> MpiClientTransport::try_acquire(
     std::uint64_t size) {
+  if (dead_) return std::nullopt;
   const std::uint64_t need = aligned(size);
   if (can_never_fit(need)) return std::nullopt;
   drain_credits();
@@ -93,6 +130,7 @@ std::optional<shm::BlockRef> MpiClientTransport::try_acquire(
 
 std::optional<shm::BlockRef> MpiClientTransport::acquire_blocking(
     std::uint64_t size) {
+  if (dead_) return std::nullopt;
   const std::uint64_t need = aligned(size);
   if (can_never_fit(need)) return std::nullopt;
   drain_credits();
@@ -120,6 +158,7 @@ std::span<std::byte> MpiClientTransport::view(const shm::BlockRef& block) {
 }
 
 void MpiClientTransport::abandon(const shm::BlockRef& block) {
+  if (dead_) return;  // the corpse runs no cleanup; the server reclaims
   auto it = staging_.find(block.offset);
   DEDICORE_CHECK(it != staging_.end(),
                  "MpiClientTransport: abandon of an unknown block");
@@ -128,6 +167,7 @@ void MpiClientTransport::abandon(const shm::BlockRef& block) {
 }
 
 bool MpiClientTransport::publish(const Event& event) {
+  if (fault_kills_now()) return false;
   auto it = staging_.find(event.block.offset);
   DEDICORE_CHECK(it != staging_.end(),
                  "MpiClientTransport: publish of an unknown block");
@@ -153,11 +193,12 @@ bool MpiClientTransport::publish(const Event& event) {
 Status MpiClientTransport::try_publish(const Event& event) {
   // Staging is local and the wire channel is unbounded; flow control
   // already happened at acquire time, so this never reports WOULD_BLOCK.
-  publish(event);
+  if (!publish(event)) return Status::closed("client dead");
   return Status::ok();
 }
 
 bool MpiClientTransport::post(const Event& event) {
+  if (fault_kills_now()) return false;
   std::vector<std::byte> record(kHeaderBytes);
   std::memcpy(record.data(), &event, kHeaderBytes);
   frame_records_.push_back(std::move(record));
@@ -170,7 +211,7 @@ bool MpiClientTransport::post(const Event& event) {
 }
 
 void MpiClientTransport::flush() {
-  if (frame_event_count_ == 0) return;
+  if (dead_ || frame_event_count_ == 0) return;
   wire::FrameHeader header;
   header.event_count = frame_event_count_;
   header.frame_seq = frame_seq_++;
@@ -318,13 +359,28 @@ void MpiServerTransport::release(const shm::BlockRef& block) {
     if (--frame.blocks_outstanding == 0) {
       credit_to_send = frame.credit_accum;
       credit_dest = frame.source_rank;
-      ++stats_.wire_messages;
       frames_.erase(frame_it);
+      if (dead_ranks_.count(credit_dest)) {
+        // Never send credit to a corpse: swallow it.  The dead client's
+        // share of the flow budget is simply retired — exactly what the
+        // reclaim invariant ("credits of a dead client return to the
+        // system") means on a backend whose credit has no central pool.
+        stats_.credits_reclaimed += credit_to_send;
+        credit_dest = -1;
+      } else {
+        ++stats_.wire_messages;
+      }
     }
   }
   if (segment_resident) fabric_->segment.deallocate(block);
   if (credit_dest >= 0)
     comm_.send_value(credit_to_send, credit_dest, kTagCredit);
+}
+
+void MpiServerTransport::reclaim_client(int source) {
+  std::lock_guard<std::mutex> state(state_mutex_);
+  if (!dead_ranks_.insert(source).second) return;  // idempotent
+  ++stats_.clients_aborted;
 }
 
 TransportStats MpiServerTransport::stats() const {
@@ -333,6 +389,7 @@ TransportStats MpiServerTransport::stats() const {
   out.events_received = events_received_.load(std::memory_order_relaxed);
   out.steals = demux_.steals();
   out.idle_drains = demux_.idle_drains();
+  out.controls_cancelled = demux_.controls_cancelled();
   return out;
 }
 

@@ -36,6 +36,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "minimpi/minimpi.hpp"
@@ -61,8 +62,12 @@ class MpiClientTransport final : public ClientTransport {
   /// dedicated-nodes deployment); `server_rank` the dedicated I/O rank
   /// serving this client; `credit_bytes` this client's share of the
   /// server's segment.
+  /// The optional `faults` injector arms the "client.die" point (target =
+  /// this client's rank in `comm`), probed on every publish/post — the
+  /// deterministic "client dies after event K" scenario.
   MpiClientTransport(minimpi::Comm comm, int server_rank,
-                     std::uint64_t credit_bytes);
+                     std::uint64_t credit_bytes,
+                     std::shared_ptr<fault::FaultInjector> faults = nullptr);
 
   std::optional<shm::BlockRef> try_acquire(std::uint64_t size) override;
   std::optional<shm::BlockRef> acquire_blocking(std::uint64_t size) override;
@@ -72,6 +77,14 @@ class MpiClientTransport final : public ClientTransport {
   Status try_publish(const Event& event) override;
   bool post(const Event& event) override;
   void flush() override;
+  /// Process death: the staged (unflushed) frame is LOST — exactly what a
+  /// SIGKILL between flush points costs — and a one-event abort frame
+  /// ships in its place (the stand-in for the MPI layer's peer-death
+  /// notification).  Per-pair FIFO puts the abort behind every frame the
+  /// client really sent, so the server's control barrier still orders all
+  /// delivered work before reclamation.  Idempotent.
+  void die() override;
+  [[nodiscard]] bool dead() const override { return dead_; }
   [[nodiscard]] TransportStats stats() const override { return stats_; }
 
   [[nodiscard]] std::uint64_t credits() const noexcept { return credits_; }
@@ -83,6 +96,9 @@ class MpiClientTransport final : public ClientTransport {
  private:
   /// Consumes any credit-return messages waiting in the mailbox.
   void drain_credits();
+
+  /// True when an armed "client.die" fault kills this client at this call.
+  bool fault_kills_now();
 
   /// True when `need` exceeds the whole credit budget: no wait or flush
   /// can ever satisfy it.  Logs the shared "can never fit" diagnostic and
@@ -106,6 +122,8 @@ class MpiClientTransport final : public ClientTransport {
   std::uint32_t frame_event_count_ = 0;
   std::uint64_t frame_payload_bytes_ = 0;
   std::uint64_t frame_seq_ = 0;
+  std::shared_ptr<fault::FaultInjector> faults_;
+  bool dead_ = false;
   TransportStats stats_;
 };
 
@@ -134,6 +152,11 @@ class MpiServerTransport final : public ServerTransport {
   void end_of_stream() override;
   std::span<const std::byte> view(const shm::BlockRef& block) override;
   void release(const shm::BlockRef& block) override;
+  /// Marks `source` dead: credit completed for its frames from now on is
+  /// *swallowed* (counted in credits_reclaimed) instead of being sent to a
+  /// corpse — the flow-control analogue of freeing a dead client's
+  /// segment blocks.  Idempotent; callable from any worker.
+  void reclaim_client(int source) override;
   [[nodiscard]] TransportStats stats() const override;
 
  private:
@@ -169,6 +192,7 @@ class MpiServerTransport final : public ServerTransport {
   mutable std::mutex state_mutex_;
   std::unordered_map<std::uint64_t, Resident> resident_;
   std::unordered_map<std::uint64_t, FrameCredit> frames_;
+  std::unordered_set<int> dead_ranks_;  ///< reclaim_client targets
   std::uint64_t next_frame_id_ = 0;
   std::uint64_t next_spill_offset_;  ///< offsets >= capacity mark spills
   TransportStats stats_;

@@ -60,6 +60,16 @@ struct TransportStats {
   /// by workers that would otherwise have parked in next_event).
   std::uint64_t steals = 0;
   std::uint64_t idle_drains = 0;
+  /// Fault tolerance: dead clients observed (kClientAborted delivered),
+  /// resources returned by reclaim_client() — segment blocks / bytes freed
+  /// on the shm backend, flow credits swallowed instead of sent on the MPI
+  /// backend — and gated control events of dead clients cancelled by the
+  /// worker demux instead of being waited on forever.
+  std::uint64_t clients_aborted = 0;
+  std::uint64_t blocks_reclaimed = 0;
+  std::uint64_t bytes_reclaimed = 0;
+  std::uint64_t credits_reclaimed = 0;
+  std::uint64_t controls_cancelled = 0;
 };
 
 /// Client-side endpoint toward one server.  Not thread-safe: one client
@@ -105,6 +115,21 @@ class ClientTransport {
   /// any wait that needs the server to see staged work (liveness), so
   /// forgetting to call this can delay delivery but never deadlock.
   virtual void flush() {}
+
+  /// Simulates the death of this client's process (fault injection and
+  /// tests; also invoked internally when an armed "client.die" fault
+  /// fires).  The transport emits its backend's death notification — the
+  /// shm backend bumps the liveness epoch and enqueues kClientAborted on
+  /// the server's intake; the MPI backend ships an abort frame — and then
+  /// refuses every further operation, exactly as a SIGKILL'd process
+  /// would: staged-but-unflushed batches are lost, acquired-but-unpublished
+  /// blocks stay allocated until the server's reclaim path frees them.
+  /// Idempotent.
+  virtual void die() {}
+
+  /// True once die() has run (or an armed fault killed the client); every
+  /// subsequent acquire/publish/post fails as closed.
+  [[nodiscard]] virtual bool dead() const { return false; }
 
   [[nodiscard]] virtual TransportStats stats() const = 0;
 };
@@ -178,6 +203,18 @@ class ServerTransport {
   /// Frees a delivered block; relaxes backpressure toward its producer.
   /// Safe to call from any worker.
   virtual void release(const shm::BlockRef& block) = 0;
+
+  /// Reclaims everything a dead client still holds inside the transport.
+  /// Called by the server when it consumes that client's kClientAborted —
+  /// i.e. after the control barrier guarantees all of the client's earlier
+  /// block events were delivered.  The shm backend deallocates the blocks
+  /// the client had acquired but never published (a killed process cannot
+  /// free its own shared-memory allocations); the MPI backend marks the
+  /// rank dead so release() of its blocks swallows the flow credit instead
+  /// of sending it to a corpse.  Blocks already *delivered* to the server
+  /// are not touched — the caller releases those through release() as
+  /// usual.  Safe to call from any worker; idempotent.
+  virtual void reclaim_client(int source) { (void)source; }
 
   [[nodiscard]] virtual TransportStats stats() const = 0;
 };

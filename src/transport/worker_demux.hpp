@@ -41,6 +41,28 @@
 // pending disk writes drain on otherwise-wasted waits — and only parks
 // (with a short timeout, to keep polling the hook) when the hook reports
 // no work either.
+//
+// Dead clients and the control barrier (fault tolerance).  kClientAborted
+// is itself a gated control: it is delivered only once the dead client's
+// in-flight count is zero, which guarantees every block event the client
+// published *before* dying has been handed out (and, by the re-entry
+// contract, fully processed) before the server runs reclamation — that
+// barrier is what makes reclaim sound.  The hazard is everything *behind*
+// the abort: a zombie client can leave further events queued (an external
+// kill racing already-staged pushes, a duplicate stop), and a gated
+// control among them would never have its barrier observed by anyone —
+// a sibling worker parked in the post-drain wait ("every head is a gated
+// control") would sleep forever.  So on delivering an abort the demux
+// marks the client aborted and *cancels* the remaining control events in
+// its backlog (popped and counted in controls_cancelled, never handed
+// out); controls routed for an already-aborted client are dropped at
+// route() the same way.  Zombie *block* events still flow through — the
+// server releases a dead client's blocks without indexing them, so the
+// segment/credit they pin is returned through the normal release path
+// rather than leaking.  Cancellation happens under the pool lock by the
+// client's owning worker, and a backlog emptied by cancellation removes
+// the client from its owner's ready list before anyone else can observe
+// it, so the "client in ready iff backlog non-empty" invariant holds.
 #pragma once
 
 #include <algorithm>
@@ -96,6 +118,10 @@ class WorkerDemux {
   /// Units of idle-hook work performed by parked-instead workers.
   [[nodiscard]] std::uint64_t idle_drains() const noexcept {
     return idle_drains_.load(std::memory_order_relaxed);
+  }
+  /// Gated control events of dead clients cancelled instead of delivered.
+  [[nodiscard]] std::uint64_t controls_cancelled() const noexcept {
+    return controls_cancelled_.load(std::memory_order_relaxed);
   }
 
   /// The next event for `worker`.  `drain` is the backend's blocking
@@ -179,6 +205,8 @@ class WorkerDemux {
     std::deque<Event> backlog;  ///< undelivered events, publish/post order
     int owner = 0;              ///< the one worker allowed to pop backlog
     int in_flight = 0;          ///< delivered, processing not yet finished
+    bool aborted = false;       ///< kClientAborted delivered; cancel zombie
+                                ///< controls instead of gating on them
   };
 
   /// A control event is a per-client barrier; a block is not (see header
@@ -208,6 +236,7 @@ class WorkerDemux {
       const int client = ready.front();
       ready.pop_front();
       ClientState& state = clients_.at(client);
+      if (state.backlog.empty()) continue;  // emptied by cancellation
       if (!deliverable(state)) {
         ready.push_back(client);  // gated control; retry after in-flight
         continue;
@@ -217,10 +246,31 @@ class WorkerDemux {
       --backlog_totals_[static_cast<std::size_t>(worker)];
       ++state.in_flight;
       last_client_[static_cast<std::size_t>(worker)] = client;
+      if (event.type == EventType::kClientAborted && !state.aborted) {
+        state.aborted = true;
+        cancel_zombie_controls(state);
+      }
       if (!state.backlog.empty()) ready.push_back(client);
       return event;
     }
     return std::nullopt;
+  }
+
+  /// Owner-only, under the pool lock, right after delivering a client's
+  /// abort: removes every remaining *control* event from its backlog (a
+  /// dead client's barriers would otherwise be waited on forever — see the
+  /// header's fault-tolerance note).  Blocks stay: the server releases a
+  /// dead client's blocks without indexing, returning their resources.
+  void cancel_zombie_controls(ClientState& state) {
+    std::uint64_t cancelled = 0;
+    std::erase_if(state.backlog, [&](const Event& event) {
+      if (event.type == EventType::kBlockWritten) return false;
+      ++cancelled;
+      return true;
+    });
+    if (cancelled == 0) return;
+    backlog_totals_[static_cast<std::size_t>(state.owner)] -= cancelled;
+    controls_cancelled_.fetch_add(cancelled, std::memory_order_relaxed);
   }
 
   /// Leader-only: appends one drained event to its client's backlog,
@@ -230,6 +280,12 @@ class WorkerDemux {
     ClientState& state = it->second;
     if (inserted)
       state.owner = ((event.source % workers_) + workers_) % workers_;
+    if (state.aborted && event.type != EventType::kBlockWritten) {
+      // Zombie control behind an already-delivered abort: cancel, never
+      // gate on a dead client's barrier.
+      controls_cancelled_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     if (state.backlog.empty())
       ready_[static_cast<std::size_t>(state.owner)].push_back(event.source);
     state.backlog.push_back(event);
@@ -286,6 +342,7 @@ class WorkerDemux {
   std::function<bool()> idle_hook_;
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> idle_drains_{0};
+  std::atomic<std::uint64_t> controls_cancelled_{0};
   bool leader_active_ = false;
   bool drained_ = false;
   bool consumed_ = false;

@@ -614,6 +614,289 @@ TEST(TransportConformanceTest, SkewedClientStealingKeepsFifoAndExactlyOnce) {
 }
 
 // ---------------------------------------------------------------------------
+// Client death: client 3 is killed mid-iteration (blocks published, its
+// iteration never closed, one block acquired but never published) under a
+// 4-worker stealing pool.  The fault-tolerance contract:
+//  * the abort is a gated control — every block the corpse published is
+//    fully processed before kClientAborted is handed out;
+//  * reclaim_client() frees what the corpse still held (shm: the liveness
+//    ledger's unpublished block; mpi: credits for its blocks are swallowed
+//    instead of being sent to a dead rank);
+//  * the survivors are untouched: per-client FIFO and exactly-once hold
+//    across the steal migrations, and the run terminates normally;
+//  * afterwards nothing leaks — on shm the segment is back to empty.
+// ---------------------------------------------------------------------------
+
+TEST(TransportConformanceTest, ClientDeathMidIterationReclaimsAndSurvivorsComplete) {
+  constexpr int kClients = 8;
+  constexpr int kWorkers = 4;
+  constexpr int kVictim = 3;
+  constexpr std::uint32_t kBlocks = 24;        // survivors
+  constexpr std::uint32_t kVictimBlocks = 3;   // published before death
+  constexpr std::uint64_t kBlockSize = 256;
+  constexpr std::uint64_t kCapacity = 4 << 20;
+
+  const auto client_body = [&](ClientTransport& client, int c) {
+    if (c == kVictim) {
+      // Acquired but never published: only post-mortem reclaim (the shm
+      // liveness ledger) can free this one.
+      auto orphan = client.acquire_blocking(kBlockSize);
+      ASSERT_TRUE(orphan.has_value());
+      for (std::uint32_t b = 0; b < kVictimBlocks; ++b) {
+        auto ref = client.acquire_blocking(kBlockSize);
+        ASSERT_TRUE(ref.has_value());
+        publish_block(client, *ref, c, b, c * 1000 + b);
+      }
+      client.flush();  // published work is on the wire before the death
+      client.die();    // SIGKILL: no end_iteration, no stop, no cleanup
+      EXPECT_TRUE(client.dead());
+      // The corpse runs no code — whatever a zombie thread might still
+      // attempt must be refused, not crash.
+      EXPECT_FALSE(client.acquire_blocking(kBlockSize).has_value());
+      Event late;
+      late.type = EventType::kClientStop;
+      late.source = c;
+      EXPECT_FALSE(client.post(late));
+      return;
+    }
+    for (std::uint32_t b = 0; b < kBlocks; ++b) {
+      auto ref = client.acquire_blocking(kBlockSize);
+      ASSERT_TRUE(ref.has_value());
+      publish_block(client, *ref, c, b, c * 1000 + b);
+      if (b % 7 == 3) client.flush();
+    }
+    post_stop(client, c);
+  };
+
+  struct Observed {
+    std::vector<std::vector<Event>> per_worker;
+    std::uint64_t clients_aborted = 0;
+    std::uint64_t blocks_reclaimed = 0;
+    std::uint64_t credits_reclaimed = 0;
+  };
+
+  const auto server_body = [&](ServerTransport& server, Observed& observed) {
+    transport::WorkerPoolOptions steal_on;
+    steal_on.steal = true;
+    steal_on.steal_threshold = 2;
+    server.set_worker_count(kWorkers, steal_on);
+    std::atomic<int> finished{0};  // stops + aborts
+    std::mutex held_mutex;
+    std::vector<shm::BlockRef> victim_held;
+    std::array<std::atomic<std::uint32_t>, kClients> processed{};
+    std::vector<std::thread> workers;
+    workers.reserve(kWorkers);
+    for (int w = 0; w < kWorkers; ++w) {
+      workers.emplace_back([&, w] {
+        auto& seen = observed.per_worker[static_cast<std::size_t>(w)];
+        while (auto event = server.next_event(w)) {
+          seen.push_back(*event);
+          switch (event->type) {
+            case EventType::kBlockWritten:
+              EXPECT_TRUE(block_matches(
+                  server, *event, event->source * 1000 + event->block_id));
+              if (event->source == kVictim) {
+                // Mid-iteration: a real server holds blocks until the
+                // iteration closes — the victim's never does.
+                std::lock_guard<std::mutex> lock(held_mutex);
+                victim_held.push_back(event->block);
+              } else {
+                server.release(event->block);
+              }
+              processed[static_cast<std::size_t>(event->source)].fetch_add(1);
+              break;
+            case EventType::kClientAborted: {
+              EXPECT_EQ(event->source, kVictim);
+              // The abort is gated like a stop: every block the corpse
+              // published was processed before it was handed out.
+              EXPECT_EQ(
+                  processed[static_cast<std::size_t>(kVictim)].load(),
+                  kVictimBlocks)
+                  << "abort overtook an in-flight block of the dead client";
+              // Reclaim FIRST (mark dead), then drop the partial
+              // iteration — on mpi the credits for these blocks must be
+              // swallowed, not shipped to the corpse.
+              server.reclaim_client(event->source);
+              std::vector<shm::BlockRef> drop;
+              {
+                std::lock_guard<std::mutex> lock(held_mutex);
+                drop.swap(victim_held);
+              }
+              for (const auto& ref : drop) server.release(ref);
+              if (finished.fetch_add(1) + 1 == kClients)
+                server.end_of_stream();
+              break;
+            }
+            case EventType::kClientStop:
+              EXPECT_NE(event->source, kVictim) << "the dead spoke";
+              EXPECT_EQ(
+                  processed[static_cast<std::size_t>(event->source)].load(),
+                  kBlocks);
+              if (finished.fetch_add(1) + 1 == kClients)
+                server.end_of_stream();
+              break;
+            default:
+              ADD_FAILURE() << "unexpected event type";
+          }
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+    const auto stats = server.stats();
+    observed.clients_aborted = stats.clients_aborted;
+    observed.blocks_reclaimed = stats.blocks_reclaimed;
+    observed.credits_reclaimed = stats.credits_reclaimed;
+  };
+
+  const auto verify_survivors = [&](const Observed& observed) {
+    // Exactly-once and per-(worker, client) FIFO subsequences, steal
+    // migrations notwithstanding; the victim contributes at most its
+    // pre-death blocks, exactly once each.
+    std::map<std::pair<int, std::uint32_t>, int> deliveries;
+    for (int w = 0; w < kWorkers; ++w) {
+      std::map<int, std::uint32_t> last_id;
+      for (const Event& event :
+           observed.per_worker[static_cast<std::size_t>(w)]) {
+        if (event.type != EventType::kBlockWritten) continue;
+        ++deliveries[{event.source, event.block_id}];
+        auto [it, first] = last_id.try_emplace(event.source, event.block_id);
+        if (!first) {
+          EXPECT_GT(event.block_id, it->second)
+              << "client " << event.source << " reordered on worker " << w;
+          it->second = event.block_id;
+        }
+      }
+    }
+    EXPECT_EQ(deliveries.size(),
+              static_cast<std::size_t>(kClients - 1) * kBlocks + kVictimBlocks);
+    for (const auto& [key, count] : deliveries)
+      EXPECT_EQ(count, 1) << "client " << key.first << " block " << key.second;
+    EXPECT_EQ(observed.clients_aborted, 1u);
+  };
+
+  {
+    SCOPED_TRACE("shm");
+    auto fabric = std::make_shared<transport::ShmFabric>(
+        kCapacity, /*queue_count=*/1, /*queue_capacity=*/256);
+    Observed observed;
+    observed.per_worker.resize(kWorkers);
+    std::vector<std::thread> threads;
+    threads.reserve(kClients + 1);
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, c] {
+        transport::ShmClientTransport client(fabric, 0, /*client_index=*/c);
+        client_body(client, c);
+      });
+    }
+    threads.emplace_back([&] {
+      transport::ShmServerTransport server(fabric, 0);
+      server_body(server, observed);
+    });
+    for (auto& t : threads) t.join();
+    verify_survivors(observed);
+    // The liveness ledger reclaimed the acquired-but-unpublished block...
+    EXPECT_EQ(observed.blocks_reclaimed, 1u);
+    // ...and with every published block released too, nothing pins the
+    // segment: a leaked byte here is a permanent leak in a real node.
+    EXPECT_EQ(fabric->segment.used(), 0u);
+  }
+  {
+    SCOPED_TRACE("mpi");
+    Observed observed;
+    observed.per_worker.resize(kWorkers);
+    const std::uint64_t share = kCapacity / kClients;
+    minimpi::run_world(kClients + 1, [&](minimpi::Comm& world) {
+      if (world.rank() < kClients) {
+        transport::MpiClientTransport client(world, kClients, share);
+        client_body(client, world.rank());
+      } else {
+        auto fabric = std::make_shared<transport::ShmFabric>(
+            kCapacity, /*queue_count=*/0, /*queue_capacity=*/256);
+        transport::MpiServerTransport server(world, fabric);
+        server_body(server, observed);
+      }
+    });
+    verify_survivors(observed);
+    // The victim's held blocks were released after reclaim_client: their
+    // frame credits were swallowed instead of being sent to the corpse.
+    EXPECT_GT(observed.credits_reclaimed, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zombie controls: once a client's abort has been consumed, controls of
+// that client still sitting in (or later reaching) the demux are
+// cancelled — nothing must ever wait on a barrier whose client is dead —
+// while its stray blocks still flow so the server can release them.
+// ---------------------------------------------------------------------------
+
+TEST(TransportConformanceTest, DemuxCancelsZombieControlsAfterAbort) {
+  auto fabric = std::make_shared<transport::ShmFabric>(1 << 16, 1, 64);
+  transport::ShmServerTransport server(fabric, 0);
+
+  const auto make_block = [&](std::uint32_t id) {
+    auto ref = fabric->segment.try_allocate(128);
+    EXPECT_TRUE(ref.has_value());
+    Event event;
+    event.type = EventType::kBlockWritten;
+    event.source = 0;
+    event.block_id = id;
+    event.block = *ref;
+    return event;
+  };
+
+  // A node monitor's view of a crashed client: a legitimate block, then
+  // the injected abort — and then stragglers that raced the monitor (a
+  // control that must be cancelled, a block that must still flow).
+  ASSERT_TRUE(fabric->queues[0]->push(make_block(0)));
+  Event abort_event;
+  abort_event.type = EventType::kClientAborted;
+  abort_event.source = 0;
+  ASSERT_TRUE(fabric->queues[0]->push(abort_event));
+  Event zombie_control;
+  zombie_control.type = EventType::kEndIteration;
+  zombie_control.source = 0;
+  ASSERT_TRUE(fabric->queues[0]->push(zombie_control));
+  ASSERT_TRUE(fabric->queues[0]->push(make_block(1)));
+  Event stop;
+  stop.type = EventType::kClientStop;
+  stop.source = 1;
+  ASSERT_TRUE(fabric->queues[0]->push(stop));
+
+  server.set_worker_count(2);
+  std::atomic<int> dead_client_events{0};
+  std::atomic<int> stops{0};
+  std::atomic<bool> zombie_control_delivered{false};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 2; ++w) {
+    workers.emplace_back([&, w] {
+      while (auto event = server.next_event(w)) {
+        if (event->source == 0) {
+          if (event->type == EventType::kEndIteration)
+            zombie_control_delivered.store(true);
+          if (event->type == EventType::kBlockWritten)
+            server.release(event->block);
+          ++dead_client_events;
+        } else if (event->type == EventType::kClientStop) {
+          ++stops;
+        }
+        // Expected stream: block 0, abort, block 1 (flows), stop — the
+        // zombie end-iteration is cancelled, never handed to a worker.
+        if (stops.load() == 1 && dead_client_events.load() >= 3)
+          server.end_of_stream();
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  EXPECT_FALSE(zombie_control_delivered.load())
+      << "a dead client's control reached a worker";
+  EXPECT_EQ(dead_client_events.load(), 3);
+  EXPECT_EQ(server.stats().controls_cancelled, 1u);
+  EXPECT_EQ(fabric->segment.used(), 0u);
+}
+
+// ---------------------------------------------------------------------------
 // Credit accounting: a request larger than the whole budget must fail fast
 // on BOTH acquire flavors (the blocking one used to be able to wait forever
 // on credit that could never cover it — this test hangs, and times the
