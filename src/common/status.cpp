@@ -15,6 +15,7 @@ std::string_view status_code_name(StatusCode code) noexcept {
     case StatusCode::kWouldBlock: return "WOULD_BLOCK";
     case StatusCode::kClosed: return "CLOSED";
     case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
     case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case StatusCode::kAborted: return "ABORTED";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";

@@ -23,6 +23,8 @@ enum class StatusCode {
   kWouldBlock,        ///< nonblocking op could not proceed
   kClosed,            ///< endpoint shut down
   kIoError,           ///< storage backend failure
+  kDataLoss,          ///< stored bytes unrecoverable (checksum mismatch,
+                      ///< missing chunk replica) — retrying cannot help
   kFailedPrecondition,///< object not in the required state
   kAborted,           ///< operation cancelled (e.g. skip-iteration policy)
   kUnimplemented,
@@ -51,6 +53,7 @@ class Status {
   static Status would_block(std::string m) { return {StatusCode::kWouldBlock, std::move(m)}; }
   static Status closed(std::string m) { return {StatusCode::kClosed, std::move(m)}; }
   static Status io_error(std::string m) { return {StatusCode::kIoError, std::move(m)}; }
+  static Status data_loss(std::string m) { return {StatusCode::kDataLoss, std::move(m)}; }
   static Status failed_precondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
   static Status aborted(std::string m) { return {StatusCode::kAborted, std::move(m)}; }
   static Status unimplemented(std::string m) { return {StatusCode::kUnimplemented, std::move(m)}; }

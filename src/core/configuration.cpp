@@ -5,6 +5,7 @@
 
 #include "common/bytes.hpp"
 #include "compress/codec.hpp"
+#include "storage/placement.hpp"
 
 namespace dedicore::core {
 
@@ -196,6 +197,20 @@ Configuration Configuration::from_xml(const xml::Node& root) {
         static_cast<int>(storage->attribute_int("max_concurrent", 0));
     s.backend = storage->attribute_or("backend", "sim");
     s.path = storage->attribute_or("path", "");
+    // Sharded layout: ';'-separated root directories.
+    const std::string roots = storage->attribute_or("roots", "");
+    for (std::size_t begin = 0; begin < roots.size();) {
+      std::size_t end = roots.find(';', begin);
+      if (end == std::string::npos) end = roots.size();
+      s.roots.push_back(roots.substr(begin, end - begin));
+      begin = end + 1;
+    }
+    s.chunk_size = parse_bytes(storage->attribute_or("chunk_size", "0"));
+    s.placement = storage->attribute_or("placement", "round_robin");
+    s.placement_seed =
+        static_cast<std::uint64_t>(storage->attribute_int("placement_seed", 0));
+    s.replication =
+        static_cast<int>(storage->attribute_int("replication", s.replication));
     s.write_behind_bytes = parse_bytes(storage->attribute_or("write_behind", "0"));
     s.retries = static_cast<int>(storage->attribute_int("retries", s.retries));
     cfg.set_storage(std::move(s));
@@ -392,9 +407,45 @@ void Configuration::validate() const {
   if (storage_.backend != "sim" && storage_.backend != "posix")
     throw ConfigError("storage backend must be 'sim' or 'posix', got '" +
                       storage_.backend + "'");
-  if (storage_.backend == "posix" && storage_.path.empty())
+  if (storage_.backend == "posix" && storage_.path.empty() &&
+      storage_.roots.empty())
     throw ConfigError("storage backend 'posix' requires a path attribute "
-                      "(the root directory for emitted files)");
+                      "(single root) or roots (sharded multi-root layout)");
+  if (!storage_.roots.empty()) {
+    if (storage_.backend != "posix")
+      throw ConfigError("storage roots (sharded layout) requires backend "
+                        "'posix', got '" + storage_.backend + "'");
+    if (!storage_.path.empty())
+      throw ConfigError("storage path and roots are mutually exclusive: use "
+                        "path for a single root, roots for the sharded "
+                        "layout");
+    for (const auto& root : storage_.roots)
+      if (root.empty())
+        throw ConfigError("storage roots contains an empty entry (check the "
+                          "';' separators)");
+    if (storage_.replication < 1 ||
+        storage_.replication > static_cast<int>(storage_.roots.size()))
+      throw ConfigError("storage replication must be within [1, root count "
+                        "= " + std::to_string(storage_.roots.size()) +
+                        "], got " + std::to_string(storage_.replication));
+    (void)storage::placement_policy_from_name(storage_.placement);  // throws
+    // A typo'd "512" where "512KiB" was meant would shatter every image
+    // into thousands of chunk files; refuse stripes below 512 bytes.
+    if (storage_.chunk_size != 0 && storage_.chunk_size < 512)
+      throw ConfigError("storage chunk_size must be 0 (default) or >= 512 "
+                        "bytes, got " +
+                        std::to_string(storage_.chunk_size));
+  } else {
+    // Sharded-only attributes on a non-sharded configuration are a typo,
+    // not a no-op: fail loudly like every other config inconsistency.
+    if (storage_.replication != 1)
+      throw ConfigError("storage replication requires a sharded roots "
+                        "layout");
+    if (storage_.chunk_size != 0)
+      throw ConfigError("storage chunk_size requires a sharded roots layout");
+    if (storage_.placement != "round_robin")
+      throw ConfigError("storage placement requires a sharded roots layout");
+  }
   (void)compress::codec_id(storage_.codec);  // throws on unknown codec
   // `!(x >= 1.0)` (rather than `x < 1.0`) also rejects NaN.
   if (!(storage_.min_ratio >= 1.0) || !std::isfinite(storage_.min_ratio))

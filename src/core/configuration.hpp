@@ -129,7 +129,22 @@ struct StorageSpec {
   /// or "posix" (real files under `path`, emitted through an async
   /// write-behind queue drained by the server workers).
   std::string backend = "sim";
-  std::string path;               ///< posix root directory (required for posix)
+  std::string path;               ///< posix single-root directory
+  /// Sharded multi-root layout (XML: <storage roots="a;b;c">): images are
+  /// striped across these directories through the four-layer
+  /// chunking/placement/integrity/backend stack (storage::ShardedBackend).
+  /// Mutually exclusive with `path`; requires backend "posix".
+  std::vector<std::string> roots;
+  /// Stripe size of the sharded layout; 0 = default (1 MiB).  XML accepts
+  /// size suffixes: <storage chunk_size="4MiB">.
+  std::uint64_t chunk_size = 0;
+  /// Chunk placement policy: "round_robin" | "balanced" (bytes
+  /// outstanding per root).  Deterministic under `placement_seed`.
+  std::string placement = "round_robin";
+  std::uint64_t placement_seed = 0;
+  /// Copies per chunk on distinct roots (1..root count); 2 enables
+  /// degraded reads when a root is missing or a checksum fails.
+  int replication = 1;
   /// Byte budget of the posix write-behind queue (pending images); 0 =
   /// auto (the node's <buffer size>).  XML: <storage write_behind="32MiB">.
   std::uint64_t write_behind_bytes = 0;

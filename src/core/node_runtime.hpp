@@ -24,6 +24,7 @@
 #include "core/types.hpp"
 #include "fsim/filesystem.hpp"
 #include "storage/posix_backend.hpp"
+#include "storage/sharded_backend.hpp"
 #include "storage/sim_backend.hpp"
 #include "storage/write_behind.hpp"
 #include "transport/shm_transport.hpp"
@@ -98,8 +99,29 @@ struct NodeRuntime {
       // every server of the node, so its counters are node-wide.
       emit = std::make_shared<EmitStage>(config);
       if (config.storage().backend == "posix") {
-        storage = std::make_shared<storage::PosixBackend>(
-            std::filesystem::path(config.storage().path), faults);
+        if (!config.storage().roots.empty()) {
+          // Sharded multi-root layout: chunking + placement + per-chunk
+          // integrity over one PosixBackend per root.  Root i probes the
+          // posix.* fault points with target i, so a plan can fail one
+          // root of many.  The write-behind queue splits image jobs into
+          // chunk jobs, so the node's server workers drain roots in
+          // parallel.
+          std::vector<std::filesystem::path> roots;
+          for (const auto& root : config.storage().roots)
+            roots.emplace_back(root);
+          storage::ShardedOptions opts;
+          if (config.storage().chunk_size > 0)
+            opts.chunk_size = config.storage().chunk_size;
+          opts.placement = storage::placement_policy_from_name(
+              config.storage().placement);
+          opts.placement_seed = config.storage().placement_seed;
+          opts.replication = config.storage().replication;
+          storage = std::make_shared<storage::ShardedBackend>(
+              std::move(roots), opts, faults);
+        } else {
+          storage = std::make_shared<storage::PosixBackend>(
+              std::filesystem::path(config.storage().path), faults);
+        }
         const std::uint64_t budget = config.storage().write_behind_bytes > 0
                                          ? config.storage().write_behind_bytes
                                          : config.buffer_size();

@@ -1,0 +1,37 @@
+#include "storage/crc32c.hpp"
+
+#include <array>
+
+namespace dedicore::storage {
+
+namespace {
+
+// Table for the reflected Castagnoli polynomial, generated once at first
+// use (constant-initialized would also work but constexpr loops of 256*8
+// iterations cost compile time for no runtime benefit).
+const std::array<std::uint32_t, 256>& table() noexcept {
+  static const std::array<std::uint32_t, 256> t = [] {
+    std::array<std::uint32_t, 256> out{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+      out[i] = c;
+    }
+    return out;
+  }();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t crc,
+                            std::span<const std::byte> bytes) noexcept {
+  const auto& t = table();
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (const std::byte b : bytes)
+    c = t[(c ^ static_cast<std::uint32_t>(b)) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace dedicore::storage

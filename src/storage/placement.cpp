@@ -1,0 +1,91 @@
+#include "storage/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/status.hpp"
+
+namespace dedicore::storage {
+
+namespace {
+
+/// FNV-1a over (seed, path) — stable across runs and platforms, unlike
+/// std::hash, so "deterministic layout under a seed" survives a rebuild.
+std::uint64_t stable_hash(std::uint64_t seed, const std::string& path) noexcept {
+  std::uint64_t h = 14695981039346656037ull ^ seed;
+  for (const char c : path) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+PlacementPolicy placement_policy_from_name(const std::string& name) {
+  if (name == "round_robin") return PlacementPolicy::kRoundRobin;
+  if (name == "balanced") return PlacementPolicy::kBalanced;
+  throw ConfigError("storage placement must be 'round_robin' or 'balanced', "
+                    "got '" + name + "'");
+}
+
+const char* placement_policy_name(PlacementPolicy policy) noexcept {
+  return policy == PlacementPolicy::kRoundRobin ? "round_robin" : "balanced";
+}
+
+Placement::Placement(PlacementPolicy policy, int root_count, int replication,
+                     std::uint64_t seed)
+    : policy_(policy),
+      root_count_(root_count),
+      replication_(replication),
+      seed_(seed),
+      assigned_(static_cast<std::size_t>(root_count), 0) {
+  DEDICORE_CHECK(root_count_ >= 1, "Placement: root_count must be >= 1");
+  DEDICORE_CHECK(replication_ >= 1 && replication_ <= root_count_,
+                 "Placement: replication must be in [1, root_count]");
+}
+
+std::vector<ChunkPlacement> Placement::place(
+    const std::string& path, const std::vector<std::uint64_t>& chunk_sizes) {
+  std::vector<ChunkPlacement> out(chunk_sizes.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (policy_ == PlacementPolicy::kRoundRobin) {
+    const std::uint64_t start = stable_hash(seed_, path);
+    for (std::size_t i = 0; i < chunk_sizes.size(); ++i) {
+      out[i].roots.reserve(static_cast<std::size_t>(replication_));
+      for (int k = 0; k < replication_; ++k) {
+        // Offsets i, i+1, ... are distinct mod root_count for k <
+        // replication <= root_count, so replicas never share a root.
+        const int root = static_cast<int>(
+            (start + i + static_cast<std::uint64_t>(k)) %
+            static_cast<std::uint64_t>(root_count_));
+        out[i].roots.push_back(root);
+        assigned_[static_cast<std::size_t>(root)] += chunk_sizes[i];
+      }
+    }
+    return out;
+  }
+  // Balanced: per chunk, pick the `replication` least-loaded distinct
+  // roots (ties to the lowest index), then charge the chunk's bytes to
+  // each — so the next chunk sees the updated load.
+  std::vector<int> order(static_cast<std::size_t>(root_count_));
+  for (std::size_t i = 0; i < chunk_sizes.size(); ++i) {
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return assigned_[static_cast<std::size_t>(a)] <
+             assigned_[static_cast<std::size_t>(b)];
+    });
+    out[i].roots.assign(order.begin(),
+                        order.begin() + static_cast<std::size_t>(replication_));
+    for (const int root : out[i].roots)
+      assigned_[static_cast<std::size_t>(root)] += chunk_sizes[i];
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> Placement::assigned_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return assigned_;
+}
+
+}  // namespace dedicore::storage

@@ -17,31 +17,38 @@ namespace dedicore::storage {
 
 namespace {
 
-std::string errno_text(const char* op, const std::string& path) {
-  return std::string(op) + " '" + path + "': " + std::strerror(errno);
-}
-
 /// Temps are "<final>.part-<id>"; anything carrying the marker is an
 /// unpublished (possibly torn) image, invisible to readers.
 bool is_temp_name(const std::string& filename) {
   return filename.find(".part-") != std::string::npos;
 }
 
+}  // namespace
+
+std::string PosixBackend::err_prefix(const char* op,
+                                     const std::string& path) const {
+  return "posix " + std::string(op) + " [root " + root_.string() + "] '" +
+         path + "'";
+}
+
+std::string PosixBackend::errno_text(const char* op,
+                                     const std::string& path) const {
+  return err_prefix(op, path) + ": " + std::strerror(errno);
+}
+
 /// Durability of a rename is a property of the *directory*, not the file:
 /// without this fsync a crash can roll the directory entry back to the
 /// pre-rename state even though the inode was synced.
-Status fsync_parent_dir(const std::filesystem::path& final_full,
-                        const std::string& path) {
+Status PosixBackend::fsync_parent_dir(const std::filesystem::path& final_full,
+                                      const std::string& path) const {
   const int dirfd = ::open(final_full.parent_path().c_str(),
                            O_RDONLY | O_DIRECTORY);
-  if (dirfd < 0) return Status::io_error(errno_text("posix opendir", path));
+  if (dirfd < 0) return Status::io_error(errno_text("opendir", path));
   const int rc = ::fsync(dirfd);
   ::close(dirfd);
-  if (rc != 0) return Status::io_error(errno_text("posix fsync dir", path));
+  if (rc != 0) return Status::io_error(errno_text("fsync dir", path));
   return Status::ok();
 }
-
-}  // namespace
 
 struct PosixBackend::OpenFile {
   std::string path;   ///< backend-relative, for diagnostics
@@ -54,8 +61,11 @@ struct PosixBackend::OpenFile {
 };
 
 PosixBackend::PosixBackend(std::filesystem::path root,
-                           std::shared_ptr<fault::FaultInjector> faults)
-    : root_(std::move(root)), faults_(std::move(faults)) {
+                           std::shared_ptr<fault::FaultInjector> faults,
+                           int fault_target)
+    : root_(std::move(root)),
+      faults_(std::move(faults)),
+      fault_target_(fault_target) {
   std::error_code ec;
   std::filesystem::create_directories(root_, ec);
   if (ec)
@@ -151,8 +161,8 @@ Status PosixBackend::create(const std::string& path, FileHandle* out,
   std::error_code ec;
   std::filesystem::create_directories(full.parent_path(), ec);
   if (ec)
-    return Status::io_error("posix create: mkdir for '" + path +
-                            "': " + ec.message());
+    return Status::io_error(err_prefix("create: mkdir", path) + ": " +
+                            ec.message());
 
   // Write into a same-directory temp; the final name appears only at
   // close(), after the bytes are durable (fsync + rename + dir fsync).
@@ -166,7 +176,7 @@ Status PosixBackend::create(const std::string& path, FileHandle* out,
   const std::filesystem::path temp(full.string() + ".part-" +
                                    std::to_string(id));
   const int fd = ::open(temp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
-  if (fd < 0) return Status::io_error(errno_text("posix create", path));
+  if (fd < 0) return Status::io_error(errno_text("create", path));
 
   auto file = std::make_shared<OpenFile>();
   file->path = path;
@@ -192,13 +202,13 @@ Status PosixBackend::open(const std::string& path, FileHandle* out) {
   const int fd = ::open(full.c_str(), O_WRONLY);
   if (fd < 0) {
     if (errno == ENOENT)
-      return Status::not_found("posix open: no such file '" + path + "'");
-    return Status::io_error(errno_text("posix open", path));
+      return Status::not_found(err_prefix("open", path) + ": no such file");
+    return Status::io_error(errno_text("open", path));
   }
   const off_t end = ::lseek(fd, 0, SEEK_END);
   if (end < 0) {
     ::close(fd);
-    return Status::io_error(errno_text("posix open: lseek", path));
+    return Status::io_error(errno_text("open: lseek", path));
   }
 
   auto file = std::make_shared<OpenFile>();
@@ -228,9 +238,9 @@ Status PosixBackend::do_pwrite(FileHandle handle, std::uint64_t offset,
           " is closed or invalid");
     file = it->second;
   }
-  if (faults_ != nullptr && faults_->should_fire("posix.pwrite"))
-    return Status::io_error("posix pwrite '" + file->path +
-                            "': injected EIO");
+  if (faults_ != nullptr && faults_->should_fire("posix.pwrite", fault_target_))
+    return Status::io_error(err_prefix("pwrite", file->path) +
+                            ": injected EIO");
 
   Stopwatch timer;
   {
@@ -243,7 +253,7 @@ Status PosixBackend::do_pwrite(FileHandle handle, std::uint64_t offset,
           bytes.size() - done, static_cast<off_t>(offset + done));
       if (n < 0) {
         if (errno == EINTR) continue;
-        return Status::io_error(errno_text("posix pwrite", file->path));
+        return Status::io_error(errno_text("pwrite", file->path));
       }
       done += static_cast<std::size_t>(n);
     }
@@ -290,20 +300,21 @@ Status PosixBackend::close(FileHandle handle) {
   // startup's recovery scan; the final name was never touched.  Returns ok
   // because a real crash never returns at all: the interesting observer is
   // the next incarnation of the backend, not this caller.
-  if (faults_ != nullptr && faults_->should_fire("posix.crash_on_close")) {
+  if (faults_ != nullptr &&
+      faults_->should_fire("posix.crash_on_close", fault_target_)) {
     ::close(file->fd);
     file->fd = -1;
     return Status::ok();
   }
 
   Status result = Status::ok();
-  if (faults_ != nullptr && faults_->should_fire("posix.fsync"))
-    result = Status::io_error("posix fsync '" + file->path +
-                              "': injected EIO");
+  if (faults_ != nullptr && faults_->should_fire("posix.fsync", fault_target_))
+    result = Status::io_error(err_prefix("fsync", file->path) +
+                              ": injected EIO");
   else if (::fsync(file->fd) != 0)
-    result = Status::io_error(errno_text("posix fsync", file->path));
+    result = Status::io_error(errno_text("fsync", file->path));
   if (::close(file->fd) != 0 && result.is_ok())
-    result = Status::io_error(errno_text("posix close", file->path));
+    result = Status::io_error(errno_text("close", file->path));
   file->fd = -1;
 
   // Publication happens only after a clean fsync: a failed close leaves
@@ -312,11 +323,11 @@ Status PosixBackend::close(FileHandle handle) {
   // dead temp is invisible to readers and swept by the next recovery scan.
   if (!result.is_ok() || !file->pending_rename) return result;
 
-  if (faults_ != nullptr && faults_->should_fire("posix.rename"))
-    return Status::io_error("posix rename '" + file->path +
-                            "': injected EIO");
+  if (faults_ != nullptr && faults_->should_fire("posix.rename", fault_target_))
+    return Status::io_error(err_prefix("rename", file->path) +
+                            ": injected EIO");
   if (::rename(file->write_full.c_str(), file->final_full.c_str()) != 0)
-    return Status::io_error(errno_text("posix rename", file->path));
+    return Status::io_error(errno_text("rename", file->path));
   return fsync_parent_dir(file->final_full, file->path);
 }
 

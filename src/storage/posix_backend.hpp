@@ -51,9 +51,12 @@ class PosixBackend final : public StorageBackend {
   /// directory cannot be created or is not writable.  Then runs the
   /// recovery scan: torn temps from a previous crashed run are moved to
   /// "<root>/.quarantine/" and counted.  `faults` (optional) enables the
-  /// posix.* injection points.
+  /// posix.* injection points; `fault_target` is the target id this
+  /// backend probes them with (-1 = untargeted) — ShardedBackend passes
+  /// the root index so a fault plan can fail one root of many.
   explicit PosixBackend(std::filesystem::path root,
-                        std::shared_ptr<fault::FaultInjector> faults = nullptr);
+                        std::shared_ptr<fault::FaultInjector> faults = nullptr,
+                        int fault_target = -1);
   ~PosixBackend() override;
 
   PosixBackend(const PosixBackend&) = delete;
@@ -105,6 +108,14 @@ class PosixBackend final : public StorageBackend {
   /// Validates a backend path and maps it under root; Status on empty,
   /// absolute, or '..'-escaping paths.
   Status materialize(const std::string& path, std::filesystem::path* out) const;
+  /// "posix <op> [root <root>] '<path>'" — every I/O error Status starts
+  /// with this, so a multi-root failure is attributable from the message
+  /// alone.
+  std::string err_prefix(const char* op, const std::string& path) const;
+  /// err_prefix + ": " + strerror(errno).
+  std::string errno_text(const char* op, const std::string& path) const;
+  Status fsync_parent_dir(const std::filesystem::path& final_full,
+                          const std::string& path) const;
   Status do_pwrite(FileHandle file, std::uint64_t offset,
                    std::span<const std::byte> bytes, double* seconds,
                    bool append);
@@ -113,6 +124,7 @@ class PosixBackend final : public StorageBackend {
 
   std::filesystem::path root_;
   std::shared_ptr<fault::FaultInjector> faults_;
+  int fault_target_ = -1;
   mutable std::mutex mutex_;  ///< handle table + counters
   std::uint64_t next_id_ = 1;
   std::unordered_map<std::uint64_t, std::shared_ptr<OpenFile>> open_;

@@ -1,0 +1,220 @@
+// Four-layer sharded storage stack — the real-Lustre analogue of fsim's
+// OSTs, on real disks.  One logical image written through the ordinary
+// StorageBackend contract is
+//
+//   1. CHUNKED    into fixed-size stripes (`chunk_size` bytes; the last
+//                 chunk may be short),
+//   2. PLACED     across N roots by a deterministic `Placement` policy
+//                 (round-robin or bytes-outstanding balancing; replicas of
+//                 one chunk never share a root),
+//   3. CHECKED    with a per-chunk CRC32C recorded in the manifest and
+//                 verified on every read-back (`kDataLoss` on mismatch),
+//   4. PERSISTED  through one `PosixBackend` per root — inheriting PR 8's
+//                 crash-consistent temp -> fsync -> rename publication and
+//                 per-root `posix.*` fault points (probed with the root
+//                 index as the fault target).
+//
+// On disk an image `dir/img.h5l` becomes
+//
+//   <root[a]>/dir/img.h5l.chunk-0        (primary of chunk 0)
+//   <root[b]>/dir/img.h5l.chunk-0        (replica, replication=2)
+//   <root[c]>/dir/img.h5l.chunk-1        ...
+//   <root[a]>/dir/img.h5l.manifest       (text; see below)
+//
+// The MANIFEST is the publication point, exactly like minidfs's MetaServer
+// maps chunks to DataNodes: chunk files are invisible until the manifest
+// names them, the manifest is written last through the same durable
+// temp+fsync+rename path, and the logical namespace (exists / list_files /
+// file_size) is defined by manifests alone.  Format (line-oriented text,
+// one `chunk` line per stripe; crc in hex, roots in replica order):
+//
+//   dedicore-sharded-manifest v1
+//   size 2621440
+//   chunk_size 1048576
+//   replication 2
+//   chunks 3
+//   chunk 0 1048576 1c291ca3 0,1
+//   chunk 1 1048576 e3069283 1,2
+//   chunk 2 524288 8a9136aa 2,0
+//
+// Reads reassemble from the manifest, verifying each chunk's CRC; with
+// replication >= 2 a missing or corrupt copy falls back to the next
+// replica (a *degraded read*, counted), and only when every copy of some
+// chunk is gone or corrupt does the read fail with kDataLoss.
+//
+// Write paths.  The synchronous path (write_image -> create/write/close)
+// and the write-behind path share the same three-step chunk API:
+// `plan_image` (chunking + placement + CRCs, decided atomically at plan
+// time so layouts are deterministic regardless of drain order), then one
+// `write_chunk` per stripe (independent jobs — roots drain in parallel),
+// then `publish_manifest` once every chunk landed.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "storage/backend.hpp"
+#include "storage/placement.hpp"
+#include "storage/posix_backend.hpp"
+
+namespace dedicore::storage {
+
+struct ShardedOptions {
+  std::uint64_t chunk_size = 1 << 20;  ///< stripe size in bytes
+  PlacementPolicy placement = PlacementPolicy::kRoundRobin;
+  std::uint64_t placement_seed = 0;
+  int replication = 1;  ///< copies per chunk, in [1, root count]
+};
+
+/// One image's frozen layout: chunk sizes, CRCs, and chunk -> root map.
+/// Produced by plan_image, consumed by write_chunk/publish_manifest (and
+/// by the manifest parser on the read side).
+struct ChunkPlan {
+  std::string path;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t chunk_size = 0;
+  int replication = 1;
+  std::vector<std::uint64_t> sizes;         ///< per-chunk byte counts
+  std::vector<std::uint32_t> crcs;          ///< per-chunk CRC32C
+  std::vector<ChunkPlacement> placements;   ///< per-chunk root indices
+
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return sizes.size();
+  }
+  /// Byte offset of chunk `i` within the image.
+  [[nodiscard]] std::uint64_t offset_of(std::size_t i) const noexcept {
+    return chunk_size * static_cast<std::uint64_t>(i);
+  }
+};
+
+/// Sharded-layer counters beyond the logical StorageStats (exported in the
+/// stats_json snapshot; replica writes are counted individually).
+struct ShardedCounters {
+  std::uint64_t chunks_written = 0;         ///< chunk-replica files landed
+  std::uint64_t degraded_chunk_writes = 0;  ///< chunks that lost >=1 replica
+  std::uint64_t manifests_published = 0;
+  std::uint64_t corrupt_chunks_detected = 0;///< CRC/size mismatches on read
+  std::uint64_t degraded_reads = 0;         ///< reads served past a bad copy
+};
+
+class ShardedBackend final : public StorageBackend {
+ public:
+  /// Creates every root (ConfigError if any cannot be created / written,
+  /// or if two roots resolve to the same directory).  Each root runs the
+  /// PosixBackend recovery scan.  `faults` is shared by all roots; root
+  /// `i` probes posix.* points with target `i`, so an XML fault plan can
+  /// fail exactly one root of many.
+  ShardedBackend(std::vector<std::filesystem::path> roots,
+                 ShardedOptions options,
+                 std::shared_ptr<fault::FaultInjector> faults = nullptr);
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "sharded";
+  }
+
+  // -- StorageBackend contract (staging handles; close() publishes) -------
+  Status create(const std::string& path, FileHandle* out,
+                int stripe_count = 0) override;
+  Status open(const std::string& path, FileHandle* out) override;
+  Status write(FileHandle file, std::span<const std::byte> bytes,
+               double* seconds = nullptr) override;
+  Status pwrite(FileHandle file, std::uint64_t offset,
+                std::span<const std::byte> bytes,
+                double* seconds = nullptr) override;
+  Status close(FileHandle file) override;
+
+  [[nodiscard]] bool exists(const std::string& path) const override;
+  [[nodiscard]] std::optional<std::vector<std::byte>> read_file(
+      const std::string& path) const override;
+  [[nodiscard]] std::uint64_t file_size(const std::string& path) const override;
+  [[nodiscard]] std::vector<std::string> list_files() const override;
+  [[nodiscard]] std::size_t file_count() const override;
+  /// Logical stats: one files_created per image, bytes_written of image
+  /// bytes (not replica bytes) — so the conformance counters match the
+  /// sim/posix backends for the same workload.  Per-root physical stats:
+  /// root_stats().
+  [[nodiscard]] StorageStats stats() const override;
+
+  // -- chunk-granular write API (sync close() and WriteBehind share it) ---
+  /// Freezes the layout of one image: split into chunks, CRC each, place
+  /// across roots.  Placement state (balanced bytes-outstanding) advances
+  /// here, atomically per image, so twin runs that plan the same sequence
+  /// get identical layouts no matter how drains interleave later.
+  [[nodiscard]] std::shared_ptr<ChunkPlan> plan_image(
+      const std::string& path, std::span<const std::byte> image);
+  /// Writes chunk `index` (all replicas) per the plan.  Ok when at least
+  /// one replica landed (fewer than planned = degraded, logged + counted);
+  /// kIoError only when every replica failed — transient, so WriteBehind
+  /// retries it.  `chunk` must be exactly the planned slice.
+  Status write_chunk(const ChunkPlan& plan, std::size_t index,
+                     std::span<const std::byte> chunk,
+                     double* seconds = nullptr);
+  /// Publishes the manifest (the image becomes visible); call only after
+  /// every chunk landed.  Replicated onto `replication` distinct roots.
+  Status publish_manifest(const ChunkPlan& plan);
+
+  // -- verified read ------------------------------------------------------
+  /// Reassembles `path`, verifying every chunk CRC.  kNotFound when no
+  /// manifest exists; kDataLoss when any chunk is unrecoverable (all
+  /// copies missing, truncated, or checksum-mismatched).  `*degraded`
+  /// (when non-null) reports whether any chunk was served by falling past
+  /// a missing/corrupt copy.
+  Status read_image(const std::string& path, std::vector<std::byte>* out,
+                    bool* degraded = nullptr) const;
+
+  // -- introspection ------------------------------------------------------
+  [[nodiscard]] std::size_t root_count() const noexcept {
+    return roots_.size();
+  }
+  [[nodiscard]] PosixBackend& root_backend(std::size_t i) {
+    return *roots_.at(i);
+  }
+  [[nodiscard]] const PosixBackend& root_backend(std::size_t i) const {
+    return *roots_.at(i);
+  }
+  /// Physical per-root stats (chunk + manifest files, replica bytes).
+  [[nodiscard]] std::vector<StorageStats> root_stats() const;
+  [[nodiscard]] ShardedCounters counters() const;
+  [[nodiscard]] const ShardedOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] const Placement& placement() const noexcept {
+    return *placement_;
+  }
+  [[nodiscard]] std::size_t open_handles() const;
+  /// JSON snapshot of the whole stack: aggregate logical stats, the
+  /// sharded counters, and one object per root with its physical stats —
+  /// the per-root observability surface the ROADMAP's metrics item wants.
+  [[nodiscard]] std::string stats_json() const;
+
+  static constexpr std::string_view kManifestSuffix = ".manifest";
+  static constexpr std::string_view kChunkInfix = ".chunk-";
+
+ private:
+  struct OpenImage;
+
+  /// Parses `path`'s manifest from whichever root has one (replicas tried
+  /// in deterministic order, then every other root).  kNotFound when none
+  /// exists anywhere; kDataLoss on a malformed manifest.
+  Status load_manifest(const std::string& path, ChunkPlan* out) const;
+  /// Roots that receive the manifest copies for this plan.
+  [[nodiscard]] std::vector<int> manifest_roots(const ChunkPlan& plan) const;
+
+  std::vector<std::unique_ptr<PosixBackend>> roots_;
+  ShardedOptions options_;
+  std::unique_ptr<Placement> placement_;
+
+  mutable std::mutex mutex_;  ///< handle table + logical stats + counters
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, std::shared_ptr<OpenImage>> open_;
+  StorageStats stats_;
+  mutable ShardedCounters counters_;  ///< read-side counters mutate in const reads
+};
+
+}  // namespace dedicore::storage

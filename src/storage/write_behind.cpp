@@ -5,6 +5,7 @@
 
 #include "common/clock.hpp"
 #include "common/log.hpp"
+#include "storage/sharded_backend.hpp"
 
 namespace dedicore::storage {
 
@@ -17,6 +18,10 @@ WriteBehind::WriteBehind(StorageBackend& backend, std::uint64_t budget_bytes,
       faults_(std::move(faults)) {
   DEDICORE_CHECK(budget_bytes_ > 0, "WriteBehind: budget must be positive");
   DEDICORE_CHECK(retries_ >= 1, "WriteBehind: retry budget must be >= 1");
+  // A sharded backend turns image jobs into chunk jobs (see enqueue), so
+  // concurrent drainers spread one image's chunks across roots in
+  // parallel instead of serializing the whole image on one thread.
+  sharded_ = dynamic_cast<ShardedBackend*>(&backend_);
 }
 
 WriteBehind::~WriteBehind() { close(); }
@@ -29,20 +34,92 @@ void WriteBehind::enqueue(Job job) {
     if (auto fired = faults_->fire("write_behind.enqueue_stall"))
       std::this_thread::sleep_for(std::chrono::microseconds(fired->magnitude));
   }
+  if (sharded_ != nullptr && !job.perform) {
+    enqueue_sharded(std::move(job));
+    return;
+  }
+  enqueue_one(std::move(job));
+}
+
+void WriteBehind::enqueue_sharded(Job job) {
+  // Freeze the layout now — placement advances in enqueue order, which is
+  // the producers' program order, so twin runs plan identical layouts no
+  // matter how the chunks later drain.
+  auto image =
+      std::make_shared<const std::vector<std::byte>>(std::move(job.image));
+  auto plan = sharded_->plan_image(job.path, *image);
+  ShardedBackend* sharded = sharded_;
+  if (plan->chunk_count() == 0) {
+    // Empty image: no stripes, just the (visible-making) manifest.
+    Job only;
+    only.path = job.path;
+    only.perform = [sharded, plan](double* seconds) {
+      if (seconds != nullptr) *seconds = 0.0;
+      return sharded->publish_manifest(*plan);
+    };
+    only.on_complete = std::move(job.on_complete);
+    enqueue_one(std::move(only));
+    return;
+  }
+  // One queue entry per chunk, plus a shared countdown ticket.  The
+  // drainer that completes the last chunk publishes the manifest (still
+  // on a drainer thread, under the serialized-callback lock) and fires
+  // the producer's on_complete exactly once with the aggregate verdict.
+  // Any chunk failure — including a quarantined poison chunk — withholds
+  // the manifest, so readers never see a partially-written image.
+  struct Ticket {
+    std::size_t remaining = 0;
+    Status first_error;
+    std::function<void(const Status&)> on_complete;
+  };
+  auto ticket = std::make_shared<Ticket>();
+  ticket->remaining = plan->chunk_count();
+  ticket->on_complete = std::move(job.on_complete);
+  for (std::size_t i = 0; i < plan->chunk_count(); ++i) {
+    Job chunk;
+    chunk.path = job.path + "#chunk-" + std::to_string(i);
+    chunk.charge_bytes = plan->sizes[i];
+    chunk.perform = [sharded, plan, image, i](double* seconds) {
+      return sharded->write_chunk(
+          *plan, i,
+          std::span<const std::byte>(*image).subspan(plan->offset_of(i),
+                                                     plan->sizes[i]),
+          seconds);
+    };
+    chunk.on_complete = [sharded, plan, ticket](const Status& st) {
+      // Serialized by callback_mutex_: the countdown and first_error need
+      // no extra synchronization.
+      if (!st.is_ok() && ticket->first_error.is_ok())
+        ticket->first_error = st;
+      if (--ticket->remaining != 0) return;
+      Status verdict = ticket->first_error;
+      if (verdict.is_ok())
+        verdict = sharded->publish_manifest(*plan);
+      else
+        DEDICORE_LOG(kError)
+            << "write-behind: withholding manifest for '" << plan->path
+            << "' after a chunk failure: " << verdict.to_string();
+      if (ticket->on_complete) ticket->on_complete(verdict);
+    };
+    enqueue_one(std::move(chunk));
+  }
+}
+
+void WriteBehind::enqueue_one(Job job) {
   Stopwatch blocked;
   for (;;) {
     std::unique_lock<std::mutex> lock(mutex_);
     DEDICORE_CHECK(!closed_, "WriteBehind: enqueue after close");
     // Admit when the budget has room — or when nothing is pending at all,
     // so an oversized job is let in alone and can never wait on itself.
-    if (pending_bytes_ + job.image.size() <= budget_bytes_ ||
+    if (pending_bytes_ + job.bytes() <= budget_bytes_ ||
         pending_bytes_ == 0) {
       stats_.enqueue_block_seconds += blocked.elapsed_seconds();
-      pending_bytes_ += job.image.size();
+      pending_bytes_ += job.bytes();
       stats_.max_pending_bytes =
           std::max(stats_.max_pending_bytes, pending_bytes_);
       ++stats_.jobs_enqueued;
-      stats_.bytes_enqueued += job.image.size();
+      stats_.bytes_enqueued += job.bytes();
       queue_.push_back(std::move(job));
       idle_.notify_all();  // a parked drain_all re-arms its pop loop
       return;
@@ -65,7 +142,7 @@ void WriteBehind::enqueue(Job job) {
     // Every pending byte is in flight on another drainer; those writes
     // finish without any help from us — park until one returns budget.
     space_.wait(lock, [&] {
-      return closed_ || pending_bytes_ + job.image.size() <= budget_bytes_ ||
+      return closed_ || pending_bytes_ + job.bytes() <= budget_bytes_ ||
              pending_bytes_ == 0 || !queue_.empty();
     });
     // Loop re-checks closed_ (fatal: enqueue-after-close) and re-evaluates
@@ -98,6 +175,8 @@ void WriteBehind::write_out(Job job) {
     ++attempts;
     if (faults_ != nullptr && faults_->should_fire("write_behind.write"))
       st = Status::io_error("write-behind '" + job.path + "': injected EIO");
+    else if (job.perform)
+      st = job.perform(&write_seconds);
     else
       st = write_image(backend_, job.path, job.image, job.stripe_count,
                        &write_seconds);
@@ -135,15 +214,15 @@ void WriteBehind::write_out(Job job) {
   // The job's budget share is released only now, after the backend call:
   // in-flight images still occupy memory, so they must still count
   // against the producers.
-  DEDICORE_CHECK(pending_bytes_ >= job.image.size(),
+  DEDICORE_CHECK(pending_bytes_ >= job.bytes(),
                  "WriteBehind: pending-byte accounting underflow");
-  pending_bytes_ -= job.image.size();
+  pending_bytes_ -= job.bytes();
   --in_flight_;
   stats_.drain_seconds += drained_in;
   stats_.retries += retries_used;
   if (st.is_ok()) {
     ++stats_.jobs_written;
-    stats_.bytes_written += job.image.size();
+    stats_.bytes_written += job.bytes();
   } else {
     ++stats_.jobs_failed;
     if (quarantined) ++stats_.jobs_quarantined;

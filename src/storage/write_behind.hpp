@@ -46,9 +46,22 @@ struct WriteBehindStats {
   std::uint64_t max_pending_bytes = 0; ///< high-water mark of the queue
 };
 
+class ShardedBackend;  // sharded_backend.hpp; enables chunk-granular jobs
+
 class WriteBehind {
  public:
   struct Job {
+    Job() = default;
+    /// Producer form: an image to persist (optionally with a completion
+    /// hook).  Kept as a constructor so the `perform`/`charge_bytes`
+    /// internals below stay invisible to producer call sites.
+    Job(std::string path_in, int stripes, std::vector<std::byte> image_in,
+        std::function<void(const Status&)> on_complete_in = nullptr)
+        : path(std::move(path_in)),
+          stripe_count(stripes),
+          image(std::move(image_in)),
+          on_complete(std::move(on_complete_in)) {}
+
     std::string path;
     int stripe_count = 0;
     std::vector<std::byte> image;
@@ -58,6 +71,15 @@ class WriteBehind {
     /// callbacks).  Producers use it to count durability at *drain* time
     /// — an enqueue is a promise, not a persisted file.
     std::function<void(const Status&)> on_complete;
+    /// Internal (chunk-granular splitting): when set, the drain runs this
+    /// instead of write_image and `charge_bytes` is the job's budget
+    /// share.  Producers leave both empty.
+    std::function<Status(double*)> perform;
+    std::uint64_t charge_bytes = 0;
+
+    [[nodiscard]] std::uint64_t bytes() const noexcept {
+      return perform ? charge_bytes : image.size();
+    }
   };
 
   /// `budget_bytes` bounds the pending (not yet drained) image bytes; a
@@ -85,6 +107,16 @@ class WriteBehind {
   /// the server's pipeline mutex), and it only sleeps when every pending
   /// byte is in flight on another drainer.  Deadlock-free by
   /// construction.  Fatal after close().
+  ///
+  /// Sharded backends make jobs CHUNK-GRANULAR: an image job is split at
+  /// enqueue time into one queue entry per chunk (layout frozen here via
+  /// plan_image, so placement is deterministic in enqueue order no matter
+  /// how drains interleave), concurrent drainers then write chunks of the
+  /// same image to different roots in parallel, and the drainer that
+  /// completes the image's last chunk publishes the manifest and fires
+  /// the producer's on_complete once with the aggregate verdict.  Chunk
+  /// jobs retry/quarantine individually; a quarantined chunk withholds
+  /// the manifest, so a partially-failed image is never visible.
   void enqueue(Job job);
 
   /// Drains up to `max_jobs` pending jobs on the calling thread (server
@@ -139,8 +171,14 @@ class WriteBehind {
   /// Pops one job; false when the queue is empty.
   bool pop(Job* out);
   void write_out(Job job);
+  /// Admission + bookkeeping shared by whole-image and chunk jobs.
+  void enqueue_one(Job job);
+  /// Splits an image job into per-chunk jobs + a manifest-publishing
+  /// completion ticket (sharded backends only).
+  void enqueue_sharded(Job job);
 
   StorageBackend& backend_;
+  ShardedBackend* sharded_ = nullptr;  ///< non-null when backend_ is sharded
   const std::uint64_t budget_bytes_;
   const int retries_;  ///< total attempts per job on transient failures
   std::shared_ptr<fault::FaultInjector> faults_;

@@ -4,6 +4,7 @@
 // round-trips).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <barrier>
 #include <cmath>
@@ -349,26 +350,38 @@ void run_ost_contention_scenario() {
   std::barrier start(kWriters);
   std::vector<std::thread> threads;
   std::vector<double> durations(kWriters, 0.0);
+  std::vector<double> started(kWriters, 0.0), finished(kWriters, 0.0);
   for (int t = 0; t < kWriters; ++t) {
     threads.emplace_back([&, t] {
       FileHandle f = fs.create("c" + std::to_string(t));
       start.arrive_and_wait();
+      started[static_cast<std::size_t>(t)] = fs.sim_now();
       durations[static_cast<std::size_t>(t)] = fs.write(f, payload);
+      finished[static_cast<std::size_t>(t)] = fs.sim_now();
     });
   }
   for (auto& t : threads) t.join();
 
-  double mean = 0;
   for (double d : durations) {
     // No writer can beat the full-bandwidth model (tolerance for float
     // accumulation only).
     EXPECT_GE(d, solo * 0.99);
-    mean += d / kWriters;
   }
-  // Four writers share one OST: the ideal mean is ~4x the solo model.
-  // Assert half of that — a band wide enough for imperfect overlap at the
-  // edges of the transfers, while still far above the no-contention case.
-  EXPECT_GT(mean, solo * 2.0);
+  // Conservation law of the single OST: it serves at most `ost_bandwidth`
+  // bytes per sim-second no matter how the four transfers interleave, so
+  // the whole batch must span at least total-volume / bandwidth.  This
+  // bound holds both when the writers overlap (each sees ~4x solo) AND
+  // when extreme 1-core CPU load serializes them (each sees ~1x solo but
+  // the batch stretches end to end) — the residual `ctest -j` flake was a
+  // mean-duration assertion that only the overlapped schedule satisfied.
+  // A broken contention model still fails it: four writers at full
+  // bandwidth in parallel would finish the batch in a quarter of the
+  // required span.
+  const double span = *std::max_element(finished.begin(), finished.end()) -
+                      *std::min_element(started.begin(), started.end());
+  const double total_bytes = static_cast<double>(kWriters) *
+                             static_cast<double>(payload.size());
+  EXPECT_GE(span, 0.99 * total_bytes / cfg.ost_bandwidth);
 }
 
 }  // namespace

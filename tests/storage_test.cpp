@@ -17,10 +17,12 @@
 //     worker pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <span>
 #include <thread>
 #include <vector>
@@ -31,7 +33,10 @@
 #include "framework/test_infra.hpp"
 #include "h5lite/h5lite.hpp"
 #include "minimpi/minimpi.hpp"
+#include "storage/crc32c.hpp"
+#include "storage/placement.hpp"
 #include "storage/posix_backend.hpp"
+#include "storage/sharded_backend.hpp"
 #include "storage/sim_backend.hpp"
 #include "storage/write_behind.hpp"
 
@@ -40,6 +45,8 @@ namespace {
 
 using storage::FileHandle;
 using storage::PosixBackend;
+using storage::ShardedBackend;
+using storage::ShardedOptions;
 using storage::SimBackend;
 using storage::StorageBackend;
 using storage::WriteBehind;
@@ -68,9 +75,40 @@ std::vector<std::byte> pattern_bytes(std::size_t n, int salt = 0) {
 // Conformance harness: both backends behind one factory
 // ---------------------------------------------------------------------------
 
-enum class Kind { kSim, kPosix };
+enum class Kind { kSim, kPosix, kSharded };
 
-const char* kind_name(Kind k) { return k == Kind::kSim ? "sim" : "posix"; }
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kSim: return "sim";
+    case Kind::kPosix: return "posix";
+    case Kind::kSharded: return "sharded";
+  }
+  return "?";
+}
+
+/// Default root width for the sharded fixtures.  CI overrides it with
+/// DEDICORE_SHARDED_ROOTS=4 to rerun the whole suite against a wider
+/// layout; tests whose assertions depend on an exact width pass one
+/// explicitly.
+std::size_t default_sharded_root_count() {
+  if (const char* env = std::getenv("DEDICORE_SHARDED_ROOTS")) {
+    const int n = std::atoi(env);
+    if (n >= 2 && n <= 8) return static_cast<std::size_t>(n);
+  }
+  return 3;
+}
+
+/// Sibling root directories under one scratch dir — the sharded fixture
+/// layout (also used by the dedicated sharded tests below).  `count` 0
+/// means the suite default (3, or DEDICORE_SHARDED_ROOTS).
+std::vector<std::filesystem::path> sharded_roots(const testing::TempDir& dir,
+                                                 std::size_t count = 0) {
+  if (count == 0) count = default_sharded_root_count();
+  std::vector<std::filesystem::path> roots;
+  for (std::size_t i = 0; i < count; ++i)
+    roots.push_back(dir.path() / ("r" + std::to_string(i)));
+  return roots;
+}
 
 /// Owns whichever substrate the backend under test needs (simulator or
 /// scratch directory) so each test gets a fresh, isolated instance.
@@ -79,9 +117,19 @@ struct BackendFixture {
     if (kind == Kind::kSim) {
       fs = std::make_unique<fsim::FileSystem>(quiet_storage(), fast_scale());
       backend = std::make_unique<SimBackend>(*fs);
-    } else {
+    } else if (kind == Kind::kPosix) {
       dir = std::make_unique<testing::TempDir>("storage_posix");
       backend = std::make_unique<PosixBackend>(dir->path());
+    } else {
+      // Deliberately awkward numbers: a 1000-byte stripe makes every
+      // conformance payload multi-chunk with a short tail, and
+      // replication 2 over 3 roots exercises the replica paths on the
+      // whole contract, not just the dedicated integrity tests.
+      dir = std::make_unique<testing::TempDir>("storage_sharded");
+      ShardedOptions opts;
+      opts.chunk_size = 1000;
+      opts.replication = 2;
+      backend = std::make_unique<ShardedBackend>(sharded_roots(*dir), opts);
     }
   }
 
@@ -223,7 +271,8 @@ TEST_P(StorageConformanceTest, CountersMatchTheWorkload) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, StorageConformanceTest,
-                         ::testing::Values(Kind::kSim, Kind::kPosix),
+                         ::testing::Values(Kind::kSim, Kind::kPosix,
+                                           Kind::kSharded),
                          [](const ::testing::TestParamInfo<Kind>& info) {
                            return kind_name(info.param);
                          });
@@ -241,7 +290,8 @@ TEST_P(StorageConformanceDeathTest, DoubleCloseAborts) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, StorageConformanceDeathTest,
-                         ::testing::Values(Kind::kSim, Kind::kPosix),
+                         ::testing::Values(Kind::kSim, Kind::kPosix,
+                                           Kind::kSharded),
                          [](const ::testing::TestParamInfo<Kind>& info) {
                            return kind_name(info.param);
                          });
@@ -476,6 +526,461 @@ TEST(WriteBehindTest, CloseFlushesRemainingJobs) {
 }
 
 // ---------------------------------------------------------------------------
+// Integrity layer: CRC32C
+// ---------------------------------------------------------------------------
+
+TEST(Crc32cTest, KnownAnswerVector) {
+  // The canonical CRC32C check value (RFC 3720 appendix / every storage
+  // system's self-test): crc32c("123456789") == 0xE3069283.
+  const std::string nine = "123456789";
+  EXPECT_EQ(storage::crc32c(std::as_bytes(std::span<const char>(nine.data(),
+                                                                nine.size()))),
+            0xE3069283u);
+  EXPECT_EQ(storage::crc32c({}), 0u);
+}
+
+TEST(Crc32cTest, IncrementalExtendMatchesOneShot) {
+  const auto data = pattern_bytes(4096, 3);
+  const std::uint32_t whole = storage::crc32c(data);
+  std::uint32_t crc = 0;
+  std::span<const std::byte> view(data);
+  for (std::size_t off = 0; off < view.size(); off += 997)
+    crc = storage::crc32c_extend(
+        crc, view.subspan(off, std::min<std::size_t>(997, view.size() - off)));
+  EXPECT_EQ(crc, whole);
+  // Sensitivity: one flipped bit anywhere changes the checksum.
+  auto copy = data;
+  copy[1234] ^= std::byte{0x10};
+  EXPECT_NE(storage::crc32c(copy), whole);
+}
+
+// ---------------------------------------------------------------------------
+// Placement layer
+// ---------------------------------------------------------------------------
+
+TEST(PlacementTest, RoundRobinIsDeterministicWithDistinctReplicas) {
+  const std::vector<std::uint64_t> sizes = {512, 512, 512, 100};
+  storage::Placement a(storage::PlacementPolicy::kRoundRobin, 4, 2, 42);
+  storage::Placement b(storage::PlacementPolicy::kRoundRobin, 4, 2, 42);
+  const auto pa = a.place("out/img.h5l", sizes);
+  const auto pb = b.place("out/img.h5l", sizes);
+  ASSERT_EQ(pa.size(), sizes.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].roots, pb[i].roots) << "chunk " << i;
+    ASSERT_EQ(pa[i].roots.size(), 2u);
+    EXPECT_NE(pa[i].roots[0], pa[i].roots[1]) << "replicas share a root";
+  }
+  // Consecutive chunks walk the roots cyclically.
+  EXPECT_EQ(pa[1].roots[0], (pa[0].roots[0] + 1) % 4);
+  EXPECT_EQ(pa[2].roots[0], (pa[1].roots[0] + 1) % 4);
+}
+
+TEST(PlacementTest, BalancedEvensOutBytesOutstanding) {
+  storage::Placement p(storage::PlacementPolicy::kBalanced, 4, 1, 0);
+  // A huge image first: root 0 (lowest index wins the tie) takes it.
+  (void)p.place("huge", {1 << 20});
+  // Subsequent chunks must avoid the loaded root until the others catch
+  // up: place 3 MiB more in 64 KiB chunks, then check the spread.
+  const std::vector<std::uint64_t> chunk(16, 64 << 10);
+  for (int i = 0; i < 3; ++i)
+    (void)p.place("img" + std::to_string(i), chunk);
+  const auto assigned = p.assigned_bytes();
+  const auto [lo, hi] = std::minmax_element(assigned.begin(), assigned.end());
+  // Every root converges to within one chunk of the mean.
+  EXPECT_LE(*hi - *lo, (64u << 10) + (1u << 20) / 4);
+  // All roots participated.
+  for (const auto bytes : assigned) EXPECT_GT(bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded backend: layout, manifests, per-root stats, fault targeting
+// ---------------------------------------------------------------------------
+
+/// All on-disk copies of a root-relative name across the fixture's roots.
+std::vector<std::filesystem::path> copies_of(
+    const std::vector<std::filesystem::path>& roots, const std::string& rel) {
+  std::vector<std::filesystem::path> out;
+  for (const auto& root : roots)
+    if (std::filesystem::exists(root / rel)) out.push_back(root / rel);
+  return out;
+}
+
+void flip_byte(const std::filesystem::path& file, std::uint64_t offset) {
+  std::fstream io(file, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(io.is_open()) << file;
+  io.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  io.read(&c, 1);
+  c = static_cast<char>(c ^ 0x20);
+  io.seekp(static_cast<std::streamoff>(offset));
+  io.write(&c, 1);
+}
+
+TEST(ShardedBackendTest, ChunksStripeAcrossRootsBehindOneManifest) {
+  testing::TempDir dir("sharded_layout");
+  const auto roots = sharded_roots(dir, 3);  // exactly 3: spread asserted
+  ShardedOptions opts;
+  opts.chunk_size = 512;
+  ShardedBackend b(roots, opts);
+
+  const auto payload = pattern_bytes(1800, 9);  // 4 chunks, short tail
+  ASSERT_OK(storage::write_image(b, "out/img.bin", payload));
+
+  // Physical layout: 4 chunk files spread over the roots, plus the
+  // manifest; the logical namespace shows exactly one file.
+  EXPECT_EQ(copies_of(roots, "out/img.bin.chunk-0").size(), 1u);
+  EXPECT_EQ(copies_of(roots, "out/img.bin.chunk-3").size(), 1u);
+  EXPECT_EQ(copies_of(roots, "out/img.bin.manifest").size(), 1u);
+  EXPECT_EQ(b.list_files(), std::vector<std::string>{"out/img.bin"});
+  EXPECT_EQ(b.file_size("out/img.bin"), payload.size());
+  // Round-robin walks the roots cyclically: with 4 chunks on 3 roots
+  // every root holds at least one chunk.
+  for (const auto& root : roots) {
+    std::size_t chunks = 0;
+    for (int c = 0; c < 4; ++c)
+      chunks += std::filesystem::exists(
+          root / ("out/img.bin.chunk-" + std::to_string(c)));
+    EXPECT_GE(chunks, 1u) << root;
+  }
+  // Verified read returns the exact bytes, not degraded.
+  std::vector<std::byte> back;
+  bool degraded = true;
+  ASSERT_OK(b.read_image("out/img.bin", &back, &degraded));
+  EXPECT_EQ(back, payload);
+  EXPECT_FALSE(degraded);
+}
+
+TEST(ShardedBackendTest, TwinBackendsProduceIdenticalLayouts) {
+  // Determinism under a seed: two independent stacks given the same
+  // write sequence place every chunk file on the same root — the
+  // property that makes twin-run comparisons (and layout debugging)
+  // possible at all.
+  for (const auto policy : {storage::PlacementPolicy::kRoundRobin,
+                            storage::PlacementPolicy::kBalanced}) {
+    testing::TempDir da("sharded_twin_a");
+    testing::TempDir db("sharded_twin_b");
+    ShardedOptions opts;
+    opts.chunk_size = 512;
+    opts.placement = policy;
+    opts.placement_seed = 2026;
+    ShardedBackend a(sharded_roots(da), opts);
+    ShardedBackend b(sharded_roots(db), opts);
+    for (int i = 0; i < 5; ++i) {
+      const auto img = pattern_bytes(700 + 400 * static_cast<std::size_t>(i), i);
+      ASSERT_OK(storage::write_image(a, "img" + std::to_string(i), img));
+      ASSERT_OK(storage::write_image(b, "img" + std::to_string(i), img));
+    }
+    for (std::size_t r = 0; r < a.root_count(); ++r)
+      EXPECT_EQ(a.root_backend(r).list_files(), b.root_backend(r).list_files())
+          << placement_policy_name(policy) << " root " << r;
+  }
+}
+
+TEST(ShardedBackendTest, PerRootStatsAccountPhysicalBytes) {
+  testing::TempDir dir("sharded_stats");
+  ShardedOptions opts;
+  opts.chunk_size = 512;
+  opts.replication = 2;
+  ShardedBackend b(sharded_roots(dir), opts);
+
+  const auto payload = pattern_bytes(1280, 4);  // chunks 512+512+256
+  ASSERT_OK(storage::write_image(b, "img.bin", payload));
+
+  // Logical stats stay image-granular (conformance parity with sim/posix).
+  EXPECT_EQ(b.stats().files_created, 1u);
+  EXPECT_EQ(b.stats().bytes_written, payload.size());
+  // Physical per-root stats carry the replicated chunk bytes plus the two
+  // manifest copies.
+  std::uint64_t physical = 0, files = 0;
+  for (const auto& rs : b.root_stats()) {
+    physical += rs.bytes_written;
+    files += rs.files_created;
+  }
+  EXPECT_GE(physical, 2 * payload.size());  // replication doubles the bytes
+  EXPECT_EQ(files, 3u * 2u + 2u);           // 3 chunks x2 + 2 manifest copies
+  const auto counters = b.counters();
+  EXPECT_EQ(counters.chunks_written, 6u);
+  EXPECT_EQ(counters.manifests_published, 1u);
+  EXPECT_EQ(counters.degraded_chunk_writes, 0u);
+  // The JSON snapshot exposes the whole stack.
+  const std::string json = b.stats_json();
+  EXPECT_NE(json.find("\"per_root\""), std::string::npos);
+  EXPECT_NE(json.find("\"chunks_written\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"replication\":2"), std::string::npos);
+}
+
+TEST(PosixBackendTest, ErrorStatusesCarryRootAndOperation) {
+  // Satellite: with N roots a bare "pwrite failed" is useless; every
+  // PosixBackend error must name the operation and the root.
+  testing::TempDir dir("posix_errmsg");
+  auto faults = std::make_shared<fault::FaultInjector>(7);
+  faults->arm({.point = "posix.pwrite", .count = 1});
+  PosixBackend backend(dir.path(), faults);
+  FileHandle f;
+  ASSERT_OK(backend.create("a/img.bin", &f));
+  const Status st = backend.write(f, pattern_bytes(64));
+  ASSERT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("pwrite"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("[root " + dir.path().string() + "]"),
+            std::string::npos)
+      << st.message();
+  EXPECT_NE(st.message().find("a/img.bin"), std::string::npos) << st.message();
+  ASSERT_OK(backend.close(f));
+}
+
+TEST(ShardedBackendTest, FaultTargetingFailsOneRootOfMany) {
+  // posix.* probes carry the root index as the fault target: a plan can
+  // take down exactly one root.  With replication=2 every chunk still
+  // lands (degraded) and reads recover the full image.
+  testing::TempDir dir("sharded_fault_target");
+  auto faults = std::make_shared<fault::FaultInjector>(11);
+  faults->arm({.point = "posix.pwrite", .target = 1, .count = 100000});
+  ShardedOptions opts;
+  opts.chunk_size = 256;
+  opts.replication = 2;
+  ShardedBackend b(sharded_roots(dir, 2), opts, faults);
+
+  const auto payload = pattern_bytes(1024, 5);  // 4 chunks, both roots planned
+  ASSERT_OK(storage::write_image(b, "img.bin", payload));
+
+  // Root 1 rejected every pwrite, so only root 0 holds data; each chunk
+  // lost one planned replica.
+  EXPECT_EQ(b.root_backend(1).stats().bytes_written, 0u);
+  EXPECT_GT(b.root_backend(0).stats().bytes_written, 0u);
+  EXPECT_EQ(b.counters().degraded_chunk_writes, 4u);
+  EXPECT_GT(faults->fired("posix.pwrite"), 0u);
+
+  // Degraded read: chunks whose primary was root 1 are served by the
+  // surviving copy, byte-identical.
+  std::vector<std::byte> back;
+  bool degraded = false;
+  ASSERT_OK(b.read_image("img.bin", &back, &degraded));
+  EXPECT_EQ(back, payload);
+  EXPECT_TRUE(degraded);
+  EXPECT_GT(b.counters().degraded_reads, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Integrity: corruption table over striped chunks (satellite)
+// ---------------------------------------------------------------------------
+
+struct CorruptionCase {
+  const char* name;
+  /// Applied to the single on-disk copy of chunk 1 (replication=1).
+  void (*corrupt)(const std::filesystem::path& chunk);
+};
+
+class ShardedCorruptionTest
+    : public ::testing::TestWithParam<CorruptionCase> {};
+
+TEST_P(ShardedCorruptionTest, UnreplicatedCorruptionIsDataLoss) {
+  testing::TempDir dir("sharded_corrupt");
+  const auto roots = sharded_roots(dir);
+  ShardedOptions opts;
+  opts.chunk_size = 512;
+  ShardedBackend b(roots, opts);
+  const auto payload = pattern_bytes(1800, 7);
+  ASSERT_OK(storage::write_image(b, "img.bin", payload));
+
+  const auto copies = copies_of(roots, "img.bin.chunk-1");
+  ASSERT_EQ(copies.size(), 1u);
+  GetParam().corrupt(copies.front());
+
+  std::vector<std::byte> back;
+  const Status st = b.read_image("img.bin", &back);
+  EXPECT_EQ(st.code(), StatusCode::kDataLoss) << st.to_string();
+  EXPECT_NE(st.message().find("chunk 1"), std::string::npos) << st.message();
+  EXPECT_FALSE(b.read_file("img.bin").has_value());
+  // The other chunks were untouched, so the error names chunk 1 and
+  // nothing else: detection is precise, not a whole-image writeoff.
+  EXPECT_EQ(st.message().find("chunk 0"), std::string::npos) << st.message();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corruptions, ShardedCorruptionTest,
+    ::testing::Values(
+        CorruptionCase{"bitflip_first_byte",
+                       [](const std::filesystem::path& p) { flip_byte(p, 0); }},
+        CorruptionCase{"bitflip_mid",
+                       [](const std::filesystem::path& p) {
+                         flip_byte(p, 200);
+                       }},
+        CorruptionCase{"bitflip_last_byte",
+                       [](const std::filesystem::path& p) {
+                         flip_byte(p, std::filesystem::file_size(p) - 1);
+                       }},
+        CorruptionCase{"truncated_half",
+                       [](const std::filesystem::path& p) {
+                         std::filesystem::resize_file(
+                             p, std::filesystem::file_size(p) / 2);
+                       }},
+        CorruptionCase{"truncated_empty",
+                       [](const std::filesystem::path& p) {
+                         std::filesystem::resize_file(p, 0);
+                       }},
+        CorruptionCase{"grown_tail",
+                       [](const std::filesystem::path& p) {
+                         std::filesystem::resize_file(
+                             p, std::filesystem::file_size(p) + 16);
+                       }},
+        CorruptionCase{"deleted",
+                       [](const std::filesystem::path& p) {
+                         std::filesystem::remove(p);
+                       }}),
+    [](const ::testing::TestParamInfo<CorruptionCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ShardedBackendTest, CorruptManifestIsDataLossNotGarbage) {
+  testing::TempDir dir("sharded_badmanifest");
+  const auto roots = sharded_roots(dir);
+  ShardedOptions opts;
+  opts.chunk_size = 512;
+  ShardedBackend b(roots, opts);
+  ASSERT_OK(storage::write_image(b, "img.bin", pattern_bytes(1000, 2)));
+  const auto manifests = copies_of(roots, "img.bin.manifest");
+  ASSERT_EQ(manifests.size(), 1u);
+  flip_byte(manifests.front(), 0);  // break the header line
+  std::vector<std::byte> back;
+  EXPECT_EQ(b.read_image("img.bin", &back).code(), StatusCode::kDataLoss);
+}
+
+TEST(ShardedBackendTest, ReplicationRecoversFromCorruptionByteIdentical) {
+  testing::TempDir dir("sharded_recover");
+  const auto roots = sharded_roots(dir);
+  ShardedOptions opts;
+  opts.chunk_size = 512;
+  opts.replication = 2;
+  ShardedBackend b(roots, opts);
+  const auto payload = pattern_bytes(1800, 8);
+  ASSERT_OK(storage::write_image(b, "img.bin", payload));
+
+  // Corrupt every first copy of every chunk: reads must fall through to
+  // the replicas and still return the exact original bytes.
+  for (int c = 0; c < 4; ++c) {
+    const auto copies =
+        copies_of(roots, "img.bin.chunk-" + std::to_string(c));
+    ASSERT_EQ(copies.size(), 2u) << "chunk " << c;
+    flip_byte(copies.front(), 100);
+  }
+  std::vector<std::byte> back;
+  bool degraded = false;
+  ASSERT_OK(b.read_image("img.bin", &back, &degraded));
+  EXPECT_EQ(back, payload);
+  EXPECT_GE(b.counters().corrupt_chunks_detected, 1u);
+
+  // Corrupt the surviving copies too: now it is data loss.
+  for (int c = 0; c < 4; ++c)
+    for (const auto& copy :
+         copies_of(roots, "img.bin.chunk-" + std::to_string(c)))
+      flip_byte(copy, 101);
+  EXPECT_EQ(b.read_image("img.bin", &back).code(), StatusCode::kDataLoss);
+}
+
+TEST(ShardedBackendTest, LosingAWholeRootDegradesButServesReads) {
+  testing::TempDir dir("sharded_rootloss");
+  const auto roots = sharded_roots(dir);
+  ShardedOptions opts;
+  opts.chunk_size = 512;
+  opts.replication = 2;
+  const auto payload = pattern_bytes(2000, 6);
+  {
+    ShardedBackend writer(roots, opts);
+    ASSERT_OK(storage::write_image(writer, "img.bin", payload));
+  }
+  // The disk holding root 1 dies.
+  std::filesystem::remove_all(roots[1]);
+
+  // A fresh stack over the same roots (restart) still serves the image
+  // from the surviving replicas — including the replicated manifest.
+  ShardedBackend reader(roots, opts);
+  std::vector<std::byte> back;
+  bool degraded = false;
+  ASSERT_OK(reader.read_image("img.bin", &back, &degraded));
+  EXPECT_EQ(back, payload);
+  EXPECT_TRUE(reader.exists("img.bin"));
+  EXPECT_EQ(reader.list_files(), std::vector<std::string>{"img.bin"});
+}
+
+// ---------------------------------------------------------------------------
+// Write-behind over the sharded stack: chunk-granular jobs
+// ---------------------------------------------------------------------------
+
+TEST(WriteBehindShardedTest, ImageJobsSplitIntoChunkJobs) {
+  testing::TempDir dir("wb_sharded");
+  ShardedOptions opts;
+  opts.chunk_size = 256;
+  ShardedBackend backend(sharded_roots(dir), opts);
+  WriteBehind queue(backend, 1 << 20);
+
+  std::atomic<int> completions{0};
+  Status verdict = Status::internal("never ran");
+  WriteBehind::Job job;
+  job.path = "img.bin";
+  job.image = pattern_bytes(1124, 3);  // 5 chunks (4 x 256 + 100)
+  job.on_complete = [&](const Status& st) {
+    verdict = st;
+    ++completions;
+  };
+  queue.enqueue(std::move(job));
+
+  // The queue holds one entry per chunk; nothing is visible yet — the
+  // manifest is published by the drainer that finishes the last chunk.
+  EXPECT_EQ(queue.pending_jobs(), 5u);
+  EXPECT_EQ(queue.stats().jobs_enqueued, 5u);
+  EXPECT_FALSE(backend.exists("img.bin"));
+
+  // Drain from two threads: chunks of the same image write in parallel.
+  std::thread other([&] { queue.drain_some(3); });
+  queue.drain_all();
+  other.join();
+
+  EXPECT_EQ(completions.load(), 1);
+  ASSERT_OK(verdict);
+  EXPECT_EQ(queue.stats().jobs_written, 5u);
+  EXPECT_EQ(queue.stats().bytes_written, 1124u);
+  std::vector<std::byte> back;
+  ASSERT_OK(backend.read_image("img.bin", &back));
+  EXPECT_EQ(back, pattern_bytes(1124, 3));
+}
+
+TEST(WriteBehindShardedTest, ChunkFailureWithholdsTheManifest) {
+  // A quarantined poison chunk must leave the image invisible — readers
+  // can never see a partially-written sharded image — and the producer's
+  // completion hook gets the failure exactly once.
+  testing::TempDir dir("wb_sharded_poison");
+  auto faults = std::make_shared<fault::FaultInjector>(3);
+  // Root 1 rejects every pwrite; with replication=1 the chunks placed on
+  // it fail all retries and are quarantined.
+  faults->arm({.point = "posix.pwrite", .target = 1, .count = 100000});
+  ShardedOptions opts;
+  opts.chunk_size = 256;
+  ShardedBackend backend(sharded_roots(dir, 2), opts, faults);
+  WriteBehind queue(backend, 1 << 20, /*retries=*/2, faults);
+
+  std::atomic<int> completions{0};
+  Status verdict;
+  WriteBehind::Job job;
+  job.path = "img.bin";
+  job.image = pattern_bytes(1024, 1);  // 4 chunks, ~half on root 1
+  job.on_complete = [&](const Status& st) {
+    verdict = st;
+    ++completions;
+  };
+  queue.enqueue(std::move(job));
+  queue.drain_all();
+
+  EXPECT_EQ(completions.load(), 1);
+  EXPECT_EQ(verdict.code(), StatusCode::kIoError) << verdict.to_string();
+  EXPECT_FALSE(backend.exists("img.bin"));
+  EXPECT_FALSE(backend.read_file("img.bin").has_value());
+  const storage::WriteBehindStats wb = queue.stats();
+  EXPECT_GT(wb.jobs_quarantined, 0u);
+  EXPECT_GT(wb.retries, 0u);
+  EXPECT_EQ(wb.jobs_written + wb.jobs_failed, wb.jobs_enqueued);
+}
+
+// ---------------------------------------------------------------------------
 // End to end: Runtime with <storage backend="posix">, worker-pool drain
 // ---------------------------------------------------------------------------
 
@@ -671,6 +1176,183 @@ TEST(StorageEndToEndTest, PosixRequiresAPath) {
   storage.path.clear();
   cfg.set_storage(storage);
   EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: Runtime over the sharded stack
+// ---------------------------------------------------------------------------
+
+/// runtime_config with `<storage roots=...>` swapped in for the path.
+core::Configuration sharded_runtime_config(
+    const std::vector<std::filesystem::path>& roots, int server_workers,
+    std::uint64_t chunk_size = 512) {
+  core::Configuration cfg = runtime_config("posix", "unused", server_workers);
+  core::StorageSpec storage = cfg.storage();
+  storage.path.clear();
+  for (const auto& root : roots) storage.roots.push_back(root.string());
+  storage.chunk_size = chunk_size;
+  cfg.set_storage(storage);
+  cfg.validate();
+  return cfg;
+}
+
+TEST(StorageEndToEndTest, ShardedRunMatchesSingleRootRunByteForByte) {
+  // Twin runs, identical clients and data: one single-root posix backend,
+  // one 3-root sharded stack with multi-chunk images.  Readers must not
+  // be able to tell them apart — same namespace, same bytes, same
+  // decoded datasets.
+  constexpr int kIterations = 3;
+  testing::TempDir single_dir("storage_e2e_single");
+  testing::TempDir sharded_dir("storage_e2e_sharded");
+  const auto roots = sharded_roots(sharded_dir);
+
+  fsim::FileSystem fs_a(quiet_storage(), fast_scale());
+  run_world_with(
+      runtime_config("posix", single_dir.path().string(), /*workers=*/1),
+      fs_a, kIterations);
+
+  fsim::FileSystem fs_b(quiet_storage(), fast_scale());
+  const storage::WriteBehindStats wb = run_world_with(
+      sharded_runtime_config(roots, /*server_workers=*/2), fs_b, kIterations);
+
+  PosixBackend single(single_dir.path());
+  ShardedBackend sharded(roots, [] {
+    ShardedOptions opts;
+    opts.chunk_size = 512;
+    return opts;
+  }());
+  ASSERT_EQ(sharded.list_files(), single.list_files());
+  ASSERT_EQ(sharded.file_count(), static_cast<std::size_t>(kIterations));
+  for (const std::string& path : single.list_files()) {
+    const auto single_bytes = single.read_file(path);
+    const auto sharded_bytes = sharded.read_file(path);
+    ASSERT_TRUE(single_bytes.has_value());
+    ASSERT_TRUE(sharded_bytes.has_value());
+    EXPECT_EQ(*sharded_bytes, *single_bytes) << path;
+    // The reassembled image decodes: every client block, exact values.
+    const h5lite::File file = h5lite::File::parse(*sharded_bytes);
+    EXPECT_EQ(file.dataset_paths().size(), 3u) << path;
+  }
+  // Images larger than a chunk really were striped (chunk jobs > images).
+  EXPECT_GT(wb.jobs_enqueued, static_cast<std::uint64_t>(kIterations));
+  EXPECT_EQ(wb.jobs_written, wb.jobs_enqueued);
+  EXPECT_EQ(wb.jobs_failed, 0u);
+}
+
+TEST(StorageEndToEndTest, XmlSelectsTheShardedBackend) {
+  testing::TempDir dir("storage_xml_sharded");
+  const auto roots = sharded_roots(dir, 3);  // the XML names 3 roots
+  const std::string xml = R"(
+    <simulation name="xmlshard" cores_per_node="2" dedicated_cores="1">
+      <buffer size="4MiB" queue="64" policy="block"/>
+      <data>
+        <layout name="grid" type="float64" dimensions="8,8"/>
+        <variable name="field" layout="grid"/>
+      </data>
+      <storage basename="xmlshard" backend="posix" roots=")" +
+                          roots[0].string() + ";" + roots[1].string() + ";" +
+                          roots[2].string() +
+                          R"(" chunk_size="1KiB" placement="balanced"
+               placement_seed="7" replication="2"/>
+      <actions>
+        <event name="end_iteration" plugin="store"/>
+      </actions>
+    </simulation>)";
+  const core::Configuration cfg = core::Configuration::from_string(xml);
+  ASSERT_EQ(cfg.storage().roots.size(), 3u);
+  EXPECT_EQ(cfg.storage().chunk_size, 1024u);
+  EXPECT_EQ(cfg.storage().placement, "balanced");
+  EXPECT_EQ(cfg.storage().placement_seed, 7u);
+  EXPECT_EQ(cfg.storage().replication, 2);
+
+  fsim::FileSystem fs(quiet_storage(), fast_scale());
+  minimpi::run_world(2, [&](minimpi::Comm& comm) {
+    core::Runtime rt = core::Runtime::initialize(cfg, comm, fs);
+    if (rt.is_server()) {
+      rt.run_server();
+      return;
+    }
+    std::vector<double> field(8 * 8, 2.25);
+    ASSERT_OK(rt.client().write("field", std::span<const double>(field)));
+    ASSERT_OK(rt.client().end_iteration());
+    rt.finalize();
+  });
+
+  ShardedOptions opts;
+  opts.chunk_size = 1024;
+  opts.placement = storage::PlacementPolicy::kBalanced;
+  opts.placement_seed = 7;
+  opts.replication = 2;
+  ShardedBackend disk(roots, opts);
+  ASSERT_EQ(disk.file_count(), 1u);
+  const auto bytes = disk.read_file(disk.list_files().front());
+  ASSERT_TRUE(bytes.has_value());
+  const h5lite::File file = h5lite::File::parse(*bytes);
+  const auto* group = file.root().find_group("field");
+  ASSERT_NE(group, nullptr);
+  ASSERT_EQ(group->datasets.size(), 1u);
+  EXPECT_EQ(group->datasets.front().read_as<double>(),
+            std::vector<double>(8 * 8, 2.25));
+}
+
+TEST(StorageEndToEndTest, ShardedConfigRulesRejectTypos) {
+  const auto with_storage = [](auto mutate) {
+    core::Configuration cfg = runtime_config("posix", "x", 1);
+    core::StorageSpec storage = cfg.storage();
+    mutate(storage);
+    cfg.set_storage(storage);
+    return cfg;
+  };
+  // roots + path is ambiguous.
+  EXPECT_THROW(with_storage([](core::StorageSpec& s) {
+                 s.roots = {"a", "b"};
+               }).validate(),
+               ConfigError);
+  // roots on a non-posix backend.
+  EXPECT_THROW(with_storage([](core::StorageSpec& s) {
+                 s.backend = "sim";
+                 s.path.clear();
+                 s.roots = {"a", "b"};
+               }).validate(),
+               ConfigError);
+  // replication cannot exceed the root count.
+  EXPECT_THROW(with_storage([](core::StorageSpec& s) {
+                 s.path.clear();
+                 s.roots = {"a", "b"};
+                 s.replication = 3;
+               }).validate(),
+               ConfigError);
+  // chunk_size below 512 bytes is read as a forgotten unit suffix.
+  EXPECT_THROW(with_storage([](core::StorageSpec& s) {
+                 s.path.clear();
+                 s.roots = {"a", "b"};
+                 s.chunk_size = 100;
+               }).validate(),
+               ConfigError);
+  // Unknown placement policy.
+  EXPECT_THROW(with_storage([](core::StorageSpec& s) {
+                 s.path.clear();
+                 s.roots = {"a", "b"};
+                 s.placement = "striped";
+               }).validate(),
+               ConfigError);
+  // Sharded attributes without roots are loud typos, not silent no-ops.
+  EXPECT_THROW(with_storage([](core::StorageSpec& s) {
+                 s.replication = 2;
+               }).validate(),
+               ConfigError);
+  EXPECT_THROW(with_storage([](core::StorageSpec& s) {
+                 s.chunk_size = 4096;
+               }).validate(),
+               ConfigError);
+  // And the happy path still validates.
+  EXPECT_NO_THROW(with_storage([](core::StorageSpec& s) {
+                    s.path.clear();
+                    s.roots = {"a", "b", "c"};
+                    s.chunk_size = 4096;
+                    s.placement = "balanced";
+                    s.replication = 2;
+                  }).validate());
 }
 
 // ---------------------------------------------------------------------------
