@@ -331,6 +331,13 @@ Status PosixBackend::close(FileHandle handle) {
   return fsync_parent_dir(file->final_full, file->path);
 }
 
+bool PosixBackend::remove_file(const std::string& path) {
+  std::filesystem::path full;
+  if (!materialize(path, &full).is_ok()) return false;
+  std::error_code ec;
+  return std::filesystem::remove(full, ec) && !ec;
+}
+
 bool PosixBackend::exists(const std::string& path) const {
   std::filesystem::path full;
   if (!materialize(path, &full).is_ok()) return false;

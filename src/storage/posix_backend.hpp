@@ -84,6 +84,13 @@ class PosixBackend final : public StorageBackend {
 
   [[nodiscard]] const std::filesystem::path& root() const noexcept { return root_; }
 
+  /// Removes `path` if present; true when a file was actually deleted.
+  /// Best-effort (no fsync of the parent): the caller's consistency story
+  /// must not depend on the removal being durable — ShardedBackend uses
+  /// this to clear *stale* manifest copies whose content is already
+  /// superseded by a higher-generation manifest elsewhere.
+  bool remove_file(const std::string& path);
+
   /// Number of handles currently open (tests: close ordering / fd leaks).
   [[nodiscard]] std::size_t open_handles() const;
 

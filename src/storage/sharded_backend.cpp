@@ -31,7 +31,8 @@ std::string crc_hex(std::uint32_t crc) {
 
 std::string serialize_manifest(const ChunkPlan& plan) {
   std::ostringstream out;
-  out << "dedicore-sharded-manifest v1\n"
+  out << "dedicore-sharded-manifest v2\n"
+      << "generation " << plan.generation << "\n"
       << "size " << plan.total_bytes << "\n"
       << "chunk_size " << plan.chunk_size << "\n"
       << "replication " << plan.replication << "\n"
@@ -48,48 +49,75 @@ std::string serialize_manifest(const ChunkPlan& plan) {
 
 /// Strict parse; false on any malformation (the caller treats a malformed
 /// manifest copy like a corrupt one and falls through to the next copy).
+/// Every field the read path will later trust as an index or a length is
+/// validated here against the invariants the writer maintains — a
+/// parseable-but-inconsistent manifest (sizes that disagree with
+/// chunk_size, an absurd chunk count) must be rejected, never allowed to
+/// drive out-of-bounds copies or multi-GiB allocations downstream.
 bool parse_manifest(const std::string& text, int root_count, ChunkPlan* out) {
-  std::istringstream in(text);
-  std::string line;
-  if (!std::getline(in, line) || line != "dedicore-sharded-manifest v1")
-    return false;
-  auto read_kv = [&](const char* key, std::uint64_t* value) {
-    if (!std::getline(in, line)) return false;
-    std::istringstream ls(line);
-    std::string k;
-    return static_cast<bool>(ls >> k >> *value) && k == key;
-  };
-  std::uint64_t replication = 0, chunks = 0;
-  if (!read_kv("size", &out->total_bytes)) return false;
-  if (!read_kv("chunk_size", &out->chunk_size)) return false;
-  if (!read_kv("replication", &replication)) return false;
-  if (!read_kv("chunks", &chunks)) return false;
-  if (replication < 1 || out->chunk_size == 0) return false;
-  out->replication = static_cast<int>(replication);
-  out->sizes.resize(chunks);
-  out->crcs.resize(chunks);
-  out->placements.resize(chunks);
-  std::uint64_t covered = 0;
-  for (std::uint64_t i = 0; i < chunks; ++i) {
-    if (!std::getline(in, line)) return false;
-    std::istringstream ls(line);
-    std::string tag, hex, roots;
-    std::uint64_t index = 0;
-    if (!(ls >> tag >> index >> out->sizes[i] >> hex >> roots)) return false;
-    if (tag != "chunk" || index != i || hex.size() != 8) return false;
-    out->crcs[i] =
-        static_cast<std::uint32_t>(std::strtoul(hex.c_str(), nullptr, 16));
-    std::istringstream rs(roots);
-    std::string item;
-    while (std::getline(rs, item, ',')) {
-      const int root = std::atoi(item.c_str());
-      if (root < 0 || root >= root_count) return false;
-      out->placements[i].roots.push_back(root);
+  try {
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != "dedicore-sharded-manifest v2")
+      return false;
+    auto read_kv = [&](const char* key, std::uint64_t* value) {
+      if (!std::getline(in, line)) return false;
+      std::istringstream ls(line);
+      std::string k;
+      return static_cast<bool>(ls >> k >> *value) && k == key;
+    };
+    std::uint64_t replication = 0, chunks = 0;
+    if (!read_kv("generation", &out->generation)) return false;
+    if (!read_kv("size", &out->total_bytes)) return false;
+    if (!read_kv("chunk_size", &out->chunk_size)) return false;
+    if (!read_kv("replication", &replication)) return false;
+    if (!read_kv("chunks", &chunks)) return false;
+    if (out->chunk_size == 0) return false;
+    if (replication < 1 ||
+        replication > static_cast<std::uint64_t>(root_count))
+      return false;
+    // The chunk count is fully determined by size/chunk_size; checking it
+    // before the resizes bounds the allocations below.
+    const std::uint64_t expected_chunks =
+        out->total_bytes == 0
+            ? 0
+            : (out->total_bytes - 1) / out->chunk_size + 1;
+    if (chunks != expected_chunks) return false;
+    out->replication = static_cast<int>(replication);
+    out->sizes.resize(chunks);
+    out->crcs.resize(chunks);
+    out->placements.resize(chunks);
+    for (std::uint64_t i = 0; i < chunks; ++i) {
+      if (!std::getline(in, line)) return false;
+      std::istringstream ls(line);
+      std::string tag, hex, roots;
+      std::uint64_t index = 0;
+      if (!(ls >> tag >> index >> out->sizes[i] >> hex >> roots)) return false;
+      if (tag != "chunk" || index != i || hex.size() != 8) return false;
+      // Every chunk is exactly chunk_size except the tail, which carries
+      // the remainder: reads copy sizes[i] bytes at offset chunk_size*i,
+      // so anything looser is an out-of-bounds write waiting to happen.
+      const std::uint64_t expected_size =
+          i + 1 < chunks
+              ? out->chunk_size
+              : out->total_bytes - out->chunk_size * (chunks - 1);
+      if (out->sizes[i] != expected_size) return false;
+      out->crcs[i] =
+          static_cast<std::uint32_t>(std::strtoul(hex.c_str(), nullptr, 16));
+      std::istringstream rs(roots);
+      std::string item;
+      while (std::getline(rs, item, ',')) {
+        const int root = std::atoi(item.c_str());
+        if (root < 0 || root >= root_count) return false;
+        out->placements[i].roots.push_back(root);
+      }
+      if (out->placements[i].roots.empty()) return false;
     }
-    if (out->placements[i].roots.empty()) return false;
-    covered += out->sizes[i];
+    return true;
+  } catch (const std::exception&) {
+    // bad_alloc / length_error from a hostile field: malformed, not fatal.
+    return false;
   }
-  return covered == out->total_bytes;
 }
 
 }  // namespace
@@ -135,10 +163,40 @@ ShardedBackend::ShardedBackend(std::vector<std::filesystem::path> roots,
       options_.replication, options_.placement_seed);
 }
 
+std::uint64_t ShardedBackend::next_generation(const std::string& path) {
+  {
+    // Fast path: this process already planned a generation for the path —
+    // the cache is >= anything on disk (we only ever publish what we
+    // planned), and it keeps queued-but-unpublished overwrites ordered.
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = generations_.find(path);
+    if (it != generations_.end()) return ++it->second;
+  }
+  // First plan for this path: seed from whatever survives on disk, so an
+  // overwrite after a restart still outranks the previous run's manifest.
+  const std::string name = manifest_name(path);
+  std::uint64_t on_disk = 0;
+  for (const auto& root : roots_) {
+    const auto text = root->read_file(name);
+    if (!text.has_value()) continue;
+    ChunkPlan existing;
+    if (parse_manifest(
+            std::string(reinterpret_cast<const char*>(text->data()),
+                        text->size()),
+            static_cast<int>(roots_.size()), &existing))
+      on_disk = std::max(on_disk, existing.generation);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = generations_.emplace(path, on_disk + 1);
+  if (!inserted) it->second = std::max(it->second, on_disk) + 1;
+  return it->second;
+}
+
 std::shared_ptr<ChunkPlan> ShardedBackend::plan_image(
     const std::string& path, std::span<const std::byte> image) {
   auto plan = std::make_shared<ChunkPlan>();
   plan->path = path;
+  plan->generation = next_generation(path);
   plan->total_bytes = image.size();
   plan->chunk_size = options_.chunk_size;
   plan->replication = options_.replication;
@@ -205,9 +263,10 @@ Status ShardedBackend::publish_manifest(const ChunkPlan& plan) {
   const std::string text = serialize_manifest(plan);
   const auto bytes = std::as_bytes(std::span<const char>(text));
   const std::string name = manifest_name(plan.path);
+  const std::vector<int> targets = manifest_roots(plan);
   Status first_error;
   std::size_t landed = 0;
-  for (const int root : manifest_roots(plan)) {
+  for (const int root : targets) {
     // Inner write_image goes through the PR 8 temp+fsync+rename path, so
     // each manifest copy appears atomically — the image is never visible
     // half-published.
@@ -223,8 +282,23 @@ Status ShardedBackend::publish_manifest(const ChunkPlan& plan) {
     }
   }
   if (landed == 0) return first_error;
+  // An overwrite may have moved the manifest onto different roots
+  // (balanced placement re-decides per generation): best-effort delete
+  // the copies this generation does not occupy, so readers of a root
+  // subset cannot resurrect the old image.  Roots this publish *failed*
+  // on keep their old copy untouched — the generation scan in
+  // load_manifest outranks it.
+  for (std::size_t i = 0; i < roots_.size(); ++i)
+    if (std::find(targets.begin(), targets.end(), static_cast<int>(i)) ==
+        targets.end())
+      roots_[i]->remove_file(name);
   std::lock_guard<std::mutex> lock(mutex_);
   ++counters_.manifests_published;
+  if (landed < targets.size()) {
+    // Visible but under-replicated: surfaced like degraded_chunk_writes
+    // so monitoring can see a manifest that lost copies.
+    ++counters_.degraded_manifest_writes;
+  }
   return Status::ok();
 }
 
@@ -262,12 +336,26 @@ Status ShardedBackend::open(const std::string& path, FileHandle* out) {
 
 Status ShardedBackend::write(FileHandle file, std::span<const std::byte> bytes,
                              double* seconds) {
-  return pwrite(file, UINT64_MAX, bytes, seconds);
+  // Append is its own entry point (offset resolved at EOF under the
+  // handle's lock), not an in-band sentinel offset: every pwrite offset,
+  // including UINT64_MAX, keeps its literal meaning.
+  return stage(file, /*append=*/true, 0, bytes, seconds);
 }
 
 Status ShardedBackend::pwrite(FileHandle handle, std::uint64_t offset,
                               std::span<const std::byte> bytes,
                               double* seconds) {
+  if (bytes.size() > UINT64_MAX - offset)
+    return Status::invalid_argument(
+        "sharded: pwrite at offset " + std::to_string(offset) + " of " +
+        std::to_string(bytes.size()) + " bytes overflows the file range");
+  return stage(handle, /*append=*/false, offset, bytes, seconds);
+}
+
+Status ShardedBackend::stage(FileHandle handle, bool append,
+                             std::uint64_t offset,
+                             std::span<const std::byte> bytes,
+                             double* seconds) {
   std::shared_ptr<OpenImage> image;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -280,9 +368,19 @@ Status ShardedBackend::pwrite(FileHandle handle, std::uint64_t offset,
   }
   {
     std::lock_guard<std::mutex> io(image->io_mutex);
-    if (offset == UINT64_MAX) offset = image->buffer.size();  // append
-    if (offset + bytes.size() > image->buffer.size())
-      image->buffer.resize(offset + bytes.size());  // zero-fills holes
+    if (append) offset = image->buffer.size();
+    if (offset + bytes.size() > image->buffer.size()) {
+      try {
+        image->buffer.resize(offset + bytes.size());  // zero-fills holes
+      } catch (const std::exception&) {
+        // A sparse write at an absurd offset is a caller error, not a
+        // reason to terminate the process on bad_alloc.
+        return Status::out_of_memory(
+            "sharded: cannot stage " + std::to_string(bytes.size()) +
+            " bytes at offset " + std::to_string(offset) + " of '" +
+            image->path + "'");
+      }
+    }
     std::copy(bytes.begin(), bytes.end(),
               image->buffer.begin() + static_cast<std::ptrdiff_t>(offset));
   }
@@ -326,7 +424,12 @@ Status ShardedBackend::close(FileHandle handle) {
 Status ShardedBackend::load_manifest(const std::string& path,
                                      ChunkPlan* out) const {
   const std::string name = manifest_name(path);
-  bool found_any = false;
+  bool found_any = false, parsed_any = false;
+  ChunkPlan best;
+  // Scan EVERY root, not just until the first parseable copy: an
+  // overwrite can leave a stale lower-generation manifest on a root the
+  // new generation vacated (or failed to reach), and root-index order
+  // would happily serve it.  The highest generation wins.
   for (const auto& root : roots_) {
     const auto text = root->read_file(name);
     if (!text.has_value()) continue;
@@ -337,12 +440,18 @@ Status ShardedBackend::load_manifest(const std::string& path,
             std::string(reinterpret_cast<const char*>(text->data()),
                         text->size()),
             static_cast<int>(roots_.size()), &plan)) {
-      *out = std::move(plan);
-      return Status::ok();
+      if (!parsed_any || plan.generation > best.generation)
+        best = std::move(plan);
+      parsed_any = true;
+      continue;
     }
     // Malformed copy: treat like corruption and try the next root.
     std::lock_guard<std::mutex> lock(mutex_);
     ++counters_.corrupt_chunks_detected;
+  }
+  if (parsed_any) {
+    *out = std::move(best);
+    return Status::ok();
   }
   if (found_any)
     return Status::data_loss("sharded: every manifest copy of '" + path +
@@ -492,6 +601,7 @@ std::string ShardedBackend::stats_json() const {
   out << ",\"sharded\":{\"chunks_written\":" << c.chunks_written
       << ",\"degraded_chunk_writes\":" << c.degraded_chunk_writes
       << ",\"manifests_published\":" << c.manifests_published
+      << ",\"degraded_manifest_writes\":" << c.degraded_manifest_writes
       << ",\"corrupt_chunks_detected\":" << c.corrupt_chunks_detected
       << ",\"degraded_reads\":" << c.degraded_reads << "},\"per_root\":[";
   const auto assigned = placement_->assigned_bytes();

@@ -28,7 +28,8 @@
 // file_size) is defined by manifests alone.  Format (line-oriented text,
 // one `chunk` line per stripe; crc in hex, roots in replica order):
 //
-//   dedicore-sharded-manifest v1
+//   dedicore-sharded-manifest v2
+//   generation 3
 //   size 2621440
 //   chunk_size 1048576
 //   replication 2
@@ -36,6 +37,16 @@
 //   chunk 0 1048576 1c291ca3 0,1
 //   chunk 1 1048576 e3069283 1,2
 //   chunk 2 524288 8a9136aa 2,0
+//
+// `generation` is a per-image monotonic counter (seeded from whatever is
+// on disk, so it survives restarts).  Overwriting an image can move its
+// manifest onto different roots (balanced placement re-decides), and a
+// degraded publish can leave an old copy behind on a root the new copies
+// missed — so readers scan EVERY root and serve the highest generation,
+// and publish_manifest best-effort deletes manifest copies from the
+// roots the new generation does not occupy.  Either mechanism alone
+// resolves an overwrite correctly; together a stale copy can neither
+// shadow new data nor turn a successful overwrite into kDataLoss.
 //
 // Reads reassemble from the manifest, verifying each chunk's CRC; with
 // replication >= 2 a missing or corrupt copy falls back to the next
@@ -77,6 +88,9 @@ struct ShardedOptions {
 /// by the manifest parser on the read side).
 struct ChunkPlan {
   std::string path;
+  /// Monotonic per-image overwrite counter; readers pick the manifest
+  /// copy with the highest generation (see the header comment).
+  std::uint64_t generation = 1;
   std::uint64_t total_bytes = 0;
   std::uint64_t chunk_size = 0;
   int replication = 1;
@@ -99,6 +113,9 @@ struct ShardedCounters {
   std::uint64_t chunks_written = 0;         ///< chunk-replica files landed
   std::uint64_t degraded_chunk_writes = 0;  ///< chunks that lost >=1 replica
   std::uint64_t manifests_published = 0;
+  /// Publishes where some (not all) manifest copies failed to land — the
+  /// image is visible but its manifest is under-replicated.
+  std::uint64_t degraded_manifest_writes = 0;
   std::uint64_t corrupt_chunks_detected = 0;///< CRC/size mismatches on read
   std::uint64_t degraded_reads = 0;         ///< reads served past a bad copy
 };
@@ -199,12 +216,26 @@ class ShardedBackend final : public StorageBackend {
  private:
   struct OpenImage;
 
-  /// Parses `path`'s manifest from whichever root has one (replicas tried
-  /// in deterministic order, then every other root).  kNotFound when none
-  /// exists anywhere; kDataLoss on a malformed manifest.
+  /// Parses `path`'s manifest: scans EVERY root and returns the copy with
+  /// the highest generation, so a stale copy left behind by an overwrite
+  /// (placement moved the manifest roots, or a degraded publish missed a
+  /// root) can never shadow newer data.  kNotFound when none exists
+  /// anywhere; kDataLoss when every copy is malformed.
   Status load_manifest(const std::string& path, ChunkPlan* out) const;
   /// Roots that receive the manifest copies for this plan.
   [[nodiscard]] std::vector<int> manifest_roots(const ChunkPlan& plan) const;
+  /// Shared staging step behind write()/pwrite(): copies `bytes` into the
+  /// handle's in-memory buffer at `offset` (or at EOF when `append`),
+  /// growing it as needed.  The caller has already validated `offset`.
+  Status stage(FileHandle handle, bool append, std::uint64_t offset,
+               std::span<const std::byte> bytes, double* seconds);
+  /// Next generation for `path`: one past the max of what this process
+  /// has planned for the path and what is on disk.  The disk scan runs
+  /// only for paths this process has not planned yet (restart / external
+  /// overwrite); afterwards the in-memory counter is authoritative, so
+  /// back-to-back overwrites get distinct generations even while earlier
+  /// publishes are still draining in the write-behind queue.
+  [[nodiscard]] std::uint64_t next_generation(const std::string& path);
 
   std::vector<std::unique_ptr<PosixBackend>> roots_;
   ShardedOptions options_;
@@ -212,6 +243,9 @@ class ShardedBackend final : public StorageBackend {
 
   mutable std::mutex mutex_;  ///< handle table + logical stats + counters
   std::uint64_t next_id_ = 1;
+  /// Highest generation planned per path in this process (see
+  /// next_generation); guarded by mutex_.
+  std::unordered_map<std::string, std::uint64_t> generations_;
   std::unordered_map<std::uint64_t, std::shared_ptr<OpenImage>> open_;
   StorageStats stats_;
   mutable ShardedCounters counters_;  ///< read-side counters mutate in const reads

@@ -45,9 +45,7 @@ void WriteBehind::enqueue_sharded(Job job) {
   // Freeze the layout now — placement advances in enqueue order, which is
   // the producers' program order, so twin runs plan identical layouts no
   // matter how the chunks later drain.
-  auto image =
-      std::make_shared<const std::vector<std::byte>>(std::move(job.image));
-  auto plan = sharded_->plan_image(job.path, *image);
+  auto plan = sharded_->plan_image(job.path, job.image);
   ShardedBackend* sharded = sharded_;
   if (plan->chunk_count() == 0) {
     // Empty image: no stripes, just the (visible-making) manifest.
@@ -61,6 +59,22 @@ void WriteBehind::enqueue_sharded(Job job) {
     enqueue_one(std::move(only));
     return;
   }
+  // Slice the image into per-chunk buffers: each chunk job owns exactly
+  // its stripe, so its memory is returned the moment it drains and
+  // resident bytes track pending_bytes_.  (Sharing one full-image buffer
+  // across the chunk jobs would pin the whole image until its LAST chunk
+  // drains while the budget shares release per chunk — residency could
+  // overshoot budget_bytes by nearly a full image per in-flight image.)
+  std::vector<std::shared_ptr<const std::vector<std::byte>>> slices;
+  slices.reserve(plan->chunk_count());
+  for (std::size_t i = 0; i < plan->chunk_count(); ++i) {
+    const std::byte* base = job.image.data() + plan->offset_of(i);
+    slices.push_back(std::make_shared<const std::vector<std::byte>>(
+        base, base + plan->sizes[i]));
+  }
+  // Free the full image before admission — enqueue_one below can block on
+  // the budget (or drain jobs inline), and the image has been copied out.
+  job.image = std::vector<std::byte>();
   // One queue entry per chunk, plus a shared countdown ticket.  The
   // drainer that completes the last chunk publishes the manifest (still
   // on a drainer thread, under the serialized-callback lock) and fires
@@ -79,12 +93,10 @@ void WriteBehind::enqueue_sharded(Job job) {
     Job chunk;
     chunk.path = job.path + "#chunk-" + std::to_string(i);
     chunk.charge_bytes = plan->sizes[i];
-    chunk.perform = [sharded, plan, image, i](double* seconds) {
-      return sharded->write_chunk(
-          *plan, i,
-          std::span<const std::byte>(*image).subspan(plan->offset_of(i),
-                                                     plan->sizes[i]),
-          seconds);
+    chunk.perform = [sharded, plan, slice = slices[i], i](double* seconds) {
+      return sharded->write_chunk(*plan, i,
+                                  std::span<const std::byte>(*slice),
+                                  seconds);
     };
     chunk.on_complete = [sharded, plan, ticket](const Status& st) {
       // Serialized by callback_mutex_: the countdown and first_error need

@@ -111,7 +111,9 @@ class WriteBehind {
   /// Sharded backends make jobs CHUNK-GRANULAR: an image job is split at
   /// enqueue time into one queue entry per chunk (layout frozen here via
   /// plan_image, so placement is deterministic in enqueue order no matter
-  /// how drains interleave), concurrent drainers then write chunks of the
+  /// how drains interleave), each owning its own slice of the image so
+  /// memory is freed chunk-by-chunk as the queue drains (residency tracks
+  /// the byte budget), concurrent drainers then write chunks of the
   /// same image to different roots in parallel, and the drainer that
   /// completes the image's last chunk publishes the manifest and fires
   /// the producer's on_complete once with the aggregate verdict.  Chunk

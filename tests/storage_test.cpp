@@ -903,6 +903,151 @@ TEST(ShardedBackendTest, LosingAWholeRootDegradesButServesReads) {
 }
 
 // ---------------------------------------------------------------------------
+// Manifest generations: overwrite correctness, hostile-manifest hardening
+// ---------------------------------------------------------------------------
+
+void write_text(const std::filesystem::path& file, const std::string& text) {
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.is_open()) << file;
+  out << text;
+}
+
+std::string read_text(const std::filesystem::path& file) {
+  std::ifstream in(file, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+TEST(ShardedBackendTest, OverwriteServesNewestGenerationAndCleansStaleCopies) {
+  // Balanced placement re-decides the manifest roots on every overwrite,
+  // so the new manifest can land somewhere else entirely; the old copy
+  // must neither survive (publish deletes strays) nor win (readers pick
+  // the highest generation).
+  testing::TempDir dir("sharded_overwrite");
+  const auto roots = sharded_roots(dir, 2);
+  ShardedOptions opts;
+  opts.chunk_size = 512;
+  opts.placement = storage::PlacementPolicy::kBalanced;
+  ShardedBackend b(roots, opts);
+  const auto v1 = pattern_bytes(1500, 1);
+  const auto v2 = pattern_bytes(700, 2);
+  ASSERT_OK(storage::write_image(b, "img.bin", v1));
+  ASSERT_OK(storage::write_image(b, "filler.bin", pattern_bytes(4096, 3)));
+  ASSERT_OK(storage::write_image(b, "img.bin", v2));
+
+  // Exactly `replication` copies remain across ALL roots — wherever the
+  // overwrite moved the manifest, no stale copy shadows the namespace —
+  // and the surviving copy is the overwrite's generation.
+  const auto manifests = copies_of(roots, "img.bin.manifest");
+  ASSERT_EQ(manifests.size(), 1u);
+  EXPECT_NE(read_text(manifests.front()).find("generation 2"),
+            std::string::npos);
+  const auto back = b.read_file("img.bin");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, v2);
+  EXPECT_EQ(b.file_size("img.bin"), v2.size());
+  EXPECT_EQ(b.list_files(),
+            (std::vector<std::string>{"filler.bin", "img.bin"}));
+}
+
+TEST(ShardedBackendTest, DegradedManifestPublishIsCountedAndNotShadowed) {
+  // A publish that loses some (not all) manifest copies leaves an OLD
+  // generation behind on the failed root.  With root 0 the failed one,
+  // root-index-order loading would serve the stale generation-1 image;
+  // the generation scan must serve generation 2 — and the degradation
+  // must be visible in the counters.
+  testing::TempDir dir("sharded_stale_manifest");
+  const auto roots = sharded_roots(dir, 2);
+  auto faults = std::make_shared<fault::FaultInjector>(13);
+  ShardedOptions opts;
+  opts.chunk_size = 512;
+  opts.replication = 2;
+  ShardedBackend b(roots, opts, faults);
+  const auto v1 = pattern_bytes(900, 4);
+  const auto v2 = pattern_bytes(1300, 5);
+  ASSERT_OK(storage::write_image(b, "img.bin", v1));
+  ASSERT_EQ(copies_of(roots, "img.bin.manifest").size(), 2u);
+
+  // Root 0 stops accepting writes; the overwrite lands on root 1 only.
+  faults->arm({.point = "posix.pwrite", .target = 0, .count = 100000});
+  ASSERT_OK(storage::write_image(b, "img.bin", v2));
+  EXPECT_EQ(b.counters().degraded_manifest_writes, 1u);
+  EXPECT_NE(b.stats_json().find("\"degraded_manifest_writes\":1"),
+            std::string::npos);
+
+  // Root 0 still physically holds its generation-1 manifest…
+  ASSERT_EQ(copies_of(roots, "img.bin.manifest").size(), 2u);
+  // …but reads serve the newest generation, byte-identical.
+  std::vector<std::byte> back;
+  ASSERT_OK(b.read_image("img.bin", &back));
+  EXPECT_EQ(back, v2);
+  EXPECT_EQ(b.file_size("img.bin"), v2.size());
+}
+
+TEST(ShardedBackendTest, InconsistentManifestChunkSizesAreRejectedSafely) {
+  testing::TempDir dir("sharded_forged_manifest");
+  const auto roots = sharded_roots(dir);
+  ShardedOptions opts;
+  opts.chunk_size = 100;
+  ShardedBackend b(roots, opts);
+  ASSERT_OK(storage::write_image(b, "img.bin", pattern_bytes(100, 6)));
+  const auto manifests = copies_of(roots, "img.bin.manifest");
+  ASSERT_EQ(manifests.size(), 1u);
+
+  // Sizes sum to `size` but disagree with chunk_size: reads copy
+  // sizes[i] bytes at offset chunk_size*i, so accepting this manifest
+  // would write 90 bytes at offset 100 into a 100-byte buffer.  It must
+  // be rejected at parse time -> every copy corrupt -> kDataLoss.
+  write_text(manifests.front(),
+             "dedicore-sharded-manifest v2\n"
+             "generation 7\n"
+             "size 100\n"
+             "chunk_size 100\n"
+             "replication 1\n"
+             "chunks 2\n"
+             "chunk 0 10 00000000 0\n"
+             "chunk 1 90 00000000 0\n");
+  std::vector<std::byte> back;
+  EXPECT_EQ(b.read_image("img.bin", &back).code(), StatusCode::kDataLoss);
+
+  // An absurd chunk count whose allocation cannot succeed must fail the
+  // parse like any other malformation — not terminate on bad_alloc.
+  write_text(manifests.front(),
+             "dedicore-sharded-manifest v2\n"
+             "generation 7\n"
+             "size 18446744073709551615\n"
+             "chunk_size 1\n"
+             "replication 1\n"
+             "chunks 18446744073709551615\n");
+  EXPECT_EQ(b.read_image("img.bin", &back).code(), StatusCode::kDataLoss);
+}
+
+TEST(ShardedBackendTest, PwriteOverflowingOffsetIsRejected) {
+  testing::TempDir dir("sharded_pwrite_overflow");
+  ShardedOptions opts;
+  opts.chunk_size = 512;
+  ShardedBackend b(sharded_roots(dir), opts);
+  FileHandle f;
+  ASSERT_OK(b.create("img.bin", &f));
+  const auto payload = pattern_bytes(64, 7);
+  // offset + size wrapping past UINT64_MAX must be rejected, not wrapped
+  // into a small resize followed by an out-of-bounds copy.  UINT64_MAX is
+  // a legitimate (if absurd) offset, no longer an append sentinel.
+  EXPECT_EQ(b.pwrite(f, UINT64_MAX, payload).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.pwrite(f, UINT64_MAX - 10, payload).code(),
+            StatusCode::kInvalidArgument);
+  // Append and positional writes still work after the rejections.
+  ASSERT_OK(b.write(f, payload));
+  ASSERT_OK(b.pwrite(f, 0, payload));
+  ASSERT_OK(b.close(f));
+  EXPECT_EQ(b.file_size("img.bin"), payload.size());
+  const auto back = b.read_file("img.bin");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+}
+
+// ---------------------------------------------------------------------------
 // Write-behind over the sharded stack: chunk-granular jobs
 // ---------------------------------------------------------------------------
 
