@@ -116,8 +116,8 @@ StallResult run_dedicated(int ranks, int cores_per_node) {
     for (int it = 0; it < kIterations; ++it) {
       proxy.step();
       Stopwatch stall;
-      rt.client().write("vel_mag", proxy.field_bytes());
-      rt.client().end_iteration();
+      (void)rt.client().write("vel_mag", proxy.field_bytes());
+      (void)rt.client().end_iteration();
       std::lock_guard<std::mutex> lock(mutex);
       stalls.add(stall.elapsed_seconds());
     }
@@ -192,8 +192,8 @@ void report_skip_policy() {
       for (int it = 0; it < kSteps; ++it) {
         proxy.step();
         Stopwatch stall;
-        rt.client().write("vel_mag", proxy.field_bytes());
-        rt.client().end_iteration();
+        (void)rt.client().write("vel_mag", proxy.field_bytes());
+        (void)rt.client().end_iteration();
         std::lock_guard<std::mutex> lock(mutex);
         stall_total += stall.elapsed_seconds();
       }

@@ -95,8 +95,8 @@ int main() {
       proxy.step();
       Stopwatch stall;
       for (const auto& [name, bytes] : proxy.field_bytes())
-        rt.client().write(name, bytes);
-      rt.client().end_iteration();
+        (void)rt.client().write(name, bytes);
+      (void)rt.client().end_iteration();
       std::lock_guard<std::mutex> lock(mutex);
       stalls.add(stall.elapsed_seconds());
     }

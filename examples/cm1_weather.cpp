@@ -87,8 +87,8 @@ int main(int argc, char** argv) {
       Stopwatch stall;
       const auto offset = proxy.global_offset();
       for (const auto& [name, bytes] : proxy.field_bytes())
-        rt.client().write(name, bytes, offset);
-      rt.client().end_iteration();
+        (void)rt.client().write(name, bytes, offset);
+      (void)rt.client().end_iteration();
       const double visible = stall.elapsed_seconds();
 
       std::lock_guard<std::mutex> lock(mutex);

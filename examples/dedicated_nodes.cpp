@@ -78,8 +78,9 @@ int main() {
     for (int it = 0; it < kIterations; ++it) {
       for (std::size_t i = 0; i < temperature.size(); ++i)
         temperature[i] = 300.0 + it + 0.01 * static_cast<double>(i);
-      rt.client().write("temperature", std::span<const double>(temperature));
-      rt.client().end_iteration();
+      (void)rt.client().write("temperature",
+                              std::span<const double>(temperature));
+      (void)rt.client().end_iteration();
     }
     rt.finalize();
   });

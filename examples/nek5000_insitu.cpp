@@ -77,8 +77,8 @@ int main(int argc, char** argv) {
     for (int it = 0; it < iterations; ++it) {
       Stopwatch step_time;
       proxy.step();  // the solver — no visualization code in this loop
-      rt.client().write("vel_mag", proxy.field_bytes());              // damaris-api
-      rt.client().end_iteration();                                    // damaris-api
+      (void)rt.client().write("vel_mag", proxy.field_bytes());        // damaris-api
+      (void)rt.client().end_iteration();                              // damaris-api
       std::lock_guard<std::mutex> lock(mutex);
       iteration_times.add(step_time.elapsed_seconds());
     }

@@ -75,8 +75,9 @@ int main(int argc, char** argv) {
 
       // One line per variable, one line per time step: that is the whole
       // integration cost of the middleware (§V.C.2 of the paper).
-      rt.client().write("temperature", std::span<const double>(temperature));  // damaris-api
-      rt.client().end_iteration();  // damaris-api
+      (void)rt.client().write(
+          "temperature", std::span<const double>(temperature));  // damaris-api
+      (void)rt.client().end_iteration();  // damaris-api
     }
     rt.finalize();  // damaris-api
   });

@@ -117,8 +117,8 @@ int main(int argc, char** argv) {
         proxy.step();
         Stopwatch stall;
         for (const auto& [name, bytes] : proxy.field_bytes())
-          rt.client().write(name, bytes);
-        rt.client().end_iteration();
+          (void)rt.client().write(name, bytes);
+        (void)rt.client().end_iteration();
         const double visible = stall.elapsed_seconds();
         std::lock_guard<std::mutex> lock(mutex);
         damaris_stalls.add(visible);

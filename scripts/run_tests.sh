@@ -11,6 +11,10 @@
 #   scripts/run_tests.sh --faults        # fault-tolerance suites under 3 seeds
 #                                        # (DEDICORE_FAULT_SEED sweeps the
 #                                        # injector's probabilistic schedules)
+#   scripts/run_tests.sh --thread-safety # Clang Thread Safety Analysis build
+#                                        # (-Werror=thread-safety; needs clang)
+#   scripts/run_tests.sh --tidy          # clang-tidy over src/ with the
+#                                        # repo's .clang-tidy (needs clang-tidy)
 #   scripts/run_tests.sh --build-dir out # custom build directory
 set -euo pipefail
 
@@ -19,6 +23,8 @@ build_dir=""
 filter=""
 sanitize=""
 faults=""
+thread_safety=""
+tidy=""
 jobs="$(nproc 2>/dev/null || echo 2)"
 
 while [[ $# -gt 0 ]]; do
@@ -32,6 +38,10 @@ while [[ $# -gt 0 ]]; do
       sanitize="thread"; shift ;;
     --faults)
       faults="1"; shift ;;
+    --thread-safety)
+      thread_safety="1"; shift ;;
+    --tidy)
+      tidy="1"; shift ;;
     --build-dir)
       [[ $# -ge 2 ]] || { echo "error: --build-dir needs a path" >&2; exit 2; }
       build_dir="$2"; shift 2 ;;
@@ -39,11 +49,53 @@ while [[ $# -gt 0 ]]; do
       [[ $# -ge 2 ]] || { echo "error: $1 needs a number" >&2; exit 2; }
       jobs="$2"; shift 2 ;;
     -h|--help)
-      sed -n '2,13p' "$0"; exit 0 ;;
+      sed -n '2,17p' "$0"; exit 0 ;;
     *)
       echo "error: unknown argument '$1' (see --help)" >&2; exit 2 ;;
   esac
 done
+
+# clang-tidy mode: static analysis only, no build or test run.  The check
+# set lives in .clang-tidy at the repo root; findings are errors (CI runs
+# this as a gate).
+if [[ -n "$tidy" ]]; then
+  tidy_bin="$(command -v clang-tidy || true)"
+  if [[ -z "$tidy_bin" ]]; then
+    echo "error: --tidy requires clang-tidy, which is not installed" >&2
+    echo "       (apt-get install clang-tidy, or run the CI 'tidy' job)" >&2
+    exit 3
+  fi
+  tidy_build="$repo_root/build-tidy"
+  cmake -B "$tidy_build" -S "$repo_root" \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DDEDICORE_BUILD_BENCH=OFF -DDEDICORE_BUILD_EXAMPLES=OFF >/dev/null
+  mapfile -t tidy_sources < <(find "$repo_root/src" -name '*.cpp' | sort)
+  echo "=== clang-tidy over ${#tidy_sources[@]} sources ==="
+  "$tidy_bin" -p "$tidy_build" --warnings-as-errors='*' --quiet \
+      "${tidy_sources[@]}"
+  echo "clang-tidy: clean"
+  exit 0
+fi
+
+# Thread-safety mode: a Clang build with the thread-safety analysis as a
+# hard error.  This is the compile-time counterpart of the runtime lockdep
+# layer in common/sync.cpp — it proves every DEDICORE_GUARDED_BY /
+# REQUIRES annotation in the headers against every call site.
+if [[ -n "$thread_safety" ]]; then
+  clang_cxx="${CLANGXX:-$(command -v clang++ || true)}"
+  if [[ -z "$clang_cxx" ]]; then
+    echo "error: --thread-safety requires clang++ (GCC has no thread-safety" >&2
+    echo "       analysis; the annotations expand to nothing there)." >&2
+    echo "       Install clang or set CLANGXX=/path/to/clang++." >&2
+    exit 3
+  fi
+  build_dir="${build_dir:-$repo_root/build-thread-safety}"
+  cmake -B "$build_dir" -S "$repo_root" \
+      -DCMAKE_CXX_COMPILER="$clang_cxx" -DDEDICORE_THREAD_SAFETY=ON
+  cmake --build "$build_dir" -j "$jobs"
+  echo "thread-safety analysis: clean build"
+  exit 0
+fi
 
 # Sanitized builds get their own directory so differently-instrumented
 # binaries never mix.

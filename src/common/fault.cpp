@@ -46,7 +46,7 @@ void FaultInjector::arm(FaultSpec spec) {
                       std::to_string(spec.probability) + " outside [0, 1]");
   if (spec.count == 0)
     throw ConfigError("fault '" + spec.point + "': count must be >= 1");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   specs_.push_back(Armed{std::move(spec), 0, 0});
   armed_count_.store(static_cast<int>(specs_.size()),
                      std::memory_order_release);
@@ -55,7 +55,7 @@ void FaultInjector::arm(FaultSpec spec) {
 std::optional<Fired> FaultInjector::fire(std::string_view point,
                                          int target) noexcept {
   if (armed_count_.load(std::memory_order_acquire) == 0) return std::nullopt;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (Armed& armed : specs_) {
     if (armed.spec.point != point) continue;
     if (armed.spec.target >= 0 && armed.spec.target != target) continue;
@@ -71,7 +71,7 @@ std::optional<Fired> FaultInjector::fire(std::string_view point,
 }
 
 std::uint64_t FaultInjector::hits(std::string_view point) const noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const Armed& armed : specs_)
     if (armed.spec.point == point) total += armed.hits;
@@ -79,7 +79,7 @@ std::uint64_t FaultInjector::hits(std::string_view point) const noexcept {
 }
 
 std::uint64_t FaultInjector::fired(std::string_view point) const noexcept {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const Armed& armed : specs_)
     if (armed.spec.point == point) total += armed.fired;

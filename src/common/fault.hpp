@@ -25,13 +25,14 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace dedicore::fault {
 
@@ -106,9 +107,9 @@ class FaultInjector {
     std::uint64_t fired = 0;
   };
 
-  mutable std::mutex mutex_;
-  std::vector<Armed> specs_;
-  Rng rng_;
+  mutable Mutex mutex_{"fault.state"};
+  std::vector<Armed> specs_ DEDICORE_GUARDED_BY(mutex_);
+  Rng rng_ DEDICORE_GUARDED_BY(mutex_);
   std::atomic<int> armed_count_{0};
 };
 

@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/sync.hpp"
 
 namespace dedicore {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_emit_mutex;
+// Serializes whole-line emission so interleaved threads cannot shear a
+// log record; guards the stderr stream, not any dedicore state.
+Mutex g_emit_mutex{"log.emit"};
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -29,7 +32,7 @@ bool log_enabled(LogLevel level) noexcept { return level >= log_level(); }
 
 namespace log_detail {
 void emit(LogLevel level, std::string_view message) {
-  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  MutexLock lock(g_emit_mutex);
   std::fprintf(stderr, "[%s] %.*s\n", level_tag(level),
                static_cast<int>(message.size()), message.data());
 }

@@ -39,7 +39,14 @@ std::string_view status_code_name(StatusCode code) noexcept;
 /// `Status::ok()` is cheap to construct and copy (empty message). The class
 /// is deliberately tiny — no payload; functions that produce a value use
 /// output parameters or return std::optional alongside a Status.
-class Status {
+///
+/// The type itself is [[nodiscard]]: EVERY function returning a Status —
+/// the storage backends, the write-behind queue, the transports'
+/// try_publish — warns when a caller drops the verdict on the floor.
+/// The few intentional discards in the codebase (fire-and-forget writes
+/// in benches/examples, where a skip-policy ABORTED is the policy
+/// working) say so with an explicit (void) cast.
+class [[nodiscard]] Status {
  public:
   Status() noexcept : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)

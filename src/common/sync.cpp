@@ -1,0 +1,292 @@
+#include "common/sync.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace dedicore {
+namespace lockdep {
+namespace {
+
+// One lock this thread currently holds.
+struct Held {
+  const void* instance = nullptr;
+  std::uint32_t cls = 0;  ///< 0 when acquired via try_lock (untracked order)
+  const char* name = nullptr;
+};
+
+// All global lockdep state lives under one ordinary std::mutex — it must
+// not be a dedicore::Mutex, which would recurse into this very machinery.
+std::mutex g_mu;
+std::unordered_map<std::string, std::uint32_t>& class_ids() {
+  static auto* ids = new std::unordered_map<std::string, std::uint32_t>();
+  return *ids;
+}
+std::vector<std::string>& class_names() {  // id -> name (id 0 unused)
+  static auto* names = new std::vector<std::string>(1);
+  return *names;
+}
+// The lock-order graph: after[a] holds every class b some thread acquired
+// while holding a ("a before b").
+std::unordered_map<std::uint32_t, std::set<std::uint32_t>>& graph() {
+  static auto* g = new std::unordered_map<std::uint32_t, std::set<std::uint32_t>>();
+  return *g;
+}
+// Witness of each edge: the held chain of the thread that recorded it.
+std::map<std::uint64_t, std::string>& edge_witness() {
+  static auto* w = new std::map<std::uint64_t, std::string>();
+  return *w;
+}
+// Pairs already reported, so one inversion aborts (or is recorded by the
+// test handler) exactly once instead of on every later acquisition.
+std::set<std::uint64_t>& reported_pairs() {
+  static auto* r = new std::set<std::uint64_t>();
+  return *r;
+}
+std::function<void(const Report&)>& handler() {
+  static auto* h = new std::function<void(const Report&)>();
+  return *h;
+}
+
+std::atomic<int> g_enabled{-1};  ///< -1 undecided, 0 off, 1 on
+std::atomic<std::uint64_t> g_reports{0};
+
+thread_local std::vector<Held> t_held;
+
+std::uint64_t edge_key(std::uint32_t a, std::uint32_t b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+std::string chain_string(const char* acquiring) {
+  std::string out;
+  for (const Held& held : t_held) {
+    out += held.name;
+    out += " -> ";
+  }
+  out += acquiring;
+  return out;
+}
+
+// True when `to` is reachable from `from` along recorded edges; fills
+// `path` (class ids, from -> ... -> to) when found.
+bool find_path(std::uint32_t from, std::uint32_t to,
+               std::vector<std::uint32_t>* path) {
+  std::unordered_map<std::uint32_t, std::uint32_t> parent;
+  std::vector<std::uint32_t> stack{from};
+  parent[from] = from;
+  while (!stack.empty()) {
+    const std::uint32_t node = stack.back();
+    stack.pop_back();
+    if (node == to) {
+      std::vector<std::uint32_t> reversed{to};
+      for (std::uint32_t walk = to; walk != from; walk = parent[walk])
+        reversed.push_back(parent[walk]);
+      path->assign(reversed.rbegin(), reversed.rend());
+      return true;
+    }
+    auto it = graph().find(node);
+    if (it == graph().end()) continue;
+    for (std::uint32_t next : it->second) {
+      if (parent.emplace(next, node).second) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+void emit_report(std::string message) {
+  g_reports.fetch_add(1, std::memory_order_relaxed);
+  std::function<void(const Report&)> local;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    local = handler();
+  }
+  Report report{std::move(message)};
+  if (local) {
+    local(report);
+    return;
+  }
+  fatal(report.message);
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  int state = g_enabled.load(std::memory_order_relaxed);
+  if (state < 0) {
+    bool on = false;
+#ifndef NDEBUG
+    on = true;  // Debug builds default lockdep on
+#endif
+    if (const char* env = std::getenv("DEDICORE_LOCKDEP");
+        env != nullptr && *env != '\0')
+      on = !(env[0] == '0' && env[1] == '\0');
+    state = on ? 1 : 0;
+    g_enabled.store(state, std::memory_order_relaxed);
+  }
+  return state == 1;
+}
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void set_failure_handler(std::function<void(const Report&)> new_handler) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  handler() = std::move(new_handler);
+}
+
+std::uint64_t report_count() noexcept {
+  return g_reports.load(std::memory_order_relaxed);
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  graph().clear();
+  edge_witness().clear();
+  reported_pairs().clear();
+  g_reports.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::uint32_t intern_class(const char* name) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto [it, inserted] =
+      class_ids().try_emplace(std::string(name),
+                              static_cast<std::uint32_t>(class_names().size()));
+  if (inserted) class_names().emplace_back(name);
+  return it->second;
+}
+
+// Pre-acquisition bookkeeping for a BLOCKING lock: self-relock check, then
+// order-edge recording + cycle detection against everything already held.
+// Runs BEFORE the native lock call so an inversion reports even when this
+// particular interleaving would have deadlocked rather than returned.
+void note_before_lock(const void* instance, std::uint32_t cls,
+                      const char* name) {
+  for (const Held& held : t_held) {
+    if (held.instance == instance) {
+      std::ostringstream msg;
+      msg << "lockdep: self-relock of '" << name
+          << "': this thread already holds that exact mutex (held chain: "
+          << chain_string(name) << ")";
+      emit_report(msg.str());
+      return;  // the caller will now block on itself if this is not a test
+    }
+  }
+  std::string pending_report;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    for (const Held& held : t_held) {
+      // try_lock acquisitions (cls 0) never block, so they impose no
+      // ordering; same-class nesting is out of scope by design (header).
+      if (held.cls == 0 || held.cls == cls) continue;
+      const std::uint64_t key = edge_key(held.cls, cls);
+      if (graph()[held.cls].contains(cls)) continue;   // edge already known
+      if (reported_pairs().contains(key)) continue;    // inversion already told
+      // New edge held.cls -> cls: does the reverse direction already have
+      // a path?  If so this acquisition closes a cycle — an ABBA (or
+      // longer) inversion.
+      std::vector<std::uint32_t> path;
+      if (find_path(cls, held.cls, &path)) {
+        reported_pairs().insert(key);
+        std::ostringstream msg;
+        msg << "lockdep: lock-order inversion (ABBA): acquiring '" << name
+            << "' while holding '" << class_names()[held.cls]
+            << "'\n  this thread:  " << chain_string(name)
+            << "\n  but the opposite order is on record:";
+        for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+          auto witness = edge_witness().find(edge_key(path[i], path[i + 1]));
+          msg << "\n    '" << class_names()[path[i]] << "' before '"
+              << class_names()[path[i + 1]] << "'";
+          if (witness != edge_witness().end())
+            msg << "  (recorded by a thread holding: " << witness->second
+                << ")";
+        }
+        pending_report = msg.str();
+        break;  // report once; skip recording the contradictory edge
+      }
+      graph()[held.cls].insert(cls);
+      edge_witness().emplace(key, chain_string(name));
+    }
+  }
+  // Outside g_mu: the handler (or fatal) must be free to do anything.
+  if (!pending_report.empty()) emit_report(std::move(pending_report));
+}
+
+void note_locked(const void* instance, std::uint32_t cls, const char* name) {
+  t_held.push_back(Held{instance, cls, name});
+}
+
+void note_unlock(const void* instance) {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->instance == instance) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Locked before lockdep was enabled (tests flip it mid-process): the
+  // entry never existed — nothing to pop.
+}
+
+}  // namespace detail
+}  // namespace lockdep
+
+void Mutex::lock() {
+  if (lockdep::enabled()) {
+    std::uint32_t cls = class_id_.load(std::memory_order_relaxed);
+    if (cls == 0) {
+      cls = lockdep::detail::intern_class(lock_class_);
+      class_id_.store(cls, std::memory_order_relaxed);
+    }
+    lockdep::detail::note_before_lock(this, cls, lock_class_);
+    mu_.lock();
+    lockdep::detail::note_locked(this, cls, lock_class_);
+    return;
+  }
+  mu_.lock();
+}
+
+void Mutex::unlock() {
+  mu_.unlock();
+  if (lockdep::enabled()) lockdep::detail::note_unlock(this);
+}
+
+bool Mutex::try_lock() {
+  if (!mu_.try_lock()) return false;
+  if (lockdep::enabled()) {
+    // A successful try_lock cannot have blocked, so it imposes no order
+    // edge (cls 0 in the held set); it still participates in self-relock
+    // detection and held-chain reports via its name.
+    lockdep::detail::note_locked(this, 0, lock_class_);
+  }
+  return true;
+}
+
+void CondVar::wait(UniqueLock& lock) {
+  DEDICORE_CHECK(lock.owns_lock(), "CondVar::wait: lock not held");
+  // Adopt the already-held native mutex for the duration of the wait and
+  // release the adoption afterwards: ownership bookkeeping (UniqueLock's
+  // owned_ flag, the lockdep held set) is untouched — the mutex is locked
+  // again by the time wait() returns, exactly as the caller left it.
+  std::unique_lock<std::mutex> native(lock.mutex()->mu_, std::adopt_lock);
+  cv_.wait(native);
+  native.release();
+}
+
+std::cv_status CondVar::wait_for_impl(UniqueLock& lock,
+                                      std::chrono::nanoseconds dur) {
+  DEDICORE_CHECK(lock.owns_lock(), "CondVar::wait_for: lock not held");
+  std::unique_lock<std::mutex> native(lock.mutex()->mu_, std::adopt_lock);
+  const std::cv_status verdict = cv_.wait_for(native, dur);
+  native.release();
+  return verdict;
+}
+
+}  // namespace dedicore

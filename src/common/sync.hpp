@@ -1,0 +1,201 @@
+// Annotated synchronization primitives + runtime lock-order (deadlock)
+// detection.
+//
+// Every mutex-owning layer in the repo uses these wrappers instead of the
+// raw std:: primitives, for two reasons:
+//
+//  1. STATIC: dedicore::Mutex is a Clang Thread Safety Analysis
+//     *capability* (thread_annotations.hpp), so DEDICORE_GUARDED_BY
+//     fields and DEDICORE_REQUIRES helpers are checked at compile time
+//     under -Werror=thread-safety.  std::mutex carries no annotations and
+//     proves nothing.
+//
+//  2. DYNAMIC: the wrapper carries a lockdep layer (Linux-lockdep style)
+//     for the one property static annotations cannot express — global
+//     lock *ordering*.  Each Mutex belongs to a named lock class
+//     ("demux.pool", "write_behind.state", ...); every acquisition
+//     records held-class -> acquired-class edges into a process-wide
+//     lock-order graph, and an edge that closes a cycle (an ABBA
+//     inversion) reports at the FIRST occurrence — naming both orders'
+//     lock chains — even on interleavings that never actually deadlock in
+//     the test run.  Enabled when DEDICORE_LOCKDEP=1 is in the
+//     environment (or by default in Debug/!NDEBUG builds; DEDICORE_LOCKDEP=0
+//     force-disables); when off, the cost per lock is one relaxed atomic
+//     load.
+//
+// Lock classes are keyed by NAME, not by instance: all BoundedQueues
+// share the classes "queue.tail"/"queue.head", every PosixBackend shares
+// "posix.handles", and so on — an ordering bug between any two instances
+// of two layers is a bug between the layers.  Two deliberate consequences:
+//
+//   * relocking the SAME instance on one thread is always reported (a
+//     non-recursive mutex self-deadlock);
+//   * nesting two DIFFERENT instances of the SAME class is not tracked
+//     as an ordering edge (a->a edges are skipped): the codebase has no
+//     such nesting — layers that hold two locks always hold two distinct
+//     classes — and tracking it would false-positive on sibling
+//     instances locked sequentially by different threads.  If a future
+//     layer needs intra-class nesting, give the inner mutex its own
+//     class name.
+//
+// Condition-variable waits keep the mutex in the thread's held set for
+// the whole wait: the unlock/relock inside the wait re-establishes an
+// ordering the thread already recorded at the original acquisition, so no
+// new edges can appear — and any lock the waiter still holds *around* the
+// wait keeps (correctly) ordering against everything the woken path
+// acquires.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/thread_annotations.hpp"
+
+namespace dedicore {
+
+class CondVar;
+
+namespace lockdep {
+
+/// True when acquisitions are being tracked.  Decided once, at first use,
+/// from the environment (DEDICORE_LOCKDEP=1/0) with !NDEBUG as the
+/// default; tests flip it explicitly with set_enabled().
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// A detected violation: a lock-order cycle (ABBA inversion) or a
+/// self-relock.  `message` names both orders' lock chains.
+struct Report {
+  std::string message;
+};
+
+/// Installs a handler invoked instead of aborting (tests record the
+/// report and keep running).  Passing nullptr restores the default
+/// handler, which prints the report and aborts via dedicore::fatal —
+/// a lock-order inversion in a concurrency substrate is never ignorable.
+void set_failure_handler(std::function<void(const Report&)> handler);
+
+/// Reports produced since the last reset() (any thread).
+[[nodiscard]] std::uint64_t report_count() noexcept;
+
+/// Clears the global lock-order graph and the report counter so tests
+/// can stage independent scenarios.  Must not run concurrently with
+/// tracked acquisitions.
+void reset();
+
+}  // namespace lockdep
+
+/// Annotated mutex capability.  `lock_class` names the lockdep class this
+/// instance belongs to (a string literal; see docs/concurrency.md for the
+/// repo-wide hierarchy).  Non-recursive, like the std::mutex it wraps.
+class DEDICORE_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const char* lock_class = "mutex") noexcept
+      : lock_class_(lock_class) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DEDICORE_ACQUIRE();
+  void unlock() DEDICORE_RELEASE();
+  [[nodiscard]] bool try_lock() DEDICORE_TRY_ACQUIRE(true);
+
+  [[nodiscard]] const char* lock_class() const noexcept { return lock_class_; }
+
+ private:
+  friend class CondVar;  // waits on the wrapped native mutex
+
+  std::mutex mu_;
+  const char* lock_class_;
+  /// Interned lockdep class id; 0 until first tracked acquisition.
+  std::atomic<std::uint32_t> class_id_{0};
+};
+
+/// RAII lock_guard equivalent (scoped capability).
+class DEDICORE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DEDICORE_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() DEDICORE_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII unique_lock equivalent (scoped capability): supports the
+/// drop-the-lock-around-a-blocking-call pattern (leader-follower demux,
+/// inline write-behind drains) and is what CondVar waits on.
+class DEDICORE_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) DEDICORE_ACQUIRE(mu) : mu_(&mu) {
+    mu_->lock();
+    owned_ = true;
+  }
+  ~UniqueLock() DEDICORE_RELEASE() {
+    if (owned_) mu_->unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() DEDICORE_ACQUIRE() {
+    mu_->lock();
+    owned_ = true;
+  }
+  void unlock() DEDICORE_RELEASE() {
+    owned_ = false;
+    mu_->unlock();
+  }
+
+  [[nodiscard]] bool owns_lock() const noexcept { return owned_; }
+  [[nodiscard]] Mutex* mutex() const noexcept { return mu_; }
+
+ private:
+  Mutex* mu_;
+  bool owned_ = false;
+};
+
+/// Condition variable paired with dedicore::Mutex via UniqueLock.
+///
+/// Deliberately NO predicate overloads: a predicate lambda is analyzed by
+/// TSA as a separate unannotated function, so guarded fields read inside
+/// it would need waivers.  Call sites write the canonical explicit loop
+///
+///     while (!condition_over_guarded_fields) cv.wait(lock);
+///
+/// whose body the analysis checks against the held lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Caller must hold `lock` (fatal otherwise).  The mutex stays in the
+  /// thread's lockdep held set across the wait (see header comment).
+  void wait(UniqueLock& lock);
+
+  /// Timed wait; std::cv_status::timeout on expiry.
+  template <class Rep, class Period>
+  std::cv_status wait_for(UniqueLock& lock,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    return wait_for_impl(
+        lock, std::chrono::duration_cast<std::chrono::nanoseconds>(dur));
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::cv_status wait_for_impl(UniqueLock& lock,
+                               std::chrono::nanoseconds dur);
+
+  std::condition_variable cv_;
+};
+
+}  // namespace dedicore

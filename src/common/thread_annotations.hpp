@@ -1,0 +1,85 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// The repo's correctness surface IS its lock discipline: dedicated cores
+// exchange blocks through a lock-managed segment and bounded queues, and
+// every concurrency bug found so far (the follower-parked-on-leader's-lock
+// deadlock, the BoundedQueue close/pop_all race, the pop_all
+// waiter-accounting audit) was a lock-protocol violation that dynamic
+// tools could only catch on the interleavings tests happened to execute.
+// These macros move that class of bug to compile time: every
+// mutex-guarded field declares its mutex (DEDICORE_GUARDED_BY), every
+// hold-the-lock helper declares its precondition (DEDICORE_REQUIRES), and
+// clang's -Wthread-safety proves, per translation unit, that no access
+// violates a declaration.  CI builds with -Werror=thread-safety (the
+// DEDICORE_THREAD_SAFETY CMake option); under GCC — which has no such
+// analysis — every macro expands to nothing, so the annotations are free.
+//
+// Conventions (see docs/concurrency.md for the repo-wide lock hierarchy):
+//   * annotate with the *macro* forms below, never raw __attribute__;
+//   * member mutexes are dedicore::Mutex (common/sync.hpp), the annotated
+//     capability wrapper — std::mutex is not a capability and guards
+//     nothing, and only the wrapper carries the runtime lockdep layer;
+//   * private helpers that assume the lock are suffixed _locked and carry
+//     DEDICORE_REQUIRES(mutex_);
+//   * a genuine invariant the analysis cannot express is waived with
+//     DEDICORE_NO_THREAD_SAFETY_ANALYSIS plus an in-header argument for
+//     WHY the code is correct — never by loosening the annotations.
+#pragma once
+
+// clang >= 3.6 understands the capability-based attribute spellings; the
+// __has_attribute probe keeps the header honest if that ever regresses.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DEDICORE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DEDICORE_THREAD_ANNOTATION
+#define DEDICORE_THREAD_ANNOTATION(x)  // no-op off clang (GCC, MSVC)
+#endif
+
+/// Declares a type to be a lockable capability ("mutex" in diagnostics).
+#define DEDICORE_CAPABILITY(x) DEDICORE_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define DEDICORE_SCOPED_CAPABILITY DEDICORE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read/written while holding `x`.
+#define DEDICORE_GUARDED_BY(x) DEDICORE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is guarded by `x`.
+#define DEDICORE_PT_GUARDED_BY(x) DEDICORE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and still held
+/// on exit) — the annotation for *_locked helpers.
+#define DEDICORE_REQUIRES(...) \
+  DEDICORE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on exit, not on entry).
+#define DEDICORE_ACQUIRE(...) \
+  DEDICORE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry, not on exit).
+#define DEDICORE_RELEASE(...) \
+  DEDICORE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `result`.
+#define DEDICORE_TRY_ACQUIRE(...) \
+  DEDICORE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (anti-deadlock: the
+/// function acquires them itself, so holding one on entry self-deadlocks).
+#define DEDICORE_EXCLUDES(...) \
+  DEDICORE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts (runtime fact, not proof) that the capability is held.
+#define DEDICORE_ASSERT_CAPABILITY(x) \
+  DEDICORE_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define DEDICORE_RETURN_CAPABILITY(x) \
+  DEDICORE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Waiver: suppresses the analysis for one function.  Use ONLY with an
+/// adjacent comment arguing why the unprovable code is correct.
+#define DEDICORE_NO_THREAD_SAFETY_ANALYSIS \
+  DEDICORE_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -5,12 +5,12 @@
 namespace dedicore::core {
 
 void BlockIndex::insert(BlockInfo info) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   blocks_.push_back(info);
 }
 
 std::vector<BlockInfo> BlockIndex::blocks_of_iteration(Iteration it) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<BlockInfo> out;
   for (const auto& b : blocks_)
     if (b.iteration == it) out.push_back(b);
@@ -19,7 +19,7 @@ std::vector<BlockInfo> BlockIndex::blocks_of_iteration(Iteration it) const {
 
 std::vector<BlockInfo> BlockIndex::blocks_of(VariableId variable,
                                              Iteration it) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<BlockInfo> out;
   for (const auto& b : blocks_)
     if (b.variable == variable && b.iteration == it) out.push_back(b);
@@ -33,7 +33,7 @@ std::vector<BlockInfo> BlockIndex::blocks_of(VariableId variable,
 std::optional<BlockInfo> BlockIndex::find(VariableId variable, Iteration it,
                                           int source,
                                           std::uint32_t block_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& b : blocks_)
     if (b.variable == variable && b.iteration == it && b.source == source &&
         b.block_id == block_id)
@@ -42,7 +42,7 @@ std::optional<BlockInfo> BlockIndex::find(VariableId variable, Iteration it,
 }
 
 std::vector<BlockInfo> BlockIndex::extract_iteration(Iteration it) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<BlockInfo> out;
   auto keep = blocks_.begin();
   for (auto& b : blocks_) {
@@ -57,7 +57,7 @@ std::vector<BlockInfo> BlockIndex::extract_iteration(Iteration it) {
 }
 
 std::vector<BlockInfo> BlockIndex::extract_client(int source) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<BlockInfo> out;
   auto keep = blocks_.begin();
   for (auto& b : blocks_) {
@@ -72,12 +72,12 @@ std::vector<BlockInfo> BlockIndex::extract_client(int source) {
 }
 
 std::size_t BlockIndex::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return blocks_.size();
 }
 
 std::uint64_t BlockIndex::total_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& b : blocks_) total += b.block.size;
   return total;

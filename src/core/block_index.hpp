@@ -6,10 +6,11 @@
 // kBlockWritten events and clears an iteration after its pipeline ran.
 #pragma once
 
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/types.hpp"
 
 namespace dedicore::core {
@@ -44,8 +45,9 @@ class BlockIndex {
   [[nodiscard]] std::uint64_t total_bytes() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<BlockInfo> blocks_;
+  /// Leaf lock: every method is a self-contained critical section.
+  mutable Mutex mutex_{"core.block_index"};
+  std::vector<BlockInfo> blocks_ DEDICORE_GUARDED_BY(mutex_);
 };
 
 }  // namespace dedicore::core

@@ -22,8 +22,9 @@ namespace dedicore::core {
 namespace {
 
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, PluginFactory> factories;
+  /// Leaf lock: registration/lookup are self-contained critical sections.
+  Mutex mutex{"plugin.registry"};
+  std::map<std::string, PluginFactory> factories DEDICORE_GUARDED_BY(mutex);
 };
 
 Registry& registry() {
@@ -35,7 +36,7 @@ Registry& registry() {
 
 void register_plugin(const std::string& name, PluginFactory factory) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   if (r.factories.contains(name))
     throw ConfigError("plugin '" + name + "' already registered");
   r.factories.emplace(name, std::move(factory));
@@ -45,7 +46,7 @@ std::unique_ptr<Plugin> make_plugin(
     const std::string& name, const std::map<std::string, std::string>& params) {
   register_builtin_plugins();
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   auto it = r.factories.find(name);
   if (it == r.factories.end())
     throw ConfigError("unknown plugin '" + name + "'");
@@ -55,7 +56,7 @@ std::unique_ptr<Plugin> make_plugin(
 bool plugin_registered(const std::string& name) {
   register_builtin_plugins();
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mutex);
+  MutexLock lock(r.mutex);
   return r.factories.contains(name);
 }
 
@@ -217,7 +218,7 @@ void StorePlugin::run(PluginContext& context) {
     job.image = std::move(image);
     ServerStats* server_stats = context.stats;  // outlives the final drain
     job.on_complete = [this, server_stats, image_bytes](const Status& st) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!st.is_ok()) {
         ++totals_.failed_writes;
         // Make the drop visible to whoever reads the run's stats: a
@@ -245,7 +246,7 @@ void StorePlugin::run(PluginContext& context) {
 
   const bool persisted_inline = node.write_behind == nullptr;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     totals_.raw_bytes += raw_bytes;
     totals_.write_seconds += io_seconds;
     totals_.schedule_wait_seconds += waited;
@@ -261,7 +262,7 @@ void StorePlugin::run(PluginContext& context) {
 }
 
 StorePlugin::Totals StorePlugin::totals() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return totals_;
 }
 
@@ -288,18 +289,18 @@ void StatsPlugin::run(PluginContext& context) {
     }
     entry.per_variable[var.name] = viz::compute_statistics(all);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   history_.push_back(std::move(entry));
   if (history_.size() > 16) history_.erase(history_.begin());
 }
 
 StatsPlugin::Entry StatsPlugin::latest() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return history_.empty() ? Entry{} : history_.back();
 }
 
 std::vector<StatsPlugin::Entry> StatsPlugin::history() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return history_;
 }
 
@@ -429,18 +430,18 @@ ScriptPlugin::ScriptPlugin(const std::map<std::string, std::string>& params)
 
 void ScriptPlugin::run(PluginContext& context) {
   const double value = ScriptEvaluator(expression_, context).evaluate();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   last_value_ = value;
   last_iteration_ = context.iteration;
 }
 
 double ScriptPlugin::last_value() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return last_value_;
 }
 
 Iteration ScriptPlugin::last_iteration() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return last_iteration_;
 }
 
@@ -506,7 +507,7 @@ void VisLitePlugin::run(PluginContext& context) {
         job.image = std::move(ppm);
         job.on_complete = [this](const Status& st) {
           if (!st.is_ok()) return;  // the queue logged and counted the drop
-          std::lock_guard<std::mutex> lock(mutex_);
+          MutexLock lock(mutex_);
           ++totals_.images_written;
         };
         node.write_behind->enqueue(std::move(job));
@@ -524,7 +525,7 @@ void VisLitePlugin::run(PluginContext& context) {
     }
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++totals_.invocations;
   totals_.blocks_rendered += rendered;
   totals_.triangles += triangles;
@@ -533,7 +534,7 @@ void VisLitePlugin::run(PluginContext& context) {
 }
 
 VisLitePlugin::Totals VisLitePlugin::totals() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return totals_;
 }
 

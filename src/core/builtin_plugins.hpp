@@ -4,10 +4,11 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/plugin.hpp"
 #include "viz/vislite.hpp"
 
@@ -51,8 +52,9 @@ class StorePlugin final : public Plugin {
  private:
   std::string codec_override_;
   std::string basename_override_;
-  mutable std::mutex mutex_;
-  Totals totals_;
+  /// Leaf lock over the aggregate counters (one per plugin instance).
+  mutable Mutex mutex_{"plugin.store"};
+  Totals totals_ DEDICORE_GUARDED_BY(mutex_);
 };
 
 /// "stats": per-variable min/max/mean/stddev per iteration, kept for the
@@ -73,8 +75,8 @@ class StatsPlugin final : public Plugin {
   [[nodiscard]] std::vector<Entry> history() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<Entry> history_;
+  mutable Mutex mutex_{"plugin.stats"};
+  std::vector<Entry> history_ DEDICORE_GUARDED_BY(mutex_);
 };
 
 /// "script": evaluates a tiny arithmetic expression over the iteration's
@@ -99,9 +101,9 @@ class ScriptPlugin final : public Plugin {
 
  private:
   std::string expression_;
-  mutable std::mutex mutex_;
-  double last_value_;
-  Iteration last_iteration_ = -1;
+  mutable Mutex mutex_{"plugin.script"};
+  double last_value_ DEDICORE_GUARDED_BY(mutex_);
+  Iteration last_iteration_ DEDICORE_GUARDED_BY(mutex_) = -1;
 };
 
 /// "vislite": the in-situ pipeline (isosurface + statistics + rendering)
@@ -129,8 +131,8 @@ class VisLitePlugin final : public Plugin {
   std::string isovalue_spec_;
   int width_, height_;
   bool write_image_;
-  mutable std::mutex mutex_;
-  Totals totals_;
+  mutable Mutex mutex_{"plugin.vislite"};
+  Totals totals_ DEDICORE_GUARDED_BY(mutex_);
 };
 
 /// Decodes a block's payload to doubles according to the variable layout

@@ -23,7 +23,7 @@ compress::CodecId EmitStage::plan(const VariableSpec& var,
                                   std::span<const std::byte> sample) {
   if (requested == compress::CodecId::kNone) return requested;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (var.id < decisions_.size()) {
       Decision& decision = decisions_[var.id];
       if (decision.decided && decision.emits_since_probe < kReprobePeriod) {
@@ -49,7 +49,7 @@ compress::CodecId EmitStage::plan(const VariableSpec& var,
   const compress::CodecId planned =
       skip ? compress::CodecId::kNone : requested;
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.probes;
   stats_.probe_seconds += seconds;
   if (skip) ++stats_.adaptive_skips;
@@ -85,7 +85,7 @@ EmitStage::Emitted EmitStage::emit_dataset(h5lite::FileBuilder& builder,
   }
   emitted.stored_bytes = builder.data_bytes() - before;
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   stats_.raw_bytes += emitted.raw_bytes;
   stats_.stored_bytes += emitted.stored_bytes;
   stats_.compress_seconds += emitted.seconds;
@@ -98,7 +98,7 @@ EmitStage::Emitted EmitStage::emit_dataset(h5lite::FileBuilder& builder,
 }
 
 EmitStats EmitStage::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -26,11 +26,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "compress/codec.hpp"
 #include "core/configuration.hpp"
 #include "h5lite/h5lite.hpp"
@@ -115,9 +116,11 @@ class EmitStage {
 
   std::string default_codec_;
   double min_ratio_;
-  mutable std::mutex mutex_;  ///< guards stats_ and decisions_
-  EmitStats stats_;
-  std::vector<Decision> decisions_;
+  /// Leaf lock: released before any codec emit runs (compression happens
+  /// outside the critical section; only counters/decisions live under it).
+  mutable Mutex mutex_{"core.emit_stage"};
+  EmitStats stats_ DEDICORE_GUARDED_BY(mutex_);
+  std::vector<Decision> decisions_ DEDICORE_GUARDED_BY(mutex_);
 };
 
 }  // namespace dedicore::core

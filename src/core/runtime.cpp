@@ -1,8 +1,9 @@
 #include "core/runtime.hpp"
 
-#include <mutex>
 #include <unordered_map>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "transport/mpi_transport.hpp"
 #include "transport/shm_transport.hpp"
 
@@ -15,21 +16,21 @@ namespace {
 class HandoffRegistry {
  public:
   std::uint64_t publish(std::shared_ptr<void> object) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const std::uint64_t id = next_id_++;
     objects_.emplace(id, std::move(object));
     return id;
   }
 
   std::shared_ptr<void> fetch(std::uint64_t id) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = objects_.find(id);
     DEDICORE_CHECK(it != objects_.end(), "handoff: unknown id");
     return it->second;
   }
 
   void retire(std::uint64_t id) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     objects_.erase(id);
   }
 
@@ -39,9 +40,11 @@ class HandoffRegistry {
   }
 
  private:
-  std::mutex mutex_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<void>> objects_;
-  std::uint64_t next_id_ = 1;
+  /// Leaf lock: each registry method is a self-contained critical section.
+  Mutex mutex_{"runtime.handoff"};
+  std::unordered_map<std::uint64_t, std::shared_ptr<void>> objects_
+      DEDICORE_GUARDED_BY(mutex_);
+  std::uint64_t next_id_ DEDICORE_GUARDED_BY(mutex_) = 1;
 };
 
 /// Creator (rank 0 of `comm`) publishes, everyone ends up with the object.

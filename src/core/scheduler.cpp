@@ -12,11 +12,10 @@ ThrottledScheduler::ThrottledScheduler(int max_concurrent)
 
 void ThrottledScheduler::acquire(int) {
   Stopwatch wait;
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   const std::uint64_t ticket = next_ticket_++;
-  admitted_.wait(lock, [&] {
-    return ticket == serving_ && active_ < max_concurrent_;
-  });
+  while (!(ticket == serving_ && active_ < max_concurrent_))
+    admitted_.wait(lock);
   ++serving_;
   ++active_;
   total_wait_ += wait.elapsed_seconds();
@@ -26,19 +25,19 @@ void ThrottledScheduler::acquire(int) {
 
 void ThrottledScheduler::release(int) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     --active_;
   }
   admitted_.notify_all();
 }
 
 double ThrottledScheduler::total_wait_seconds() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return total_wait_;
 }
 
 std::uint64_t ThrottledScheduler::tickets_issued() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return next_ticket_;
 }
 

@@ -14,11 +14,12 @@
 // One scheduler instance is shared by all server cores of a run.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace dedicore::core {
 
@@ -78,12 +79,14 @@ class ThrottledScheduler final : public IoScheduler {
 
  private:
   const int max_concurrent_;
-  mutable std::mutex mutex_;
-  std::condition_variable admitted_;
-  int active_ = 0;
-  std::uint64_t next_ticket_ = 0;   // FIFO fairness
-  std::uint64_t serving_ = 0;
-  double total_wait_ = 0.0;
+  /// Leaf lock: admission state only; never held across a write phase
+  /// (acquire/release bracket the caller's I/O, the lock does not).
+  mutable Mutex mutex_{"core.scheduler"};
+  CondVar admitted_;
+  int active_ DEDICORE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t next_ticket_ DEDICORE_GUARDED_BY(mutex_) = 0;  // FIFO fairness
+  std::uint64_t serving_ DEDICORE_GUARDED_BY(mutex_) = 0;
+  double total_wait_ DEDICORE_GUARDED_BY(mutex_) = 0.0;
 };
 
 /// Factory from the <storage scheduler=.../> configuration.

@@ -98,6 +98,9 @@ void Server::run() {
   // abort handler dropped.
   stats_.blocks_reclaimed += t.blocks_reclaimed;
   stats_.bytes_reclaimed += t.bytes_reclaimed;
+  // Quiescent, but the (uncontended) lock keeps pipeline_times_'s
+  // GUARDED_BY provable.
+  MutexLock state(state_mutex_);
   stats_.pipeline_time = pipeline_times_.summary();
 }
 
@@ -123,7 +126,7 @@ void Server::handle(const Event& event) {
       // segment space / flow credit returns immediately.
       bool zombie = false;
       {
-        std::lock_guard<std::mutex> state(state_mutex_);
+        MutexLock state(state_mutex_);
         if (dead_clients_.count(event.source)) {
           zombie = true;
           ++stats_.blocks_reclaimed;
@@ -142,7 +145,7 @@ void Server::handle(const Event& event) {
       info.block = event.block;
       for (int i = 0; i < 4; ++i) info.global_offset[i] = event.global_offset[i];
       node_->indexes[static_cast<std::size_t>(server_index_)]->insert(info);
-      std::lock_guard<std::mutex> state(state_mutex_);
+      MutexLock state(state_mutex_);
       ++stats_.blocks_received;
       stats_.bytes_received += event.block.size;
       break;
@@ -151,7 +154,7 @@ void Server::handle(const Event& event) {
     case EventType::kIterationSkipped: {
       bool completes = false;
       {
-        std::lock_guard<std::mutex> state(state_mutex_);
+        MutexLock state(state_mutex_);
         if (event.type == EventType::kIterationSkipped) ++stats_.client_skips;
         std::set<int>& closed = iteration_closes_[event.iteration];
         closed.insert(event.source);
@@ -169,14 +172,14 @@ void Server::handle(const Event& event) {
       const auto id = static_cast<std::size_t>(event.signal_id);
       DEDICORE_CHECK(id < node_->signal_names.size(),
                      "Server: signal id out of range");
-      std::lock_guard<std::mutex> pipeline(pipeline_mutex_);
+      MutexLock pipeline(pipeline_mutex_);
       fire(node_->signal_names[id], event.iteration, &event);
       break;
     }
     case EventType::kClientStop: {
       bool last = false;
       {
-        std::lock_guard<std::mutex> state(state_mutex_);
+        MutexLock state(state_mutex_);
         ++stopped_clients_;
         last = all_clients_finished_locked();
       }
@@ -218,7 +221,7 @@ void Server::handle_client_abort(int source) {
   //    before any of its blocks are released below, and this server's
   //    workers treat stragglers as zombies.
   {
-    std::lock_guard<std::mutex> state(state_mutex_);
+    MutexLock state(state_mutex_);
     if (!dead_clients_.insert(source).second) return;  // duplicate abort
     ++stats_.clients_aborted;
   }
@@ -237,7 +240,7 @@ void Server::handle_client_abort(int source) {
       bytes += info.block.size;
       transport_->release(info.block);
     }
-    std::lock_guard<std::mutex> state(state_mutex_);
+    MutexLock state(state_mutex_);
     stats_.blocks_reclaimed += blocks;
     stats_.bytes_reclaimed += bytes;
   }
@@ -248,7 +251,7 @@ void Server::handle_client_abort(int source) {
   std::vector<Iteration> newly_complete;
   bool last = false;
   {
-    std::lock_guard<std::mutex> state(state_mutex_);
+    MutexLock state(state_mutex_);
     for (auto it = iteration_closes_.begin(); it != iteration_closes_.end();) {
       if (iteration_satisfied_locked(it->second)) {
         newly_complete.push_back(it->first);
@@ -281,7 +284,7 @@ void Server::complete_iteration(Iteration iteration) {
   {
     // Plugins are not required to be thread-safe: at most one pipeline per
     // server at a time, even when iterations complete on several workers.
-    std::lock_guard<std::mutex> serialize(pipeline_mutex_);
+    MutexLock serialize(pipeline_mutex_);
     fire("end_iteration", iteration, nullptr);
   }
 
@@ -292,7 +295,7 @@ void Server::complete_iteration(Iteration iteration) {
     transport_->release(block.block);
 
   {
-    std::lock_guard<std::mutex> state(state_mutex_);
+    MutexLock state(state_mutex_);
     ++stats_.iterations_completed;
     pipeline_times_.add(pipeline.elapsed_seconds());
   }

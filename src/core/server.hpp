@@ -15,12 +15,13 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "compress/codec.hpp"
 #include "core/node_runtime.hpp"
 #include "core/plugin.hpp"
@@ -147,10 +148,12 @@ class Server {
   /// the iteration — dead clients are treated as having closed everything
   /// (their partial contribution was already dropped or kept per policy).
   [[nodiscard]] bool iteration_satisfied_locked(
-      const std::set<int>& closed_sources) const;
+      const std::set<int>& closed_sources) const
+      DEDICORE_REQUIRES(state_mutex_);
   /// With state_mutex_ held: true once every client has either stopped or
   /// died — the run's termination condition.
-  [[nodiscard]] bool all_clients_finished_locked() const {
+  [[nodiscard]] bool all_clients_finished_locked() const
+      DEDICORE_REQUIRES(state_mutex_) {
     return stopped_clients_ + static_cast<int>(dead_clients_.size()) >=
            client_count_;
   }
@@ -161,16 +164,28 @@ class Server {
   int client_count_;
   int worker_count_;
   std::vector<BoundAction> actions_;
+  /// Deliberately NOT lock-annotated: the field has three owners in three
+  /// phases — the event counters mutate under state_mutex_, the storage /
+  /// emit counters mutate through PluginContext inside the pipeline (so
+  /// under pipeline_mutex_), and run() folds worker ledgers and transport
+  /// totals in after the pool has joined (quiescent, no lock).  No single
+  /// GUARDED_BY is true for all of it; the per-phase discipline above is
+  /// the invariant.
   ServerStats stats_;
-  SampleSet pipeline_times_;
+  SampleSet pipeline_times_ DEDICORE_GUARDED_BY(state_mutex_);
 
   /// Guards the cross-worker bookkeeping (iteration_closes_,
-  /// stopped_clients_, the event counters in stats_, pipeline_times_).
-  std::mutex state_mutex_;
+  /// stopped_clients_, dead_clients_, the event counters in stats_,
+  /// pipeline_times_).  Never held across a plugin run, a transport call,
+  /// or pipeline_mutex_ — it is a leaf in the lock hierarchy.
+  mutable Mutex state_mutex_{"server.state"};
   /// Serializes the plugin pipeline per server: workers parallelize event
   /// intake and indexing, but plugins are not required to be thread-safe,
-  /// so at most one pipeline (or signal action) runs at a time.
-  std::mutex pipeline_mutex_;
+  /// so at most one pipeline (or signal action) runs at a time.  Plugins
+  /// call into the transport, the emit stage, and the write-behind queue
+  /// while it is held, so server.pipeline sits ABOVE those classes in the
+  /// lock hierarchy; it never nests with server.state in either order.
+  Mutex pipeline_mutex_{"server.pipeline"};
   /// Set by the worker that consumes the final kClientStop; workers check
   /// it between events so the pool winds down without another blocking
   /// next_event() on an already-finished stream.
@@ -178,14 +193,18 @@ class Server {
   /// True when the pooled transport's idle hook drains write-behind jobs
   /// (then complete_iteration skips its inline drain — idle workers own
   /// the disk, the completing worker returns to the event stream).
+  /// Written once in run() before the pool spawns, immutable after — no
+  /// lock needed.
   bool idle_drain_active_ = false;
 
   // Iteration bookkeeping: iteration -> the client sources that closed it
   // (end or skip).  Sets rather than counts so a client's death can be
   // reconciled against the iterations it never got to close.
-  std::map<Iteration, std::set<int>> iteration_closes_;
-  int stopped_clients_ = 0;
-  std::set<int> dead_clients_;  ///< sources whose kClientAborted was consumed
+  std::map<Iteration, std::set<int>> iteration_closes_
+      DEDICORE_GUARDED_BY(state_mutex_);
+  int stopped_clients_ DEDICORE_GUARDED_BY(state_mutex_) = 0;
+  /// Sources whose kClientAborted was consumed.
+  std::set<int> dead_clients_ DEDICORE_GUARDED_BY(state_mutex_);
 };
 
 }  // namespace dedicore::core

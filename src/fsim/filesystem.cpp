@@ -20,18 +20,21 @@ struct FileSystem::OstState {
   OstState(const StorageConfig& config, Rng rng)
       : interference(config, rng) {}
 
-  std::mutex mutex;
-  int active = 0;  ///< concurrent transfers registered on this OST
-  InterferenceProcess interference;  // guarded by mutex
-  double busy_sim = 0.0;             // quanta with >= 1 active transfer
+  Mutex mutex{"fsim.ost"};
+  int active DEDICORE_GUARDED_BY(mutex) = 0;  ///< concurrent transfers
+                                              ///< registered on this OST
+  InterferenceProcess interference DEDICORE_GUARDED_BY(mutex);
+  /// Quanta with >= 1 active transfer.
+  double busy_sim DEDICORE_GUARDED_BY(mutex) = 0.0;
 };
 
 struct FileSystem::FileState {
   std::string path;
   int stripe_count = 1;
   int stripe_origin = 0;  ///< first OST index for round-robin striping
-  std::vector<std::byte> content;  // guarded by content_mutex
-  std::mutex content_mutex;
+  /// Leaf lock over this file's bytes (append offset + memcpy).
+  Mutex content_mutex{"fsim.content"};
+  std::vector<std::byte> content DEDICORE_GUARDED_BY(content_mutex);
 };
 
 FileSystem::FileSystem(StorageConfig config, TimeScale scale)
@@ -63,12 +66,12 @@ FileHandle FileSystem::create(const std::string& path, int stripe_count,
   // real, which is exactly the file-per-process metadata storm.
   const double arrival = sim_now();
   {
-    std::lock_guard<std::mutex> lock(mds_mutex_);
+    MutexLock lock(mds_mutex_);
     sleep_seconds(scale_.to_real(config_.mds_op_cost));
   }
   const double mds_time = sim_now() - arrival;
 
-  std::lock_guard<std::mutex> lock(meta_mutex_);
+  MutexLock lock(meta_mutex_);
   mds_accounting_.submit(arrival, config_.mds_op_cost);
   ++mds_operations_;
   mds_busy_time_sim_ += config_.mds_op_cost;
@@ -94,12 +97,12 @@ std::optional<FileHandle> FileSystem::open(const std::string& path,
                                            double* mds_time_sim) {
   const double arrival = sim_now();
   {
-    std::lock_guard<std::mutex> lock(mds_mutex_);
+    MutexLock lock(mds_mutex_);
     sleep_seconds(scale_.to_real(config_.mds_op_cost));
   }
   const double mds_time = sim_now() - arrival;
 
-  std::lock_guard<std::mutex> lock(meta_mutex_);
+  MutexLock lock(meta_mutex_);
   mds_accounting_.submit(arrival, config_.mds_op_cost);
   ++mds_operations_;
   mds_busy_time_sim_ += config_.mds_op_cost;
@@ -111,7 +114,7 @@ std::optional<FileHandle> FileSystem::open(const std::string& path,
 }
 
 FileSystem::FileState* FileSystem::find_file(FileHandle handle) const {
-  std::lock_guard<std::mutex> lock(meta_mutex_);
+  MutexLock lock(meta_mutex_);
   auto it = files_.find(handle.id);
   DEDICORE_CHECK(it != files_.end(), "FileSystem: stale file handle");
   return it->second.get();
@@ -126,7 +129,7 @@ double FileSystem::run_transfer(std::vector<std::pair<int, double>> ost_bytes) {
 
   for (auto& [ost, bytes] : ost_bytes) {
     OstState& o = *osts_[static_cast<std::size_t>(ost)];
-    std::lock_guard<std::mutex> lock(o.mutex);
+    MutexLock lock(o.mutex);
     ++o.active;
   }
 
@@ -137,7 +140,7 @@ double FileSystem::run_transfer(std::vector<std::pair<int, double>> ost_bytes) {
     for (auto& [ost, bytes] : ost_bytes) {
       if (bytes <= 0.0) continue;
       OstState& o = *osts_[static_cast<std::size_t>(ost)];
-      std::lock_guard<std::mutex> lock(o.mutex);
+      MutexLock lock(o.mutex);
       const double share = config_.ost_bandwidth *
                            o.interference.available_fraction(t) /
                            static_cast<double>(std::max(1, o.active));
@@ -162,7 +165,7 @@ double FileSystem::pwrite(FileHandle file, std::uint64_t offset,
     // effective transfer volume.
     double factor = 1.0;
     {
-      std::lock_guard<std::mutex> lock(jitter_mutex_);
+      MutexLock lock(jitter_mutex_);
       factor = jitter_.factor();
     }
 
@@ -193,7 +196,7 @@ double FileSystem::pwrite(FileHandle file, std::uint64_t offset,
 
   // Persist content so files can be read back and verified.
   {
-    std::lock_guard<std::mutex> lock(state->content_mutex);
+    MutexLock lock(state->content_mutex);
     if (state->content.size() < offset + bytes.size())
       state->content.resize(offset + bytes.size());
     if (!bytes.empty())
@@ -201,7 +204,7 @@ double FileSystem::pwrite(FileHandle file, std::uint64_t offset,
   }
 
   {
-    std::lock_guard<std::mutex> lock(meta_mutex_);
+    MutexLock lock(meta_mutex_);
     ++writes_;
     bytes_written_ += bytes.size();
     total_write_time_sim_ += duration;
@@ -214,7 +217,7 @@ double FileSystem::write(FileHandle file, std::span<const std::byte> bytes) {
   FileState* state = find_file(file);
   std::uint64_t offset = 0;
   {
-    std::lock_guard<std::mutex> lock(state->content_mutex);
+    MutexLock lock(state->content_mutex);
     offset = state->content.size();
   }
   return pwrite(file, offset, bytes);
@@ -225,7 +228,7 @@ void FileSystem::close(FileHandle file) {
 }
 
 bool FileSystem::exists(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(meta_mutex_);
+  MutexLock lock(meta_mutex_);
   return by_path_.contains(path);
 }
 
@@ -233,12 +236,12 @@ std::optional<std::vector<std::byte>> FileSystem::read_file(
     const std::string& path) const {
   FileState* state = nullptr;
   {
-    std::lock_guard<std::mutex> lock(meta_mutex_);
+    MutexLock lock(meta_mutex_);
     auto it = by_path_.find(path);
     if (it == by_path_.end()) return std::nullopt;
     state = files_.at(it->second).get();
   }
-  std::lock_guard<std::mutex> lock(state->content_mutex);
+  MutexLock lock(state->content_mutex);
   return state->content;
 }
 
@@ -248,7 +251,7 @@ std::uint64_t FileSystem::file_size(const std::string& path) const {
 }
 
 std::vector<std::string> FileSystem::list_files() const {
-  std::lock_guard<std::mutex> lock(meta_mutex_);
+  MutexLock lock(meta_mutex_);
   std::vector<std::string> out;
   out.reserve(by_path_.size());
   for (const auto& [path, id] : by_path_) out.push_back(path);
@@ -257,12 +260,12 @@ std::vector<std::string> FileSystem::list_files() const {
 }
 
 std::size_t FileSystem::file_count() const {
-  std::lock_guard<std::mutex> lock(meta_mutex_);
+  MutexLock lock(meta_mutex_);
   return by_path_.size();
 }
 
 FileSystemStats FileSystem::stats() const {
-  std::lock_guard<std::mutex> lock(meta_mutex_);
+  MutexLock lock(meta_mutex_);
   FileSystemStats s;
   s.files_created = files_created_;
   s.mds_operations = mds_operations_;

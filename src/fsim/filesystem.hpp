@@ -12,7 +12,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -20,6 +19,8 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "fsim/storage_model.hpp"
 
 namespace dedicore::fsim {
@@ -112,27 +113,38 @@ class FileSystem {
   TimeScale scale_;
   double epoch_real_;  // steady-clock origin for sim_now()
 
-  mutable std::mutex mds_mutex_;           // the single metadata server
-  QueueServer mds_accounting_;             // virtual-time bookkeeping only
-  mutable std::mutex meta_mutex_;          // protects maps & counters below
-  std::unordered_map<std::uint64_t, std::unique_ptr<FileState>> files_;
-  std::unordered_map<std::string, std::uint64_t> by_path_;
-  std::uint64_t next_handle_ = 1;
-  int next_stripe_origin_ = 0;
+  /// The single metadata server.  The ONE lock in the repo deliberately
+  /// held across a sleep: serializing creators for the scaled service
+  /// time IS the modelled metadata storm.  Nothing else is ever acquired
+  /// under it (meta_mutex_ is taken only after it is released).
+  mutable Mutex mds_mutex_{"fsim.mds"};
+  QueueServer mds_accounting_ DEDICORE_GUARDED_BY(meta_mutex_);
+  /// Leaf lock over the maps & counters below; never held across a sleep
+  /// or another lock.
+  mutable Mutex meta_mutex_{"fsim.meta"};
+  std::unordered_map<std::uint64_t, std::unique_ptr<FileState>> files_
+      DEDICORE_GUARDED_BY(meta_mutex_);
+  std::unordered_map<std::string, std::uint64_t> by_path_
+      DEDICORE_GUARDED_BY(meta_mutex_);
+  std::uint64_t next_handle_ DEDICORE_GUARDED_BY(meta_mutex_) = 1;
+  int next_stripe_origin_ DEDICORE_GUARDED_BY(meta_mutex_) = 0;
 
+  /// Per-OST states each own an "fsim.ost" lock; run_transfer takes them
+  /// strictly one at a time (never two OST locks together).
   std::vector<std::unique_ptr<OstState>> osts_;
 
   // Stats (guarded by meta_mutex_).
-  std::uint64_t files_created_ = 0;
-  std::uint64_t mds_operations_ = 0;
-  std::uint64_t writes_ = 0;
-  std::uint64_t bytes_written_ = 0;
-  double total_write_time_sim_ = 0.0;
-  double mds_busy_time_sim_ = 0.0;
-  SampleSet write_times_sim_;
+  std::uint64_t files_created_ DEDICORE_GUARDED_BY(meta_mutex_) = 0;
+  std::uint64_t mds_operations_ DEDICORE_GUARDED_BY(meta_mutex_) = 0;
+  std::uint64_t writes_ DEDICORE_GUARDED_BY(meta_mutex_) = 0;
+  std::uint64_t bytes_written_ DEDICORE_GUARDED_BY(meta_mutex_) = 0;
+  double total_write_time_sim_ DEDICORE_GUARDED_BY(meta_mutex_) = 0.0;
+  double mds_busy_time_sim_ DEDICORE_GUARDED_BY(meta_mutex_) = 0.0;
+  SampleSet write_times_sim_ DEDICORE_GUARDED_BY(meta_mutex_);
 
-  mutable std::mutex jitter_mutex_;
-  JitterModel jitter_;
+  /// Leaf lock around the shared heavy-tail RNG.
+  mutable Mutex jitter_mutex_{"fsim.jitter"};
+  JitterModel jitter_ DEDICORE_GUARDED_BY(jitter_mutex_);
 };
 
 }  // namespace dedicore::fsim

@@ -5,15 +5,20 @@
 #include <exception>
 #include <thread>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
+
 namespace dedicore::minimpi {
 
 namespace detail {
 
 /// Per-rank mailbox: FIFO of pending messages with wakeups on arrival.
 struct Mailbox {
-  std::mutex mutex;
-  std::condition_variable arrived;
-  std::deque<Message> pending;
+  /// Leaf lock: a deliver/consume/probe critical section acquires nothing
+  /// else (every transport lock sits above it).
+  Mutex mutex{"minimpi.mailbox"};
+  CondVar arrived;
+  std::deque<Message> pending DEDICORE_GUARDED_BY(mutex);
 };
 
 /// State shared by all ranks of one communicator.
@@ -24,8 +29,9 @@ struct CommState {
 
   // Registry used by split(): rank 0 publishes child states here under a
   // sequence id; other ranks pick theirs up by id (same address space).
-  std::mutex registry_mutex;
-  std::unordered_map<std::uint64_t, std::shared_ptr<CommState>> child_registry;
+  Mutex registry_mutex{"minimpi.registry"};  ///< leaf lock
+  std::unordered_map<std::uint64_t, std::shared_ptr<CommState>> child_registry
+      DEDICORE_GUARDED_BY(registry_mutex);
 
   [[nodiscard]] int size() const noexcept {
     return static_cast<int>(mailboxes.size());
@@ -35,7 +41,7 @@ struct CommState {
     DEDICORE_CHECK(dest >= 0 && dest < size(), "minimpi: destination rank out of range");
     Mailbox& box = mailboxes[static_cast<std::size_t>(dest)];
     {
-      std::lock_guard<std::mutex> lock(box.mutex);
+      MutexLock lock(box.mutex);
       box.pending.push_back(std::move(message));
     }
     box.arrived.notify_all();
@@ -49,7 +55,7 @@ struct CommState {
   /// Removes and returns the first matching message, waiting if needed.
   Message consume(int self, int source, int tag) {
     Mailbox& box = mailboxes[static_cast<std::size_t>(self)];
-    std::unique_lock<std::mutex> lock(box.mutex);
+    UniqueLock lock(box.mutex);
     for (;;) {
       auto it = std::find_if(box.pending.begin(), box.pending.end(),
                              [&](const Message& m) { return matches(m, source, tag); });
@@ -64,7 +70,7 @@ struct CommState {
 
   std::optional<Message> try_consume(int self, int source, int tag) {
     Mailbox& box = mailboxes[static_cast<std::size_t>(self)];
-    std::lock_guard<std::mutex> lock(box.mutex);
+    MutexLock lock(box.mutex);
     auto it = std::find_if(box.pending.begin(), box.pending.end(),
                            [&](const Message& m) { return matches(m, source, tag); });
     if (it == box.pending.end()) return std::nullopt;
@@ -75,7 +81,7 @@ struct CommState {
 
   ProbeResult probe(int self, int source, int tag) {
     Mailbox& box = mailboxes[static_cast<std::size_t>(self)];
-    std::unique_lock<std::mutex> lock(box.mutex);
+    UniqueLock lock(box.mutex);
     for (;;) {
       auto it = std::find_if(box.pending.begin(), box.pending.end(),
                              [&](const Message& m) { return matches(m, source, tag); });
@@ -87,7 +93,7 @@ struct CommState {
 
   std::optional<ProbeResult> iprobe(int self, int source, int tag) {
     Mailbox& box = mailboxes[static_cast<std::size_t>(self)];
-    std::lock_guard<std::mutex> lock(box.mutex);
+    MutexLock lock(box.mutex);
     auto it = std::find_if(box.pending.begin(), box.pending.end(),
                            [&](const Message& m) { return matches(m, source, tag); });
     if (it == box.pending.end()) return std::nullopt;
@@ -305,7 +311,7 @@ Comm Comm::split(int color, int key) {
         const std::uint64_t id = next_id.fetch_add(1);
         auto child = std::make_shared<detail::CommState>(static_cast<int>(j - i));
         {
-          std::lock_guard<std::mutex> lock(state_->registry_mutex);
+          MutexLock lock(state_->registry_mutex);
           state_->child_registry.emplace(id, child);
         }
         for (std::size_t k = i; k < j; ++k) {
@@ -324,7 +330,7 @@ Comm Comm::split(int color, int key) {
 
   std::shared_ptr<detail::CommState> child;
   {
-    std::lock_guard<std::mutex> lock(state_->registry_mutex);
+    MutexLock lock(state_->registry_mutex);
     auto it = state_->child_registry.find(id);
     DEDICORE_CHECK(it != state_->child_registry.end(), "split: unknown child id");
     child = it->second;
@@ -336,7 +342,7 @@ Comm Comm::split(int color, int key) {
   // that safe and doubles as the synchronization MPI_Comm_split implies.
   out.barrier();
   if (out.rank() == 0) {
-    std::lock_guard<std::mutex> lock(state_->registry_mutex);
+    MutexLock lock(state_->registry_mutex);
     state_->child_registry.erase(id);
   }
   return out;

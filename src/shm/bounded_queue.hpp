@@ -16,14 +16,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace dedicore::shm {
 
@@ -40,7 +40,7 @@ class BoundedQueue {
 
   /// Blocking push; returns false if the queue was closed.
   bool push(T value) {
-    std::unique_lock<std::mutex> lock(tail_mutex_);
+    UniqueLock lock(tail_mutex_);
     if (!wait_for_space_locked(lock)) return false;
     enqueue_locked(std::move(value));
     lock.unlock();
@@ -56,7 +56,7 @@ class BoundedQueue {
     std::size_t pushed = 0;
     std::size_t final_chunk = 0;
     {
-      std::unique_lock<std::mutex> lock(tail_mutex_);
+      UniqueLock lock(tail_mutex_);
       while (pushed < values.size()) {
         if (!wait_for_space_locked(lock)) break;
         // Only consumers grow the space concurrently, so the room observed
@@ -85,7 +85,7 @@ class BoundedQueue {
   /// Nonblocking push; WOULD_BLOCK when full, CLOSED after close().
   Status try_push(T value) {
     {
-      std::lock_guard<std::mutex> lock(tail_mutex_);
+      MutexLock lock(tail_mutex_);
       if (closed_.load(std::memory_order_relaxed))
         return Status::closed("queue closed");
       if (size_.load(std::memory_order_acquire) == capacity_)
@@ -107,7 +107,7 @@ class BoundedQueue {
     if (values.size() > capacity_)
       return Status::invalid_argument("batch exceeds queue capacity");
     {
-      std::lock_guard<std::mutex> lock(tail_mutex_);
+      MutexLock lock(tail_mutex_);
       if (closed_.load(std::memory_order_relaxed))
         return Status::closed("queue closed");
       const std::size_t room =
@@ -121,7 +121,7 @@ class BoundedQueue {
 
   /// Blocking pop; nullopt when the queue is closed *and* drained.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(head_mutex_);
+    UniqueLock lock(head_mutex_);
     if (!wait_for_item_locked(lock)) return std::nullopt;
     T out = dequeue_locked();
     lock.unlock();
@@ -137,7 +137,7 @@ class BoundedQueue {
                       std::size_t max = static_cast<std::size_t>(-1)) {
     std::size_t taken = 0;
     {
-      std::unique_lock<std::mutex> lock(head_mutex_);
+      UniqueLock lock(head_mutex_);
       if (!wait_for_item_locked(lock)) return 0;
       // Only producers grow the count concurrently, so the batch observed
       // here can be drained without re-checking per element.
@@ -156,7 +156,7 @@ class BoundedQueue {
   std::optional<T> try_pop() {
     std::optional<T> out;
     {
-      std::lock_guard<std::mutex> lock(head_mutex_);
+      MutexLock lock(head_mutex_);
       if (size_.load(std::memory_order_acquire) == 0) return std::nullopt;
       out = dequeue_locked();
     }
@@ -178,12 +178,12 @@ class BoundedQueue {
   /// stranded (caught by the close-race stress test).
   void close() {
     {
-      std::lock_guard<std::mutex> lock(tail_mutex_);
+      MutexLock lock(tail_mutex_);
       closed_.store(true, std::memory_order_seq_cst);
       not_full_.notify_all();
     }
     {
-      std::lock_guard<std::mutex> lock(head_mutex_);
+      MutexLock lock(head_mutex_);
       not_empty_.notify_all();
     }
   }
@@ -245,7 +245,8 @@ class BoundedQueue {
   //    race must — but its enqueue, like push's, precedes the store.
 
   /// Waits (holding tail_mutex_) until there is room; false when closed.
-  bool wait_for_space_locked(std::unique_lock<std::mutex>& lock) {
+  bool wait_for_space_locked(UniqueLock& lock)
+      DEDICORE_REQUIRES(tail_mutex_) {
     for (;;) {
       if (closed_.load(std::memory_order_seq_cst)) return false;
       if (size_.load(std::memory_order_seq_cst) < capacity_) return true;
@@ -259,7 +260,8 @@ class BoundedQueue {
 
   /// Waits (holding head_mutex_) until an item exists; false when the
   /// queue is closed and drained.
-  bool wait_for_item_locked(std::unique_lock<std::mutex>& lock) {
+  bool wait_for_item_locked(UniqueLock& lock)
+      DEDICORE_REQUIRES(head_mutex_) {
     for (;;) {
       if (size_.load(std::memory_order_seq_cst) > 0) return true;
       if (closed_.load(std::memory_order_seq_cst)) {
@@ -280,10 +282,11 @@ class BoundedQueue {
   /// `produced` is how many elements the caller just made available: a
   /// bulk delivery can satisfy several waiters, so waking only one would
   /// strand the rest until unrelated traffic trickled wakeups their way.
-  void signal_not_empty(std::size_t produced = 1) {
+  void signal_not_empty(std::size_t produced = 1)
+      DEDICORE_EXCLUDES(head_mutex_) {
     if (produced == 0) return;
     if (waiting_poppers_.load(std::memory_order_seq_cst) > 0) {
-      std::lock_guard<std::mutex> lock(head_mutex_);
+      MutexLock lock(head_mutex_);
       if (produced > 1) {
         not_empty_.notify_all();
       } else {
@@ -292,10 +295,11 @@ class BoundedQueue {
     }
   }
 
-  void signal_not_full(std::size_t freed = 1) {
+  void signal_not_full(std::size_t freed = 1)
+      DEDICORE_EXCLUDES(tail_mutex_) {
     if (freed == 0) return;
     if (waiting_pushers_.load(std::memory_order_seq_cst) > 0) {
-      std::lock_guard<std::mutex> lock(tail_mutex_);
+      MutexLock lock(tail_mutex_);
       if (freed > 1) {
         not_full_.notify_all();
       } else {
@@ -304,13 +308,13 @@ class BoundedQueue {
     }
   }
 
-  void enqueue_locked(T value) {
+  void enqueue_locked(T value) DEDICORE_REQUIRES(tail_mutex_) {
     buffer_[tail_] = std::move(value);
     tail_ = (tail_ + 1) % capacity_;
     size_.fetch_add(1, std::memory_order_seq_cst);
   }
 
-  T dequeue_locked() {
+  T dequeue_locked() DEDICORE_REQUIRES(head_mutex_) {
     T out = std::move(buffer_[head_]);
     head_ = (head_ + 1) % capacity_;
     size_.fetch_sub(1, std::memory_order_seq_cst);
@@ -318,13 +322,22 @@ class BoundedQueue {
   }
 
   const std::size_t capacity_;
+  /// The ring storage is deliberately NOT GUARDED_BY either lock: slot
+  /// buffer_[tail_] is written under tail_mutex_ and slot buffer_[head_]
+  /// read under head_mutex_, and the two cursors can never alias a live
+  /// slot — the atomic size_ (acquire/release) is what hands a filled
+  /// slot from producer side to consumer side.  A single-mutex guard
+  /// would be a lie; dual-guard is inexpressible.  Lock order when both
+  /// sides meet: queue.tail before queue.head (push_all signals
+  /// mid-batch while still holding the tail lock; no pop path takes the
+  /// tail lock while holding the head lock).
   std::vector<T> buffer_;
-  std::mutex tail_mutex_;  ///< serializes producers; guards tail_
-  std::mutex head_mutex_;  ///< serializes consumers; guards head_
-  std::condition_variable not_empty_;  ///< waited on under head_mutex_
-  std::condition_variable not_full_;   ///< waited on under tail_mutex_
-  std::size_t head_ = 0;
-  std::size_t tail_ = 0;
+  Mutex tail_mutex_{"queue.tail"};  ///< serializes producers; guards tail_
+  Mutex head_mutex_{"queue.head"};  ///< serializes consumers; guards head_
+  CondVar not_empty_;  ///< waited on under head_mutex_
+  CondVar not_full_;   ///< waited on under tail_mutex_
+  std::size_t head_ DEDICORE_GUARDED_BY(head_mutex_) = 0;
+  std::size_t tail_ DEDICORE_GUARDED_BY(tail_mutex_) = 0;
   std::atomic<std::size_t> size_{0};
   std::atomic<int> waiting_pushers_{0};
   std::atomic<int> waiting_poppers_{0};

@@ -13,6 +13,9 @@ bool is_power_of_two(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
 Segment::Segment(std::uint64_t capacity)
     : capacity_(capacity), memory_(new std::byte[capacity]) {
   DEDICORE_CHECK(capacity > 0, "Segment capacity must be non-zero");
+  // No thread can see the segment yet, but taking the (uncontended) lock
+  // keeps the _locked helpers' REQUIRES provable in the constructor too.
+  MutexLock lock(mutex_);
   insert_free_locked(0, capacity);
   refresh_largest_locked();
 }
@@ -81,14 +84,14 @@ std::optional<BlockRef> Segment::allocate_locked(std::uint64_t size,
 
 std::optional<BlockRef> Segment::try_allocate(std::uint64_t size,
                                               std::uint64_t alignment) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (closed_) return std::nullopt;
   return allocate_locked(size, alignment);
 }
 
 std::optional<BlockRef> Segment::allocate_blocking(std::uint64_t size,
                                                    std::uint64_t alignment) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   if (size > capacity_ || alignment > capacity_)
     return std::nullopt;  // can never succeed
   for (;;) {
@@ -97,14 +100,14 @@ std::optional<BlockRef> Segment::allocate_blocking(std::uint64_t size,
     Waiter waiter;
     waiter.size = size;
     auto position = waiters_.insert(waiters_.end(), &waiter);
-    waiter.cv.wait(lock, [&] { return waiter.ready || closed_; });
+    while (!waiter.ready && !closed_) waiter.cv.wait(lock);
     waiters_.erase(position);
   }
 }
 
 void Segment::deallocate(BlockRef block) {
   if (block.is_null()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = allocated_.find(block.offset);
   DEDICORE_CHECK(it != allocated_.end() && it->second == block.size,
                  "Segment::deallocate: unknown or double-freed block");
@@ -172,7 +175,7 @@ std::optional<BlockRef> Segment::try_write(std::span<const std::byte> bytes,
 }
 
 void Segment::close() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   closed_ = true;
   for (Waiter* waiter : waiters_) waiter->cv.notify_one();
 }
@@ -190,7 +193,7 @@ SegmentStats Segment::stats() const noexcept {
 }
 
 void Segment::check_invariants() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   DEDICORE_CHECK(free_by_offset_.size() == free_by_size_.size(),
                  "invariant: free indexes disagree on block count");
   std::uint64_t free_total = 0;

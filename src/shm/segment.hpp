@@ -40,13 +40,11 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <span>
@@ -54,6 +52,8 @@
 #include <utility>
 
 #include "common/status.hpp"
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace dedicore::shm {
 
@@ -133,37 +133,46 @@ class Segment {
   void check_invariants() const;
 
  private:
-  /// A blocking allocation parked until a free might satisfy it.
+  /// A blocking allocation parked until a free might satisfy it.  All
+  /// fields are written under the owning Segment's mutex_ (a nested type
+  /// cannot name the enclosing instance's mutex in a GUARDED_BY, so the
+  /// invariant is recorded here instead).
   struct Waiter {
     std::uint64_t size = 0;
-    std::condition_variable cv;
+    CondVar cv;
     bool ready = false;
   };
 
   std::optional<BlockRef> allocate_locked(std::uint64_t size,
-                                          std::uint64_t alignment);
+                                          std::uint64_t alignment)
+      DEDICORE_REQUIRES(mutex_);
   /// Removes a free block from both indexes.
-  void erase_free_locked(std::uint64_t offset, std::uint64_t size);
+  void erase_free_locked(std::uint64_t offset, std::uint64_t size)
+      DEDICORE_REQUIRES(mutex_);
   /// Adds a free block to both indexes.
-  void insert_free_locked(std::uint64_t offset, std::uint64_t size);
+  void insert_free_locked(std::uint64_t offset, std::uint64_t size)
+      DEDICORE_REQUIRES(mutex_);
   /// Refreshes the cached largest-free-block counter.
-  void refresh_largest_locked();
+  void refresh_largest_locked() DEDICORE_REQUIRES(mutex_);
   /// Wakes the waiters whose request can now plausibly fit.
-  void wake_fitting_waiters_locked();
+  void wake_fitting_waiters_locked() DEDICORE_REQUIRES(mutex_);
 
   const std::uint64_t capacity_;
   std::unique_ptr<std::byte[]> memory_;
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_{"segment.state"};
   /// Free blocks, offset -> size: neighbour lookup for coalescing.
-  std::map<std::uint64_t, std::uint64_t> free_by_offset_;
+  std::map<std::uint64_t, std::uint64_t> free_by_offset_
+      DEDICORE_GUARDED_BY(mutex_);
   /// The same free blocks as (size, offset): best-fit lookup.
-  std::set<std::pair<std::uint64_t, std::uint64_t>> free_by_size_;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> free_by_size_
+      DEDICORE_GUARDED_BY(mutex_);
   /// Allocated blocks, offset -> size: O(1) double-free detection.
-  std::unordered_map<std::uint64_t, std::uint64_t> allocated_;
+  std::unordered_map<std::uint64_t, std::uint64_t> allocated_
+      DEDICORE_GUARDED_BY(mutex_);
   /// Parked blocking allocations, in arrival order.
-  std::list<Waiter*> waiters_;
-  bool closed_ = false;
+  std::list<Waiter*> waiters_ DEDICORE_GUARDED_BY(mutex_);
+  bool closed_ DEDICORE_GUARDED_BY(mutex_) = false;
 
   std::atomic<std::uint64_t> used_{0};
   std::atomic<std::uint64_t> peak_used_{0};

@@ -48,7 +48,7 @@ Placement::Placement(PlacementPolicy policy, int root_count, int replication,
 std::vector<ChunkPlacement> Placement::place(
     const std::string& path, const std::vector<std::uint64_t>& chunk_sizes) {
   std::vector<ChunkPlacement> out(chunk_sizes.size());
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (policy_ == PlacementPolicy::kRoundRobin) {
     const std::uint64_t start = stable_hash(seed_, path);
     for (std::size_t i = 0; i < chunk_sizes.size(); ++i) {
@@ -69,22 +69,26 @@ std::vector<ChunkPlacement> Placement::place(
   // roots (ties to the lowest index), then charge the chunk's bytes to
   // each — so the next chunk sees the updated load.
   std::vector<int> order(static_cast<std::size_t>(root_count_));
+  // Local alias: the comparator lambda is a separate function to the
+  // thread-safety analysis, so it reads through this reference (bound
+  // while mutex_ is held, and the lock stays held for the whole loop).
+  std::vector<std::uint64_t>& loads = assigned_;
   for (std::size_t i = 0; i < chunk_sizes.size(); ++i) {
     std::iota(order.begin(), order.end(), 0);
-    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-      return assigned_[static_cast<std::size_t>(a)] <
-             assigned_[static_cast<std::size_t>(b)];
+    std::stable_sort(order.begin(), order.end(), [&loads](int a, int b) {
+      return loads[static_cast<std::size_t>(a)] <
+             loads[static_cast<std::size_t>(b)];
     });
     out[i].roots.assign(order.begin(),
                         order.begin() + static_cast<std::size_t>(replication_));
     for (const int root : out[i].roots)
-      assigned_[static_cast<std::size_t>(root)] += chunk_sizes[i];
+      loads[static_cast<std::size_t>(root)] += chunk_sizes[i];
   }
   return out;
 }
 
 std::vector<std::uint64_t> Placement::assigned_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return assigned_;
 }
 

@@ -26,9 +26,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace dedicore::storage {
 
@@ -70,8 +72,9 @@ class Placement {
   const int root_count_;
   const int replication_;
   const std::uint64_t seed_;
-  mutable std::mutex mutex_;
-  std::vector<std::uint64_t> assigned_;  ///< bytes per root, replicas included
+  mutable Mutex mutex_{"placement.state"};
+  /// Bytes per root, replicas included.
+  std::vector<std::uint64_t> assigned_ DEDICORE_GUARDED_BY(mutex_);
 };
 
 }  // namespace dedicore::storage

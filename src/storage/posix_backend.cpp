@@ -52,12 +52,15 @@ Status PosixBackend::fsync_parent_dir(const std::filesystem::path& final_full,
 
 struct PosixBackend::OpenFile {
   std::string path;   ///< backend-relative, for diagnostics
-  int fd = -1;
   std::filesystem::path write_full;  ///< where the fd points (temp for create)
   std::filesystem::path final_full;  ///< the published name
   bool pending_rename = false;       ///< close() must rename write -> final
-  std::mutex io_mutex;               ///< serializes append-cursor updates
-  std::uint64_t append_at = 0;       ///< end-of-file cursor for write()
+  /// Serializes the fd's I/O and the append cursor.  Taken only after the
+  /// backend's handle lock ("posix.handles") has been released — the two
+  /// never nest.
+  Mutex io_mutex{"posix.file"};
+  int fd DEDICORE_GUARDED_BY(io_mutex) = -1;
+  std::uint64_t append_at DEDICORE_GUARDED_BY(io_mutex) = 0;  ///< EOF cursor
 };
 
 PosixBackend::PosixBackend(std::filesystem::path root,
@@ -89,7 +92,7 @@ PosixBackend::~PosixBackend() {
 std::size_t PosixBackend::reclaim_leaked_handles() {
   std::unordered_map<std::uint64_t, std::shared_ptr<OpenFile>> leaked;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     leaked.swap(open_);
     stats_.handles_reclaimed += leaked.size();
   }
@@ -97,7 +100,7 @@ std::size_t PosixBackend::reclaim_leaked_handles() {
     DEDICORE_LOG(kWarn) << "PosixBackend: handle " << id << " ('" << file->path
                         << "') was never closed; reclaiming fd without "
                            "publishing";
-    std::lock_guard<std::mutex> io(file->io_mutex);
+    MutexLock io(file->io_mutex);
     // No fsync, no rename: a leaked create's temp stays torn on disk and
     // the next startup's recovery scan quarantines it — exactly the state
     // a crashed process would have left.
@@ -140,7 +143,10 @@ void PosixBackend::recover_torn_files() {
     }
     DEDICORE_LOG(kWarn) << "PosixBackend: quarantined torn temp '"
                         << path.string() << "' from a previous crashed run";
-    ++stats_.files_quarantined;  // ctor-time: no concurrent readers yet
+    // Ctor-time, so uncontended — but the counter is guarded, and the
+    // analysis rightly has no notion of "no concurrent readers yet".
+    MutexLock lock(mutex_);
+    ++stats_.files_quarantined;
   }
 }
 
@@ -170,7 +176,7 @@ Status PosixBackend::create(const std::string& path, FileHandle* out,
   // same path race only on the final rename (last one wins, atomically).
   std::uint64_t id = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     id = next_id_++;
   }
   const std::filesystem::path temp(full.string() + ".part-" +
@@ -180,11 +186,16 @@ Status PosixBackend::create(const std::string& path, FileHandle* out,
 
   auto file = std::make_shared<OpenFile>();
   file->path = path;
-  file->fd = fd;
   file->write_full = temp;
   file->final_full = full;
   file->pending_rename = true;
-  std::lock_guard<std::mutex> lock(mutex_);
+  {
+    // Not yet published to the handle table, but the guarded fd write
+    // needs the per-file lock for the analysis (uncontended by definition).
+    MutexLock io(file->io_mutex);
+    file->fd = fd;
+  }
+  MutexLock lock(mutex_);
   open_.emplace(id, std::move(file));
   ++stats_.files_created;
   *out = FileHandle{id};
@@ -213,12 +224,15 @@ Status PosixBackend::open(const std::string& path, FileHandle* out) {
 
   auto file = std::make_shared<OpenFile>();
   file->path = path;
-  file->fd = fd;
   file->write_full = full;
   file->final_full = full;
   file->pending_rename = false;
-  file->append_at = static_cast<std::uint64_t>(end);
-  std::lock_guard<std::mutex> lock(mutex_);
+  {
+    MutexLock io(file->io_mutex);  // pre-publication; see create()
+    file->fd = fd;
+    file->append_at = static_cast<std::uint64_t>(end);
+  }
+  MutexLock lock(mutex_);
   const std::uint64_t id = next_id_++;
   open_.emplace(id, std::move(file));
   *out = FileHandle{id};
@@ -230,7 +244,7 @@ Status PosixBackend::do_pwrite(FileHandle handle, std::uint64_t offset,
                                double* seconds, bool append) {
   std::shared_ptr<OpenFile> file;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = open_.find(handle.id);
     if (it == open_.end())
       return Status::failed_precondition(
@@ -244,7 +258,7 @@ Status PosixBackend::do_pwrite(FileHandle handle, std::uint64_t offset,
 
   Stopwatch timer;
   {
-    std::lock_guard<std::mutex> io(file->io_mutex);
+    MutexLock io(file->io_mutex);
     if (append) offset = file->append_at;
     std::size_t done = 0;
     while (done < bytes.size()) {
@@ -263,7 +277,7 @@ Status PosixBackend::do_pwrite(FileHandle handle, std::uint64_t offset,
   const double duration = timer.elapsed_seconds();
   if (seconds != nullptr) *seconds = duration;
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.writes;
   stats_.bytes_written += bytes.size();
   stats_.write_seconds += duration;
@@ -283,7 +297,7 @@ Status PosixBackend::pwrite(FileHandle file, std::uint64_t offset,
 Status PosixBackend::close(FileHandle handle) {
   std::shared_ptr<OpenFile> file;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = open_.find(handle.id);
     // Mirror fsim's stale-handle crash: a double close means the caller's
     // handle lifecycle is broken, and silently ignoring it would let a
@@ -293,7 +307,7 @@ Status PosixBackend::close(FileHandle handle) {
     file = it->second;
     open_.erase(it);
   }
-  std::lock_guard<std::mutex> io(file->io_mutex);
+  MutexLock io(file->io_mutex);
 
   // SIGKILL-equivalent crash mid-close: the fd vanishes with the process —
   // no fsync, no rename.  The torn temp stays on disk for the next
@@ -398,12 +412,12 @@ std::vector<std::string> PosixBackend::list_files() const {
 std::size_t PosixBackend::file_count() const { return list_files().size(); }
 
 StorageStats PosixBackend::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 std::size_t PosixBackend::open_handles() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return open_.size();
 }
 

@@ -37,10 +37,11 @@
 
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "common/fault.hpp"
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "storage/backend.hpp"
 
 namespace dedicore::storage {
@@ -132,10 +133,15 @@ class PosixBackend final : public StorageBackend {
   std::filesystem::path root_;
   std::shared_ptr<fault::FaultInjector> faults_;
   int fault_target_ = -1;
-  mutable std::mutex mutex_;  ///< handle table + counters
-  std::uint64_t next_id_ = 1;
-  std::unordered_map<std::uint64_t, std::shared_ptr<OpenFile>> open_;
-  StorageStats stats_;
+  /// Handle table + counters.  Never held across actual I/O: every path
+  /// resolves the handle under this lock, RELEASES it, and only then takes
+  /// the per-file OpenFile::io_mutex ("posix.file") for the syscalls — the
+  /// two classes never nest, so a slow disk cannot stall the handle table.
+  mutable Mutex mutex_{"posix.handles"};
+  std::uint64_t next_id_ DEDICORE_GUARDED_BY(mutex_) = 1;
+  std::unordered_map<std::uint64_t, std::shared_ptr<OpenFile>> open_
+      DEDICORE_GUARDED_BY(mutex_);
+  StorageStats stats_ DEDICORE_GUARDED_BY(mutex_);
 };
 
 }  // namespace dedicore::storage

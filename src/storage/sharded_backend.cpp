@@ -124,8 +124,12 @@ bool parse_manifest(const std::string& text, int root_count, ChunkPlan* out) {
 
 struct ShardedBackend::OpenImage {
   std::string path;
-  std::vector<std::byte> buffer;  ///< staged content; size == logical EOF
-  std::mutex io_mutex;
+  /// Serializes staging and the close-time drain.  Held across plan/
+  /// write_chunk/publish in close(), so it sits ABOVE sharded.state,
+  /// placement.state, and the posix.* locks in the hierarchy.
+  Mutex io_mutex{"sharded.image"};
+  /// Staged content; size == logical EOF.
+  std::vector<std::byte> buffer DEDICORE_GUARDED_BY(io_mutex);
 };
 
 ShardedBackend::ShardedBackend(std::vector<std::filesystem::path> roots,
@@ -168,7 +172,7 @@ std::uint64_t ShardedBackend::next_generation(const std::string& path) {
     // Fast path: this process already planned a generation for the path —
     // the cache is >= anything on disk (we only ever publish what we
     // planned), and it keeps queued-but-unpublished overwrites ordered.
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = generations_.find(path);
     if (it != generations_.end()) return ++it->second;
   }
@@ -186,7 +190,7 @@ std::uint64_t ShardedBackend::next_generation(const std::string& path) {
             static_cast<int>(roots_.size()), &existing))
       on_disk = std::max(on_disk, existing.generation);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto [it, inserted] = generations_.emplace(path, on_disk + 1);
   if (!inserted) it->second = std::max(it->second, on_disk) + 1;
   return it->second;
@@ -234,7 +238,7 @@ Status ShardedBackend::write_chunk(const ChunkPlan& plan, std::size_t index,
     }
   }
   if (seconds != nullptr) *seconds = stall;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   counters_.chunks_written += landed;
   if (landed == 0) return first_error;  // all replicas failed: retryable
   if (landed < plan.placements[index].roots.size()) {
@@ -292,7 +296,7 @@ Status ShardedBackend::publish_manifest(const ChunkPlan& plan) {
     if (std::find(targets.begin(), targets.end(), static_cast<int>(i)) ==
         targets.end())
       roots_[i]->remove_file(name);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++counters_.manifests_published;
   if (landed < targets.size()) {
     // Visible but under-replicated: surfaced like degraded_chunk_writes
@@ -309,7 +313,7 @@ Status ShardedBackend::create(const std::string& path, FileHandle* out,
   if (Status st = validate_backend_path(path); !st.is_ok()) return st;
   auto image = std::make_shared<OpenImage>();
   image->path = path;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::uint64_t id = next_id_++;
   open_.emplace(id, std::move(image));
   ++stats_.files_created;
@@ -327,7 +331,7 @@ Status ShardedBackend::open(const std::string& path, FileHandle* out) {
   auto image = std::make_shared<OpenImage>();
   image->path = path;
   if (Status st = read_image(path, &image->buffer); !st.is_ok()) return st;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::uint64_t id = next_id_++;
   open_.emplace(id, std::move(image));
   *out = FileHandle{id};
@@ -358,7 +362,7 @@ Status ShardedBackend::stage(FileHandle handle, bool append,
                              double* seconds) {
   std::shared_ptr<OpenImage> image;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = open_.find(handle.id);
     if (it == open_.end())
       return Status::failed_precondition(
@@ -367,7 +371,7 @@ Status ShardedBackend::stage(FileHandle handle, bool append,
     image = it->second;
   }
   {
-    std::lock_guard<std::mutex> io(image->io_mutex);
+    MutexLock io(image->io_mutex);
     if (append) offset = image->buffer.size();
     if (offset + bytes.size() > image->buffer.size()) {
       try {
@@ -387,7 +391,7 @@ Status ShardedBackend::stage(FileHandle handle, bool append,
   // Staging is memory-speed; the disk stall happens at close/publication
   // (accounted in write_seconds there).
   if (seconds != nullptr) *seconds = 0.0;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.writes;
   stats_.bytes_written += bytes.size();
   return Status::ok();
@@ -396,7 +400,7 @@ Status ShardedBackend::stage(FileHandle handle, bool append,
 Status ShardedBackend::close(FileHandle handle) {
   std::shared_ptr<OpenImage> image;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = open_.find(handle.id);
     // Same contract as the other backends: a double close is a broken
     // handle lifecycle, crash loudly.
@@ -405,7 +409,7 @@ Status ShardedBackend::close(FileHandle handle) {
     image = it->second;
     open_.erase(it);
   }
-  std::lock_guard<std::mutex> io(image->io_mutex);
+  MutexLock io(image->io_mutex);
   Stopwatch timer;
   const auto plan = plan_image(image->path, image->buffer);
   Status result;
@@ -416,7 +420,7 @@ Status ShardedBackend::close(FileHandle handle) {
             .subspan(plan->offset_of(i), plan->sizes[i]));
   if (result.is_ok()) result = publish_manifest(*plan);
   const double elapsed = timer.elapsed_seconds();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   stats_.write_seconds += elapsed;
   return result;
 }
@@ -446,7 +450,7 @@ Status ShardedBackend::load_manifest(const std::string& path,
       continue;
     }
     // Malformed copy: treat like corruption and try the next root.
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++counters_.corrupt_chunks_detected;
   }
   if (parsed_any) {
@@ -481,7 +485,7 @@ Status ShardedBackend::read_image(const std::string& path,
       if (data->size() != plan.sizes[i] ||
           crc32c(*data) != plan.crcs[i]) {
         ++bad_copies;
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         ++counters_.corrupt_chunks_detected;
         continue;
       }
@@ -491,7 +495,7 @@ Status ShardedBackend::read_image(const std::string& path,
       if (root != plan.placements[i].roots.front()) {
         // Served past a missing/corrupt primary copy.
         if (degraded != nullptr) *degraded = true;
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         ++counters_.degraded_reads;
       }
       recovered = true;
@@ -547,7 +551,7 @@ std::vector<std::string> ShardedBackend::list_files() const {
 std::size_t ShardedBackend::file_count() const { return list_files().size(); }
 
 StorageStats ShardedBackend::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   StorageStats out = stats_;
   // Physical-root recovery/reclaim events surface in the logical view too
   // — they are the numbers fault-tolerance tests assert on.
@@ -567,12 +571,12 @@ std::vector<StorageStats> ShardedBackend::root_stats() const {
 }
 
 ShardedCounters ShardedBackend::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return counters_;
 }
 
 std::size_t ShardedBackend::open_handles() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return open_.size();
 }
 
@@ -580,7 +584,7 @@ std::string ShardedBackend::stats_json() const {
   StorageStats logical;
   ShardedCounters c;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     logical = stats_;
     c = counters_;
   }

@@ -63,13 +63,14 @@
 
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/fault.hpp"
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "storage/backend.hpp"
 #include "storage/placement.hpp"
 #include "storage/posix_backend.hpp"
@@ -241,14 +242,22 @@ class ShardedBackend final : public StorageBackend {
   ShardedOptions options_;
   std::unique_ptr<Placement> placement_;
 
-  mutable std::mutex mutex_;  ///< handle table + logical stats + counters
-  std::uint64_t next_id_ = 1;
+  /// Handle table + logical stats + counters.  stats() holds it across
+  /// the per-root stats() calls, so the order sharded.state ->
+  /// posix.handles is part of the storage hierarchy (and the staging
+  /// handle's sharded.image lock sits above both: close() drains chunks
+  /// while holding it).
+  mutable Mutex mutex_{"sharded.state"};
+  std::uint64_t next_id_ DEDICORE_GUARDED_BY(mutex_) = 1;
   /// Highest generation planned per path in this process (see
-  /// next_generation); guarded by mutex_.
-  std::unordered_map<std::string, std::uint64_t> generations_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<OpenImage>> open_;
-  StorageStats stats_;
-  mutable ShardedCounters counters_;  ///< read-side counters mutate in const reads
+  /// next_generation).
+  std::unordered_map<std::string, std::uint64_t> generations_
+      DEDICORE_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, std::shared_ptr<OpenImage>> open_
+      DEDICORE_GUARDED_BY(mutex_);
+  StorageStats stats_ DEDICORE_GUARDED_BY(mutex_);
+  /// Read-side counters mutate in const reads.
+  mutable ShardedCounters counters_ DEDICORE_GUARDED_BY(mutex_);
 };
 
 }  // namespace dedicore::storage

@@ -7,7 +7,7 @@ Status SimBackend::create(const std::string& path, FileHandle* out,
   DEDICORE_CHECK(out != nullptr, "SimBackend::create: null out");
   if (Status st = validate_backend_path(path); !st.is_ok()) return st;
   const fsim::FileHandle handle = fs_.create(path, stripe_count);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::uint64_t id = next_id_++;
   open_.emplace(id, handle);
   ++stats_.files_created;
@@ -21,7 +21,7 @@ Status SimBackend::open(const std::string& path, FileHandle* out) {
   auto handle = fs_.open(path);
   if (!handle)
     return Status::not_found("sim open: no such file '" + path + "'");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const std::uint64_t id = next_id_++;
   open_.emplace(id, *handle);
   *out = FileHandle{id};
@@ -29,7 +29,7 @@ Status SimBackend::open(const std::string& path, FileHandle* out) {
 }
 
 Status SimBackend::resolve(FileHandle file, fsim::FileHandle* out) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = open_.find(file.id);
   if (it == open_.end())
     return Status::failed_precondition(
@@ -44,7 +44,7 @@ Status SimBackend::write(FileHandle file, std::span<const std::byte> bytes,
   if (Status st = resolve(file, &handle); !st.is_ok()) return st;
   const double duration = fs_.write(handle, bytes);
   if (seconds != nullptr) *seconds = duration;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.writes;
   stats_.bytes_written += bytes.size();
   stats_.write_seconds += duration;
@@ -57,7 +57,7 @@ Status SimBackend::pwrite(FileHandle file, std::uint64_t offset,
   if (Status st = resolve(file, &handle); !st.is_ok()) return st;
   const double duration = fs_.pwrite(handle, offset, bytes);
   if (seconds != nullptr) *seconds = duration;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   ++stats_.writes;
   stats_.bytes_written += bytes.size();
   stats_.write_seconds += duration;
@@ -67,7 +67,7 @@ Status SimBackend::pwrite(FileHandle file, std::uint64_t offset,
 Status SimBackend::close(FileHandle file) {
   fsim::FileHandle handle;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = open_.find(file.id);
     // Double close is an invariant violation, exactly like fsim's own
     // stale-handle check — the caller's handle bookkeeping is broken.
@@ -95,7 +95,7 @@ std::vector<std::string> SimBackend::list_files() const { return fs_.list_files(
 std::size_t SimBackend::file_count() const { return fs_.file_count(); }
 
 StorageStats SimBackend::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

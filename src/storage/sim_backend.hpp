@@ -9,9 +9,10 @@
 // writers in the same experiment).
 #pragma once
 
-#include <mutex>
 #include <unordered_map>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "fsim/filesystem.hpp"
 #include "storage/backend.hpp"
 
@@ -52,10 +53,12 @@ class SimBackend final : public StorageBackend {
   Status resolve(FileHandle file, fsim::FileHandle* out) const;
 
   fsim::FileSystem& fs_;
-  mutable std::mutex mutex_;
-  std::uint64_t next_id_ = 1;
-  std::unordered_map<std::uint64_t, fsim::FileHandle> open_;  ///< live handles
-  StorageStats stats_;
+  mutable Mutex mutex_{"sim_backend.state"};
+  std::uint64_t next_id_ DEDICORE_GUARDED_BY(mutex_) = 1;
+  /// Live handles.
+  std::unordered_map<std::uint64_t, fsim::FileHandle> open_
+      DEDICORE_GUARDED_BY(mutex_);
+  StorageStats stats_ DEDICORE_GUARDED_BY(mutex_);
 };
 
 }  // namespace dedicore::storage

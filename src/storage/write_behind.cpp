@@ -120,7 +120,7 @@ void WriteBehind::enqueue_sharded(Job job) {
 void WriteBehind::enqueue_one(Job job) {
   Stopwatch blocked;
   for (;;) {
-    std::unique_lock<std::mutex> lock(mutex_);
+    UniqueLock lock(mutex_);
     DEDICORE_CHECK(!closed_, "WriteBehind: enqueue after close");
     // Admit when the budget has room — or when nothing is pending at all,
     // so an oversized job is let in alone and can never wait on itself.
@@ -153,17 +153,16 @@ void WriteBehind::enqueue_one(Job job) {
     }
     // Every pending byte is in flight on another drainer; those writes
     // finish without any help from us — park until one returns budget.
-    space_.wait(lock, [&] {
-      return closed_ || pending_bytes_ + job.bytes() <= budget_bytes_ ||
-             pending_bytes_ == 0 || !queue_.empty();
-    });
+    while (!closed_ && pending_bytes_ + job.bytes() > budget_bytes_ &&
+           pending_bytes_ != 0 && queue_.empty())
+      space_.wait(lock);
     // Loop re-checks closed_ (fatal: enqueue-after-close) and re-evaluates
     // admission/drain with the lock held.
   }
 }
 
 bool WriteBehind::pop(Job* out) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (queue_.empty()) return false;
   *out = std::move(queue_.front());
   queue_.pop_front();
@@ -218,11 +217,11 @@ void WriteBehind::write_out(Job job) {
     // Outside mutex_ (the callback may take producer locks) but
     // serialized against other callbacks, so producers can account
     // without guarding against concurrent drainers themselves.
-    std::lock_guard<std::mutex> serialize(callback_mutex_);
+    MutexLock serialize(callback_mutex_);
     job.on_complete(st);
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // The job's budget share is released only now, after the backend call:
   // in-flight images still occupy memory, so they must still count
   // against the producers.
@@ -275,15 +274,15 @@ void WriteBehind::drain_all() {
     // run.  A producer that slips a new job in meanwhile (another server
     // of the node still finishing) re-arms the pop loop instead of being
     // waited on forever.
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock, [&] { return !queue_.empty() || in_flight_ == 0; });
+    UniqueLock lock(mutex_);
+    while (queue_.empty() && in_flight_ != 0) idle_.wait(lock);
     if (queue_.empty() && in_flight_ == 0) return;
   }
 }
 
 void WriteBehind::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (closed_) {
       // Idempotent close still owes a final drain below (a racing enqueue
       // cannot exist: producers crash on enqueue-after-close).
@@ -295,17 +294,17 @@ void WriteBehind::close() {
 }
 
 std::uint64_t WriteBehind::pending_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return pending_bytes_;
 }
 
 std::size_t WriteBehind::pending_jobs() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
 WriteBehindStats WriteBehind::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -13,16 +13,16 @@
 // unbounded buffer or stalling clients on every write.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/fault.hpp"
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "storage/backend.hpp"
 
 namespace dedicore::storage {
@@ -185,17 +185,24 @@ class WriteBehind {
   const int retries_;  ///< total attempts per job on transient failures
   std::shared_ptr<fault::FaultInjector> faults_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable space_;   ///< producers waiting for budget
-  std::condition_variable idle_;    ///< drain_all waiting for in-flight jobs
+  /// Queue + budget + counters.  Never held across a backend call or an
+  /// on_complete callback — write_out releases it before both.
+  mutable Mutex mutex_{"write_behind.state"};
+  CondVar space_;   ///< producers waiting for budget
+  CondVar idle_;    ///< drain_all waiting for in-flight jobs
   /// Serializes on_complete invocations (not the backend writes), so
   /// producer-side accounting never races another drainer's callback.
-  std::mutex callback_mutex_;
-  std::deque<Job> queue_;
-  std::uint64_t pending_bytes_ = 0; ///< queued + in-flight drain bytes
-  int in_flight_ = 0;               ///< jobs popped but not yet written out
-  bool closed_ = false;
-  WriteBehindStats stats_;
+  /// Held while the sharded completion ticket publishes its manifest, so
+  /// write_behind.callback sits ABOVE sharded.state / posix.* in the
+  /// hierarchy; it never nests with write_behind.state in either order.
+  Mutex callback_mutex_{"write_behind.callback"};
+  std::deque<Job> queue_ DEDICORE_GUARDED_BY(mutex_);
+  /// Queued + in-flight drain bytes.
+  std::uint64_t pending_bytes_ DEDICORE_GUARDED_BY(mutex_) = 0;
+  /// Jobs popped but not yet written out.
+  int in_flight_ DEDICORE_GUARDED_BY(mutex_) = 0;
+  bool closed_ DEDICORE_GUARDED_BY(mutex_) = false;
+  WriteBehindStats stats_ DEDICORE_GUARDED_BY(mutex_);
 };
 
 }  // namespace dedicore::storage

@@ -311,7 +311,7 @@ bool MpiServerTransport::receive_frame(std::vector<Event>& out) {
     out.push_back(event);
   }
 
-  std::lock_guard<std::mutex> state(state_mutex_);
+  MutexLock state(state_mutex_);
   for (auto& [offset, info] : homed) resident_.emplace(offset, std::move(info));
   stats_.blocks_received_remote += homed.size();
   stats_.bytes_received_remote += frame_bytes;
@@ -322,7 +322,7 @@ bool MpiServerTransport::receive_frame(std::vector<Event>& out) {
 
 std::span<const std::byte> MpiServerTransport::view(
     const shm::BlockRef& block) {
-  std::lock_guard<std::mutex> state(state_mutex_);
+  MutexLock state(state_mutex_);
   auto it = resident_.find(block.offset);
   DEDICORE_CHECK(it != resident_.end(),
                  "MpiServerTransport: view of an unknown block");
@@ -339,7 +339,7 @@ void MpiServerTransport::release(const shm::BlockRef& block) {
   int credit_dest = -1;
   bool segment_resident = false;
   {
-    std::lock_guard<std::mutex> state(state_mutex_);
+    MutexLock state(state_mutex_);
     auto it = resident_.find(block.offset);
     DEDICORE_CHECK(it != resident_.end(),
                    "MpiServerTransport: release of an unknown block");
@@ -378,13 +378,13 @@ void MpiServerTransport::release(const shm::BlockRef& block) {
 }
 
 void MpiServerTransport::reclaim_client(int source) {
-  std::lock_guard<std::mutex> state(state_mutex_);
+  MutexLock state(state_mutex_);
   if (!dead_ranks_.insert(source).second) return;  // idempotent
   ++stats_.clients_aborted;
 }
 
 TransportStats MpiServerTransport::stats() const {
-  std::lock_guard<std::mutex> state(state_mutex_);
+  MutexLock state(state_mutex_);
   TransportStats out = stats_;
   out.events_received = events_received_.load(std::memory_order_relaxed);
   out.steals = demux_.steals();

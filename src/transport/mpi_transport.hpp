@@ -34,11 +34,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "minimpi/minimpi.hpp"
 #include "transport/shm_transport.hpp"
 #include "transport/transport.hpp"
@@ -188,14 +189,26 @@ class MpiServerTransport final : public ServerTransport {
   WorkerDemux demux_;
   std::atomic<std::uint64_t> events_received_{0};
   /// Guards resident_, frames_, spill offsets and the non-atomic stats —
-  /// everything release()/view() share with the demux leader.
-  mutable std::mutex state_mutex_;
-  std::unordered_map<std::uint64_t, Resident> resident_;
-  std::unordered_map<std::uint64_t, FrameCredit> frames_;
-  std::unordered_set<int> dead_ranks_;  ///< reclaim_client targets
+  /// everything release()/view() share with the demux leader.  Leaf lock:
+  /// taken only after demux.pool is released (the leader re-homes
+  /// payloads with the pool lock dropped), and a credit send may run
+  /// under it (minimpi's internal mailbox locks sit below it).
+  mutable Mutex state_mutex_{"mpi.state"};
+  std::unordered_map<std::uint64_t, Resident> resident_
+      DEDICORE_GUARDED_BY(state_mutex_);
+  std::unordered_map<std::uint64_t, FrameCredit> frames_
+      DEDICORE_GUARDED_BY(state_mutex_);
+  /// reclaim_client targets.
+  std::unordered_set<int> dead_ranks_ DEDICORE_GUARDED_BY(state_mutex_);
+  /// LEADER-ONLY state, deliberately not state_mutex_-guarded: only the
+  /// demux leader runs receive_frame (one at a time), and successive
+  /// leaderships are ordered by the demux's own lock handoff, so these
+  /// counters are single-threaded in practice.  set_worker_count's
+  /// next_frame_id_ check runs before any consumption exists.
   std::uint64_t next_frame_id_ = 0;
-  std::uint64_t next_spill_offset_;  ///< offsets >= capacity mark spills
-  TransportStats stats_;
+  /// Offsets >= capacity mark spills (leader-only, as above).
+  std::uint64_t next_spill_offset_;
+  TransportStats stats_ DEDICORE_GUARDED_BY(state_mutex_);
 };
 
 }  // namespace dedicore::transport

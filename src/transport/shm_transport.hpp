@@ -11,12 +11,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/fault.hpp"
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "shm/bounded_queue.hpp"
 #include "transport/transport.hpp"
 #include "transport/worker_demux.hpp"
@@ -58,17 +59,19 @@ struct ShmFabric {
     std::uint64_t epoch = 0;                 ///< bumped per queue push
     bool dead = false;                       ///< epoch frozen by the monitor
   };
-  std::mutex ledger_mutex;
-  std::unordered_map<int, Ledger> ledgers;
+  /// Leaf lock: every ledger_* method is a self-contained critical
+  /// section — nothing is acquired while it is held.
+  Mutex ledger_mutex{"shm.ledger"};
+  std::unordered_map<int, Ledger> ledgers DEDICORE_GUARDED_BY(ledger_mutex);
 
   void ledger_acquired(int client, const shm::BlockRef& block) {
     if (client < 0) return;
-    std::lock_guard<std::mutex> lock(ledger_mutex);
+    MutexLock lock(ledger_mutex);
     ledgers[client].outstanding.push_back(block);
   }
   void ledger_released(int client, const shm::BlockRef& block) {
     if (client < 0) return;
-    std::lock_guard<std::mutex> lock(ledger_mutex);
+    MutexLock lock(ledger_mutex);
     auto& outstanding = ledgers[client].outstanding;
     for (auto it = outstanding.begin(); it != outstanding.end(); ++it) {
       if (it->offset == block.offset) {
@@ -79,12 +82,12 @@ struct ShmFabric {
   }
   void ledger_heartbeat(int client) {
     if (client < 0) return;
-    std::lock_guard<std::mutex> lock(ledger_mutex);
+    MutexLock lock(ledger_mutex);
     ++ledgers[client].epoch;
   }
   /// Freezes the epoch; returns false if already dead (idempotence).
   bool ledger_mark_dead(int client) {
-    std::lock_guard<std::mutex> lock(ledger_mutex);
+    MutexLock lock(ledger_mutex);
     Ledger& ledger = ledgers[client];
     if (ledger.dead) return false;
     ledger.dead = true;
@@ -92,7 +95,7 @@ struct ShmFabric {
   }
   /// Takes (and clears) the dead client's outstanding blocks for reclaim.
   std::vector<shm::BlockRef> ledger_take_outstanding(int client) {
-    std::lock_guard<std::mutex> lock(ledger_mutex);
+    MutexLock lock(ledger_mutex);
     auto it = ledgers.find(client);
     if (it == ledgers.end()) return {};
     return std::exchange(it->second.outstanding, {});

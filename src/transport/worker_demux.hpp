@@ -68,17 +68,17 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.hpp"
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "transport/message.hpp"
 
 namespace dedicore::transport {
@@ -88,6 +88,7 @@ class WorkerDemux {
   /// Call at most once, before the first next().  `workers` >= 1.
   void set_worker_count(int workers, WorkerPoolOptions options = {}) {
     DEDICORE_CHECK(workers >= 1, "WorkerDemux: worker count must be >= 1");
+    MutexLock lock(mutex_);
     DEDICORE_CHECK(!consumed_, "WorkerDemux: set_worker_count after consumption began");
     DEDICORE_CHECK(options.steal_threshold >= 1,
                    "WorkerDemux: steal threshold must be >= 1");
@@ -107,7 +108,8 @@ class WorkerDemux {
   /// worker parks, briefly, and polls again).  Install before the first
   /// next(); the server wires this to WriteBehind::try_drain_one.
   void set_idle_hook(std::function<bool()> hook) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
+    DEDICORE_CHECK(!consumed_, "WorkerDemux: set_idle_hook after consumption began");
     idle_hook_ = std::move(hook);
   }
 
@@ -135,7 +137,7 @@ class WorkerDemux {
                             std::atomic<std::uint64_t>& delivered) {
     DEDICORE_CHECK(worker >= 0 && worker < workers_,
                    "WorkerDemux: worker index out of range");
-    std::unique_lock<std::mutex> lock(mutex_);
+    UniqueLock lock(mutex_);
     consumed_ = true;
     complete_previous(worker);
     for (;;) {
@@ -210,7 +212,8 @@ class WorkerDemux {
   };
 
   /// A control event is a per-client barrier; a block is not (see header
-  /// comment).  Only call with a non-empty backlog.
+  /// comment).  Only call with a non-empty backlog (callers hold the pool
+  /// lock; the state reference itself is mutex_-guarded data).
   static bool deliverable(const ClientState& state) {
     return state.backlog.front().type == EventType::kBlockWritten ||
            state.in_flight == 0;
@@ -220,7 +223,7 @@ class WorkerDemux {
   /// (callers are strictly pop-process-pop loops, so re-entry is the
   /// completion signal).  When that drops a client's in-flight count to
   /// zero, a peer may be parked on that client's gated control — notify.
-  void complete_previous(int worker) {
+  void complete_previous(int worker) DEDICORE_REQUIRES(mutex_) {
     const int client = last_client_[static_cast<std::size_t>(worker)];
     if (client == kNoClient) return;
     last_client_[static_cast<std::size_t>(worker)] = kNoClient;
@@ -230,7 +233,7 @@ class WorkerDemux {
 
   /// Pops the next deliverable event among the clients `worker` owns,
   /// rotating across them for fairness (per-client order is the deque's).
-  std::optional<Event> take_local(int worker) {
+  std::optional<Event> take_local(int worker) DEDICORE_REQUIRES(mutex_) {
     std::deque<int>& ready = ready_[static_cast<std::size_t>(worker)];
     for (std::size_t scanned = ready.size(); scanned > 0; --scanned) {
       const int client = ready.front();
@@ -261,7 +264,7 @@ class WorkerDemux {
   /// dead client's barriers would otherwise be waited on forever — see the
   /// header's fault-tolerance note).  Blocks stay: the server releases a
   /// dead client's blocks without indexing, returning their resources.
-  void cancel_zombie_controls(ClientState& state) {
+  void cancel_zombie_controls(ClientState& state) DEDICORE_REQUIRES(mutex_) {
     std::uint64_t cancelled = 0;
     std::erase_if(state.backlog, [&](const Event& event) {
       if (event.type == EventType::kBlockWritten) return false;
@@ -275,7 +278,7 @@ class WorkerDemux {
 
   /// Leader-only: appends one drained event to its client's backlog,
   /// minting the ownership token (pinning rule) on first contact.
-  void route(const Event& event) {
+  void route(const Event& event) DEDICORE_REQUIRES(mutex_) {
     auto [it, inserted] = clients_.try_emplace(event.source);
     ClientState& state = it->second;
     if (inserted)
@@ -295,7 +298,7 @@ class WorkerDemux {
   /// Moves the longest-backlogged deliverable client of the busiest peer
   /// to `worker`.  After the stream drained, the threshold drops to one
   /// event so a peer that stopped consuming cannot strand a tail.
-  bool try_steal(int worker) {
+  bool try_steal(int worker) DEDICORE_REQUIRES(mutex_) {
     const std::size_t threshold =
         drained_ ? 1 : static_cast<std::size_t>(options_.steal_threshold);
     int best_client = kNoClient;
@@ -326,26 +329,37 @@ class WorkerDemux {
     return true;
   }
 
+  /// Configuration, written only by set_worker_count / set_idle_hook
+  /// before the first next() (both crash on a late call via consumed_).
+  /// Deliberately NOT mutex_-guarded: next() validates the worker index
+  /// against workers_ before locking, and the leader invokes idle_hook_
+  /// with the pool lock dropped — both sound because the fields are
+  /// immutable once consumption begins.
   int workers_ = 1;
   WorkerPoolOptions options_;
-  std::mutex mutex_;  ///< guards all demux state below (except the atomics)
-  std::condition_variable cv_;
-  std::unordered_map<int, ClientState> clients_;
-  std::vector<std::deque<int>> ready_{1};     ///< per worker: owned clients
-                                              ///< with a non-empty backlog
-  std::vector<int> last_client_{kNoClient};   ///< per worker: client of the
-                                              ///< event being processed
-  std::vector<std::uint64_t> backlog_totals_{0};  ///< per worker: queued
-                                                  ///< events across owned
-                                                  ///< clients ("busyness")
-  std::vector<Event> batch_;                  ///< leader-only scratch
   std::function<bool()> idle_hook_;
+
+  /// Guards all demux state below (except the atomics and batch_).
+  Mutex mutex_{"demux.pool"};
+  CondVar cv_;
+  std::unordered_map<int, ClientState> clients_ DEDICORE_GUARDED_BY(mutex_);
+  /// Per worker: owned clients with a non-empty backlog.
+  std::vector<std::deque<int>> ready_ DEDICORE_GUARDED_BY(mutex_){1};
+  /// Per worker: client of the event being processed.
+  std::vector<int> last_client_ DEDICORE_GUARDED_BY(mutex_){kNoClient};
+  /// Per worker: queued events across owned clients ("busyness").
+  std::vector<std::uint64_t> backlog_totals_ DEDICORE_GUARDED_BY(mutex_){0};
+  /// Leader-only scratch: filled by drain() with the pool lock DROPPED,
+  /// so it cannot be mutex_-guarded — mutual exclusion comes from
+  /// leader_active_ (exactly one leader at a time, elected under the
+  /// lock), which is why followers never touch it.
+  std::vector<Event> batch_;
   std::atomic<std::uint64_t> steals_{0};
   std::atomic<std::uint64_t> idle_drains_{0};
   std::atomic<std::uint64_t> controls_cancelled_{0};
-  bool leader_active_ = false;
-  bool drained_ = false;
-  bool consumed_ = false;
+  bool leader_active_ DEDICORE_GUARDED_BY(mutex_) = false;
+  bool drained_ DEDICORE_GUARDED_BY(mutex_) = false;
+  bool consumed_ DEDICORE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace dedicore::transport

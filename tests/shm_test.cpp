@@ -351,8 +351,8 @@ TEST(BoundedQueueTest, TryPushFullReturnsWouldBlock) {
 
 TEST(BoundedQueueTest, CloseDrainsThenEnds) {
   BoundedQueue<int> q(4);
-  q.try_push(1);
-  q.try_push(2);
+  ASSERT_OK(q.try_push(1));
+  ASSERT_OK(q.try_push(2));
   q.close();
   EXPECT_EQ(q.try_push(3).code(), StatusCode::kClosed);
   EXPECT_EQ(q.pop().value(), 1);
